@@ -1,0 +1,165 @@
+// Command blobctl is a small CLI over the engine: create a database file,
+// store files as BLOBs, read them back, list and delete them. The database
+// persists in a single file; every invocation recovers from it, so blobctl
+// doubles as a live demonstration of the §III-C crash-consistency protocol.
+//
+// Usage:
+//
+//	blobctl -db app.blobdb init
+//	blobctl -db app.blobdb put images xray1.png < xray1.png
+//	blobctl -db app.blobdb get images xray1.png > copy.png
+//	blobctl -db app.blobdb ls images
+//	blobctl -db app.blobdb rm images xray1.png
+//	blobctl -db app.blobdb stat images xray1.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"blobdb/internal/blob"
+	"blobdb/internal/core"
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+)
+
+const devPages = 1 << 16 // 256MB database file
+
+func main() {
+	dbPath := flag.String("db", "blobctl.blobdb", "database file")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	dev, err := storage.NewFileDevice(*dbPath+".tmp", storage.DefaultPageSize, devPages, simtime.DefaultNVMe())
+	if err != nil {
+		fatal(err)
+	}
+	// NewFileDevice truncates; to persist across invocations copy any
+	// existing database image in first.
+	if prev, err := os.ReadFile(*dbPath); err == nil {
+		pages := len(prev) / storage.DefaultPageSize
+		if err := dev.WritePages(nil, 0, pages, prev); err != nil {
+			fatal(err)
+		}
+	}
+
+	db, rep, err := core.Recover(core.Options{Dev: dev, PoolPages: 1 << 13, LogPages: 1 << 12, CkptPages: 1 << 13}, nil)
+	if err != nil {
+		fatal(err)
+	}
+	if rep.FromCheckpoint || rep.CommittedTxns > 0 {
+		fmt.Fprintf(os.Stderr, "recovered: %d committed txns, %d blobs validated, %d failed\n",
+			rep.CommittedTxns, rep.ValidatedBlobs, rep.FailedBlobs)
+	}
+
+	switch args[0] {
+	case "init":
+		fmt.Fprintln(os.Stderr, "initialized", *dbPath)
+	case "put":
+		rel, key := relKey(args)
+		ensureRelation(db, rel)
+		content, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		tx := db.Begin(nil)
+		if err := tx.PutBlob(rel, []byte(key), content); err != nil {
+			fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "stored %s/%s (%d bytes)\n", rel, key, len(content))
+	case "get":
+		rel, key := relKey(args)
+		tx := db.Begin(nil)
+		content, err := tx.ReadBlobBytes(rel, []byte(key))
+		if err != nil {
+			fatal(err)
+		}
+		tx.Commit()
+		os.Stdout.Write(content)
+	case "ls":
+		if len(args) < 2 {
+			usage()
+		}
+		tx := db.Begin(nil)
+		err := tx.Scan(args[1], nil, func(k, inline []byte, st *blob.State) bool {
+			size := int64(len(inline))
+			if st != nil {
+				size = int64(st.Size)
+			}
+			fmt.Printf("%10d  %s\n", size, k)
+			return true
+		})
+		tx.Commit()
+		if err != nil {
+			fatal(err)
+		}
+	case "rm":
+		rel, key := relKey(args)
+		tx := db.Begin(nil)
+		if err := tx.DeleteBlob(rel, []byte(key)); err != nil {
+			fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			fatal(err)
+		}
+	case "stat":
+		rel, key := relKey(args)
+		tx := db.Begin(nil)
+		st, err := tx.BlobState(rel, []byte(key))
+		if err != nil {
+			fatal(err)
+		}
+		tx.Commit()
+		fmt.Printf("size:    %d bytes\nextents: %d (+tail: %v)\nsha256:  %x\n",
+			st.Size, st.NumExtents(), st.HasTail(), st.SHA256)
+	default:
+		usage()
+	}
+
+	// Checkpoint so the image is self-contained, then persist it.
+	if err := db.WAL().Checkpoint(nil); err != nil {
+		fatal(err)
+	}
+	if err := os.Rename(*dbPath+".tmp", *dbPath); err != nil {
+		fatal(err)
+	}
+}
+
+func ensureRelation(db *core.DB, rel string) {
+	if _, err := db.Relation(rel); err != nil {
+		if _, err := db.CreateRelation(rel); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func relKey(args []string) (string, string) {
+	if len(args) < 3 {
+		usage()
+	}
+	return args[1], args[2]
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: blobctl [-db file] <command>
+  init                   create the database
+  put <relation> <key>   store stdin as a BLOB
+  get <relation> <key>   write the BLOB to stdout
+  ls <relation>          list keys and sizes
+  rm <relation> <key>    delete a BLOB
+  stat <relation> <key>  show the Blob State`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blobctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+// Package blobdb is a Go reproduction of "Why Files If You Have a DBMS?"
+// (Nguyen and Leis, ICDE 2024): a storage engine whose BLOB design writes
+// every object to the device exactly once, resolves every object through a
+// single indirection (the Blob State), indexes arbitrary-size BLOB content
+// without copying it, and exposes BLOBs to unmodified external programs as
+// read-only files.
+//
+// The package tree:
+//
+//	internal/core      the engine: relations, transactions, recovery, indexes
+//	internal/blob      Blob State, extent allocation, single-flush protocol
+//	internal/extent    the tier formula and extent allocator
+//	internal/buffer    vmcache-style and hash-table buffer pools, aliasing
+//	internal/wal       distributed write-ahead log, group commit
+//	internal/btree     prefix-compressed B-tree with custom comparators
+//	internal/fusefs    the FUSE-style read-only file surface + io/fs adapter
+//	internal/fsim,
+//	internal/oskern    simulated Ext4/XFS/BtrFS/F2FS competitors
+//	internal/dbsim     PostgreSQL/MySQL/SQLite storage-path models
+//	internal/bench     one runner per table and figure of the paper
+//
+// The benchmarks in bench_test.go regenerate the paper's evaluation; see
+// EXPERIMENTS.md for paper-vs-measured results and DESIGN.md for the system
+// inventory.
+package blobdb

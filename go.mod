@@ -1,0 +1,3 @@
+module blobdb
+
+go 1.22

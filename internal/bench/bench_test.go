@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickExperiments runs the fast experiments end to end and sanity
+// checks their headline orderings. The heavyweight figures are covered by
+// the repository-root benchmarks (bench_test.go) and cmd/blobbench.
+func TestQuickExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not short")
+	}
+	r, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if len(r.Rows) != 11 {
+		t.Errorf("fig5 has %d rows, want 11 systems", len(r.Rows))
+	}
+
+	r3, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r3.String())
+	if miss := r3.Lookup("Blob State", "miss%"); miss != "0%" {
+		t.Errorf("Blob State index miss = %s, want 0%%", miss)
+	}
+	if miss := r3.Lookup("1K Prefix", "miss%"); miss == "0%" || miss == "" {
+		t.Errorf("prefix index miss = %s, want > 0%%", miss)
+	}
+
+	r1, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rows) < 5 {
+		t.Error("table1 incomplete")
+	}
+
+	ra, err := AblationTierSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + ra.String())
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	want := []string{"fig5", "fig6-100KB", "fig6-10MB", "fig6-4KB-10MB", "fig6-1GB",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "table3", "table4"}
+	for _, id := range want {
+		if exps[id] == nil {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := &Result{
+		ID: "x", Title: "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"row1", "1"}, {"row2", "22"}},
+		Notes:  []string{"n"},
+	}
+	out := r.String()
+	for _, want := range []string{"== x: T ==", "row1", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered result missing %q:\n%s", want, out)
+		}
+	}
+	if got := r.Lookup("row2", "bb"); got != "22" {
+		t.Errorf("Lookup = %q", got)
+	}
+	if got := r.Lookup("nope", "bb"); got != "" {
+		t.Errorf("Lookup missing row = %q", got)
+	}
+	if got := r.Lookup("row1", "nope"); got != "" {
+		t.Errorf("Lookup missing col = %q", got)
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if fmtTput(1500000) != "1.50M" || fmtTput(2500) != "2.5k" || fmtTput(99) != "99.0" {
+		t.Error("fmtTput formats wrong")
+	}
+	if fmtBytes(10<<50) != "10PB" || fmtBytes(3<<40) != "3TB" {
+		t.Error("fmtBytes formats wrong")
+	}
+}

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"blobdb/internal/buffer"
+	"blobdb/internal/extent"
+	"blobdb/internal/oskern"
+	"blobdb/internal/simtime"
+	"blobdb/internal/ycsb"
+)
+
+// Fig10 regenerates Figure 10: vmcache+exmap vs the hash-table buffer pool
+// on a read-only in-memory YCSB workload, BLOB sizes 100 KB / 1 MB / 10 MB,
+// workers 1–16 (§V-E). The crossover: the TLB shootdown makes Our slightly
+// slower on small BLOBs; the extra malloc+memcpy makes Our.ht lose badly on
+// big BLOBs and stop scaling when the copies saturate memory bandwidth.
+func Fig10() (*Result, error) {
+	type cfg struct {
+		name    string
+		payload ycsb.Payload
+		records int
+		ops     int
+	}
+	cfgs := []cfg{
+		{"100KB", ycsb.Payload100KB, 64, 400},
+		{"1MB", ycsb.Payload1MB, 32, 200},
+		{"10MB", ycsb.Payload10MB, 6, 64},
+	}
+	workerCounts := []int{1, 2, 4, 8, 16}
+	res := &Result{
+		ID: "fig10", Title: "vmcache+exmap (Our) vs hash-table pool (Our.ht), read-only in-memory",
+		Header: []string{"config"},
+		Notes:  []string{"rows are system @ blob size; columns are worker counts; txn/s"},
+	}
+	for _, w := range workerCounts {
+		res.Header = append(res.Header, fmt.Sprintf("%dw", w))
+	}
+	for _, c := range cfgs {
+		for _, variant := range []OurVariant{VariantOur, VariantOurHT} {
+			runtime.GC() // each variant holds a multi-hundred-MB device + pool
+			devPages := uint64(1 << 16)
+			pool := 1 << 15
+			if c.payload == ycsb.Payload10MB {
+				devPages, pool = 1<<17, 1<<16 // 16 workers x 10MB pinned
+			}
+			sys, err := NewOurSystem(variant, OurOptions{DevPages: devPages, PoolPages: pool, LogPages: 1 << 13})
+			if err != nil {
+				return nil, err
+			}
+			sizes, err := loadRecords(sys, c.records, c.payload, 5)
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.Drain(); err != nil {
+				return nil, err
+			}
+			row := []string{fmt.Sprintf("%s@%s", sys.Name(), c.name)}
+			max := maxSize(sizes)
+			for _, workers := range workerCounts {
+				bufs := make([][]byte, workers)
+				keys := make([][]int, workers)
+				for i := range bufs {
+					bufs[i] = make([]byte, max)
+					rng := rand.New(rand.NewSource(int64(i) + 99))
+					keys[i] = make([]int, c.ops)
+					for j := range keys[i] {
+						keys[i][j] = rng.Intn(c.records)
+					}
+				}
+				tput, _, err := runModel(runCfg{workers: workers, ops: workers * c.ops},
+					func(w int, m *simtime.Meter, i int) error {
+						k := keys[w][i%c.ops]
+						_, err := sys.Get(m, ycsb.Key(k), bufs[w][:sizes[k]])
+						return err
+					})
+				if err != nil {
+					return nil, fmt.Errorf("%s %s: %w", sys.Name(), c.name, err)
+				}
+				row = append(row, fmtTput(tput))
+			}
+			res.Rows = append(res.Rows, row)
+			closeSystem(sys)
+		}
+	}
+	return res, nil
+}
+
+// Fig11 regenerates Figure 11: constant allocate/delete churn (80%/20%,
+// 1–10 MB objects) until the storage fills; throughput reported per
+// utilization band (§V-G). Our extent recycling stays flat; the
+// range-allocator file systems degrade near full; F2FS holds.
+func Fig11() (*Result, error) {
+	const devPages = 1 << 16 // 256MB partition
+	const pool = 1 << 14
+	bands := []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	res := &Result{
+		ID: "fig11", Title: "Throughput vs storage utilization (80% alloc / 20% delete)",
+		Header: []string{"system", "<50%", "50-60%", "60-70%", "70-80%", "80-90%", ">90%"},
+		Notes: []string{"partition 256MB and objects 8-80KB, both scaled 1/128 from the paper's " +
+			"32GB partition with 1-10MB objects; Ext4.journal omitted as in the paper"},
+	}
+
+	makers := append([]func() (System, error){func() (System, error) {
+		return NewOurSystem(VariantOur, OurOptions{DevPages: devPages, PoolPages: pool, LogPages: 1 << 13})
+	}}, fsMakers(devPages, pool, false, false)...)
+	for _, mk := range makers {
+		runtime.GC()
+		sys, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		row, err := runChurn(sys, bands)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sys.Name(), err)
+		}
+		res.Rows = append(res.Rows, row)
+		closeSystem(sys)
+	}
+	return res, nil
+}
+
+// utilization reads the fill level of either system kind.
+func utilization(sys System) float64 {
+	switch v := sys.(type) {
+	case *OurSystem:
+		return v.DB.Allocator().Stats().Utilization
+	case *FSSystem:
+		return v.K.Utilization()
+	default:
+		return 0
+	}
+}
+
+// runChurn drives the allocate/delete mix, bucketing throughput by the
+// utilization band it was measured in.
+func runChurn(sys System, bands []float64) ([]string, error) {
+	rng := rand.New(rand.NewSource(77))
+	var live []string
+	nextKey := 0
+	bandOps := make([]float64, len(bands)+1)
+	bandTime := make([]float64, len(bands)+1)
+	bandOf := func(u float64) int {
+		for i, b := range bands {
+			if u < b {
+				return i
+			}
+		}
+		return len(bands)
+	}
+	const chunk = 100
+	fullStops := 0
+	for round := 0; round < 800 && fullStops < 5; round++ {
+		band := bandOf(utilization(sys))
+		tput, _, err := runOps(1, chunk, func(_ int, m *simtime.Meter, i int) error {
+			if rng.Intn(100) < 80 || len(live) == 0 {
+				size := 8<<10 + rng.Intn(72<<10)
+				key := fmt.Sprintf("churn-%07d", nextKey)
+				nextKey++
+				if err := sys.Put(m, key, make([]byte, size)); err != nil {
+					if isFullError(err) {
+						// Paper: systems eventually stop at capacity. Delete
+						// one object to keep the benchmark moving and note
+						// the stall.
+						fullStops++
+						if len(live) > 0 {
+							victim := rng.Intn(len(live))
+							if derr := sys.Delete(m, live[victim]); derr == nil {
+								live[victim] = live[len(live)-1]
+								live = live[:len(live)-1]
+							}
+						}
+						return nil
+					}
+					return err
+				}
+				live = append(live, key)
+				return nil
+			}
+			victim := rng.Intn(len(live))
+			if err := sys.Delete(m, live[victim]); err != nil {
+				return err
+			}
+			live[victim] = live[len(live)-1]
+			live = live[:len(live)-1]
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if d, ok := sys.(interface{ Drain() error }); ok {
+			if err := d.Drain(); err != nil {
+				return nil, err
+			}
+		}
+		bandOps[band] += chunk
+		bandTime[band] += float64(chunk) / tput
+		if utilization(sys) > 0.93 {
+			fullStops++
+		}
+	}
+	row := []string{sys.Name()}
+	for i := range bandOps {
+		if bandTime[i] == 0 {
+			row = append(row, "-")
+			continue
+		}
+		row = append(row, fmtTput(bandOps[i]/bandTime[i]))
+	}
+	return row, nil
+}
+
+func isFullError(err error) bool {
+	return errors.Is(err, oskern.ErrNoSpace) || errors.Is(err, extent.ErrFull) ||
+		errors.Is(err, buffer.ErrPoolFull)
+}

@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"blobdb/internal/oskern"
+
+	"blobdb/internal/fsim"
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+	"blobdb/internal/wiki"
+	"blobdb/internal/ycsb"
+)
+
+// Fig7 regenerates Figure 7: metadata operations — retrieving the Blob
+// State of 10 consecutive BLOBs versus calling fstat() on ten consecutive
+// files (§V-C). 100 KB payloads; DBMS competitors are omitted as in the
+// paper.
+func Fig7() (*Result, error) {
+	const records = 512
+	const ops = 20000
+	const batch = 10
+	devPages := uint64(1 << 15)
+	pool := 1 << 14
+
+	makers := fsMakers(devPages, pool, true, false)
+	makers = append([]func() (System, error){func() (System, error) {
+		return NewOurSystem(VariantOur, OurOptions{DevPages: devPages, PoolPages: pool, LogPages: 1 << 12})
+	}}, makers...)
+
+	res := &Result{
+		ID: res7ID, Title: "Metadata operations: Blob State scan vs 10x fstat (100KB blobs)",
+		Header: []string{"system", "batches/s"},
+		Notes:  []string{fmt.Sprintf("records=%d, %d batches of %d consecutive keys", records, ops, batch)},
+	}
+	for _, mk := range makers {
+		runtime.GC()
+		sys, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := loadRecords(sys, records, ycsb.Payload100KB, 7); err != nil {
+			return nil, err
+		}
+		if d, ok := sys.(interface{ Drain() error }); ok {
+			if err := d.Drain(); err != nil {
+				return nil, err
+			}
+		}
+		w := ycsb.New(records-batch, 1, ycsb.Payload100KB, 7)
+		tput, _, err := runOps(1, ops, func(_ int, m *simtime.Meter, i int) error {
+			return sys.(metaSystem).Meta(m, w.NextKey(), batch)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sys.Name(), err)
+		}
+		res.Rows = append(res.Rows, []string{sys.Name(), fmtTput(tput)})
+		closeSystem(sys)
+	}
+	return res, nil
+}
+
+const res7ID = "fig7"
+
+// fsMakers returns lazy constructors for the file-system profiles.
+// withJournal includes Ext4.journal; btrfsLast reproduces Table IV's order.
+func fsMakers(devPages uint64, pool int, withJournal, btrfsLast bool) []func() (System, error) {
+	mkdev := func() storage.Device {
+		return storage.NewMemDevice(storage.DefaultPageSize, devPages, simtime.DefaultNVMe())
+	}
+	mk := func(f func(fsim.Options) *oskern.Kernel) func() (System, error) {
+		return func() (System, error) {
+			return &FSSystem{K: f(fsim.Options{Dev: mkdev(), CacheBlocks: pool})}, nil
+		}
+	}
+	out := []func() (System, error){mk(fsim.Ext4Ordered)}
+	if withJournal {
+		out = append(out, mk(fsim.Ext4Journal))
+	}
+	out = append(out, mk(fsim.XFS), mk(fsim.BtrFS), mk(fsim.F2FS))
+	_ = btrfsLast
+	return out
+}
+
+// closeSystem stops any background machinery so the system can be GC'd.
+func closeSystem(sys System) {
+	if c, ok := sys.(interface{ CloseCommitter() error }); ok {
+		c.CloseCommitter()
+	}
+}
+
+// loadWiki builds the §V-D database: insert articles according to the size
+// distribution.
+func loadWiki(sys System, c *wiki.Corpus) (int, error) {
+	max := 0
+	for i := range c.Articles {
+		content := c.Content(i)
+		if len(content) > max {
+			max = len(content)
+		}
+		if err := sys.Put(nil, c.Articles[i].Title, content); err != nil {
+			return 0, fmt.Errorf("%s: load article %d: %w", sys.Name(), i, err)
+		}
+	}
+	if d, ok := sys.(interface{ Drain() error }); ok {
+		if err := d.Drain(); err != nil {
+			return 0, err
+		}
+	}
+	return max, nil
+}
+
+// wikiSystems returns lazy constructors for Our + the no-journal file
+// systems (§V-D skips Ext4.journal for read-only work and the DBMS
+// competitors entirely).
+func wikiSystems(devPages uint64, pool int) []func() (System, error) {
+	return append([]func() (System, error){func() (System, error) {
+		return NewOurSystem(VariantOur, OurOptions{DevPages: devPages, PoolPages: pool, LogPages: 1 << 12})
+	}}, fsMakers(devPages, pool, false, false)...)
+}
+
+// Fig8 regenerates Figure 8: Wikipedia reads with a hot cache, workers 1-16.
+func Fig8() (*Result, error) {
+	cfg := wiki.DefaultConfig()
+	cfg.Articles = 1200
+	cfg.TotalBytes = 48 << 20
+	cfg.MaxArticle = 2 << 20 // 16 workers x 2MB pins fit the pool
+	corpus := wiki.Generate(cfg)
+	devPages := uint64(1 << 15)
+	pool := 1 << 14 // 64MB pool > 48MB corpus: hot
+	makers := wikiSystems(devPages, pool)
+	workerCounts := []int{1, 2, 4, 8, 16}
+	res := &Result{
+		ID: "fig8", Title: "Wikipedia read-only, hot cache (view-weighted)",
+		Header: []string{"system"},
+		Notes:  []string{fmt.Sprintf("%d articles, %d MB corpus; reads weighted by views", cfg.Articles, corpus.TotalBytes()>>20)},
+	}
+	for _, w := range workerCounts {
+		res.Header = append(res.Header, fmt.Sprintf("%dw", w))
+	}
+	const opsPerWorker = 600
+	for _, mk := range makers {
+		runtime.GC()
+		sys, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		maxSz, err := loadWiki(sys, corpus)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{sys.Name()}
+		for _, workers := range workerCounts {
+			bufs := make([][]byte, workers)
+			for i := range bufs {
+				bufs[i] = make([]byte, maxSz)
+			}
+			picks := corpusPicks(corpus, workers*opsPerWorker)
+			tput, _, err := runModel(runCfg{workers: workers, ops: workers * opsPerWorker},
+				func(w int, m *simtime.Meter, i int) error {
+					a := picks[w*opsPerWorker+i]
+					_, err := sys.Get(m, corpus.Articles[a].Title, bufs[w][:corpus.Articles[a].Size])
+					return err
+				})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", sys.Name(), err)
+			}
+			row = append(row, fmtTput(tput))
+		}
+		res.Rows = append(res.Rows, row)
+		closeSystem(sys)
+	}
+	return res, nil
+}
+
+// corpusPicks pre-draws view-weighted article indices so worker goroutines
+// need no shared RNG.
+func corpusPicks(c *wiki.Corpus, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = c.PickByViews()
+	}
+	return out
+}
+
+// Fig9 regenerates Figure 9: Wikipedia reads from a cold cache; throughput
+// reported per fifth of the run as the cache warms (§V-D reports 2.9x at
+// the start growing to 3.9x at the end).
+func Fig9() (*Result, error) {
+	cfg := wiki.DefaultConfig()
+	cfg.Articles = 1200
+	cfg.TotalBytes = 48 << 20
+	cfg.MaxArticle = 2 << 20
+	corpus := wiki.Generate(cfg)
+	devPages := uint64(1 << 15)
+	pool := 1 << 13 // 32MB pool < 48MB corpus: the cache warms but stays pressured
+	makers := wikiSystems(devPages, pool)
+	const totalOps = 3000
+	const buckets = 5
+	res := &Result{
+		ID: "fig9", Title: "Wikipedia read-only, cold cache (throughput over time)",
+		Header: []string{"system", "t1", "t2", "t3", "t4", "t5"},
+		Notes:  []string{"columns are consecutive fifths of the run; cache starts empty"},
+	}
+	for _, mk := range makers {
+		runtime.GC()
+		sys, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		maxSz, err := loadWiki(sys, corpus)
+		if err != nil {
+			return nil, err
+		}
+		// Empty every cache.
+		switch v := sys.(type) {
+		case *OurSystem:
+			if err := v.EvictAll(nil); err != nil {
+				return nil, err
+			}
+		case *FSSystem:
+			if err := v.K.DropCaches(nil); err != nil {
+				return nil, err
+			}
+		}
+		buf := make([]byte, maxSz)
+		picks := corpusPicks(corpus, totalOps)
+		row := []string{sys.Name()}
+		per := totalOps / buckets
+		for b := 0; b < buckets; b++ {
+			tput, _, err := runOps(1, per, func(_ int, m *simtime.Meter, i int) error {
+				a := picks[b*per+i]
+				_, err := sys.Get(m, corpus.Articles[a].Title, buf[:corpus.Articles[a].Size])
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", sys.Name(), err)
+			}
+			row = append(row, fmtTput(tput))
+		}
+		res.Rows = append(res.Rows, row)
+		closeSystem(sys)
+	}
+	return res, nil
+}

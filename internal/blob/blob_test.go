@@ -1,0 +1,429 @@
+package blob
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blobdb/internal/buffer"
+	"blobdb/internal/extent"
+	"blobdb/internal/storage"
+)
+
+const ps = storage.DefaultPageSize
+
+// env bundles a manager over a fresh device for tests.
+type env struct {
+	dev   *storage.MemDevice
+	pool  buffer.Pool
+	alloc *extent.Allocator
+	mgr   *Manager
+}
+
+func newEnv(t testing.TB, devPages uint64, poolPages int, ht bool) *env {
+	t.Helper()
+	dev := storage.NewMemDevice(ps, devPages, nil)
+	var pool buffer.Pool
+	if ht {
+		pool = buffer.NewHTPool(dev, poolPages)
+	} else {
+		pool = buffer.NewVMPool(dev, poolPages)
+	}
+	alloc := extent.NewAllocator(extent.NewTierTable(10), 0, storage.PID(devPages))
+	alias := buffer.NewAliasManager(ps, 1024, poolPages)
+	return &env{dev: dev, pool: pool, alloc: alloc, mgr: NewManager(pool, alloc, alias)}
+}
+
+// commit emulates the transaction layer's happy path: flush then release.
+func commit(t testing.TB, p *Pending) {
+	t.Helper()
+	if err := p.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestStateEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(size uint64, sha [32]byte, prefix [32]byte, tailPID uint64, tailPages uint16, extents []uint64) bool {
+		st := &State{Size: size, SHA256: sha, Prefix: prefix}
+		st.Tail = extent.Extent{PID: storage.PID(tailPID), Pages: uint64(tailPages)}
+		for _, e := range extents {
+			st.Extents = append(st.Extents, storage.PID(e))
+		}
+		got, err := Decode(st.Encode())
+		if err != nil {
+			return false
+		}
+		if got.Size != st.Size || got.SHA256 != st.SHA256 || got.Prefix != st.Prefix ||
+			got.Tail != st.Tail || len(got.Extents) != len(st.Extents) {
+			return false
+		}
+		for i := range st.Extents {
+			if got.Extents[i] != st.Extents[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil decode should fail")
+	}
+	st := &State{Size: 10, Extents: []storage.PID{1, 2}}
+	enc := st.Encode()
+	if _, err := Decode(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated decode should fail")
+	}
+	enc2 := append([]byte(nil), enc...)
+	enc2 = append(enc2, 0xFF) // trailing garbage
+	if _, err := Decode(enc2); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+func TestAllocateReadRoundtrip(t *testing.T) {
+	for _, ht := range []bool{false, true} {
+		name := map[bool]string{false: "vmcache", true: "ht"}[ht]
+		t.Run(name, func(t *testing.T) {
+			e := newEnv(t, 1<<14, 1<<12, ht)
+			rng := rand.New(rand.NewSource(7))
+			for _, size := range []int{0, 1, 100, ps, ps + 1, 6 * ps, 100 << 10, 1 << 20} {
+				data := randBytes(rng, size)
+				st, pending, _, err := e.mgr.Allocate(nil, data)
+				if err != nil {
+					t.Fatalf("size %d: %v", size, err)
+				}
+				commit(t, pending)
+				if st.Size != uint64(size) {
+					t.Fatalf("Size = %d, want %d", st.Size, size)
+				}
+				if st.SHA256 != sha256.Sum256(data) {
+					t.Fatalf("size %d: SHA mismatch", size)
+				}
+				wantPrefix := size
+				if wantPrefix > PrefixLen {
+					wantPrefix = PrefixLen
+				}
+				if !bytes.Equal(st.PrefixBytes(), data[:wantPrefix]) {
+					t.Fatalf("size %d: prefix mismatch", size)
+				}
+				got, err := e.mgr.ReadAll(nil, st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("size %d: content mismatch", size)
+				}
+			}
+		})
+	}
+}
+
+func TestAllocateWritesOnceAtFlush(t *testing.T) {
+	// The single-flush property (§III-C): allocation writes nothing; Flush
+	// writes the blob bytes exactly once.
+	e := newEnv(t, 1<<14, 1<<12, false)
+	data := randBytes(rand.New(rand.NewSource(1)), 300<<10) // 300KB
+	st, pending, _, err := e.mgr.Allocate(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := e.dev.Stats().BytesWritten(); w != 0 {
+		t.Fatalf("allocation wrote %d bytes before flush", w)
+	}
+	commit(t, pending)
+	wrote := e.dev.Stats().BytesWritten()
+	pages := int64(extent.PagesFor(uint64(len(data)), ps))
+	if wrote != pages*ps {
+		t.Errorf("flush wrote %d bytes, want exactly %d (dirty pages only, once)", wrote, pages*ps)
+	}
+	// Reading back must not write.
+	if _, err := e.mgr.ReadAll(nil, st); err != nil {
+		t.Fatal(err)
+	}
+	if e.dev.Stats().BytesWritten() != wrote {
+		t.Error("read caused writes")
+	}
+}
+
+func TestExtentsSurviveEvictionAfterFlush(t *testing.T) {
+	e := newEnv(t, 1<<16, 512, false) // small pool forces eviction
+	rng := rand.New(rand.NewSource(2))
+	data := randBytes(rng, 200<<10)
+	st, pending, _, err := e.mgr.Allocate(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, pending)
+	if err := e.pool.EvictAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.pool.ResidentPages() != 0 {
+		t.Fatal("pool not empty")
+	}
+	got, err := e.mgr.ReadAll(nil, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("content lost after eviction (cold read)")
+	}
+	// A committed blob's extents are clean: evicting them again must not
+	// write anything (the "BLOB eviction" claim of §III-C).
+	w := e.dev.Stats().BytesWritten()
+	if err := e.pool.EvictAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.dev.Stats().BytesWritten() != w {
+		t.Error("clean extents were written back on eviction")
+	}
+}
+
+func TestTailExtentAllocation(t *testing.T) {
+	e := newEnv(t, 1<<14, 1<<12, false)
+	e.mgr.UseTail = true
+	// 6 pages: Figure 1(b) — extents of 1+2 pages plus a 3-page tail.
+	data := randBytes(rand.New(rand.NewSource(3)), 6*ps)
+	st, pending, _, err := e.mgr.Allocate(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, pending)
+	if len(st.Extents) != 2 || !st.HasTail() || st.Tail.Pages != 3 {
+		t.Fatalf("state = %d extents, tail %d pages; want 2 extents + 3-page tail",
+			len(st.Extents), st.Tail.Pages)
+	}
+	got, err := e.mgr.ReadAll(nil, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("tail-extent blob content mismatch")
+	}
+	// Tail extents use exactly the needed pages: no internal fragmentation.
+	if st.TotalPages(e.alloc.Tiers()) != 6 {
+		t.Errorf("TotalPages = %d, want 6", st.TotalPages(e.alloc.Tiers()))
+	}
+}
+
+func TestDeleteFreesExtents(t *testing.T) {
+	e := newEnv(t, 1<<14, 1<<12, false)
+	data := randBytes(rand.New(rand.NewSource(4)), 50<<10)
+	st, pending, _, err := e.mgr.Allocate(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, pending)
+	live := e.alloc.Stats().LivePages
+	specs := e.mgr.Delete(st)
+	e.mgr.ApplyFrees(specs)
+	s := e.alloc.Stats()
+	if s.LivePages != live-st.TotalPages(e.alloc.Tiers()) {
+		t.Errorf("LivePages = %d after delete", s.LivePages)
+	}
+	// A new allocation of the same size must reuse the freed extents.
+	_, pending2, _, err := e.mgr.Allocate(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, pending2)
+	if e.alloc.Stats().Reuses == 0 {
+		t.Error("expected extent reuse after delete")
+	}
+}
+
+func TestDiscardAbortsAllocation(t *testing.T) {
+	e := newEnv(t, 1<<14, 1<<12, false)
+	data := randBytes(rand.New(rand.NewSource(5)), 30<<10)
+	_, pending, newExt, err := e.mgr.Allocate(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending.Discard(newExt)
+	if got := e.alloc.Stats().LivePages; got != 0 {
+		t.Errorf("LivePages = %d after abort, want 0", got)
+	}
+	if e.pool.ResidentPages() != 0 {
+		t.Error("aborted extents still resident")
+	}
+	if e.dev.Stats().BytesWritten() != 0 {
+		t.Error("aborted allocation reached the device")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	for _, useTail := range []bool{false, true} {
+		name := map[bool]string{false: "tier", true: "tail"}[useTail]
+		t.Run(name, func(t *testing.T) {
+			e := newEnv(t, 1<<15, 1<<13, false)
+			e.mgr.UseTail = useTail
+			rng := rand.New(rand.NewSource(6))
+			content := randBytes(rng, 10<<10)
+			st, pending, _, err := e.mgr.Allocate(nil, content)
+			if err != nil {
+				t.Fatal(err)
+			}
+			commit(t, pending)
+
+			for round := 0; round < 6; round++ {
+				extra := randBytes(rng, 1+rng.Intn(60<<10))
+				ns, pending, frees, err := e.mgr.Grow(nil, st, extra)
+				if err != nil {
+					t.Fatal(err)
+				}
+				commit(t, pending)
+				e.mgr.ApplyFrees(frees)
+				content = append(content, extra...)
+				st = ns
+
+				if st.Size != uint64(len(content)) {
+					t.Fatalf("round %d: size %d, want %d", round, st.Size, len(content))
+				}
+				if st.SHA256 != sha256.Sum256(content) {
+					t.Fatalf("round %d: resumed SHA mismatch", round)
+				}
+				got, err := e.mgr.ReadAll(nil, st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, content) {
+					t.Fatalf("round %d: content mismatch", round)
+				}
+			}
+		})
+	}
+}
+
+func TestGrowOnlyWritesDirtyPages(t *testing.T) {
+	// Figure 3: appending writes only the dirty pages of touched extents.
+	e := newEnv(t, 1<<14, 1<<12, false)
+	content := randBytes(rand.New(rand.NewSource(8)), 2*ps)
+	st, pending, _, err := e.mgr.Allocate(nil, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, pending)
+	before := e.dev.Stats().BytesWritten()
+
+	extra := randBytes(rand.New(rand.NewSource(9)), 4*ps)
+	ns, pending2, frees, err := e.mgr.Grow(nil, st, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, pending2)
+	e.mgr.ApplyFrees(frees)
+	wrote := e.dev.Stats().BytesWritten() - before
+	// 2-page blob occupies tiers 0(1)+1(2): 1 page free. Growth fills that
+	// page and allocates tier 2 (4 pages), writing 3 dirty pages there:
+	// total 4 pages written, not the whole 7-page sequence.
+	if wrote != 4*ps {
+		t.Errorf("grow wrote %d bytes, want %d (dirty pages only)", wrote, 4*ps)
+	}
+	got, _ := e.mgr.ReadAll(nil, ns)
+	if !bytes.Equal(got, append(content, extra...)) {
+		t.Error("grown content mismatch")
+	}
+}
+
+func TestGrowFromEmpty(t *testing.T) {
+	e := newEnv(t, 1<<14, 1<<12, false)
+	st, pending, _, err := e.mgr.Allocate(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, pending)
+	if st.Size != 0 || len(st.Extents) != 0 {
+		t.Fatalf("empty blob state = %+v", st)
+	}
+	data := []byte("hello grown world")
+	ns, pending2, frees, err := e.mgr.Grow(nil, st, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, pending2)
+	e.mgr.ApplyFrees(frees)
+	got, err := e.mgr.ReadAll(nil, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("grow from empty mismatch")
+	}
+	if ns.SHA256 != sha256.Sum256(data) {
+		t.Error("SHA mismatch after grow from empty")
+	}
+}
+
+func TestGrowQuick(t *testing.T) {
+	e := newEnv(t, 1<<15, 1<<13, false)
+	f := func(first, second, third []byte) bool {
+		st, pending, _, err := e.mgr.Allocate(nil, first)
+		if err != nil {
+			return false
+		}
+		commit(t, pending)
+		content := append([]byte(nil), first...)
+		for _, extra := range [][]byte{second, third} {
+			ns, p2, frees, err := e.mgr.Grow(nil, st, extra)
+			if err != nil {
+				return false
+			}
+			commit(t, p2)
+			e.mgr.ApplyFrees(frees)
+			content = append(content, extra...)
+			st = ns
+		}
+		if st.SHA256 != sha256.Sum256(content) {
+			return false
+		}
+		got, err := e.mgr.ReadAll(nil, st)
+		if err != nil {
+			return false
+		}
+		ok := bytes.Equal(got, content)
+		e.mgr.ApplyFrees(e.mgr.Delete(st))
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStream(t *testing.T) {
+	e := newEnv(t, 1<<14, 1<<12, false)
+	data := randBytes(rand.New(rand.NewSource(10)), 123_457)
+	st, pending, _, err := e.mgr.Allocate(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, pending)
+	var got []byte
+	if err := e.mgr.Stream(nil, st, func(chunk []byte) bool {
+		got = append(got, chunk...)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("streamed content mismatch")
+	}
+	// Early stop.
+	n := 0
+	e.mgr.Stream(nil, st, func(chunk []byte) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("visit called %d times after stop, want 1", n)
+	}
+}

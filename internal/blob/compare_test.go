@@ -1,0 +1,161 @@
+package blob
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"blobdb/internal/simtime"
+)
+
+// allocBlob allocates and commits a blob, returning its state.
+func allocBlob(t testing.TB, e *env, data []byte) *State {
+	t.Helper()
+	st, pending, _, err := e.mgr.Allocate(nil, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, pending)
+	return st
+}
+
+func TestEqualByHash(t *testing.T) {
+	e := newEnv(t, 1<<14, 1<<12, false)
+	a := allocBlob(t, e, []byte("same content"))
+	b := allocBlob(t, e, []byte("same content"))
+	c := allocBlob(t, e, []byte("other content"))
+	if !EqualByHash(a, b) {
+		t.Error("identical blobs must hash-compare equal")
+	}
+	if EqualByHash(a, c) {
+		t.Error("different blobs must not hash-compare equal")
+	}
+}
+
+func TestCompareMatchesBytesCompare(t *testing.T) {
+	e := newEnv(t, 1<<15, 1<<13, false)
+	rng := rand.New(rand.NewSource(11))
+	mk := func(n int, seed byte) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = seed + byte(i%7)
+		}
+		return b
+	}
+	cases := [][2][]byte{
+		{[]byte("abc"), []byte("abd")},
+		{[]byte("abc"), []byte("abc")},
+		{[]byte("abc"), []byte("abcd")},           // prefix relation, both < PrefixLen
+		{mk(100, 1), mk(100, 2)},                  // differ within prefix
+		{mk(50_000, 1), mk(50_000, 1)},            // equal, multi-extent
+		{mk(50_000, 1), append(mk(50_000, 1), 9)}, // prefix relation, multi-extent
+		{nil, []byte("x")},
+		{nil, nil},
+	}
+	// Differ only after the 32-byte prefix (forces incremental compare).
+	longA := mk(40_000, 3)
+	longB := append([]byte(nil), longA...)
+	longB[33_000] ^= 0xFF
+	cases = append(cases, [2][]byte{longA, longB})
+	// Differ in the last byte of a multi-extent blob.
+	lastA := mk(60_000, 4)
+	lastB := append([]byte(nil), lastA...)
+	lastB[len(lastB)-1] ^= 1
+	cases = append(cases, [2][]byte{lastA, lastB})
+	// Random pairs.
+	for i := 0; i < 10; i++ {
+		cases = append(cases, [2][]byte{
+			randBytes(rng, rng.Intn(30_000)),
+			randBytes(rng, rng.Intn(30_000)),
+		})
+	}
+
+	for i, c := range cases {
+		sa := allocBlob(t, e, c[0])
+		sb := allocBlob(t, e, c[1])
+		got, err := e.mgr.Compare(nil, sa, sb)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		want := bytes.Compare(c[0], c[1])
+		if sign(got) != want {
+			t.Errorf("case %d: Compare = %d, want sign %d", i, got, want)
+		}
+		// Antisymmetry.
+		rev, _ := e.mgr.Compare(nil, sb, sa)
+		if sign(rev) != -want {
+			t.Errorf("case %d: reverse Compare = %d, want sign %d", i, rev, -want)
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestComparePrefixShortCircuits(t *testing.T) {
+	// Two large blobs that differ inside the 32-byte prefix must be ordered
+	// without any extent I/O.
+	e := newEnv(t, 1<<15, 1<<13, false)
+	a := make([]byte, 100<<10)
+	b := make([]byte, 100<<10)
+	a[10], b[10] = 1, 2
+	sa := allocBlob(t, e, a)
+	sb := allocBlob(t, e, b)
+	if err := e.pool.EvictAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	reads := e.dev.Stats().ReadOps()
+	got, err := e.mgr.Compare(nil, sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= 0 {
+		t.Errorf("Compare = %d, want < 0", got)
+	}
+	if e.dev.Stats().ReadOps() != reads {
+		t.Error("prefix-deciding compare touched the device")
+	}
+}
+
+func TestCompareIncrementalPinsOneExtentAtATime(t *testing.T) {
+	// During an incremental compare of two multi-extent blobs the pool must
+	// never hold more than a couple of extents per stream.
+	e := newEnv(t, 1<<15, 1<<13, false)
+	data := make([]byte, 200<<10) // tiers 0..5, ~6 extents
+	sa := allocBlob(t, e, data)
+	db := append([]byte(nil), data...)
+	db[len(db)-1] = 1
+	sb := allocBlob(t, e, db)
+	if err := e.pool.EvictAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.mgr.Compare(nil, sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= 0 {
+		t.Errorf("Compare = %d, want < 0", got)
+	}
+}
+
+func TestCompareChargesTLBNothing(t *testing.T) {
+	// The comparator must not use aliasing areas (no TLB shootdowns).
+	e := newEnv(t, 1<<15, 1<<13, false)
+	sa := allocBlob(t, e, make([]byte, 64<<10))
+	sb := allocBlob(t, e, bytes.Repeat([]byte{1}, 64<<10))
+	m := simtime.NewMeter()
+	if _, err := e.mgr.Compare(m, sa, sb); err != nil {
+		t.Fatal(err)
+	}
+	if m.Elapsed() != 0 {
+		t.Errorf("in-memory compare charged %v", m.Elapsed())
+	}
+}

@@ -1,0 +1,237 @@
+package blob
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"blobdb/internal/extent"
+	"blobdb/internal/sha256x"
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+)
+
+func newHasher() *sha256x.Fast { return sha256x.BestHasher() }
+
+// UpdateScheme selects how an in-range BLOB update is performed (§III-D
+// "Updating a BLOB").
+type UpdateScheme int
+
+const (
+	// UpdateAuto evaluates the cost of both schemes and picks the cheaper:
+	// delta writes the new data twice (WAL + in-place), clone rewrites the
+	// affected extents once.
+	UpdateAuto UpdateScheme = iota
+	// UpdateDelta logs a delta record and updates the extents in place.
+	UpdateDelta
+	// UpdateClone copies the affected extents to fresh extents of the same
+	// tier and redirects the Blob State.
+	UpdateClone
+)
+
+// UpdateResult describes a performed update.
+type UpdateResult struct {
+	State   *State       // the new Blob State
+	Pending *Pending     // extents to flush at commit
+	Frees   []FreeSpec   // old extents to free at commit (clone scheme)
+	Delta   []byte       // WAL delta payload (delta scheme), nil otherwise
+	Scheme  UpdateScheme // the scheme actually used (resolved from Auto)
+}
+
+// EncodeDelta frames a delta payload for the WAL: offset + new bytes.
+func EncodeDelta(off uint64, data []byte) []byte {
+	out := make([]byte, 8+len(data))
+	binary.LittleEndian.PutUint64(out, off)
+	copy(out[8:], data)
+	return out
+}
+
+// DecodeDelta parses a delta payload.
+func DecodeDelta(p []byte) (off uint64, data []byte, err error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("blob: delta of %d bytes: %w", len(p), ErrBadState)
+	}
+	return binary.LittleEndian.Uint64(p), p[8:], nil
+}
+
+// extentRange describes where extent i sits in the BLOB's byte space.
+type extentRange struct {
+	idx        int // extent index; len(Extents) = tail
+	pid        storage.PID
+	pages      uint64
+	startByte  uint64
+	lengthByte uint64 // capacity bytes of the extent
+}
+
+func (m *Manager) ranges(st *State) []extentRange {
+	tiers := m.Alloc.Tiers()
+	ps := uint64(m.Pool.PageSize())
+	var out []extentRange
+	var pos uint64
+	for i, pid := range st.Extents {
+		n := tiers.Size(i)
+		out = append(out, extentRange{idx: i, pid: pid, pages: n, startByte: pos, lengthByte: n * ps})
+		pos += n * ps
+	}
+	if st.HasTail() {
+		out = append(out, extentRange{
+			idx: len(st.Extents), pid: st.Tail.PID, pages: st.Tail.Pages,
+			startByte: pos, lengthByte: st.Tail.Pages * ps,
+		})
+	}
+	return out
+}
+
+// Update overwrites [off, off+len(data)) of the BLOB. The range must lie
+// within the current size (growth is Grow's job). It returns the new state
+// and the commit work; the caller logs either the Delta payload (delta
+// scheme) or just the new Blob State (clone scheme) before flushing.
+func (m *Manager) Update(mt *simtime.Meter, st *State, off uint64, data []byte, scheme UpdateScheme) (*UpdateResult, error) {
+	if off+uint64(len(data)) > st.Size {
+		return nil, fmt.Errorf("blob: update [%d,%d) exceeds size %d", off, off+uint64(len(data)), st.Size)
+	}
+	if len(data) == 0 {
+		return &UpdateResult{State: st.Clone(), Pending: &Pending{mgr: m}, Scheme: scheme}, nil
+	}
+	end := off + uint64(len(data))
+	var affected []extentRange
+	for _, r := range m.ranges(st) {
+		if r.startByte < end && off < r.startByte+r.lengthByte {
+			affected = append(affected, r)
+		}
+	}
+	if scheme == UpdateAuto {
+		deltaCost := 2 * uint64(len(data))
+		var cloneCost uint64
+		for _, r := range affected {
+			cloneCost += r.lengthByte
+		}
+		if deltaCost <= cloneCost {
+			scheme = UpdateDelta
+		} else {
+			scheme = UpdateClone
+		}
+	}
+	switch scheme {
+	case UpdateDelta:
+		return m.updateDelta(mt, st, off, data, affected)
+	case UpdateClone:
+		return m.updateClone(mt, st, off, data, affected)
+	default:
+		return nil, fmt.Errorf("blob: unknown update scheme %d", scheme)
+	}
+}
+
+func (m *Manager) updateDelta(mt *simtime.Meter, st *State, off uint64, data []byte, affected []extentRange) (*UpdateResult, error) {
+	ns := st.Clone()
+	pending := &Pending{mgr: m}
+	for _, r := range affected {
+		f, err := m.Pool.FixExtent(mt, r.pid, int(r.pages))
+		if err != nil {
+			pending.Discard(nil)
+			return nil, err
+		}
+		pending.Frames = append(pending.Frames, f)
+		f.SetPreventEvict(true)
+		// The slice of data that lands in this extent.
+		lo := off
+		if r.startByte > lo {
+			lo = r.startByte
+		}
+		hi := off + uint64(len(data))
+		if e := r.startByte + r.lengthByte; e < hi {
+			hi = e
+		}
+		f.WriteAt(data[lo-off:hi-off], int(lo-r.startByte))
+	}
+	if err := m.finishUpdate(mt, ns, off, data); err != nil {
+		pending.Discard(nil)
+		return nil, err
+	}
+	return &UpdateResult{
+		State:   ns,
+		Pending: pending,
+		Delta:   EncodeDelta(off, data),
+		Scheme:  UpdateDelta,
+	}, nil
+}
+
+func (m *Manager) updateClone(mt *simtime.Meter, st *State, off uint64, data []byte, affected []extentRange) (*UpdateResult, error) {
+	ns := st.Clone()
+	pending := &Pending{mgr: m}
+	var frees []FreeSpec
+	var newlyAllocated []FreeSpec
+	fail := func(err error) (*UpdateResult, error) {
+		pending.Discard(newlyAllocated)
+		return nil, err
+	}
+	for _, r := range affected {
+		isTail := r.idx == len(st.Extents)
+		var clonePID storage.PID
+		var err error
+		if isTail {
+			clonePID, err = m.Alloc.AllocTail(r.pages)
+		} else {
+			clonePID, err = m.Alloc.AllocExtent(r.idx)
+		}
+		if err != nil {
+			return fail(fmt.Errorf("blob: clone extent %d: %w", r.idx, err))
+		}
+		spec := FreeSpec{Tier: r.idx, PID: clonePID}
+		if isTail {
+			spec = FreeSpec{Tier: -1, PID: clonePID, Pages: r.pages}
+		}
+		newlyAllocated = append(newlyAllocated, spec)
+
+		clone, err := m.Pool.CreateExtent(mt, clonePID, int(r.pages))
+		if err != nil {
+			m.Alloc.FreeExtent(r.idx, clonePID)
+			return fail(err)
+		}
+		pending.Frames = append(pending.Frames, clone)
+
+		// Copy the old content, then overlay the new bytes — this is the
+		// "old data written one more time" cost of the clone scheme.
+		old, err := m.Pool.FixExtent(mt, r.pid, int(r.pages))
+		if err != nil {
+			return fail(err)
+		}
+		tmp := make([]byte, r.lengthByte)
+		old.ReadAt(tmp, 0)
+		old.Release()
+		lo := off
+		if r.startByte > lo {
+			lo = r.startByte
+		}
+		hi := off + uint64(len(data))
+		if e := r.startByte + r.lengthByte; e < hi {
+			hi = e
+		}
+		copy(tmp[lo-r.startByte:], data[lo-off:hi-off])
+		clone.WriteAt(tmp, 0)
+
+		if isTail {
+			ns.Tail = extent.Extent{PID: clonePID, Pages: r.pages}
+			frees = append(frees, FreeSpec{Tier: -1, PID: r.pid, Pages: r.pages})
+		} else {
+			ns.Extents[r.idx] = clonePID
+			frees = append(frees, FreeSpec{Tier: r.idx, PID: r.pid})
+		}
+	}
+	if err := m.finishUpdate(mt, ns, off, data); err != nil {
+		return fail(err)
+	}
+	pending.News = newlyAllocated
+	return &UpdateResult{State: ns, Pending: pending, Frees: frees, Scheme: UpdateClone}, nil
+}
+
+// finishUpdate refreshes the derived Blob State fields after content
+// changed: prefix and the full hash (an arbitrary in-place change
+// invalidates the resumable intermediate state, so the hash is recomputed
+// by streaming — the price §III-D accepts for updates).
+func (m *Manager) finishUpdate(mt *simtime.Meter, ns *State, off uint64, data []byte) error {
+	if off < PrefixLen {
+		copy(ns.Prefix[off:], data)
+	}
+	_, err := m.hashContent(mt, ns)
+	return err
+}

@@ -1,0 +1,209 @@
+package blob
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+)
+
+func TestUpdateDeltaInPlace(t *testing.T) {
+	e := newEnv(t, 1<<15, 1<<13, false)
+	rng := rand.New(rand.NewSource(20))
+	content := randBytes(rng, 40<<10)
+	st := allocBlob(t, e, content)
+
+	patch := []byte("PATCHED-REGION")
+	off := uint64(10_000)
+	res, err := e.mgr.Update(nil, st, off, patch, UpdateDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, res.Pending)
+	e.mgr.ApplyFrees(res.Frees)
+
+	copy(content[off:], patch)
+	got, err := e.mgr.ReadAll(nil, res.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("delta update content mismatch")
+	}
+	if res.State.SHA256 != sha256.Sum256(content) {
+		t.Error("SHA not refreshed after update")
+	}
+	// Delta scheme: same extents, delta payload for the WAL present.
+	if len(res.Frees) != 0 {
+		t.Error("delta update should free nothing")
+	}
+	doff, ddata, err := DecodeDelta(res.Delta)
+	if err != nil || doff != off || !bytes.Equal(ddata, patch) {
+		t.Errorf("delta payload = (%d, %q, %v)", doff, ddata, err)
+	}
+	if res.State.Extents[0] != st.Extents[0] {
+		t.Error("delta update must keep the same extents")
+	}
+}
+
+func TestUpdateCloneRedirects(t *testing.T) {
+	e := newEnv(t, 1<<15, 1<<13, false)
+	rng := rand.New(rand.NewSource(21))
+	content := randBytes(rng, 40<<10)
+	st := allocBlob(t, e, content)
+
+	// Overwrite a whole middle region spanning extents.
+	patch := randBytes(rng, 20<<10)
+	off := uint64(5 << 10)
+	res, err := e.mgr.Update(nil, st, off, patch, UpdateClone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, res.Pending)
+	e.mgr.ApplyFrees(res.Frees)
+
+	copy(content[off:], patch)
+	got, err := e.mgr.ReadAll(nil, res.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("clone update content mismatch")
+	}
+	if len(res.Frees) == 0 {
+		t.Error("clone update should free the old extents")
+	}
+	if res.Delta != nil {
+		t.Error("clone update should not produce a delta payload")
+	}
+	// At least one extent pointer must have changed.
+	changed := false
+	for i := range st.Extents {
+		if res.State.Extents[i] != st.Extents[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("clone update did not redirect any extent")
+	}
+}
+
+func TestUpdateAutoChoosesScheme(t *testing.T) {
+	e := newEnv(t, 1<<15, 1<<13, false)
+	content := make([]byte, 100<<10)
+	st := allocBlob(t, e, content)
+
+	// Tiny patch: delta (2x16 bytes) is far cheaper than cloning an extent.
+	res, err := e.mgr.Update(nil, st, 50<<10, make([]byte, 16), UpdateAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != UpdateDelta {
+		t.Errorf("tiny patch chose %v, want delta", res.Scheme)
+	}
+	commit(t, res.Pending)
+	e.mgr.ApplyFrees(res.Frees)
+
+	// Full overwrite: delta writes 2x the blob, clone writes ~1x.
+	res2, err := e.mgr.Update(nil, res.State, 0, make([]byte, 100<<10), UpdateAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Scheme != UpdateClone {
+		t.Errorf("full overwrite chose %v, want clone", res2.Scheme)
+	}
+	commit(t, res2.Pending)
+	e.mgr.ApplyFrees(res2.Frees)
+}
+
+func TestUpdateOutOfRange(t *testing.T) {
+	e := newEnv(t, 1<<14, 1<<12, false)
+	st := allocBlob(t, e, make([]byte, 1000))
+	if _, err := e.mgr.Update(nil, st, 900, make([]byte, 200), UpdateAuto); err == nil {
+		t.Error("out-of-range update should fail")
+	}
+}
+
+func TestUpdateEmpty(t *testing.T) {
+	e := newEnv(t, 1<<14, 1<<12, false)
+	st := allocBlob(t, e, []byte("abc"))
+	res, err := e.mgr.Update(nil, st, 1, nil, UpdateAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State.Size != 3 || len(res.Pending.Frames) != 0 {
+		t.Error("empty update should be a no-op")
+	}
+	res.Pending.Release()
+}
+
+func TestUpdatePrefixRefreshed(t *testing.T) {
+	e := newEnv(t, 1<<14, 1<<12, false)
+	st := allocBlob(t, e, bytes.Repeat([]byte{'a'}, 10_000))
+	res, err := e.mgr.Update(nil, st, 0, []byte("ZZZ"), UpdateDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, res.Pending)
+	if !bytes.HasPrefix(res.State.PrefixBytes(), []byte("ZZZ")) {
+		t.Errorf("prefix = %q, want ZZZ...", res.State.PrefixBytes()[:8])
+	}
+}
+
+func TestUpdateTailExtentClone(t *testing.T) {
+	e := newEnv(t, 1<<14, 1<<12, false)
+	e.mgr.UseTail = true
+	content := randBytes(rand.New(rand.NewSource(22)), 6*ps) // 1+2 extents + 3-page tail
+	st := allocBlob(t, e, content)
+	if !st.HasTail() {
+		t.Fatal("expected tail extent")
+	}
+	// Update the last bytes (inside the tail) with the clone scheme.
+	patch := []byte("tail-patch")
+	off := st.Size - uint64(len(patch))
+	res, err := e.mgr.Update(nil, st, off, patch, UpdateClone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(t, res.Pending)
+	e.mgr.ApplyFrees(res.Frees)
+	if res.State.Tail.PID == st.Tail.PID {
+		t.Error("tail clone should move the tail extent")
+	}
+	copy(content[off:], patch)
+	got, _ := e.mgr.ReadAll(nil, res.State)
+	if !bytes.Equal(got, content) {
+		t.Error("tail clone update content mismatch")
+	}
+}
+
+func TestUpdateQuickAgainstReference(t *testing.T) {
+	e := newEnv(t, 1<<15, 1<<13, false)
+	rng := rand.New(rand.NewSource(23))
+	content := randBytes(rng, 64<<10)
+	st := allocBlob(t, e, content)
+	for i := 0; i < 25; i++ {
+		n := 1 + rng.Intn(8<<10)
+		off := uint64(rng.Intn(len(content) - n))
+		patch := randBytes(rng, n)
+		scheme := UpdateScheme(rng.Intn(3))
+		res, err := e.mgr.Update(nil, st, off, patch, scheme)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		commit(t, res.Pending)
+		e.mgr.ApplyFrees(res.Frees)
+		copy(content[off:], patch)
+		st = res.State
+		if st.SHA256 != sha256.Sum256(content) {
+			t.Fatalf("iter %d (scheme %v): SHA mismatch", i, res.Scheme)
+		}
+	}
+	got, err := e.mgr.ReadAll(nil, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("final content mismatch after random updates")
+	}
+}

@@ -1,0 +1,473 @@
+// Package btree implements the B-tree used for relations and secondary
+// indexes, including the Blob State index of §III-F.
+//
+// Keys and values are byte slices; ordering comes from a caller-supplied
+// comparator, so the same structure serves ordinary tuples, Blob State keys
+// with the incremental comparator, and expression (semantic) indexes.
+// Leaves apply prefix compression (§V-H: "we implement prefix compression
+// which is preferable to prefix index"): each node stores the common prefix
+// of its keys once and keys as suffixes. Node capacity is a byte budget of
+// one page, so the leaf count and size statistics reported for Table III
+// reflect what a paged implementation would allocate.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Compare is a three-way comparator over full (decompressed) keys.
+type Compare func(a, b []byte) int
+
+// BytesCompare is the default comparator.
+func BytesCompare(a, b []byte) int { return bytes.Compare(a, b) }
+
+// DefaultNodeSize is the byte budget per node, matching the 4 KB page.
+const DefaultNodeSize = 4096
+
+// perKeyOverhead approximates the slot/offset bookkeeping a paged node
+// stores per entry.
+const perKeyOverhead = 8
+
+// Tree is a B-tree. Not safe for concurrent mutation; wrap with a lock at
+// the caller (the engine serializes structure modifications per relation).
+type Tree struct {
+	cmp      Compare
+	root     node
+	height   int
+	len      int
+	nodeSize int
+	leaves   int
+	inners   int
+}
+
+type node interface {
+	isLeaf() bool
+}
+
+func (*leaf) isLeaf() bool  { return true }
+func (*inner) isLeaf() bool { return false }
+
+// leaf stores full entries with prefix compression.
+type leaf struct {
+	prefix  []byte   // common prefix of all keys in the node
+	keys    [][]byte // key suffixes (after prefix)
+	vals    [][]byte
+	next    *leaf // sibling link for range scans
+	payload int   // cached sum of suffix+value+overhead bytes
+}
+
+// inner stores separator keys (full, uncompressed) and children.
+type inner struct {
+	keys     [][]byte // keys[i] = smallest key in children[i+1]
+	children []node
+}
+
+// New creates a tree with the given comparator (nil means bytewise).
+func New(cmp Compare) *Tree {
+	if cmp == nil {
+		cmp = BytesCompare
+	}
+	return &Tree{cmp: cmp, root: &leaf{}, height: 1, nodeSize: DefaultNodeSize, leaves: 1}
+}
+
+// NewWithNodeSize creates a tree with a custom node byte budget.
+func NewWithNodeSize(cmp Compare, nodeSize int) *Tree {
+	t := New(cmp)
+	if nodeSize < 64 {
+		nodeSize = 64
+	}
+	t.nodeSize = nodeSize
+	return t
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.len }
+
+// Height returns the tree height (1 for a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// LeafCount returns the number of leaf nodes (Table III "# leaf").
+func (t *Tree) LeafCount() int { return t.leaves }
+
+// NodeCount returns the total number of nodes.
+func (t *Tree) NodeCount() int { return t.leaves + t.inners }
+
+// SizeBytes reports the storage footprint as a paged implementation would
+// allocate it: one node-size page per node (Table III "size").
+func (t *Tree) SizeBytes() int { return t.NodeCount() * t.nodeSize }
+
+// fullKey materializes the full key of leaf entry i.
+func (l *leaf) fullKey(i int, scratch []byte) []byte {
+	if len(l.prefix) == 0 {
+		return l.keys[i]
+	}
+	scratch = append(scratch[:0], l.prefix...)
+	return append(scratch, l.keys[i]...)
+}
+
+// search returns the position of key in the leaf and whether it was found.
+func (t *Tree) searchLeaf(l *leaf, key []byte) (int, bool) {
+	var scratch []byte
+	lo, hi := 0, len(l.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c := t.cmp(l.fullKey(mid, scratch), key)
+		switch {
+		case c < 0:
+			lo = mid + 1
+		case c > 0:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return lo, false
+}
+
+// childIndex returns the child to descend into for key.
+func (t *Tree) childIndex(in *inner, key []byte) int {
+	lo, hi := 0, len(in.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.cmp(in.keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value for key, or (nil, false).
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	l := t.descend(key)
+	if i, ok := t.searchLeaf(l, key); ok {
+		return l.vals[i], true
+	}
+	return nil, false
+}
+
+// Has reports whether key is present.
+func (t *Tree) Has(key []byte) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+func (t *Tree) descend(key []byte) *leaf {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *leaf:
+			return v
+		case *inner:
+			n = v.children[t.childIndex(v, key)]
+		}
+	}
+}
+
+// Put inserts key/value, replacing any existing value. It returns true if
+// the key was new. Key and value are copied.
+func (t *Tree) Put(key, value []byte) bool {
+	key = append([]byte(nil), key...)
+	value = append([]byte(nil), value...)
+	newSep, newChild, added := t.put(t.root, key, value)
+	if newChild != nil {
+		old := t.root
+		t.root = &inner{keys: [][]byte{newSep}, children: []node{old, newChild}}
+		t.inners++
+		t.height++
+	}
+	if added {
+		t.len++
+	}
+	return added
+}
+
+// put inserts into the subtree at n; if n splits, it returns the separator
+// and the new right sibling.
+func (t *Tree) put(n node, key, value []byte) (sep []byte, right node, added bool) {
+	switch v := n.(type) {
+	case *leaf:
+		i, found := t.searchLeaf(v, key)
+		if found {
+			v.payload += len(value) - len(v.vals[i])
+			v.vals[i] = value
+			return nil, nil, false
+		}
+		t.insertIntoLeaf(v, i, key, value)
+		if t.leafSize(v) > t.nodeSize {
+			s, r := t.splitLeaf(v)
+			return s, r, true
+		}
+		return nil, nil, true
+	case *inner:
+		ci := t.childIndex(v, key)
+		s, r, added := t.put(v.children[ci], key, value)
+		if r != nil {
+			v.keys = append(v.keys, nil)
+			copy(v.keys[ci+1:], v.keys[ci:])
+			v.keys[ci] = s
+			v.children = append(v.children, nil)
+			copy(v.children[ci+2:], v.children[ci+1:])
+			v.children[ci+1] = r
+			if t.innerSize(v) > t.nodeSize {
+				s2, r2 := t.splitInner(v)
+				return s2, r2, added
+			}
+		}
+		return nil, nil, added
+	}
+	panic("btree: unknown node type")
+}
+
+// insertIntoLeaf places the full key at position i, adjusting the node's
+// common prefix as needed.
+func (t *Tree) insertIntoLeaf(l *leaf, i int, key, value []byte) {
+	if len(l.keys) == 0 {
+		// First entry: the whole key is prefix-compressible, but keep the
+		// prefix empty until a second key determines what is shared.
+		l.prefix = nil
+		l.keys = append(l.keys, key)
+		l.vals = append(l.vals, value)
+		l.payload = len(key) + len(value) + perKeyOverhead
+		return
+	}
+	// Shrink the prefix to what key shares with it.
+	shared := commonPrefixLen(l.prefix, key)
+	if shared < len(l.prefix) {
+		cut := l.prefix[shared:]
+		for j := range l.keys {
+			l.keys[j] = append(append([]byte(nil), cut...), l.keys[j]...)
+			l.payload += len(cut)
+		}
+		l.prefix = l.prefix[:shared]
+	}
+	suffix := key[len(l.prefix):]
+	l.keys = append(l.keys, nil)
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = suffix
+	l.vals = append(l.vals, nil)
+	copy(l.vals[i+1:], l.vals[i:])
+	l.vals[i] = value
+	l.payload += len(suffix) + len(value) + perKeyOverhead
+	if len(l.keys) == 2 && len(l.prefix) == 0 {
+		t.recompress(l)
+	}
+}
+
+// recompress recomputes the node prefix from scratch (used after the
+// second insert and after splits, when the shared prefix may grow).
+func (t *Tree) recompress(l *leaf) {
+	if len(l.keys) == 0 {
+		l.prefix = nil
+		return
+	}
+	full := make([][]byte, len(l.keys))
+	for i := range l.keys {
+		full[i] = l.fullKey(i, nil)
+		// fullKey may return shared memory for empty prefixes; copy is
+		// handled by fullKey's append semantics except the zero-prefix
+		// case, which aliases the stored suffix — safe because we
+		// reassign below.
+	}
+	p := full[0]
+	for _, k := range full[1:] {
+		n := commonPrefixLen(p, k)
+		p = p[:n]
+		if n == 0 {
+			break
+		}
+	}
+	l.prefix = append([]byte(nil), p...)
+	l.payload = 0
+	for i, k := range full {
+		l.keys[i] = append([]byte(nil), k[len(l.prefix):]...)
+		l.payload += len(l.keys[i]) + len(l.vals[i]) + perKeyOverhead
+	}
+}
+
+func commonPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+func (t *Tree) leafSize(l *leaf) int { return l.payload + len(l.prefix) + 32 }
+func (t *Tree) innerSize(in *inner) int {
+	s := 32
+	for _, k := range in.keys {
+		s += len(k) + perKeyOverhead + 8
+	}
+	return s
+}
+
+func (t *Tree) splitLeaf(l *leaf) ([]byte, *leaf) {
+	mid := len(l.keys) / 2
+	r := &leaf{next: l.next}
+	// Move entries [mid:] to the right node with full keys, then
+	// recompress both.
+	for i := mid; i < len(l.keys); i++ {
+		r.keys = append(r.keys, l.fullKey(i, nil))
+		r.vals = append(r.vals, l.vals[i])
+	}
+	l.keys = l.keys[:mid]
+	l.vals = l.vals[:mid]
+	l.next = r
+	t.recompress(l)
+	// Right node: keys are currently full; set empty prefix then compress.
+	r.prefix = nil
+	r.payload = 0
+	for i := range r.keys {
+		r.payload += len(r.keys[i]) + len(r.vals[i]) + perKeyOverhead
+	}
+	t.recompress(r)
+	t.leaves++
+	sep := append([]byte(nil), r.fullKey(0, nil)...)
+	return sep, r
+}
+
+func (t *Tree) splitInner(in *inner) ([]byte, *inner) {
+	mid := len(in.keys) / 2
+	sep := in.keys[mid]
+	r := &inner{
+		keys:     append([][]byte(nil), in.keys[mid+1:]...),
+		children: append([]node(nil), in.children[mid+1:]...),
+	}
+	in.keys = in.keys[:mid]
+	in.children = in.children[:mid+1]
+	t.inners++
+	return sep, r
+}
+
+// Delete removes key, reporting whether it was present. Nodes are not
+// rebalanced on deletion (standard for storage-engine B-trees under churn;
+// empty leaves are pruned lazily on splits' behalf).
+func (t *Tree) Delete(key []byte) bool {
+	l := t.descend(key)
+	i, found := t.searchLeaf(l, key)
+	if !found {
+		return false
+	}
+	l.payload -= len(l.keys[i]) + len(l.vals[i]) + perKeyOverhead
+	l.keys = append(l.keys[:i], l.keys[i+1:]...)
+	l.vals = append(l.vals[:i], l.vals[i+1:]...)
+	t.len--
+	return true
+}
+
+// Iterator walks entries in ascending key order.
+type Iterator struct {
+	t    *Tree
+	l    *leaf
+	i    int
+	key  []byte
+	val  []byte
+	done bool
+}
+
+// Seek positions an iterator at the first key >= key (or the start when
+// key is nil).
+func (t *Tree) Seek(key []byte) *Iterator {
+	it := &Iterator{t: t}
+	if key == nil {
+		// Leftmost leaf.
+		n := t.root
+		for {
+			if in, ok := n.(*inner); ok {
+				n = in.children[0]
+				continue
+			}
+			it.l = n.(*leaf)
+			it.i = -1
+			return it
+		}
+	}
+	l := t.descend(key)
+	i, _ := t.searchLeaf(l, key)
+	it.l = l
+	it.i = i - 1
+	return it
+}
+
+// Next advances the iterator, returning false when exhausted.
+func (it *Iterator) Next() bool {
+	if it.done {
+		return false
+	}
+	it.i++
+	for it.i >= len(it.l.keys) {
+		if it.l.next == nil {
+			it.done = true
+			return false
+		}
+		it.l = it.l.next
+		it.i = 0
+	}
+	it.key = it.l.fullKey(it.i, nil)
+	it.val = it.l.vals[it.i]
+	return true
+}
+
+// Key returns the current key. Valid after a true Next.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value. Valid after a true Next.
+func (it *Iterator) Value() []byte { return it.val }
+
+// Ascend visits all entries from first (inclusive) while fn returns true.
+func (t *Tree) Ascend(first []byte, fn func(key, value []byte) bool) {
+	it := t.Seek(first)
+	for it.Next() {
+		if !fn(it.key, it.val) {
+			return
+		}
+	}
+}
+
+// Stats summarizes the tree shape for the Table III report.
+type Stats struct {
+	Entries   int
+	Height    int
+	Leaves    int
+	Inners    int
+	SizeBytes int
+}
+
+// Stats returns the tree shape summary.
+func (t *Tree) Stats() Stats {
+	return Stats{
+		Entries:   t.len,
+		Height:    t.height,
+		Leaves:    t.leaves,
+		Inners:    t.inners,
+		SizeBytes: t.SizeBytes(),
+	}
+}
+
+// Validate checks structural invariants (ordering, separator correctness)
+// and returns an error describing the first violation. Used by tests.
+func (t *Tree) Validate() error {
+	var prev []byte
+	havePrev := false
+	count := 0
+	it := t.Seek(nil)
+	for it.Next() {
+		if havePrev && t.cmp(prev, it.Key()) >= 0 {
+			return fmt.Errorf("btree: keys out of order: %q then %q", prev, it.Key())
+		}
+		prev = append(prev[:0], it.Key()...)
+		havePrev = true
+		count++
+	}
+	if count != t.len {
+		return fmt.Errorf("btree: iterator saw %d entries, Len()=%d", count, t.len)
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	tr := New(nil)
+	if tr.Has([]byte("missing")) {
+		t.Error("empty tree should have nothing")
+	}
+	if !tr.Put([]byte("k1"), []byte("v1")) {
+		t.Error("first Put should report new")
+	}
+	if tr.Put([]byte("k1"), []byte("v2")) {
+		t.Error("replacing Put should report existing")
+	}
+	got, ok := tr.Get([]byte("k1"))
+	if !ok || string(got) != "v2" {
+		t.Errorf("Get = %q/%v, want v2/true", got, ok)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(nil)
+	tr.Put([]byte("a"), []byte("1"))
+	tr.Put([]byte("b"), []byte("2"))
+	if !tr.Delete([]byte("a")) {
+		t.Error("Delete existing should return true")
+	}
+	if tr.Delete([]byte("a")) {
+		t.Error("Delete missing should return false")
+	}
+	if tr.Has([]byte("a")) || !tr.Has([]byte("b")) {
+		t.Error("wrong keys after delete")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestLargeInsertAndValidate(t *testing.T) {
+	tr := New(nil)
+	const n = 20_000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		key := []byte(fmt.Sprintf("key-%08d", i))
+		tr.Put(key, []byte(fmt.Sprintf("val-%d", i)))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Errorf("height = %d, want >= 2 after %d inserts", tr.Height(), n)
+	}
+	for i := 0; i < n; i += 997 {
+		key := []byte(fmt.Sprintf("key-%08d", i))
+		v, ok := tr.Get(key)
+		if !ok || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get(%s) = %q/%v", key, v, ok)
+		}
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	tr := New(nil)
+	keys := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for _, k := range keys {
+		tr.Put([]byte(k), []byte(k))
+	}
+	var got []string
+	tr.Ascend(nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("iteration = %v, want %v", got, want)
+	}
+}
+
+func TestSeek(t *testing.T) {
+	tr := New(nil)
+	for i := 0; i < 100; i += 2 {
+		tr.Put([]byte(fmt.Sprintf("%04d", i)), nil)
+	}
+	// Seek to a missing odd key: iterator starts at next even.
+	it := tr.Seek([]byte("0051"))
+	if !it.Next() || string(it.Key()) != "0052" {
+		t.Errorf("Seek(0051).Next = %q, want 0052", it.Key())
+	}
+	// Seek past the end.
+	it = tr.Seek([]byte("9999"))
+	if it.Next() {
+		t.Error("Seek past end should be exhausted")
+	}
+	// Seek to exact key.
+	it = tr.Seek([]byte("0050"))
+	if !it.Next() || string(it.Key()) != "0050" {
+		t.Errorf("Seek(0050).Next = %q, want 0050", it.Key())
+	}
+}
+
+func TestAscendStops(t *testing.T) {
+	tr := New(nil)
+	for i := 0; i < 50; i++ {
+		tr.Put([]byte(fmt.Sprintf("%04d", i)), nil)
+	}
+	n := 0
+	tr.Ascend([]byte("0010"), func(k, v []byte) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("visited %d, want 5", n)
+	}
+}
+
+func TestCustomComparator(t *testing.T) {
+	// Reverse ordering comparator.
+	tr := New(func(a, b []byte) int { return bytes.Compare(b, a) })
+	for _, k := range []string{"a", "b", "c"} {
+		tr.Put([]byte(k), nil)
+	}
+	var got []string
+	tr.Ascend(nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if fmt.Sprint(got) != "[c b a]" {
+		t.Errorf("reverse iteration = %v", got)
+	}
+	if !tr.Has([]byte("b")) {
+		t.Error("lookup under custom comparator failed")
+	}
+}
+
+func TestPrefixCompressionReducesLeaves(t *testing.T) {
+	// Keys sharing a long common prefix must pack many more entries per
+	// leaf than incompressible keys of the same length — this is the
+	// §V-H mechanism that keeps tree heights equal in Table III.
+	longPrefix := bytes.Repeat([]byte("p"), 900)
+	shared := New(nil)
+	rng := rand.New(rand.NewSource(2))
+	random := New(nil)
+	for i := 0; i < 2000; i++ {
+		k := append(append([]byte(nil), longPrefix...), []byte(fmt.Sprintf("%08d", i))...)
+		shared.Put(k, nil)
+		rk := make([]byte, 908)
+		rng.Read(rk)
+		random.Put(rk, nil)
+	}
+	if shared.LeafCount()*4 > random.LeafCount() {
+		t.Errorf("compressed tree has %d leaves vs %d uncompressed; want far fewer",
+			shared.LeafCount(), random.LeafCount())
+	}
+	if err := shared.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := New(nil)
+	for i := 0; i < 5000; i++ {
+		tr.Put([]byte(fmt.Sprintf("%08d", i)), bytes.Repeat([]byte{1}, 32))
+	}
+	s := tr.Stats()
+	if s.Entries != 5000 {
+		t.Errorf("Entries = %d", s.Entries)
+	}
+	if s.Leaves < 2 || s.SizeBytes != (s.Leaves+s.Inners)*DefaultNodeSize {
+		t.Errorf("stats inconsistent: %+v", s)
+	}
+	if s.Height < 2 {
+		t.Errorf("Height = %d", s.Height)
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	tr := New(nil)
+	v := []byte("mutable")
+	tr.Put([]byte("k"), v)
+	v[0] = 'X'
+	got, _ := tr.Get([]byte("k"))
+	if string(got) != "mutable" {
+		t.Error("Put must copy the value")
+	}
+	k := []byte("k2")
+	tr.Put(k, nil)
+	k[0] = 'Z'
+	if !tr.Has([]byte("k2")) {
+		t.Error("Put must copy the key")
+	}
+}
+
+func TestAgainstMapQuick(t *testing.T) {
+	type op struct {
+		Put bool
+		Key uint16
+		Val uint8
+	}
+	f := func(ops []op) bool {
+		tr := New(nil)
+		ref := map[string]string{}
+		for _, o := range ops {
+			k := fmt.Sprintf("%05d", o.Key%500)
+			if o.Put {
+				tr.Put([]byte(k), []byte{o.Val})
+				ref[k] = string([]byte{o.Val})
+			} else {
+				got := tr.Delete([]byte(k))
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get([]byte(k))
+			if !ok || string(got) != v {
+				return false
+			}
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeleteHeavyThenReinsert(t *testing.T) {
+	tr := New(nil)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Put([]byte(fmt.Sprintf("%06d", i)), []byte("v"))
+	}
+	for i := 0; i < n; i += 2 {
+		tr.Delete([]byte(fmt.Sprintf("%06d", i)))
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	for i := 0; i < n; i += 2 {
+		tr.Put([]byte(fmt.Sprintf("%06d", i)), []byte("v2"))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := tr.Get([]byte("000000"))
+	if !ok || string(v) != "v2" {
+		t.Error("reinserted key lost")
+	}
+}
+
+func TestEmptyAndNilKeys(t *testing.T) {
+	tr := New(nil)
+	tr.Put([]byte{}, []byte("empty"))
+	got, ok := tr.Get([]byte{})
+	if !ok || string(got) != "empty" {
+		t.Error("empty key roundtrip failed")
+	}
+	tr.Put([]byte("a"), nil)
+	got, ok = tr.Get([]byte("a"))
+	if !ok || len(got) != 0 {
+		t.Error("nil value roundtrip failed")
+	}
+}
+
+func TestSmallNodeSize(t *testing.T) {
+	tr := NewWithNodeSize(nil, 64)
+	for i := 0; i < 1000; i++ {
+		tr.Put([]byte(fmt.Sprintf("%06d", i)), []byte("x"))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		t.Errorf("tiny nodes should force a tall tree, height = %d", tr.Height())
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put([]byte(fmt.Sprintf("%012d", i)), []byte("value")) //nolint
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New(nil)
+	for i := 0; i < 100_000; i++ {
+		tr.Put([]byte(fmt.Sprintf("%012d", i)), []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get([]byte(fmt.Sprintf("%012d", i%100_000)))
+	}
+}

@@ -1,0 +1,286 @@
+package buffer
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"blobdb/internal/simtime"
+)
+
+// AliasManager models §IV-B virtual memory aliasing.
+//
+// In the paper, exmap copies the physical addresses of an extent sequence
+// into a free range of virtual addresses (the *aliasing area*), presenting
+// disjoint extents as one contiguous memory block. Go cannot remap pages,
+// so the BlobView returned here is a gather view over the extent frames:
+// reading through it performs exactly the one memory copy that reading the
+// real aliased range would, and releasing it charges the TLB-shootdown cost
+// the real unmap would pay. What the simulation preserves is precisely what
+// Figure 10 and Table II measure — copy count and the alias/unalias
+// constant, plus the worker-local/shared reservation protocol:
+//
+//   - each worker owns a worker-local area of WorkerLocalPages pages and
+//     uses it contention-free for blobs that fit;
+//   - larger blobs reserve a contiguous run of logical blocks from the
+//     shared area, synchronized by a compare-and-swap bitmap range lock.
+type AliasManager struct {
+	pageSize         int
+	workerLocalPages int
+	blockPages       int // one shared block = one worker-local area
+	numBlocks        int
+	bitmap           []atomic.Uint64 // 1 bit per shared block, set = reserved
+
+	localUses  atomic.Int64
+	sharedUses atomic.Int64
+	casRetries atomic.Int64
+	shootdowns atomic.Int64
+}
+
+// NewAliasManager sizes the aliasing areas. sharedPages is the shared-area
+// size (the paper sizes it equal to the buffer pool); workerLocalPages is
+// the per-worker area, which is also the shared logical block size.
+func NewAliasManager(pageSize, workerLocalPages, sharedPages int) *AliasManager {
+	if workerLocalPages <= 0 {
+		panic("buffer: worker-local area must be positive")
+	}
+	numBlocks := sharedPages / workerLocalPages
+	return &AliasManager{
+		pageSize:         pageSize,
+		workerLocalPages: workerLocalPages,
+		blockPages:       workerLocalPages,
+		numBlocks:        numBlocks,
+		bitmap:           make([]atomic.Uint64, (numBlocks+63)/64),
+	}
+}
+
+// WorkerLocalPages returns the per-worker aliasing-area size in pages.
+func (a *AliasManager) WorkerLocalPages() int { return a.workerLocalPages }
+
+// NumBlocks returns the number of logical blocks in the shared area.
+func (a *AliasManager) NumBlocks() int { return a.numBlocks }
+
+// AliasStats reports aliasing activity.
+type AliasStats struct {
+	LocalUses  int64 // aliases served by the worker-local area
+	SharedUses int64 // aliases that reserved shared blocks
+	CASRetries int64 // failed reservation attempts on the shared bitmap
+	Shootdowns int64 // unmap operations (TLB shootdowns) performed
+}
+
+// Stats returns a snapshot of aliasing counters.
+func (a *AliasManager) Stats() AliasStats {
+	return AliasStats{
+		LocalUses:  a.localUses.Load(),
+		SharedUses: a.sharedUses.Load(),
+		CASRetries: a.casRetries.Load(),
+		Shootdowns: a.shootdowns.Load(),
+	}
+}
+
+// BlobView is an aliased BLOB: the extent sequence presented as one logical
+// contiguous buffer.
+type BlobView struct {
+	spans [][]byte
+	size  int
+
+	mgr        *AliasManager
+	blockFirst int // first reserved shared block, -1 if worker-local
+	blockCount int
+	released   bool
+}
+
+// Alias maps the given frames (plus a byte size that may trim the last
+// extent) into an aliasing area. The frames must stay pinned until Release.
+func (a *AliasManager) Alias(m *simtime.Meter, frames []*Frame, size int) (*BlobView, error) {
+	totalPages := 0
+	spans := make([][]byte, 0, len(frames))
+	remaining := size
+	for _, f := range frames {
+		totalPages += f.NPages
+		for _, s := range f.Spans() {
+			if remaining <= 0 {
+				break
+			}
+			if len(s) > remaining {
+				s = s[:remaining]
+			}
+			spans = append(spans, s)
+			remaining -= len(s)
+		}
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("buffer: alias of %d bytes over %d pages of frames", size, totalPages)
+	}
+	v := &BlobView{spans: spans, size: size, mgr: a, blockFirst: -1}
+	if totalPages <= a.workerLocalPages {
+		// Case 1: fits the worker-local area; no synchronization.
+		a.localUses.Add(1)
+		// Charge the page-table update: proportional to the extent count
+		// (exmap copies one physical range per extent).
+		m.CountUserOps(int64(len(frames)))
+		return v, nil
+	}
+	// Case 2: reserve contiguous logical blocks from the shared area.
+	nblocks := (totalPages + a.blockPages - 1) / a.blockPages
+	first, err := a.reserve(nblocks)
+	if err != nil {
+		return nil, err
+	}
+	v.blockFirst = first
+	v.blockCount = nblocks
+	a.sharedUses.Add(1)
+	m.CountUserOps(int64(len(frames)))
+	return v, nil
+}
+
+// reserve finds nblocks contiguous free blocks and claims them with CAS on
+// the bitmap — the paper's "simple range lock using a bitmap and
+// compare-and-swap".
+func (a *AliasManager) reserve(nblocks int) (int, error) {
+	if nblocks > a.numBlocks {
+		return 0, fmt.Errorf("buffer: blob needs %d shared blocks, area has %d", nblocks, a.numBlocks)
+	}
+	for attempt := 0; attempt < 1024; attempt++ {
+		run := 0
+		start := 0
+		for i := 0; i < a.numBlocks; i++ {
+			if a.bit(i) {
+				run = 0
+				start = i + 1
+				continue
+			}
+			run++
+			if run == nblocks {
+				if a.claim(start, nblocks) {
+					return start, nil
+				}
+				a.casRetries.Add(1)
+				run = 0
+				start = i + 1
+			}
+		}
+		if run < nblocks && start+run >= a.numBlocks && attempt > 64 {
+			return 0, fmt.Errorf("buffer: shared aliasing area exhausted (%d blocks needed)", nblocks)
+		}
+	}
+	return 0, fmt.Errorf("buffer: shared aliasing area contended beyond retry budget")
+}
+
+func (a *AliasManager) bit(i int) bool {
+	return a.bitmap[i/64].Load()&(1<<uint(i%64)) != 0
+}
+
+// claim atomically sets bits [start, start+n); on conflict it rolls back
+// and reports failure.
+func (a *AliasManager) claim(start, n int) bool {
+	for i := start; i < start+n; i++ {
+		w := &a.bitmap[i/64]
+		mask := uint64(1) << uint(i%64)
+		for {
+			old := w.Load()
+			if old&mask != 0 {
+				// Lost the race: roll back the bits claimed so far.
+				a.unclaim(start, i-start)
+				return false
+			}
+			if w.CompareAndSwap(old, old|mask) {
+				break
+			}
+		}
+	}
+	return true
+}
+
+func (a *AliasManager) unclaim(start, n int) {
+	for i := start; i < start+n; i++ {
+		w := &a.bitmap[i/64]
+		mask := uint64(1) << uint(i%64)
+		for {
+			old := w.Load()
+			if w.CompareAndSwap(old, old&^mask) {
+				break
+			}
+		}
+	}
+}
+
+// NewDirectView wraps a single contiguous extent as a BlobView without an
+// aliasing area: vmcache already presents one extent as contiguous memory
+// with a single translation (§IV-A), so no page-table remap — and no TLB
+// shootdown on release — is needed. The frame must stay pinned until
+// Release.
+func NewDirectView(f *Frame, size int) (*BlobView, error) {
+	c := f.Contiguous()
+	if c == nil {
+		return nil, fmt.Errorf("buffer: direct view requires a contiguous frame")
+	}
+	if size > len(c) {
+		return nil, fmt.Errorf("buffer: direct view of %d bytes over %d-byte frame", size, len(c))
+	}
+	return &BlobView{spans: [][]byte{c[:size]}, size: size, blockFirst: -1}, nil
+}
+
+// Len returns the aliased BLOB size in bytes.
+func (v *BlobView) Len() int { return v.size }
+
+// CopyTo copies up to len(dst) bytes starting at byte offset off into dst —
+// the single memcpy of the paper's BLOB read operator. It returns the
+// number of bytes copied.
+func (v *BlobView) CopyTo(dst []byte, off int) int {
+	if off < 0 || off >= v.size {
+		return 0
+	}
+	if len(dst) > v.size-off {
+		dst = dst[:v.size-off]
+	}
+	total := 0
+	for _, s := range v.spans {
+		if off >= len(s) {
+			off -= len(s)
+			continue
+		}
+		n := copy(dst[total:], s[off:])
+		total += n
+		off = 0
+		if total == len(dst) {
+			break
+		}
+	}
+	return total
+}
+
+// ReadAt implements io.ReaderAt semantics over the aliased BLOB.
+func (v *BlobView) ReadAt(p []byte, off int64) (int, error) {
+	n := v.CopyTo(p, int(off))
+	if n < len(p) {
+		return n, fmt.Errorf("buffer: short read at %d", off)
+	}
+	return n, nil
+}
+
+// Materialize allocates a contiguous buffer and gathers the BLOB into it —
+// the malloc+memcpy path a hash-table pool is forced into (§IV-A). Reading
+// the result costs a second copy, which is the Figure 10 comparison.
+func (v *BlobView) Materialize() []byte {
+	buf := make([]byte, v.size)
+	v.CopyTo(buf, 0)
+	return buf
+}
+
+// Release unmaps the aliasing area: frees any shared blocks and charges the
+// TLB shootdown the real page-table invalidation would cost (§IV-B).
+func (v *BlobView) Release(m *simtime.Meter) {
+	if v.released {
+		panic("buffer: double release of BlobView")
+	}
+	v.released = true
+	if v.mgr == nil {
+		return // direct view: no mapping was created, nothing to invalidate
+	}
+	if v.blockFirst >= 0 {
+		v.mgr.unclaim(v.blockFirst, v.blockCount)
+	}
+	v.mgr.shootdowns.Add(1)
+	m.Charge(simtime.TLBShootdownCost)
+	m.CountKernelOps(1)
+}

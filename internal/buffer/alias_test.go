@@ -1,0 +1,288 @@
+package buffer
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+)
+
+// fixThree creates three extents with known content and returns their
+// frames plus the concatenated content.
+func fixThree(t *testing.T, p Pool) ([]*Frame, []byte) {
+	t.Helper()
+	sizes := []int{1, 2, 4}
+	var frames []*Frame
+	var all []byte
+	pid := storage.PID(0)
+	for i, n := range sizes {
+		f, err := p.CreateExtent(nil, pid, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunk := bytes.Repeat([]byte{byte(i + 1)}, n*ps)
+		f.WriteAt(chunk, 0)
+		all = append(all, chunk...)
+		frames = append(frames, f)
+		pid += storage.PID(n) + 3
+	}
+	return frames, all
+}
+
+func releaseAll(p Pool, frames []*Frame) {
+	for _, f := range frames {
+		p.FlushExtent(nil, f)
+		f.Release()
+	}
+}
+
+func TestAliasGatherView(t *testing.T) {
+	dev := newDev(4096)
+	p := NewVMPool(dev, 256)
+	frames, want := fixThree(t, p)
+	defer releaseAll(p, frames)
+
+	am := NewAliasManager(ps, 64, 1024)
+	m := simtime.NewMeter()
+	v, err := am.Alias(m, frames, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if n := v.CopyTo(got, 0); n != len(want) {
+		t.Fatalf("CopyTo = %d, want %d", n, len(want))
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("aliased view content mismatch")
+	}
+	v.Release(m)
+	if am.Stats().LocalUses != 1 {
+		t.Errorf("LocalUses = %d, want 1 (blob fits worker-local area)", am.Stats().LocalUses)
+	}
+	if am.Stats().Shootdowns != 1 {
+		t.Errorf("Shootdowns = %d, want 1", am.Stats().Shootdowns)
+	}
+	if m.Elapsed() < simtime.TLBShootdownCost {
+		t.Error("Release must charge the TLB shootdown")
+	}
+}
+
+func TestAliasTrimsLastExtent(t *testing.T) {
+	dev := newDev(4096)
+	p := NewVMPool(dev, 256)
+	frames, want := fixThree(t, p)
+	defer releaseAll(p, frames)
+
+	am := NewAliasManager(ps, 64, 1024)
+	m := simtime.NewMeter()
+	size := len(want) - ps - ps/2 // blob ends mid-page of the last extent
+	v, err := am.Alias(m, frames, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release(m)
+	if v.Len() != size {
+		t.Errorf("Len = %d, want %d", v.Len(), size)
+	}
+	got := make([]byte, size)
+	v.CopyTo(got, 0)
+	if !bytes.Equal(got, want[:size]) {
+		t.Error("trimmed view content mismatch")
+	}
+}
+
+func TestAliasOffsetReads(t *testing.T) {
+	dev := newDev(4096)
+	p := NewVMPool(dev, 256)
+	frames, want := fixThree(t, p)
+	defer releaseAll(p, frames)
+
+	am := NewAliasManager(ps, 64, 1024)
+	m := simtime.NewMeter()
+	v, err := am.Alias(m, frames, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release(m)
+
+	// Read a window straddling the first/second extent boundary.
+	off := ps - 100
+	window := make([]byte, 300)
+	if n := v.CopyTo(window, off); n != 300 {
+		t.Fatalf("CopyTo = %d, want 300", n)
+	}
+	if !bytes.Equal(window, want[off:off+300]) {
+		t.Error("offset window mismatch")
+	}
+	// ReadAt past the end must report a short read.
+	if _, err := v.ReadAt(make([]byte, 10), int64(len(want)-5)); err == nil {
+		t.Error("ReadAt past end should error")
+	}
+	// CopyTo with a bad offset returns 0.
+	if v.CopyTo(window, -1) != 0 || v.CopyTo(window, len(want)) != 0 {
+		t.Error("out-of-range CopyTo should return 0")
+	}
+}
+
+func TestAliasSharedArea(t *testing.T) {
+	dev := newDev(1 << 14)
+	p := NewVMPool(dev, 4096)
+	// 64-page blob, worker-local area only 16 pages -> must use shared.
+	f, err := p.CreateExtent(nil, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { p.FlushExtent(nil, f); f.Release() }()
+
+	am := NewAliasManager(ps, 16, 256) // 16 shared blocks
+	m := simtime.NewMeter()
+	v, err := am.Alias(m, []*Frame{f}, 64*ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am.Stats().SharedUses != 1 {
+		t.Errorf("SharedUses = %d, want 1", am.Stats().SharedUses)
+	}
+	// 64 pages / 16-page blocks = 4 blocks reserved.
+	if v.blockCount != 4 {
+		t.Errorf("blockCount = %d, want 4", v.blockCount)
+	}
+	v.Release(m)
+	// All bits must be free again.
+	for i := 0; i < am.NumBlocks(); i++ {
+		if am.bit(i) {
+			t.Fatalf("block %d still reserved after release", i)
+		}
+	}
+}
+
+func TestAliasSharedExhaustion(t *testing.T) {
+	dev := newDev(1 << 14)
+	p := NewVMPool(dev, 4096)
+	f, err := p.CreateExtent(nil, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { p.FlushExtent(nil, f); f.Release() }()
+
+	am := NewAliasManager(ps, 16, 32) // only 2 shared blocks
+	m := simtime.NewMeter()
+	if _, err := am.Alias(m, []*Frame{f}, 64*ps); err == nil {
+		t.Error("blob larger than shared area should fail to alias")
+	}
+}
+
+func TestAliasSizeExceedsFrames(t *testing.T) {
+	dev := newDev(4096)
+	p := NewVMPool(dev, 256)
+	f, err := p.CreateExtent(nil, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { p.FlushExtent(nil, f); f.Release() }()
+	am := NewAliasManager(ps, 64, 1024)
+	if _, err := am.Alias(nil, []*Frame{f}, 3*ps); err == nil {
+		t.Error("alias larger than frames should fail")
+	}
+}
+
+func TestAliasConcurrentSharedReservation(t *testing.T) {
+	dev := newDev(1 << 16)
+	p := NewVMPool(dev, 1<<14)
+	// Each worker creates a 32-page extent and aliases it through a shared
+	// area of 16 blocks x 8 pages = 128 pages; 8 workers x 4 blocks = 32
+	// blocks wanted, so workers contend and must serialize correctly.
+	const workers = 8
+	var frames [workers]*Frame
+	for w := 0; w < workers; w++ {
+		f, err := p.CreateExtent(nil, storage.PID(w*40), 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[w] = f
+	}
+	defer func() {
+		for _, f := range frames {
+			p.FlushExtent(nil, f)
+			f.Release()
+		}
+	}()
+
+	am := NewAliasManager(ps, 8, 128)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := simtime.NewMeter()
+			for i := 0; i < 50; i++ {
+				v, err := am.Alias(m, []*Frame{frames[w]}, 32*ps)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				v.Release(m)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < am.NumBlocks(); i++ {
+		if am.bit(i) {
+			t.Fatalf("block %d leaked", i)
+		}
+	}
+	if am.Stats().SharedUses != workers*50 {
+		t.Errorf("SharedUses = %d, want %d", am.Stats().SharedUses, workers*50)
+	}
+}
+
+func TestMaterializeCopies(t *testing.T) {
+	dev := newDev(4096)
+	p := NewHTPool(dev, 256)
+	frames, want := fixThree(t, p)
+	defer releaseAll(p, frames)
+
+	am := NewAliasManager(ps, 64, 1024)
+	m := simtime.NewMeter()
+	v, err := am.Alias(m, frames, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release(m)
+	buf := v.Materialize()
+	if !bytes.Equal(buf, want) {
+		t.Error("materialized buffer mismatch")
+	}
+	// Mutating the materialized copy must not touch frame memory.
+	buf[0] ^= 0xFF
+	got := make([]byte, 1)
+	frames[0].ReadAt(got, 0)
+	if got[0] == buf[0] {
+		t.Error("Materialize returned aliased memory, want a copy")
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	dev := newDev(4096)
+	p := NewVMPool(dev, 256)
+	f, err := p.CreateExtent(nil, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { p.FlushExtent(nil, f); f.Release() }()
+	am := NewAliasManager(ps, 64, 1024)
+	m := simtime.NewMeter()
+	v, err := am.Alias(m, []*Frame{f}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Release(m)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Release should panic")
+		}
+	}()
+	v.Release(m)
+}

@@ -1,0 +1,338 @@
+package buffer
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+)
+
+// HTPool is the traditional hash-table buffer pool used by the Our.ht
+// baseline (§V-B, §V-E).
+//
+// Frames are page-granular and scattered: fixing an N-page extent performs
+// N page translations and yields N disjoint byte ranges, and the device is
+// read page by page (the §III-G example of N preads). A multi-extent BLOB
+// therefore cannot be presented as contiguous memory — callers must
+// materialize it with an extra allocate+copy, which is exactly the overhead
+// Figure 10 measures against virtual-memory aliasing.
+type HTPool struct {
+	pageSize int
+	numPages int
+	slab     []byte
+	dev      storage.Device
+
+	mu        sync.Mutex
+	resident  map[storage.PID]*entry // keyed by extent head PID (coarse latch)
+	pageMap   map[storage.PID]int    // per-page translation table
+	order     []storage.PID
+	freePages []int
+	rng       *rand.Rand
+	maxExt    int
+	residPg   int
+
+	stats Stats
+}
+
+// NewHTPool creates a hash-table pool of numPages frames over dev.
+func NewHTPool(dev storage.Device, numPages int) *HTPool {
+	if numPages <= 0 {
+		panic("buffer: pool must have at least one page")
+	}
+	p := &HTPool{
+		pageSize: dev.PageSize(),
+		numPages: numPages,
+		slab:     make([]byte, numPages*dev.PageSize()),
+		dev:      dev,
+		resident: map[storage.PID]*entry{},
+		pageMap:  map[storage.PID]int{},
+		rng:      rand.New(rand.NewSource(43)),
+		maxExt:   1,
+	}
+	p.freePages = make([]int, numPages)
+	for i := range p.freePages {
+		p.freePages[i] = numPages - 1 - i
+	}
+	return p
+}
+
+// PageSize implements Pool.
+func (p *HTPool) PageSize() int { return p.pageSize }
+
+// Stats implements Pool.
+func (p *HTPool) Stats() *Stats { return &p.stats }
+
+// ResidentPages implements Pool.
+func (p *HTPool) ResidentPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.residPg
+}
+
+func (p *HTPool) pageSlice(idx int) []byte {
+	off := idx * p.pageSize
+	return p.slab[off : off+p.pageSize : off+p.pageSize]
+}
+
+// frame assembles the page list with one translation per page — the N
+// translations the paper contrasts with vmcache's single one.
+func (p *HTPool) frame(e *entry) *Frame {
+	pages := make([][]byte, e.npages)
+	p.mu.Lock()
+	for i := 0; i < e.npages; i++ {
+		idx, ok := p.pageMap[e.headPID+storage.PID(i)]
+		if !ok {
+			p.mu.Unlock()
+			panic("buffer: resident extent missing page translation")
+		}
+		pages[i] = p.pageSlice(idx)
+	}
+	p.mu.Unlock()
+	return &Frame{
+		HeadPID:  e.headPID,
+		NPages:   e.npages,
+		pages:    pages,
+		pageSize: p.pageSize,
+		entry:    e,
+		pool:     p,
+	}
+}
+
+// FixExtent implements Pool.
+func (p *HTPool) FixExtent(m *simtime.Meter, pid storage.PID, npages int) (*Frame, error) {
+	e, fresh, err := p.admit(m, pid, npages)
+	if err != nil {
+		return nil, err
+	}
+	if fresh {
+		// Read the device page by page, as a page-granular pool does.
+		err := func() error {
+			for i := 0; i < npages; i++ {
+				p.mu.Lock()
+				idx := p.pageMap[pid+storage.PID(i)]
+				pg := p.pageSlice(idx)
+				p.mu.Unlock()
+				if err := p.dev.ReadPages(m, pid+storage.PID(i), 1, pg); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if err != nil {
+			e.loadErr = err
+			close(e.loaded)
+			p.release(p.frame(e))
+			return nil, err
+		}
+		close(e.loaded)
+	} else {
+		<-e.loaded
+		if err := e.loadErr; err != nil {
+			p.release(p.frame(e))
+			return nil, err
+		}
+	}
+	return p.frame(e), nil
+}
+
+// CreateExtent implements Pool.
+func (p *HTPool) CreateExtent(m *simtime.Meter, pid storage.PID, npages int) (*Frame, error) {
+	e, fresh, err := p.admit(m, pid, npages)
+	if err != nil {
+		return nil, err
+	}
+	if !fresh {
+		e.pins.Add(-1)
+		return nil, fmt.Errorf("buffer: CreateExtent(%d): extent already resident", pid)
+	}
+	p.mu.Lock()
+	for i := 0; i < npages; i++ {
+		clear(p.pageSlice(p.pageMap[pid+storage.PID(i)]))
+	}
+	p.mu.Unlock()
+	// Dirty tracking follows the caller's writes (§III-C).
+	e.preventEvict.Store(true)
+	close(e.loaded)
+	return p.frame(e), nil
+}
+
+func (p *HTPool) admit(m *simtime.Meter, pid storage.PID, npages int) (*entry, bool, error) {
+	p.mu.Lock()
+	if e, ok := p.resident[pid]; ok {
+		if e.npages != npages {
+			p.mu.Unlock()
+			return nil, false, fmt.Errorf("buffer: extent %d resident with %d pages, fixed with %d",
+				pid, e.npages, npages)
+		}
+		e.pins.Add(1)
+		p.stats.Hits.Add(1)
+		p.mu.Unlock()
+		return e, false, nil
+	}
+	// Reject overlap with any resident extent: the allocator hands out
+	// disjoint extents, so an overlapping fix is a caller bug that would
+	// silently corrupt the page translation table.
+	for i := 0; i < npages; i++ {
+		if _, clash := p.pageMap[pid+storage.PID(i)]; clash {
+			p.mu.Unlock()
+			return nil, false, fmt.Errorf("buffer: extent [%d,%d) overlaps a resident extent", pid, pid+storage.PID(npages))
+		}
+	}
+	if npages > p.numPages {
+		p.mu.Unlock()
+		return nil, false, fmt.Errorf("buffer: extent of %d pages exceeds pool of %d: %w",
+			npages, p.numPages, ErrPoolFull)
+	}
+	for len(p.freePages) < npages {
+		if err := p.evictOneLocked(m); err != nil {
+			p.mu.Unlock()
+			return nil, false, err
+		}
+	}
+	e := &entry{headPID: pid, npages: npages, loaded: make(chan struct{})}
+	e.pins.Store(1)
+	for i := 0; i < npages; i++ {
+		idx := p.freePages[len(p.freePages)-1]
+		p.freePages = p.freePages[:len(p.freePages)-1]
+		p.pageMap[pid+storage.PID(i)] = idx
+	}
+	p.resident[pid] = e
+	p.order = append(p.order, pid)
+	p.residPg += npages
+	if npages > p.maxExt {
+		p.maxExt = npages
+	}
+	p.stats.Misses.Add(1)
+	p.mu.Unlock()
+	return e, true, nil
+}
+
+func (p *HTPool) evictOneLocked(m *simtime.Meter) error {
+	if len(p.order) == 0 {
+		return fmt.Errorf("buffer: nothing to evict: %w", ErrPoolFull)
+	}
+	for tries := 0; tries < 8*len(p.order)+64; tries++ {
+		idx := p.rng.Intn(len(p.order))
+		e := p.resident[p.order[idx]]
+		if e == nil || e.pins.Load() > 0 || e.preventEvict.Load() {
+			continue
+		}
+		select {
+		case <-e.loaded:
+		default:
+			continue
+		}
+		if p.rng.Intn(p.maxExt) >= e.npages {
+			continue
+		}
+		if e.dirty() {
+			if err := p.writeBackLocked(m, e); err != nil {
+				return err
+			}
+		}
+		p.removeLocked(e)
+		p.stats.Evictions.Add(1)
+		return nil
+	}
+	return fmt.Errorf("buffer: all extents pinned or protected: %w", ErrPoolFull)
+}
+
+// writeBackLocked writes the dirty pages back one command per page —
+// page-granular pools cannot issue a single contiguous write for an extent
+// scattered across frames.
+func (p *HTPool) writeBackLocked(m *simtime.Meter, e *entry) error {
+	lo, hi := e.takeDirty()
+	if lo == hi {
+		return nil
+	}
+	for i := lo; i < hi; i++ {
+		idx := p.pageMap[e.headPID+storage.PID(i)]
+		if err := p.dev.WritePages(m, e.headPID+storage.PID(i), 1, p.pageSlice(idx)); err != nil {
+			e.markDirty(i, hi)
+			return err
+		}
+	}
+	p.stats.Writebacks.Add(1)
+	return nil
+}
+
+func (p *HTPool) removeLocked(e *entry) {
+	delete(p.resident, e.headPID)
+	for i, pid := range p.order {
+		if pid == e.headPID {
+			p.order[i] = p.order[len(p.order)-1]
+			p.order = p.order[:len(p.order)-1]
+			break
+		}
+	}
+	for i := 0; i < e.npages; i++ {
+		pagePID := e.headPID + storage.PID(i)
+		p.freePages = append(p.freePages, p.pageMap[pagePID])
+		delete(p.pageMap, pagePID)
+	}
+	p.residPg -= e.npages
+}
+
+// FlushExtent implements Pool.
+func (p *HTPool) FlushExtent(m *simtime.Meter, f *Frame) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := f.entry
+	if e.dirty() {
+		if err := p.writeBackLocked(m, e); err != nil {
+			return err
+		}
+	}
+	e.preventEvict.Store(false)
+	return nil
+}
+
+// Drop implements Pool.
+func (p *HTPool) Drop(pid storage.PID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.resident[pid]
+	if !ok {
+		return
+	}
+	if e.pins.Load() > 0 {
+		panic("buffer: Drop of pinned extent")
+	}
+	p.removeLocked(e)
+}
+
+// EvictAll implements Pool.
+func (p *HTPool) EvictAll(m *simtime.Meter) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pid := range append([]storage.PID(nil), p.order...) {
+		e := p.resident[pid]
+		if e == nil || e.pins.Load() > 0 || e.preventEvict.Load() {
+			continue
+		}
+		if e.dirty() {
+			if err := p.writeBackLocked(m, e); err != nil {
+				return err
+			}
+		}
+		p.removeLocked(e)
+		p.stats.Evictions.Add(1)
+	}
+	return nil
+}
+
+func (p *HTPool) release(f *Frame) {
+	n := f.entry.pins.Add(-1)
+	if n < 0 {
+		panic("buffer: double release")
+	}
+	if n == 0 && f.entry.loadErr != nil {
+		p.mu.Lock()
+		if p.resident[f.entry.headPID] == f.entry {
+			p.removeLocked(f.entry)
+		}
+		p.mu.Unlock()
+	}
+}

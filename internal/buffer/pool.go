@@ -1,0 +1,221 @@
+// Package buffer implements the two buffer-manager designs the paper
+// compares (§IV, Figure 10):
+//
+//   - VMPool, modeled on vmcache+exmap: extents occupy contiguous frames in
+//     one slab, so a whole extent is a single contiguous byte range and
+//     needs one translation; multi-extent BLOBs are presented as one
+//     logical buffer through aliasing areas (alias.go).
+//   - HTPool, the traditional hash-table buffer pool baseline ("Our.ht"):
+//     page-granular frames scattered in memory, so reading a BLOB requires
+//     materializing it with an extra allocate+copy.
+//
+// Both pools implement extent-granular (coarse-grained) latching: one
+// loader per extent, concurrent fixers wait (§III-G), size-weighted random
+// eviction, and the prevent_evict flag that protects extents between
+// allocation and their commit-time flush (§III-C).
+package buffer
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+)
+
+// ErrPoolFull is returned when the pool cannot make room for a fix.
+var ErrPoolFull = errors.New("buffer: pool full (all extents pinned or evict-protected)")
+
+// Frame is a pinned, resident extent. Release it exactly once.
+type Frame struct {
+	HeadPID storage.PID
+	NPages  int
+
+	data  []byte   // contiguous frame memory (VMPool); nil for HTPool
+	pages [][]byte // page-granular frames (HTPool); nil for VMPool
+
+	pageSize int
+	entry    *entry
+	pool     Pool
+}
+
+// Contiguous returns the extent as one contiguous byte slice, or nil if
+// this pool cannot represent extents contiguously (HTPool).
+func (f *Frame) Contiguous() []byte { return f.data }
+
+// Spans returns the extent memory as a list of byte ranges. For VMPool this
+// is a single span; for HTPool one span per page.
+func (f *Frame) Spans() [][]byte {
+	if f.data != nil {
+		return [][]byte{f.data}
+	}
+	return f.pages
+}
+
+// WriteAt copies p into the extent at byte offset off and marks the touched
+// pages dirty. It panics if the write exceeds the extent.
+func (f *Frame) WriteAt(p []byte, off int) {
+	if off < 0 || off+len(p) > f.NPages*f.pageSize {
+		panic("buffer: WriteAt out of extent bounds")
+	}
+	if f.data != nil {
+		copy(f.data[off:], p)
+	} else {
+		rem := p
+		pos := off
+		for len(rem) > 0 {
+			pg := pos / f.pageSize
+			in := pos % f.pageSize
+			n := copy(f.pages[pg][in:], rem)
+			rem = rem[n:]
+			pos += n
+		}
+	}
+	f.entry.markDirty(off/f.pageSize, (off+len(p)+f.pageSize-1)/f.pageSize)
+}
+
+// ReadAt copies up to len(p) bytes from the extent at byte offset off.
+func (f *Frame) ReadAt(p []byte, off int) int {
+	max := f.NPages*f.pageSize - off
+	if max <= 0 {
+		return 0
+	}
+	if len(p) > max {
+		p = p[:max]
+	}
+	if f.data != nil {
+		return copy(p, f.data[off:])
+	}
+	total := 0
+	pos := off
+	for total < len(p) {
+		pg := pos / f.pageSize
+		in := pos % f.pageSize
+		n := copy(p[total:], f.pages[pg][in:])
+		total += n
+		pos += n
+	}
+	return total
+}
+
+// MarkDirty marks pages [fromPage, toPage) of the extent dirty.
+func (f *Frame) MarkDirty(fromPage, toPage int) { f.entry.markDirty(fromPage, toPage) }
+
+// SetPreventEvict toggles the extent's prevent_evict flag (§III-C).
+func (f *Frame) SetPreventEvict(v bool) { f.entry.preventEvict.Store(v) }
+
+// Release unpins the frame.
+func (f *Frame) Release() { f.pool.release(f) }
+
+// entry is the per-extent bookkeeping shared by both pools. Access to the
+// extent content is coarse-grained: the entry is created in "loading" state
+// and concurrent fixers wait on the loaded channel — only one worker issues
+// the device read (§III-G).
+type entry struct {
+	headPID storage.PID
+	npages  int
+
+	frameOff int   // VMPool: page offset of the frame range in the slab
+	pages    []int // HTPool: slab page index per extent page
+
+	pins         atomic.Int32
+	preventEvict atomic.Bool
+	loaded       chan struct{} // closed once content is available
+	loadErr      error         // set before loaded is closed if the read failed
+
+	// Dirty page range within the extent; dmu guards it because content
+	// writers and the flusher run concurrently.
+	dmu              sync.Mutex
+	dirtyLo, dirtyHi int // dirty pages are [dirtyLo, dirtyHi); lo==hi means clean
+}
+
+func (e *entry) markDirty(fromPage, toPage int) {
+	if fromPage < 0 {
+		fromPage = 0
+	}
+	if toPage > e.npages {
+		toPage = e.npages
+	}
+	if fromPage >= toPage {
+		return
+	}
+	e.dmu.Lock()
+	defer e.dmu.Unlock()
+	if e.dirtyLo == e.dirtyHi { // was clean
+		e.dirtyLo, e.dirtyHi = fromPage, toPage
+		return
+	}
+	if fromPage < e.dirtyLo {
+		e.dirtyLo = fromPage
+	}
+	if toPage > e.dirtyHi {
+		e.dirtyHi = toPage
+	}
+}
+
+func (e *entry) dirty() bool {
+	e.dmu.Lock()
+	defer e.dmu.Unlock()
+	return e.dirtyLo != e.dirtyHi
+}
+
+// takeDirty returns the dirty range and marks the extent clean.
+func (e *entry) takeDirty() (lo, hi int) {
+	e.dmu.Lock()
+	defer e.dmu.Unlock()
+	lo, hi = e.dirtyLo, e.dirtyHi
+	e.dirtyLo, e.dirtyHi = 0, 0
+	return lo, hi
+}
+
+// Stats counts pool traffic.
+type Stats struct {
+	Hits       atomic.Int64
+	Misses     atomic.Int64
+	Evictions  atomic.Int64
+	Writebacks atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of pool counters.
+type StatsSnapshot struct {
+	Hits, Misses, Evictions, Writebacks int64
+}
+
+// Snapshot returns current counter values.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Hits:       s.Hits.Load(),
+		Misses:     s.Misses.Load(),
+		Evictions:  s.Evictions.Load(),
+		Writebacks: s.Writebacks.Load(),
+	}
+}
+
+// Pool is the buffer-manager interface the blob layer programs against.
+type Pool interface {
+	// PageSize returns the page size in bytes.
+	PageSize() int
+	// FixExtent pins the extent [pid, pid+npages) in memory, reading it
+	// from the device if absent, and returns its frame.
+	FixExtent(m *simtime.Meter, pid storage.PID, npages int) (*Frame, error)
+	// CreateExtent pins a newly allocated extent without reading the
+	// device; the returned frame is zeroed, fully dirty, and evict-protected
+	// (prevent_evict=true) until the caller flushes it.
+	CreateExtent(m *simtime.Meter, pid storage.PID, npages int) (*Frame, error)
+	// FlushExtent writes the extent's dirty pages to the device, marks it
+	// clean, and clears prevent_evict. The frame stays pinned.
+	FlushExtent(m *simtime.Meter, f *Frame) error
+	// Drop removes an extent from the pool without writeback (used after
+	// BLOB deletion). The extent must be unpinned.
+	Drop(pid storage.PID)
+	// EvictAll force-evicts every unpinned, unprotected extent, writing
+	// back dirty ones (cold-cache experiments).
+	EvictAll(m *simtime.Meter) error
+	// ResidentPages reports the pages currently held in frames.
+	ResidentPages() int
+	// Stats exposes the pool counters.
+	Stats() *Stats
+
+	release(f *Frame)
+}

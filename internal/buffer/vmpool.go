@@ -1,0 +1,357 @@
+package buffer
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+)
+
+// VMPool is the vmcache+exmap-style buffer manager (§IV-A).
+//
+// All frame memory lives in one slab. An extent always occupies a
+// *contiguous* frame range, so fixing an extent yields a single byte range
+// after one translation — the property the paper exploits for cheap BLOB
+// reads. A small first-fit span allocator manages the slab; eviction makes
+// room by removing randomly sampled extents with probability proportional
+// to their size (§III-G "fair extent eviction").
+type VMPool struct {
+	pageSize  int
+	numPages  int // resident budget (the buffer pool size)
+	slabPages int // virtual slab size (over-provisioned, see NewVMPool)
+	slab      []byte
+	dev       storage.Device
+
+	mu         sync.Mutex
+	resident   map[storage.PID]*entry
+	order      []storage.PID // sampling population for eviction
+	spans      []span        // free slab ranges, sorted by offset
+	rng        *rand.Rand
+	maxExtSize int // largest extent seen, for the eviction probability
+	residentPg int
+
+	stats Stats
+}
+
+type span struct{ off, n int }
+
+// NewVMPool creates a vmcache-style pool of numPages resident frames over
+// dev.
+//
+// Like vmcache, frame placement is a *virtual* address concern: the real
+// system reserves virtual space far larger than physical memory and lets
+// the page table scatter physical pages, so a contiguous extent never
+// fails on fragmentation. Go cannot remap pages, so the slab is
+// over-provisioned 2x instead: the span allocator works in the roomy
+// virtual slab while eviction enforces the numPages resident budget.
+func NewVMPool(dev storage.Device, numPages int) *VMPool {
+	if numPages <= 0 {
+		panic("buffer: pool must have at least one page")
+	}
+	slabPages := numPages * 2
+	return &VMPool{
+		pageSize:   dev.PageSize(),
+		numPages:   numPages,
+		slabPages:  slabPages,
+		slab:       make([]byte, slabPages*dev.PageSize()),
+		dev:        dev,
+		resident:   map[storage.PID]*entry{},
+		spans:      []span{{0, slabPages}},
+		rng:        rand.New(rand.NewSource(42)),
+		maxExtSize: 1,
+	}
+}
+
+// PageSize implements Pool.
+func (p *VMPool) PageSize() int { return p.pageSize }
+
+// Stats implements Pool.
+func (p *VMPool) Stats() *Stats { return &p.stats }
+
+// ResidentPages implements Pool.
+func (p *VMPool) ResidentPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.residentPg
+}
+
+func (p *VMPool) frame(e *entry) *Frame {
+	off := e.frameOff * p.pageSize
+	return &Frame{
+		HeadPID:  e.headPID,
+		NPages:   e.npages,
+		data:     p.slab[off : off+e.npages*p.pageSize : off+e.npages*p.pageSize],
+		pageSize: p.pageSize,
+		entry:    e,
+		pool:     p,
+	}
+}
+
+// FixExtent implements Pool.
+func (p *VMPool) FixExtent(m *simtime.Meter, pid storage.PID, npages int) (*Frame, error) {
+	e, fresh, err := p.admit(m, pid, npages)
+	if err != nil {
+		return nil, err
+	}
+	if fresh {
+		// This worker is the single loader (coarse-grained latching): read
+		// the whole extent with one command while others wait.
+		off := e.frameOff * p.pageSize
+		if err := p.dev.ReadPages(m, pid, npages, p.slab[off:off+npages*p.pageSize]); err != nil {
+			e.loadErr = err
+			close(e.loaded)
+			p.release(p.frame(e))
+			return nil, err
+		}
+		close(e.loaded)
+	} else {
+		<-e.loaded
+		if err := e.loadErr; err != nil {
+			p.release(p.frame(e))
+			return nil, err
+		}
+	}
+	return p.frame(e), nil
+}
+
+// CreateExtent implements Pool.
+func (p *VMPool) CreateExtent(m *simtime.Meter, pid storage.PID, npages int) (*Frame, error) {
+	e, fresh, err := p.admit(m, pid, npages)
+	if err != nil {
+		return nil, err
+	}
+	if !fresh {
+		e.pins.Add(-1)
+		return nil, fmt.Errorf("buffer: CreateExtent(%d): extent already resident", pid)
+	}
+	off := e.frameOff * p.pageSize
+	clear(p.slab[off : off+npages*p.pageSize])
+	// Pages become dirty only as the caller writes content, so the
+	// commit-time flush writes exactly the dirty pages (§III-C).
+	e.preventEvict.Store(true)
+	close(e.loaded)
+	return p.frame(e), nil
+}
+
+// admit pins the extent's entry, creating it (fresh=true) when absent.
+func (p *VMPool) admit(m *simtime.Meter, pid storage.PID, npages int) (e *entry, fresh bool, err error) {
+	p.mu.Lock()
+	if e, ok := p.resident[pid]; ok {
+		if e.npages != npages {
+			p.mu.Unlock()
+			return nil, false, fmt.Errorf("buffer: extent %d resident with %d pages, fixed with %d",
+				pid, e.npages, npages)
+		}
+		e.pins.Add(1)
+		p.stats.Hits.Add(1)
+		p.mu.Unlock()
+		return e, false, nil
+	}
+	off, err := p.reserveLocked(m, npages)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, false, err
+	}
+	e = &entry{
+		headPID:  pid,
+		npages:   npages,
+		frameOff: off,
+		loaded:   make(chan struct{}),
+	}
+	e.pins.Store(1)
+	p.resident[pid] = e
+	p.order = append(p.order, pid)
+	p.residentPg += npages
+	if npages > p.maxExtSize {
+		p.maxExtSize = npages
+	}
+	p.stats.Misses.Add(1)
+	p.mu.Unlock()
+	return e, true, nil
+}
+
+// reserveLocked finds a contiguous frame range of npages, evicting random
+// extents until one is available.
+func (p *VMPool) reserveLocked(m *simtime.Meter, npages int) (int, error) {
+	if npages > p.numPages {
+		return 0, fmt.Errorf("buffer: extent of %d pages exceeds pool of %d: %w",
+			npages, p.numPages, ErrPoolFull)
+	}
+	// Enforce the resident budget first, then place the extent in the
+	// over-provisioned slab; evict further only if placement still fails.
+	for attempts := 0; ; attempts++ {
+		if p.residentPg+npages <= p.numPages {
+			if off, ok := p.allocSpanLocked(npages); ok {
+				return off, nil
+			}
+		}
+		if attempts > 64+16*len(p.order) {
+			return 0, fmt.Errorf("buffer: cannot fit %d pages: %w", npages, ErrPoolFull)
+		}
+		if err := p.evictOneLocked(m); err != nil {
+			return 0, err
+		}
+	}
+}
+
+func (p *VMPool) allocSpanLocked(n int) (int, bool) {
+	for i := range p.spans {
+		if p.spans[i].n >= n {
+			off := p.spans[i].off
+			p.spans[i].off += n
+			p.spans[i].n -= n
+			if p.spans[i].n == 0 {
+				p.spans = append(p.spans[:i], p.spans[i+1:]...)
+			}
+			return off, true
+		}
+	}
+	return 0, false
+}
+
+func (p *VMPool) freeSpanLocked(off, n int) {
+	// Insert sorted by offset and coalesce with neighbors.
+	i := 0
+	for i < len(p.spans) && p.spans[i].off < off {
+		i++
+	}
+	p.spans = append(p.spans, span{})
+	copy(p.spans[i+1:], p.spans[i:])
+	p.spans[i] = span{off, n}
+	// Coalesce with next, then previous.
+	if i+1 < len(p.spans) && p.spans[i].off+p.spans[i].n == p.spans[i+1].off {
+		p.spans[i].n += p.spans[i+1].n
+		p.spans = append(p.spans[:i+1], p.spans[i+2:]...)
+	}
+	if i > 0 && p.spans[i-1].off+p.spans[i-1].n == p.spans[i].off {
+		p.spans[i-1].n += p.spans[i].n
+		p.spans = append(p.spans[:i], p.spans[i+1:]...)
+	}
+}
+
+// evictOneLocked samples extents at random and evicts the first eligible
+// one, accepting a candidate of size s with probability s/maxExtSize — the
+// paper's fairness rule `if (rand(MAX_EXT_SIZE) < extent_size[pid]) Evict()`.
+func (p *VMPool) evictOneLocked(m *simtime.Meter) error {
+	if len(p.order) == 0 {
+		return fmt.Errorf("buffer: nothing to evict: %w", ErrPoolFull)
+	}
+	for tries := 0; tries < 8*len(p.order)+64; tries++ {
+		idx := p.rng.Intn(len(p.order))
+		e := p.resident[p.order[idx]]
+		if e == nil || e.pins.Load() > 0 || e.preventEvict.Load() {
+			continue
+		}
+		select {
+		case <-e.loaded:
+		default:
+			continue // still loading
+		}
+		if p.rng.Intn(p.maxExtSize) >= e.npages {
+			continue // fairness rule: bigger extents evict proportionally more often
+		}
+		if e.dirty() {
+			if err := p.writeBackLocked(m, e); err != nil {
+				return err
+			}
+		}
+		p.removeLocked(e)
+		p.stats.Evictions.Add(1)
+		return nil
+	}
+	return fmt.Errorf("buffer: all extents pinned or protected: %w", ErrPoolFull)
+}
+
+func (p *VMPool) writeBackLocked(m *simtime.Meter, e *entry) error {
+	lo, hi := e.takeDirty()
+	if lo == hi {
+		return nil
+	}
+	off := (e.frameOff + lo) * p.pageSize
+	err := p.dev.WritePages(m, e.headPID+storage.PID(lo), hi-lo, p.slab[off:off+(hi-lo)*p.pageSize])
+	if err != nil {
+		e.markDirty(lo, hi) // restore so the data is not silently lost
+		return err
+	}
+	p.stats.Writebacks.Add(1)
+	return nil
+}
+
+// removeLocked unlinks e from the resident structures and frees its frames.
+func (p *VMPool) removeLocked(e *entry) {
+	delete(p.resident, e.headPID)
+	for i, pid := range p.order {
+		if pid == e.headPID {
+			p.order[i] = p.order[len(p.order)-1]
+			p.order = p.order[:len(p.order)-1]
+			break
+		}
+	}
+	p.freeSpanLocked(e.frameOff, e.npages)
+	p.residentPg -= e.npages
+}
+
+// FlushExtent implements Pool.
+func (p *VMPool) FlushExtent(m *simtime.Meter, f *Frame) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := f.entry
+	if e.dirty() {
+		if err := p.writeBackLocked(m, e); err != nil {
+			return err
+		}
+	}
+	e.preventEvict.Store(false)
+	return nil
+}
+
+// Drop implements Pool.
+func (p *VMPool) Drop(pid storage.PID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.resident[pid]
+	if !ok {
+		return
+	}
+	if e.pins.Load() > 0 {
+		panic("buffer: Drop of pinned extent")
+	}
+	p.removeLocked(e)
+}
+
+// EvictAll implements Pool.
+func (p *VMPool) EvictAll(m *simtime.Meter) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pid := range append([]storage.PID(nil), p.order...) {
+		e := p.resident[pid]
+		if e == nil || e.pins.Load() > 0 || e.preventEvict.Load() {
+			continue
+		}
+		if e.dirty() {
+			if err := p.writeBackLocked(m, e); err != nil {
+				return err
+			}
+		}
+		p.removeLocked(e)
+		p.stats.Evictions.Add(1)
+	}
+	return nil
+}
+
+func (p *VMPool) release(f *Frame) {
+	n := f.entry.pins.Add(-1)
+	if n < 0 {
+		panic("buffer: double release")
+	}
+	if n == 0 && f.entry.loadErr != nil {
+		// Last pin of a failed load: unlink the poisoned entry.
+		p.mu.Lock()
+		if p.resident[f.entry.headPID] == f.entry {
+			p.removeLocked(f.entry)
+		}
+		p.mu.Unlock()
+	}
+}

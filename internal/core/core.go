@@ -1,0 +1,296 @@
+// Package core is the storage engine of the reproduction: a LeanStore-like
+// embedded engine with relations, ACID transactions, and first-class BLOB
+// columns implementing the paper's design — Blob State indirection
+// (§III-B), single-flush durability (§III-C), extent recycling (§III-D),
+// content and semantic indexing (§III-F), and virtual-memory-assisted reads
+// (§IV).
+//
+// The public entry point is Open; transactions are created with Begin. The
+// engine runs in-process (like SQLite) — the paper attributes much of
+// PostgreSQL's and MySQL's BLOB overhead to their client/server boundary,
+// which this engine simply does not have.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"blobdb/internal/blob"
+	"blobdb/internal/btree"
+	"blobdb/internal/buffer"
+	"blobdb/internal/extent"
+	"blobdb/internal/storage"
+	"blobdb/internal/wal"
+)
+
+// Errors returned by the engine.
+var (
+	ErrNoRelation  = errors.New("core: relation does not exist")
+	ErrRelExists   = errors.New("core: relation already exists")
+	ErrKeyNotFound = errors.New("core: key not found")
+	ErrTxnDone     = errors.New("core: transaction already finished")
+	ErrNotBlob     = errors.New("core: value is not a BLOB column")
+)
+
+// Options configures Open.
+type Options struct {
+	// Dev is the block device; required.
+	Dev storage.Device
+	// PoolPages sizes the buffer pool (default: 1/4 of the device).
+	PoolPages int
+	// LogPages sizes the WAL region (default: 1/16 of the device).
+	LogPages uint64
+	// CkptPages sizes the checkpoint region (default: 1/8 of the device).
+	CkptPages uint64
+	// HashTablePool selects the Our.ht baseline buffer manager instead of
+	// the vmcache-style pool.
+	HashTablePool bool
+	// PhysicalBlobLog selects the Our.physlog baseline: blob content is
+	// appended to the WAL in addition to the Blob State.
+	PhysicalBlobLog bool
+	// UseTailExtents enables §III-A tail extents.
+	UseTailExtents bool
+	// WorkerLocalAliasPages sizes each worker-local aliasing area
+	// (default 1024 pages = 4 MB).
+	WorkerLocalAliasPages int
+	// WALBufferCap sizes per-transaction WAL buffers (default 10 MB).
+	WALBufferCap int
+	// CheckpointThreshold triggers a checkpoint after this many logged
+	// bytes (default: half the log region).
+	CheckpointThreshold int64
+	// AsyncCommit enables the background commit pipeline (asynccommit.go):
+	// hashing, WAL flush, and extent flush run on a committer goroutine and
+	// Commit returns at enqueue. Used by the throughput benchmarks; tests
+	// needing a durability point call DrainCommits.
+	AsyncCommit bool
+}
+
+// DB is an open database.
+type DB struct {
+	opts  Options
+	dev   storage.Device
+	wal   *wal.Manager
+	pool  buffer.Pool
+	alloc *extent.Allocator
+	alias *buffer.AliasManager
+	blobs *blob.Manager
+
+	ckptStart storage.PID
+	ckptPages uint64
+
+	mu   sync.RWMutex // guards rels
+	rels map[string]*Relation
+
+	locks   lockTable
+	nextTxn atomic.Uint64
+	commit  *committer // non-nil in AsyncCommit mode
+
+	// ckptMu serializes checkpoints against commits so a checkpoint image
+	// never captures a commit's tree change without its extent flush.
+	ckptMu sync.Mutex
+}
+
+// Relation is a named key/value relation whose values are inline bytes or
+// BLOB columns (Blob States stored with the tuple, §III-B).
+type Relation struct {
+	name string
+	mu   sync.RWMutex
+	tree *btree.Tree
+
+	contentIdx  *ContentIndex
+	semanticIdx map[string]*SemanticIndex
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Open initializes a database over the device. The device is laid out as
+// [WAL | checkpoint area | extent region].
+func Open(o Options) (*DB, error) {
+	if o.Dev == nil {
+		return nil, errors.New("core: Options.Dev is required")
+	}
+	n := o.Dev.NumPages()
+	if o.LogPages == 0 {
+		o.LogPages = n / 16
+	}
+	if o.CkptPages == 0 {
+		o.CkptPages = n / 8
+	}
+	if o.PoolPages == 0 {
+		o.PoolPages = int(n / 4)
+	}
+	if o.WorkerLocalAliasPages == 0 {
+		o.WorkerLocalAliasPages = 1024
+	}
+	heapStart := storage.PID(o.LogPages + o.CkptPages)
+	if uint64(heapStart) >= n {
+		return nil, fmt.Errorf("core: device of %d pages too small for log %d + checkpoint %d",
+			n, o.LogPages, o.CkptPages)
+	}
+
+	db := &DB{
+		opts:      o,
+		dev:       o.Dev,
+		ckptStart: storage.PID(o.LogPages),
+		ckptPages: o.CkptPages,
+		rels:      map[string]*Relation{},
+	}
+	db.wal = wal.NewManager(o.Dev, 0, storage.PID(o.LogPages))
+	if o.WALBufferCap > 0 {
+		db.wal.SetBufferCap(o.WALBufferCap)
+	}
+	if o.CheckpointThreshold > 0 {
+		db.wal.CheckpointThreshold = o.CheckpointThreshold
+	} else {
+		db.wal.CheckpointThreshold = int64(o.LogPages) * int64(o.Dev.PageSize()) / 2
+	}
+	db.wal.OnCheckpoint = db.writeCheckpoint
+
+	if o.HashTablePool {
+		db.pool = buffer.NewHTPool(o.Dev, o.PoolPages)
+	} else {
+		db.pool = buffer.NewVMPool(o.Dev, o.PoolPages)
+	}
+	db.alloc = extent.NewAllocator(extent.NewTierTable(extent.DefaultTiersPerLevel),
+		heapStart, storage.PID(n))
+	db.alias = buffer.NewAliasManager(o.Dev.PageSize(), o.WorkerLocalAliasPages, o.PoolPages)
+	db.blobs = blob.NewManager(db.pool, db.alloc, db.alias)
+	db.blobs.UseTail = o.UseTailExtents
+	db.locks.init()
+	if o.AsyncCommit {
+		db.blobs.DeferHash = true
+		db.startCommitter()
+	}
+	return db, nil
+}
+
+// Blobs exposes the blob manager (used by benchmarks and the FUSE layer).
+func (db *DB) Blobs() *blob.Manager { return db.blobs }
+
+// Pool exposes the buffer pool.
+func (db *DB) Pool() buffer.Pool { return db.pool }
+
+// WAL exposes the write-ahead log manager.
+func (db *DB) WAL() *wal.Manager { return db.wal }
+
+// Allocator exposes the extent allocator.
+func (db *DB) Allocator() *extent.Allocator { return db.alloc }
+
+// AliasManager exposes the aliasing-area manager.
+func (db *DB) AliasManager() *buffer.AliasManager { return db.alias }
+
+// CreateRelation creates a relation ("CREATE TABLE image(filename VARCHAR
+// PRIMARY KEY, content BLOB)" maps to CreateRelation("image")).
+func (db *DB) CreateRelation(name string) (*Relation, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.rels[name]; ok {
+		return nil, fmt.Errorf("core: %q: %w", name, ErrRelExists)
+	}
+	r := &Relation{name: name, tree: btree.New(nil), semanticIdx: map[string]*SemanticIndex{}}
+	db.rels[name] = r
+	return r, nil
+}
+
+// Relation looks up a relation by name.
+func (db *DB) Relation(name string) (*Relation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("core: %q: %w", name, ErrNoRelation)
+	}
+	return r, nil
+}
+
+// Relations returns the relation names in unspecified order.
+func (db *DB) Relations() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.rels))
+	for name := range db.rels {
+		out = append(out, name)
+	}
+	return out
+}
+
+// value encoding: tag byte then payload.
+const (
+	tagInline byte = 0
+	tagBlob   byte = 1
+)
+
+// decodeValue splits a stored value into its tag and payload.
+func decodeValue(v []byte) (byte, []byte, error) {
+	if len(v) == 0 {
+		return 0, nil, errors.New("core: empty stored value")
+	}
+	return v[0], v[1:], nil
+}
+
+// DesignSummary returns the qualitative Table I row for this engine.
+func DesignSummary() map[string]string {
+	return map[string]string{
+		"Physical storage format": "Extent sequence (flat list, tier-sized extents, optional tail extent)",
+		"Max size":                "10PB (127 extents, 4KB pages, 10 tiers/level)",
+		"Read cost":               "Low (one vectored read per BLOB, single indirection)",
+		"Indexing - Prefix limit": "Arbitrary size (Blob State index, incremental comparator)",
+		"Duplicated copies":       "None (single-flush logging; WAL carries only the Blob State)",
+	}
+}
+
+// lockTable implements exclusive record locks for 2PL on Blob State rows
+// (§III-H). Lock keys are "relation\x00primarykey".
+type lockTable struct {
+	mu    sync.Mutex
+	locks map[string]*recordLock
+}
+
+type recordLock struct {
+	mu    sync.Mutex
+	owner uint64 // txn id holding the lock (under lockTable.mu)
+	refs  int
+}
+
+func (lt *lockTable) init() { lt.locks = map[string]*recordLock{} }
+
+// acquire blocks until the lock for key is held by txn. Reentrant per txn.
+func (lt *lockTable) acquire(txn uint64, key string) bool {
+	lt.mu.Lock()
+	l, ok := lt.locks[key]
+	if !ok {
+		l = &recordLock{}
+		lt.locks[key] = l
+	}
+	if l.owner == txn && l.refs > 0 {
+		lt.mu.Unlock()
+		return false // already held; no extra release needed
+	}
+	l.refs++
+	lt.mu.Unlock()
+
+	l.mu.Lock()
+	lt.mu.Lock()
+	l.owner = txn
+	lt.mu.Unlock()
+	return true
+}
+
+func (lt *lockTable) release(key string) {
+	lt.mu.Lock()
+	l := lt.locks[key]
+	l.owner = 0
+	l.refs--
+	if l.refs == 0 {
+		delete(lt.locks, key)
+	}
+	lt.mu.Unlock()
+	l.mu.Unlock()
+}
+
+func lockKey(rel string, key []byte) string {
+	return rel + "\x00" + string(key)
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"blobdb/internal/blob"
+)
+
+// seedBlobs commits n deterministic blobs into relation r and returns
+// key -> content.
+func seedBlobs(t *testing.T, db *DB, rel string, n int, gen func(i int) []byte) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%04d", i)
+		content := gen(i)
+		tx := db.Begin(nil)
+		if err := tx.PutBlob(rel, []byte(key), content); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+		out[key] = content
+	}
+	return out
+}
+
+func TestContentIndexExactLookup(t *testing.T) {
+	db := openTest(t, testOpts())
+	db.CreateRelation("doc")
+	rng := rand.New(rand.NewSource(1))
+	data := seedBlobs(t, db, "doc", 50, func(i int) []byte {
+		b := make([]byte, 500+rng.Intn(20<<10))
+		rng.Read(b)
+		return b
+	})
+	idx, err := db.CreateContentIndex("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Stats().Entries != 50 {
+		t.Fatalf("index entries = %d", idx.Stats().Entries)
+	}
+	for key, content := range data {
+		got, err := idx.LookupExact(content)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || string(got[0]) != key {
+			t.Fatalf("LookupExact(%s) = %q", key, got)
+		}
+	}
+	if got, err := idx.LookupExact([]byte("no such content")); err != nil || len(got) != 0 {
+		t.Errorf("missing content lookup = %q, %v", got, err)
+	}
+}
+
+func TestContentIndexOrdersByContent(t *testing.T) {
+	db := openTest(t, testOpts())
+	db.CreateRelation("doc")
+	// Insert in random key order with contents that sort differently.
+	contents := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for i, c := range contents {
+		tx := db.Begin(nil)
+		// Pad so blobs span real extents.
+		tx.PutBlob("doc", []byte(fmt.Sprintf("key%d", i)), append([]byte(c), bytes.Repeat([]byte{'-'}, 9000)...))
+		mustCommit(t, tx)
+	}
+	idx, err := db.CreateContentIndex("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	idx.Range(nil, nil, func(pk []byte, st *blob.State) bool {
+		// Read back the first bytes of each blob to learn its content word.
+		b, _ := db.blobs.ReadAll(nil, st)
+		order = append(order, string(b[:bytes.IndexByte(b, '-')]))
+		return true
+	})
+	want := append([]string(nil), contents...)
+	sort.Strings(want)
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("index order = %v, want %v", order, want)
+	}
+}
+
+func TestContentIndexRange(t *testing.T) {
+	db := openTest(t, testOpts())
+	db.CreateRelation("doc")
+	for i := 0; i < 26; i++ {
+		tx := db.Begin(nil)
+		content := append([]byte{byte('a' + i)}, bytes.Repeat([]byte{'x'}, 5000)...)
+		tx.PutBlob("doc", []byte(fmt.Sprintf("k%c", 'a'+i)), content)
+		mustCommit(t, tx)
+	}
+	idx, err := db.CreateContentIndex("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err = idx.Range([]byte("f"), []byte("m"), func(pk []byte, st *blob.State) bool {
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 { // f..l inclusive
+		t.Errorf("range returned %d entries, want 7", n)
+	}
+}
+
+func TestContentIndexMaintainedByWrites(t *testing.T) {
+	db := openTest(t, testOpts())
+	db.CreateRelation("doc")
+	if _, err := db.CreateContentIndex("doc"); err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := db.ContentIndexOf("doc")
+
+	tx := db.Begin(nil)
+	tx.PutBlob("doc", []byte("k1"), []byte("first content with enough bytes to matter"))
+	mustCommit(t, tx)
+	if idx.Stats().Entries != 1 {
+		t.Fatalf("entries after put = %d", idx.Stats().Entries)
+	}
+
+	// Replace: old entry out, new entry in.
+	tx2 := db.Begin(nil)
+	tx2.PutBlob("doc", []byte("k1"), []byte("replacement content"))
+	mustCommit(t, tx2)
+	if idx.Stats().Entries != 1 {
+		t.Fatalf("entries after replace = %d", idx.Stats().Entries)
+	}
+	got, _ := idx.LookupExact([]byte("replacement content"))
+	if len(got) != 1 {
+		t.Error("replacement not found via index")
+	}
+	gone, _ := idx.LookupExact([]byte("first content with enough bytes to matter"))
+	if len(gone) != 0 {
+		t.Error("stale index entry for replaced blob")
+	}
+
+	// Delete.
+	tx3 := db.Begin(nil)
+	tx3.DeleteBlob("doc", []byte("k1"))
+	mustCommit(t, tx3)
+	if idx.Stats().Entries != 0 {
+		t.Errorf("entries after delete = %d", idx.Stats().Entries)
+	}
+}
+
+func TestContentIndexAbortRestores(t *testing.T) {
+	db := openTest(t, testOpts())
+	db.CreateRelation("doc")
+	tx := db.Begin(nil)
+	tx.PutBlob("doc", []byte("k"), []byte("committed content"))
+	mustCommit(t, tx)
+	idx, _ := db.CreateContentIndex("doc")
+
+	tx2 := db.Begin(nil)
+	tx2.PutBlob("doc", []byte("k"), []byte("aborted content"))
+	tx2.Abort()
+
+	got, _ := idx.LookupExact([]byte("committed content"))
+	if len(got) != 1 {
+		t.Error("abort lost the committed index entry")
+	}
+	gone, _ := idx.LookupExact([]byte("aborted content"))
+	if len(gone) != 0 {
+		t.Error("aborted content visible in index")
+	}
+}
+
+func TestSemanticIndex(t *testing.T) {
+	db := openTest(t, testOpts())
+	db.CreateRelation("image")
+	// classify() stand-in: first byte of content decides the label.
+	classify := func(content []byte) []byte {
+		if len(content) > 0 && content[0]%2 == 0 {
+			return []byte("cat")
+		}
+		return []byte("dog")
+	}
+	var cats int
+	for i := 0; i < 30; i++ {
+		tx := db.Begin(nil)
+		content := append([]byte{byte(i)}, bytes.Repeat([]byte{0xEE}, 2000)...)
+		tx.PutBlob("image", []byte(fmt.Sprintf("img%02d", i)), content)
+		mustCommit(t, tx)
+		if i%2 == 0 {
+			cats++
+		}
+	}
+	idx, err := db.CreateSemanticIndex("image", "by_class", classify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idx.Lookup([]byte("cat"))
+	if len(got) != cats {
+		t.Errorf("cat lookup = %d keys, want %d", len(got), cats)
+	}
+	// New writes maintain the index.
+	tx := db.Begin(nil)
+	tx.PutBlob("image", []byte("extra"), []byte{2, 2, 2}) // cat
+	mustCommit(t, tx)
+	if len(idx.Lookup([]byte("cat"))) != cats+1 {
+		t.Error("semantic index not maintained on insert")
+	}
+	// Delete maintains the index.
+	tx2 := db.Begin(nil)
+	tx2.DeleteBlob("image", []byte("extra"))
+	mustCommit(t, tx2)
+	if len(idx.Lookup([]byte("cat"))) != cats {
+		t.Error("semantic index not maintained on delete")
+	}
+	if _, err := db.SemanticIndexOf("image", "by_class"); err != nil {
+		t.Error(err)
+	}
+	if _, err := db.SemanticIndexOf("image", "nope"); err == nil {
+		t.Error("missing index lookup should fail")
+	}
+}
+
+func TestContentIndexDuplicateContent(t *testing.T) {
+	// Two different keys with identical content: the Blob State index keys
+	// are byte-identical states except extents; since equality is by
+	// SHA-256, the second insert replaces the first entry. This mirrors a
+	// unique content index; assert the behaviour is stable.
+	db := openTest(t, testOpts())
+	db.CreateRelation("doc")
+	db.CreateContentIndex("doc")
+	idx, _ := db.ContentIndexOf("doc")
+	same := []byte("identical content bytes")
+	for _, k := range []string{"k1", "k2"} {
+		tx := db.Begin(nil)
+		tx.PutBlob("doc", []byte(k), same)
+		mustCommit(t, tx)
+	}
+	got, _ := idx.LookupExact(same)
+	if len(got) != 1 {
+		t.Fatalf("duplicate-content lookup = %d entries", len(got))
+	}
+	if string(got[0]) != "k2" {
+		t.Errorf("surviving entry = %q, want the latest writer k2", got[0])
+	}
+}

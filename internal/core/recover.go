@@ -1,0 +1,400 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"blobdb/internal/blob"
+	"blobdb/internal/btree"
+	"blobdb/internal/extent"
+	"blobdb/internal/sha256x"
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+	"blobdb/internal/wal"
+)
+
+// checkpoint image format (page-aligned in the checkpoint region):
+//
+//	magic u64 | totalLen u64 | crc32 u32 | pad to 24 | body
+//	body: hwm u64 | relCount u32 |
+//	      per relation: nameLen u16 name entryCount u64
+//	                    entries: klen u32 k vlen u32 v
+const ckptMagic = 0x424c4f42_434b5054 // "BLOBCKPT"
+
+const ckptHeaderLen = 24
+
+func newContentHasher() *sha256x.Fast { return sha256x.BestHasher() }
+
+// writeCheckpoint serializes all relations and the allocator high-water
+// mark to the checkpoint region. Installed as the WAL's OnCheckpoint hook,
+// so it runs with the WAL manager's lock held.
+func (db *DB) writeCheckpoint(m *simtime.Meter, epoch uint32) error {
+	body := make([]byte, 0, 1<<16)
+	var u8 [8]byte
+	var u4 [4]byte
+	var u2 [2]byte
+
+	binary.LittleEndian.PutUint64(u8[:], uint64(db.alloc.HWM()))
+	body = append(body, u8[:]...)
+	binary.LittleEndian.PutUint32(u4[:], epoch)
+	body = append(body, u4[:]...)
+
+	db.mu.RLock()
+	names := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		names = append(names, n)
+	}
+	rels := make([]*Relation, 0, len(names))
+	for _, n := range names {
+		rels = append(rels, db.rels[n])
+	}
+	db.mu.RUnlock()
+
+	binary.LittleEndian.PutUint32(u4[:], uint32(len(rels)))
+	body = append(body, u4[:]...)
+	for i, r := range rels {
+		binary.LittleEndian.PutUint16(u2[:], uint16(len(names[i])))
+		body = append(body, u2[:]...)
+		body = append(body, names[i]...)
+
+		r.mu.RLock()
+		binary.LittleEndian.PutUint64(u8[:], uint64(r.tree.Len()))
+		body = append(body, u8[:]...)
+		r.tree.Ascend(nil, func(k, v []byte) bool {
+			binary.LittleEndian.PutUint32(u4[:], uint32(len(k)))
+			body = append(body, u4[:]...)
+			body = append(body, k...)
+			binary.LittleEndian.PutUint32(u4[:], uint32(len(v)))
+			body = append(body, u4[:]...)
+			body = append(body, v...)
+			return true
+		})
+		r.mu.RUnlock()
+	}
+
+	total := ckptHeaderLen + len(body)
+	pageSize := db.dev.PageSize()
+	pages := (total + pageSize - 1) / pageSize
+	if uint64(pages) > db.ckptPages {
+		return fmt.Errorf("core: checkpoint of %d pages exceeds region of %d", pages, db.ckptPages)
+	}
+	buf := make([]byte, pages*pageSize)
+	binary.LittleEndian.PutUint64(buf[0:], ckptMagic)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(body)))
+	binary.LittleEndian.PutUint32(buf[16:], crc32.ChecksumIEEE(body))
+	copy(buf[ckptHeaderLen:], body)
+	if err := db.dev.WritePages(m, db.ckptStart, pages, buf); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// readCheckpoint loads the checkpoint image, returning the relations and
+// allocator high-water mark, or ok=false when no valid checkpoint exists.
+func (db *DB) readCheckpoint(m *simtime.Meter) (rels map[string]*btree.Tree, hwm storage.PID, epoch uint32, ok bool, err error) {
+	pageSize := db.dev.PageSize()
+	head := make([]byte, pageSize)
+	if err := db.dev.ReadPages(m, db.ckptStart, 1, head); err != nil {
+		return nil, 0, 0, false, err
+	}
+	if binary.LittleEndian.Uint64(head[0:]) != ckptMagic {
+		return nil, 0, 0, false, nil
+	}
+	bodyLen := int(binary.LittleEndian.Uint64(head[8:]))
+	wantCRC := binary.LittleEndian.Uint32(head[16:])
+	total := ckptHeaderLen + bodyLen
+	pages := (total + pageSize - 1) / pageSize
+	if uint64(pages) > db.ckptPages {
+		return nil, 0, 0, false, fmt.Errorf("core: checkpoint header declares %d pages", pages)
+	}
+	buf := make([]byte, pages*pageSize)
+	if err := db.dev.ReadPages(m, db.ckptStart, pages, buf); err != nil {
+		return nil, 0, 0, false, err
+	}
+	body := buf[ckptHeaderLen : ckptHeaderLen+bodyLen]
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, 0, 0, false, nil // torn checkpoint: ignore
+	}
+
+	rd := func(n int) ([]byte, error) {
+		if len(body) < n {
+			return nil, fmt.Errorf("core: checkpoint body truncated")
+		}
+		out := body[:n]
+		body = body[n:]
+		return out, nil
+	}
+	b, err := rd(8)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	hwm = storage.PID(binary.LittleEndian.Uint64(b))
+	if b, err = rd(4); err != nil {
+		return nil, 0, 0, false, err
+	}
+	epoch = binary.LittleEndian.Uint32(b)
+	b, err = rd(4)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	relCount := int(binary.LittleEndian.Uint32(b))
+	rels = map[string]*btree.Tree{}
+	for i := 0; i < relCount; i++ {
+		if b, err = rd(2); err != nil {
+			return nil, 0, 0, false, err
+		}
+		nameLen := int(binary.LittleEndian.Uint16(b))
+		if b, err = rd(nameLen); err != nil {
+			return nil, 0, 0, false, err
+		}
+		name := string(b)
+		if b, err = rd(8); err != nil {
+			return nil, 0, 0, false, err
+		}
+		count := int(binary.LittleEndian.Uint64(b))
+		tree := btree.New(nil)
+		for j := 0; j < count; j++ {
+			if b, err = rd(4); err != nil {
+				return nil, 0, 0, false, err
+			}
+			klen := int(binary.LittleEndian.Uint32(b))
+			var k []byte
+			if k, err = rd(klen); err != nil {
+				return nil, 0, 0, false, err
+			}
+			if b, err = rd(4); err != nil {
+				return nil, 0, 0, false, err
+			}
+			vlen := int(binary.LittleEndian.Uint32(b))
+			var v []byte
+			if v, err = rd(vlen); err != nil {
+				return nil, 0, 0, false, err
+			}
+			tree.Put(k, v)
+		}
+		rels[name] = tree
+	}
+	return rels, hwm, epoch, true, nil
+}
+
+// RecoveryReport summarizes what Recover did.
+type RecoveryReport struct {
+	CommittedTxns  int // transactions with a durable commit record
+	RedoneRecords  int // logical records reapplied
+	ValidatedBlobs int // Blob States whose content passed SHA-256 validation
+	FailedBlobs    int // §III-C: states durable but content invalid — txn failed
+	DroppedTuples  int // tuples removed because their blob failed validation
+	LiveExtents    int // extents owned by surviving blobs
+	RecoveredHWM   storage.PID
+	FromCheckpoint bool
+}
+
+// Recover rebuilds the database state from the device after a crash: the
+// checkpoint image is the redo base, committed WAL records are reapplied,
+// and — the paper's Analysis-phase rule (§III-C) — every Blob State is
+// validated against its SHA-256; transactions whose blob content did not
+// make it to the device before the crash are treated as failed and undone.
+func Recover(o Options, m *simtime.Meter) (*DB, *RecoveryReport, error) {
+	db, err := Open(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &RecoveryReport{}
+
+	base, hwm, epoch, ok, err := db.readCheckpoint(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.FromCheckpoint = ok
+	if ok {
+		db.wal.SetEpoch(epoch)
+		for name, tree := range base {
+			r := &Relation{name: name, tree: tree, semanticIdx: map[string]*SemanticIndex{}}
+			db.rels[name] = r
+		}
+	}
+
+	// Analysis: find committed transactions.
+	committed := map[uint64]bool{}
+	var records []wal.Record
+	err = db.wal.Scan(m, func(r wal.Record) bool {
+		if r.Type == wal.RecCommit {
+			committed[r.TxnID] = true
+		}
+		records = append(records, wal.Record{
+			LSN: r.LSN, TxnID: r.TxnID, Type: r.Type,
+			Payload: append([]byte(nil), r.Payload...),
+		})
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.CommittedTxns = len(committed)
+
+	// Blob validation (the paper's Analysis-phase SHA-256 check, §III-C):
+	// a committed transaction whose *surviving* Blob State does not
+	// validate against the device content is treated as failed — the crash
+	// hit between its WAL flush and its extent flush — and ALL of its
+	// records are undone (skipped from redo). Only the last writer per key
+	// is validated: extents of superseded blob versions are legitimately
+	// recycled by later transactions.
+	type rk struct{ rel, key string }
+	lastWriter := map[rk]int{} // record index of the final committed write per key
+	for i, rec := range records {
+		if !committed[rec.TxnID] {
+			continue
+		}
+		switch rec.Type {
+		case wal.RecHeapPut, wal.RecBlobState, wal.RecHeapDelete:
+			relName, key, _, err := parseHeapPayload(rec.Payload)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: analyze LSN %d: %w", rec.LSN, err)
+			}
+			lastWriter[rk{relName, string(key)}] = i
+		}
+	}
+	failed := map[uint64]bool{}
+	for _, idx := range lastWriter {
+		rec := records[idx]
+		if rec.Type != wal.RecBlobState {
+			continue
+		}
+		_, _, value, err := parseHeapPayload(rec.Payload)
+		if err != nil || len(value) == 0 || value[0] != tagBlob {
+			continue
+		}
+		st, err := blob.Decode(value[1:])
+		if err != nil || !db.validateBlob(m, st) {
+			failed[rec.TxnID] = true
+			rep.FailedBlobs++
+			// Validation read the (garbage) extents into the pool; their
+			// page ranges are about to become free space, so evict them or
+			// a future allocation of the same pages will collide with the
+			// stale resident entries.
+			if st != nil {
+				db.dropStateFromPool(st)
+			}
+		} else {
+			rep.ValidatedBlobs++
+		}
+	}
+
+	// Redo: reapply logical records of committed, non-failed transactions
+	// in log order.
+	for _, rec := range records {
+		if !committed[rec.TxnID] || failed[rec.TxnID] {
+			continue
+		}
+		switch rec.Type {
+		case wal.RecHeapPut, wal.RecBlobState, wal.RecHeapDelete:
+			relName, key, value, err := parseHeapPayload(rec.Payload)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: redo LSN %d: %w", rec.LSN, err)
+			}
+			r, ok := db.rels[relName]
+			if !ok {
+				r = &Relation{name: relName, tree: btree.New(nil), semanticIdx: map[string]*SemanticIndex{}}
+				db.rels[relName] = r
+			}
+			if rec.Type == wal.RecHeapDelete || len(value) == 0 {
+				r.tree.Delete(key)
+			} else {
+				r.tree.Put(key, value)
+			}
+			rep.RedoneRecords++
+		}
+	}
+
+	// Sweep: every surviving Blob State (including checkpoint-sourced ones
+	// not covered by the WAL pass) must hash-validate; stragglers are
+	// dropped tuple-wise as a last resort.
+	var live []extent.Extent
+	maxEnd := hwm
+	tiers := db.alloc.Tiers()
+	heapStart := storage.PID(db.opts.LogPages + db.opts.CkptPages)
+	if maxEnd < heapStart {
+		maxEnd = heapStart
+	}
+	for _, r := range db.rels {
+		type drop struct {
+			key []byte
+			st  *blob.State
+		}
+		var drops []drop
+		r.tree.Ascend(nil, func(k, v []byte) bool {
+			tag, payload, err := decodeValue(v)
+			if err != nil || tag != tagBlob {
+				return true
+			}
+			st, err := blob.Decode(payload)
+			if err != nil {
+				drops = append(drops, drop{append([]byte(nil), k...), nil})
+				return true
+			}
+			if !db.validateBlob(m, st) {
+				drops = append(drops, drop{append([]byte(nil), k...), st})
+				return true
+			}
+			for i, pid := range st.Extents {
+				live = append(live, extent.Extent{PID: pid, Pages: tiers.Size(i)})
+				if end := pid + storage.PID(tiers.Size(i)); end > maxEnd {
+					maxEnd = end
+				}
+			}
+			if st.HasTail() {
+				live = append(live, extent.Extent{PID: st.Tail.PID, Pages: st.Tail.Pages})
+				if end := st.Tail.PID + storage.PID(st.Tail.Pages); end > maxEnd {
+					maxEnd = end
+				}
+			}
+			return true
+		})
+		for _, d := range drops {
+			r.tree.Delete(d.key)
+			rep.DroppedTuples++
+			if d.st != nil {
+				db.dropStateFromPool(d.st)
+			}
+		}
+	}
+	rep.LiveExtents = len(live)
+	rep.RecoveredHWM = maxEnd
+	if err := db.alloc.Rebuild(maxEnd, live); err != nil {
+		return nil, nil, fmt.Errorf("core: rebuild allocator: %w", err)
+	}
+	// Finish with a checkpoint: the recovered state becomes the new redo
+	// base and the replayed log is truncated (stale flushes are left behind
+	// under an old epoch).
+	if err := db.wal.Checkpoint(m); err != nil {
+		return nil, nil, fmt.Errorf("core: post-recovery checkpoint: %w", err)
+	}
+	return db, rep, nil
+}
+
+// dropStateFromPool evicts a dead blob's extents from the buffer pool so
+// their page ranges can be reallocated without colliding with stale
+// resident entries.
+func (db *DB) dropStateFromPool(st *blob.State) {
+	for _, pid := range st.Extents {
+		db.pool.Drop(pid)
+	}
+	if st.HasTail() {
+		db.pool.Drop(st.Tail.PID)
+	}
+}
+
+// validateBlob reads the blob's extents from the device and checks the
+// content against the Blob State's SHA-256.
+func (db *DB) validateBlob(m *simtime.Meter, st *blob.State) bool {
+	h := newContentHasher()
+	err := db.blobs.Stream(m, st, func(chunk []byte) bool {
+		h.Write(chunk)
+		return true
+	})
+	if err != nil {
+		return false
+	}
+	return h.Sum256() == st.SHA256
+}

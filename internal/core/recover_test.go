@@ -1,0 +1,279 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blobdb/internal/blob"
+	"blobdb/internal/storage"
+)
+
+// crashEnv builds a DB, runs setup, then "crashes" by recovering a fresh DB
+// over the same device (the old DB object is simply abandoned, like a dead
+// process: unflushed WAL buffers and the buffer pool vanish).
+func crashAndRecover(t *testing.T, o Options) (*DB, *RecoveryReport) {
+	t.Helper()
+	db, rep, err := Recover(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, rep
+}
+
+func TestRecoverEmptyDevice(t *testing.T) {
+	o := testOpts()
+	db, rep := crashAndRecover(t, o)
+	if rep.FromCheckpoint || rep.CommittedTxns != 0 {
+		t.Errorf("empty recovery report = %+v", rep)
+	}
+	if len(db.Relations()) != 0 {
+		t.Error("empty device produced relations")
+	}
+}
+
+func TestRecoverCommittedBlobSurvives(t *testing.T) {
+	o := testOpts()
+	db := openTest(t, o)
+	db.CreateRelation("image")
+	content := bytes.Repeat([]byte{0xAB}, 150<<10)
+	tx := db.Begin(nil)
+	tx.PutBlob("image", []byte("k"), content)
+	mustCommit(t, tx)
+	// Crash. The committed blob's state is in the WAL and its extents were
+	// flushed at commit.
+	db2, rep := crashAndRecover(t, o)
+	if rep.CommittedTxns != 1 || rep.ValidatedBlobs != 1 || rep.FailedBlobs != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	tx2 := db2.Begin(nil)
+	got, err := tx2.ReadBlobBytes("image", []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("committed blob lost after crash")
+	}
+	tx2.Commit()
+}
+
+func TestRecoverUncommittedTxnVanishes(t *testing.T) {
+	o := testOpts()
+	db := openTest(t, o)
+	db.CreateRelation("r")
+	tx := db.Begin(nil)
+	tx.PutBlob("r", []byte("ghost"), []byte("never committed"))
+	// Crash before Commit: WAL buffer never flushed.
+	db2, rep := crashAndRecover(t, o)
+	if rep.CommittedTxns != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	if _, err := db2.Relation("r"); !errors.Is(err, ErrNoRelation) {
+		// The relation may not even exist post-crash (no committed records).
+		tx2 := db2.Begin(nil)
+		if _, err := tx2.ReadBlobBytes("r", []byte("ghost")); err == nil {
+			t.Error("uncommitted blob visible after crash")
+		}
+		tx2.Commit()
+	}
+	_ = tx
+}
+
+// TestRecoverBlobStateDurableButExtentsLost is the paper's central recovery
+// scenario (§III-C): the WAL (Blob State) is durable but the crash happened
+// before the extents were flushed. The SHA-256 validation must fail the
+// transaction and remove the tuple.
+func TestRecoverBlobStateDurableButExtentsLost(t *testing.T) {
+	o := testOpts()
+	db := openTest(t, o)
+	db.CreateRelation("r")
+
+	content := bytes.Repeat([]byte{0x5C}, 80<<10)
+	tx := db.Begin(nil)
+	if err := tx.PutBlob("r", []byte("torn"), content); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash between WAL fsync and extent flush: make the WAL
+	// durable (including the commit record) but never flush the extents.
+	if err := CrashBeforeExtentFlush(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Extents are NOT flushed. Crash.
+	db2, rep := crashAndRecover(t, o)
+	if rep.FailedBlobs != 1 {
+		t.Errorf("report = %+v; want 1 failed blob", rep)
+	}
+	tx2 := db2.Begin(nil)
+	if _, err := tx2.ReadBlobBytes("r", []byte("torn")); err == nil {
+		t.Error("torn blob visible after recovery")
+	}
+	tx2.Commit()
+	// The failed blob's extents must be reusable, not leaked.
+	if live := db2.Allocator().Stats().LivePages; live != 0 {
+		t.Errorf("LivePages = %d after failed-blob recovery, want 0", live)
+	}
+}
+
+func TestRecoverMixedCommittedAndTorn(t *testing.T) {
+	o := testOpts()
+	db := openTest(t, o)
+	db.CreateRelation("r")
+	good := bytes.Repeat([]byte{1}, 60<<10)
+	tx := db.Begin(nil)
+	tx.PutBlob("r", []byte("good"), good)
+	mustCommit(t, tx)
+
+	tx2 := db.Begin(nil)
+	tx2.PutBlob("r", []byte("torn"), bytes.Repeat([]byte{2}, 60<<10))
+	if err := CrashBeforeExtentFlush(tx2); err != nil {
+		t.Fatal(err)
+	}
+	// crash without extent flush for txn 2
+
+	db2, rep := crashAndRecover(t, o)
+	if rep.ValidatedBlobs != 1 || rep.FailedBlobs != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	tx3 := db2.Begin(nil)
+	got, err := tx3.ReadBlobBytes("r", []byte("good"))
+	if err != nil || !bytes.Equal(got, good) {
+		t.Error("good blob lost")
+	}
+	if _, err := tx3.ReadBlobBytes("r", []byte("torn")); err == nil {
+		t.Error("torn blob survived")
+	}
+	tx3.Commit()
+}
+
+func TestRecoverAfterCheckpoint(t *testing.T) {
+	o := testOpts()
+	db := openTest(t, o)
+	db.CreateRelation("r")
+	pre := bytes.Repeat([]byte{3}, 40<<10)
+	tx := db.Begin(nil)
+	tx.PutBlob("r", []byte("pre-ckpt"), pre)
+	mustCommit(t, tx)
+	if err := db.WAL().Checkpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	post := bytes.Repeat([]byte{4}, 40<<10)
+	tx2 := db.Begin(nil)
+	tx2.PutBlob("r", []byte("post-ckpt"), post)
+	mustCommit(t, tx2)
+
+	db2, rep := crashAndRecover(t, o)
+	if !rep.FromCheckpoint {
+		t.Error("recovery ignored the checkpoint")
+	}
+	tx3 := db2.Begin(nil)
+	for name, want := range map[string][]byte{"pre-ckpt": pre, "post-ckpt": post} {
+		got, err := tx3.ReadBlobBytes("r", []byte(name))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Errorf("%s lost after checkpointed recovery: %v", name, err)
+		}
+	}
+	tx3.Commit()
+}
+
+func TestRecoverDeleteSurvives(t *testing.T) {
+	o := testOpts()
+	db := openTest(t, o)
+	db.CreateRelation("r")
+	tx := db.Begin(nil)
+	tx.PutBlob("r", []byte("k"), []byte("to be deleted"))
+	mustCommit(t, tx)
+	tx2 := db.Begin(nil)
+	tx2.DeleteBlob("r", []byte("k"))
+	mustCommit(t, tx2)
+
+	db2, _ := crashAndRecover(t, o)
+	tx3 := db2.Begin(nil)
+	if _, err := tx3.ReadBlobBytes("r", []byte("k")); err == nil {
+		t.Error("deleted blob resurrected by recovery")
+	}
+	tx3.Commit()
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	// Recovering twice must give the same state (redo is idempotent).
+	o := testOpts()
+	db := openTest(t, o)
+	db.CreateRelation("r")
+	for i := 0; i < 5; i++ {
+		tx := db.Begin(nil)
+		tx.PutBlob("r", []byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte{byte(i)}, 10<<10))
+		mustCommit(t, tx)
+	}
+	db2, rep1 := crashAndRecover(t, o)
+	_ = db2
+	db3, rep2 := crashAndRecover(t, o)
+	// The second recovery starts from the first one's checkpoint, so the
+	// counters differ; what must match is the surviving data.
+	if rep1.FailedBlobs != 0 || rep2.FailedBlobs != 0 {
+		t.Errorf("reports show failures: %+v vs %+v", rep1, rep2)
+	}
+	tx := db3.Begin(nil)
+	n := 0
+	tx.Scan("r", nil, func(k, v []byte, st *blob.State) bool { n++; return true })
+	tx.Commit()
+	if n != 5 {
+		t.Errorf("recovered %d tuples, want 5", n)
+	}
+}
+
+func TestRecoverManyRandomCrashPoints(t *testing.T) {
+	// Failure-injection sweep: commit K transactions, leave one in each of
+	// several torn states, recover, and check exactly the committed ones
+	// survive.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		o := testOpts()
+		db := openTest(t, o)
+		db.CreateRelation("r")
+		want := map[string][]byte{}
+		n := 3 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("t%d-k%d", trial, i)
+			content := make([]byte, 1+rng.Intn(50<<10))
+			rng.Read(content)
+			tx := db.Begin(nil)
+			if err := tx.PutBlob("r", []byte(key), content); err != nil {
+				t.Fatal(err)
+			}
+			switch rng.Intn(3) {
+			case 0: // committed
+				mustCommit(t, tx)
+				want[key] = content
+			case 1: // WAL durable, extents lost
+				CrashBeforeExtentFlush(tx)
+			case 2: // nothing durable
+				tx.done = true
+			}
+		}
+		db2, _ := crashAndRecover(t, o)
+		tx := db2.Begin(nil)
+		got := map[string]bool{}
+		tx.Scan("r", nil, func(k, v []byte, st *blob.State) bool {
+			got[string(k)] = true
+			return true
+		})
+		for key, content := range want {
+			b, err := tx.ReadBlobBytes("r", []byte(key))
+			if err != nil || !bytes.Equal(b, content) {
+				t.Errorf("trial %d: committed %s lost", trial, key)
+			}
+			delete(got, key)
+		}
+		// Note: a "WAL durable, extents lost" blob whose content happens to
+		// be all zeros could validate against zeroed device pages only if
+		// the hash matched — it cannot, since contents are random.
+		for k := range got {
+			t.Errorf("trial %d: unexpected survivor %s", trial, k)
+		}
+		tx.Commit()
+	}
+}
+
+var _ = storage.DefaultPageSize

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blobdb/internal/blob"
+)
+
+// TestTortureAgainstReference drives a long random mix of puts, grows,
+// updates, deletes, aborts, checkpoints, and crash-recoveries against an
+// in-memory reference map. After every recovery the database must contain
+// exactly the reference contents: committed data survives any crash point,
+// uncommitted and torn data never does.
+func TestTortureAgainstReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture run is not short")
+	}
+	rng := rand.New(rand.NewSource(2024))
+	o := testOpts()
+	db := openTest(t, o)
+	db.CreateRelation("r")
+	ref := map[string][]byte{}
+
+	randContent := func() []byte {
+		b := make([]byte, 1+rng.Intn(40<<10))
+		rng.Read(b)
+		return b
+	}
+	keys := func() []string {
+		out := make([]string, 0, len(ref))
+		for k := range ref {
+			out = append(out, k)
+		}
+		return out
+	}
+	pick := func() (string, bool) {
+		ks := keys()
+		if len(ks) == 0 {
+			return "", false
+		}
+		return ks[rng.Intn(len(ks))], true
+	}
+
+	verify := func(step int) {
+		t.Helper()
+		tx := db.Begin(nil)
+		defer tx.Commit()
+		seen := 0
+		err := tx.Scan("r", nil, func(k, inline []byte, st *blob.State) bool {
+			seen++
+			want, ok := ref[string(k)]
+			if !ok {
+				t.Fatalf("step %d: phantom key %q", step, k)
+			}
+			if st == nil {
+				t.Fatalf("step %d: %q stored inline", step, k)
+			}
+			if st.Size != uint64(len(want)) || st.SHA256 != sha256.Sum256(want) {
+				t.Fatalf("step %d: %q state mismatch", step, k)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatalf("step %d: scan: %v", step, err)
+		}
+		if seen != len(ref) {
+			t.Fatalf("step %d: db has %d keys, reference has %d", step, seen, len(ref))
+		}
+		// Deep-verify a random sample.
+		for i := 0; i < 5; i++ {
+			if k, ok := pick(); ok {
+				got, err := tx.ReadBlobBytes("r", []byte(k))
+				if err != nil || !bytes.Equal(got, ref[k]) {
+					t.Fatalf("step %d: content of %q diverged: %v", step, k, err)
+				}
+			}
+		}
+	}
+
+	var trail []string
+	note := func(f string, args ...any) {
+		trail = append(trail, fmt.Sprintf(f, args...))
+		if len(trail) > 15 {
+			trail = trail[1:]
+		}
+	}
+	defer func() {
+		if t.Failed() {
+			for _, l := range trail {
+				t.Log(l)
+			}
+		}
+	}()
+	const steps = 800
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(100); {
+		case op < 35: // put (insert or replace), committed or aborted
+			key := fmt.Sprintf("k%03d", rng.Intn(60))
+			content := randContent()
+			note("step %d put %s %dB", step, key, len(content))
+			tx := db.Begin(nil)
+			if err := tx.PutBlob("r", []byte(key), content); err != nil {
+				t.Fatalf("step %d: put: %v", step, err)
+			}
+			if rng.Intn(5) == 0 {
+				note("  abort")
+				if err := tx.Abort(); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				mustCommit(t, tx)
+				ref[key] = content
+			}
+		case op < 50: // grow
+			key, ok := pick()
+			if !ok {
+				continue
+			}
+			extra := randContent()
+			note("step %d grow %s +%dB", step, key, len(extra))
+			tx := db.Begin(nil)
+			if err := tx.GrowBlob("r", []byte(key), extra); err != nil {
+				t.Fatalf("step %d: grow: %v", step, err)
+			}
+			if rng.Intn(5) == 0 {
+				tx.Abort()
+			} else {
+				mustCommit(t, tx)
+				ref[key] = append(append([]byte(nil), ref[key]...), extra...)
+			}
+		case op < 62: // update (random scheme)
+			key, ok := pick()
+			if !ok || len(ref[key]) == 0 {
+				continue
+			}
+			n := 1 + rng.Intn(len(ref[key]))
+			off := rng.Intn(len(ref[key]) - n + 1)
+			patch := make([]byte, n)
+			rng.Read(patch)
+			note("step %d update %s off=%d n=%d", step, key, off, n)
+			tx := db.Begin(nil)
+			if err := tx.UpdateBlob("r", []byte(key), uint64(off), patch, blob.UpdateScheme(rng.Intn(3))); err != nil {
+				t.Fatalf("step %d: update: %v", step, err)
+			}
+			if rng.Intn(5) == 0 {
+				tx.Abort()
+			} else {
+				mustCommit(t, tx)
+				nv := append([]byte(nil), ref[key]...)
+				copy(nv[off:], patch)
+				ref[key] = nv
+			}
+		case op < 74: // delete
+			key, ok := pick()
+			if !ok {
+				continue
+			}
+			note("step %d delete %s", step, key)
+			tx := db.Begin(nil)
+			if err := tx.DeleteBlob("r", []byte(key)); err != nil {
+				t.Fatalf("step %d: delete: %v", step, err)
+			}
+			if rng.Intn(5) == 0 {
+				tx.Abort()
+			} else {
+				mustCommit(t, tx)
+				delete(ref, key)
+			}
+		case op < 80: // torn transaction: WAL durable, extents lost
+			key := fmt.Sprintf("k%03d", rng.Intn(60))
+			note("step %d torn-put %s", step, key)
+			tx := db.Begin(nil)
+			if err := tx.PutBlob("r", []byte(key), randContent()); err != nil {
+				t.Fatal(err)
+			}
+			if err := CrashBeforeExtentFlush(tx); err != nil {
+				t.Fatal(err)
+			}
+			// Crash NOW: the torn state is in the WAL; recover.
+			db2, _, err := Recover(o, nil)
+			if err != nil {
+				t.Fatalf("step %d: recover after torn txn: %v", step, err)
+			}
+			db = db2
+			verify(step)
+		case op < 86: // checkpoint
+			note("step %d checkpoint", step)
+			if err := db.WAL().Checkpoint(nil); err != nil {
+				t.Fatalf("step %d: checkpoint: %v", step, err)
+			}
+		case op < 95: // clean crash + recovery
+			note("step %d recover", step)
+			db2, _, err := Recover(o, nil)
+			if err != nil {
+				t.Fatalf("step %d: recover: %v", step, err)
+			}
+			db = db2
+			verify(step)
+		default: // read a missing key
+			tx := db.Begin(nil)
+			if _, err := tx.ReadBlobBytes("r", []byte("never-existed")); !errors.Is(err, ErrKeyNotFound) {
+				t.Fatalf("step %d: phantom read: %v", step, err)
+			}
+			tx.Commit()
+		}
+		if step%100 == 99 {
+			verify(step)
+		}
+	}
+	verify(steps)
+	// Final sanity: allocator live pages match the reference exactly after
+	// one more recovery (no leaks across the whole history).
+	db2, _, err := Recover(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db = db2
+	verify(steps + 1)
+	var wantPages uint64
+	tiers := db.Allocator().Tiers()
+	tx := db.Begin(nil)
+	tx.Scan("r", nil, func(k, inline []byte, st *blob.State) bool {
+		wantPages += st.TotalPages(tiers)
+		return true
+	})
+	tx.Commit()
+	if got := db.Allocator().Stats().LivePages; got != wantPages {
+		t.Errorf("allocator LivePages = %d, blobs own %d (leak or double-free)", got, wantPages)
+	}
+}

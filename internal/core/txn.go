@@ -1,0 +1,517 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"blobdb/internal/blob"
+	"blobdb/internal/buffer"
+	"blobdb/internal/simtime"
+	"blobdb/internal/wal"
+)
+
+// Txn is a transaction. Create with DB.Begin; finish with exactly one of
+// Commit or Abort. A Txn is single-goroutine.
+//
+// Durability follows §III-C: mutations stage Blob States in the WAL buffer
+// and blob bytes in evict-protected frames; Commit first makes the WAL
+// durable (group commit), then flushes the extents — so every blob byte
+// reaches the device exactly once — and finally applies deferred extent
+// frees.
+type Txn struct {
+	db     *DB
+	id     uint64
+	meter  *simtime.Meter
+	writer *wal.Writer
+	done   bool
+
+	pendings []*blob.Pending
+	frees    []blob.FreeSpec // applied at commit (deleted blobs, clones)
+	undo     []undoOp
+	locks    []string
+	wrote    bool // any staged write (read-only txns skip commit I/O)
+
+	deferred      []deferredBlob // AsyncCommit: blobs to finalize on the committer
+	drain         chan struct{}  // sentinel marker for DrainCommits
+	inflightBytes int64          // pinned bytes, snapshotted at enqueue
+}
+
+// undoOp restores a tree entry on abort.
+type undoOp struct {
+	rel      *Relation
+	key      []byte
+	hadOld   bool
+	oldValue []byte
+}
+
+// Begin starts a transaction. meter may be nil; benchmarks pass a worker
+// meter to account simulated I/O time.
+func (db *DB) Begin(meter *simtime.Meter) *Txn {
+	return &Txn{
+		db:     db,
+		id:     db.nextTxn.Add(1),
+		meter:  meter,
+		writer: db.wal.NewWriter(),
+	}
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+func (t *Txn) check() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	return nil
+}
+
+func (t *Txn) lock(rel string, key []byte) {
+	lk := lockKey(rel, key)
+	if t.db.locks.acquire(t.id, lk) {
+		t.locks = append(t.locks, lk)
+	}
+}
+
+// heapPutPayload frames a tuple write for the WAL.
+func heapPutPayload(rel string, key, value []byte) []byte {
+	out := make([]byte, 0, 2+len(rel)+4+len(key)+len(value))
+	var u2 [2]byte
+	binary.LittleEndian.PutUint16(u2[:], uint16(len(rel)))
+	out = append(out, u2[:]...)
+	out = append(out, rel...)
+	var u4 [4]byte
+	binary.LittleEndian.PutUint32(u4[:], uint32(len(key)))
+	out = append(out, u4[:]...)
+	out = append(out, key...)
+	out = append(out, value...)
+	return out
+}
+
+func parseHeapPayload(p []byte) (rel string, key, value []byte, err error) {
+	if len(p) < 2 {
+		return "", nil, nil, fmt.Errorf("core: heap payload too short")
+	}
+	rl := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < rl+4 {
+		return "", nil, nil, fmt.Errorf("core: heap payload truncated")
+	}
+	rel = string(p[:rl])
+	p = p[rl:]
+	kl := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if len(p) < kl {
+		return "", nil, nil, fmt.Errorf("core: heap payload key truncated")
+	}
+	return rel, p[:kl], p[kl:], nil
+}
+
+// applyTree applies a tree write in memory and records the undo entry.
+func (t *Txn) applyTree(r *Relation, key, taggedValue []byte) {
+	r.mu.Lock()
+	// The tree never mutates stored value slices (Put swaps pointers), so
+	// the undo log can reference the old slice directly.
+	old, hadOld := r.tree.Get(key)
+	if taggedValue == nil {
+		r.tree.Delete(key)
+	} else {
+		r.tree.Put(key, taggedValue)
+	}
+	r.mu.Unlock()
+	t.undo = append(t.undo, undoOp{rel: r, key: append([]byte(nil), key...), hadOld: hadOld, oldValue: old})
+	t.wrote = true
+}
+
+// stageWrite applies a tree write in memory, records the undo entry, and
+// logs the logical record.
+func (t *Txn) stageWrite(r *Relation, key, taggedValue []byte, recType wal.RecType) error {
+	t.applyTree(r, key, taggedValue)
+	payload := heapPutPayload(r.name, key, taggedValue)
+	if _, err := t.writer.Append(t.meter, t.id, recType, payload); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Put stores an inline (non-BLOB) value.
+func (t *Txn) Put(relName string, key, value []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	r, err := t.db.Relation(relName)
+	if err != nil {
+		return err
+	}
+	t.lock(relName, key)
+	if err := t.freeOldBlob(r, key); err != nil {
+		return err
+	}
+	return t.stageWrite(r, key, append([]byte{tagInline}, value...), wal.RecHeapPut)
+}
+
+// Get returns the inline value for key.
+func (t *Txn) Get(relName string, key []byte) ([]byte, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	r, err := t.db.Relation(relName)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	v, ok := r.tree.Get(key)
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: %q/%q: %w", relName, key, ErrKeyNotFound)
+	}
+	tag, payload, err := decodeValue(v)
+	if err != nil {
+		return nil, err
+	}
+	if tag != tagInline {
+		return nil, fmt.Errorf("core: %q/%q: %w", relName, key, ErrNotBlob)
+	}
+	return append([]byte(nil), payload...), nil
+}
+
+// PutBlob stores content as a BLOB column: the extent sequence is reserved
+// and filled in memory, the Blob State is staged with the tuple and in the
+// WAL, and nothing touches the device until Commit.
+func (t *Txn) PutBlob(relName string, key, content []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	r, err := t.db.Relation(relName)
+	if err != nil {
+		return err
+	}
+	t.lock(relName, key)
+	if err := t.freeOldBlob(r, key); err != nil {
+		return err
+	}
+
+	st, pending, _, err := t.db.blobs.Allocate(t.meter, content)
+	if err != nil {
+		return err
+	}
+	t.pendings = append(t.pendings, pending)
+
+	if t.db.commit != nil {
+		// AsyncCommit: stage a provisional tuple now; the committer
+		// computes the hash, finalizes the tuple, and writes the WAL
+		// record (asynccommit.go).
+		t.applyTree(r, key, append([]byte{tagBlob}, st.Encode()...))
+		t.deferred = append(t.deferred, deferredBlob{
+			rel: r, key: append([]byte(nil), key...), st: st,
+			physlog: t.db.opts.PhysicalBlobLog,
+		})
+		return nil
+	}
+	if t.db.opts.PhysicalBlobLog {
+		// Our.physlog baseline: the blob content also goes through the WAL.
+		if err := t.writer.AppendBlobData(t.meter, t.id, content); err != nil {
+			return err
+		}
+		t.wrote = true
+	}
+	if err := t.stageWrite(r, key, append([]byte{tagBlob}, st.Encode()...), wal.RecBlobState); err != nil {
+		return err
+	}
+	t.updateIndexesOnPut(r, key, st, content)
+	return nil
+}
+
+// freeOldBlob schedules the previous BLOB of key (if any) for commit-time
+// freeing and removes it from indexes.
+func (t *Txn) freeOldBlob(r *Relation, key []byte) error {
+	r.mu.RLock()
+	v, ok := r.tree.Get(key)
+	r.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	tag, payload, err := decodeValue(v)
+	if err != nil || tag != tagBlob {
+		return nil
+	}
+	st, err := blob.Decode(payload)
+	if err != nil {
+		return fmt.Errorf("core: stored blob state corrupt: %w", err)
+	}
+	t.frees = append(t.frees, t.db.blobs.Delete(st)...)
+	t.updateIndexesOnDelete(r, key, st)
+	return nil
+}
+
+// BlobState returns the decoded Blob State for key.
+func (t *Txn) BlobState(relName string, key []byte) (*blob.State, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	r, err := t.db.Relation(relName)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	v, ok := r.tree.Get(key)
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: %q/%q: %w", relName, key, ErrKeyNotFound)
+	}
+	tag, payload, err := decodeValue(v)
+	if err != nil {
+		return nil, err
+	}
+	if tag != tagBlob {
+		return nil, fmt.Errorf("core: %q/%q: %w", relName, key, ErrNotBlob)
+	}
+	return blob.Decode(payload)
+}
+
+// ReadBlob looks up the Blob State, loads the extents, and invokes fn with
+// the aliased view (the §III-E FUSE read path uses exactly this).
+func (t *Txn) ReadBlob(relName string, key []byte, fn func(view *buffer.BlobView) error) error {
+	st, err := t.BlobState(relName, key)
+	if err != nil {
+		return err
+	}
+	h, err := t.db.blobs.Read(t.meter, st)
+	if err != nil {
+		return err
+	}
+	defer h.Close(t.meter)
+	return fn(h.View())
+}
+
+// ReadBlobBytes returns a copy of the BLOB content.
+func (t *Txn) ReadBlobBytes(relName string, key []byte) ([]byte, error) {
+	st, err := t.BlobState(relName, key)
+	if err != nil {
+		return nil, err
+	}
+	return t.db.blobs.ReadAll(t.meter, st)
+}
+
+// DeleteBlob removes the tuple and schedules its extents for reuse at
+// commit.
+func (t *Txn) DeleteBlob(relName string, key []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	r, err := t.db.Relation(relName)
+	if err != nil {
+		return err
+	}
+	t.lock(relName, key)
+	r.mu.RLock()
+	_, ok := r.tree.Get(key)
+	r.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("core: %q/%q: %w", relName, key, ErrKeyNotFound)
+	}
+	if err := t.freeOldBlob(r, key); err != nil {
+		return err
+	}
+	return t.stageWrite(r, key, nil, wal.RecHeapDelete)
+}
+
+// GrowBlob appends extra to the BLOB at key (§III-D).
+func (t *Txn) GrowBlob(relName string, key, extra []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	r, err := t.db.Relation(relName)
+	if err != nil {
+		return err
+	}
+	t.lock(relName, key)
+	st, err := t.BlobState(relName, key)
+	if err != nil {
+		return err
+	}
+	t.updateIndexesOnDelete(r, key, st)
+	ns, pending, frees, err := t.db.blobs.Grow(t.meter, st, extra)
+	if err != nil {
+		return err
+	}
+	t.pendings = append(t.pendings, pending)
+	t.frees = append(t.frees, frees...)
+	if t.db.opts.PhysicalBlobLog {
+		if err := t.writer.AppendBlobData(t.meter, t.id, extra); err != nil {
+			return err
+		}
+		t.wrote = true
+	}
+	if err := t.stageWrite(r, key, append([]byte{tagBlob}, ns.Encode()...), wal.RecBlobState); err != nil {
+		return err
+	}
+	t.updateIndexesOnPutState(r, key, ns)
+	return nil
+}
+
+// UpdateBlob overwrites [off, off+len(data)) of the BLOB at key, choosing
+// the delta or clone scheme (§III-D).
+func (t *Txn) UpdateBlob(relName string, key []byte, off uint64, data []byte, scheme blob.UpdateScheme) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	r, err := t.db.Relation(relName)
+	if err != nil {
+		return err
+	}
+	t.lock(relName, key)
+	st, err := t.BlobState(relName, key)
+	if err != nil {
+		return err
+	}
+	t.updateIndexesOnDelete(r, key, st)
+	res, err := t.db.blobs.Update(t.meter, st, off, data, scheme)
+	if err != nil {
+		return err
+	}
+	t.pendings = append(t.pendings, res.Pending)
+	t.frees = append(t.frees, res.Frees...)
+	if res.Delta != nil {
+		if _, err := t.writer.Append(t.meter, t.id, wal.RecBlobDelta, res.Delta); err != nil {
+			return err
+		}
+		t.wrote = true
+	}
+	if err := t.stageWrite(r, key, append([]byte{tagBlob}, res.State.Encode()...), wal.RecBlobState); err != nil {
+		return err
+	}
+	t.updateIndexesOnPutState(r, key, res.State)
+	return nil
+}
+
+// Scan iterates tuples with key >= from in order; fn receives the key and,
+// for BLOB columns, the Blob State (value nil). Return false to stop.
+func (t *Txn) Scan(relName string, from []byte, fn func(key []byte, inline []byte, st *blob.State) bool) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	r, err := t.db.Relation(relName)
+	if err != nil {
+		return err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var ferr error
+	r.tree.Ascend(from, func(k, v []byte) bool {
+		tag, payload, err := decodeValue(v)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if tag == tagBlob {
+			st, err := blob.Decode(payload)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			return fn(k, nil, st)
+		}
+		return fn(k, payload, nil)
+	})
+	return ferr
+}
+
+// Commit runs the §III-C pipeline: WAL durable first (the Blob State
+// records), then the single extent flush, then deferred frees.
+func (t *Txn) Commit() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.done = true
+	if !t.wrote {
+		// Read-only transaction: nothing to make durable.
+		t.writer.Close()
+		t.releaseLocks()
+		return nil
+	}
+	if t.db.commit != nil {
+		// AsyncCommit: hand the expensive half to the committer. Locks are
+		// released there after the flush, preserving write-write ordering;
+		// the enqueue blocks under byte-budget backpressure.
+		t.db.commit.enqueue(t)
+		return nil
+	}
+	defer t.writer.Close()
+	t.db.ckptMu.Lock()
+	err := t.writer.Commit(t.meter, t.id)
+	if err == nil {
+		for _, p := range t.pendings {
+			if err = p.Flush(t.meter); err != nil {
+				break
+			}
+		}
+	}
+	t.db.ckptMu.Unlock()
+	if err != nil {
+		t.releaseLocks()
+		return fmt.Errorf("core: commit txn %d: %w", t.id, err)
+	}
+	for _, p := range t.pendings {
+		p.Release()
+	}
+	t.db.blobs.ApplyFrees(t.frees)
+	t.releaseLocks()
+	return nil
+}
+
+// Abort rolls the transaction back: tree changes are undone in reverse,
+// pending extents are discarded, and nothing reaches the device.
+func (t *Txn) Abort() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.done = true
+	defer t.writer.Close()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		u.rel.mu.Lock()
+		if u.hadOld {
+			u.rel.tree.Put(u.key, u.oldValue)
+		} else {
+			u.rel.tree.Delete(u.key)
+		}
+		u.rel.mu.Unlock()
+	}
+	t.db.rebuildIndexTouched(t.undo)
+	for _, p := range t.pendings {
+		p.Discard(p.News)
+	}
+	t.releaseLocks()
+	return nil
+}
+
+func (t *Txn) releaseLocks() {
+	for i := len(t.locks) - 1; i >= 0; i-- {
+		t.db.locks.release(t.locks[i])
+	}
+	t.locks = nil
+}
+
+// CrashBeforeExtentFlush is a failure-injection hook for tests and
+// examples: it makes the transaction's WAL records (including the commit
+// record) durable but "crashes" before the extent flush — the §III-C
+// window where recovery must fail the transaction via SHA-256 validation.
+// The in-memory DB is left inconsistent on purpose; recover from the
+// device with Recover.
+func CrashBeforeExtentFlush(t *Txn) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.done = true
+	defer t.writer.Close()
+	return t.writer.Commit(t.meter, t.id)
+}
+
+// WriteAmplification reports device bytes written divided by logical blob
+// bytes committed — used to assert the single-flush property end to end.
+func (db *DB) WriteAmplification(logicalBytes int64) float64 {
+	if logicalBytes == 0 {
+		return 0
+	}
+	return float64(db.dev.Stats().BytesWritten()) / float64(logicalBytes)
+}

@@ -1,0 +1,262 @@
+// Package extent implements the paper's physical BLOB storage format
+// (§III-A): extent sequences sized by a static tier table, tail extents,
+// and an allocator with per-tier free lists (§III-D).
+//
+// A BLOB is stored as a flat list of extents whose sizes are fixed by tier
+// position, so the Blob State only records head-page PIDs. The tier formula
+//
+//	size(tier) = (level+1)^(T-pos) * (level+2)^pos
+//
+// with T tiers per level grows fast enough that 127 extents cover >10 PB
+// (4 KB pages, T=10) while wasting far less space than Power-of-Two or
+// Fibonacci sizing.
+package extent
+
+import (
+	"fmt"
+	"math"
+
+	"blobdb/internal/storage"
+)
+
+// DefaultTiersPerLevel is the paper's default T=10 configuration.
+const DefaultTiersPerLevel = 10
+
+// MaxExtentsPerBlob bounds the extent sequence length; the paper quotes
+// capacity figures for 127 extents.
+const MaxExtentsPerBlob = 127
+
+// TierTable is an immutable table of extent sizes (in pages) per tier.
+type TierTable struct {
+	name          string
+	tiersPerLevel int
+	sizes         []uint64 // sizes[i] = pages in an extent of tier i
+	cum           []uint64 // cum[i] = total pages of tiers [0..i]
+}
+
+// saturated marks table entries whose exact value overflowed uint64; sizes
+// stop growing there (the paper: "any tier after this has the same size as
+// the largest tier").
+const saturated = math.MaxUint64 / 4
+
+// NewTierTable builds the paper's tier table with the given tiers per
+// level, extended to MaxExtentsPerBlob entries.
+func NewTierTable(tiersPerLevel int) *TierTable {
+	if tiersPerLevel <= 0 {
+		panic("extent: tiers per level must be positive")
+	}
+	t := &TierTable{
+		name:          fmt.Sprintf("paper(T=%d)", tiersPerLevel),
+		tiersPerLevel: tiersPerLevel,
+	}
+	for i := 0; i < MaxExtentsPerBlob; i++ {
+		level := uint64(i / tiersPerLevel)
+		pos := i % tiersPerLevel
+		size := powSat(level+1, uint64(tiersPerLevel-pos))
+		size = mulSat(size, powSat(level+2, uint64(pos)))
+		t.append(size)
+	}
+	return t
+}
+
+// NewPowerOfTwoTable builds the Power-of-Two baseline (sizes 1,2,4,8,...),
+// which wastes up to 50% of the last extent (§III-A).
+func NewPowerOfTwoTable() *TierTable {
+	t := &TierTable{name: "power-of-two", tiersPerLevel: 1}
+	size := uint64(1)
+	for i := 0; i < MaxExtentsPerBlob; i++ {
+		t.append(size)
+		size = mulSat(size, 2)
+	}
+	return t
+}
+
+// NewFibonacciTable builds the Fibonacci baseline (sizes 1,2,3,5,8,...),
+// which wastes up to 38.2% (§III-A).
+func NewFibonacciTable() *TierTable {
+	t := &TierTable{name: "fibonacci", tiersPerLevel: 1}
+	a, b := uint64(1), uint64(2)
+	for i := 0; i < MaxExtentsPerBlob; i++ {
+		t.append(a)
+		a, b = b, addSat(a, b)
+	}
+	return t
+}
+
+func (t *TierTable) append(size uint64) {
+	if size == 0 {
+		size = 1
+	}
+	if n := len(t.sizes); n > 0 && size < t.sizes[n-1] {
+		// Saturated: stop growing, repeat the largest tier.
+		size = t.sizes[n-1]
+	}
+	t.sizes = append(t.sizes, size)
+	prev := uint64(0)
+	if n := len(t.cum); n > 0 {
+		prev = t.cum[n-1]
+	}
+	t.cum = append(t.cum, addSat(prev, size))
+}
+
+// Name identifies the table (used by the ablation benchmarks).
+func (t *TierTable) Name() string { return t.name }
+
+// TiersPerLevel returns the T parameter (1 for the baselines).
+func (t *TierTable) TiersPerLevel() int { return t.tiersPerLevel }
+
+// NumTiers returns the number of distinct tiers in the table.
+func (t *TierTable) NumTiers() int { return len(t.sizes) }
+
+// Size returns the extent size in pages of the given tier. Tiers beyond
+// the table repeat the largest size.
+func (t *TierTable) Size(tier int) uint64 {
+	if tier < 0 {
+		panic("extent: negative tier")
+	}
+	if tier >= len(t.sizes) {
+		return t.sizes[len(t.sizes)-1]
+	}
+	return t.sizes[tier]
+}
+
+// Cum returns the total pages of tiers [0..tier].
+func (t *TierTable) Cum(tier int) uint64 {
+	if tier < 0 {
+		return 0
+	}
+	if tier >= len(t.cum) {
+		last := t.cum[len(t.cum)-1]
+		extra := mulSat(uint64(tier-len(t.cum)+1), t.sizes[len(t.sizes)-1])
+		return addSat(last, extra)
+	}
+	return t.cum[tier]
+}
+
+// ExtentsFor returns the minimal number of extents whose cumulative size
+// covers npages, following the tier order 0,1,2,...
+func (t *TierTable) ExtentsFor(npages uint64) int {
+	if npages == 0 {
+		return 0
+	}
+	// Binary search over the cumulative table, then linear for the
+	// saturated overflow region.
+	lo, hi := 0, len(t.cum)-1
+	if t.cum[hi] >= npages {
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if t.cum[mid] >= npages {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo + 1
+	}
+	n := len(t.cum)
+	rem := npages - t.cum[len(t.cum)-1]
+	last := t.sizes[len(t.sizes)-1]
+	n += int((rem + last - 1) / last)
+	return n
+}
+
+// MaxBlobPages returns the capacity in pages of a sequence of maxExtents
+// extents.
+func (t *TierTable) MaxBlobPages(maxExtents int) uint64 {
+	return t.Cum(maxExtents - 1)
+}
+
+// Waste returns the fraction of allocated pages left unused when storing a
+// BLOB of npages without a tail extent.
+func (t *TierTable) Waste(npages uint64) float64 {
+	if npages == 0 {
+		return 0
+	}
+	k := t.ExtentsFor(npages)
+	alloc := t.Cum(k - 1)
+	return float64(alloc-npages) / float64(alloc)
+}
+
+// Slot describes one planned extent of a sequence.
+type Slot struct {
+	Tier  int
+	Pages uint64
+}
+
+// Plan computes the smallest extent sequence for a BLOB of npages. If
+// useTail is set and the last extent would be only partially used, the last
+// extent is replaced by an exactly-sized tail extent (Figure 1(b)); the
+// returned tailPages is 0 when no tail extent is needed.
+func (t *TierTable) Plan(npages uint64, useTail bool) (slots []Slot, tailPages uint64) {
+	if npages == 0 {
+		return nil, 0
+	}
+	k := t.ExtentsFor(npages)
+	if !useTail {
+		slots = make([]Slot, k)
+		for i := 0; i < k; i++ {
+			slots[i] = Slot{Tier: i, Pages: t.Size(i)}
+		}
+		return slots, 0
+	}
+	// With a tail extent: keep full extents 0..k-2, put the exact
+	// remainder in the tail. If the last extent would have been exactly
+	// full anyway, no tail is needed.
+	full := t.Cum(k - 2) // 0 when k==1
+	rem := npages - full
+	if rem == t.Size(k-1) {
+		slots = make([]Slot, k)
+		for i := 0; i < k; i++ {
+			slots[i] = Slot{Tier: i, Pages: t.Size(i)}
+		}
+		return slots, 0
+	}
+	slots = make([]Slot, k-1)
+	for i := 0; i < k-1; i++ {
+		slots[i] = Slot{Tier: i, Pages: t.Size(i)}
+	}
+	return slots, rem
+}
+
+// PagesFor converts a byte size to pages.
+func PagesFor(bytes uint64, pageSize int) uint64 {
+	ps := uint64(pageSize)
+	return (bytes + ps - 1) / ps
+}
+
+// MaxBlobBytes reports the capacity in bytes of maxExtents extents with the
+// given page size — the "10 PB with 127 extents and 4 KB pages" claim.
+func (t *TierTable) MaxBlobBytes(maxExtents, pageSize int) uint64 {
+	return mulSat(t.MaxBlobPages(maxExtents), uint64(pageSize))
+}
+
+func addSat(a, b uint64) uint64 {
+	if a > saturated || b > saturated || a+b < a {
+		return saturated
+	}
+	return a + b
+}
+
+func mulSat(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > saturated/b {
+		return saturated
+	}
+	return a * b
+}
+
+func powSat(base, exp uint64) uint64 {
+	r := uint64(1)
+	for i := uint64(0); i < exp; i++ {
+		r = mulSat(r, base)
+	}
+	return r
+}
+
+// Extent is a physical extent: head page and length in pages.
+type Extent struct {
+	PID   storage.PID
+	Pages uint64
+}

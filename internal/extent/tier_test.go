@@ -1,0 +1,253 @@
+package extent
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperTierTableValues checks the exact level-0/level-1 sizes the paper
+// prints for T=10 (§III-A).
+func TestPaperTierTableValues(t *testing.T) {
+	tt := NewTierTable(10)
+	want := []uint64{
+		// Level 0
+		1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+		// Level 1: 1k, 1.5k, 2.3k, 3.5k, 5.2k, 7.8k, 11.7k, 17.5k, 26.2k, 39.4k
+		1024, 1536, 2304, 3456, 5184, 7776, 11664, 17496, 26244, 39366,
+	}
+	for i, w := range want {
+		if got := tt.Size(i); got != w {
+			t.Errorf("Size(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestTierFormulaDirect(t *testing.T) {
+	// Spot-check the formula (level+1)^(T-pos) * (level+2)^pos at T=5.
+	tt := NewTierTable(5)
+	// tier 7 -> level 1, pos 2: 2^3 * 3^2 = 72.
+	if got := tt.Size(7); got != 72 {
+		t.Errorf("Size(7) = %d, want 72", got)
+	}
+	// tier 12 -> level 2, pos 2: 3^3 * 4^2 = 432.
+	if got := tt.Size(12); got != 432 {
+		t.Errorf("Size(12) = %d, want 432", got)
+	}
+}
+
+func TestTierSizesMonotone(t *testing.T) {
+	for _, T := range []int{1, 2, 5, 8, 10, 30} {
+		tt := NewTierTable(T)
+		for i := 1; i < tt.NumTiers(); i++ {
+			if tt.Size(i) < tt.Size(i-1) {
+				t.Fatalf("T=%d: Size(%d)=%d < Size(%d)=%d", T, i, tt.Size(i), i-1, tt.Size(i-1))
+			}
+		}
+	}
+}
+
+func TestTenPetabyteClaim(t *testing.T) {
+	// "an extent sequence of 127 extents following this config can store a
+	// BLOB up to 10PB" (T=10, 4KB pages).
+	tt := NewTierTable(10)
+	got := tt.MaxBlobBytes(MaxExtentsPerBlob, 4096)
+	const tenPB = 10 * 1e15
+	if float64(got) < tenPB {
+		t.Errorf("127-extent capacity = %d bytes, want >= 10PB", got)
+	}
+}
+
+func TestPaperUtilizationClaims(t *testing.T) {
+	// "given a 4KB page size and five tiers per level, the wasted space for
+	// a 20MB BLOB is 25%" — we allow a small tolerance since "20MB" is
+	// approximate.
+	tt := NewTierTable(5)
+	waste20MB := tt.Waste(PagesFor(20<<20, 4096))
+	if waste20MB > 0.30 {
+		t.Errorf("waste(20MB, T=5) = %.3f, want <= ~0.25", waste20MB)
+	}
+	// "...dropping to 7.3% when the BLOB is 51GB".
+	waste51GB := tt.Waste(PagesFor(51<<30, 4096))
+	if waste51GB > 0.12 {
+		t.Errorf("waste(51GB, T=5) = %.3f, want <= ~0.073", waste51GB)
+	}
+	// "an 127-extent sequence only supports a BLOB up to 246GB with this
+	// setting". The paper's exact 246GB constant is not derivable from the
+	// formula as printed (our table reaches ~1TB); assert the order of
+	// magnitude — hundreds of GB, far below the 10PB of T=10 — and record
+	// the deviation in EXPERIMENTS.md.
+	max := tt.MaxBlobBytes(MaxExtentsPerBlob, 4096)
+	if max < 100<<30 || max > 2<<40 {
+		t.Errorf("127-extent capacity at T=5 = %dGB, want hundreds of GB", max>>30)
+	}
+	// "With 30 tiers per level, the first level already support a 4TB BLOB"
+	// (decimal TB: level 0 sums to 2^30-1 pages = 4.4e12 bytes).
+	t30 := NewTierTable(30)
+	if got := t30.Cum(29) * 4096; got < 4e12 {
+		t.Errorf("first-level capacity at T=30 = %d bytes, want >= 4TB", got)
+	}
+}
+
+func TestPaperBeatsPowerOfTwoAndFibonacci(t *testing.T) {
+	paper := NewTierTable(10)
+	p2 := NewPowerOfTwoTable()
+	fib := NewFibonacciTable()
+	// Average waste across a size sweep must order paper < fib < p2,
+	// mirroring the 50% / 38.2% worst cases quoted in §III-A.
+	avg := func(tt *TierTable) float64 {
+		var sum float64
+		n := 0
+		for bytes := uint64(1 << 20); bytes < 1<<40; bytes += bytes / 3 {
+			sum += tt.Waste(PagesFor(bytes, 4096))
+			n++
+		}
+		return sum / float64(n)
+	}
+	ap, af, a2 := avg(paper), avg(fib), avg(p2)
+	if !(ap < af && af < a2) {
+		t.Errorf("average waste: paper=%.3f fib=%.3f p2=%.3f, want paper < fib < p2", ap, af, a2)
+	}
+}
+
+func TestExtentsForConsistentWithCum(t *testing.T) {
+	for _, T := range []int{1, 5, 10, 30} {
+		tt := NewTierTable(T)
+		f := func(raw uint32) bool {
+			npages := uint64(raw)%(1<<22) + 1
+			k := tt.ExtentsFor(npages)
+			return tt.Cum(k-1) >= npages && (k == 1 || tt.Cum(k-2) < npages)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("T=%d: %v", T, err)
+		}
+	}
+}
+
+func TestExtentsForZero(t *testing.T) {
+	tt := NewTierTable(10)
+	if got := tt.ExtentsFor(0); got != 0 {
+		t.Errorf("ExtentsFor(0) = %d, want 0", got)
+	}
+	if got := tt.ExtentsFor(1); got != 1 {
+		t.Errorf("ExtentsFor(1) = %d, want 1", got)
+	}
+}
+
+func TestExtentsForBeyondTable(t *testing.T) {
+	// Power-of-two saturates inside 127 tiers; the paper table at T=1
+	// grows fastest. Use a tiny custom range: request more pages than the
+	// whole table covers and check the overflow math.
+	tt := NewFibonacciTable()
+	huge := tt.Cum(tt.NumTiers()-1) - 1
+	k := tt.ExtentsFor(huge)
+	if k > tt.NumTiers() {
+		t.Errorf("ExtentsFor within table returned %d > NumTiers %d", k, tt.NumTiers())
+	}
+}
+
+func TestPlanWithoutTail(t *testing.T) {
+	tt := NewTierTable(10)
+	slots, tail := tt.Plan(6, false)
+	if tail != 0 {
+		t.Fatalf("tail = %d, want 0", tail)
+	}
+	// 6 pages need tiers 0(1) + 1(2) + 2(4) = 7 pages, 3 extents (Fig 1a).
+	if len(slots) != 3 || slots[0].Pages != 1 || slots[1].Pages != 2 || slots[2].Pages != 4 {
+		t.Errorf("Plan(6) = %+v, want sizes 1,2,4", slots)
+	}
+}
+
+func TestPlanWithTail(t *testing.T) {
+	tt := NewTierTable(10)
+	// Figure 1(b): 6-page BLOB = extents of 1+2 pages plus a 3-page tail.
+	slots, tail := tt.Plan(6, true)
+	if len(slots) != 2 || slots[0].Pages != 1 || slots[1].Pages != 2 {
+		t.Errorf("Plan(6, tail) slots = %+v, want sizes 1,2", slots)
+	}
+	if tail != 3 {
+		t.Errorf("tail = %d, want 3", tail)
+	}
+}
+
+func TestPlanTailExactFit(t *testing.T) {
+	tt := NewTierTable(10)
+	// 7 pages exactly fill tiers 0..2; no tail should be allocated.
+	slots, tail := tt.Plan(7, true)
+	if tail != 0 || len(slots) != 3 {
+		t.Errorf("Plan(7, tail) = %+v tail=%d, want 3 full slots, no tail", slots, tail)
+	}
+}
+
+func TestPlanZero(t *testing.T) {
+	tt := NewTierTable(10)
+	if slots, tail := tt.Plan(0, true); slots != nil || tail != 0 {
+		t.Error("Plan(0) should be empty")
+	}
+}
+
+func TestPlanCoversExactly(t *testing.T) {
+	tt := NewTierTable(10)
+	f := func(raw uint32) bool {
+		npages := uint64(raw)%100_000 + 1
+		slots, tail := tt.Plan(npages, true)
+		var total uint64
+		for _, s := range slots {
+			total += s.Pages
+		}
+		total += tail
+		// With a tail the plan covers npages exactly; without it, at least.
+		if tail > 0 {
+			return total == npages
+		}
+		slotsNT, _ := tt.Plan(npages, false)
+		var tot2 uint64
+		for _, s := range slotsNT {
+			tot2 += s.Pages
+		}
+		return total == tot2 && total >= npages
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPagesFor(t *testing.T) {
+	cases := []struct {
+		bytes uint64
+		want  uint64
+	}{
+		{0, 0}, {1, 1}, {4095, 1}, {4096, 1}, {4097, 2}, {8192, 2},
+	}
+	for _, c := range cases {
+		if got := PagesFor(c.bytes, 4096); got != c.want {
+			t.Errorf("PagesFor(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestBlobStateSmallness(t *testing.T) {
+	// §III-B: with 8 tiers per level, ~100 extents reach past 16TB (the
+	// Ext4 max file size) — i.e. Blob State stays small for huge blobs.
+	tt := NewTierTable(8)
+	const ext4Max = uint64(16) << 40
+	k := tt.ExtentsFor(PagesFor(ext4Max, 4096))
+	if k > 100 {
+		t.Errorf("16TB blob needs %d extents at T=8, want <= 100", k)
+	}
+}
+
+func TestWasteBounds(t *testing.T) {
+	tt := NewTierTable(10)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		n := uint64(rng.Int63n(1 << 30))
+		w := tt.Waste(n)
+		if w < 0 || w >= 1 {
+			t.Fatalf("Waste(%d) = %f out of [0,1)", n, w)
+		}
+	}
+	if tt.Waste(0) != 0 {
+		t.Error("Waste(0) should be 0")
+	}
+}

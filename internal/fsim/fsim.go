@@ -1,0 +1,355 @@
+// Package fsim provides the paper's file-system competitors as profiles
+// over the oskern simulated kernel: Ext4 (data=ordered and data=journal),
+// XFS, a BtrFS-like copy-on-write system, and log-structured F2FS.
+//
+// Each profile picks a block allocation policy, a journal mode, and
+// syscall-cost factors tuned so the relative behaviour matches the paper's
+// Table IV and Figures 5–11: XFS spends the least kernel time per call,
+// Ext4.journal pays a data double write, and only F2FS keeps its
+// throughput near full storage.
+package fsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"blobdb/internal/oskern"
+	"blobdb/internal/storage"
+)
+
+// RangeAllocator is the extent-based best-effort allocator used by the
+// Ext4/XFS/BtrFS profiles: it prefers one contiguous run, falls back to
+// gathering fragments, and — the Figure 11 mechanism — does more search
+// work and returns more fragments as the disk fills.
+type RangeAllocator struct {
+	mu    sync.Mutex
+	free  []oskern.Run // sorted by PID, coalesced
+	total uint64
+	used  uint64
+	// MinContiguous tunes how hard the allocator tries for contiguity.
+	firstFit bool
+}
+
+// NewRangeAllocator manages blocks [start, end).
+func NewRangeAllocator(start, end storage.PID, firstFit bool) *RangeAllocator {
+	return &RangeAllocator{
+		free:     []oskern.Run{{PID: start, N: uint64(end - start)}},
+		total:    uint64(end - start),
+		firstFit: firstFit,
+	}
+}
+
+// Alloc implements oskern.Allocator.
+func (a *RangeAllocator) Alloc(n uint64) ([]oskern.Run, int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n == 0 {
+		return nil, 0, nil
+	}
+	if a.total-a.used < n {
+		return nil, 0, fmt.Errorf("fsim: need %d blocks, %d free: %w", n, a.total-a.used, oskern.ErrNoSpace)
+	}
+	steps := 0
+	// Pass 1: one contiguous run (best effort).
+	for i := range a.free {
+		steps++
+		if a.free[i].N >= n {
+			run := oskern.Run{PID: a.free[i].PID, N: n}
+			a.free[i].PID += storage.PID(n)
+			a.free[i].N -= n
+			if a.free[i].N == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			a.used += n
+			return []oskern.Run{run}, steps, nil
+		}
+		if a.firstFit && steps > 32 {
+			break // XFS-style: bounded search, then fragment
+		}
+	}
+	// Pass 2: gather fragments largest-first.
+	idx := make([]int, len(a.free))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return a.free[idx[x]].N > a.free[idx[y]].N })
+	var runs []oskern.Run
+	need := n
+	taken := map[int]uint64{} // free-list index -> blocks taken
+	for _, i := range idx {
+		steps++
+		take := a.free[i].N
+		if take > need {
+			take = need
+		}
+		runs = append(runs, oskern.Run{PID: a.free[i].PID, N: take})
+		taken[i] = take
+		need -= take
+		if need == 0 {
+			break
+		}
+	}
+	if need > 0 {
+		return nil, steps, fmt.Errorf("fsim: fragmentation shortfall of %d blocks: %w", need, oskern.ErrNoSpace)
+	}
+	// Apply the takes (descending index so removals don't shift earlier ones).
+	var order []int
+	for i := range taken {
+		order = append(order, i)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(order)))
+	for _, i := range order {
+		take := taken[i]
+		a.free[i].PID += storage.PID(take)
+		a.free[i].N -= take
+		if a.free[i].N == 0 {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		}
+	}
+	a.used += n
+	return runs, steps, nil
+}
+
+// Free implements oskern.Allocator.
+func (a *RangeAllocator) Free(runs []oskern.Run) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, r := range runs {
+		if r.N == 0 {
+			continue
+		}
+		a.insert(r)
+		a.used -= r.N
+	}
+}
+
+// insert keeps the free list sorted by PID and coalesces neighbours.
+func (a *RangeAllocator) insert(r oskern.Run) {
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].PID >= r.PID })
+	a.free = append(a.free, oskern.Run{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = r
+	// Coalesce with next, then previous.
+	if i+1 < len(a.free) && a.free[i].PID+storage.PID(a.free[i].N) == a.free[i+1].PID {
+		a.free[i].N += a.free[i+1].N
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].PID+storage.PID(a.free[i-1].N) == a.free[i].PID {
+		a.free[i-1].N += a.free[i].N
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// Utilization implements oskern.Allocator.
+func (a *RangeAllocator) Utilization() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.total == 0 {
+		return 0
+	}
+	return float64(a.used) / float64(a.total)
+}
+
+// FreeRuns reports the number of free-list fragments (aging indicator).
+func (a *RangeAllocator) FreeRuns() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.free)
+}
+
+// LogAllocator is the F2FS-style log-structured allocator: allocation is an
+// O(1) append at the log head; freed blocks park in a pool that the
+// "cleaner" hands back as whole reclaimed segments. Allocation cost does
+// not grow with utilization, which is why F2FS alone holds its throughput
+// in Figure 11.
+type LogAllocator struct {
+	mu    sync.Mutex
+	head  storage.PID
+	end   storage.PID
+	pool  []oskern.Run // reclaimed space, coalesced
+	total uint64
+	used  uint64
+}
+
+// NewLogAllocator manages blocks [start, end).
+func NewLogAllocator(start, end storage.PID) *LogAllocator {
+	return &LogAllocator{head: start, end: end, total: uint64(end - start)}
+}
+
+// Alloc implements oskern.Allocator.
+func (a *LogAllocator) Alloc(n uint64) ([]oskern.Run, int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n == 0 {
+		return nil, 0, nil
+	}
+	if a.total-a.used < n {
+		return nil, 0, fmt.Errorf("fsim: need %d blocks, %d free: %w", n, a.total-a.used, oskern.ErrNoSpace)
+	}
+	var runs []oskern.Run
+	need := n
+	// Fresh space at the head first (pure sequential log writes).
+	if fresh := uint64(a.end - a.head); fresh > 0 {
+		take := need
+		if take > fresh {
+			take = fresh
+		}
+		runs = append(runs, oskern.Run{PID: a.head, N: take})
+		a.head += storage.PID(take)
+		need -= take
+	}
+	// Then reclaimed segments from the cleaner's pool (O(1) pops).
+	steps := 1
+	for need > 0 {
+		steps++
+		if len(a.pool) == 0 {
+			// Roll back and fail (shouldn't happen given the used check).
+			a.mu.Unlock()
+			a.Free(runs)
+			a.mu.Lock()
+			return nil, steps, fmt.Errorf("fsim: log allocator pool empty: %w", oskern.ErrNoSpace)
+		}
+		seg := a.pool[len(a.pool)-1]
+		a.pool = a.pool[:len(a.pool)-1]
+		take := seg.N
+		if take > need {
+			take = need
+			a.pool = append(a.pool, oskern.Run{PID: seg.PID + storage.PID(take), N: seg.N - take})
+		}
+		runs = append(runs, oskern.Run{PID: seg.PID, N: take})
+		need -= take
+	}
+	a.used += n
+	return runs, steps, nil
+}
+
+// Free implements oskern.Allocator.
+func (a *LogAllocator) Free(runs []oskern.Run) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, r := range runs {
+		if r.N == 0 {
+			continue
+		}
+		a.pool = append(a.pool, r)
+		a.used -= r.N
+	}
+}
+
+// Utilization implements oskern.Allocator.
+func (a *LogAllocator) Utilization() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.total == 0 {
+		return 0
+	}
+	return float64(a.used) / float64(a.total)
+}
+
+// Options sizes a mounted profile.
+type Options struct {
+	Dev          storage.Device
+	JournalPages uint64 // 0 = 1/32 of the device
+	CacheBlocks  int    // 0 = 1/4 of the device
+}
+
+func (o *Options) fill() {
+	if o.JournalPages == 0 {
+		o.JournalPages = o.Dev.NumPages() / 32
+	}
+	if o.CacheBlocks == 0 {
+		o.CacheBlocks = int(o.Dev.NumPages() / 4)
+	}
+}
+
+// Ext4Ordered mounts the Ext4 data=ordered profile: extent-tree mapping,
+// metadata-only journal.
+func Ext4Ordered(o Options) *oskern.Kernel {
+	o.fill()
+	return oskern.NewKernel(oskern.Config{
+		Name:          "Ext4.ordered",
+		Dev:           o.Dev,
+		Alloc:         NewRangeAllocator(storage.PID(o.JournalPages), storage.PID(o.Dev.NumPages()), false),
+		Journal:       oskern.JournalMetadata,
+		JournalStart:  0,
+		JournalEnd:    storage.PID(o.JournalPages),
+		CacheBlocks:   o.CacheBlocks,
+		SyscallFactor: 1.0,
+	})
+}
+
+// Ext4Journal mounts Ext4 data=journal: file data is written to the journal
+// too, synchronously in the write path (§V-B).
+func Ext4Journal(o Options) *oskern.Kernel {
+	o.fill()
+	return oskern.NewKernel(oskern.Config{
+		Name:          "Ext4.journal",
+		Dev:           o.Dev,
+		Alloc:         NewRangeAllocator(storage.PID(o.JournalPages), storage.PID(o.Dev.NumPages()), false),
+		Journal:       oskern.JournalData,
+		JournalStart:  0,
+		JournalEnd:    storage.PID(o.JournalPages),
+		CacheBlocks:   o.CacheBlocks,
+		SyscallFactor: 1.15, // heavier journaling machinery per call
+	})
+}
+
+// XFS mounts the XFS profile: delayed-allocation-style bounded search and
+// the lowest per-syscall kernel work (it spends the smallest share of time
+// in system calls in Table IV).
+func XFS(o Options) *oskern.Kernel {
+	o.fill()
+	return oskern.NewKernel(oskern.Config{
+		Name:          "XFS",
+		Dev:           o.Dev,
+		Alloc:         NewRangeAllocator(storage.PID(o.JournalPages), storage.PID(o.Dev.NumPages()), true),
+		Journal:       oskern.JournalMetadata,
+		JournalStart:  0,
+		JournalEnd:    storage.PID(o.JournalPages),
+		CacheBlocks:   o.CacheBlocks,
+		SyscallFactor: 0.72,
+	})
+}
+
+// BtrFS mounts the BtrFS-like profile: copy-on-write with heavier metadata.
+func BtrFS(o Options) *oskern.Kernel {
+	o.fill()
+	return oskern.NewKernel(oskern.Config{
+		Name:          "BtrFS",
+		Dev:           o.Dev,
+		Alloc:         NewRangeAllocator(storage.PID(o.JournalPages), storage.PID(o.Dev.NumPages()), false),
+		Journal:       oskern.JournalMetadata,
+		JournalStart:  0,
+		JournalEnd:    storage.PID(o.JournalPages),
+		CacheBlocks:   o.CacheBlocks,
+		CoW:           true,
+		SyscallFactor: 0.95,
+	})
+}
+
+// F2FS mounts the log-structured profile.
+func F2FS(o Options) *oskern.Kernel {
+	o.fill()
+	return oskern.NewKernel(oskern.Config{
+		Name:          "F2FS",
+		Dev:           o.Dev,
+		Alloc:         NewLogAllocator(storage.PID(o.JournalPages), storage.PID(o.Dev.NumPages())),
+		Journal:       oskern.JournalMetadata,
+		JournalStart:  0,
+		JournalEnd:    storage.PID(o.JournalPages),
+		CacheBlocks:   o.CacheBlocks,
+		SyscallFactor: 1.05,
+	})
+}
+
+// All mounts every profile, each on its own fresh device created by mkdev.
+func All(mkdev func() storage.Device) []*oskern.Kernel {
+	return []*oskern.Kernel{
+		Ext4Ordered(Options{Dev: mkdev()}),
+		Ext4Journal(Options{Dev: mkdev()}),
+		XFS(Options{Dev: mkdev()}),
+		BtrFS(Options{Dev: mkdev()}),
+		F2FS(Options{Dev: mkdev()}),
+	}
+}

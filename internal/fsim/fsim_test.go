@@ -1,0 +1,305 @@
+package fsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blobdb/internal/oskern"
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+)
+
+const bs = storage.DefaultPageSize
+
+func mkdev(pages uint64) func() storage.Device {
+	return func() storage.Device {
+		return storage.NewMemDevice(bs, pages, simtime.DefaultNVMe())
+	}
+}
+
+func TestWriteReadRoundtripAllProfiles(t *testing.T) {
+	for _, k := range All(mkdev(1 << 14)) {
+		t.Run(k.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			for _, size := range []int{1, 100, bs, bs + 1, 10 * bs, 100 << 10} {
+				data := make([]byte, size)
+				rng.Read(data)
+				path := fmt.Sprintf("/f%d", size)
+				if err := k.WriteFile(nil, path, data); err != nil {
+					t.Fatalf("write %d: %v", size, err)
+				}
+				buf := make([]byte, size)
+				n, err := k.ReadFile(nil, path, buf)
+				if err != nil || n != size {
+					t.Fatalf("read %d: %d, %v", size, n, err)
+				}
+				if !bytes.Equal(buf, data) {
+					t.Fatalf("size %d: content mismatch", size)
+				}
+			}
+		})
+	}
+}
+
+func TestContentSurvivesCacheDrop(t *testing.T) {
+	for _, k := range All(mkdev(1 << 14)) {
+		t.Run(k.Name(), func(t *testing.T) {
+			data := bytes.Repeat([]byte{0xAD}, 60<<10)
+			if err := k.WriteFile(nil, "/f", data); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.DropCaches(nil); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, len(data))
+			if _, err := k.ReadFile(nil, "/f", buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, data) {
+				t.Error("content lost across cache drop")
+			}
+		})
+	}
+}
+
+func TestSyscallCostsCharged(t *testing.T) {
+	k := Ext4Ordered(Options{Dev: mkdev(1 << 13)()})
+	m := simtime.NewMeter()
+	if err := k.WriteFile(m, "/f", make([]byte, 50<<10)); err != nil {
+		t.Fatal(err)
+	}
+	writeCost := m.Elapsed()
+	if writeCost == 0 {
+		t.Fatal("write path charged nothing")
+	}
+	if m.Snapshot().Syscalls < 3 { // open, write(s), close
+		t.Errorf("syscalls = %d", m.Snapshot().Syscalls)
+	}
+	m2 := simtime.NewMeter()
+	buf := make([]byte, 50<<10)
+	if _, err := k.ReadFile(m2, "/f", buf); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Elapsed() == 0 {
+		t.Error("read path charged nothing")
+	}
+}
+
+func TestJournalModeDoublesDataWrites(t *testing.T) {
+	// Ext4.journal writes file data twice (journal + home); ordered mode
+	// writes it once plus small metadata records (§V-B).
+	run := func(mk func(Options) *oskern.Kernel) int64 {
+		dev := storage.NewMemDevice(bs, 1<<14, nil)
+		k := mk(Options{Dev: dev})
+		for i := 0; i < 10; i++ {
+			if err := k.WriteFile(nil, fmt.Sprintf("/f%d", i), make([]byte, 100<<10)); err != nil {
+				panic(err)
+			}
+		}
+		if err := k.SyncAll(nil); err != nil {
+			panic(err)
+		}
+		return dev.Stats().BytesWritten()
+	}
+	ordered := run(Ext4Ordered)
+	journal := run(Ext4Journal)
+	if float64(journal) < 1.8*float64(ordered) {
+		t.Errorf("journal mode wrote %d bytes vs %d ordered; want ~2x", journal, ordered)
+	}
+}
+
+func TestExt4JournalSlowerInPath(t *testing.T) {
+	// The journal data write is charged synchronously, so the op-path
+	// virtual time must be clearly higher than ordered mode.
+	time := func(mk func(Options) *oskern.Kernel) int64 {
+		k := mk(Options{Dev: mkdev(1 << 14)()})
+		m := simtime.NewMeter()
+		for i := 0; i < 10; i++ {
+			k.WriteFile(m, fmt.Sprintf("/f%d", i), make([]byte, 100<<10))
+		}
+		return int64(m.Elapsed())
+	}
+	ordered := time(Ext4Ordered)
+	journal := time(Ext4Journal)
+	if journal <= ordered {
+		t.Errorf("journal path %d <= ordered %d; data journaling must cost in-path time", journal, ordered)
+	}
+}
+
+func TestUnlinkFreesSpace(t *testing.T) {
+	for _, k := range All(mkdev(1 << 13)) {
+		t.Run(k.Name(), func(t *testing.T) {
+			if err := k.WriteFile(nil, "/f", make([]byte, 1<<20)); err != nil {
+				t.Fatal(err)
+			}
+			before := k.Utilization()
+			if err := k.Unlink(nil, "/f"); err != nil {
+				t.Fatal(err)
+			}
+			if after := k.Utilization(); after >= before {
+				t.Errorf("utilization %f -> %f after unlink", before, after)
+			}
+			if _, err := k.Stat(nil, "/f"); !errors.Is(err, oskern.ErrNotExist) {
+				t.Errorf("stat after unlink = %v", err)
+			}
+		})
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	k := XFS(Options{Dev: mkdev(1 << 12)()})
+	if _, err := k.Open(nil, "/missing", false); !errors.Is(err, oskern.ErrNotExist) {
+		t.Errorf("open missing = %v", err)
+	}
+	if err := k.Close(nil, 999); !errors.Is(err, oskern.ErrBadFD) {
+		t.Errorf("close bad fd = %v", err)
+	}
+	if _, err := k.PRead(nil, 999, nil, 0); !errors.Is(err, oskern.ErrBadFD) {
+		t.Errorf("pread bad fd = %v", err)
+	}
+	if _, err := k.PWrite(nil, 999, nil, 0); !errors.Is(err, oskern.ErrBadFD) {
+		t.Errorf("pwrite bad fd = %v", err)
+	}
+	if err := k.Unlink(nil, "/missing"); !errors.Is(err, oskern.ErrNotExist) {
+		t.Errorf("unlink missing = %v", err)
+	}
+}
+
+func TestDeviceFullError(t *testing.T) {
+	k := Ext4Ordered(Options{Dev: mkdev(256)(), JournalPages: 16})
+	err := k.WriteFile(nil, "/huge", make([]byte, 2<<20))
+	if !errors.Is(err, oskern.ErrNoSpace) {
+		t.Errorf("overfull write = %v, want ErrNoSpace", err)
+	}
+}
+
+// TestRangeAllocatorFragmentationSlowdown verifies the Figure 11 mechanism:
+// near-full range allocation does more search work and produces more
+// fragments, while the log allocator stays O(1).
+func TestRangeAllocatorFragmentationSlowdown(t *testing.T) {
+	const blocks = 1 << 14
+	ra := NewRangeAllocator(0, blocks, false)
+	rng := rand.New(rand.NewSource(2))
+	type alloc struct{ runs []oskern.Run }
+	var live []alloc
+	lowSteps, highSteps := 0, 0
+	lowN, highN := 0, 0
+	for i := 0; i < 4000; i++ {
+		if rng.Intn(100) < 78 || len(live) == 0 {
+			n := uint64(rng.Intn(200) + 50)
+			runs, steps, err := ra.Alloc(n)
+			if err != nil {
+				// Near full: delete something and retry.
+				if len(live) == 0 {
+					t.Fatal(err)
+				}
+				j := rng.Intn(len(live))
+				ra.Free(live[j].runs)
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			live = append(live, alloc{runs})
+			if ra.Utilization() < 0.4 {
+				lowSteps += steps
+				lowN++
+			} else if ra.Utilization() > 0.85 {
+				highSteps += steps
+				highN++
+			}
+		} else {
+			j := rng.Intn(len(live))
+			ra.Free(live[j].runs)
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	if lowN == 0 || highN == 0 {
+		t.Skip("churn did not reach both utilization bands")
+	}
+	lowAvg := float64(lowSteps) / float64(lowN)
+	highAvg := float64(highSteps) / float64(highN)
+	if highAvg <= lowAvg {
+		t.Errorf("range allocator: avg steps low=%.1f high=%.1f; want more work near full", lowAvg, highAvg)
+	}
+}
+
+func TestLogAllocatorStableNearFull(t *testing.T) {
+	const blocks = 1 << 14
+	la := NewLogAllocator(0, blocks)
+	rng := rand.New(rand.NewSource(3))
+	var live [][]oskern.Run
+	maxSteps := 0
+	for i := 0; i < 6000; i++ {
+		if rng.Intn(100) < 78 || len(live) == 0 {
+			runs, steps, err := la.Alloc(uint64(rng.Intn(200) + 50))
+			if err != nil {
+				if len(live) == 0 {
+					t.Fatal(err)
+				}
+				j := rng.Intn(len(live))
+				la.Free(live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			live = append(live, runs)
+			if steps > maxSteps {
+				maxSteps = steps
+			}
+		} else {
+			j := rng.Intn(len(live))
+			la.Free(live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	// O(1)-ish: a handful of pool pops per allocation even under churn.
+	if maxSteps > 64 {
+		t.Errorf("log allocator max steps = %d; want small constant", maxSteps)
+	}
+}
+
+func TestAllocatorAccounting(t *testing.T) {
+	ra := NewRangeAllocator(0, 1000, false)
+	runs, _, err := ra.Alloc(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := ra.Utilization(); u < 0.29 || u > 0.31 {
+		t.Errorf("utilization = %f, want 0.3", u)
+	}
+	ra.Free(runs)
+	if u := ra.Utilization(); u != 0 {
+		t.Errorf("utilization after free = %f", u)
+	}
+	if ra.FreeRuns() != 1 {
+		t.Errorf("free list not coalesced: %d runs", ra.FreeRuns())
+	}
+}
+
+func TestFragmentedFilesHaveMoreRuns(t *testing.T) {
+	// Interleave allocations from two files so each becomes fragmented,
+	// then check Stat reports multiple runs.
+	k := Ext4Ordered(Options{Dev: mkdev(1 << 13)(), JournalPages: 64})
+	fa, _ := k.Open(nil, "/a", true)
+	fb, _ := k.Open(nil, "/b", true)
+	chunk := make([]byte, 16*bs)
+	for i := 0; i < 8; i++ {
+		if _, err := k.PWrite(nil, fa, chunk, int64(i*len(chunk))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.PWrite(nil, fb, chunk, int64(i*len(chunk))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Close(nil, fa)
+	k.Close(nil, fb)
+	fi, _ := k.Stat(nil, "/a")
+	if fi.Runs < 2 {
+		t.Errorf("interleaved file has %d runs, want fragmentation", fi.Runs)
+	}
+}

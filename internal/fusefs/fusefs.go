@@ -1,0 +1,440 @@
+// Package fusefs exposes DBMS relations as read-only directories of files,
+// reproducing the paper's FUSE integration (§III-E, Listing 1).
+//
+// The paper mounts the DBMS through the kernel FUSE driver; this
+// reproduction is stdlib-only, so the same operation surface is provided in
+// process:
+//
+//   - FS implements the FUSE callbacks of Listing 1 — Open starts a
+//     transaction, Flush (triggered by close(2)) commits it, Read is a
+//     point query for the Blob State followed by a blob read, Getattr and
+//     Readdir are point/scan queries on the relation B-tree.
+//   - StdFS adapts FS to io/fs.FS, so *unmodified* Go code — fs.ReadFile,
+//     http.FileServer, archive walkers — reads database BLOBs as if they
+//     were files. cmd/blobfsd serves the tree over HTTP for external
+//     processes, completing the interoperability story.
+//
+// Paths follow the paper's layout: /<relation>/<filename>, i.e. a relation
+// appears as a directory ("Relation as a directory").
+package fusefs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"strings"
+	"sync"
+	"time"
+
+	"blobdb/internal/blob"
+	"blobdb/internal/core"
+	"blobdb/internal/simtime"
+)
+
+// Errors mirroring the FUSE errno surface.
+var (
+	ErrNotExist   = errors.New("fusefs: no such file or directory") // -ENOENT
+	ErrIsDir      = errors.New("fusefs: is a directory")            // -EISDIR
+	ErrNotDir     = errors.New("fusefs: not a directory")           // -ENOTDIR
+	ErrReadOnly   = errors.New("fusefs: read-only file system")     // -EROFS
+	ErrBadHandle  = errors.New("fusefs: bad file handle")           // -EBADF
+	ErrStaleMount = errors.New("fusefs: mount closed")
+)
+
+// FS is the mounted view of a database. All operations are read-only; the
+// paper exposes BLOBs as read-only files.
+type FS struct {
+	db    *core.DB
+	meter *simtime.Meter
+
+	mu      sync.Mutex
+	handles map[uint64]*handle
+	nextFD  uint64
+	closed  bool
+}
+
+type handle struct {
+	relation string
+	filename string
+	txn      *core.Txn
+	state    *blob.State
+}
+
+// Mount creates the file-system view. meter may be nil.
+func Mount(db *core.DB, meter *simtime.Meter) *FS {
+	return &FS{db: db, meter: meter, handles: map[uint64]*handle{}}
+}
+
+// Unmount invalidates the mount; outstanding handles are aborted.
+func (f *FS) Unmount() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for fd, h := range f.handles {
+		h.txn.Abort()
+		delete(f.handles, fd)
+	}
+	f.closed = true
+}
+
+// splitPath parses /relation/filename. An empty filename addresses the
+// relation directory itself.
+func splitPath(p string) (rel, file string, err error) {
+	p = strings.Trim(path.Clean("/"+p), "/")
+	if p == "" {
+		return "", "", nil // root
+	}
+	parts := strings.SplitN(p, "/", 2)
+	if len(parts) == 1 {
+		return parts[0], "", nil
+	}
+	return parts[0], parts[1], nil
+}
+
+// Open implements the FUSE open(2) callback: it checks existence and starts
+// the transaction that makes subsequent reads of this handle consistent
+// (Listing 1, lines 1–4). It returns a file descriptor for Read/Getattr.
+func (f *FS) Open(p string) (uint64, error) {
+	rel, file, err := splitPath(p)
+	if err != nil {
+		return 0, err
+	}
+	if file == "" {
+		return 0, fmt.Errorf("%s: %w", p, ErrIsDir)
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, ErrStaleMount
+	}
+	f.mu.Unlock()
+
+	txn := f.db.Begin(f.meter)
+	st, err := txn.BlobState(rel, []byte(file))
+	if err != nil {
+		txn.Abort()
+		if errors.Is(err, core.ErrKeyNotFound) || errors.Is(err, core.ErrNoRelation) {
+			return 0, fmt.Errorf("%s: %w", p, ErrNotExist)
+		}
+		return 0, err
+	}
+	h := &handle{relation: rel, filename: file, txn: txn, state: st}
+	f.mu.Lock()
+	f.nextFD++
+	fd := f.nextFD
+	f.handles[fd] = h
+	f.mu.Unlock()
+	return fd, nil
+}
+
+// Read implements the FUSE read callback (Listing 1, lines 10–22): the Blob
+// State retrieved at open time drives a direct blob read into buf.
+func (f *FS) Read(fd uint64, buf []byte, offset int64) (int, error) {
+	f.mu.Lock()
+	h, ok := f.handles[fd]
+	f.mu.Unlock()
+	if !ok {
+		return 0, ErrBadHandle
+	}
+	if offset < 0 || offset >= int64(h.state.Size) {
+		return 0, io.EOF
+	}
+	size := len(buf)
+	if rem := int64(h.state.Size) - offset; int64(size) > rem {
+		size = int(rem)
+	}
+	rh, err := f.db.Blobs().Read(f.meter, h.state)
+	if err != nil {
+		return 0, err
+	}
+	defer rh.Close(f.meter)
+	n := rh.View().CopyTo(buf[:size], int(offset))
+	return n, nil
+}
+
+// Flush implements the FUSE flush callback, triggered by close(2): it
+// commits the handle's transaction (Listing 1, lines 5–8).
+func (f *FS) Flush(fd uint64) error {
+	f.mu.Lock()
+	h, ok := f.handles[fd]
+	delete(f.handles, fd)
+	f.mu.Unlock()
+	if !ok {
+		return ErrBadHandle
+	}
+	return h.txn.Commit()
+}
+
+// FileInfo is the getattr result.
+type FileInfo struct {
+	Name  string
+	Size  int64
+	IsDir bool
+}
+
+// Getattr implements the FUSE getattr callback: a point query for the Blob
+// State answers stat(2) without touching extents.
+func (f *FS) Getattr(p string) (FileInfo, error) {
+	rel, file, err := splitPath(p)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	if rel == "" {
+		return FileInfo{Name: "/", IsDir: true}, nil
+	}
+	if file == "" {
+		if _, err := f.db.Relation(rel); err != nil {
+			return FileInfo{}, fmt.Errorf("%s: %w", p, ErrNotExist)
+		}
+		return FileInfo{Name: rel, IsDir: true}, nil
+	}
+	txn := f.db.Begin(f.meter)
+	defer txn.Commit()
+	st, err := txn.BlobState(rel, []byte(file))
+	if err != nil {
+		return FileInfo{}, fmt.Errorf("%s: %w", p, ErrNotExist)
+	}
+	return FileInfo{Name: file, Size: int64(st.Size)}, nil
+}
+
+// Readdir lists a directory: the root lists relations; a relation directory
+// lists its BLOB keys (a B-tree scan).
+func (f *FS) Readdir(p string) ([]FileInfo, error) {
+	rel, file, err := splitPath(p)
+	if err != nil {
+		return nil, err
+	}
+	if file != "" {
+		return nil, fmt.Errorf("%s: %w", p, ErrNotDir)
+	}
+	if rel == "" {
+		var out []FileInfo
+		for _, name := range f.db.Relations() {
+			out = append(out, FileInfo{Name: name, IsDir: true})
+		}
+		return out, nil
+	}
+	txn := f.db.Begin(f.meter)
+	defer txn.Commit()
+	var out []FileInfo
+	err = txn.Scan(rel, nil, func(key, inline []byte, st *blob.State) bool {
+		fi := FileInfo{Name: string(key)}
+		if st != nil {
+			fi.Size = int64(st.Size)
+		} else {
+			fi.Size = int64(len(inline))
+		}
+		out = append(out, fi)
+		return true
+	})
+	if err != nil {
+		if errors.Is(err, core.ErrNoRelation) {
+			return nil, fmt.Errorf("%s: %w", p, ErrNotExist)
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// Write rejects mutation: BLOBs are exposed as read-only files (§III-E).
+func (f *FS) Write(fd uint64, buf []byte, offset int64) (int, error) {
+	return 0, ErrReadOnly
+}
+
+// ReadFile is a convenience wrapper: open + full read + flush.
+func (f *FS) ReadFile(p string) ([]byte, error) {
+	fd, err := f.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	h := f.handles[fd]
+	f.mu.Unlock()
+	buf := make([]byte, h.state.Size)
+	if _, err := f.Read(fd, buf, 0); err != nil && err != io.EOF {
+		f.Flush(fd)
+		return nil, err
+	}
+	if err := f.Flush(fd); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ---- io/fs.FS adapter: unmodified Go programs read BLOBs as files ----
+
+// StdFS adapts the mount to io/fs.FS.
+type StdFS struct{ m *FS }
+
+// Std returns an io/fs.FS over the mount.
+func (f *FS) Std() *StdFS { return &StdFS{m: f} }
+
+// Open implements fs.FS.
+func (s *StdFS) Open(name string) (fs.File, error) {
+	if !fs.ValidPath(name) {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	if name == "." {
+		return &stdDir{fs: s.m, path: ""}, nil
+	}
+	fi, err := s.m.Getattr(name)
+	if err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	if fi.IsDir {
+		return &stdDir{fs: s.m, path: name}, nil
+	}
+	fd, err := s.m.Open(name)
+	if err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	return &stdFile{fs: s.m, fd: fd, info: fi}, nil
+}
+
+// stdFile is an fs.File over one open handle.
+type stdFile struct {
+	fs     *FS
+	fd     uint64
+	info   FileInfo
+	offset int64
+	closed bool
+}
+
+// Stat implements fs.File.
+func (f *stdFile) Stat() (fs.FileInfo, error) { return stdInfo{f.info}, nil }
+
+// Read implements fs.File.
+func (f *stdFile) Read(p []byte) (int, error) {
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if f.offset >= f.info.Size {
+		return 0, io.EOF
+	}
+	n, err := f.fs.Read(f.fd, p, f.offset)
+	f.offset += int64(n)
+	return n, err
+}
+
+// Seek implements io.Seeker, which http.FileServer needs for HTTP range
+// requests and Content-Length.
+func (f *stdFile) Seek(offset int64, whence int) (int64, error) {
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = f.offset + offset
+	case io.SeekEnd:
+		abs = f.info.Size + offset
+	default:
+		return 0, fmt.Errorf("fusefs: invalid whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("fusefs: negative seek position %d", abs)
+	}
+	f.offset = abs
+	return abs, nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (f *stdFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	n, err := f.fs.Read(f.fd, p, off)
+	if err != nil {
+		return n, err
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Close implements fs.File: close(2) triggers Flush, committing the
+// bracketing transaction.
+func (f *stdFile) Close() error {
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.closed = true
+	return f.fs.Flush(f.fd)
+}
+
+// stdDir is an fs.ReadDirFile over a relation (or the root).
+type stdDir struct {
+	fs      *FS
+	path    string
+	entries []FileInfo
+	pos     int
+	loaded  bool
+}
+
+func (d *stdDir) Stat() (fs.FileInfo, error) {
+	name := path.Base("/" + d.path)
+	if name == "/" {
+		name = "."
+	}
+	return stdInfo{FileInfo{Name: name, IsDir: true}}, nil
+}
+
+func (d *stdDir) Read([]byte) (int, error) {
+	return 0, &fs.PathError{Op: "read", Path: d.path, Err: errors.New("is a directory")}
+}
+
+func (d *stdDir) Close() error { return nil }
+
+// ReadDir implements fs.ReadDirFile.
+func (d *stdDir) ReadDir(n int) ([]fs.DirEntry, error) {
+	if !d.loaded {
+		entries, err := d.fs.Readdir(d.path)
+		if err != nil {
+			return nil, err
+		}
+		d.entries = entries
+		d.loaded = true
+	}
+	var out []fs.DirEntry
+	for d.pos < len(d.entries) && (n <= 0 || len(out) < n) {
+		out = append(out, stdEntry{d.entries[d.pos]})
+		d.pos++
+	}
+	if n > 0 && len(out) == 0 {
+		return nil, io.EOF
+	}
+	return out, nil
+}
+
+type stdInfo struct{ fi FileInfo }
+
+func (s stdInfo) Name() string { return s.fi.Name }
+func (s stdInfo) Size() int64  { return s.fi.Size }
+func (s stdInfo) Mode() fs.FileMode {
+	if s.fi.IsDir {
+		return fs.ModeDir | 0o555
+	}
+	return 0o444 // read-only files
+}
+func (s stdInfo) ModTime() time.Time { return time.Time{} }
+func (s stdInfo) IsDir() bool        { return s.fi.IsDir }
+func (s stdInfo) Sys() any           { return nil }
+
+type stdEntry struct{ fi FileInfo }
+
+func (e stdEntry) Name() string { return e.fi.Name }
+func (e stdEntry) IsDir() bool  { return e.fi.IsDir }
+func (e stdEntry) Type() fs.FileMode {
+	if e.fi.IsDir {
+		return fs.ModeDir
+	}
+	return 0
+}
+func (e stdEntry) Info() (fs.FileInfo, error) { return stdInfo{e.fi}, nil }

@@ -1,0 +1,66 @@
+package fusefs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHTTPFileServerIntegration is the end-to-end §III-E interoperability
+// check: the stock http.FileServer — an external consumer that knows
+// nothing about databases — serves BLOBs over real HTTP requests.
+func TestHTTPFileServerIntegration(t *testing.T) {
+	db := newDB(t)
+	content := bytes.Repeat([]byte("JPEGDATA"), 4096)
+	seed(t, db, "image", map[string][]byte{"cat.jpg": content, "dog.jpg": []byte("woof")})
+	seed(t, db, "document", map[string][]byte{"readme.txt": []byte("hello")})
+
+	srv := httptest.NewServer(http.FileServer(http.FS(Mount(db, nil).Std())))
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := get("/image/cat.jpg"); code != 200 || !bytes.Equal(body, content) {
+		t.Errorf("GET cat.jpg = %d, %d bytes", code, len(body))
+	}
+	if code, body := get("/document/readme.txt"); code != 200 || string(body) != "hello" {
+		t.Errorf("GET readme.txt = %d, %q", code, body)
+	}
+	if code, _ := get("/image/missing.jpg"); code != 404 {
+		t.Errorf("GET missing = %d, want 404", code)
+	}
+	// Directory listing of a relation.
+	if code, body := get("/image/"); code != 200 || !bytes.Contains(body, []byte("cat.jpg")) {
+		t.Errorf("directory listing = %d, contains cat.jpg: %v", code, bytes.Contains(body, []byte("cat.jpg")))
+	}
+	// Range request: HTTP range semantics work because the fs.File
+	// supports ReadAt/Seek through the handle.
+	req, _ := http.NewRequest("GET", srv.URL+"/image/cat.jpg", nil)
+	req.Header.Set("Range", "bytes=8-15")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Errorf("range request status = %d, want 206", resp.StatusCode)
+	}
+	part, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(part, content[8:16]) {
+		t.Errorf("range request body = %q", part)
+	}
+}

@@ -1,0 +1,167 @@
+// Package gittrace generates and replays a filesystem-level trace shaped
+// like `git clone --depth 1` of the Linux kernel tree (§V-I, Table IV).
+//
+// The paper records the syscall trace of a real clone (~1.28 GB, tens of
+// thousands of files) and replays it against each system. Table IV's
+// outcome is driven by the *operation mix* — one create/open, a few
+// writes, one close per file, plus stats — where Ext4 spends 36% of its
+// time in open alone. The generator reproduces that mix with the kernel
+// tree's shape: many small source files under nested directories, a long
+// tail of larger objects, and a fixed bytes-to-files ratio.
+package gittrace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind is one trace operation.
+type OpKind int
+
+// The operation kinds present in the clone trace.
+const (
+	OpCreate OpKind = iota // open(O_CREAT)
+	OpWrite                // pwrite of a chunk
+	OpClose
+	OpStat
+)
+
+// Op is one replayable trace entry.
+type Op struct {
+	Kind OpKind
+	Path string
+	Size int // payload bytes for OpWrite
+}
+
+// Config shapes the synthetic clone.
+type Config struct {
+	Files      int   // number of files (linux: ~80k; scaled default below)
+	TotalBytes int64 // checkout size (paper: 1.28GB)
+	// WriteChunk is the write granularity git uses when inflating objects.
+	WriteChunk int
+	// StatsPerFile models git's lstat traffic during checkout.
+	StatsPerFile float64
+	Seed         int64
+}
+
+// DefaultConfig returns a laptop-scale clone: the op mix and bytes/file
+// ratio of the paper's trace at 1/10 scale.
+func DefaultConfig() Config {
+	return Config{
+		Files:        8000,
+		TotalBytes:   128 << 20,
+		WriteChunk:   64 << 10,
+		StatsPerFile: 1.5,
+		Seed:         7,
+	}
+}
+
+// Trace is a replayable operation list.
+type Trace struct {
+	Ops        []Op
+	Files      int
+	TotalBytes int64
+}
+
+// Generate builds the synthetic clone trace.
+func Generate(cfg Config) *Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Kernel-tree-ish sizes: log-normal, median ~8KB, capped tail.
+	sizes := make([]int, cfg.Files)
+	var total int64
+	for i := range sizes {
+		s := int(math.Exp(rng.NormFloat64()*1.2 + math.Log(8192)))
+		if s < 128 {
+			s = 128
+		}
+		if s > 4<<20 {
+			s = 4 << 20
+		}
+		sizes[i] = s
+		total += int64(s)
+	}
+	scale := float64(cfg.TotalBytes) / float64(total)
+	total = 0
+	for i := range sizes {
+		s := int(float64(sizes[i]) * scale)
+		if s < 64 {
+			s = 64
+		}
+		sizes[i] = s
+		total += int64(s)
+	}
+
+	dirs := []string{"kernel", "drivers/net", "drivers/gpu", "fs/ext4", "arch/x86",
+		"include/linux", "net/ipv4", "mm", "sound/soc", "tools/perf", "Documentation"}
+
+	tr := &Trace{Files: cfg.Files, TotalBytes: total}
+	for i, size := range sizes {
+		path := fmt.Sprintf("/%s/file%06d.c", dirs[rng.Intn(len(dirs))], i)
+		tr.Ops = append(tr.Ops, Op{Kind: OpCreate, Path: path})
+		for off := 0; off < size; off += cfg.WriteChunk {
+			n := cfg.WriteChunk
+			if off+n > size {
+				n = size - off
+			}
+			tr.Ops = append(tr.Ops, Op{Kind: OpWrite, Path: path, Size: n})
+		}
+		tr.Ops = append(tr.Ops, Op{Kind: OpClose, Path: path})
+		// lstat traffic interleaved by git's checkout bookkeeping.
+		for s := cfg.StatsPerFile; s >= 1 || rng.Float64() < s; s-- {
+			tr.Ops = append(tr.Ops, Op{Kind: OpStat, Path: path})
+		}
+	}
+	return tr
+}
+
+// Counts summarizes the trace (sanity checks and reporting).
+func (t *Trace) Counts() map[OpKind]int {
+	out := map[OpKind]int{}
+	for _, op := range t.Ops {
+		out[op.Kind]++
+	}
+	return out
+}
+
+// Target is what a trace can replay against: either a simulated file
+// system kernel or the DBMS adapter.
+type Target interface {
+	// Create opens a new file/blob for writing.
+	Create(path string) error
+	// Append writes the next chunk.
+	Append(path string, data []byte) error
+	// Close finishes the file (commit point for transactional targets).
+	Close(path string) error
+	// Stat queries metadata.
+	Stat(path string) error
+}
+
+// Replay runs the trace against the target. The chunk buffer is reused.
+func Replay(t *Trace, target Target) error {
+	var chunk []byte
+	for _, op := range t.Ops {
+		var err error
+		switch op.Kind {
+		case OpCreate:
+			err = target.Create(op.Path)
+		case OpWrite:
+			if cap(chunk) < op.Size {
+				chunk = make([]byte, op.Size)
+				for i := range chunk {
+					chunk[i] = byte(i)
+				}
+			}
+			err = target.Append(op.Path, chunk[:op.Size])
+		case OpClose:
+			err = target.Close(op.Path)
+		case OpStat:
+			err = target.Stat(op.Path)
+		}
+		if err != nil {
+			return fmt.Errorf("gittrace: %v %s: %w", op.Kind, op.Path, err)
+		}
+	}
+	return nil
+}

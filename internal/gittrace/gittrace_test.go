@@ -1,0 +1,112 @@
+package gittrace
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := Generate(cfg)
+	counts := tr.Counts()
+	if counts[OpCreate] != cfg.Files || counts[OpClose] != cfg.Files {
+		t.Errorf("creates=%d closes=%d, want %d each", counts[OpCreate], counts[OpClose], cfg.Files)
+	}
+	if counts[OpWrite] < cfg.Files {
+		t.Errorf("writes=%d, want >= one per file", counts[OpWrite])
+	}
+	if counts[OpStat] < cfg.Files {
+		t.Errorf("stats=%d, want >= one per file", counts[OpStat])
+	}
+	// Bytes-to-files ratio near the requested checkout size.
+	if tr.TotalBytes < cfg.TotalBytes/2 || tr.TotalBytes > cfg.TotalBytes*2 {
+		t.Errorf("TotalBytes = %d, target %d", tr.TotalBytes, cfg.TotalBytes)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatal("op counts differ")
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}
+
+// recordingTarget verifies replay ordering invariants.
+type recordingTarget struct {
+	open  map[string]bool
+	sizes map[string]int
+	errAt int
+	n     int
+}
+
+func (r *recordingTarget) step() error {
+	r.n++
+	if r.errAt > 0 && r.n >= r.errAt {
+		return fmt.Errorf("injected failure")
+	}
+	return nil
+}
+
+func (r *recordingTarget) Create(path string) error {
+	if r.open[path] {
+		return fmt.Errorf("create of open file %s", path)
+	}
+	r.open[path] = true
+	return r.step()
+}
+
+func (r *recordingTarget) Append(path string, data []byte) error {
+	if !r.open[path] {
+		return fmt.Errorf("write to closed file %s", path)
+	}
+	r.sizes[path] += len(data)
+	return r.step()
+}
+
+func (r *recordingTarget) Close(path string) error {
+	if !r.open[path] {
+		return fmt.Errorf("close of closed file %s", path)
+	}
+	delete(r.open, path)
+	return r.step()
+}
+
+func (r *recordingTarget) Stat(path string) error { return r.step() }
+
+func TestReplayOrdering(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Files = 200
+	cfg.TotalBytes = 4 << 20
+	tr := Generate(cfg)
+	rt := &recordingTarget{open: map[string]bool{}, sizes: map[string]int{}}
+	if err := Replay(tr, rt); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.open) != 0 {
+		t.Errorf("%d files left open after replay", len(rt.open))
+	}
+	var total int64
+	for _, s := range rt.sizes {
+		total += int64(s)
+	}
+	if total != tr.TotalBytes {
+		t.Errorf("replayed %d bytes, trace declares %d", total, tr.TotalBytes)
+	}
+}
+
+func TestReplayPropagatesErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Files = 10
+	cfg.TotalBytes = 1 << 20
+	tr := Generate(cfg)
+	rt := &recordingTarget{open: map[string]bool{}, sizes: map[string]int{}, errAt: 5}
+	if err := Replay(tr, rt); err == nil {
+		t.Error("replay should propagate target errors")
+	}
+}

@@ -1,0 +1,625 @@
+// Package oskern simulates the kernel half of the paper's file-system
+// competitors: system-call entry costs, the page cache with its extra
+// kernel/user copy, block mapping through per-file extent runs, and the
+// journal. The concrete file systems (Ext4 ordered/journal, XFS, BtrFS,
+// F2FS) are Profiles in package fsim that select an allocation policy,
+// journal mode, and cost factors.
+//
+// The paper's file-system results reduce to four mechanisms, all modeled
+// here on the shared block device:
+//
+//   - syscall overhead on open/close/fstat/pread (§V-B, §V-I: Ext4 spends
+//     36% of git-clone time in open alone);
+//   - the kernel→user copy of pread that the DBMS avoids with virtual
+//     memory aliasing (§V-D);
+//   - journal double writes in data-journal mode (§V-B);
+//   - allocator behaviour near full storage (§V-G, Figure 11).
+package oskern
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+)
+
+// Errors returned by the simulated syscalls (errno analogues).
+var (
+	ErrNotExist = errors.New("oskern: no such file or directory")
+	ErrExist    = errors.New("oskern: file exists")
+	ErrBadFD    = errors.New("oskern: bad file descriptor")
+	ErrNoSpace  = errors.New("oskern: no space left on device")
+)
+
+// Run is a contiguous physical block range backing part of a file.
+type Run struct {
+	PID storage.PID
+	N   uint64
+}
+
+// Allocator is the block allocation policy (package fsim provides the
+// range-based and log-structured implementations).
+type Allocator interface {
+	// Alloc returns runs covering n blocks. Contiguity is best effort;
+	// searchSteps reports how much work the allocator did (charged as
+	// kernel time).
+	Alloc(n uint64) (runs []Run, searchSteps int, err error)
+	// Free returns runs to the allocator.
+	Free(runs []Run)
+	// Utilization reports allocated/total.
+	Utilization() float64
+}
+
+// JournalMode selects what the journal protects.
+type JournalMode int
+
+const (
+	// JournalNone: no journal traffic (not used by the shipped profiles,
+	// but useful in tests).
+	JournalNone JournalMode = iota
+	// JournalMetadata: metadata blocks are journaled (Ext4 data=ordered,
+	// XFS, F2FS-ish).
+	JournalMetadata
+	// JournalData: file data is also written to the journal before its
+	// home location — the Ext4 data=journal double write.
+	JournalData
+)
+
+// Config parameterizes a Kernel; package fsim builds these.
+type Config struct {
+	Name          string
+	Dev           storage.Device
+	Alloc         Allocator
+	Journal       JournalMode
+	JournalStart  storage.PID // journal region [JournalStart, JournalEnd)
+	JournalEnd    storage.PID
+	CacheBlocks   int // page cache capacity in blocks
+	Costs         *simtime.SyscallCostModel
+	SyscallFactor float64 // relative kernel CPU per syscall (Table IV tuning)
+	// CoW makes overwrites allocate new blocks (BtrFS-like).
+	CoW bool
+	// TreeLevelCostNS is charged per extent-tree level per block lookup,
+	// modeling the multi-level mapping traversal of Table I.
+	TreeLevelCostNS int64
+	// ExtentTreeFanout controls how run count maps to tree depth.
+	ExtentTreeFanout int
+}
+
+// Inode is an open-addressable file.
+type Inode struct {
+	ino  uint64
+	size int64
+	runs []Run    // logical order
+	cum  []uint64 // cumulative block counts per run
+}
+
+// Size returns the file size in bytes.
+func (i *Inode) Size() int64 { return i.size }
+
+// Runs returns the number of physical runs (fragmentation indicator).
+func (i *Inode) Runs() int { return len(i.runs) }
+
+type cachePage struct {
+	data  []byte
+	dirty bool
+}
+
+type cacheKey struct {
+	ino   uint64
+	block uint64
+}
+
+// Kernel is one mounted simulated file system.
+type Kernel struct {
+	cfg       Config
+	blockSize int
+
+	mu       sync.Mutex
+	files    map[string]*Inode
+	byIno    map[uint64]*Inode
+	fds      map[int]*fdEntry
+	nextFD   int
+	nextIno  uint64
+	cache    map[cacheKey]*cachePage
+	cacheLRU []cacheKey // coarse clock: random eviction sample
+	rng      *rand.Rand
+
+	journalPos storage.PID
+
+	stats SyscallStats
+}
+
+type fdEntry struct {
+	path  string
+	inode *Inode
+}
+
+// SyscallStats counts simulated system calls.
+type SyscallStats struct {
+	Opens, Closes, Stats, Reads, Writes, Truncates, Unlinks, Fsyncs int64
+}
+
+// NewKernel mounts a simulated file system.
+func NewKernel(cfg Config) *Kernel {
+	if cfg.Costs == nil {
+		cfg.Costs = simtime.DefaultSyscalls()
+	}
+	if cfg.SyscallFactor == 0 {
+		cfg.SyscallFactor = 1.0
+	}
+	if cfg.ExtentTreeFanout == 0 {
+		cfg.ExtentTreeFanout = 340 // ~4KB block of extent entries
+	}
+	if cfg.TreeLevelCostNS == 0 {
+		cfg.TreeLevelCostNS = 250
+	}
+	if cfg.CacheBlocks == 0 {
+		cfg.CacheBlocks = 1 << 16
+	}
+	return &Kernel{
+		cfg:        cfg,
+		blockSize:  cfg.Dev.PageSize(),
+		files:      map[string]*Inode{},
+		byIno:      map[uint64]*Inode{},
+		fds:        map[int]*fdEntry{},
+		cache:      map[cacheKey]*cachePage{},
+		rng:        rand.New(rand.NewSource(17)),
+		journalPos: cfg.JournalStart,
+	}
+}
+
+// Name returns the profile name (e.g. "Ext4.journal").
+func (k *Kernel) Name() string { return k.cfg.Name }
+
+// Stats returns syscall counters.
+func (k *Kernel) Stats() SyscallStats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.stats
+}
+
+// Utilization reports the allocator's fill level (Figure 11's x-axis).
+func (k *Kernel) Utilization() float64 { return k.cfg.Alloc.Utilization() }
+
+// charge accounts one syscall: fixed entry cost scaled by the profile's
+// kernel factor, plus analog counters.
+func (k *Kernel) charge(m *simtime.Meter, base int64) {
+	cost := int64(float64(base) * k.cfg.SyscallFactor)
+	m.ChargeNS(cost)
+	m.CountSyscall(int64(float64(k.cfg.Costs.KernelOpsPerCall) * k.cfg.SyscallFactor))
+}
+
+// Open opens (or with create, creates) a file, returning a descriptor.
+func (k *Kernel) Open(m *simtime.Meter, path string, create bool) (int, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.stats.Opens++
+	k.charge(m, int64(k.cfg.Costs.Open))
+	ino, ok := k.files[path]
+	if !ok {
+		if !create {
+			return 0, fmt.Errorf("%s: %w", path, ErrNotExist)
+		}
+		k.nextIno++
+		ino = &Inode{ino: k.nextIno}
+		k.files[path] = ino
+		k.byIno[ino.ino] = ino
+		// Creating a file is a metadata transaction (inode + dirent).
+		if err := k.journalLocked(m, 1); err != nil {
+			return 0, err
+		}
+	}
+	k.nextFD++
+	k.fds[k.nextFD] = &fdEntry{path: path, inode: ino}
+	return k.nextFD, nil
+}
+
+// Close releases a descriptor.
+func (k *Kernel) Close(m *simtime.Meter, fd int) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.stats.Closes++
+	k.charge(m, int64(k.cfg.Costs.Close))
+	if _, ok := k.fds[fd]; !ok {
+		return ErrBadFD
+	}
+	delete(k.fds, fd)
+	return nil
+}
+
+// FileInfo is the fstat result.
+type FileInfo struct {
+	Size int64
+	Runs int
+}
+
+// Stat implements fstat/stat by path.
+func (k *Kernel) Stat(m *simtime.Meter, path string) (FileInfo, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.stats.Stats++
+	k.charge(m, int64(k.cfg.Costs.Stat))
+	ino, ok := k.files[path]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("%s: %w", path, ErrNotExist)
+	}
+	return FileInfo{Size: ino.size, Runs: len(ino.runs)}, nil
+}
+
+// lookupBlock maps a logical block to its physical block, charging the
+// extent-tree traversal.
+func (k *Kernel) lookupBlock(m *simtime.Meter, ino *Inode, logical uint64) (storage.PID, error) {
+	// Tree depth grows with the number of runs: depth = ceil(log_fanout).
+	depth := 1
+	n := len(ino.runs)
+	for n > k.cfg.ExtentTreeFanout {
+		depth++
+		n /= k.cfg.ExtentTreeFanout
+	}
+	m.ChargeNS(int64(depth) * k.cfg.TreeLevelCostNS)
+	m.CountKernelOps(int64(depth))
+	// Binary search the cumulative table.
+	lo, hi := 0, len(ino.cum)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ino.cum[mid] <= logical {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(ino.runs) {
+		return 0, fmt.Errorf("oskern: logical block %d beyond file", logical)
+	}
+	prev := uint64(0)
+	if lo > 0 {
+		prev = ino.cum[lo-1]
+	}
+	return ino.runs[lo].PID + storage.PID(logical-prev), nil
+}
+
+// extendLocked grows the file's block mapping to cover blocks blocks.
+func (k *Kernel) extendLocked(m *simtime.Meter, ino *Inode, blocks uint64) error {
+	have := uint64(0)
+	if len(ino.cum) > 0 {
+		have = ino.cum[len(ino.cum)-1]
+	}
+	if blocks <= have {
+		return nil
+	}
+	runs, steps, err := k.cfg.Alloc.Alloc(blocks - have)
+	if err != nil {
+		return err
+	}
+	m.ChargeNS(int64(steps) * 120) // allocator search work
+	m.CountKernelOps(int64(steps))
+	for _, r := range runs {
+		have += r.N
+		ino.runs = append(ino.runs, r)
+		ino.cum = append(ino.cum, have)
+	}
+	return nil
+}
+
+// cacheGet returns the cache page for (ino, block), reading from the device
+// on a miss. wholeOverwrite skips the device read.
+func (k *Kernel) cacheGet(m *simtime.Meter, ino *Inode, block uint64, wholeOverwrite bool) (*cachePage, error) {
+	key := cacheKey{ino.ino, block}
+	if p, ok := k.cache[key]; ok {
+		return p, nil
+	}
+	if len(k.cache) >= k.cfg.CacheBlocks {
+		if err := k.evictOneLocked(m); err != nil {
+			return nil, err
+		}
+	}
+	p := &cachePage{data: make([]byte, k.blockSize)}
+	if !wholeOverwrite {
+		pid, err := k.lookupBlock(m, ino, block)
+		if err != nil {
+			return nil, err
+		}
+		if err := k.cfg.Dev.ReadPages(m, pid, 1, p.data); err != nil {
+			return nil, err
+		}
+	}
+	k.cache[key] = p
+	k.cacheLRU = append(k.cacheLRU, key)
+	return p, nil
+}
+
+func (k *Kernel) evictOneLocked(m *simtime.Meter) error {
+	for tries := 0; tries < 64 && len(k.cacheLRU) > 0; tries++ {
+		i := k.rng.Intn(len(k.cacheLRU))
+		key := k.cacheLRU[i]
+		p, ok := k.cache[key]
+		if !ok {
+			k.cacheLRU[i] = k.cacheLRU[len(k.cacheLRU)-1]
+			k.cacheLRU = k.cacheLRU[:len(k.cacheLRU)-1]
+			continue
+		}
+		if p.dirty {
+			if err := k.writebackLocked(m, key, p); err != nil {
+				return err
+			}
+		}
+		delete(k.cache, key)
+		k.cacheLRU[i] = k.cacheLRU[len(k.cacheLRU)-1]
+		k.cacheLRU = k.cacheLRU[:len(k.cacheLRU)-1]
+		return nil
+	}
+	return errors.New("oskern: page cache exhausted")
+}
+
+// writebackLocked writes one dirty cache page to its home location (the
+// caller holds k.mu). The inode must still exist; pages of unlinked files
+// are dropped by Unlink.
+func (k *Kernel) writebackLocked(m *simtime.Meter, key cacheKey, p *cachePage) error {
+	ino := k.inodeByID(key.ino)
+	if ino == nil {
+		p.dirty = false
+		return nil // file was unlinked; data is garbage
+	}
+	pid, err := k.lookupBlock(m, ino, key.block)
+	if err != nil {
+		return err
+	}
+	if err := k.cfg.Dev.WritePages(m, pid, 1, p.data); err != nil {
+		return err
+	}
+	p.dirty = false
+	return nil
+}
+
+func (k *Kernel) inodeByID(id uint64) *Inode { return k.byIno[id] }
+
+// journalLocked appends nBlocks to the journal (metadata transactions and,
+// in data-journal mode, file data). The write is charged synchronously —
+// this is exactly why Ext4.journal "includes I/O in the execution time"
+// (§V-B).
+func (k *Kernel) journalLocked(m *simtime.Meter, nBlocks int) error {
+	if k.cfg.Journal == JournalNone || k.cfg.JournalEnd == k.cfg.JournalStart {
+		return nil
+	}
+	buf := make([]byte, nBlocks*k.blockSize)
+	for nBlocks > 0 {
+		avail := int(k.cfg.JournalEnd - k.journalPos)
+		if avail == 0 {
+			k.journalPos = k.cfg.JournalStart // wrap (checkpoint)
+			avail = int(k.cfg.JournalEnd - k.journalPos)
+		}
+		n := nBlocks
+		if n > avail {
+			n = avail
+		}
+		if err := k.cfg.Dev.WritePages(m, k.journalPos, n, buf[:n*k.blockSize]); err != nil {
+			return err
+		}
+		k.journalPos += storage.PID(n)
+		nBlocks -= n
+	}
+	return nil
+}
+
+// PWrite writes data at offset, allocating blocks as needed.
+func (k *Kernel) PWrite(m *simtime.Meter, fd int, data []byte, off int64) (int, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.stats.Writes++
+	k.charge(m, int64(k.cfg.Costs.PWrite))
+	// user->kernel copy plus per-page page-cache work.
+	m.Charge(k.cfg.Costs.CopyCost(len(data)))
+	m.Charge(k.cfg.Costs.PageCost(len(data)))
+	m.CountBytesMoved(2 * int64(len(data))) // modeled kernel copy + real cache copy
+	e, ok := k.fds[fd]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	ino := e.inode
+	end := off + int64(len(data))
+	if end > ino.size {
+		// File size change: the ftruncate-style overhead §V-B blames for
+		// the mixed-payload gap.
+		k.charge(m, int64(k.cfg.Costs.FTruncate))
+		blocks := uint64((end + int64(k.blockSize) - 1) / int64(k.blockSize))
+		if err := k.extendLocked(m, ino, blocks); err != nil {
+			return 0, err
+		}
+		ino.size = end
+		if err := k.journalLocked(m, 1); err != nil { // metadata (size) txn
+			return 0, err
+		}
+	}
+	if k.cfg.CoW && off < ino.size-int64(len(data)) {
+		// Copy-on-write overwrite: model the new-block allocation and the
+		// metadata transaction it implies. (The mapping itself is kept
+		// stable; the cost and journal traffic are what the benchmarks
+		// observe.)
+		nBlocks := uint64((len(data) + k.blockSize - 1) / k.blockSize)
+		if runs, steps, err := k.cfg.Alloc.Alloc(nBlocks); err == nil {
+			k.cfg.Alloc.Free(runs)
+			m.ChargeNS(int64(steps) * 120)
+		}
+		if err := k.journalLocked(m, 1); err != nil {
+			return 0, err
+		}
+	}
+	// Copy into cache pages.
+	pos := off
+	rest := data
+	for len(rest) > 0 {
+		block := uint64(pos / int64(k.blockSize))
+		in := int(pos % int64(k.blockSize))
+		n := k.blockSize - in
+		if n > len(rest) {
+			n = len(rest)
+		}
+		whole := in == 0 && n == k.blockSize
+		p, err := k.cacheGet(m, ino, block, whole)
+		if err != nil {
+			return int(pos - off), err
+		}
+		copy(p.data[in:], rest[:n])
+		p.dirty = true
+		rest = rest[n:]
+		pos += int64(n)
+	}
+	if k.cfg.Journal == JournalData {
+		// data=journal: the payload goes to the journal as well.
+		nBlocks := (len(data) + k.blockSize - 1) / k.blockSize
+		if err := k.journalLocked(m, nBlocks); err != nil {
+			return 0, err
+		}
+	}
+	return len(data), nil
+}
+
+// PRead reads into buf at offset, charging the kernel→user copy that the
+// paper's aliasing design avoids.
+func (k *Kernel) PRead(m *simtime.Meter, fd int, buf []byte, off int64) (int, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.stats.Reads++
+	k.charge(m, int64(k.cfg.Costs.PRead))
+	e, ok := k.fds[fd]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	ino := e.inode
+	if off >= ino.size {
+		return 0, nil
+	}
+	if max := ino.size - off; int64(len(buf)) > max {
+		buf = buf[:max]
+	}
+	m.Charge(k.cfg.Costs.CopyCost(len(buf)))
+	m.Charge(k.cfg.Costs.PageCost(len(buf)))
+	m.CountBytesMoved(2 * int64(len(buf))) // modeled kernel copy + real cache copy
+	pos := off
+	rest := buf
+	for len(rest) > 0 {
+		block := uint64(pos / int64(k.blockSize))
+		in := int(pos % int64(k.blockSize))
+		n := k.blockSize - in
+		if n > len(rest) {
+			n = len(rest)
+		}
+		p, err := k.cacheGet(m, ino, block, false)
+		if err != nil {
+			return int(pos - off), err
+		}
+		copy(rest[:n], p.data[in:in+n])
+		rest = rest[n:]
+		pos += int64(n)
+	}
+	return len(buf), nil
+}
+
+// Unlink removes a file and frees its blocks.
+func (k *Kernel) Unlink(m *simtime.Meter, path string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.stats.Unlinks++
+	k.charge(m, int64(k.cfg.Costs.Open)) // path resolution dominates
+	ino, ok := k.files[path]
+	if !ok {
+		return fmt.Errorf("%s: %w", path, ErrNotExist)
+	}
+	delete(k.files, path)
+	delete(k.byIno, ino.ino)
+	// Drop cached pages (dirty pages of a deleted file are discarded).
+	blocks := uint64(0)
+	if len(ino.cum) > 0 {
+		blocks = ino.cum[len(ino.cum)-1]
+	}
+	for b := uint64(0); b < blocks; b++ {
+		delete(k.cache, cacheKey{ino.ino, b})
+	}
+	k.cfg.Alloc.Free(ino.runs)
+	return k.journalLocked(m, 1) // metadata txn
+}
+
+// Fsync flushes the file's dirty pages and the journal.
+func (k *Kernel) Fsync(m *simtime.Meter, fd int) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.stats.Fsyncs++
+	k.charge(m, int64(k.cfg.Costs.FSync))
+	e, ok := k.fds[fd]
+	if !ok {
+		return ErrBadFD
+	}
+	for key, p := range k.cache {
+		if key.ino == e.inode.ino && p.dirty {
+			if err := k.writebackLocked(m, key, p); err != nil {
+				return err
+			}
+		}
+	}
+	return k.cfg.Dev.Sync(m)
+}
+
+// SyncAll flushes every dirty page (background writeback; also used before
+// utilization measurements).
+func (k *Kernel) SyncAll(m *simtime.Meter) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for key, p := range k.cache {
+		if p.dirty {
+			if err := k.writebackLocked(m, key, p); err != nil {
+				return err
+			}
+		}
+	}
+	return k.cfg.Dev.Sync(m)
+}
+
+// DropCaches empties the page cache (cold-cache experiments), writing back
+// dirty pages first.
+func (k *Kernel) DropCaches(m *simtime.Meter) error {
+	if err := k.SyncAll(m); err != nil {
+		return err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.cache = map[cacheKey]*cachePage{}
+	k.cacheLRU = nil
+	return nil
+}
+
+// WriteFile is the create+write+close convenience used by workloads.
+func (k *Kernel) WriteFile(m *simtime.Meter, path string, data []byte) error {
+	fd, err := k.Open(m, path, true)
+	if err != nil {
+		return err
+	}
+	if _, err := k.PWrite(m, fd, data, 0); err != nil {
+		k.Close(m, fd)
+		return err
+	}
+	return k.Close(m, fd)
+}
+
+// ReadFile is the open+stat+read+close sequence applications perform.
+func (k *Kernel) ReadFile(m *simtime.Meter, path string, buf []byte) (int, error) {
+	fi, err := k.Stat(m, path)
+	if err != nil {
+		return 0, err
+	}
+	fd, err := k.Open(m, path, false)
+	if err != nil {
+		return 0, err
+	}
+	if int64(len(buf)) > fi.Size {
+		buf = buf[:fi.Size]
+	}
+	n, err := k.PRead(m, fd, buf, 0)
+	if err != nil {
+		k.Close(m, fd)
+		return n, err
+	}
+	return n, k.Close(m, fd)
+}

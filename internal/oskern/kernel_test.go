@@ -1,0 +1,237 @@
+package oskern
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+)
+
+const bs = storage.DefaultPageSize
+
+// fixedAlloc is a trivial bump allocator for kernel-level tests.
+type fixedAlloc struct {
+	next, end storage.PID
+	used      uint64
+}
+
+func (a *fixedAlloc) Alloc(n uint64) ([]Run, int, error) {
+	if uint64(a.end-a.next) < n {
+		return nil, 1, ErrNoSpace
+	}
+	r := Run{PID: a.next, N: n}
+	a.next += storage.PID(n)
+	a.used += n
+	return []Run{r}, 1, nil
+}
+func (a *fixedAlloc) Free(runs []Run) {
+	for _, r := range runs {
+		a.used -= r.N
+	}
+}
+func (a *fixedAlloc) Utilization() float64 { return float64(a.used) / float64(a.end) }
+
+func newKernel(t *testing.T, journal JournalMode) (*Kernel, *storage.MemDevice) {
+	t.Helper()
+	dev := storage.NewMemDevice(bs, 1<<12, nil)
+	k := NewKernel(Config{
+		Name: "test", Dev: dev,
+		Alloc:        &fixedAlloc{next: 128, end: 1 << 12},
+		Journal:      journal,
+		JournalStart: 0, JournalEnd: 128,
+		CacheBlocks: 256,
+	})
+	return k, dev
+}
+
+func TestOpenCreateCloseStat(t *testing.T) {
+	k, _ := newKernel(t, JournalMetadata)
+	if _, err := k.Open(nil, "/f", false); !errors.Is(err, ErrNotExist) {
+		t.Errorf("open missing = %v", err)
+	}
+	fd, err := k.Open(nil, "/f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.PWrite(nil, fd, []byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Close(nil, fd); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := k.Stat(nil, "/f")
+	if err != nil || fi.Size != 5 {
+		t.Errorf("stat = %+v, %v", fi, err)
+	}
+	st := k.Stats()
+	if st.Opens != 2 || st.Closes != 1 || st.Stats != 1 || st.Writes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSparseWriteAndRead(t *testing.T) {
+	k, _ := newKernel(t, JournalNone)
+	fd, _ := k.Open(nil, "/f", true)
+	defer k.Close(nil, fd)
+	// Write at a 3-page offset without writing earlier bytes.
+	data := []byte("tail data")
+	if _, err := k.PWrite(nil, fd, data, 3*bs); err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := k.Stat(nil, "/f")
+	if fi.Size != 3*bs+int64(len(data)) {
+		t.Errorf("size = %d", fi.Size)
+	}
+	buf := make([]byte, len(data))
+	if _, err := k.PRead(nil, fd, buf, 3*bs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Error("sparse read mismatch")
+	}
+	// Read past EOF returns 0 bytes.
+	if n, err := k.PRead(nil, fd, buf, fi.Size+100); n != 0 || err != nil {
+		t.Errorf("read past EOF = %d, %v", n, err)
+	}
+}
+
+func TestJournalWrapsWithoutGrowth(t *testing.T) {
+	k, dev := newKernel(t, JournalData)
+	// Write enough data journal traffic to wrap the 128-block journal
+	// several times; the device must not be written beyond its bounds.
+	for i := 0; i < 8; i++ {
+		if err := k.WriteFile(nil, "/f", make([]byte, 100*bs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dev.Stats().BytesWritten() == 0 {
+		t.Error("journal traffic missing")
+	}
+}
+
+func TestPageCacheEvictionWritesBack(t *testing.T) {
+	k, _ := newKernel(t, JournalNone)
+	// Cache holds 256 blocks; write 300 blocks then read everything back.
+	content := make([]byte, 300*bs)
+	for i := range content {
+		content[i] = byte(i * 7)
+	}
+	if err := k.WriteFile(nil, "/big", content); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(content))
+	if _, err := k.ReadFile(nil, "/big", got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("content corrupted across cache eviction")
+	}
+}
+
+func TestUnlinkDiscardsDirtyPages(t *testing.T) {
+	k, dev := newKernel(t, JournalNone)
+	if err := k.WriteFile(nil, "/f", make([]byte, 50*bs)); err != nil {
+		t.Fatal(err)
+	}
+	before := dev.Stats().BytesWritten()
+	if err := k.Unlink(nil, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SyncAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	// The deleted file's dirty pages must not be written back.
+	if wrote := dev.Stats().BytesWritten() - before; wrote > int64(bs) {
+		t.Errorf("unlinked file wrote %d bytes at sync", wrote)
+	}
+}
+
+func TestFsyncFlushesFile(t *testing.T) {
+	k, dev := newKernel(t, JournalNone)
+	fd, _ := k.Open(nil, "/f", true)
+	k.PWrite(nil, fd, make([]byte, 10*bs), 0)
+	before := dev.Stats().BytesWritten()
+	if err := k.Fsync(nil, fd); err != nil {
+		t.Fatal(err)
+	}
+	if wrote := dev.Stats().BytesWritten() - before; wrote < 10*bs {
+		t.Errorf("fsync wrote %d bytes, want >= %d", wrote, 10*bs)
+	}
+	k.Close(nil, fd)
+}
+
+func TestSyscallFactorScalesCost(t *testing.T) {
+	dev := storage.NewMemDevice(bs, 1<<10, nil)
+	mk := func(factor float64) *Kernel {
+		return NewKernel(Config{
+			Name: "t", Dev: dev, Alloc: &fixedAlloc{next: 0, end: 1 << 10},
+			CacheBlocks: 64, SyscallFactor: factor,
+		})
+	}
+	cost := func(k *Kernel) int64 {
+		m := simtime.NewMeter()
+		k.Stat(m, "/missing")
+		return int64(m.Elapsed())
+	}
+	slow, fast := mk(2.0), mk(0.5)
+	if cost(slow) <= cost(fast) {
+		t.Error("syscall factor must scale charged time")
+	}
+}
+
+func TestFragmentedInodeDeepTreeCharges(t *testing.T) {
+	// Force many runs by allocating one block at a time through a
+	// fragmenting allocator, then check reads still work.
+	dev := storage.NewMemDevice(bs, 1<<12, nil)
+	k := NewKernel(Config{
+		Name: "t", Dev: dev,
+		Alloc:            &oneBlockAlloc{next: 0, end: 1 << 12},
+		CacheBlocks:      1 << 11,
+		ExtentTreeFanout: 4, // tiny fanout: depth grows quickly
+	})
+	content := make([]byte, 64*bs)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	if err := k.WriteFile(nil, "/frag", content); err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := k.Stat(nil, "/frag")
+	if fi.Runs < 32 {
+		t.Fatalf("expected heavy fragmentation, got %d runs", fi.Runs)
+	}
+	got := make([]byte, len(content))
+	if _, err := k.ReadFile(nil, "/frag", got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("fragmented file corrupted")
+	}
+}
+
+// oneBlockAlloc fragments everything into single-block runs.
+type oneBlockAlloc struct {
+	next, end storage.PID
+	used      uint64
+}
+
+func (a *oneBlockAlloc) Alloc(n uint64) ([]Run, int, error) {
+	var runs []Run
+	for i := uint64(0); i < n; i++ {
+		if a.next >= a.end {
+			return nil, 1, ErrNoSpace
+		}
+		runs = append(runs, Run{PID: a.next, N: 1})
+		a.next++
+	}
+	a.used += n
+	return runs, int(n), nil
+}
+func (a *oneBlockAlloc) Free(runs []Run) {
+	for _, r := range runs {
+		a.used -= r.N
+	}
+}
+func (a *oneBlockAlloc) Utilization() float64 { return float64(a.used) / float64(a.end) }

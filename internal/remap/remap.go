@@ -1,0 +1,283 @@
+// Package remap implements the out-of-place write policy the paper
+// proposes as future work for the aging problem (§VI): "decouple logical
+// PID from the on-storage physical address. Consequently, the DBMS can
+// allocate every extent as new and map those PIDs with the available
+// physical addresses in secondary storage."
+//
+// Device is a storage.Device wrapper that translates logical page ranges
+// to physical ranges through an extent-granular mapping table. Writes of
+// unmapped logical extents allocate physical space out-of-place (always
+// from the sequential head when possible); Relocate moves a live extent to
+// fresh physical space and retires the old copy, which is the primitive a
+// defragmenter needs. Because the translation is per-extent — matching the
+// engine's extent-granular I/O — the table stays small: one entry per
+// extent, not per page.
+package remap
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+)
+
+// mapping is one logical→physical extent translation.
+type mapping struct {
+	logical  storage.PID
+	physical storage.PID
+	pages    uint64
+}
+
+// Device wraps an inner device with logical-to-physical extent remapping.
+// Logical PIDs are allocated by the caller's allocator exactly as before;
+// this layer owns the physical placement.
+type Device struct {
+	inner storage.Device
+
+	mu sync.Mutex
+	// maps is sorted by logical PID; translations never overlap logically
+	// or physically.
+	maps []mapping
+	// physical allocation: bump head plus a free list of retired ranges.
+	physNext storage.PID
+	physEnd  storage.PID
+	physFree []mapping // physical in `physical`, pages in `pages`; logical unused
+
+	relocations int64
+}
+
+// New wraps inner: logical space is the caller's page space; physical
+// space is the same device's pages (the wrapper manages placement within
+// [physStart, physEnd)).
+func New(inner storage.Device, physStart, physEnd storage.PID) *Device {
+	return &Device{inner: inner, physNext: physStart, physEnd: physEnd}
+}
+
+// PageSize implements storage.Device.
+func (d *Device) PageSize() int { return d.inner.PageSize() }
+
+// NumPages implements storage.Device.
+func (d *Device) NumPages() uint64 { return d.inner.NumPages() }
+
+// Stats implements storage.Device.
+func (d *Device) Stats() *storage.Stats { return d.inner.Stats() }
+
+// Sync implements storage.Device.
+func (d *Device) Sync(m *simtime.Meter) error { return d.inner.Sync(m) }
+
+// find returns the mapping covering [pid, pid+n), or nil.
+func (d *Device) findLocked(pid storage.PID, n int) *mapping {
+	i := sort.Search(len(d.maps), func(i int) bool {
+		return d.maps[i].logical+storage.PID(d.maps[i].pages) > pid
+	})
+	if i >= len(d.maps) {
+		return nil
+	}
+	mp := &d.maps[i]
+	if pid >= mp.logical && uint64(pid-mp.logical)+uint64(n) <= mp.pages {
+		return mp
+	}
+	return nil
+}
+
+// allocPhysLocked finds physical space for n pages: retired ranges first
+// (best fit), then the sequential head.
+func (d *Device) allocPhysLocked(n uint64) (storage.PID, error) {
+	best := -1
+	for i, f := range d.physFree {
+		if f.pages >= n && (best < 0 || f.pages < d.physFree[best].pages) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		f := d.physFree[best]
+		d.physFree[best].physical += storage.PID(n)
+		d.physFree[best].pages -= n
+		if d.physFree[best].pages == 0 {
+			d.physFree = append(d.physFree[:best], d.physFree[best+1:]...)
+		}
+		return f.physical, nil
+	}
+	if uint64(d.physEnd-d.physNext) < n {
+		return 0, fmt.Errorf("remap: physical space exhausted (%d pages wanted)", n)
+	}
+	p := d.physNext
+	d.physNext += storage.PID(n)
+	return p, nil
+}
+
+// insertLocked adds a mapping keeping d.maps sorted by logical PID.
+func (d *Device) insertLocked(mp mapping) {
+	i := sort.Search(len(d.maps), func(i int) bool { return d.maps[i].logical >= mp.logical })
+	d.maps = append(d.maps, mapping{})
+	copy(d.maps[i+1:], d.maps[i:])
+	d.maps[i] = mp
+}
+
+// WritePages implements storage.Device. A write covering an unmapped
+// logical extent establishes its mapping out-of-place; writes within an
+// existing mapping go to the mapped location. Writes must not straddle a
+// mapping boundary (the engine writes extent-contained ranges only).
+func (d *Device) WritePages(m *simtime.Meter, pid storage.PID, n int, buf []byte) error {
+	d.mu.Lock()
+	mp := d.findLocked(pid, n)
+	if mp == nil {
+		phys, err := d.allocPhysLocked(uint64(n))
+		if err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		nm := mapping{logical: pid, physical: phys, pages: uint64(n)}
+		d.insertLocked(nm)
+		d.mu.Unlock()
+		return d.inner.WritePages(m, phys, n, buf)
+	}
+	phys := mp.physical + (pid - mp.logical)
+	d.mu.Unlock()
+	return d.inner.WritePages(m, phys, n, buf)
+}
+
+// ReadPages implements storage.Device. Reads of unmapped logical space
+// fall through to the identity location (never-written pages).
+func (d *Device) ReadPages(m *simtime.Meter, pid storage.PID, n int, buf []byte) error {
+	d.mu.Lock()
+	mp := d.findLocked(pid, n)
+	var phys storage.PID
+	if mp == nil {
+		phys = pid
+	} else {
+		phys = mp.physical + (pid - mp.logical)
+	}
+	d.mu.Unlock()
+	return d.inner.ReadPages(m, phys, n, buf)
+}
+
+// Forget drops the mapping for a logical extent (after the engine frees
+// it), retiring its physical space for reuse.
+func (d *Device) Forget(pid storage.PID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.maps {
+		if d.maps[i].logical == pid {
+			d.physFree = append(d.physFree, mapping{physical: d.maps[i].physical, pages: d.maps[i].pages})
+			d.maps = append(d.maps[:i], d.maps[i+1:]...)
+			return
+		}
+	}
+}
+
+// Relocate moves a mapped logical extent to fresh physical space: the
+// defragmentation primitive. The logical PID — everything the engine and
+// its Blob States reference — is untouched.
+func (d *Device) Relocate(m *simtime.Meter, pid storage.PID) error {
+	d.mu.Lock()
+	var idx = -1
+	for i := range d.maps {
+		if d.maps[i].logical == pid {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		d.mu.Unlock()
+		return fmt.Errorf("remap: logical extent %d is not mapped", pid)
+	}
+	oldPhys := d.maps[idx].physical
+	pages := d.maps[idx].pages
+	newPhys, err := d.allocPhysLocked(pages)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.mu.Unlock()
+
+	// Copy the content (outside the lock: the engine serializes access to
+	// an extent through the buffer pool's coarse latch).
+	buf := make([]byte, pages*uint64(d.inner.PageSize()))
+	if err := d.inner.ReadPages(m, oldPhys, int(pages), buf); err != nil {
+		return err
+	}
+	if err := d.inner.WritePages(m, newPhys, int(pages), buf); err != nil {
+		return err
+	}
+
+	d.mu.Lock()
+	d.maps[idx].physical = newPhys
+	d.physFree = append(d.physFree, mapping{physical: oldPhys, pages: pages})
+	d.relocations++
+	d.mu.Unlock()
+	return nil
+}
+
+// Defragment relocates every mapped extent into one contiguous physical
+// run in logical order, then resets the head so future writes are
+// sequential again — the anti-aging pass §VI sketches.
+func (d *Device) Defragment(m *simtime.Meter, into storage.PID) error {
+	d.mu.Lock()
+	ordered := make([]storage.PID, len(d.maps))
+	for i, mp := range d.maps {
+		ordered[i] = mp.logical
+	}
+	d.mu.Unlock()
+	pos := into
+	for _, lg := range ordered {
+		d.mu.Lock()
+		idx := -1
+		for i := range d.maps {
+			if d.maps[i].logical == lg {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			d.mu.Unlock()
+			continue // freed concurrently
+		}
+		oldPhys := d.maps[idx].physical
+		pages := d.maps[idx].pages
+		d.mu.Unlock()
+		if oldPhys == pos {
+			pos += storage.PID(pages)
+			continue
+		}
+		buf := make([]byte, pages*uint64(d.inner.PageSize()))
+		if err := d.inner.ReadPages(m, oldPhys, int(pages), buf); err != nil {
+			return err
+		}
+		if err := d.inner.WritePages(m, pos, int(pages), buf); err != nil {
+			return err
+		}
+		d.mu.Lock()
+		d.maps[idx].physical = pos
+		d.relocations++
+		d.mu.Unlock()
+		pos += storage.PID(pages)
+	}
+	d.mu.Lock()
+	d.physFree = nil
+	d.physNext = pos
+	d.mu.Unlock()
+	return nil
+}
+
+// MappingStats summarizes the translation table.
+type MappingStats struct {
+	Mappings    int
+	FreeRanges  int
+	Relocations int64
+	PhysHead    storage.PID
+}
+
+// Stats2 returns mapping statistics. (Stats is taken by storage.Device.)
+func (d *Device) Stats2() MappingStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return MappingStats{
+		Mappings:    len(d.maps),
+		FreeRanges:  len(d.physFree),
+		Relocations: d.relocations,
+		PhysHead:    d.physNext,
+	}
+}

@@ -1,0 +1,247 @@
+package remap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"blobdb/internal/storage"
+)
+
+const ps = storage.DefaultPageSize
+
+func newDev(t *testing.T) (*Device, *storage.MemDevice) {
+	t.Helper()
+	inner := storage.NewMemDevice(ps, 1<<12, nil)
+	// Logical space [0, 1<<11); physical placement in [1<<11, 1<<12).
+	return New(inner, 1<<11, 1<<12), inner
+}
+
+func fill(seed byte, n int) []byte {
+	b := make([]byte, n*ps)
+	for i := range b {
+		b[i] = seed + byte(i%13)
+	}
+	return b
+}
+
+func TestOutOfPlaceWriteReadRoundtrip(t *testing.T) {
+	d, inner := newDev(t)
+	w := fill(1, 4)
+	if err := d.WritePages(nil, 100, 4, w); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, 4*ps)
+	if err := d.ReadPages(nil, 100, 4, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w, r) {
+		t.Error("roundtrip mismatch")
+	}
+	// The physical location is NOT the logical one (out of place).
+	direct := make([]byte, 4*ps)
+	if err := inner.ReadPages(nil, 100, 4, direct); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(direct, w) {
+		t.Error("write landed in place; expected remapping")
+	}
+}
+
+func TestPartialWritesWithinMapping(t *testing.T) {
+	d, _ := newDev(t)
+	if err := d.WritePages(nil, 10, 8, fill(2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite pages 12..13 (inside the mapped extent).
+	patch := fill(9, 2)
+	if err := d.WritePages(nil, 12, 2, patch); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2*ps)
+	if err := d.ReadPages(nil, 12, 2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, patch) {
+		t.Error("partial overwrite lost")
+	}
+	// Neighboring pages intact.
+	before := make([]byte, ps)
+	d.ReadPages(nil, 11, 1, before)
+	if !bytes.Equal(before, fill(2, 8)[ps:2*ps]) {
+		t.Error("neighbor page corrupted")
+	}
+}
+
+func TestUnmappedReadsFallThrough(t *testing.T) {
+	d, inner := newDev(t)
+	// Write directly to the inner device at an unmapped logical address.
+	w := fill(3, 1)
+	if err := inner.WritePages(nil, 7, 1, w); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, ps)
+	if err := d.ReadPages(nil, 7, 1, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w, r) {
+		t.Error("identity fallthrough broken")
+	}
+}
+
+func TestRelocateKeepsLogicalView(t *testing.T) {
+	d, _ := newDev(t)
+	w := fill(4, 6)
+	if err := d.WritePages(nil, 50, 6, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Relocate(nil, 50); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, 6*ps)
+	if err := d.ReadPages(nil, 50, 6, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w, r) {
+		t.Error("content changed across relocation")
+	}
+	if d.Stats2().Relocations != 1 {
+		t.Error("relocation not counted")
+	}
+	if err := d.Relocate(nil, 999); err == nil {
+		t.Error("relocating an unmapped extent should fail")
+	}
+}
+
+func TestForgetReusesPhysicalSpace(t *testing.T) {
+	d, _ := newDev(t)
+	if err := d.WritePages(nil, 0, 16, fill(5, 16)); err != nil {
+		t.Fatal(err)
+	}
+	headBefore := d.Stats2().PhysHead
+	d.Forget(0)
+	if d.Stats2().FreeRanges != 1 {
+		t.Fatal("retired range missing")
+	}
+	// The next equal-size extent must reuse the retired range.
+	if err := d.WritePages(nil, 100, 16, fill(6, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats2().PhysHead != headBefore {
+		t.Error("head advanced; expected retired-range reuse")
+	}
+	d.Forget(12345) // unknown logical: no-op
+}
+
+func TestDefragment(t *testing.T) {
+	d, _ := newDev(t)
+	rng := rand.New(rand.NewSource(1))
+	contents := map[storage.PID][]byte{}
+	// Interleave allocations and frees to fragment physical space.
+	var logical storage.PID
+	for i := 0; i < 20; i++ {
+		n := 1 + rng.Intn(6)
+		b := fill(byte(i), n)
+		if err := d.WritePages(nil, logical, n, b); err != nil {
+			t.Fatal(err)
+		}
+		contents[logical] = b
+		logical += storage.PID(n) + 2
+	}
+	// Free every third extent.
+	i := 0
+	for pid := range contents {
+		if i%3 == 0 {
+			d.Forget(pid)
+			delete(contents, pid)
+		}
+		i++
+	}
+	if err := d.Defragment(nil, 1<<11); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats2().FreeRanges != 0 {
+		t.Error("defragment left free ranges")
+	}
+	for pid, want := range contents {
+		got := make([]byte, len(want))
+		if err := d.ReadPages(nil, pid, len(want)/ps, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("extent %d corrupted by defragmentation", pid)
+		}
+	}
+	// Post-defrag head = start + total live pages (perfect packing).
+	var live storage.PID
+	for _, b := range contents {
+		live += storage.PID(len(b) / ps)
+	}
+	if got := d.Stats2().PhysHead; got != 1<<11+live {
+		t.Errorf("head = %d, want %d (packed)", got, 1<<11+live)
+	}
+}
+
+func TestPhysicalExhaustion(t *testing.T) {
+	inner := storage.NewMemDevice(ps, 64, nil)
+	d := New(inner, 32, 64) // 32 physical pages
+	if err := d.WritePages(nil, 0, 30, make([]byte, 30*ps)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePages(nil, 100, 8, make([]byte, 8*ps)); err == nil {
+		t.Error("expected physical exhaustion")
+	}
+}
+
+func TestManyExtentsRandomized(t *testing.T) {
+	inner := storage.NewMemDevice(ps, 1<<14, nil)
+	d := New(inner, 1<<13, 1<<14)
+	rng := rand.New(rand.NewSource(9))
+	ref := map[storage.PID][]byte{}
+	var logical storage.PID
+	for step := 0; step < 500; step++ {
+		switch {
+		case rng.Intn(100) < 50 || len(ref) == 0:
+			n := 1 + rng.Intn(8)
+			b := make([]byte, n*ps)
+			rng.Read(b)
+			if err := d.WritePages(nil, logical, n, b); err != nil {
+				// Physical space full: free something and continue.
+				for pid := range ref {
+					d.Forget(pid)
+					delete(ref, pid)
+					break
+				}
+				continue
+			}
+			ref[logical] = b
+			logical += storage.PID(n)
+		case rng.Intn(2) == 0:
+			for pid := range ref {
+				if rng.Intn(3) == 0 {
+					if err := d.Relocate(nil, pid); err != nil {
+						break
+					}
+				}
+				break
+			}
+		default:
+			for pid := range ref {
+				d.Forget(pid)
+				delete(ref, pid)
+				break
+			}
+		}
+		if step%100 == 99 {
+			for pid, want := range ref {
+				got := make([]byte, len(want))
+				if err := d.ReadPages(nil, pid, len(want)/ps, got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("step %d: extent %d corrupted", step, pid)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package sha256x
+
+import (
+	"crypto/sha256"
+	"encoding"
+	"encoding/binary"
+	"fmt"
+	"hash"
+)
+
+// Fast is a resumable SHA-256 backed by crypto/sha256 (assembly/SHA-NI on
+// most platforms), exposing the same State as Hasher.
+//
+// The portable Hasher in this package is the reference implementation and
+// is what defines the State layout; Fast converts crypto/sha256's marshaled
+// internal state into that layout, so the engine hashes at hardware speed
+// (the paper's machine has SHA extensions) while the Blob State stays
+// engine-independent. Tests verify both implementations produce identical
+// States for all inputs.
+type Fast struct {
+	h hash.Hash
+}
+
+// NewFast returns a hardware-accelerated resumable hasher.
+func NewFast() *Fast { return &Fast{h: sha256.New()} }
+
+// Write absorbs p.
+func (f *Fast) Write(p []byte) (int, error) { return f.h.Write(p) }
+
+// Sum256 returns the digest without disturbing the running state.
+func (f *Fast) Sum256() [Size]byte {
+	var out [Size]byte
+	copy(out[:], f.h.Sum(nil))
+	return out
+}
+
+// cryptoStateLen is the length of crypto/sha256's marshaled state:
+// magic "sha\x03" (4) + 8x4-byte chaining values (32) + 64-byte partial
+// block + 8-byte big-endian length.
+const cryptoStateLen = 4 + 32 + 64 + 8
+
+// State extracts the resumable intermediate state.
+func (f *Fast) State() (State, error) {
+	mb, err := f.h.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		return State{}, fmt.Errorf("sha256x: marshal crypto state: %w", err)
+	}
+	if len(mb) != cryptoStateLen || string(mb[:3]) != "sha" {
+		return State{}, fmt.Errorf("sha256x: unexpected crypto/sha256 state layout (%d bytes)", len(mb))
+	}
+	var s State
+	copy(s.H[:], mb[4:36])
+	s.Length = binary.BigEndian.Uint64(mb[100:108])
+	s.NBuf = uint8(s.Length % BlockSize)
+	copy(s.Buf[:s.NBuf], mb[36:36+s.NBuf])
+	return s, nil
+}
+
+// ResumeFast returns a Fast hasher continuing from s.
+func ResumeFast(s State) (*Fast, error) {
+	mb := make([]byte, cryptoStateLen)
+	copy(mb, "sha\x03")
+	copy(mb[4:36], s.H[:])
+	copy(mb[36:36+s.NBuf], s.Buf[:s.NBuf])
+	binary.BigEndian.PutUint64(mb[100:108], s.Length)
+	f := NewFast()
+	if err := f.h.(encoding.BinaryUnmarshaler).UnmarshalBinary(mb); err != nil {
+		return nil, fmt.Errorf("sha256x: restore crypto state: %w", err)
+	}
+	return f, nil
+}
+
+// ResumableHasher is the common surface of Hasher and Fast used by the
+// blob layer.
+type ResumableHasher interface {
+	Write(p []byte) (int, error)
+	Sum256() [Size]byte
+}
+
+// BestHasher returns the fastest available resumable hasher.
+func BestHasher() *Fast { return NewFast() }
+
+// BestResume resumes the fastest hasher from s, falling back to the
+// portable implementation if the crypto state cannot be restored.
+func BestResume(s State) ResumableHasher {
+	if f, err := ResumeFast(s); err == nil {
+		return f
+	}
+	return Resume(s)
+}
+
+// StateOf extracts the State from either hasher kind.
+func StateOf(h ResumableHasher) State {
+	switch v := h.(type) {
+	case *Fast:
+		s, err := v.State()
+		if err == nil {
+			return s
+		}
+		// Fall through to a zero state only on marshal failure, which
+		// would indicate a stdlib layout change caught by tests.
+		panic(err)
+	case *Hasher:
+		return v.State()
+	default:
+		panic("sha256x: unknown hasher type")
+	}
+}

@@ -1,0 +1,121 @@
+package sha256x
+
+import (
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFastMatchesCrypto(t *testing.T) {
+	f := func(data []byte) bool {
+		h := NewFast()
+		h.Write(data)
+		return h.Sum256() == sha256.Sum256(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFastStateMatchesPortable is the load-bearing conversion check: the
+// State extracted from crypto/sha256's marshaled form must be identical to
+// the portable implementation's, for every input length around block
+// boundaries.
+func TestFastStateMatchesPortable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 55, 56, 63, 64, 65, 127, 128, 129, 1000, 4096, 100_000} {
+		data := make([]byte, n)
+		rng.Read(data)
+
+		fast := NewFast()
+		fast.Write(data)
+		fs, err := fast.State()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ref := New()
+		ref.Write(data)
+		if fs != ref.State() {
+			t.Fatalf("n=%d: fast state differs from portable state", n)
+		}
+	}
+}
+
+func TestFastResumeRoundtrip(t *testing.T) {
+	f := func(a, b []byte) bool {
+		h := NewFast()
+		h.Write(a)
+		st, err := h.State()
+		if err != nil {
+			return false
+		}
+		r, err := ResumeFast(st)
+		if err != nil {
+			return false
+		}
+		r.Write(b)
+		all := append(append([]byte{}, a...), b...)
+		return r.Sum256() == sha256.Sum256(all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossImplementationResume(t *testing.T) {
+	// State produced by the portable hasher must be resumable by Fast and
+	// vice versa.
+	a := []byte("written by portable")
+	b := []byte(" finished by fast")
+	p := New()
+	p.Write(a)
+	f, err := ResumeFast(p.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(b)
+	want := sha256.Sum256(append(append([]byte{}, a...), b...))
+	if f.Sum256() != want {
+		t.Error("portable -> fast resume mismatch")
+	}
+
+	f2 := NewFast()
+	f2.Write(a)
+	st, err := f2.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := Resume(st)
+	p2.Write(b)
+	if p2.Sum256() != want {
+		t.Error("fast -> portable resume mismatch")
+	}
+}
+
+func TestBestHelpers(t *testing.T) {
+	h := BestHasher()
+	h.Write([]byte("abc"))
+	st := StateOf(h)
+	r := BestResume(st)
+	r.Write([]byte("def"))
+	if r.Sum256() != sha256.Sum256([]byte("abcdef")) {
+		t.Error("BestResume mismatch")
+	}
+	// StateOf on the portable hasher.
+	ph := New()
+	ph.Write([]byte("abc"))
+	if StateOf(ph) != st {
+		t.Error("StateOf differs between implementations")
+	}
+}
+
+func BenchmarkFast1MB(b *testing.B) {
+	data := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		h := NewFast()
+		h.Write(data)
+		h.Sum256()
+	}
+}

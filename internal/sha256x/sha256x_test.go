@@ -1,0 +1,173 @@
+package sha256x
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchesCryptoSHA256(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("abc"),
+		[]byte("hello world"),
+		bytes.Repeat([]byte{0}, 55),  // just below one-block padding boundary
+		bytes.Repeat([]byte{1}, 56),  // padding spills into second block
+		bytes.Repeat([]byte{2}, 63),  // one byte short of a block
+		bytes.Repeat([]byte{3}, 64),  // exactly one block
+		bytes.Repeat([]byte{4}, 65),  // one byte into second block
+		bytes.Repeat([]byte{5}, 128), // two blocks
+		bytes.Repeat([]byte("xyz"), 10000),
+	}
+	for i, c := range cases {
+		got := Sum(c)
+		want := sha256.Sum256(c)
+		if got != want {
+			t.Errorf("case %d (len %d): digest mismatch", i, len(c))
+		}
+	}
+}
+
+func TestMatchesCryptoSHA256Quick(t *testing.T) {
+	f := func(data []byte) bool {
+		return Sum(data) == sha256.Sum256(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumDoesNotFinalize(t *testing.T) {
+	h := New()
+	h.Write([]byte("hello "))
+	first := h.Sum256()
+	if want := sha256.Sum256([]byte("hello ")); first != want {
+		t.Fatal("first digest wrong")
+	}
+	// Continue writing after Sum256 — must behave as if Sum256 never
+	// happened. This is the BLOB-growth access pattern.
+	h.Write([]byte("world"))
+	second := h.Sum256()
+	if want := sha256.Sum256([]byte("hello world")); second != want {
+		t.Fatal("digest after continued write wrong")
+	}
+}
+
+func TestResumeFromState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(5000)
+		data := make([]byte, n)
+		rng.Read(data)
+		split := 0
+		if n > 0 {
+			split = rng.Intn(n + 1)
+		}
+
+		h := New()
+		h.Write(data[:split])
+		st := h.State()
+
+		resumed := Resume(st)
+		resumed.Write(data[split:])
+		if got, want := resumed.Sum256(), sha256.Sum256(data); got != want {
+			t.Fatalf("trial %d: resume at %d/%d produced wrong digest", trial, split, n)
+		}
+	}
+}
+
+func TestResumeFromStateQuick(t *testing.T) {
+	f := func(a, b []byte) bool {
+		h := New()
+		h.Write(a)
+		resumed := Resume(h.State())
+		resumed.Write(b)
+		all := append(append([]byte{}, a...), b...)
+		return resumed.Sum256() == sha256.Sum256(all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateMarshalRoundtrip(t *testing.T) {
+	f := func(data []byte) bool {
+		h := New()
+		h.Write(data)
+		st := h.State()
+		got, err := UnmarshalState(st.Marshal())
+		return err == nil && got == st
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalStateErrors(t *testing.T) {
+	if _, err := UnmarshalState(nil); err == nil {
+		t.Error("want error for nil input")
+	}
+	if _, err := UnmarshalState(make([]byte, StateSize-1)); err == nil {
+		t.Error("want error for short input")
+	}
+	bad := make([]byte, StateSize)
+	bad[Size+8] = BlockSize // NBuf out of range
+	if _, err := UnmarshalState(bad); err == nil {
+		t.Error("want error for out-of-range NBuf")
+	}
+}
+
+func TestIntermediateDigestIs32Bytes(t *testing.T) {
+	// The Blob State stores exactly the 32-byte chaining value; check that
+	// block-aligned writes leave no partial buffer so H alone suffices.
+	h := New()
+	h.Write(bytes.Repeat([]byte{9}, 4*BlockSize))
+	st := h.State()
+	if st.NBuf != 0 {
+		t.Errorf("block-aligned write left %d buffered bytes", st.NBuf)
+	}
+	if st.Length != 4*BlockSize {
+		t.Errorf("Length = %d, want %d", st.Length, 4*BlockSize)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New()
+	h.Write([]byte("garbage"))
+	h.Reset()
+	h.Write([]byte("abc"))
+	if got, want := h.Sum256(), sha256.Sum256([]byte("abc")); got != want {
+		t.Error("Reset did not restore initial state")
+	}
+}
+
+func TestIncrementalWritesMatchOneShot(t *testing.T) {
+	data := make([]byte, 10_000)
+	rng := rand.New(rand.NewSource(42))
+	rng.Read(data)
+	h := New()
+	for off := 0; off < len(data); {
+		n := 1 + rng.Intn(257)
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		h.Write(data[off : off+n])
+		off += n
+	}
+	if got, want := h.Sum256(), sha256.Sum256(data); got != want {
+		t.Error("chunked writes produced wrong digest")
+	}
+}
+
+func BenchmarkSum1MB(b *testing.B) {
+	data := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sum(data)
+	}
+}

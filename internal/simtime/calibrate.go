@@ -1,0 +1,49 @@
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Modeled copy costs must be priced at the speed this machine actually
+// copies memory: the harness mixes *real* copies (our engine's reads and
+// writes run actual memmoves) with *virtual* copies (the competitors'
+// kernel→user transfers). Pricing the virtual ones with a literature
+// constant would make them arbitrarily cheaper or dearer than the real
+// ones depending on the host. MeasuredCopyBW benchmarks memmove once per
+// process and the cost models use it.
+
+var (
+	copyBWOnce sync.Once
+	copyBW     float64
+)
+
+// MeasuredCopyBW returns this machine's single-threaded large-copy
+// bandwidth in bytes/second (measured once, cached).
+func MeasuredCopyBW() float64 {
+	copyBWOnce.Do(func() {
+		const n = 16 << 20
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		for i := 0; i < n; i += 4096 {
+			src[i] = byte(i) // fault the pages in
+		}
+		copy(dst, src)
+		best := 0.0
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			copy(dst, src)
+			el := time.Since(start).Seconds()
+			if el > 0 {
+				if bw := float64(n) / el; bw > best {
+					best = bw
+				}
+			}
+		}
+		if best < 1e8 {
+			best = 1e8 // floor: pathological timer behaviour
+		}
+		copyBW = best
+	})
+	return copyBW
+}

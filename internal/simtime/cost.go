@@ -1,0 +1,191 @@
+package simtime
+
+import "time"
+
+// DeviceCostModel describes the simulated NVMe SSD.
+//
+// The defaults are loosely calibrated to the paper's Samsung 980 Pro: a few
+// microseconds of per-command latency, multi-GB/s sequential bandwidth, and
+// a penalty for small scattered commands. Every storage engine and file
+// system model in this reproduction runs against the same model, so the
+// relative orderings the paper reports are preserved.
+type DeviceCostModel struct {
+	ReadLatency  time.Duration // fixed cost per read command
+	WriteLatency time.Duration // fixed cost per write command
+	SyncLatency  time.Duration // fsync / flush command
+	ReadBW       float64       // bytes per second, sequential read
+	WriteBW      float64       // bytes per second, sequential write
+	// RandomPenalty multiplies the fixed latency for commands that are not
+	// contiguous with the previous command from the same worker. It models
+	// the gap between sequential and random throughput on flash.
+	RandomPenalty float64
+}
+
+// DefaultNVMe returns the calibrated default device model.
+func DefaultNVMe() *DeviceCostModel {
+	// Bandwidths are capped at the machine's measured copy speed: the
+	// simulated device moves data with real memmoves, so a modeled
+	// transfer must never be priced faster than the real one.
+	rbw, wbw := 3.0e9, 2.0e9
+	if m := MeasuredCopyBW(); m < rbw {
+		rbw = m
+		wbw = m * 2 / 3
+	}
+	return &DeviceCostModel{
+		ReadLatency:   8 * time.Microsecond,
+		WriteLatency:  12 * time.Microsecond,
+		SyncLatency:   100 * time.Microsecond,
+		ReadBW:        rbw,
+		WriteBW:       wbw,
+		RandomPenalty: 4.0,
+	}
+}
+
+// ReadCost returns the virtual time for reading n bytes in one command.
+func (c *DeviceCostModel) ReadCost(n int, sequential bool) time.Duration {
+	if c == nil {
+		return 0
+	}
+	lat := c.ReadLatency
+	if !sequential && c.RandomPenalty > 1 {
+		lat = time.Duration(float64(lat) * c.RandomPenalty)
+	}
+	return lat + time.Duration(float64(n)/c.ReadBW*1e9)
+}
+
+// WriteCost returns the virtual time for writing n bytes in one command.
+func (c *DeviceCostModel) WriteCost(n int, sequential bool) time.Duration {
+	if c == nil {
+		return 0
+	}
+	lat := c.WriteLatency
+	if !sequential && c.RandomPenalty > 1 {
+		lat = time.Duration(float64(lat) * c.RandomPenalty)
+	}
+	return lat + time.Duration(float64(n)/c.WriteBW*1e9)
+}
+
+// SyncCost returns the virtual time for a device flush.
+func (c *DeviceCostModel) SyncCost() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.SyncLatency
+}
+
+// SyscallCostModel prices the user/kernel boundary for the simulated file
+// systems and the client/server DBMS models. Our engine pays none of these
+// on its hot path — that asymmetry is one of the paper's central points
+// (§V-B, §V-I).
+type SyscallCostModel struct {
+	Open      time.Duration // path resolution + inode load + fd table
+	Close     time.Duration
+	Stat      time.Duration
+	PRead     time.Duration // fixed entry/exit cost; copy cost is separate
+	PWrite    time.Duration
+	FTruncate time.Duration
+	FSync     time.Duration // entry cost only; device sync charged separately
+	// CopyBW is the kernel->user (or user->kernel) copy bandwidth in
+	// bytes/second, charged on top of PRead/PWrite for the bytes moved.
+	// This is the "extra memcpy" of pread that §V-D highlights.
+	CopyBW float64
+	// PerPage is kernel CPU charged per 4 KB page touched by buffered
+	// read/write paths (page-cache radix tree, locking, dirty accounting).
+	// Linux buffered I/O is ~2 GB/s CPU-bound single-threaded, i.e. ~1 us
+	// of kernel work per page beyond the raw copy.
+	PerPage time.Duration
+	// KernelOpsPerCall feeds the analog "kernel cycles" counter.
+	KernelOpsPerCall int64
+}
+
+// CPUCalibration converts modeled *CPU-bound* costs (kernel syscall paths,
+// client/server protocol work) into the units the harness measures real
+// work in.
+//
+// The harness adds real wall-clock time (our engine, written in Go) to
+// virtual time (competitors' kernel work, modeled from real-Linux
+// measurements taken on optimized C). Go's pointer-chasing/allocation code
+// runs ~2.5x slower than equivalent C, so comparing real-Go metadata work
+// against raw C syscall times would systematically understate the
+// competitors' CPU. Scaling only the CPU-bound constants — never bandwidth
+// or device terms, which are memory/hardware-bound and language-neutral —
+// keeps both sides in the same units. EXPERIMENTS.md documents this
+// calibration next to the affected results.
+const CPUCalibration = 2.5
+
+// DefaultSyscalls returns costs calibrated from Linux 6.x measurements on
+// the paper's class of machine (raw: open ~2.2us, close ~0.6us, stat
+// ~0.9us, pread ~0.7us), scaled by CPUCalibration into harness units.
+func DefaultSyscalls() *SyscallCostModel {
+	c := func(ns int64) time.Duration {
+		return time.Duration(float64(ns) * CPUCalibration)
+	}
+	return &SyscallCostModel{
+		Open:             c(2200),
+		Close:            c(600),
+		Stat:             c(900),
+		PRead:            c(700),
+		PWrite:           c(900),
+		FTruncate:        c(1800),
+		FSync:            c(1200),
+		PerPage:          c(900),
+		CopyBW:           MeasuredCopyBW(), // priced at this machine's memmove speed
+		KernelOpsPerCall: 1000,
+	}
+}
+
+// CopyCost returns the virtual time for moving n bytes across the
+// user/kernel boundary.
+func (c *SyscallCostModel) CopyCost(n int) time.Duration {
+	if c == nil || c.CopyBW <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / c.CopyBW * 1e9)
+}
+
+// PageCost returns the per-page kernel work for a buffered I/O touching n
+// bytes (4 KB pages).
+func (c *SyscallCostModel) PageCost(n int) time.Duration {
+	if c == nil || c.PerPage <= 0 {
+		return 0
+	}
+	pages := (n + 4095) / 4096
+	return time.Duration(pages) * c.PerPage
+}
+
+// IPCCostModel prices one client/server round trip for the PostgreSQL and
+// MySQL models (Unix-domain socket: two syscalls plus serialization of the
+// payload on both sides). §V-B attributes much of their poor BLOB throughput
+// to exactly this path.
+type IPCCostModel struct {
+	RoundTrip   time.Duration // send+recv syscall pair and wakeup
+	SerializeBW float64       // bytes/second for (de)serializing payloads
+}
+
+// DefaultIPC returns the default Unix-socket model (round trip raw ~9us,
+// CPU-calibrated; serialization bandwidth is memory-bound and not scaled).
+func DefaultIPC() *IPCCostModel {
+	return &IPCCostModel{
+		RoundTrip: time.Duration(9000 * CPUCalibration),
+		// Wire (de)serialization runs at roughly a fifth of raw memcpy
+		// (field-by-field encoding), priced at this machine's speed.
+		SerializeBW: MeasuredCopyBW() / 5,
+	}
+}
+
+// Cost returns the virtual time for a round trip carrying n payload bytes.
+// The payload crosses the socket twice (client->server copy and the
+// server-side parse, or response marshal and client parse).
+func (c *IPCCostModel) Cost(n int) time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.RoundTrip + time.Duration(2*float64(n)/c.SerializeBW*1e9)
+}
+
+// TLBShootdownCost is the fixed virtual cost of one aliasing-area unmap
+// (clearing page-table entries and interrupting all cores, §IV-B; raw
+// ~4-5us on a 32-thread machine, CPU-calibrated like the syscall costs).
+// The paper argues this cost is non-negligible but cheaper than
+// malloc+memcpy for large blobs — the crossover drives Figure 10.
+const TLBShootdownCost = time.Duration(4500 * CPUCalibration)

@@ -1,0 +1,186 @@
+// Package simtime provides virtual-time accounting for the benchmark
+// harness.
+//
+// The reproduction runs on a simulated block device rather than the paper's
+// NVMe SSD, so time that would have been spent waiting for hardware is
+// *charged* to a Meter instead of being slept away. An experiment's elapsed
+// time is then
+//
+//	wall-clock time spent in real in-memory work  +  charged virtual time
+//
+// Each worker owns one Meter; device models and the syscall layer charge
+// their costs to the meter of the calling worker. Meters also accumulate
+// analog performance counters (instructions, kernel cycles, cache misses)
+// at the same code points the paper instruments with perf, so Tables II and
+// IV can report comparable ratios.
+package simtime
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Meter accumulates virtual time and analog performance counters for one
+// worker. All methods are safe for concurrent use, although the intended
+// pattern is one Meter per worker goroutine.
+type Meter struct {
+	ns          atomic.Int64 // charged virtual nanoseconds
+	userOps     atomic.Int64 // analog "instructions" (user-space work items)
+	kernelOps   atomic.Int64 // analog "kernel cycles" (syscall-layer work)
+	cacheMisses atomic.Int64 // analog cache misses (cache lines moved)
+	syscalls    atomic.Int64 // number of simulated system calls
+	bytesMoved  atomic.Int64 // payload bytes copied (roofline bandwidth model)
+}
+
+// NewMeter returns a zeroed meter.
+func NewMeter() *Meter { return &Meter{} }
+
+// Charge adds d of virtual time.
+func (m *Meter) Charge(d time.Duration) {
+	if m == nil || d <= 0 {
+		return
+	}
+	m.ns.Add(int64(d))
+}
+
+// ChargeNS adds ns nanoseconds of virtual time.
+func (m *Meter) ChargeNS(ns int64) {
+	if m == nil || ns <= 0 {
+		return
+	}
+	m.ns.Add(ns)
+}
+
+// Elapsed reports the total charged virtual time.
+func (m *Meter) Elapsed() time.Duration {
+	if m == nil {
+		return 0
+	}
+	return time.Duration(m.ns.Load())
+}
+
+// CountUserOps adds n analog user-space instructions.
+func (m *Meter) CountUserOps(n int64) {
+	if m == nil {
+		return
+	}
+	m.userOps.Add(n)
+}
+
+// CountKernelOps adds n analog kernel cycles.
+func (m *Meter) CountKernelOps(n int64) {
+	if m == nil {
+		return
+	}
+	m.kernelOps.Add(n)
+}
+
+// CountSyscall records one simulated system call plus its kernel work.
+func (m *Meter) CountSyscall(kernelOps int64) {
+	if m == nil {
+		return
+	}
+	m.syscalls.Add(1)
+	m.kernelOps.Add(kernelOps)
+}
+
+// CountCacheMisses adds an analog cache-miss count. Callers typically pass
+// bytesMoved/64 to approximate cache lines touched by a copy.
+func (m *Meter) CountCacheMisses(n int64) {
+	if m == nil {
+		return
+	}
+	m.cacheMisses.Add(n)
+}
+
+// Counters is a snapshot of a meter's analog counters.
+type Counters struct {
+	Virtual     time.Duration // charged virtual time
+	UserOps     int64         // analog instructions
+	KernelOps   int64         // analog kernel cycles
+	CacheMisses int64
+	Syscalls    int64
+	BytesMoved  int64
+}
+
+// CountBytesMoved records payload bytes physically copied by the worker;
+// the parallel harness turns the aggregate into a memory-bandwidth floor.
+func (m *Meter) CountBytesMoved(n int64) {
+	if m == nil {
+		return
+	}
+	m.bytesMoved.Add(n)
+	m.cacheMisses.Add(n / 64)
+}
+
+// Snapshot returns the current counter values.
+func (m *Meter) Snapshot() Counters {
+	if m == nil {
+		return Counters{}
+	}
+	return Counters{
+		Virtual:     time.Duration(m.ns.Load()),
+		UserOps:     m.userOps.Load(),
+		KernelOps:   m.kernelOps.Load(),
+		CacheMisses: m.cacheMisses.Load(),
+		Syscalls:    m.syscalls.Load(),
+		BytesMoved:  m.bytesMoved.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	if m == nil {
+		return
+	}
+	m.ns.Store(0)
+	m.userOps.Store(0)
+	m.kernelOps.Store(0)
+	m.cacheMisses.Store(0)
+	m.syscalls.Store(0)
+	m.bytesMoved.Store(0)
+}
+
+// Add merges the counters of other into m. Used by the harness to combine
+// per-worker meters into one experiment total.
+func (m *Meter) Add(other *Meter) {
+	if m == nil || other == nil {
+		return
+	}
+	m.ns.Add(other.ns.Load())
+	m.userOps.Add(other.userOps.Load())
+	m.kernelOps.Add(other.kernelOps.Load())
+	m.cacheMisses.Add(other.cacheMisses.Load())
+	m.syscalls.Add(other.syscalls.Load())
+	m.bytesMoved.Add(other.bytesMoved.Load())
+}
+
+// Stopwatch measures an experiment: wall time plus the per-worker maximum of
+// charged virtual time (workers run concurrently, so their virtual waits
+// overlap rather than add).
+type Stopwatch struct {
+	start  time.Time
+	meters []*Meter
+}
+
+// NewStopwatch starts a stopwatch over the given worker meters. The meters
+// are reset.
+func NewStopwatch(meters ...*Meter) *Stopwatch {
+	for _, m := range meters {
+		m.Reset()
+	}
+	return &Stopwatch{start: time.Now(), meters: meters}
+}
+
+// Elapsed reports wall time since start plus the maximum virtual time
+// charged to any single worker meter.
+func (s *Stopwatch) Elapsed() time.Duration {
+	wall := time.Since(s.start)
+	var maxVirtual time.Duration
+	for _, m := range s.meters {
+		if v := m.Elapsed(); v > maxVirtual {
+			maxVirtual = v
+		}
+	}
+	return wall + maxVirtual
+}

@@ -1,0 +1,224 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMeterChargeAndSnapshot(t *testing.T) {
+	m := NewMeter()
+	m.Charge(5 * time.Millisecond)
+	m.ChargeNS(1000)
+	m.CountUserOps(7)
+	m.CountKernelOps(3)
+	m.CountSyscall(100)
+	m.CountCacheMisses(42)
+
+	s := m.Snapshot()
+	if want := 5*time.Millisecond + 1000; s.Virtual != want {
+		t.Errorf("Virtual = %v, want %v", s.Virtual, want)
+	}
+	if s.UserOps != 7 {
+		t.Errorf("UserOps = %d, want 7", s.UserOps)
+	}
+	if s.KernelOps != 103 {
+		t.Errorf("KernelOps = %d, want 103", s.KernelOps)
+	}
+	if s.Syscalls != 1 {
+		t.Errorf("Syscalls = %d, want 1", s.Syscalls)
+	}
+	if s.CacheMisses != 42 {
+		t.Errorf("CacheMisses = %d, want 42", s.CacheMisses)
+	}
+}
+
+func TestMeterNegativeAndZeroChargesIgnored(t *testing.T) {
+	m := NewMeter()
+	m.Charge(-time.Second)
+	m.ChargeNS(0)
+	m.ChargeNS(-5)
+	if got := m.Elapsed(); got != 0 {
+		t.Errorf("Elapsed = %v, want 0", got)
+	}
+}
+
+func TestNilMeterIsSafe(t *testing.T) {
+	var m *Meter
+	m.Charge(time.Second)
+	m.ChargeNS(1)
+	m.CountUserOps(1)
+	m.CountKernelOps(1)
+	m.CountSyscall(1)
+	m.CountCacheMisses(1)
+	m.Reset()
+	m.Add(NewMeter())
+	if m.Elapsed() != 0 {
+		t.Error("nil meter should report zero")
+	}
+	if (m.Snapshot() != Counters{}) {
+		t.Error("nil meter snapshot should be zero")
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter()
+	m.Charge(time.Second)
+	m.CountUserOps(10)
+	m.Reset()
+	if (m.Snapshot() != Counters{}) {
+		t.Errorf("after Reset, snapshot = %+v, want zero", m.Snapshot())
+	}
+}
+
+func TestMeterAdd(t *testing.T) {
+	a, b := NewMeter(), NewMeter()
+	a.ChargeNS(100)
+	b.ChargeNS(50)
+	b.CountUserOps(5)
+	a.Add(b)
+	s := a.Snapshot()
+	if s.Virtual != 150 {
+		t.Errorf("Virtual = %v, want 150", s.Virtual)
+	}
+	if s.UserOps != 5 {
+		t.Errorf("UserOps = %d, want 5", s.UserOps)
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.ChargeNS(1)
+				m.CountUserOps(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Elapsed(); got != 8000 {
+		t.Errorf("Elapsed = %v, want 8000ns", got)
+	}
+	if got := m.Snapshot().UserOps; got != 8000 {
+		t.Errorf("UserOps = %d, want 8000", got)
+	}
+}
+
+func TestStopwatchUsesMaxVirtualTime(t *testing.T) {
+	m1, m2 := NewMeter(), NewMeter()
+	m1.Charge(3 * time.Second) // will be reset by NewStopwatch
+	sw := NewStopwatch(m1, m2)
+	if m1.Elapsed() != 0 {
+		t.Fatal("NewStopwatch must reset meters")
+	}
+	m1.Charge(10 * time.Millisecond)
+	m2.Charge(25 * time.Millisecond)
+	got := sw.Elapsed()
+	// Elapsed = small wall time + max(10ms, 25ms).
+	if got < 25*time.Millisecond || got > 25*time.Millisecond+time.Second {
+		t.Errorf("Elapsed = %v, want ~25ms", got)
+	}
+}
+
+func TestDeviceCostModel(t *testing.T) {
+	c := DefaultNVMe()
+	seq := c.ReadCost(1<<20, true)
+	rnd := c.ReadCost(1<<20, false)
+	if rnd <= seq {
+		t.Errorf("random read (%v) should cost more than sequential (%v)", rnd, seq)
+	}
+	// 1 MiB at 3 GB/s is ~349us of transfer plus 8us latency.
+	if seq < 300*time.Microsecond || seq > 500*time.Microsecond {
+		t.Errorf("sequential 1MiB read cost = %v, want ~357us", seq)
+	}
+	if c.WriteCost(0, true) != c.WriteLatency {
+		t.Errorf("zero-byte write should cost the fixed latency")
+	}
+	if c.SyncCost() != c.SyncLatency {
+		t.Errorf("SyncCost = %v, want %v", c.SyncCost(), c.SyncLatency)
+	}
+}
+
+func TestDeviceCostModelNil(t *testing.T) {
+	var c *DeviceCostModel
+	if c.ReadCost(100, true) != 0 || c.WriteCost(100, false) != 0 || c.SyncCost() != 0 {
+		t.Error("nil cost model should charge nothing")
+	}
+}
+
+func TestDeviceCostMonotoneInSize(t *testing.T) {
+	c := DefaultNVMe()
+	prev := time.Duration(0)
+	for n := 0; n <= 1<<22; n += 1 << 18 {
+		cost := c.ReadCost(n, true)
+		if cost < prev {
+			t.Fatalf("ReadCost not monotone at n=%d: %v < %v", n, cost, prev)
+		}
+		prev = cost
+	}
+}
+
+func TestSyscallCopyCost(t *testing.T) {
+	c := DefaultSyscalls()
+	if c.CopyCost(0) != 0 {
+		t.Error("zero-byte copy should be free")
+	}
+	// Copies are priced at the measured machine bandwidth.
+	bw := MeasuredCopyBW()
+	n := int(bw) // one second worth of copying
+	got := c.CopyCost(n)
+	if got < 900*time.Millisecond || got > 1100*time.Millisecond {
+		t.Errorf("CopyCost(1s of bytes) = %v, want ~1s (bw=%.1fGB/s)", got, bw/1e9)
+	}
+	var nilc *SyscallCostModel
+	if nilc.CopyCost(1<<20) != 0 {
+		t.Error("nil syscall model should charge nothing")
+	}
+}
+
+func TestMeasuredCopyBWStable(t *testing.T) {
+	a, b := MeasuredCopyBW(), MeasuredCopyBW()
+	if a != b {
+		t.Error("MeasuredCopyBW must be cached")
+	}
+	if a < 1e8 {
+		t.Errorf("implausible bandwidth %f", a)
+	}
+}
+
+func TestPageCost(t *testing.T) {
+	c := DefaultSyscalls()
+	if c.PageCost(0) != 0 {
+		t.Error("zero bytes -> zero pages")
+	}
+	if c.PageCost(1) != c.PerPage {
+		t.Error("one byte touches one page")
+	}
+	if c.PageCost(4096*3) != 3*c.PerPage {
+		t.Error("page rounding wrong")
+	}
+	var nilc *SyscallCostModel
+	if nilc.PageCost(1<<20) != 0 {
+		t.Error("nil model charges nothing")
+	}
+}
+
+func TestIPCCost(t *testing.T) {
+	c := DefaultIPC()
+	small := c.Cost(0)
+	if small != c.RoundTrip {
+		t.Errorf("empty round trip = %v, want %v", small, c.RoundTrip)
+	}
+	big := c.Cost(100 << 20) // 100 MiB payload
+	if big <= small {
+		t.Error("payload should add serialization cost")
+	}
+	var nilc *IPCCostModel
+	if nilc.Cost(1<<20) != 0 {
+		t.Error("nil IPC model should charge nothing")
+	}
+}

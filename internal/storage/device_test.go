@@ -1,0 +1,247 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"blobdb/internal/simtime"
+)
+
+func TestMemDeviceReadWriteRoundtrip(t *testing.T) {
+	d := NewMemDevice(DefaultPageSize, 64, nil)
+	w := make([]byte, 3*DefaultPageSize)
+	for i := range w {
+		w[i] = byte(i % 251)
+	}
+	if err := d.WritePages(nil, 5, 3, w); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, 3*DefaultPageSize)
+	if err := d.ReadPages(nil, 5, 3, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w, r) {
+		t.Error("read data differs from written data")
+	}
+}
+
+func TestMemDeviceRangeErrors(t *testing.T) {
+	d := NewMemDevice(DefaultPageSize, 8, nil)
+	buf := make([]byte, 16*DefaultPageSize)
+	cases := []struct {
+		pid PID
+		n   int
+	}{
+		{8, 1},  // starts past end
+		{7, 2},  // runs past end
+		{0, 9},  // longer than device
+		{0, -1}, // negative count
+	}
+	for _, c := range cases {
+		if err := d.ReadPages(nil, c.pid, c.n, buf); !errors.Is(err, ErrOutOfSpace) {
+			t.Errorf("ReadPages(%d,%d) = %v, want ErrOutOfSpace", c.pid, c.n, err)
+		}
+		if err := d.WritePages(nil, c.pid, c.n, buf); !errors.Is(err, ErrOutOfSpace) {
+			t.Errorf("WritePages(%d,%d) = %v, want ErrOutOfSpace", c.pid, c.n, err)
+		}
+	}
+}
+
+func TestMemDeviceShortBuffer(t *testing.T) {
+	d := NewMemDevice(DefaultPageSize, 8, nil)
+	short := make([]byte, DefaultPageSize-1)
+	if err := d.ReadPages(nil, 0, 1, short); err == nil {
+		t.Error("want error for short read buffer")
+	}
+	if err := d.WritePages(nil, 0, 1, short); err == nil {
+		t.Error("want error for short write buffer")
+	}
+}
+
+func TestMemDeviceStats(t *testing.T) {
+	d := NewMemDevice(DefaultPageSize, 8, nil)
+	buf := make([]byte, 2*DefaultPageSize)
+	d.WritePages(nil, 0, 2, buf)
+	d.ReadPages(nil, 0, 1, buf)
+	d.Sync(nil)
+	s := d.Stats().Snapshot()
+	if s.WriteOps != 1 || s.BytesWritten != 2*DefaultPageSize {
+		t.Errorf("write stats = %+v", s)
+	}
+	if s.ReadOps != 1 || s.BytesRead != DefaultPageSize {
+		t.Errorf("read stats = %+v", s)
+	}
+	if s.Syncs != 1 {
+		t.Errorf("syncs = %d, want 1", s.Syncs)
+	}
+	d.Stats().Reset()
+	if d.Stats().BytesWritten() != 0 {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+func TestMemDeviceChargesMeter(t *testing.T) {
+	d := NewMemDevice(DefaultPageSize, 8, simtime.DefaultNVMe())
+	m := simtime.NewMeter()
+	buf := make([]byte, DefaultPageSize)
+	if err := d.WritePages(m, 0, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if m.Elapsed() == 0 {
+		t.Error("write should charge virtual time when a cost model is set")
+	}
+	before := m.Elapsed()
+	d.Sync(m)
+	if m.Elapsed() <= before {
+		t.Error("sync should charge virtual time")
+	}
+}
+
+func TestMemDeviceSequentialCheaperThanRandom(t *testing.T) {
+	cost := simtime.DefaultNVMe()
+	buf := make([]byte, DefaultPageSize)
+
+	seq := NewMemDevice(DefaultPageSize, 1024, cost)
+	mSeq := simtime.NewMeter()
+	for i := 0; i < 64; i++ {
+		seq.ReadPages(mSeq, PID(i), 1, buf)
+	}
+
+	rnd := NewMemDevice(DefaultPageSize, 1024, cost)
+	mRnd := simtime.NewMeter()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 64; i++ {
+		rnd.ReadPages(mRnd, PID(rng.Intn(1024)), 1, buf)
+	}
+
+	if mSeq.Elapsed() >= mRnd.Elapsed() {
+		t.Errorf("sequential (%v) should be cheaper than random (%v)", mSeq.Elapsed(), mRnd.Elapsed())
+	}
+}
+
+func TestMemDeviceRoundtripQuick(t *testing.T) {
+	d := NewMemDevice(512, 128, nil)
+	f := func(pidRaw uint8, data []byte) bool {
+		pid := PID(pidRaw % 120)
+		n := len(data)/512 + 1
+		if uint64(pid)+uint64(n) > 120 {
+			return true // out of tested range; skip
+		}
+		w := make([]byte, n*512)
+		copy(w, data)
+		if err := d.WritePages(nil, pid, n, w); err != nil {
+			return false
+		}
+		r := make([]byte, n*512)
+		if err := d.ReadPages(nil, pid, n, r); err != nil {
+			return false
+		}
+		return bytes.Equal(w, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileDevice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, err := NewFileDevice(path, DefaultPageSize, 32, simtime.DefaultNVMe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if d.PageSize() != DefaultPageSize || d.NumPages() != 32 {
+		t.Fatalf("geometry = %d x %d", d.PageSize(), d.NumPages())
+	}
+	w := bytes.Repeat([]byte{0xAB}, 2*DefaultPageSize)
+	m := simtime.NewMeter()
+	if err := d.WritePages(m, 10, 2, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(m); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, 2*DefaultPageSize)
+	if err := d.ReadPages(m, 10, 2, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w, r) {
+		t.Error("file device roundtrip mismatch")
+	}
+	if err := d.ReadPages(nil, 31, 2, r); !errors.Is(err, ErrOutOfSpace) {
+		t.Errorf("out-of-range read = %v, want ErrOutOfSpace", err)
+	}
+	if m.Elapsed() == 0 {
+		t.Error("file device should charge virtual time")
+	}
+}
+
+func TestReadWriteVec(t *testing.T) {
+	d := NewMemDevice(DefaultPageSize, 64, simtime.DefaultNVMe())
+
+	segs := []Seg{
+		{PID: 1, N: 2, Buf: bytes.Repeat([]byte{1}, 2*DefaultPageSize)},
+		{PID: 10, N: 1, Buf: bytes.Repeat([]byte{2}, DefaultPageSize)},
+		{PID: 30, N: 3, Buf: bytes.Repeat([]byte{3}, 3*DefaultPageSize)},
+	}
+	m := simtime.NewMeter()
+	if err := WriteVec(d, m, segs); err != nil {
+		t.Fatal(err)
+	}
+	batchWrite := m.Elapsed()
+	if batchWrite == 0 {
+		t.Fatal("WriteVec should charge virtual time")
+	}
+
+	// The same segments written one-by-one must cost strictly more: each
+	// command pays its own (random) latency instead of overlapping.
+	d2 := NewMemDevice(DefaultPageSize, 64, simtime.DefaultNVMe())
+	m2 := simtime.NewMeter()
+	d2.WritePages(m2, 1, 2, segs[0].Buf)
+	d2.WritePages(m2, 10, 1, segs[1].Buf)
+	d2.WritePages(m2, 30, 3, segs[2].Buf)
+	if m2.Elapsed() <= batchWrite {
+		t.Errorf("sequential writes (%v) should cost more than batched (%v)", m2.Elapsed(), batchWrite)
+	}
+
+	// Read back through ReadVec and verify contents.
+	rsegs := []Seg{
+		{PID: 1, N: 2, Buf: make([]byte, 2*DefaultPageSize)},
+		{PID: 10, N: 1, Buf: make([]byte, DefaultPageSize)},
+		{PID: 30, N: 3, Buf: make([]byte, 3*DefaultPageSize)},
+	}
+	if err := ReadVec(d, m, rsegs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range segs {
+		if !bytes.Equal(rsegs[i].Buf, segs[i].Buf) {
+			t.Errorf("segment %d mismatch", i)
+		}
+	}
+}
+
+func TestVecErrorPropagates(t *testing.T) {
+	d := NewMemDevice(DefaultPageSize, 4, nil)
+	bad := []Seg{{PID: 3, N: 2, Buf: make([]byte, 2*DefaultPageSize)}}
+	if err := ReadVec(d, nil, bad); !errors.Is(err, ErrOutOfSpace) {
+		t.Errorf("ReadVec = %v, want ErrOutOfSpace", err)
+	}
+	if err := WriteVec(d, nil, bad); !errors.Is(err, ErrOutOfSpace) {
+		t.Errorf("WriteVec = %v, want ErrOutOfSpace", err)
+	}
+}
+
+func TestVecCostEmpty(t *testing.T) {
+	if got := vecCost(simtime.DefaultNVMe(), nil, true); got != 0 {
+		t.Errorf("empty batch cost = %v, want 0", got)
+	}
+	if got := vecCost(nil, []Seg{{N: 1}}, false); got != time.Duration(0) {
+		t.Errorf("nil model cost = %v, want 0", got)
+	}
+}

@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"time"
+
+	"blobdb/internal/simtime"
+)
+
+// Seg is one contiguous page range in a vectored I/O request.
+type Seg struct {
+	PID PID
+	N   int    // pages
+	Buf []byte // at least N*PageSize bytes
+}
+
+// costModeler is implemented by devices that expose their cost model so
+// vectored helpers can charge overlapped (queued) timing instead of summing
+// per-command latencies.
+type costModeler interface {
+	costModel() *simtime.DeviceCostModel
+}
+
+func (d *MemDevice) costModel() *simtime.DeviceCostModel  { return d.cost }
+func (d *FileDevice) costModel() *simtime.DeviceCostModel { return d.cost }
+
+// vecCost computes the virtual time of a batch of segments submitted to the
+// device queue at once: commands overlap, so the batch pays one command
+// latency (the deepest-queued command hides the others) plus the bandwidth
+// cost of all bytes.
+func vecCost(cm *simtime.DeviceCostModel, segs []Seg, write bool) time.Duration {
+	if cm == nil || len(segs) == 0 {
+		return 0
+	}
+	total := 0
+	for _, s := range segs {
+		total += len(s.Buf)
+	}
+	if write {
+		return cm.WriteCost(total, len(segs) == 1)
+	}
+	return cm.ReadCost(total, len(segs) == 1)
+}
+
+// ReadVec reads all segments as one asynchronous batch (io_uring-style):
+// the segments' transfer costs add, but the per-command latencies overlap.
+// This is the §III-D BLOB read path — one submission for all extents.
+func ReadVec(d Device, m *simtime.Meter, segs []Seg) error {
+	for i := range segs {
+		segs[i].Buf = segs[i].Buf[:segs[i].N*d.PageSize()]
+		// Charge nothing per command; the batch cost is charged below.
+		if err := d.ReadPages(nil, segs[i].PID, segs[i].N, segs[i].Buf); err != nil {
+			return err
+		}
+	}
+	if cm, ok := d.(costModeler); ok {
+		m.Charge(vecCost(cm.costModel(), segs, false))
+	}
+	return nil
+}
+
+// WriteVec writes all segments as one asynchronous batch. This is the
+// commit-time extent flush of §III-C: multiple async writes submitted
+// together after the WAL record is durable.
+func WriteVec(d Device, m *simtime.Meter, segs []Seg) error {
+	for i := range segs {
+		segs[i].Buf = segs[i].Buf[:segs[i].N*d.PageSize()]
+		if err := d.WritePages(nil, segs[i].PID, segs[i].N, segs[i].Buf); err != nil {
+			return err
+		}
+	}
+	if cm, ok := d.(costModeler); ok {
+		m.Charge(vecCost(cm.costModel(), segs, true))
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package wal
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blobdb/internal/storage"
+)
+
+// TestScanRoundtripQuick: any sequence of appended records (across multiple
+// flushes) scans back byte-identical and in order.
+func TestScanRoundtripQuick(t *testing.T) {
+	f := func(payloads [][]byte, bufCapRaw uint8) bool {
+		dev := storage.NewMemDevice(ps, 1<<12, nil)
+		w := NewManager(dev, 0, 1<<12)
+		w.SetBufferCap(4096 + int(bufCapRaw)*64)
+		l := w.NewWriter()
+		var want [][]byte
+		for i, p := range payloads {
+			if len(p) > 2048 {
+				p = p[:2048]
+			}
+			if _, err := l.Append(nil, uint64(i), RecHeapPut, p); err != nil {
+				return false
+			}
+			want = append(want, append([]byte(nil), p...))
+		}
+		if err := l.Flush(nil); err != nil {
+			return false
+		}
+		var got [][]byte
+		w.Scan(nil, func(r Record) bool {
+			got = append(got, append([]byte(nil), r.Payload...))
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScanAfterReopenSeesOnlyCurrentEpoch: records from before a checkpoint
+// must never reappear, even though their bytes remain in the log region.
+func TestScanAfterReopenSeesOnlyCurrentEpoch(t *testing.T) {
+	dev := storage.NewMemDevice(ps, 256, nil)
+	w := NewManager(dev, 0, 256)
+	l := w.NewWriter()
+	// Epoch 0: three large records filling several pages.
+	for i := 0; i < 3; i++ {
+		l.Append(nil, 1, RecHeapPut, bytes.Repeat([]byte{0xAA}, 3000))
+	}
+	l.Flush(nil)
+	if err := w.Checkpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1: one small record; the old epoch-0 pages beyond it still
+	// hold valid-looking flush blocks.
+	l.Append(nil, 2, RecHeapPut, []byte("fresh"))
+	l.Flush(nil)
+
+	// Reopen cold (new manager over the same device), restore the epoch as
+	// recovery would, and scan.
+	w2 := NewManager(dev, 0, 256)
+	w2.SetEpoch(w.Epoch())
+	var seen []string
+	w2.Scan(nil, func(r Record) bool {
+		seen = append(seen, string(r.Payload))
+		return true
+	})
+	if len(seen) != 1 || seen[0] != "fresh" {
+		t.Errorf("scan after reopen = %q, want [fresh]", seen)
+	}
+	// With the stale epoch, the scan must also not mix epochs: it sees the
+	// epoch-0 prefix only.
+	w3 := NewManager(dev, 0, 256)
+	w3.SetEpoch(w.Epoch() - 1)
+	count := 0
+	w3.Scan(nil, func(r Record) bool { count++; return true })
+	if count != 0 {
+		// Epoch 0's first flush block was overwritten by epoch 1's, so a
+		// stale-epoch scan finds nothing — also correct.
+		t.Errorf("stale-epoch scan saw %d records", count)
+	}
+}
+
+// TestTornFlushIgnored: a flush block whose payload was half-written (torn
+// by a crash) must terminate the scan cleanly, keeping earlier records.
+func TestTornFlushIgnored(t *testing.T) {
+	dev := storage.NewMemDevice(ps, 256, nil)
+	w := NewManager(dev, 0, 256)
+	l := w.NewWriter()
+	l.Append(nil, 1, RecHeapPut, []byte("good"))
+	l.Flush(nil)
+	l.Append(nil, 2, RecHeapPut, bytes.Repeat([]byte{0xBB}, 6000))
+	l.Flush(nil)
+	// Corrupt a byte in the middle of the second flush's payload.
+	page := make([]byte, ps)
+	if err := dev.ReadPages(nil, 2, 1, page); err != nil {
+		t.Fatal(err)
+	}
+	page[100] ^= 0xFF
+	if err := dev.WritePages(nil, 2, 1, page); err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	w.Scan(nil, func(r Record) bool {
+		seen = append(seen, string(r.Payload))
+		return true
+	})
+	if len(seen) != 1 || seen[0] != "good" {
+		t.Errorf("scan across torn flush = %v, want [good]", seen)
+	}
+}
+
+// TestManyWritersInterleavedFlushes: records from several writers must all
+// be recovered regardless of flush interleaving.
+func TestManyWritersInterleavedFlushes(t *testing.T) {
+	dev := storage.NewMemDevice(ps, 1<<12, nil)
+	w := NewManager(dev, 0, 1<<12)
+	rng := rand.New(rand.NewSource(3))
+	writers := make([]*Writer, 4)
+	for i := range writers {
+		writers[i] = w.NewWriter()
+	}
+	want := map[uint64]int{}
+	for i := 0; i < 200; i++ {
+		wi := rng.Intn(len(writers))
+		txn := uint64(wi*1000 + i)
+		writers[wi].Append(nil, txn, RecHeapPut, []byte{byte(i)})
+		want[txn] = int(byte(i))
+		if rng.Intn(3) == 0 {
+			if err := writers[wi].Flush(nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, l := range writers {
+		if err := l.Flush(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[uint64]int{}
+	w.Scan(nil, func(r Record) bool {
+		got[r.TxnID] = int(r.Payload[0])
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for txn, v := range want {
+		if got[txn] != v {
+			t.Errorf("txn %d payload %d, want %d", txn, got[txn], v)
+		}
+	}
+}

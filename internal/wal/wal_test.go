@@ -1,0 +1,363 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+)
+
+const ps = storage.DefaultPageSize
+
+func newWAL(t *testing.T, pages uint64) (*Manager, *storage.MemDevice) {
+	t.Helper()
+	dev := storage.NewMemDevice(ps, pages, nil)
+	return NewManager(dev, 0, storage.PID(pages)), dev
+}
+
+func TestAppendAndScan(t *testing.T) {
+	w, _ := newWAL(t, 256)
+	l := w.NewWriter()
+	payloads := [][]byte{[]byte("alpha"), []byte("beta"), nil, bytes.Repeat([]byte{7}, 1000)}
+	for i, p := range payloads {
+		if _, err := l.Append(nil, uint64(i+1), RecHeapPut, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Commit(nil, 99); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Record
+	if err := w.Scan(nil, func(r Record) bool {
+		got = append(got, Record{LSN: r.LSN, TxnID: r.TxnID, Type: r.Type,
+			Payload: append([]byte(nil), r.Payload...)})
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payloads)+1 { // +1 commit record
+		t.Fatalf("scanned %d records, want %d", len(got), len(payloads)+1)
+	}
+	for i, p := range payloads {
+		if !bytes.Equal(got[i].Payload, p) {
+			t.Errorf("record %d payload mismatch", i)
+		}
+		if got[i].TxnID != uint64(i+1) || got[i].Type != RecHeapPut {
+			t.Errorf("record %d header = %+v", i, got[i])
+		}
+	}
+	if got[len(got)-1].Type != RecCommit || got[len(got)-1].TxnID != 99 {
+		t.Errorf("last record = %+v, want commit of txn 99", got[len(got)-1])
+	}
+}
+
+func TestLSNsIncrease(t *testing.T) {
+	w, _ := newWAL(t, 256)
+	l := w.NewWriter()
+	var prev uint64
+	for i := 0; i < 10; i++ {
+		lsn, err := l.Append(nil, 1, RecHeapPut, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn <= prev {
+			t.Fatalf("LSN %d not increasing after %d", lsn, prev)
+		}
+		prev = lsn
+	}
+}
+
+func TestScanStopsEarly(t *testing.T) {
+	w, _ := newWAL(t, 256)
+	l := w.NewWriter()
+	for i := 0; i < 5; i++ {
+		l.Append(nil, 1, RecHeapPut, []byte{byte(i)})
+	}
+	l.Flush(nil)
+	n := 0
+	w.Scan(nil, func(r Record) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("scan visited %d records, want 3", n)
+	}
+}
+
+func TestScanEmptyLog(t *testing.T) {
+	w, _ := newWAL(t, 256)
+	called := false
+	if err := w.Scan(nil, func(Record) bool { called = true; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("scan of empty log should visit nothing")
+	}
+}
+
+func TestUnflushedRecordsNotDurable(t *testing.T) {
+	w, _ := newWAL(t, 256)
+	l := w.NewWriter()
+	l.Append(nil, 1, RecHeapPut, []byte("lost"))
+	// Simulated crash: buffer never flushed.
+	w.CrashReset()
+	n := 0
+	w.Scan(nil, func(Record) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("unflushed record visible after crash (%d records)", n)
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	w, _ := newWAL(t, 256)
+	w.SetBufferCap(4096)
+	l := w.NewWriter()
+	if _, err := l.Append(nil, 1, RecHeapPut, make([]byte, 8192)); err == nil {
+		t.Error("oversized record should fail")
+	}
+}
+
+func TestAppendFlushesWhenBufferFull(t *testing.T) {
+	w, dev := newWAL(t, 256)
+	w.SetBufferCap(4096)
+	l := w.NewWriter()
+	// Each record ~1KB; the 5th must force a flush.
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(nil, 1, RecHeapPut, make([]byte, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dev.Stats().WriteOps() == 0 {
+		t.Error("full buffer should auto-flush")
+	}
+	if w.Flushes() == 0 {
+		t.Error("flush counter not incremented")
+	}
+}
+
+func TestAppendBlobDataSegments(t *testing.T) {
+	w, _ := newWAL(t, 4096)
+	w.SetBufferCap(8192)
+	l := w.NewWriter()
+	blob := make([]byte, 50_000)
+	for i := range blob {
+		blob[i] = byte(i % 97)
+	}
+	if err := l.AppendBlobData(nil, 1, blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	var rebuilt []byte
+	segs := 0
+	w.Scan(nil, func(r Record) bool {
+		if r.Type == RecBlobData {
+			segs++
+			rebuilt = append(rebuilt, r.Payload...)
+		}
+		return true
+	})
+	if segs < 7 {
+		t.Errorf("blob split into %d segments, want >= 7 for 50KB over 8KB buffers", segs)
+	}
+	if !bytes.Equal(rebuilt, blob) {
+		t.Error("reassembled blob differs")
+	}
+}
+
+func TestCheckpointThreshold(t *testing.T) {
+	w, _ := newWAL(t, 4096)
+	w.CheckpointThreshold = 64 << 10
+	ckptCalls := 0
+	w.OnCheckpoint = func(m *simtime.Meter, epoch uint32) error { ckptCalls++; return nil }
+	l := w.NewWriter()
+	for i := 0; i < 100; i++ {
+		l.Append(nil, 1, RecHeapPut, make([]byte, 2048))
+	}
+	l.Commit(nil, 1)
+	if w.Checkpoints() == 0 || ckptCalls == 0 {
+		t.Errorf("threshold checkpointing did not fire (ckpts=%d calls=%d)",
+			w.Checkpoints(), ckptCalls)
+	}
+}
+
+func TestCheckpointTruncatesLog(t *testing.T) {
+	w, _ := newWAL(t, 256)
+	l := w.NewWriter()
+	l.Append(nil, 1, RecHeapPut, []byte("before"))
+	l.Flush(nil)
+	if err := w.Checkpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(nil, 2, RecHeapPut, []byte("after"))
+	l.Flush(nil)
+	var seen []string
+	w.Scan(nil, func(r Record) bool {
+		seen = append(seen, string(r.Payload))
+		return true
+	})
+	if len(seen) != 1 || seen[0] != "after" {
+		t.Errorf("post-checkpoint scan = %v, want [after]", seen)
+	}
+}
+
+func TestLogFullForcesCheckpoint(t *testing.T) {
+	w, _ := newWAL(t, 8) // tiny 32KB log region
+	w.SetBufferCap(8192)
+	l := w.NewWriter()
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(nil, 1, RecHeapPut, make([]byte, 7000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Flush(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Checkpoints() == 0 {
+		t.Error("log overflow should force a checkpoint")
+	}
+}
+
+func TestPhyslogWritesMoreAndCheckpointsMore(t *testing.T) {
+	// The core §V-B effect: logging blob bytes doubles the log volume and
+	// triggers more checkpoints than logging only Blob States.
+	run := func(physlog bool) (bytesLogged, ckpts int64, devBytes int64) {
+		dev := storage.NewMemDevice(ps, 1<<16, nil)
+		w := NewManager(dev, 0, 1<<14)
+		w.CheckpointThreshold = 1 << 20
+		l := w.NewWriter()
+		blob := make([]byte, 100<<10)
+		for i := 0; i < 50; i++ {
+			if physlog {
+				if err := l.AppendBlobData(nil, uint64(i), blob); err != nil {
+					panic(err)
+				}
+			} else {
+				if _, err := l.Append(nil, uint64(i), RecBlobState, make([]byte, 200)); err != nil {
+					panic(err)
+				}
+				// The blob itself goes straight to its extents, once.
+				if err := dev.WritePages(nil, storage.PID(1<<14+i*32), 25, make([]byte, 25*ps)); err != nil {
+					panic(err)
+				}
+			}
+			l.Commit(nil, uint64(i))
+		}
+		return w.BytesLogged(), w.Checkpoints(), dev.Stats().BytesWritten()
+	}
+	stateBytes, stateCkpts, stateDev := run(false)
+	physBytes, physCkpts, physDev := run(true)
+	if physBytes < 10*stateBytes {
+		t.Errorf("physlog logged %d bytes vs %d for state-only; want much larger", physBytes, stateBytes)
+	}
+	if physCkpts <= stateCkpts {
+		t.Errorf("physlog checkpoints = %d, state-only = %d; want more for physlog", physCkpts, stateCkpts)
+	}
+	// Total device traffic: state-only writes each blob once (plus tiny
+	// log); physlog writes the blob into the log as well.
+	if physDev < stateDev {
+		t.Errorf("physlog device bytes = %d < state-only %d", physDev, stateDev)
+	}
+}
+
+// slowSyncDevice makes Sync take real wall time so concurrent committers
+// overlap, which is the condition under which group commit amortizes.
+type slowSyncDevice struct {
+	*storage.MemDevice
+	delay time.Duration
+}
+
+func (d *slowSyncDevice) Sync(m *simtime.Meter) error {
+	time.Sleep(d.delay)
+	return d.MemDevice.Sync(m)
+}
+
+func TestGroupCommitAmortizesSyncs(t *testing.T) {
+	dev := &slowSyncDevice{storage.NewMemDevice(ps, 1<<14, nil), 200 * time.Microsecond}
+	w := NewManager(dev, 0, 1<<12)
+	const workers = 8
+	const commitsPer = 50
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			l := w.NewWriter()
+			for j := 0; j < commitsPer; j++ {
+				txn := uint64(id*1000 + j)
+				if _, err := l.Append(nil, txn, RecHeapPut, []byte("x")); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.Commit(nil, txn); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	totalCommits := int64(workers * commitsPer)
+	if syncs := dev.Stats().Syncs(); syncs >= totalCommits {
+		t.Errorf("syncs = %d for %d commits; group commit should amortize", syncs, totalCommits)
+	}
+	// Every committed record must be durable.
+	commits := 0
+	w.Scan(nil, func(r Record) bool {
+		if r.Type == RecCommit {
+			commits++
+		}
+		return true
+	})
+	if int64(commits) != totalCommits {
+		t.Errorf("scanned %d commit records, want %d", commits, totalCommits)
+	}
+}
+
+func TestConcurrentWritersDistinctLSNs(t *testing.T) {
+	w, _ := newWAL(t, 4096)
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			l := w.NewWriter()
+			for j := 0; j < 100; j++ {
+				lsn, err := l.Append(nil, uint64(id), RecHeapPut, []byte(fmt.Sprint(j)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if seen[lsn] {
+					t.Errorf("duplicate LSN %d", lsn)
+				}
+				seen[lsn] = true
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestMeterChargedOnCommit(t *testing.T) {
+	dev := storage.NewMemDevice(ps, 4096, simtime.DefaultNVMe())
+	w := NewManager(dev, 0, 1024)
+	l := w.NewWriter()
+	m := simtime.NewMeter()
+	l.Append(m, 1, RecBlobState, make([]byte, 100))
+	if err := l.Commit(m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Elapsed() == 0 {
+		t.Error("commit should charge WAL write + sync time")
+	}
+}

@@ -1,0 +1,179 @@
+// Package wiki generates a synthetic Wikipedia-like corpus reproducing the
+// distributions the paper's §V-D and §V-H experiments depend on.
+//
+// The paper uses English Wikipedia analytics: article sizes and view
+// counts for the read experiments (Figures 8 and 9) and article text for
+// the indexing comparison (Table III). What those experiments measure is
+// driven by three distribution properties, which this generator
+// reproduces deterministically:
+//
+//   - sizes are log-normal-ish with a heavy tail (median ~2 KB, tail into
+//     the tens of MB), so BLOBs span one to many extents;
+//   - views are zipfian, so reads concentrate on few hot articles;
+//   - many articles share long textual prefixes (templates, disambiguation
+//     headers), which is what breaks the 1 KB-prefix index in Table III
+//     (17% of queries unanswerable at MySQL's 767 B limit, 43rd percentile
+//     above 767 B, 95th above 8191 B).
+package wiki
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Article is one synthetic document.
+type Article struct {
+	Title string
+	Size  int
+	Views uint64
+	// SharedPrefix marks articles whose first PrefixRunLength bytes
+	// duplicate another article's (the Table III collision population).
+	SharedPrefix bool
+}
+
+// Corpus is a deterministic synthetic snapshot.
+type Corpus struct {
+	Articles []Article
+	// PrefixRun is the shared boilerplate block reused by SharedPrefix
+	// articles.
+	PrefixRun []byte
+
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// Config sizes the corpus.
+type Config struct {
+	Articles int
+	// TotalBytes approximately caps the corpus size (the paper's dataset
+	// is 23 GB; benchmarks scale down).
+	TotalBytes int64
+	// SharedPrefixFraction is the fraction of articles beginning with the
+	// same boilerplate (Table III: enough that a 1 KB prefix index misses
+	// 17% of lookups).
+	SharedPrefixFraction float64
+	// PrefixRunLength is how long the shared boilerplate is (> 1 KB so it
+	// defeats the prefix index).
+	PrefixRunLength int
+	// MaxArticle caps a single article's size (0 = uncapped). Benchmarks
+	// cap the tail so N concurrent readers fit the scaled-down buffer pool
+	// just as the paper's full-size articles fit its 32 GB pool.
+	MaxArticle int
+	Seed       int64
+}
+
+// DefaultConfig returns the scaled-down default corpus.
+func DefaultConfig() Config {
+	return Config{
+		Articles:             2000,
+		TotalBytes:           64 << 20,
+		SharedPrefixFraction: 0.17,
+		PrefixRunLength:      2048,
+		Seed:                 2024,
+	}
+}
+
+// Generate builds a corpus.
+func Generate(cfg Config) *Corpus {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Corpus{
+		rng:       rng,
+		PrefixRun: make([]byte, cfg.PrefixRunLength),
+	}
+	for i := range c.PrefixRun {
+		c.PrefixRun[i] = "the quick brown template over wiki boilerplate "[i%47]
+	}
+
+	// Log-normal sizes: median ~2KB, sigma wide enough for a tail into
+	// many-extent territory; rescale to hit TotalBytes.
+	sizes := make([]int, cfg.Articles)
+	var total int64
+	for i := range sizes {
+		s := int(math.Exp(rng.NormFloat64()*1.6 + math.Log(2048)))
+		if s < 64 {
+			s = 64
+		}
+		sizes[i] = s
+		total += int64(s)
+	}
+	if cfg.TotalBytes > 0 && total > 0 {
+		scale := float64(cfg.TotalBytes) / float64(total)
+		for i := range sizes {
+			s := int(float64(sizes[i]) * scale)
+			if s < 64 {
+				s = 64
+			}
+			if cfg.MaxArticle > 0 && s > cfg.MaxArticle {
+				s = cfg.MaxArticle
+			}
+			sizes[i] = s
+		}
+	}
+
+	c.Articles = make([]Article, cfg.Articles)
+	for i := range c.Articles {
+		c.Articles[i] = Article{
+			Title:        fmt.Sprintf("article-%06d", i),
+			Size:         sizes[i],
+			Views:        uint64(rng.Intn(1_000_000) + 1),
+			SharedPrefix: rng.Float64() < cfg.SharedPrefixFraction,
+		}
+	}
+	c.zipf = rand.NewZipf(rng, 1.07, 1, uint64(cfg.Articles-1))
+	return c
+}
+
+// Content deterministically renders article i's bytes. SharedPrefix
+// articles start with the common boilerplate; the rest of the text is
+// unique per article.
+func (c *Corpus) Content(i int) []byte {
+	a := c.Articles[i]
+	out := make([]byte, a.Size)
+	pos := 0
+	if a.SharedPrefix {
+		pos += copy(out, c.PrefixRun)
+	}
+	// Unique, deterministic filler derived from the article index.
+	x := uint64(i)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+	for p := pos; p < len(out); p++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		// Readable-ish bytes so prefix comparisons behave like text.
+		out[p] = 'a' + byte(x%26)
+	}
+	return out
+}
+
+// PickByViews draws an article index weighted by popularity (the §V-D
+// "pick a random article according to the article views" step).
+func (c *Corpus) PickByViews() int {
+	return int(c.zipf.Uint64())
+}
+
+// TotalBytes sums the article sizes.
+func (c *Corpus) TotalBytes() int64 {
+	var t int64
+	for _, a := range c.Articles {
+		t += int64(a.Size)
+	}
+	return t
+}
+
+// PercentileSize returns the size at percentile p (0..100), for checking
+// the distribution against the paper's 767 B / 8191 B observations.
+func (c *Corpus) PercentileSize(p float64) int {
+	sizes := make([]int, len(c.Articles))
+	for i, a := range c.Articles {
+		sizes[i] = a.Size
+	}
+	// Insertion-less selection: sort a copy.
+	for i := 1; i < len(sizes); i++ {
+		for j := i; j > 0 && sizes[j-1] > sizes[j]; j-- {
+			sizes[j-1], sizes[j] = sizes[j], sizes[j-1]
+		}
+	}
+	idx := int(p / 100 * float64(len(sizes)-1))
+	return sizes[idx]
+}

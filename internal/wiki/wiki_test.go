@@ -1,0 +1,111 @@
+package wiki
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	if len(a.Articles) != len(b.Articles) {
+		t.Fatal("article counts differ")
+	}
+	for i := range a.Articles {
+		if a.Articles[i] != b.Articles[i] {
+			t.Fatalf("article %d differs between runs", i)
+		}
+	}
+	if !bytes.Equal(a.Content(17), b.Content(17)) {
+		t.Error("content not deterministic")
+	}
+}
+
+func TestTotalBytesNearTarget(t *testing.T) {
+	cfg := DefaultConfig()
+	c := Generate(cfg)
+	total := c.TotalBytes()
+	if total < cfg.TotalBytes/2 || total > cfg.TotalBytes*2 {
+		t.Errorf("TotalBytes = %d, target %d", total, cfg.TotalBytes)
+	}
+}
+
+func TestContentMatchesSize(t *testing.T) {
+	c := Generate(DefaultConfig())
+	for _, i := range []int{0, 1, 100, len(c.Articles) - 1} {
+		if got := len(c.Content(i)); got != c.Articles[i].Size {
+			t.Errorf("article %d: content %d bytes, size %d", i, got, c.Articles[i].Size)
+		}
+	}
+}
+
+func TestSharedPrefixPopulation(t *testing.T) {
+	cfg := DefaultConfig()
+	c := Generate(cfg)
+	shared := 0
+	for i, a := range c.Articles {
+		if a.SharedPrefix {
+			shared++
+			content := c.Content(i)
+			if len(content) >= len(c.PrefixRun) && !bytes.HasPrefix(content, c.PrefixRun) {
+				t.Fatalf("article %d marked shared but lacks the boilerplate prefix", i)
+			}
+		}
+	}
+	frac := float64(shared) / float64(len(c.Articles))
+	if frac < cfg.SharedPrefixFraction-0.05 || frac > cfg.SharedPrefixFraction+0.05 {
+		t.Errorf("shared-prefix fraction = %.3f, want ~%.2f", frac, cfg.SharedPrefixFraction)
+	}
+	// Two shared articles collide within the first KB but differ later —
+	// the exact failure mode of the Table III prefix index.
+	var x, y = -1, -1
+	for i, a := range c.Articles {
+		if a.SharedPrefix && a.Size > len(c.PrefixRun)+100 {
+			if x < 0 {
+				x = i
+			} else {
+				y = i
+				break
+			}
+		}
+	}
+	if y >= 0 {
+		cx, cy := c.Content(x), c.Content(y)
+		if !bytes.Equal(cx[:1024], cy[:1024]) {
+			t.Error("shared articles should collide in their first 1KB")
+		}
+		if bytes.Equal(cx, cy[:len(cx)]) {
+			t.Error("shared articles must still differ in full content")
+		}
+	}
+}
+
+func TestPickByViewsSkewed(t *testing.T) {
+	c := Generate(DefaultConfig())
+	counts := map[int]int{}
+	for i := 0; i < 50000; i++ {
+		counts[c.PickByViews()]++
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 50000/len(c.Articles)*10 {
+		t.Errorf("hottest article %d draws; want zipfian skew", max)
+	}
+}
+
+func TestPercentileSize(t *testing.T) {
+	c := Generate(DefaultConfig())
+	p10 := c.PercentileSize(10)
+	p50 := c.PercentileSize(50)
+	p99 := c.PercentileSize(99)
+	if !(p10 <= p50 && p50 <= p99) {
+		t.Errorf("percentiles not monotone: %d %d %d", p10, p50, p99)
+	}
+	if p99 < 4*p50 {
+		t.Errorf("p99 %d vs median %d: want a heavy tail", p99, p50)
+	}
+}

@@ -1,0 +1,127 @@
+// Package ycsb generates the YCSB-style workloads of §V-B: keyed records
+// with the paper's payload configurations (120 B, 100 KB, 10 MB, mixed
+// 4 KB–10 MB, 1 GB), zipfian key popularity, and a configurable read
+// ratio.
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Payload selects one of the paper's payload configurations.
+type Payload int
+
+// The five configurations of Figure 5 and Figure 6.
+const (
+	Payload120B Payload = iota
+	Payload100KB
+	Payload10MB
+	PayloadMixed4KBto10MB
+	Payload1GB
+	// Payload1MB is used by the Figure 10 buffer-manager comparison.
+	Payload1MB
+)
+
+// String implements fmt.Stringer.
+func (p Payload) String() string {
+	switch p {
+	case Payload120B:
+		return "120B"
+	case Payload100KB:
+		return "100KB"
+	case Payload10MB:
+		return "10MB"
+	case PayloadMixed4KBto10MB:
+		return "4KB-10MB"
+	case Payload1GB:
+		return "1GB"
+	case Payload1MB:
+		return "1MB"
+	default:
+		return fmt.Sprintf("Payload(%d)", int(p))
+	}
+}
+
+// Size draws the payload size for one record.
+func (p Payload) Size(rng *rand.Rand) int {
+	switch p {
+	case Payload120B:
+		return 120
+	case Payload100KB:
+		return 100 << 10
+	case Payload10MB:
+		return 10 << 20
+	case PayloadMixed4KBto10MB:
+		return 4<<10 + rng.Intn(10<<20-4<<10+1)
+	case Payload1GB:
+		return 1 << 30
+	case Payload1MB:
+		return 1 << 20
+	default:
+		panic("ycsb: unknown payload")
+	}
+}
+
+// Workload drives one worker's operation stream. Not safe for concurrent
+// use; create one per worker with a distinct seed.
+type Workload struct {
+	Records   int     // number of keys
+	ReadRatio float64 // fraction of reads (the paper uses 0.5)
+	Payload   Payload
+
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	buf  []byte
+}
+
+// New creates a workload generator.
+func New(records int, readRatio float64, payload Payload, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	var z *rand.Zipf
+	if records > 1 {
+		z = rand.NewZipf(rng, 1.1, 1, uint64(records-1))
+	}
+	return &Workload{
+		Records:   records,
+		ReadRatio: readRatio,
+		Payload:   payload,
+		rng:       rng,
+		zipf:      z,
+	}
+}
+
+// Key returns the key name for record i.
+func Key(i int) string { return fmt.Sprintf("user%010d", i) }
+
+// NextKey draws a zipfian-popular record index.
+func (w *Workload) NextKey() int {
+	if w.zipf == nil {
+		return 0
+	}
+	return int(w.zipf.Uint64())
+}
+
+// NextIsRead decides the next operation type.
+func (w *Workload) NextIsRead() bool { return w.rng.Float64() < w.ReadRatio }
+
+// Value produces payload bytes for one write. The buffer is reused across
+// calls — consumers must copy if they retain it (all our engines do).
+func (w *Workload) Value() []byte {
+	n := w.Payload.Size(w.rng)
+	if cap(w.buf) < n {
+		w.buf = make([]byte, n)
+		// Fill once with cheap non-zero, incompressible-ish data.
+		x := uint64(0x9E3779B97F4A7C15)
+		for i := 0; i < n; i += 8 {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			w.buf[i] = byte(x)
+		}
+	}
+	return w.buf[:n]
+}
+
+// RNG exposes the generator's random source for auxiliary draws.
+func (w *Workload) RNG() *rand.Rand { return w.rng }

@@ -1,0 +1,106 @@
+package ycsb
+
+import (
+	"testing"
+)
+
+func TestPayloadSizes(t *testing.T) {
+	w := New(100, 0.5, PayloadMixed4KBto10MB, 1)
+	for i := 0; i < 200; i++ {
+		n := w.Payload.Size(w.RNG())
+		if n < 4<<10 || n > 10<<20 {
+			t.Fatalf("mixed payload %d outside [4KB,10MB]", n)
+		}
+	}
+	if Payload120B.Size(w.RNG()) != 120 {
+		t.Error("120B payload wrong")
+	}
+	if Payload100KB.Size(w.RNG()) != 100<<10 {
+		t.Error("100KB payload wrong")
+	}
+	if Payload10MB.Size(w.RNG()) != 10<<20 {
+		t.Error("10MB payload wrong")
+	}
+	if Payload1GB.Size(w.RNG()) != 1<<30 {
+		t.Error("1GB payload wrong")
+	}
+}
+
+func TestPayloadString(t *testing.T) {
+	names := map[Payload]string{
+		Payload120B: "120B", Payload100KB: "100KB", Payload10MB: "10MB",
+		PayloadMixed4KBto10MB: "4KB-10MB", Payload1GB: "1GB",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%v.String() = %q", int(p), p.String())
+		}
+	}
+}
+
+func TestReadRatio(t *testing.T) {
+	w := New(1000, 0.5, Payload120B, 2)
+	reads := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if w.NextIsRead() {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("read fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	w := New(1000, 0.5, Payload120B, 3)
+	counts := map[int]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[w.NextKey()]++
+	}
+	// The hottest key must be far more popular than uniform (n/1000 = 50).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 500 {
+		t.Errorf("hottest key hit %d times, want zipfian skew >> 50", max)
+	}
+	for k := range counts {
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestValueReuseAndDeterminism(t *testing.T) {
+	w := New(10, 0.5, Payload100KB, 4)
+	v1 := w.Value()
+	if len(v1) != 100<<10 {
+		t.Fatalf("value len = %d", len(v1))
+	}
+	v2 := w.Value()
+	if &v1[0] != &v2[0] {
+		t.Error("Value should reuse its buffer for equal sizes")
+	}
+	if v1[0] == 0 && v1[8] == 0 && v1[16] == 0 {
+		t.Error("value should be filled with non-zero data")
+	}
+}
+
+func TestSingleRecord(t *testing.T) {
+	w := New(1, 1.0, Payload120B, 5)
+	if w.NextKey() != 0 {
+		t.Error("single-record workload must always pick key 0")
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	if Key(42) != "user0000000042" {
+		t.Errorf("Key(42) = %q", Key(42))
+	}
+}
