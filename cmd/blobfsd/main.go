@@ -11,37 +11,92 @@
 //	blobfsd -listen :8080 &
 //	curl http://localhost:8080/image/cat.png
 //
-// At startup it seeds a demo "image" and "document" relation; point it at
-// your own database by building on the core API instead.
+// By default it seeds a demo "image" and "document" relation in memory;
+// with -db it serves an existing file-backed database (for example one
+// created with blobctl), recovering it first:
+//
+//	blobctl -db app.blobdb put images xray1.png < xray1.png
+//	blobfsd -db app.blobdb &
+//	curl http://localhost:8080/images/xray1.png
+//
+// For the read-write network service, see cmd/blobserved.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"blobdb/internal/core"
 	"blobdb/internal/fusefs"
+	"blobdb/internal/simtime"
 	"blobdb/internal/storage"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8080", "address to serve on")
+	dbPath := flag.String("db", "", "file-backed database to serve (empty: in-memory demo seed)")
+	pages := flag.Uint64("pages", 1<<16, "device size in 4KB pages when opening -db")
 	flag.Parse()
 
-	dev := storage.NewMemDevice(storage.DefaultPageSize, 1<<15, nil)
-	db, err := core.Open(core.Options{Dev: dev, PoolPages: 1 << 13, LogPages: 1 << 12, CkptPages: 1 << 12})
-	if err != nil {
-		log.Fatal(err)
+	var db *core.DB
+	if *dbPath != "" {
+		dev, err := storage.OpenFileDevice(*dbPath, storage.DefaultPageSize, *pages, simtime.DefaultNVMe())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dev.Close()
+		var rep *core.RecoveryReport
+		db, rep, err = core.Recover(core.Options{Dev: dev, PoolPages: int(*pages / 8),
+			LogPages: *pages / 16, CkptPages: *pages / 8}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "recovered %s: %d committed txns, %d blobs validated, %d failed\n",
+			*dbPath, rep.CommittedTxns, rep.ValidatedBlobs, rep.FailedBlobs)
+	} else {
+		dev := storage.NewMemDevice(storage.DefaultPageSize, 1<<15, nil)
+		var err error
+		db, err = core.Open(core.Options{Dev: dev, PoolPages: 1 << 13, LogPages: 1 << 12, CkptPages: 1 << 12})
+		if err != nil {
+			log.Fatal(err)
+		}
+		seed(db)
 	}
-	seed(db)
 
 	mount := fusefs.Mount(db, nil)
+	defer mount.Unmount()
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           http.FileServer(http.FS(mount.Std())),
+		ReadTimeout:       30 * time.Second,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+
 	fmt.Fprintf(os.Stderr, "serving database relations as files on http://%s/\n", *listen)
 	fmt.Fprintf(os.Stderr, "try: curl http://%s/image/cat.png\n", *listen)
-	log.Fatal(http.ListenAndServe(*listen, http.FileServer(http.FS(mount.Std()))))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "shut down cleanly")
 }
 
 // seed stores a few demonstration blobs: the paper's image/document layout.

@@ -1,0 +1,40 @@
+package blob
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+func TestStateETag(t *testing.T) {
+	content := []byte("why files if you have a DBMS?")
+	st := &State{Size: uint64(len(content)), SHA256: sha256.Sum256(content)}
+
+	want := hex.EncodeToString(st.SHA256[:])
+	if got := st.ETag(); got != want {
+		t.Errorf("ETag() = %q, want %q", got, want)
+	}
+	if len(st.ETag()) != 64 {
+		t.Errorf("ETag length = %d, want 64 hex chars", len(st.ETag()))
+	}
+
+	// Distinct content must produce distinct validators; identical content
+	// identical ones (the validator is a pure function of the hash).
+	st2 := &State{Size: st.Size, SHA256: sha256.Sum256([]byte("different"))}
+	if st2.ETag() == st.ETag() {
+		t.Error("different content produced the same ETag")
+	}
+	st3 := st.Clone()
+	if st3.ETag() != st.ETag() {
+		t.Error("cloned state changed the ETag")
+	}
+
+	// The encode/decode roundtrip must preserve the validator.
+	dec, err := Decode(st.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ETag() != st.ETag() {
+		t.Errorf("decoded ETag %q != original %q", dec.ETag(), st.ETag())
+	}
+}

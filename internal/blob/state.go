@@ -6,6 +6,7 @@ package blob
 
 import (
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 
@@ -45,6 +46,12 @@ func (s *State) PrefixBytes() []byte {
 	}
 	return s.Prefix[:n]
 }
+
+// ETag returns the strong content validator derived from the Blob State:
+// the lowercase hex of the SHA-256. The network blob service, the FUSE
+// layer, and future replication all derive validators through this one
+// method so they agree byte-for-byte.
+func (s *State) ETag() string { return hex.EncodeToString(s.SHA256[:]) }
 
 // HasTail reports whether the BLOB ends in a tail extent.
 func (s *State) HasTail() bool { return s.Tail.Pages > 0 }

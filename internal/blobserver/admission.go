@@ -1,0 +1,56 @@
+package blobserver
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the server's load shedder: a counting semaphore of
+// in-flight requests with a bounded queue wait. A request that cannot get
+// a slot within maxWait is rejected so the server degrades with fast 503s
+// instead of collapsing under unbounded queueing — the backpressure twin
+// of the commit pipeline's byte budget.
+type admission struct {
+	sem      chan struct{}
+	maxWait  time.Duration
+	draining atomic.Bool
+	waitNs   atomic.Int64 // cumulative time admitted requests spent queued
+}
+
+func newAdmission(maxInFlight int, maxWait time.Duration) *admission {
+	return &admission{sem: make(chan struct{}, maxInFlight), maxWait: maxWait}
+}
+
+// acquire takes an in-flight slot, waiting at most maxWait. It reports
+// false on timeout, cancellation, or drain.
+func (a *admission) acquire(ctx context.Context) bool {
+	if a.draining.Load() {
+		return false
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return true
+	default:
+	}
+	start := time.Now()
+	t := time.NewTimer(a.maxWait)
+	defer t.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		a.waitNs.Add(int64(time.Since(start)))
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (a *admission) release() { <-a.sem }
+
+// inFlight returns the number of currently admitted requests.
+func (a *admission) inFlight() int { return len(a.sem) }
+
+func (a *admission) setDraining(v bool) { a.draining.Store(v) }
+func (a *admission) isDraining() bool   { return a.draining.Load() }

@@ -1,0 +1,240 @@
+// Package blobclient is a small Go client for the blobserver HTTP API,
+// used by load tests and external tools. It speaks plain net/http so it
+// works against both HTTP/1.1 and h2c deployments.
+package blobclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to one blobserver.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New creates a client for base (e.g. "http://127.0.0.1:9090"). hc may be
+// nil to use http.DefaultClient.
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// ServerError is a non-2xx response.
+type ServerError struct {
+	Status     int
+	RetryAfter time.Duration // parsed from Retry-After on 503, else 0
+	Msg        string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("blobclient: server returned %d: %s", e.Status, strings.TrimSpace(e.Msg))
+}
+
+// IsNotFound reports whether err is a 404 from the server.
+func IsNotFound(err error) bool {
+	se, ok := err.(*ServerError)
+	return ok && se.Status == http.StatusNotFound
+}
+
+// IsOverloaded reports whether err is a 503 admission rejection.
+func IsOverloaded(err error) bool {
+	se, ok := err.(*ServerError)
+	return ok && se.Status == http.StatusServiceUnavailable
+}
+
+func (c *Client) blobURL(rel, key string) string {
+	segs := strings.Split(key, "/")
+	for i, s := range segs {
+		segs[i] = url.PathEscape(s)
+	}
+	return c.base + "/v1/" + url.PathEscape(rel) + "/" + strings.Join(segs, "/")
+}
+
+func (c *Client) do(req *http.Request, wantStatus ...int) (*http.Response, error) {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range wantStatus {
+		if resp.StatusCode == s {
+			return resp, nil
+		}
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	se := &ServerError{Status: resp.StatusCode, Msg: string(msg)}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return nil, se
+}
+
+// CreateRelation creates a relation; it is an error if it already exists.
+func (c *Client) CreateRelation(ctx context.Context, rel string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/"+url.PathEscape(rel), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req, http.StatusCreated)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Relations lists relation names.
+func (c *Client) Relations(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Relations []string `json:"relations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Relations, nil
+}
+
+// KeyInfo mirrors the server's key-listing row.
+type KeyInfo struct {
+	Key  string `json:"key"`
+	Size int64  `json:"size"`
+	ETag string `json:"etag"`
+}
+
+// List returns the keys of a relation in order.
+func (c *Client) List(ctx context.Context, rel string) ([]KeyInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/"+url.PathEscape(rel), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Keys []KeyInfo `json:"keys"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Keys, nil
+}
+
+// Put stores content under rel/key and returns the server's ETag.
+func (c *Client) Put(ctx context.Context, rel, key string, content []byte) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.blobURL(rel, key), bytes.NewReader(content))
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.do(req, http.StatusCreated)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	return strings.Trim(resp.Header.Get("ETag"), `"`), nil
+}
+
+// Get reads the whole blob, returning its content and ETag.
+func (c *Client) Get(ctx context.Context, rel, key string) ([]byte, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.blobURL(rel, key), nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := c.do(req, http.StatusOK)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	content, err := io.ReadAll(resp.Body)
+	return content, strings.Trim(resp.Header.Get("ETag"), `"`), err
+}
+
+// GetRange reads n bytes starting at off (a 206 partial response).
+func (c *Client) GetRange(ctx context.Context, rel, key string, off, n int64) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.blobURL(rel, key), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+n-1))
+	resp, err := c.do(req, http.StatusPartialContent)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// GetIfNoneMatch conditionally reads the blob: notModified is true (and
+// content nil) when the server answered 304 for the given ETag.
+func (c *Client) GetIfNoneMatch(ctx context.Context, rel, key, etag string) (content []byte, notModified bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.blobURL(rel, key), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("If-None-Match", `"`+etag+`"`)
+	resp, err := c.do(req, http.StatusOK, http.StatusNotModified)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		return nil, true, nil
+	}
+	content, err = io.ReadAll(resp.Body)
+	return content, false, err
+}
+
+// Delete removes rel/key.
+func (c *Client) Delete(ctx context.Context, rel, key string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.blobURL(rel, key), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req, http.StatusNoContent)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Vars fetches the server's /debug/vars document, decoded into nested
+// maps — load tests read the commit-pipeline batching stats from it.
+func (c *Client) Vars(ctx context.Context) (map[string]any, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/debug/vars", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

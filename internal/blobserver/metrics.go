@@ -1,0 +1,135 @@
+package blobserver
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blobdb/internal/core"
+)
+
+// metrics publishes per-route counters, latency stats, admission-control
+// activity, and the engine's group-commit batching figures in expvar
+// format. The vars live in a server-local expvar.Map (not the process
+// registry) so multiple servers — and tests — never collide on names;
+// serveVars renders them at /debug/vars.
+type metrics struct {
+	vars *expvar.Map
+
+	mu     sync.Mutex
+	routes map[string]*routeStats
+
+	admitted, rejected atomic.Int64
+	bytesIn, bytesOut  atomic.Int64
+}
+
+// routeStats aggregates one route's request count, error count, and
+// latency (count+sum+max suffice for averages and tail spotting without
+// a histogram dependency).
+type routeStats struct {
+	requests   atomic.Int64
+	errors     atomic.Int64 // 5xx responses
+	latencySum atomic.Int64 // nanoseconds
+	latencyMax atomic.Int64 // nanoseconds
+}
+
+func (r *routeStats) observe(status int, d time.Duration) {
+	r.requests.Add(1)
+	if status >= 500 {
+		r.errors.Add(1)
+	}
+	ns := int64(d)
+	r.latencySum.Add(ns)
+	for {
+		old := r.latencyMax.Load()
+		if ns <= old || r.latencyMax.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+func newMetrics(db *core.DB, adm *admission) *metrics {
+	m := &metrics{vars: new(expvar.Map).Init(), routes: map[string]*routeStats{}}
+	pub := func(name string, f func() any) { m.vars.Set(name, expvar.Func(f)) }
+
+	pub("admission", func() any {
+		return map[string]any{
+			"admitted":       m.admitted.Load(),
+			"rejected":       m.rejected.Load(),
+			"in_flight":      adm.inFlight(),
+			"queue_wait_ns":  adm.waitNs.Load(),
+			"max_in_flight":  cap(adm.sem),
+			"draining":       adm.isDraining(),
+			"max_queue_wait": adm.maxWait.String(),
+		}
+	})
+	pub("bytes", func() any {
+		return map[string]any{"in": m.bytesIn.Load(), "out": m.bytesOut.Load()}
+	})
+	// Group-commit batching: flushes = shared WAL syncs, txns = commits
+	// they covered; txns_per_flush > 1 is the paper's group commit working.
+	pub("commit_pipeline", func() any {
+		flushes, txns := db.CommitBatchStats()
+		avg := 0.0
+		if flushes > 0 {
+			avg = float64(txns) / float64(flushes)
+		}
+		return map[string]any{
+			"batch_flushes":  flushes,
+			"batched_txns":   txns,
+			"txns_per_flush": avg,
+			"blocked_ns":     int64(db.CommitBlocked()),
+			"committer_busy": int64(db.CommitterBusy()),
+		}
+	})
+	pub("wal", func() any {
+		return map[string]any{
+			"flushes":      db.WAL().Flushes(),
+			"bytes_logged": db.WAL().BytesLogged(),
+			"checkpoints":  db.WAL().Checkpoints(),
+		}
+	})
+	pub("routes", func() any {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		out := map[string]any{}
+		for name, r := range m.routes {
+			n := r.requests.Load()
+			avg := int64(0)
+			if n > 0 {
+				avg = r.latencySum.Load() / n
+			}
+			out[name] = map[string]any{
+				"requests":       n,
+				"errors":         r.errors.Load(),
+				"latency_ns_sum": r.latencySum.Load(),
+				"latency_ns_avg": avg,
+				"latency_ns_max": r.latencyMax.Load(),
+			}
+		}
+		return out
+	})
+	return m
+}
+
+// routeMetrics returns (creating on first use) the stats bucket for name.
+func (m *metrics) routeMetrics(name string) *routeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.routes[name]
+	if !ok {
+		r = &routeStats{}
+		m.routes[name] = r
+	}
+	return r
+}
+
+// serveVars renders the server's vars as the familiar /debug/vars JSON
+// document.
+func (m *metrics) serveVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n\"blobserver\": %s\n}\n", m.vars.String())
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package blobserver
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Allocation-accounting assertions are skipped under -race: the
+// detector's shadow bookkeeping inflates TotalAlloc by an order of
+// magnitude and the byte budget stops measuring the read path.
+const raceEnabled = false

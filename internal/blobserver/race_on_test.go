@@ -1,0 +1,7 @@
+//go:build race
+
+package blobserver
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. See race_off_test.go.
+const raceEnabled = true

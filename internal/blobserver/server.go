@@ -1,0 +1,328 @@
+// Package blobserver is the read-write network surface of the engine: an
+// HTTP/1.1 (+h2c) blob service over core.DB, the production counterpart of
+// the paper's thesis that the DBMS can *be* the file layer (§III-E, §V).
+//
+// API (all blob bodies are raw bytes):
+//
+//	GET    /v1/                    list relations (JSON)
+//	POST   /v1/{relation}          create a relation
+//	GET    /v1/{relation}          list keys with size and ETag (JSON)
+//	GET    /v1/{relation}/{key}    read a BLOB (Range and If-None-Match honored)
+//	PUT    /v1/{relation}/{key}    store a BLOB (one transaction per request)
+//	DELETE /v1/{relation}/{key}    delete a BLOB
+//	GET    /healthz                liveness (503 while draining)
+//	GET    /debug/vars             expvar-style counters and pipeline stats
+//
+// Reads stream straight from the transaction's aliased BlobView through
+// io.ReaderAt — ranged responses of a 10 MB blob never materialize the
+// blob in server memory, and the strong ETag is the Blob State's SHA-256
+// (blob.State.ETag), so validation costs no content I/O at all. Writes run
+// one transaction per request and acknowledge through Txn.CommitWait, so
+// concurrent PUTs are batched by the async group-commit pipeline and share
+// WAL syncs. Admission control bounds in-flight requests and sheds load
+// with 503 + Retry-After once the bounded wait expires.
+package blobserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"blobdb/internal/blob"
+	"blobdb/internal/buffer"
+	"blobdb/internal/core"
+)
+
+// Config wires a Server.
+type Config struct {
+	// DB is the open engine; required. For write batching it should be
+	// opened with Options.AsyncCommit — synchronous engines still work,
+	// each PUT then pays its own WAL sync.
+	DB *core.DB
+	// MaxInFlight bounds concurrently served requests (default 64).
+	MaxInFlight int
+	// MaxQueueWait bounds how long an over-limit request may wait for a
+	// slot before being rejected with 503 (default 100ms).
+	MaxQueueWait time.Duration
+	// RetryAfter is the hint returned with 503 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxBlobBytes bounds a single PUT body (default 256 MB).
+	MaxBlobBytes int64
+}
+
+// Server serves the blob API over a core.DB. Create with New; it
+// implements http.Handler.
+type Server struct {
+	db      *core.DB
+	adm     *admission
+	metrics *metrics
+	mux     *http.ServeMux
+
+	retryAfter   time.Duration
+	maxBlobBytes int64
+}
+
+// New builds a Server over cfg.DB.
+func New(cfg Config) *Server {
+	if cfg.DB == nil {
+		panic("blobserver: Config.DB is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.MaxQueueWait <= 0 {
+		cfg.MaxQueueWait = 100 * time.Millisecond
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxBlobBytes <= 0 {
+		cfg.MaxBlobBytes = 256 << 20
+	}
+	s := &Server{
+		db:           cfg.DB,
+		adm:          newAdmission(cfg.MaxInFlight, cfg.MaxQueueWait),
+		retryAfter:   cfg.RetryAfter,
+		maxBlobBytes: cfg.MaxBlobBytes,
+	}
+	s.metrics = newMetrics(cfg.DB, s.adm)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/{$}", s.route("rel_list", s.handleListRelations))
+	s.mux.HandleFunc("POST /v1/{rel}", s.route("rel_create", s.handleCreateRelation))
+	s.mux.HandleFunc("GET /v1/{rel}", s.route("key_list", s.handleListKeys))
+	s.mux.HandleFunc("GET /v1/{rel}/{key...}", s.route("blob_get", s.handleGetBlob))
+	s.mux.HandleFunc("PUT /v1/{rel}/{key...}", s.route("blob_put", s.handlePutBlob))
+	s.mux.HandleFunc("DELETE /v1/{rel}/{key...}", s.route("blob_delete", s.handleDeleteBlob))
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /debug/vars", s.metrics.serveVars)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetDraining flips the health endpoint to 503 so load balancers stop
+// sending traffic while http.Server.Shutdown drains in-flight requests.
+func (s *Server) SetDraining(v bool) { s.adm.setDraining(v) }
+
+// route wraps a handler with admission control and per-route counters.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	rm := s.metrics.routeMetrics(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if !s.adm.acquire(r.Context()) {
+			s.metrics.rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.retryAfter+time.Second-1)/time.Second)))
+			http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
+			rm.observe(http.StatusServiceUnavailable, time.Since(start))
+			return
+		}
+		defer s.adm.release()
+		s.metrics.admitted.Add(1)
+		rw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(rw, r)
+		s.metrics.bytesOut.Add(rw.bytes)
+		rm.observe(rw.status, time.Since(start))
+	}
+}
+
+// statusWriter records the response status and body size for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.adm.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+// httpError maps engine errors onto status codes.
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrNoRelation), errors.Is(err, core.ErrKeyNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, core.ErrRelExists):
+		http.Error(w, err.Error(), http.StatusConflict)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleListRelations(w http.ResponseWriter, r *http.Request) {
+	rels := s.db.Relations()
+	sort.Strings(rels)
+	writeJSON(w, http.StatusOK, map[string][]string{"relations": rels})
+}
+
+func (s *Server) handleCreateRelation(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.db.CreateRelation(r.PathValue("rel")); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+// KeyInfo is one row of a key listing.
+type KeyInfo struct {
+	Key  string `json:"key"`
+	Size int64  `json:"size"`
+	ETag string `json:"etag,omitempty"` // BLOB columns only
+}
+
+func (s *Server) handleListKeys(w http.ResponseWriter, r *http.Request) {
+	tx := s.db.Begin(nil)
+	defer tx.Commit()
+	keys := []KeyInfo{}
+	err := tx.Scan(r.PathValue("rel"), []byte(r.URL.Query().Get("from")), func(key, inline []byte, st *blob.State) bool {
+		ki := KeyInfo{Key: string(key), Size: int64(len(inline))}
+		if st != nil {
+			ki.Size = int64(st.Size)
+			ki.ETag = st.ETag()
+		}
+		keys = append(keys, ki)
+		return true
+	})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]KeyInfo{"keys": keys})
+}
+
+func (s *Server) handleGetBlob(w http.ResponseWriter, r *http.Request) {
+	rel, key := r.PathValue("rel"), r.PathValue("key")
+	tx := s.db.Begin(nil)
+	defer tx.Commit() // read-only
+	st, err := tx.BlobState(rel, []byte(key))
+	if errors.Is(err, core.ErrNotBlob) {
+		// Inline column: serve the bytes directly.
+		v, gerr := tx.Get(rel, []byte(key))
+		if gerr != nil {
+			httpError(w, gerr)
+			return
+		}
+		w.Write(v)
+		return
+	}
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	// Strong validator from the Blob State — no content I/O needed for
+	// If-None-Match revalidation; ServeContent answers 304 from it.
+	w.Header().Set("ETag", `"`+st.ETag()+`"`)
+	err = tx.ReadBlob(rel, []byte(key), func(view *buffer.BlobView) error {
+		// The BlobView is an io.ReaderAt over the pinned, aliased extents;
+		// ServeContent copies the requested range through a small buffer,
+		// so no full-blob allocation happens on this path.
+		sr := io.NewSectionReader(view, 0, int64(view.Len()))
+		http.ServeContent(w, r, "", time.Time{}, sr)
+		return nil
+	})
+	if err != nil {
+		httpError(w, err)
+	}
+}
+
+func (s *Server) handlePutBlob(w http.ResponseWriter, r *http.Request) {
+	rel, key := r.PathValue("rel"), r.PathValue("key")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBlobBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return
+	}
+	s.metrics.bytesIn.Add(int64(len(body)))
+	tx := s.db.Begin(nil)
+	if err := tx.PutBlob(rel, []byte(key), body); err != nil {
+		tx.Abort()
+		httpError(w, err)
+		return
+	}
+	// CommitWait acknowledges only after the group-commit batch carrying
+	// this transaction is durable and its extents are flushed.
+	if err := tx.CommitWait(); err != nil {
+		httpError(w, err)
+		return
+	}
+	// Re-read the committed state for the validator: under AsyncCommit the
+	// SHA-256 is computed on the committer, after Commit returns.
+	rtx := s.db.Begin(nil)
+	st, err := rtx.BlobState(rel, []byte(key))
+	rtx.Commit()
+	if err == nil {
+		w.Header().Set("ETag", `"`+st.ETag()+`"`)
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) handleDeleteBlob(w http.ResponseWriter, r *http.Request) {
+	rel, key := r.PathValue("rel"), r.PathValue("key")
+	tx := s.db.Begin(nil)
+	if err := tx.DeleteBlob(rel, []byte(key)); err != nil {
+		tx.Abort()
+		httpError(w, err)
+		return
+	}
+	if err := tx.CommitWait(); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ConfigureHTTPServer applies production defaults to an http.Server about
+// to serve this handler: header read timeout, idle timeout, and cleartext
+// HTTP/2 (h2c) next to HTTP/1.1 so multiplexed clients can share one
+// connection. Body read/write deadlines are left to the caller — blob
+// downloads are long-lived by design.
+func ConfigureHTTPServer(srv *http.Server) {
+	srv.ReadHeaderTimeout = 10 * time.Second
+	srv.IdleTimeout = 2 * time.Minute
+	p := new(http.Protocols)
+	p.SetHTTP1(true)
+	p.SetUnencryptedHTTP2(true)
+	srv.Protocols = p
+}
+
+// String describes the server for logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("blobserver(max_inflight=%d)", cap(s.adm.sem))
+}

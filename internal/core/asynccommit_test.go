@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -160,6 +161,92 @@ func TestCommitterBusyAccounting(t *testing.T) {
 	}
 	if db.CommitterBusy() == 0 {
 		t.Error("committer did work but reported zero busy time")
+	}
+}
+
+func TestCommitWaitDurabilityAck(t *testing.T) {
+	// CommitWait must not return until the committer has finished the txn:
+	// the Blob State's SHA-256 is computed on the committer, so it must be
+	// fully populated the instant CommitWait returns — no DrainCommits.
+	db := openTest(t, asyncOpts())
+	defer db.CloseCommitter()
+	db.CreateRelation("r")
+	tx := db.Begin(nil)
+	if err := tx.PutBlob("r", []byte("k"), make([]byte, 200<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.CommitWait(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := db.Begin(nil)
+	st, err := tx2.BlobState("r", []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SHA256 == [32]byte{} {
+		t.Error("CommitWait returned before the committer finalized the Blob State hash")
+	}
+	tx2.Commit()
+}
+
+func TestCommitWaitConcurrentBatchStats(t *testing.T) {
+	// Concurrent CommitWait writers all get durability acks, and the
+	// pipeline accounts every one of them against shared WAL syncs.
+	db := openTest(t, asyncOpts())
+	defer db.CloseCommitter()
+	db.CreateRelation("r")
+	const writers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				tx := db.Begin(nil)
+				if err := tx.PutBlob("r", []byte(fmt.Sprintf("w%d-%d", w, i)), []byte("v")); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := tx.CommitWait(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	flushes, txns := db.CommitBatchStats()
+	if txns != writers*5 {
+		t.Errorf("batched %d txns, want %d", txns, writers*5)
+	}
+	if flushes == 0 || flushes > txns {
+		t.Errorf("implausible flush count %d for %d txns", flushes, txns)
+	}
+}
+
+func TestCommitWaitOnSyncDBAndReadOnlyTxn(t *testing.T) {
+	// Without a committer (sync mode) and for read-only txns, CommitWait
+	// degrades to a plain Commit — no channel, no hang.
+	db := openTest(t, testOpts())
+	db.CreateRelation("r")
+	tx := db.Begin(nil)
+	if err := tx.PutBlob("r", []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.CommitWait(); err != nil {
+		t.Fatal(err)
+	}
+	adb := openTest(t, asyncOpts())
+	defer adb.CloseCommitter()
+	ro := adb.Begin(nil)
+	if err := ro.CommitWait(); err != nil {
+		t.Errorf("read-only CommitWait: %v", err)
 	}
 }
 

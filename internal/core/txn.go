@@ -33,6 +33,7 @@ type Txn struct {
 
 	deferred      []deferredBlob // AsyncCommit: blobs to finalize on the committer
 	drain         chan struct{}  // sentinel marker for DrainCommits
+	waitC         chan error     // CommitWait: committer's durability ack
 	inflightBytes int64          // pinned bytes, snapshotted at enqueue
 }
 
@@ -457,6 +458,25 @@ func (t *Txn) Commit() error {
 	t.db.blobs.ApplyFrees(t.frees)
 	t.releaseLocks()
 	return nil
+}
+
+// CommitWait commits like Commit but, in AsyncCommit mode, blocks until
+// the transaction's group-commit batch is durable and its extents are
+// flushed — the per-request durability acknowledgement a network PUT
+// needs. Concurrent CommitWait callers still share WAL syncs: each waits
+// only for its own batch, not for the pipeline to drain.
+func (t *Txn) CommitWait() error {
+	if t.db.commit == nil || !t.wrote {
+		return t.Commit() // synchronous commit is already a durability point
+	}
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.waitC = make(chan error, 1)
+	if err := t.Commit(); err != nil {
+		return err
+	}
+	return <-t.waitC
 }
 
 // Abort rolls the transaction back: tree changes are undone in reverse,

@@ -211,13 +211,31 @@ type FileDevice struct {
 
 // NewFileDevice creates or truncates path as a device of numPages pages.
 func NewFileDevice(path string, pageSize int, numPages uint64, cost *simtime.DeviceCostModel) (*FileDevice, error) {
+	return openFileDevice(path, pageSize, numPages, cost, true)
+}
+
+// OpenFileDevice opens path as a device of numPages pages WITHOUT
+// truncating existing content (creating the file when absent). Long-running
+// servers use this to operate on a database image in place: after a crash
+// or restart the same file is reopened and core.Recover replays it.
+func OpenFileDevice(path string, pageSize int, numPages uint64, cost *simtime.DeviceCostModel) (*FileDevice, error) {
+	return openFileDevice(path, pageSize, numPages, cost, false)
+}
+
+func openFileDevice(path string, pageSize int, numPages uint64, cost *simtime.DeviceCostModel, truncate bool) (*FileDevice, error) {
 	if pageSize <= 0 {
 		return nil, errors.New("storage: page size must be positive")
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	flags := os.O_RDWR | os.O_CREATE
+	if truncate {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open device file: %w", err)
 	}
+	// Sizing an already-sized file is a no-op, so reopened images keep
+	// their pages.
 	if err := f.Truncate(int64(pageSize) * int64(numPages)); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("storage: size device file: %w", err)

@@ -247,6 +247,21 @@ func (l *Writer) Commit(m *simtime.Meter, txnID uint64) error {
 	return l.mgr.groupSync(m)
 }
 
+// CommitNoSync appends the commit record and flushes the buffer to the log
+// region without waiting for durability. The caller must make the log
+// durable with Manager.Sync before acknowledging the transaction — the
+// batched commit pipeline uses this so one sync covers a whole batch.
+func (l *Writer) CommitNoSync(m *simtime.Meter, txnID uint64) error {
+	if _, err := l.Append(m, txnID, RecCommit, nil); err != nil {
+		return err
+	}
+	return l.Flush(m)
+}
+
+// Sync makes every flushed record durable. Concurrent callers share one
+// device sync (group commit, §V-A).
+func (w *Manager) Sync(m *simtime.Meter) error { return w.groupSync(m) }
+
 // flush-block header: each flush lands on a page boundary and is framed so
 // a cold recovery scan can walk the log without any in-memory state.
 //
