@@ -16,7 +16,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	"blobdb/internal/blob"
@@ -48,7 +47,8 @@ func main() {
 		}
 	}
 
-	db, rep, err := core.Recover(core.Options{Dev: dev, PoolPages: 1 << 13, LogPages: 1 << 12, CkptPages: 1 << 13}, nil)
+	db, rep, err := core.RecoverDevice(dev, nil,
+		core.WithPoolPages(1<<13), core.WithLogPages(1<<12), core.WithCkptPages(1<<13))
 	if err != nil {
 		fatal(err)
 	}
@@ -63,18 +63,25 @@ func main() {
 	case "put":
 		rel, key := relKey(args)
 		ensureRelation(db, rel)
-		content, err := io.ReadAll(os.Stdin)
+		// Stream stdin straight into the engine: blobctl never holds more
+		// than one extent of the input in memory, so `blobctl put` handles
+		// inputs far larger than RAM (up to the database size).
+		tx := db.Begin(nil)
+		bw, err := tx.CreateBlob(tx.Context(), rel, []byte(key))
 		if err != nil {
 			fatal(err)
 		}
-		tx := db.Begin(nil)
-		if err := tx.PutBlob(rel, []byte(key), content); err != nil {
+		n, err := bw.ReadFrom(os.Stdin)
+		if err == nil {
+			err = bw.Close()
+		}
+		if err != nil {
 			fatal(err)
 		}
 		if err := tx.Commit(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "stored %s/%s (%d bytes)\n", rel, key, len(content))
+		fmt.Fprintf(os.Stderr, "stored %s/%s (%d bytes)\n", rel, key, n)
 	case "get":
 		rel, key := relKey(args)
 		tx := db.Begin(nil)

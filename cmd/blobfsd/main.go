@@ -54,8 +54,8 @@ func main() {
 		}
 		defer dev.Close()
 		var rep *core.RecoveryReport
-		db, rep, err = core.Recover(core.Options{Dev: dev, PoolPages: int(*pages / 8),
-			LogPages: *pages / 16, CkptPages: *pages / 8}, nil)
+		db, rep, err = core.RecoverDevice(dev, nil,
+			core.WithPoolPages(int(*pages/8)), core.WithLogPages(*pages/16), core.WithCkptPages(*pages/8))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +64,8 @@ func main() {
 	} else {
 		dev := storage.NewMemDevice(storage.DefaultPageSize, 1<<15, nil)
 		var err error
-		db, err = core.Open(core.Options{Dev: dev, PoolPages: 1 << 13, LogPages: 1 << 12, CkptPages: 1 << 12})
+		db, err = core.New(dev,
+			core.WithPoolPages(1<<13), core.WithLogPages(1<<12), core.WithCkptPages(1<<12))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -115,7 +116,14 @@ func seed(db *core.DB) {
 		}
 		tx := db.Begin(nil)
 		for name, content := range files {
-			if err := tx.PutBlob(rel, []byte(name), content); err != nil {
+			bw, err := tx.CreateBlob(tx.Context(), rel, []byte(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := bw.Write(content); err != nil {
+				log.Fatal(err)
+			}
+			if err := bw.Close(); err != nil {
 				log.Fatal(err)
 			}
 		}

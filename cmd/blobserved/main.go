@@ -57,14 +57,12 @@ func main() {
 		dev = storage.NewMemDevice(storage.DefaultPageSize, *pages, nil)
 	}
 
-	opts := core.Options{
-		Dev:         dev,
-		PoolPages:   int(*pages / 4),
-		LogPages:    *pages / 16,
-		CkptPages:   *pages / 8,
-		AsyncCommit: true, // PUTs batch through the group-commit pipeline
-	}
-	db, rep, err := core.Recover(opts, nil)
+	db, rep, err := core.RecoverDevice(dev, nil,
+		core.WithPoolPages(int(*pages/4)),
+		core.WithLogPages(*pages/16),
+		core.WithCkptPages(*pages/8),
+		core.WithAsyncCommit(true), // PUTs batch through the group-commit pipeline
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

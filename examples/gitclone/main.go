@@ -26,7 +26,12 @@ type dbTarget struct {
 
 func (t *dbTarget) Create(path string) error {
 	tx := t.db.Begin(t.m)
-	if err := tx.PutBlob("repo", []byte(path), nil); err != nil {
+	w, err := tx.CreateBlob(tx.Context(), "repo", []byte(path))
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := w.Close(); err != nil {
 		tx.Abort()
 		return err
 	}
@@ -35,7 +40,17 @@ func (t *dbTarget) Create(path string) error {
 
 func (t *dbTarget) Append(path string, data []byte) error {
 	tx := t.db.Begin(t.m)
-	if err := tx.GrowBlob("repo", []byte(path), data); err != nil {
+	w, err := tx.AppendBlob(tx.Context(), "repo", []byte(path))
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Abort()
+		tx.Abort()
+		return err
+	}
+	if err := w.Close(); err != nil {
 		tx.Abort()
 		return err
 	}

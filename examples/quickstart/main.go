@@ -18,7 +18,8 @@ func main() {
 	// 1. A database lives on a block device; here an in-memory one. Use
 	//    storage.NewFileDevice for a persistent single-file database.
 	dev := storage.NewMemDevice(storage.DefaultPageSize, 1<<14 /* 64MB */, nil)
-	db, err := core.Open(core.Options{Dev: dev, PoolPages: 1 << 12, LogPages: 1 << 11, CkptPages: 1 << 11})
+	db, err := core.New(dev,
+		core.WithPoolPages(1<<12), core.WithLogPages(1<<11), core.WithCkptPages(1<<11))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,11 +29,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Store a BLOB. The content is flushed exactly once, at commit,
-	//    after its Blob State is durable in the WAL (§III-C).
+	// 3. Store a BLOB through the streaming writer: bytes can arrive from
+	//    any io.Reader (a network body, a file) and the engine buffers at
+	//    most one extent of them. The content is flushed exactly once and
+	//    the SHA-256 is computed as the bytes stream in (§III-C, §III-D).
 	content := []byte("pretend this is a 12MB X-ray scan")
 	tx := db.Begin(nil)
-	if err := tx.PutBlob("image", []byte("xray-001.png"), content); err != nil {
+	w, err := tx.CreateBlob(tx.Context(), "image", []byte("xray-001.png"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := w.Write(content); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
 		log.Fatal(err)
 	}
 	if err := tx.Commit(); err != nil {

@@ -56,7 +56,17 @@ func AblationTailVsTier() (*Result, error) {
 
 		growTput, _, err := runOps(1, blobs, func(_ int, m *simtime.Meter, i int) error {
 			tx := sys.DB.Begin(m)
-			if err := tx.GrowBlob("bench", []byte(fmt.Sprintf("b%04d", i)), make([]byte, 16<<10)); err != nil {
+			bw, err := tx.AppendBlob(tx.Context(), "bench", []byte(fmt.Sprintf("b%04d", i)))
+			if err != nil {
+				tx.Abort()
+				return err
+			}
+			if _, err := bw.Write(make([]byte, 16<<10)); err != nil {
+				bw.Abort()
+				tx.Abort()
+				return err
+			}
+			if err := bw.Close(); err != nil {
 				tx.Abort()
 				return err
 			}

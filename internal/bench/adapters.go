@@ -77,19 +77,17 @@ func NewOurSystem(v OurVariant, o OurOptions) (*OurSystem, error) {
 	dev := storage.NewAsyncWriteDevice(
 		storage.NewMemDevice(storage.DefaultPageSize, o.DevPages, simtime.DefaultNVMe()),
 		simtime.DefaultNVMe())
-	opts := core.Options{
-		Dev:                   dev,
-		PoolPages:             o.PoolPages,
-		LogPages:              o.LogPages,
-		CkptPages:             o.DevPages / 16,
-		HashTablePool:         v == VariantOurHT,
-		PhysicalBlobLog:       v == VariantOurPhyslog,
-		UseTailExtents:        o.UseTail,
-		WorkerLocalAliasPages: o.WorkerLocalAliasPages,
-		WALBufferCap:          o.WALBufferCap,
-		AsyncCommit:           true,
-	}
-	db, err := core.Open(opts)
+	db, err := core.New(dev,
+		core.WithPoolPages(o.PoolPages),
+		core.WithLogPages(o.LogPages),
+		core.WithCkptPages(o.DevPages/16),
+		core.WithHashTablePool(v == VariantOurHT),
+		core.WithPhysicalBlobLog(v == VariantOurPhyslog),
+		core.WithTailExtents(o.UseTail),
+		core.WithAliasPages(o.WorkerLocalAliasPages),
+		core.WithWALBufferCap(o.WALBufferCap),
+		core.WithAsyncCommit(true),
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -105,10 +103,21 @@ func NewOurSystem(v OurVariant, o OurOptions) (*OurSystem, error) {
 // Name implements System.
 func (s *OurSystem) Name() string { return s.name }
 
-// Put implements System.
+// Put implements System: the content streams through a blob.Writer — the
+// same path the network blob service uses for uploads.
 func (s *OurSystem) Put(m *simtime.Meter, key string, content []byte) error {
 	tx := s.DB.Begin(m)
-	if err := tx.PutBlob(s.rel, []byte(key), content); err != nil {
+	bw, err := tx.CreateBlob(tx.Context(), s.rel, []byte(key))
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if _, err := bw.Write(content); err != nil {
+		bw.Abort()
+		tx.Abort()
+		return err
+	}
+	if err := bw.Close(); err != nil {
 		tx.Abort()
 		return err
 	}

@@ -198,7 +198,7 @@ func Table3() (*Result, error) {
 }
 
 // gitTarget adapts a System to the trace replayer. Our engine accumulates
-// each file with GrowBlob inside one transaction per file (the §III-D
+// each file with AppendBlob inside one transaction per file (the §III-D
 // growth path with resumable SHA-256); file systems replay the syscalls.
 type gitTarget struct {
 	sys   System
@@ -241,7 +241,17 @@ func (t *gitTarget) Append(path string, data []byte) error {
 		return err
 	}
 	tx := t.our.DB.Begin(t.m)
-	if err := tx.GrowBlob("bench", []byte(path), data); err != nil {
+	bw, err := tx.AppendBlob(tx.Context(), "bench", []byte(path))
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if _, err := bw.Write(data); err != nil {
+		bw.Abort()
+		tx.Abort()
+		return err
+	}
+	if err := bw.Close(); err != nil {
 		tx.Abort()
 		return err
 	}

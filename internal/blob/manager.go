@@ -24,8 +24,11 @@ type Manager struct {
 	// fragmentation, slower growth.
 	UseTail bool
 	// DeferHash skips SHA-256 computation in Allocate; the caller promises
-	// to call FinishHash before the Blob State becomes durable (the async
-	// commit pipeline does this on the committer goroutine).
+	// to call FinishHash before the Blob State becomes durable.
+	//
+	// Deprecated: the streaming Writer hashes inline while the data is
+	// cache-hot, so nothing sets this anymore. Honored by Allocate for one
+	// release.
 	DeferHash bool
 }
 
@@ -102,6 +105,10 @@ func (m *Manager) ApplyFrees(specs []FreeSpec) {
 // Allocate reserves the smallest extent sequence for data, copies data into
 // the (evict-protected) frames, and returns the Blob State plus the Pending
 // flush work. Nothing is written to the device yet.
+//
+// Deprecated: Allocate takes the whole blob as one []byte; use NewWriter,
+// which streams with O(extent) memory and produces an identical State and
+// layout. Kept for one release.
 func (m *Manager) Allocate(mt *simtime.Meter, data []byte) (*State, *Pending, []FreeSpec, error) {
 	pageSize := m.Pool.PageSize()
 	npages := extent.PagesFor(uint64(len(data)), pageSize)
@@ -280,6 +287,10 @@ func (m *Manager) Delete(st *State) []FreeSpec {
 //
 // It returns the new state, the pending flush work (only dirty pages of
 // touched extents), and the extents freed by the growth (the old tail).
+//
+// Deprecated: Grow takes the appended bytes as one []byte; use NewWriter
+// with WriterOpts.Base, which streams the append with O(extent) memory.
+// Kept for one release.
 func (m *Manager) Grow(mt *simtime.Meter, st *State, extra []byte) (*State, *Pending, []FreeSpec, error) {
 	if len(extra) == 0 {
 		return st.Clone(), &Pending{mgr: m}, nil, nil

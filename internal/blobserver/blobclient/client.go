@@ -143,11 +143,24 @@ func (c *Client) List(ctx context.Context, rel string) ([]KeyInfo, error) {
 	return out.Keys, nil
 }
 
-// Put stores content under rel/key and returns the server's ETag.
+// Put stores content under rel/key and returns the server's ETag. For
+// bodies that are not already in memory, use PutReader.
 func (c *Client) Put(ctx context.Context, rel, key string, content []byte) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.blobURL(rel, key), bytes.NewReader(content))
+	return c.PutReader(ctx, rel, key, bytes.NewReader(content), int64(len(content)))
+}
+
+// PutReader streams body as the blob rel/key and returns the server's
+// ETag. size is the body length in bytes, or -1 if unknown (the request
+// is then sent with chunked transfer encoding); the server streams either
+// way, so arbitrarily large blobs upload in constant client and server
+// memory. body is read exactly once.
+func (c *Client) PutReader(ctx context.Context, rel, key string, body io.Reader, size int64) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.blobURL(rel, key), body)
 	if err != nil {
 		return "", err
+	}
+	if size >= 0 {
+		req.ContentLength = size
 	}
 	resp, err := c.do(req, http.StatusCreated)
 	if err != nil {

@@ -24,7 +24,27 @@ type metrics struct {
 
 	admitted, rejected atomic.Int64
 	bytesIn, bytesOut  atomic.Int64
+
+	// putPeakBuffered is the high-water mark of bytes any single PUT kept
+	// pinned in the buffer pool while streaming its body — the streaming
+	// writer bounds it at roughly one extent regardless of blob size, and
+	// the 64 MiB streaming test asserts exactly that through this gauge.
+	putPeakBuffered atomic.Int64
 }
+
+// observePutPeak raises the streaming-PUT peak-buffered gauge.
+func (m *metrics) observePutPeak(n int64) {
+	for {
+		old := m.putPeakBuffered.Load()
+		if n <= old || m.putPeakBuffered.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// PutPeakBufferedBytes reports the largest number of bytes any single PUT
+// request has kept pinned while streaming (tests assert the bound).
+func (s *Server) PutPeakBufferedBytes() int64 { return s.metrics.putPeakBuffered.Load() }
 
 // routeStats aggregates one route's request count, error count, and
 // latency (count+sum+max suffice for averages and tail spotting without
@@ -67,7 +87,11 @@ func newMetrics(db *core.DB, adm *admission) *metrics {
 		}
 	})
 	pub("bytes", func() any {
-		return map[string]any{"in": m.bytesIn.Load(), "out": m.bytesOut.Load()}
+		return map[string]any{
+			"in":                      m.bytesIn.Load(),
+			"out":                     m.bytesOut.Load(),
+			"put_peak_buffered_bytes": m.putPeakBuffered.Load(),
+		}
 	})
 	// Group-commit batching: flushes = shared WAL syncs, txns = commits
 	// they covered; txns_per_flush > 1 is the paper's group commit working.

@@ -16,14 +16,21 @@
 // Reads stream straight from the transaction's aliased BlobView through
 // io.ReaderAt — ranged responses of a 10 MB blob never materialize the
 // blob in server memory, and the strong ETag is the Blob State's SHA-256
-// (blob.State.ETag), so validation costs no content I/O at all. Writes run
-// one transaction per request and acknowledge through Txn.CommitWait, so
-// concurrent PUTs are batched by the async group-commit pipeline and share
-// WAL syncs. Admission control bounds in-flight requests and sheds load
-// with 503 + Retry-After once the bounded wait expires.
+// (blob.State.ETag), so validation costs no content I/O at all. Writes
+// stream too: PUT pipes the request body into a blob.Writer
+// (Txn.CreateBlob), which allocates extents as bytes arrive and flushes
+// completed extents in the background, so peak per-request buffering is
+// bounded by the largest extent — never the blob. Each write runs one
+// transaction per request, carries the request context (a cancelled
+// upload aborts the transaction and stops waiting for durability), and
+// acknowledges through Txn.CommitWait, so concurrent PUTs are batched by
+// the async group-commit pipeline and share WAL syncs. Admission control
+// bounds in-flight requests and sheds load with 503 + Retry-After once
+// the bounded wait expires.
 package blobserver
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -163,13 +170,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
-// httpError maps engine errors onto status codes.
+// httpError is the single place engine errors map onto status codes: the
+// typed sentinels from internal/core cover the 4xx taxonomy, oversized
+// bodies (http.MaxBytesReader tripping, or the engine's own tier-table
+// bound) become 413, and a cancelled request context gets 499-style
+// silence — the client is gone, nobody reads the response.
 func httpError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
 	switch {
-	case errors.Is(err, core.ErrNoRelation), errors.Is(err, core.ErrKeyNotFound):
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Client disconnected or timed out; nothing useful to send.
+	case errors.Is(err, core.ErrRelationNotFound), errors.Is(err, core.ErrNotFound):
 		http.Error(w, err.Error(), http.StatusNotFound)
-	case errors.Is(err, core.ErrRelExists):
+	case errors.Is(err, core.ErrRelationExists):
 		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.As(err, &tooLarge), errors.Is(err, core.ErrBlobTooLarge):
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
@@ -203,7 +219,7 @@ type KeyInfo struct {
 }
 
 func (s *Server) handleListKeys(w http.ResponseWriter, r *http.Request) {
-	tx := s.db.Begin(nil)
+	tx := s.db.BeginCtx(r.Context(), nil)
 	defer tx.Commit()
 	keys := []KeyInfo{}
 	err := tx.Scan(r.PathValue("rel"), []byte(r.URL.Query().Get("from")), func(key, inline []byte, st *blob.State) bool {
@@ -224,7 +240,7 @@ func (s *Server) handleListKeys(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGetBlob(w http.ResponseWriter, r *http.Request) {
 	rel, key := r.PathValue("rel"), r.PathValue("key")
-	tx := s.db.Begin(nil)
+	tx := s.db.BeginCtx(r.Context(), nil)
 	defer tx.Commit() // read-only
 	st, err := tx.BlobState(rel, []byte(key))
 	if errors.Is(err, core.ErrNotBlob) {
@@ -259,43 +275,47 @@ func (s *Server) handleGetBlob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePutBlob(w http.ResponseWriter, r *http.Request) {
 	rel, key := r.PathValue("rel"), r.PathValue("key")
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBlobBytes))
+	ctx := r.Context()
+	tx := s.db.BeginCtx(ctx, nil)
+	bw, err := tx.CreateBlob(ctx, rel, []byte(key))
 	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
-		} else {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-		}
-		return
-	}
-	s.metrics.bytesIn.Add(int64(len(body)))
-	tx := s.db.Begin(nil)
-	if err := tx.PutBlob(rel, []byte(key), body); err != nil {
 		tx.Abort()
 		httpError(w, err)
 		return
 	}
+	// Stream the body straight into the writer: extents are allocated as
+	// bytes arrive, the SHA-256 runs chunk by chunk, and completed extents
+	// flush in the background while the next one fills — the server never
+	// buffers more than about one extent of any upload, however large.
+	n, err := bw.ReadFrom(http.MaxBytesReader(w, r.Body, s.maxBlobBytes))
+	s.metrics.bytesIn.Add(n)
+	if err == nil {
+		err = bw.Close()
+	}
+	if err != nil {
+		bw.Abort()
+		tx.Abort()
+		httpError(w, err)
+		return
+	}
+	s.metrics.observePutPeak(bw.PeakPinnedBytes())
+	st := bw.State()
 	// CommitWait acknowledges only after the group-commit batch carrying
-	// this transaction is durable and its extents are flushed.
+	// this transaction is durable and its extents are flushed; if the
+	// client hangs up it stops waiting and the commit finishes unobserved.
 	if err := tx.CommitWait(); err != nil {
 		httpError(w, err)
 		return
 	}
-	// Re-read the committed state for the validator: under AsyncCommit the
-	// SHA-256 is computed on the committer, after Commit returns.
-	rtx := s.db.Begin(nil)
-	st, err := rtx.BlobState(rel, []byte(key))
-	rtx.Commit()
-	if err == nil {
-		w.Header().Set("ETag", `"`+st.ETag()+`"`)
-	}
+	// The validator comes straight from the sealed State — the streaming
+	// writer finished the SHA-256 as the last body chunk arrived.
+	w.Header().Set("ETag", `"`+st.ETag()+`"`)
 	w.WriteHeader(http.StatusCreated)
 }
 
 func (s *Server) handleDeleteBlob(w http.ResponseWriter, r *http.Request) {
 	rel, key := r.PathValue("rel"), r.PathValue("key")
-	tx := s.db.Begin(nil)
+	tx := s.db.BeginCtx(r.Context(), nil)
 	if err := tx.DeleteBlob(rel, []byte(key)); err != nil {
 		tx.Abort()
 		httpError(w, err)

@@ -1,25 +1,23 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"blobdb/internal/blob"
-	"blobdb/internal/wal"
 )
 
 // Async commit pipeline.
 //
 // The paper's commit path (§III-C, §V-A) keeps I/O off the critical path:
 // the WAL is group-committed and the extent flush is issued as asynchronous
-// I/O. In the same spirit, the SHA-256 of a new BLOB only has to be ready
-// when its Blob State record is *flushed*, not when the transaction's
-// worker hands it off — so with AsyncCommit enabled the engine defers
-// hashing, WAL flushing, the extent flush, and lock release to a background
-// committer goroutine, and Commit returns once the transaction is enqueued
-// (bounded queue: a slow device exerts backpressure).
+// I/O. With AsyncCommit enabled the engine defers WAL flushing, the extent
+// flush, and lock release to a background committer goroutine, and Commit
+// returns once the transaction is enqueued (bounded queue: a slow device
+// exerts backpressure). Hashing is no longer deferred: the streaming blob
+// writer absorbs every chunk into the resumable SHA-256 while the data is
+// still cache-hot, so Blob States arrive at the committer already final.
 //
 // This is real pipelining, not an accounting trick: on a multicore machine
 // the committer overlaps with the workers exactly as the paper's group
@@ -30,11 +28,11 @@ import (
 // semantics are unchanged — a transaction is committed iff its commit
 // record (with the final, SHA-complete Blob State) is durable.
 //
-// The committer drains its queue into batches: every transaction in a
-// batch is finalized (hash, tuple refresh, WAL records) and flushed, then
-// ONE device sync makes the whole batch durable — so concurrent writers
-// share WAL syncs exactly as the paper's group commit shares them.
-// Batch-size statistics are exposed through DB.CommitBatchStats.
+// The committer drains its queue into batches: every transaction's WAL
+// records are flushed, then ONE device sync makes the whole batch durable
+// — so concurrent writers share WAL syncs exactly as the paper's group
+// commit shares them. Batch-size statistics are exposed through
+// DB.CommitBatchStats.
 type committer struct {
 	ch   chan *Txn
 	wg   sync.WaitGroup
@@ -55,15 +53,6 @@ type committer struct {
 	inflight    int64
 	budgetBytes int64
 	blocked     atomic.Int64 // nanoseconds workers spent waiting on the pipeline
-}
-
-// deferredBlob finalizes one PutBlob at commit time: compute the hash from
-// the pinned frames, refresh the tuple, and append the WAL record.
-type deferredBlob struct {
-	rel     *Relation
-	key     []byte
-	st      *blob.State
-	physlog bool
 }
 
 // maxCommitBatch caps how many transactions one WAL sync may cover.
@@ -108,20 +97,49 @@ func (db *DB) startCommitter() {
 }
 
 // enqueue hands a transaction to the committer, blocking while the
-// pipeline holds more than its byte budget of pinned frames.
-func (c *committer) enqueue(t *Txn) {
+// pipeline holds more than its byte budget of pinned frames. If the
+// transaction's context is cancelled before the handoff happens, enqueue
+// gives up and returns the context error — a cancelled HTTP request stops
+// waiting for pipeline capacity instead of leaking a blocked goroutine.
+func (c *committer) enqueue(t *Txn) error {
 	tb := t.pendingBytes()
 	t.inflightBytes = tb
 	start := time.Now()
+	defer func() {
+		if d := time.Since(start); d > time.Microsecond {
+			c.blocked.Add(int64(d))
+		}
+	}()
+	// Wake the cond-var wait below when the context dies; sync.Cond has no
+	// native context support.
+	stop := context.AfterFunc(t.ctx, func() {
+		c.flowMu.Lock()
+		c.flowCond.Broadcast()
+		c.flowMu.Unlock()
+	})
+	defer stop()
 	c.flowMu.Lock()
 	for c.inflight > 0 && c.inflight+tb > c.budgetBytes {
+		if err := t.ctx.Err(); err != nil {
+			c.flowMu.Unlock()
+			return err
+		}
 		c.flowCond.Wait()
 	}
 	c.inflight += tb
 	c.flowMu.Unlock()
-	c.ch <- t
-	if d := time.Since(start); d > time.Microsecond {
-		c.blocked.Add(int64(d))
+	// Re-check before the handoff: a select with both arms ready picks
+	// randomly, and an already-cancelled transaction must never commit.
+	if err := t.ctx.Err(); err != nil {
+		c.release(t)
+		return err
+	}
+	select {
+	case c.ch <- t:
+		return nil
+	case <-t.ctx.Done():
+		c.release(t) // undo the budget reservation
+		return t.ctx.Err()
 	}
 }
 
@@ -213,10 +231,6 @@ func (db *DB) finishBatch(batch []*Txn) {
 			drains = append(drains, t.drain)
 			continue
 		}
-		if err := db.prepareCommit(t); err != nil {
-			db.failCommit(t, err)
-			continue
-		}
 		live = append(live, t)
 	}
 
@@ -276,34 +290,6 @@ func (db *DB) finishBatch(batch []*Txn) {
 	}
 }
 
-// prepareCommit finalizes a transaction's deferred blobs: hash from the
-// pinned frames, refresh the tuple with the final state, append the Blob
-// State record to the transaction's WAL writer (not yet flushed).
-func (db *DB) prepareCommit(t *Txn) error {
-	for _, d := range t.deferred {
-		if err := db.blobs.FinishHash(nil, d.st); err != nil {
-			return fmt.Errorf("hash: %w", err)
-		}
-		final := append([]byte{tagBlob}, d.st.Encode()...)
-		d.rel.mu.Lock()
-		d.rel.tree.Put(d.key, final)
-		d.rel.mu.Unlock()
-		if d.physlog {
-			if err := streamBlobToWAL(t, db, d.st); err != nil {
-				return err
-			}
-		}
-		payload := heapPutPayload(d.rel.name, d.key, final)
-		if _, err := t.writer.Append(nil, t.id, wal.RecBlobState, payload); err != nil {
-			return err
-		}
-		if ci := d.rel.contentIdx; ci != nil {
-			ci.put(d.key, d.st)
-		}
-	}
-	return nil
-}
-
 // failCommit records a background commit failure and releases everything
 // the transaction holds — locks, WAL buffer, byte budget — so the system
 // cannot wedge; a CommitWait caller receives the error.
@@ -331,21 +317,4 @@ func (db *DB) CommitBatchStats() (flushes, txns int64) {
 		return 0, 0
 	}
 	return db.commit.batches.Load(), db.commit.batchTxns.Load()
-}
-
-// streamBlobToWAL feeds the blob's content into the WAL for the physlog
-// baseline under async commit.
-func streamBlobToWAL(t *Txn, db *DB, st *blob.State) error {
-	var werr error
-	err := db.blobs.Stream(nil, st, func(chunk []byte) bool {
-		if e := t.writer.AppendBlobData(nil, t.id, chunk); e != nil {
-			werr = e
-			return false
-		}
-		return true
-	})
-	if err != nil {
-		return err
-	}
-	return werr
 }

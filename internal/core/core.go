@@ -25,16 +25,8 @@ import (
 	"blobdb/internal/wal"
 )
 
-// Errors returned by the engine.
-var (
-	ErrNoRelation  = errors.New("core: relation does not exist")
-	ErrRelExists   = errors.New("core: relation already exists")
-	ErrKeyNotFound = errors.New("core: key not found")
-	ErrTxnDone     = errors.New("core: transaction already finished")
-	ErrNotBlob     = errors.New("core: value is not a BLOB column")
-)
-
-// Options configures Open.
+// Options configures Open. Prefer New with functional options
+// (options.go); Options remains as a compatibility shim for one release.
 type Options struct {
 	// Dev is the block device; required.
 	Dev storage.Device
@@ -108,6 +100,9 @@ func (r *Relation) Name() string { return r.name }
 
 // Open initializes a database over the device. The device is laid out as
 // [WAL | checkpoint area | extent region].
+//
+// Open takes the positional Options struct and is kept as a compatibility
+// shim for one release; prefer New with functional options (options.go).
 func Open(o Options) (*DB, error) {
 	if o.Dev == nil {
 		return nil, errors.New("core: Options.Dev is required")
@@ -161,7 +156,6 @@ func Open(o Options) (*DB, error) {
 	db.blobs.UseTail = o.UseTailExtents
 	db.locks.init()
 	if o.AsyncCommit {
-		db.blobs.DeferHash = true
 		db.startCommitter()
 	}
 	return db, nil

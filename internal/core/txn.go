@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -10,17 +11,19 @@ import (
 	"blobdb/internal/wal"
 )
 
-// Txn is a transaction. Create with DB.Begin; finish with exactly one of
-// Commit or Abort. A Txn is single-goroutine.
+// Txn is a transaction. Create with DB.Begin or DB.BeginCtx; finish with
+// exactly one of Commit or Abort. A Txn is single-goroutine.
 //
 // Durability follows §III-C: mutations stage Blob States in the WAL buffer
 // and blob bytes in evict-protected frames; Commit first makes the WAL
 // durable (group commit), then flushes the extents — so every blob byte
 // reaches the device exactly once — and finally applies deferred extent
-// frees.
+// frees. Streaming writers (CreateBlob/AppendBlob) relax the flush order
+// for bounded memory; see blob.Writer.
 type Txn struct {
 	db     *DB
 	id     uint64
+	ctx    context.Context
 	meter  *simtime.Meter
 	writer *wal.Writer
 	done   bool
@@ -31,10 +34,11 @@ type Txn struct {
 	locks    []string
 	wrote    bool // any staged write (read-only txns skip commit I/O)
 
-	deferred      []deferredBlob // AsyncCommit: blobs to finalize on the committer
-	drain         chan struct{}  // sentinel marker for DrainCommits
-	waitC         chan error     // CommitWait: committer's durability ack
-	inflightBytes int64          // pinned bytes, snapshotted at enqueue
+	open []*blob.Writer // unsealed streaming writers; must close before Commit
+
+	drain         chan struct{} // sentinel marker for DrainCommits
+	waitC         chan error    // CommitWait: committer's durability ack
+	inflightBytes int64         // pinned bytes, snapshotted at enqueue
 }
 
 // undoOp restores a tree entry on abort.
@@ -45,16 +49,31 @@ type undoOp struct {
 	oldValue []byte
 }
 
-// Begin starts a transaction. meter may be nil; benchmarks pass a worker
-// meter to account simulated I/O time.
+// Begin starts a transaction with a background context. meter may be nil;
+// benchmarks pass a worker meter to account simulated I/O time.
 func (db *DB) Begin(meter *simtime.Meter) *Txn {
+	return db.BeginCtx(context.Background(), meter)
+}
+
+// BeginCtx starts a transaction bound to ctx: streaming blob writers stop
+// when ctx is cancelled, a Commit enqueue under backpressure gives up
+// (rolling the transaction back), and CommitWait stops waiting for its
+// durability ack. A nil ctx means context.Background().
+func (db *DB) BeginCtx(ctx context.Context, meter *simtime.Meter) *Txn {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &Txn{
 		db:     db,
 		id:     db.nextTxn.Add(1),
+		ctx:    ctx,
 		meter:  meter,
 		writer: db.wal.NewWriter(),
 	}
 }
+
+// Context returns the context the transaction was started with.
+func (t *Txn) Context() context.Context { return t.ctx }
 
 // ID returns the transaction id.
 func (t *Txn) ID() uint64 { return t.id }
@@ -175,51 +194,123 @@ func (t *Txn) Get(relName string, key []byte) ([]byte, error) {
 	return append([]byte(nil), payload...), nil
 }
 
-// PutBlob stores content as a BLOB column: the extent sequence is reserved
-// and filled in memory, the Blob State is staged with the tuple and in the
-// WAL, and nothing touches the device until Commit.
-func (t *Txn) PutBlob(relName string, key, content []byte) error {
+// newBlobWriter wires a blob.Writer into the transaction: the seal hook
+// frees the replaced blob (create mode), stages the tuple and its WAL
+// Blob State record, and refreshes the indexes; the abort hook just
+// unregisters the writer. base selects append mode.
+func (t *Txn) newBlobWriter(ctx context.Context, relName string, key []byte, base *blob.State, stream bool) (*blob.Writer, error) {
 	if err := t.check(); err != nil {
-		return err
+		return nil, err
 	}
 	r, err := t.db.Relation(relName)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	t.lock(relName, key)
-	if err := t.freeOldBlob(r, key); err != nil {
-		return err
+	if ctx == nil {
+		ctx = t.ctx
 	}
+	flushMeter := t.meter
+	if t.db.commit != nil {
+		// Async commit: flushes overlap with the workers, charged as
+		// background work — exactly like the committer's commit-time flush.
+		flushMeter = nil
+	}
+	var tee func([]byte) error
+	if t.db.opts.PhysicalBlobLog {
+		// Our.physlog baseline: the blob content also goes through the WAL.
+		tee = func(chunk []byte) error {
+			return t.writer.AppendBlobData(flushMeter, t.id, chunk)
+		}
+	}
+	keyCopy := append([]byte(nil), key...)
+	var w *blob.Writer
+	w, err = t.db.blobs.NewWriter(blob.WriterOpts{
+		Meter:      t.meter,
+		FlushMeter: flushMeter,
+		Ctx:        ctx,
+		Stream:     stream,
+		Tee:        tee,
+		Base:       base,
+		OnAbort:    func() { t.dropWriter(w) },
+		OnSeal: func(st *blob.State, p *blob.Pending, frees []blob.FreeSpec) error {
+			t.dropWriter(w)
+			if base == nil {
+				if err := t.freeOldBlob(r, keyCopy); err != nil {
+					return err
+				}
+			} else {
+				t.updateIndexesOnDelete(r, keyCopy, base)
+			}
+			t.pendings = append(t.pendings, p)
+			t.frees = append(t.frees, frees...)
+			if err := t.stageWrite(r, keyCopy, append([]byte{tagBlob}, st.Encode()...), wal.RecBlobState); err != nil {
+				return err
+			}
+			t.updateIndexesOnPutState(r, keyCopy, st)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.open = append(t.open, w)
+	return w, nil
+}
 
-	st, pending, _, err := t.db.blobs.Allocate(t.meter, content)
+func (t *Txn) dropWriter(w *blob.Writer) {
+	for i, o := range t.open {
+		if o == w {
+			t.open = append(t.open[:i], t.open[i+1:]...)
+			return
+		}
+	}
+}
+
+// CreateBlob opens a streaming writer that stores the bytes written to it
+// as the BLOB column of key: extents are allocated incrementally from the
+// tier table as bytes arrive, completed extents flush in the background
+// while later ones fill (peak memory is O(one extent), not O(blob)), and
+// the resumable SHA-256 absorbs every chunk. Close seals the Blob State
+// and stages the tuple; Abort discards everything. ctx cancellation (nil:
+// the transaction's context) stops the write mid-stream. The writer must
+// be closed or aborted before the transaction commits.
+func (t *Txn) CreateBlob(ctx context.Context, relName string, key []byte) (*blob.Writer, error) {
+	return t.newBlobWriter(ctx, relName, key, nil, true)
+}
+
+// AppendBlob opens a streaming writer that appends to the BLOB at key
+// (§III-D): the SHA-256 resumes from the stored intermediate state and
+// only the new bytes are hashed and written — existing content is never
+// reloaded.
+func (t *Txn) AppendBlob(ctx context.Context, relName string, key []byte) (*blob.Writer, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	t.lock(relName, key)
+	st, err := t.BlobState(relName, key)
+	if err != nil {
+		return nil, err
+	}
+	return t.newBlobWriter(ctx, relName, key, st, true)
+}
+
+// PutBlob stores content as a BLOB column in one call.
+//
+// Deprecated: PutBlob materializes the whole blob in memory; use
+// CreateBlob and stream instead. Kept as a thin wrapper (non-streaming
+// mode: nothing touches the device until Commit, the original §III-C
+// ordering) for one release.
+func (t *Txn) PutBlob(relName string, key, content []byte) error {
+	w, err := t.newBlobWriter(t.ctx, relName, key, nil, false)
 	if err != nil {
 		return err
 	}
-	t.pendings = append(t.pendings, pending)
-
-	if t.db.commit != nil {
-		// AsyncCommit: stage a provisional tuple now; the committer
-		// computes the hash, finalizes the tuple, and writes the WAL
-		// record (asynccommit.go).
-		t.applyTree(r, key, append([]byte{tagBlob}, st.Encode()...))
-		t.deferred = append(t.deferred, deferredBlob{
-			rel: r, key: append([]byte(nil), key...), st: st,
-			physlog: t.db.opts.PhysicalBlobLog,
-		})
-		return nil
-	}
-	if t.db.opts.PhysicalBlobLog {
-		// Our.physlog baseline: the blob content also goes through the WAL.
-		if err := t.writer.AppendBlobData(t.meter, t.id, content); err != nil {
-			return err
-		}
-		t.wrote = true
-	}
-	if err := t.stageWrite(r, key, append([]byte{tagBlob}, st.Encode()...), wal.RecBlobState); err != nil {
+	if _, err := w.Write(content); err != nil {
+		w.Abort()
 		return err
 	}
-	t.updateIndexesOnPut(r, key, st, content)
-	return nil
+	return w.Close()
 }
 
 // freeOldBlob schedules the previous BLOB of key (if any) for commit-time
@@ -316,13 +407,13 @@ func (t *Txn) DeleteBlob(relName string, key []byte) error {
 	return t.stageWrite(r, key, nil, wal.RecHeapDelete)
 }
 
-// GrowBlob appends extra to the BLOB at key (§III-D).
+// GrowBlob appends extra to the BLOB at key (§III-D) in one call.
+//
+// Deprecated: GrowBlob materializes the appended bytes in memory; use
+// AppendBlob and stream instead. Kept as a thin wrapper (non-streaming
+// mode) for one release.
 func (t *Txn) GrowBlob(relName string, key, extra []byte) error {
 	if err := t.check(); err != nil {
-		return err
-	}
-	r, err := t.db.Relation(relName)
-	if err != nil {
 		return err
 	}
 	t.lock(relName, key)
@@ -330,24 +421,15 @@ func (t *Txn) GrowBlob(relName string, key, extra []byte) error {
 	if err != nil {
 		return err
 	}
-	t.updateIndexesOnDelete(r, key, st)
-	ns, pending, frees, err := t.db.blobs.Grow(t.meter, st, extra)
+	w, err := t.newBlobWriter(t.ctx, relName, key, st, false)
 	if err != nil {
 		return err
 	}
-	t.pendings = append(t.pendings, pending)
-	t.frees = append(t.frees, frees...)
-	if t.db.opts.PhysicalBlobLog {
-		if err := t.writer.AppendBlobData(t.meter, t.id, extra); err != nil {
-			return err
-		}
-		t.wrote = true
-	}
-	if err := t.stageWrite(r, key, append([]byte{tagBlob}, ns.Encode()...), wal.RecBlobState); err != nil {
+	if _, err := w.Write(extra); err != nil {
+		w.Abort()
 		return err
 	}
-	t.updateIndexesOnPutState(r, key, ns)
-	return nil
+	return w.Close()
 }
 
 // UpdateBlob overwrites [off, off+len(data)) of the BLOB at key, choosing
@@ -418,10 +500,16 @@ func (t *Txn) Scan(relName string, from []byte, fn func(key []byte, inline []byt
 }
 
 // Commit runs the §III-C pipeline: WAL durable first (the Blob State
-// records), then the single extent flush, then deferred frees.
+// records), then the single extent flush, then deferred frees. It fails
+// with ErrBlobWriterOpen while a streaming writer is unsealed, and in
+// AsyncCommit mode a context cancellation during the backpressured
+// enqueue rolls the transaction back and returns the context's error.
 func (t *Txn) Commit() error {
 	if err := t.check(); err != nil {
 		return err
+	}
+	if len(t.open) > 0 {
+		return ErrBlobWriterOpen
 	}
 	t.done = true
 	if !t.wrote {
@@ -434,7 +522,12 @@ func (t *Txn) Commit() error {
 		// AsyncCommit: hand the expensive half to the committer. Locks are
 		// released there after the flush, preserving write-write ordering;
 		// the enqueue blocks under byte-budget backpressure.
-		t.db.commit.enqueue(t)
+		if err := t.db.commit.enqueue(t); err != nil {
+			// Cancelled before the handoff: the committer never saw the
+			// transaction, so roll it back here.
+			t.rollback()
+			return err
+		}
 		return nil
 	}
 	defer t.writer.Close()
@@ -465,8 +558,14 @@ func (t *Txn) Commit() error {
 // flushed — the per-request durability acknowledgement a network PUT
 // needs. Concurrent CommitWait callers still share WAL syncs: each waits
 // only for its own batch, not for the pipeline to drain.
+//
+// If the transaction's context is cancelled while waiting, CommitWait
+// returns the context error immediately: the commit still completes in
+// the background (the ack channel is buffered, so the committer never
+// blocks), but the caller — typically an HTTP handler whose client hung
+// up — stops waiting and leaks no goroutine.
 func (t *Txn) CommitWait() error {
-	if t.db.commit == nil || !t.wrote {
+	if t.db.commit == nil || !t.wrote || len(t.open) > 0 {
 		return t.Commit() // synchronous commit is already a durability point
 	}
 	if err := t.check(); err != nil {
@@ -476,16 +575,32 @@ func (t *Txn) CommitWait() error {
 	if err := t.Commit(); err != nil {
 		return err
 	}
-	return <-t.waitC
+	select {
+	case err := <-t.waitC:
+		return err
+	case <-t.ctx.Done():
+		return t.ctx.Err()
+	}
 }
 
-// Abort rolls the transaction back: tree changes are undone in reverse,
-// pending extents are discarded, and nothing reaches the device.
+// Abort rolls the transaction back: open streaming writers are aborted,
+// tree changes are undone in reverse, pending extents are discarded, and
+// nothing (durable) reaches the device.
 func (t *Txn) Abort() error {
 	if err := t.check(); err != nil {
 		return err
 	}
 	t.done = true
+	for len(t.open) > 0 {
+		t.open[len(t.open)-1].Abort() // unregisters itself via OnAbort
+	}
+	t.rollback()
+	return nil
+}
+
+// rollback undoes every staged effect of the transaction. The caller has
+// already marked it done.
+func (t *Txn) rollback() {
 	defer t.writer.Close()
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		u := t.undo[i]
@@ -502,7 +617,6 @@ func (t *Txn) Abort() error {
 		p.Discard(p.News)
 	}
 	t.releaseLocks()
-	return nil
 }
 
 func (t *Txn) releaseLocks() {

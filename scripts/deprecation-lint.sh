@@ -1,0 +1,24 @@
+#!/bin/sh
+# deprecation-lint: keep the deprecated one-shot blob API from spreading.
+#
+# Txn.PutBlob and Txn.GrowBlob are one-release compat shims over the
+# streaming writer (Txn.CreateBlob / Txn.AppendBlob). Existing tests may
+# keep exercising them — they pin the shims' behavior — but no new
+# non-test engine code may call them. internal/core/txn.go is allowlisted
+# because it is where the shims themselves live.
+set -eu
+cd "$(dirname "$0")/.."
+
+bad=$(grep -rnE '\.(PutBlob|GrowBlob)\(' internal \
+	--include='*.go' \
+	--exclude='*_test.go' \
+	| grep -v '^internal/core/txn\.go:' \
+	|| true)
+
+if [ -n "$bad" ]; then
+	echo "deprecated one-shot blob API used in non-test internal/ code:" >&2
+	echo "$bad" >&2
+	echo "use Txn.CreateBlob / Txn.AppendBlob (streaming) instead." >&2
+	exit 1
+fi
+echo "deprecation-lint: clean"
