@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +23,31 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment id to run (or 'all')")
 	list := flag.Bool("list", false, "list experiment ids")
+	concreadJSON := flag.String("concread-json", "", "run the concurrent-read benchmark and write the JSON report to this path")
 	flag.Parse()
+
+	if *concreadJSON != "" {
+		rep, err := bench.ConcurrentRead(bench.ConcreadOpts{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "concread: %v\n", err)
+			os.Exit(1)
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "concread: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*concreadJSON, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "concread: %v\n", err)
+			os.Exit(1)
+		}
+		for key, ratio := range rep.ColdSpeedupAt16 {
+			fmt.Printf("cold @16 readers, %s: batched is %.1fx sequential\n", key, ratio)
+		}
+		fmt.Printf("wrote %s (%d scenarios)\n", *concreadJSON, len(rep.Scenarios))
+		return
+	}
 
 	exps := bench.Experiments()
 	ids := make([]string, 0, len(exps))

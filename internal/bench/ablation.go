@@ -214,6 +214,7 @@ func Experiments() map[string]func() (*Result, error) {
 		"ablation-tail":   AblationTailVsTier,
 		"ablation-update": AblationUpdateSchemes,
 		"ablation-tiers":  AblationTierSweep,
+		"pr3-concread":    ConcreadResult,
 	}
 }
 

@@ -1,0 +1,344 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"blobdb/internal/buffer"
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+)
+
+// LatencyDevice wraps a MemDevice and adds real wall-clock latency — a
+// fixed cost per submission plus a bandwidth term — so concurrency
+// benchmarks measure genuine overlap instead of virtual-time accounting.
+// A vectored submission pays ONE command latency for all its segments,
+// which is exactly the §III-D advantage the batched read path exists for.
+type LatencyDevice struct {
+	inner       *storage.MemDevice
+	cmdLatency  time.Duration
+	bytesPerSec float64
+}
+
+// NewLatencyDevice wraps inner with cmdLatency per submission and a
+// bytesPerSec transfer rate (0 disables the bandwidth term).
+func NewLatencyDevice(inner *storage.MemDevice, cmdLatency time.Duration, bytesPerSec float64) *LatencyDevice {
+	return &LatencyDevice{inner: inner, cmdLatency: cmdLatency, bytesPerSec: bytesPerSec}
+}
+
+func (d *LatencyDevice) sleep(bytes int) {
+	dur := d.cmdLatency
+	if d.bytesPerSec > 0 {
+		dur += time.Duration(float64(bytes) / d.bytesPerSec * float64(time.Second))
+	}
+	if dur > 0 {
+		time.Sleep(dur)
+	}
+}
+
+// PageSize implements storage.Device.
+func (d *LatencyDevice) PageSize() int { return d.inner.PageSize() }
+
+// NumPages implements storage.Device.
+func (d *LatencyDevice) NumPages() uint64 { return d.inner.NumPages() }
+
+// Stats implements storage.Device.
+func (d *LatencyDevice) Stats() *storage.Stats { return d.inner.Stats() }
+
+// Sync implements storage.Device.
+func (d *LatencyDevice) Sync(m *simtime.Meter) error { return d.inner.Sync(m) }
+
+// ReadPages implements storage.Device: one command latency per call.
+func (d *LatencyDevice) ReadPages(m *simtime.Meter, pid storage.PID, n int, buf []byte) error {
+	d.sleep(n * d.inner.PageSize())
+	return d.inner.ReadPages(m, pid, n, buf)
+}
+
+// WritePages implements storage.Device.
+func (d *LatencyDevice) WritePages(m *simtime.Meter, pid storage.PID, n int, buf []byte) error {
+	d.sleep(n * d.inner.PageSize())
+	return d.inner.WritePages(m, pid, n, buf)
+}
+
+// ReadPagesVec implements storage.BatchReader: the whole batch pays one
+// command latency plus the bandwidth of all bytes.
+func (d *LatencyDevice) ReadPagesVec(m *simtime.Meter, segs []storage.Seg) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s.Buf)
+	}
+	d.sleep(total)
+	return d.inner.ReadPagesVec(m, segs)
+}
+
+// WritePagesVec implements storage.BatchWriter.
+func (d *LatencyDevice) WritePagesVec(m *simtime.Meter, segs []storage.Seg) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s.Buf)
+	}
+	d.sleep(total)
+	return d.inner.WritePagesVec(m, segs)
+}
+
+// ConcreadOpts sizes the concurrent-read benchmark.
+type ConcreadOpts struct {
+	Blobs        int           `json:"blobs"`          // working-set size
+	ExtentPages  int           `json:"extent_pages"`   // pages per extent
+	OpsPerReader int           `json:"ops_per_reader"` // reads per goroutine
+	CmdLatency   time.Duration `json:"cmd_latency_ns"` // device latency per submission
+	BytesPerSec  float64       `json:"bytes_per_sec"`  // device bandwidth
+	Extents      []int         `json:"extents"`        // extents-per-blob axis
+	Readers      []int         `json:"readers"`        // concurrency axis
+}
+
+func (o *ConcreadOpts) defaults() {
+	if o.Blobs == 0 {
+		o.Blobs = 256
+	}
+	if o.ExtentPages == 0 {
+		o.ExtentPages = 4
+	}
+	if o.OpsPerReader == 0 {
+		o.OpsPerReader = 64
+	}
+	if o.CmdLatency == 0 {
+		// Large enough to dominate time.Sleep scheduling jitter, so the
+		// sequential-vs-batched ratio reflects command counts, not timer
+		// slack.
+		o.CmdLatency = 100 * time.Microsecond
+	}
+	if o.BytesPerSec == 0 {
+		o.BytesPerSec = 2 << 30 // 2 GiB/s
+	}
+	if len(o.Extents) == 0 {
+		o.Extents = []int{1, 4, 8}
+	}
+	if len(o.Readers) == 0 {
+		o.Readers = []int{1, 4, 16, 32}
+	}
+}
+
+// ConcreadScenario is one measured cell of the benchmark matrix.
+type ConcreadScenario struct {
+	Name             string  `json:"name"`
+	Mode             string  `json:"mode"`  // "sequential" (pre-batching path) or "batched"
+	Cache            string  `json:"cache"` // "cold" or "warm"
+	Extents          int     `json:"extents"`
+	Readers          int     `json:"readers"`
+	Ops              int     `json:"ops"`
+	ThroughputOpsSec float64 `json:"throughput_ops_s"`
+	P50Micros        float64 `json:"p50_us"`
+	P99Micros        float64 `json:"p99_us"`
+	VecSubmissions   int64   `json:"vec_submissions"`
+	ReadCommands     int64   `json:"read_commands"`
+}
+
+// ConcreadReport is the full benchmark output (serialized to BENCH_PR3.json
+// by scripts/bench-read.sh).
+type ConcreadReport struct {
+	Benchmark string             `json:"benchmark"`
+	Config    ConcreadOpts       `json:"config"`
+	Scenarios []ConcreadScenario `json:"scenarios"`
+	// ColdSpeedupAt16 maps "<E>ext" to batched/sequential cold-read
+	// throughput at 16 readers — the headline number.
+	ColdSpeedupAt16 map[string]float64 `json:"cold_speedup_at_16_readers"`
+}
+
+// ConcurrentRead runs the cold/warm × extents × readers matrix for both the
+// pre-change sequential fix path and the batched FixExtents path, on a
+// wall-clock latency device.
+func ConcurrentRead(o ConcreadOpts) (*ConcreadReport, error) {
+	o.defaults()
+	rep := &ConcreadReport{
+		Benchmark:       "concurrent-read",
+		Config:          o,
+		ColdSpeedupAt16: map[string]float64{},
+	}
+	seqAt16 := map[string]float64{}
+	for _, cache := range []string{"cold", "warm"} {
+		for _, extents := range o.Extents {
+			for _, readers := range o.Readers {
+				for _, mode := range []string{"sequential", "batched"} {
+					sc, err := runConcread(mode, cache, extents, readers, o)
+					if err != nil {
+						return nil, fmt.Errorf("%s: %w", sc.Name, err)
+					}
+					rep.Scenarios = append(rep.Scenarios, sc)
+					if cache == "cold" && readers == 16 {
+						key := fmt.Sprintf("%dext", extents)
+						if mode == "sequential" {
+							seqAt16[key] = sc.ThroughputOpsSec
+						} else if seq := seqAt16[key]; seq > 0 {
+							rep.ColdSpeedupAt16[key] = sc.ThroughputOpsSec / seq
+						}
+					}
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+func runConcread(mode, cache string, extents, readers int, o ConcreadOpts) (ConcreadScenario, error) {
+	sc := ConcreadScenario{
+		Name:    fmt.Sprintf("%s/%dext/%dr/%s", cache, extents, readers, mode),
+		Mode:    mode,
+		Cache:   cache,
+		Extents: extents,
+		Readers: readers,
+	}
+	pagesPerBlob := extents * o.ExtentPages
+	devPages := uint64(o.Blobs*pagesPerBlob + 16)
+	dev := NewLatencyDevice(storage.NewMemDevice(storage.DefaultPageSize, devPages, nil),
+		o.CmdLatency, o.BytesPerSec)
+	// Warm pools hold the whole working set; cold pools hold just enough
+	// for every concurrent reader to pin one blob (pinned extents cannot
+	// be evicted) plus a little slack, so capacity misses dominate.
+	poolPages := o.Blobs * pagesPerBlob
+	if cache == "cold" {
+		maxReaders := 0
+		for _, r := range o.Readers {
+			if r > maxReaders {
+				maxReaders = r
+			}
+		}
+		poolPages = (maxReaders + 8) * pagesPerBlob
+	}
+	pool := buffer.NewVMPool(dev, poolPages)
+
+	specs := make([][]buffer.ExtentSpec, o.Blobs)
+	for b := 0; b < o.Blobs; b++ {
+		base := storage.PID(b * pagesPerBlob)
+		for j := 0; j < extents; j++ {
+			specs[b] = append(specs[b], buffer.ExtentSpec{
+				PID:    base + storage.PID(j*o.ExtentPages),
+				NPages: o.ExtentPages,
+			})
+		}
+	}
+	if cache == "warm" {
+		for _, sp := range specs {
+			frames, err := pool.FixExtents(nil, sp)
+			if err != nil {
+				return sc, err
+			}
+			for _, f := range frames {
+				f.Release()
+			}
+		}
+		dev.Stats().Reset()
+	}
+
+	fix := func(sp []buffer.ExtentSpec) error {
+		if mode == "batched" {
+			frames, err := pool.FixExtents(nil, sp)
+			if err != nil {
+				return err
+			}
+			for _, f := range frames {
+				f.Release()
+			}
+			return nil
+		}
+		// The pre-batching read path: one FixExtent (and so one device
+		// command) per extent, in order.
+		frames := make([]*buffer.Frame, 0, len(sp))
+		for _, s := range sp {
+			f, err := pool.FixExtent(nil, s.PID, s.NPages)
+			if err != nil {
+				for _, g := range frames {
+					g.Release()
+				}
+				return err
+			}
+			frames = append(frames, f)
+		}
+		for _, f := range frames {
+			f.Release()
+		}
+		return nil
+	}
+
+	lat := make([][]time.Duration, readers)
+	errs := make([]error, readers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000*r + 7*extents + len(mode))))
+			samples := make([]time.Duration, 0, o.OpsPerReader)
+			for i := 0; i < o.OpsPerReader; i++ {
+				sp := specs[rng.Intn(len(specs))]
+				t0 := time.Now()
+				if err := fix(sp); err != nil {
+					errs[r] = err
+					return
+				}
+				samples = append(samples, time.Since(t0))
+			}
+			lat[r] = samples
+		}(r)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return sc, err
+		}
+	}
+
+	var all []time.Duration
+	for _, s := range lat {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i].Nanoseconds()) / 1e3
+	}
+	sc.Ops = readers * o.OpsPerReader
+	sc.ThroughputOpsSec = float64(sc.Ops) / wall.Seconds()
+	sc.P50Micros = pct(0.50)
+	sc.P99Micros = pct(0.99)
+	sc.VecSubmissions = dev.Stats().VecReads()
+	sc.ReadCommands = dev.Stats().ReadOps()
+	return sc, nil
+}
+
+// ConcreadResult renders the benchmark as a report table (the
+// "pr3-concread" experiment id).
+func ConcreadResult() (*Result, error) {
+	rep, err := ConcurrentRead(ConcreadOpts{})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "pr3-concread",
+		Title:  "Concurrent BLOB reads: sequential FixExtent vs batched FixExtents (§III-D)",
+		Header: []string{"scenario", "ops/s", "p50 µs", "p99 µs", "vec submissions"},
+		Notes:  []string{"wall-clock latency device; cold pool ≪ working set"},
+	}
+	for _, sc := range rep.Scenarios {
+		res.Rows = append(res.Rows, []string{
+			sc.Name,
+			fmtTput(sc.ThroughputOpsSec),
+			fmt.Sprintf("%.0f", sc.P50Micros),
+			fmt.Sprintf("%.0f", sc.P99Micros),
+			fmt.Sprint(sc.VecSubmissions),
+		})
+	}
+	for _, key := range sortedKeys(rep.ColdSpeedupAt16) {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("cold @16 readers, %s: batched is %.1fx sequential", key, rep.ColdSpeedupAt16[key]))
+	}
+	return res, nil
+}

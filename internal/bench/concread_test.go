@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"blobdb/internal/storage"
+)
+
+func newMemDev(pages uint64) *storage.MemDevice {
+	return storage.NewMemDevice(storage.DefaultPageSize, pages, nil)
+}
+
+func makeSegs(n int) []storage.Seg {
+	segs := make([]storage.Seg, n)
+	for i := range segs {
+		segs[i] = storage.Seg{
+			PID: storage.PID(i * 2),
+			N:   1,
+			Buf: make([]byte, storage.DefaultPageSize),
+		}
+	}
+	return segs
+}
+
+// TestConcreadBatchedBeatsSequential runs a reduced matrix and checks the
+// acceptance bar: batched cold reads of a multi-extent blob at 16 readers
+// must clearly outrun the pre-change sequential fix path. The full matrix
+// (and the committed numbers) comes from scripts/bench-read.sh.
+func TestConcreadBatchedBeatsSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark; skipped under -short")
+	}
+	rep, err := ConcurrentRead(ConcreadOpts{
+		Blobs:        128,
+		OpsPerReader: 32,
+		Extents:      []int{4},
+		Readers:      []int{16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 4 { // cold/warm × sequential/batched
+		t.Fatalf("got %d scenarios, want 4", len(rep.Scenarios))
+	}
+	speedup, ok := rep.ColdSpeedupAt16["4ext"]
+	if !ok {
+		t.Fatal("missing cold speedup for 4ext at 16 readers")
+	}
+	// The full-size run records ~2x; leave slack for noisy CI machines.
+	if speedup < 1.4 {
+		t.Errorf("batched/sequential cold throughput at 16 readers = %.2fx, want >= 1.4x", speedup)
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.Ops == 0 || sc.ThroughputOpsSec <= 0 || sc.P99Micros < sc.P50Micros {
+			t.Errorf("%s: implausible numbers: %+v", sc.Name, sc)
+		}
+	}
+}
+
+// TestLatencyDeviceBatchOverlap: a vectored submission through the latency
+// device must cost roughly one command latency, not one per segment.
+func TestLatencyDeviceBatchOverlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark; skipped under -short")
+	}
+	const lat = 2 * time.Millisecond
+	mk := func() *LatencyDevice {
+		return NewLatencyDevice(newMemDev(64), lat, 0)
+	}
+	segs := makeSegs(8)
+
+	d := mk()
+	start := time.Now()
+	if err := d.ReadPagesVec(nil, segs); err != nil {
+		t.Fatal(err)
+	}
+	batched := time.Since(start)
+
+	d2 := mk()
+	start = time.Now()
+	for _, s := range segs {
+		if err := d2.ReadPages(nil, s.PID, s.N, s.Buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sequential := time.Since(start)
+
+	if batched >= sequential/2 {
+		t.Errorf("batched=%v sequential=%v: batch should overlap command latencies", batched, sequential)
+	}
+}

@@ -2,6 +2,7 @@ package blob
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"blobdb/internal/sha256x"
@@ -177,14 +178,38 @@ func cmpUint64(a, b uint64) int {
 }
 
 // hashContent recomputes the full SHA-256 and resumable state of the
-// BLOB's current content (used after in-place updates).
+// BLOB's current content (used after in-place updates). All extents are
+// batch-fixed so cold content arrives in one vectored read (§III-D); a BLOB
+// larger than the pool falls back to the one-extent-at-a-time stream.
 func (m *Manager) hashContent(mt *simtime.Meter, st *State) ([32]byte, error) {
 	h := newHasher()
-	err := m.Stream(mt, st, func(chunk []byte) bool {
-		h.Write(chunk)
-		return true
-	})
-	if err != nil {
+	frames, err := m.Pool.FixExtents(mt, m.fixSpecs(st))
+	switch {
+	case err == nil:
+		remaining := st.Size
+		for _, f := range frames {
+			for _, span := range f.Spans() {
+				if uint64(len(span)) > remaining {
+					span = span[:remaining]
+				}
+				h.Write(span)
+				remaining -= uint64(len(span))
+			}
+		}
+		for _, f := range frames {
+			f.Release()
+		}
+		if remaining != 0 {
+			return [32]byte{}, fmt.Errorf("blob: hash ran out of extents with %d bytes left", remaining)
+		}
+	case errors.Is(err, buffer.ErrPoolFull):
+		if err := m.Stream(mt, st, func(chunk []byte) bool {
+			h.Write(chunk)
+			return true
+		}); err != nil {
+			return [32]byte{}, err
+		}
+	default:
 		return [32]byte{}, err
 	}
 	st.SHA256 = h.Sum256()

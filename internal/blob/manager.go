@@ -206,27 +206,31 @@ func (h *ReadHandle) Close(mt *simtime.Meter) {
 	h.frames = nil
 }
 
-// Read fixes all of the BLOB's extents (§III-D: the pool reads missing
-// extents, each as one command) and aliases them into one logical buffer.
-func (m *Manager) Read(mt *simtime.Meter, st *State) (*ReadHandle, error) {
-	h := &ReadHandle{mgr: m}
+// fixSpecs lists every extent of the BLOB (tiered extents plus tail) as a
+// batch-fix spec, in BLOB order.
+func (m *Manager) fixSpecs(st *State) []buffer.ExtentSpec {
 	tiers := m.Alloc.Tiers()
+	specs := make([]buffer.ExtentSpec, 0, len(st.Extents)+1)
 	for i, pid := range st.Extents {
-		f, err := m.Pool.FixExtent(mt, pid, int(tiers.Size(i)))
-		if err != nil {
-			h.Close(mt)
-			return nil, fmt.Errorf("blob: fix extent %d: %w", i, err)
-		}
-		h.frames = append(h.frames, f)
+		specs = append(specs, buffer.ExtentSpec{PID: pid, NPages: int(tiers.Size(i))})
 	}
 	if st.HasTail() {
-		f, err := m.Pool.FixExtent(mt, st.Tail.PID, int(st.Tail.Pages))
-		if err != nil {
-			h.Close(mt)
-			return nil, fmt.Errorf("blob: fix tail: %w", err)
-		}
-		h.frames = append(h.frames, f)
+		specs = append(specs, buffer.ExtentSpec{PID: st.Tail.PID, NPages: int(st.Tail.Pages)})
 	}
+	return specs
+}
+
+// Read fixes all of the BLOB's extents with one batched pool call — every
+// missing extent comes off the device in a single vectored submission
+// (§III-D: one I/O per BLOB read) — and aliases them into one logical
+// buffer.
+func (m *Manager) Read(mt *simtime.Meter, st *State) (*ReadHandle, error) {
+	h := &ReadHandle{mgr: m}
+	frames, err := m.Pool.FixExtents(mt, m.fixSpecs(st))
+	if err != nil {
+		return nil, fmt.Errorf("blob: fix extents: %w", err)
+	}
+	h.frames = frames
 	if len(h.frames) == 1 && h.frames[0].Contiguous() != nil {
 		// One extent is already contiguous in vmcache — no aliasing area,
 		// no TLB shootdown (§IV-A).

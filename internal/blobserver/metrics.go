@@ -109,6 +109,25 @@ func newMetrics(db *core.DB, adm *admission) *metrics {
 			"committer_busy": int64(db.CommitterBusy()),
 		}
 	})
+	// Batched read path (§III-D): one vectored submission per cold BLOB
+	// read. read_vec_segments/fix_batch_pages size the batches,
+	// singleflight_coalesces counts readers that piggybacked on another
+	// worker's in-flight load, lock_wait_ns is cumulative wait for the
+	// pool's structural mutex.
+	pub("pool", func() any {
+		s := db.Pool().Stats().Snapshot()
+		return map[string]any{
+			"hits":                   s.Hits,
+			"misses":                 s.Misses,
+			"evictions":              s.Evictions,
+			"writebacks":             s.Writebacks,
+			"fix_batches":            s.FixBatches,
+			"fix_batch_pages":        s.FixBatchPages,
+			"read_vec_segments":      s.ReadVecSegments,
+			"singleflight_coalesces": s.Coalesces,
+			"lock_wait_ns":           s.LockWaitNs,
+		}
+	})
 	pub("wal", func() any {
 		return map[string]any{
 			"flushes":      db.WAL().Flushes(),

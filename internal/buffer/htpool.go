@@ -3,7 +3,9 @@ package buffer
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"time"
 
 	"blobdb/internal/simtime"
 	"blobdb/internal/storage"
@@ -18,16 +20,23 @@ import (
 // therefore cannot be presented as contiguous memory — callers must
 // materialize it with an extra allocate+copy, which is exactly the overhead
 // Figure 10 measures against virtual-memory aliasing.
+//
+// Concurrency mirrors VMPool: sharded resident map for the hot hit path,
+// one structural mutex for the translation table and free list, and no
+// device I/O under either — eviction claims its victim, drops the lock,
+// writes back, reconfirms.
 type HTPool struct {
 	pageSize int
 	numPages int
 	slab     []byte
 	dev      storage.Device
 
+	resident shardedResident // keyed by extent head PID (coarse latch)
+
 	mu        sync.Mutex
-	resident  map[storage.PID]*entry // keyed by extent head PID (coarse latch)
-	pageMap   map[storage.PID]int    // per-page translation table
+	pageMap   map[storage.PID]int // per-page translation table
 	order     []storage.PID
+	orderIdx  map[storage.PID]int // head PID -> index in order (O(1) removal)
 	freePages []int
 	rng       *rand.Rand
 	maxExt    int
@@ -46,11 +55,12 @@ func NewHTPool(dev storage.Device, numPages int) *HTPool {
 		numPages: numPages,
 		slab:     make([]byte, numPages*dev.PageSize()),
 		dev:      dev,
-		resident: map[storage.PID]*entry{},
 		pageMap:  map[storage.PID]int{},
+		orderIdx: map[storage.PID]int{},
 		rng:      rand.New(rand.NewSource(43)),
 		maxExt:   1,
 	}
+	p.resident.init()
 	p.freePages = make([]int, numPages)
 	for i := range p.freePages {
 		p.freePages[i] = numPages - 1 - i
@@ -77,19 +87,13 @@ func (p *HTPool) pageSlice(idx int) []byte {
 }
 
 // frame assembles the page list with one translation per page — the N
-// translations the paper contrasts with vmcache's single one.
+// translations the paper contrasts with vmcache's single one. The entry
+// carries its page indexes, so no pool lock is needed.
 func (p *HTPool) frame(e *entry) *Frame {
 	pages := make([][]byte, e.npages)
-	p.mu.Lock()
-	for i := 0; i < e.npages; i++ {
-		idx, ok := p.pageMap[e.headPID+storage.PID(i)]
-		if !ok {
-			p.mu.Unlock()
-			panic("buffer: resident extent missing page translation")
-		}
+	for i, idx := range e.pages {
 		pages[i] = p.pageSlice(idx)
 	}
-	p.mu.Unlock()
 	return &Frame{
 		HeadPID:  e.headPID,
 		NPages:   e.npages,
@@ -110,11 +114,7 @@ func (p *HTPool) FixExtent(m *simtime.Meter, pid storage.PID, npages int) (*Fram
 		// Read the device page by page, as a page-granular pool does.
 		err := func() error {
 			for i := 0; i < npages; i++ {
-				p.mu.Lock()
-				idx := p.pageMap[pid+storage.PID(i)]
-				pg := p.pageSlice(idx)
-				p.mu.Unlock()
-				if err := p.dev.ReadPages(m, pid+storage.PID(i), 1, pg); err != nil {
+				if err := p.dev.ReadPages(m, pid+storage.PID(i), 1, p.pageSlice(e.pages[i])); err != nil {
 					return err
 				}
 			}
@@ -128,6 +128,9 @@ func (p *HTPool) FixExtent(m *simtime.Meter, pid storage.PID, npages int) (*Fram
 		}
 		close(e.loaded)
 	} else {
+		if !e.isLoaded() {
+			p.stats.Coalesces.Add(1)
+		}
 		<-e.loaded
 		if err := e.loadErr; err != nil {
 			p.release(p.frame(e))
@@ -137,6 +140,32 @@ func (p *HTPool) FixExtent(m *simtime.Meter, pid storage.PID, npages int) (*Fram
 	return p.frame(e), nil
 }
 
+// FixExtents implements Pool. Misses still become one page-granular segment
+// per frame (the baseline's N-preads character), but all of them go to the
+// device in a single vectored submission.
+func (p *HTPool) FixExtents(m *simtime.Meter, specs []ExtentSpec) ([]*Frame, error) {
+	return fixExtents(p, m, specs)
+}
+
+func (p *HTPool) makeFrame(e *entry) *Frame { return p.frame(e) }
+func (p *HTPool) device() storage.Device    { return p.dev }
+
+// missSegs emits one single-page segment per frame: a page-granular pool
+// scatters an extent, so nothing longer is contiguous in memory.
+func (p *HTPool) missSegs(loads []*entry) []storage.Seg {
+	var segs []storage.Seg
+	for _, e := range loads {
+		for i := 0; i < e.npages; i++ {
+			segs = append(segs, storage.Seg{
+				PID: e.headPID + storage.PID(i),
+				N:   1,
+				Buf: p.pageSlice(e.pages[i]),
+			})
+		}
+	}
+	return segs
+}
+
 // CreateExtent implements Pool.
 func (p *HTPool) CreateExtent(m *simtime.Meter, pid storage.PID, npages int) (*Frame, error) {
 	e, fresh, err := p.admit(m, pid, npages)
@@ -144,14 +173,12 @@ func (p *HTPool) CreateExtent(m *simtime.Meter, pid storage.PID, npages int) (*F
 		return nil, err
 	}
 	if !fresh {
-		e.pins.Add(-1)
+		p.release(p.frame(e))
 		return nil, fmt.Errorf("buffer: CreateExtent(%d): extent already resident", pid)
 	}
-	p.mu.Lock()
 	for i := 0; i < npages; i++ {
-		clear(p.pageSlice(p.pageMap[pid+storage.PID(i)]))
+		clear(p.pageSlice(e.pages[i]))
 	}
-	p.mu.Unlock()
 	// Dirty tracking follows the caller's writes (§III-C).
 	e.preventEvict.Store(true)
 	close(e.loaded)
@@ -159,76 +186,119 @@ func (p *HTPool) CreateExtent(m *simtime.Meter, pid storage.PID, npages int) (*F
 }
 
 func (p *HTPool) admit(m *simtime.Meter, pid storage.PID, npages int) (*entry, bool, error) {
-	p.mu.Lock()
-	if e, ok := p.resident[pid]; ok {
-		if e.npages != npages {
-			p.mu.Unlock()
-			return nil, false, fmt.Errorf("buffer: extent %d resident with %d pages, fixed with %d",
-				pid, e.npages, npages)
+	sh := p.resident.shard(pid)
+	for {
+		// Hot path: shard-local hit, no structural lock.
+		sh.RLock()
+		e := sh.m[pid]
+		sh.RUnlock()
+		if e != nil {
+			if e.npages != npages {
+				return nil, false, fmt.Errorf("buffer: extent %d resident with %d pages, fixed with %d",
+					pid, e.npages, npages)
+			}
+			if e.tryPin() {
+				p.stats.Hits.Add(1)
+				return e, false, nil
+			}
+			// Claimed by an in-flight eviction; wait for it to resolve.
+			runtime.Gosched()
+			continue
 		}
-		e.pins.Add(1)
-		p.stats.Hits.Add(1)
+
+		t0 := time.Now()
+		p.mu.Lock()
+		p.stats.LockWaitNs.Add(time.Since(t0).Nanoseconds())
+		if npages > p.numPages {
+			p.mu.Unlock()
+			return nil, false, fmt.Errorf("buffer: extent of %d pages exceeds pool of %d: %w",
+				npages, p.numPages, ErrPoolFull)
+		}
+		raced := false
+		for {
+			// Evictions drop p.mu for write-backs, so re-validate residency
+			// every time we get the lock back.
+			sh.RLock()
+			raced = sh.m[pid] != nil
+			sh.RUnlock()
+			if raced {
+				break
+			}
+			// Reject overlap with any resident extent: the allocator hands
+			// out disjoint extents, so an overlapping fix is a caller bug
+			// that would silently corrupt the page translation table.
+			for i := 0; i < npages; i++ {
+				if _, clash := p.pageMap[pid+storage.PID(i)]; clash {
+					p.mu.Unlock()
+					return nil, false, fmt.Errorf("buffer: extent [%d,%d) overlaps a resident extent", pid, pid+storage.PID(npages))
+				}
+			}
+			if len(p.freePages) >= npages {
+				break
+			}
+			if err := p.evictOneLocked(m); err != nil {
+				p.mu.Unlock()
+				return nil, false, err
+			}
+		}
+		if raced {
+			p.mu.Unlock()
+			continue // retry as a hit
+		}
+		e = &entry{
+			headPID: pid,
+			npages:  npages,
+			pages:   make([]int, npages),
+			loaded:  make(chan struct{}),
+		}
+		e.pins.Store(1)
+		for i := 0; i < npages; i++ {
+			idx := p.freePages[len(p.freePages)-1]
+			p.freePages = p.freePages[:len(p.freePages)-1]
+			e.pages[i] = idx
+			p.pageMap[pid+storage.PID(i)] = idx
+		}
+		sh.Lock()
+		sh.m[pid] = e
+		sh.Unlock()
+		p.orderIdx[pid] = len(p.order)
+		p.order = append(p.order, pid)
+		p.residPg += npages
+		if npages > p.maxExt {
+			p.maxExt = npages
+		}
+		p.stats.Misses.Add(1)
 		p.mu.Unlock()
-		return e, false, nil
+		return e, true, nil
 	}
-	// Reject overlap with any resident extent: the allocator hands out
-	// disjoint extents, so an overlapping fix is a caller bug that would
-	// silently corrupt the page translation table.
-	for i := 0; i < npages; i++ {
-		if _, clash := p.pageMap[pid+storage.PID(i)]; clash {
-			p.mu.Unlock()
-			return nil, false, fmt.Errorf("buffer: extent [%d,%d) overlaps a resident extent", pid, pid+storage.PID(npages))
-		}
-	}
-	if npages > p.numPages {
-		p.mu.Unlock()
-		return nil, false, fmt.Errorf("buffer: extent of %d pages exceeds pool of %d: %w",
-			npages, p.numPages, ErrPoolFull)
-	}
-	for len(p.freePages) < npages {
-		if err := p.evictOneLocked(m); err != nil {
-			p.mu.Unlock()
-			return nil, false, err
-		}
-	}
-	e := &entry{headPID: pid, npages: npages, loaded: make(chan struct{})}
-	e.pins.Store(1)
-	for i := 0; i < npages; i++ {
-		idx := p.freePages[len(p.freePages)-1]
-		p.freePages = p.freePages[:len(p.freePages)-1]
-		p.pageMap[pid+storage.PID(i)] = idx
-	}
-	p.resident[pid] = e
-	p.order = append(p.order, pid)
-	p.residPg += npages
-	if npages > p.maxExt {
-		p.maxExt = npages
-	}
-	p.stats.Misses.Add(1)
-	p.mu.Unlock()
-	return e, true, nil
 }
 
 func (p *HTPool) evictOneLocked(m *simtime.Meter) error {
-	if len(p.order) == 0 {
-		return fmt.Errorf("buffer: nothing to evict: %w", ErrPoolFull)
-	}
 	for tries := 0; tries < 8*len(p.order)+64; tries++ {
-		idx := p.rng.Intn(len(p.order))
-		e := p.resident[p.order[idx]]
-		if e == nil || e.pins.Load() > 0 || e.preventEvict.Load() {
-			continue
+		if len(p.order) == 0 {
+			return fmt.Errorf("buffer: nothing to evict: %w", ErrPoolFull)
 		}
-		select {
-		case <-e.loaded:
-		default:
+		e := p.resident.get(p.order[p.rng.Intn(len(p.order))])
+		if e == nil || e.preventEvict.Load() || !e.isLoaded() {
 			continue
 		}
 		if p.rng.Intn(p.maxExt) >= e.npages {
 			continue
 		}
+		if !e.claimEvict() {
+			continue // pinned, or claimed by a concurrent eviction
+		}
+		if e.preventEvict.Load() {
+			e.unclaimEvict()
+			continue
+		}
 		if e.dirty() {
-			if err := p.writeBackLocked(m, e); err != nil {
+			// Victim claimed, lock dropped, write, reconfirm.
+			p.mu.Unlock()
+			err := p.writeBack(m, e)
+			p.mu.Lock()
+			if err != nil {
+				e.unclaimEvict()
 				return err
 			}
 		}
@@ -239,17 +309,17 @@ func (p *HTPool) evictOneLocked(m *simtime.Meter) error {
 	return fmt.Errorf("buffer: all extents pinned or protected: %w", ErrPoolFull)
 }
 
-// writeBackLocked writes the dirty pages back one command per page —
-// page-granular pools cannot issue a single contiguous write for an extent
-// scattered across frames.
-func (p *HTPool) writeBackLocked(m *simtime.Meter, e *entry) error {
+// writeBack writes the dirty pages back one command per page — page-granular
+// pools cannot issue a single contiguous write for an extent scattered
+// across frames. It takes no pool lock: the entry carries its page indexes
+// and the caller's pin/claim keeps them assigned.
+func (p *HTPool) writeBack(m *simtime.Meter, e *entry) error {
 	lo, hi := e.takeDirty()
 	if lo == hi {
 		return nil
 	}
 	for i := lo; i < hi; i++ {
-		idx := p.pageMap[e.headPID+storage.PID(i)]
-		if err := p.dev.WritePages(m, e.headPID+storage.PID(i), 1, p.pageSlice(idx)); err != nil {
+		if err := p.dev.WritePages(m, e.headPID+storage.PID(i), 1, p.pageSlice(e.pages[i])); err != nil {
 			e.markDirty(i, hi)
 			return err
 		}
@@ -259,48 +329,63 @@ func (p *HTPool) writeBackLocked(m *simtime.Meter, e *entry) error {
 }
 
 func (p *HTPool) removeLocked(e *entry) {
-	delete(p.resident, e.headPID)
-	for i, pid := range p.order {
-		if pid == e.headPID {
-			p.order[i] = p.order[len(p.order)-1]
-			p.order = p.order[:len(p.order)-1]
-			break
+	sh := p.resident.shard(e.headPID)
+	sh.Lock()
+	if sh.m[e.headPID] != e {
+		sh.Unlock()
+		return
+	}
+	delete(sh.m, e.headPID)
+	sh.Unlock()
+	if i, ok := p.orderIdx[e.headPID]; ok {
+		last := len(p.order) - 1
+		moved := p.order[last]
+		p.order[i] = moved
+		p.order = p.order[:last]
+		if moved != e.headPID {
+			p.orderIdx[moved] = i
 		}
+		delete(p.orderIdx, e.headPID)
 	}
 	for i := 0; i < e.npages; i++ {
-		pagePID := e.headPID + storage.PID(i)
-		p.freePages = append(p.freePages, p.pageMap[pagePID])
-		delete(p.pageMap, pagePID)
+		p.freePages = append(p.freePages, e.pages[i])
+		delete(p.pageMap, e.headPID+storage.PID(i))
 	}
 	p.residPg -= e.npages
 }
 
-// FlushExtent implements Pool.
+// FlushExtent implements Pool. The caller's pin keeps the frames stable, so
+// no pool lock is needed.
 func (p *HTPool) FlushExtent(m *simtime.Meter, f *Frame) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e := f.entry
-	if e.dirty() {
-		if err := p.writeBackLocked(m, e); err != nil {
-			return err
-		}
+	if err := p.writeBack(m, f.entry); err != nil {
+		return err
 	}
-	e.preventEvict.Store(false)
+	f.entry.preventEvict.Store(false)
 	return nil
 }
 
 // Drop implements Pool.
 func (p *HTPool) Drop(pid storage.PID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e, ok := p.resident[pid]
-	if !ok {
-		return
+	for {
+		p.mu.Lock()
+		e := p.resident.get(pid)
+		if e == nil {
+			p.mu.Unlock()
+			return
+		}
+		if e.pins.Load() > 0 {
+			p.mu.Unlock()
+			panic("buffer: Drop of pinned extent")
+		}
+		if e.claimEvict() {
+			p.removeLocked(e)
+			p.mu.Unlock()
+			return
+		}
+		// Claimed by an in-flight eviction; let its write-back finish.
+		p.mu.Unlock()
+		runtime.Gosched()
 	}
-	if e.pins.Load() > 0 {
-		panic("buffer: Drop of pinned extent")
-	}
-	p.removeLocked(e)
 }
 
 // EvictAll implements Pool.
@@ -308,12 +393,19 @@ func (p *HTPool) EvictAll(m *simtime.Meter) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, pid := range append([]storage.PID(nil), p.order...) {
-		e := p.resident[pid]
-		if e == nil || e.pins.Load() > 0 || e.preventEvict.Load() {
+		e := p.resident.get(pid)
+		if e == nil || e.preventEvict.Load() || !e.isLoaded() {
+			continue
+		}
+		if !e.claimEvict() {
 			continue
 		}
 		if e.dirty() {
-			if err := p.writeBackLocked(m, e); err != nil {
+			p.mu.Unlock()
+			err := p.writeBack(m, e)
+			p.mu.Lock()
+			if err != nil {
+				e.unclaimEvict()
 				return err
 			}
 		}
@@ -324,14 +416,15 @@ func (p *HTPool) EvictAll(m *simtime.Meter) error {
 }
 
 func (p *HTPool) release(f *Frame) {
-	n := f.entry.pins.Add(-1)
+	e := f.entry
+	n := e.pins.Add(-1)
 	if n < 0 {
 		panic("buffer: double release")
 	}
-	if n == 0 && f.entry.loadErr != nil {
+	if n == 0 && e.isLoaded() && e.loadErr != nil {
 		p.mu.Lock()
-		if p.resident[f.entry.headPID] == f.entry {
-			p.removeLocked(f.entry)
+		if e.claimEvict() {
+			p.removeLocked(e)
 		}
 		p.mu.Unlock()
 	}

@@ -130,6 +130,43 @@ type entry struct {
 	dirtyLo, dirtyHi int // dirty pages are [dirtyLo, dirtyHi); lo==hi means clean
 }
 
+// evictClaimed is the pin-count sentinel an eviction installs with a CAS
+// from zero. While it is set no fixer can pin the entry, so the frame
+// content is stable and the eviction may write it back with every pool
+// lock dropped ("victim claimed, lock dropped, write, reconfirm").
+const evictClaimed = -1 << 20
+
+// tryPin pins the entry unless an eviction has claimed it.
+func (e *entry) tryPin() bool {
+	for {
+		v := e.pins.Load()
+		if v < 0 {
+			return false
+		}
+		if e.pins.CompareAndSwap(v, v+1) {
+			return true
+		}
+	}
+}
+
+// claimEvict claims an unpinned entry for eviction; after it succeeds no
+// new pin can be taken until unclaimEvict or removal.
+func (e *entry) claimEvict() bool { return e.pins.CompareAndSwap(0, evictClaimed) }
+
+// unclaimEvict aborts a claim (write-back failed), making the entry
+// fixable again.
+func (e *entry) unclaimEvict() { e.pins.Store(0) }
+
+// isLoaded reports whether the content (or a load error) is published.
+func (e *entry) isLoaded() bool {
+	select {
+	case <-e.loaded:
+		return true
+	default:
+		return false
+	}
+}
+
 func (e *entry) markDirty(fromPage, toPage int) {
 	if fromPage < 0 {
 		fromPage = 0
@@ -175,21 +212,45 @@ type Stats struct {
 	Misses     atomic.Int64
 	Evictions  atomic.Int64
 	Writebacks atomic.Int64
+
+	// Batched read path (§III-D) counters.
+	FixBatches      atomic.Int64 // FixExtents calls that issued a device load
+	FixBatchPages   atomic.Int64 // pages loaded through batch submissions
+	ReadVecSegments atomic.Int64 // segments across all batch submissions
+	Coalesces       atomic.Int64 // fixes that piggybacked on another worker's in-flight load
+	LockWaitNs      atomic.Int64 // cumulative wait for the structural pool mutex
 }
 
 // StatsSnapshot is a point-in-time copy of pool counters.
 type StatsSnapshot struct {
 	Hits, Misses, Evictions, Writebacks int64
+
+	FixBatches      int64
+	FixBatchPages   int64
+	ReadVecSegments int64
+	Coalesces       int64
+	LockWaitNs      int64
 }
 
 // Snapshot returns current counter values.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Hits:       s.Hits.Load(),
-		Misses:     s.Misses.Load(),
-		Evictions:  s.Evictions.Load(),
-		Writebacks: s.Writebacks.Load(),
+		Hits:            s.Hits.Load(),
+		Misses:          s.Misses.Load(),
+		Evictions:       s.Evictions.Load(),
+		Writebacks:      s.Writebacks.Load(),
+		FixBatches:      s.FixBatches.Load(),
+		FixBatchPages:   s.FixBatchPages.Load(),
+		ReadVecSegments: s.ReadVecSegments.Load(),
+		Coalesces:       s.Coalesces.Load(),
+		LockWaitNs:      s.LockWaitNs.Load(),
 	}
+}
+
+// ExtentSpec names one extent of a BLOB for a batched fix.
+type ExtentSpec struct {
+	PID    storage.PID
+	NPages int
 }
 
 // Pool is the buffer-manager interface the blob layer programs against.
@@ -199,6 +260,11 @@ type Pool interface {
 	// FixExtent pins the extent [pid, pid+npages) in memory, reading it
 	// from the device if absent, and returns its frame.
 	FixExtent(m *simtime.Meter, pid storage.PID, npages int) (*Frame, error)
+	// FixExtents pins all listed extents, classifying them as hit,
+	// in-flight, or miss in one pass and loading every miss with a single
+	// vectored device submission (§III-D: one I/O per BLOB read). On error
+	// no frame stays pinned. Frames are returned in spec order.
+	FixExtents(m *simtime.Meter, specs []ExtentSpec) ([]*Frame, error)
 	// CreateExtent pins a newly allocated extent without reading the
 	// device; the returned frame is zeroed, fully dirty, and evict-protected
 	// (prevent_evict=true) until the caller flushes it.
@@ -218,4 +284,159 @@ type Pool interface {
 	Stats() *Stats
 
 	release(f *Frame)
+}
+
+// poolShards is the number of resident-map shards. Fixing a hot extent only
+// takes its shard's RLock, so concurrent readers of disjoint BLOBs stop
+// convoying on one global mutex.
+const poolShards = 16
+
+type poolShard struct {
+	sync.RWMutex
+	m map[storage.PID]*entry
+}
+
+// shardedResident maps head PIDs to entries across poolShards shards.
+type shardedResident struct {
+	shards [poolShards]poolShard
+}
+
+func (r *shardedResident) init() {
+	for i := range r.shards {
+		r.shards[i].m = make(map[storage.PID]*entry)
+	}
+}
+
+func (r *shardedResident) shard(pid storage.PID) *poolShard {
+	return &r.shards[int((uint64(pid)*0x9E3779B97F4A7C15)>>60)&(poolShards-1)]
+}
+
+// get returns the entry for pid, or nil. Safe for concurrent use.
+func (r *shardedResident) get(pid storage.PID) *entry {
+	sh := r.shard(pid)
+	sh.RLock()
+	e := sh.m[pid]
+	sh.RUnlock()
+	return e
+}
+
+func (r *shardedResident) forEach(fn func(pid storage.PID, e *entry) bool) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.RLock()
+		for pid, e := range sh.m {
+			if !fn(pid, e) {
+				sh.RUnlock()
+				return
+			}
+		}
+		sh.RUnlock()
+	}
+}
+
+// batchPool is what the shared fixExtents engine needs from a concrete pool.
+type batchPool interface {
+	Pool
+	// admit returns a pinned entry for the extent, creating it in loading
+	// state when absent. fresh reports whether this caller owns the load
+	// (must close e.loaded after filling the frame).
+	admit(m *simtime.Meter, pid storage.PID, npages int) (e *entry, fresh bool, err error)
+	// makeFrame builds a Frame for a pinned entry.
+	makeFrame(e *entry) *Frame
+	// missSegs converts freshly admitted entries into device segments,
+	// coalescing where the pool's frame layout allows.
+	missSegs(loads []*entry) []storage.Seg
+	device() storage.Device
+}
+
+// fixExtents is the shared batched fix engine (§III-D). One classification
+// pass admits every spec — hits pin immediately, misses are claimed in
+// loading state — then all misses are loaded with a single vectored device
+// submission, then in-flight entries loaded by other workers are awaited.
+func fixExtents(p batchPool, m *simtime.Meter, specs []ExtentSpec) ([]*Frame, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	frames := make([]*Frame, 0, len(specs))
+	var loads []*entry
+
+	unwind := func() {
+		for _, f := range frames {
+			f.Release()
+		}
+	}
+
+	// Pass 1: classify. admit never blocks on loaded, so duplicate specs
+	// and contended extents cannot deadlock the batch.
+	for _, sp := range specs {
+		e, fresh, err := p.admit(m, sp.PID, sp.NPages)
+		if err != nil {
+			// Entries we already claimed for loading still have waiters
+			// parked on their channels; finish those loads regardless.
+			if lerr := loadMisses(p, m, loads); lerr != nil {
+				poisonLoads(loads, lerr)
+			}
+			unwind()
+			return nil, err
+		}
+		if fresh {
+			loads = append(loads, e)
+		}
+		frames = append(frames, p.makeFrame(e))
+	}
+
+	// Pass 2: one vectored submission for every miss.
+	if err := loadMisses(p, m, loads); err != nil {
+		poisonLoads(loads, err)
+		unwind()
+		return nil, err
+	}
+
+	// Pass 3: wait for loads owned by other workers.
+	st := p.Stats()
+	for _, f := range frames {
+		e := f.entry
+		if !e.isLoaded() {
+			st.Coalesces.Add(1)
+		}
+		<-e.loaded
+		if e.loadErr != nil {
+			err := e.loadErr
+			unwind()
+			return nil, err
+		}
+	}
+	return frames, nil
+}
+
+// loadMisses reads all freshly claimed entries with one ReadVec submission
+// and publishes them. Callers handle a non-nil error with poisonLoads.
+func loadMisses(p batchPool, m *simtime.Meter, loads []*entry) error {
+	if len(loads) == 0 {
+		return nil
+	}
+	segs := p.missSegs(loads)
+	if err := storage.ReadVec(p.device(), m, segs); err != nil {
+		return err
+	}
+	st := p.Stats()
+	st.FixBatches.Add(1)
+	st.ReadVecSegments.Add(int64(len(segs)))
+	pages := 0
+	for _, e := range loads {
+		pages += e.npages
+	}
+	st.FixBatchPages.Add(int64(pages))
+	for _, e := range loads {
+		close(e.loaded)
+	}
+	return nil
+}
+
+// poisonLoads publishes a load failure to every waiter of the given entries.
+func poisonLoads(loads []*entry, err error) {
+	for _, e := range loads {
+		e.loadErr = err
+		close(e.loaded)
+	}
 }

@@ -182,13 +182,13 @@ func TestFairEvictionPrefersLargeExtents(t *testing.T) {
 		}
 		f.Release()
 		if bigEvicted < 0 && p.ResidentPages() > 0 {
-			if _, ok := p.resident[1000]; !ok {
+			if p.resident.get(1000) == nil {
 				bigEvicted = round
 			}
 		}
 		singlesEvicted = 0
 		for i := 0; i < 32; i++ {
-			if _, ok := p.resident[storage.PID(i*2)]; !ok {
+			if p.resident.get(storage.PID(i*2)) == nil {
 				singlesEvicted++
 			}
 		}

@@ -3,7 +3,10 @@ package buffer
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"blobdb/internal/simtime"
 	"blobdb/internal/storage"
@@ -17,6 +20,12 @@ import (
 // reads. A small first-fit span allocator manages the slab; eviction makes
 // room by removing randomly sampled extents with probability proportional
 // to their size (§III-G "fair extent eviction").
+//
+// Concurrency: the resident map is sharded so hot fixes (hits) only touch
+// one shard's RWMutex; the structural mutex mu guards the span allocator
+// and eviction bookkeeping. No device I/O ever happens under mu — eviction
+// claims its victim via a pin-count CAS, drops the lock for the write-back,
+// then reconfirms.
 type VMPool struct {
 	pageSize  int
 	numPages  int // resident budget (the buffer pool size)
@@ -24,10 +33,12 @@ type VMPool struct {
 	slab      []byte
 	dev       storage.Device
 
+	resident shardedResident
+
 	mu         sync.Mutex
-	resident   map[storage.PID]*entry
-	order      []storage.PID // sampling population for eviction
-	spans      []span        // free slab ranges, sorted by offset
+	order      []storage.PID       // sampling population for eviction
+	orderIdx   map[storage.PID]int // head PID -> index in order (O(1) removal)
+	spans      []span              // free slab ranges, sorted by offset
 	rng        *rand.Rand
 	maxExtSize int // largest extent seen, for the eviction probability
 	residentPg int
@@ -51,17 +62,19 @@ func NewVMPool(dev storage.Device, numPages int) *VMPool {
 		panic("buffer: pool must have at least one page")
 	}
 	slabPages := numPages * 2
-	return &VMPool{
+	p := &VMPool{
 		pageSize:   dev.PageSize(),
 		numPages:   numPages,
 		slabPages:  slabPages,
 		slab:       make([]byte, slabPages*dev.PageSize()),
 		dev:        dev,
-		resident:   map[storage.PID]*entry{},
+		orderIdx:   map[storage.PID]int{},
 		spans:      []span{{0, slabPages}},
 		rng:        rand.New(rand.NewSource(42)),
 		maxExtSize: 1,
 	}
+	p.resident.init()
+	return p
 }
 
 // PageSize implements Pool.
@@ -107,6 +120,9 @@ func (p *VMPool) FixExtent(m *simtime.Meter, pid storage.PID, npages int) (*Fram
 		}
 		close(e.loaded)
 	} else {
+		if !e.isLoaded() {
+			p.stats.Coalesces.Add(1)
+		}
 		<-e.loaded
 		if err := e.loadErr; err != nil {
 			p.release(p.frame(e))
@@ -116,6 +132,43 @@ func (p *VMPool) FixExtent(m *simtime.Meter, pid storage.PID, npages int) (*Fram
 	return p.frame(e), nil
 }
 
+// FixExtents implements Pool (§III-D: one vectored I/O per BLOB read).
+func (p *VMPool) FixExtents(m *simtime.Meter, specs []ExtentSpec) ([]*Frame, error) {
+	return fixExtents(p, m, specs)
+}
+
+func (p *VMPool) makeFrame(e *entry) *Frame { return p.frame(e) }
+func (p *VMPool) device() storage.Device    { return p.dev }
+
+// missSegs converts freshly admitted entries into read segments, coalescing
+// extents that are adjacent both on the device (PID) and in the slab into
+// one segment.
+func (p *VMPool) missSegs(loads []*entry) []storage.Seg {
+	sorted := append([]*entry(nil), loads...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].headPID < sorted[j].headPID })
+	var segs []storage.Seg
+	var segStart []int // slab page offset of each segment's start
+	for _, e := range sorted {
+		if n := len(segs); n > 0 &&
+			segs[n-1].PID+storage.PID(segs[n-1].N) == e.headPID &&
+			segStart[n-1]+segs[n-1].N == e.frameOff {
+			segs[n-1].N += e.npages
+			b := segStart[n-1] * p.pageSize
+			l := segs[n-1].N * p.pageSize
+			segs[n-1].Buf = p.slab[b : b+l : b+l]
+			continue
+		}
+		off := e.frameOff * p.pageSize
+		segs = append(segs, storage.Seg{
+			PID: e.headPID,
+			N:   e.npages,
+			Buf: p.slab[off : off+e.npages*p.pageSize : off+e.npages*p.pageSize],
+		})
+		segStart = append(segStart, e.frameOff)
+	}
+	return segs
+}
+
 // CreateExtent implements Pool.
 func (p *VMPool) CreateExtent(m *simtime.Meter, pid storage.PID, npages int) (*Frame, error) {
 	e, fresh, err := p.admit(m, pid, npages)
@@ -123,7 +176,7 @@ func (p *VMPool) CreateExtent(m *simtime.Meter, pid storage.PID, npages int) (*F
 		return nil, err
 	}
 	if !fresh {
-		e.pins.Add(-1)
+		p.release(p.frame(e))
 		return nil, fmt.Errorf("buffer: CreateExtent(%d): extent already resident", pid)
 	}
 	off := e.frameOff * p.pageSize
@@ -135,45 +188,73 @@ func (p *VMPool) CreateExtent(m *simtime.Meter, pid storage.PID, npages int) (*F
 	return p.frame(e), nil
 }
 
-// admit pins the extent's entry, creating it (fresh=true) when absent.
-func (p *VMPool) admit(m *simtime.Meter, pid storage.PID, npages int) (e *entry, fresh bool, err error) {
-	p.mu.Lock()
-	if e, ok := p.resident[pid]; ok {
-		if e.npages != npages {
-			p.mu.Unlock()
-			return nil, false, fmt.Errorf("buffer: extent %d resident with %d pages, fixed with %d",
-				pid, e.npages, npages)
+// admit pins the extent's entry, creating it (fresh=true) when absent. It
+// never blocks on the loaded channel, so batched callers can classify every
+// extent before any device read.
+func (p *VMPool) admit(m *simtime.Meter, pid storage.PID, npages int) (*entry, bool, error) {
+	sh := p.resident.shard(pid)
+	for {
+		// Hot path: shard-local hit, no structural lock.
+		sh.RLock()
+		e := sh.m[pid]
+		sh.RUnlock()
+		if e != nil {
+			if e.npages != npages {
+				return nil, false, fmt.Errorf("buffer: extent %d resident with %d pages, fixed with %d",
+					pid, e.npages, npages)
+			}
+			if e.tryPin() {
+				p.stats.Hits.Add(1)
+				return e, false, nil
+			}
+			// Claimed by an in-flight eviction; wait for it to resolve.
+			runtime.Gosched()
+			continue
 		}
-		e.pins.Add(1)
-		p.stats.Hits.Add(1)
+
+		// Miss: reserve frames under the structural mutex.
+		t0 := time.Now()
+		p.mu.Lock()
+		p.stats.LockWaitNs.Add(time.Since(t0).Nanoseconds())
+		off, err := p.reserveLocked(m, npages)
+		if err != nil {
+			p.mu.Unlock()
+			return nil, false, err
+		}
+		// reserveLocked may drop mu during eviction write-backs, so another
+		// worker can have admitted pid meanwhile: give the span back and
+		// retry as a hit.
+		sh.Lock()
+		if sh.m[pid] != nil {
+			sh.Unlock()
+			p.freeSpanLocked(off, npages)
+			p.mu.Unlock()
+			continue
+		}
+		e = &entry{
+			headPID:  pid,
+			npages:   npages,
+			frameOff: off,
+			loaded:   make(chan struct{}),
+		}
+		e.pins.Store(1)
+		sh.m[pid] = e
+		sh.Unlock()
+		p.orderIdx[pid] = len(p.order)
+		p.order = append(p.order, pid)
+		p.residentPg += npages
+		if npages > p.maxExtSize {
+			p.maxExtSize = npages
+		}
+		p.stats.Misses.Add(1)
 		p.mu.Unlock()
-		return e, false, nil
+		return e, true, nil
 	}
-	off, err := p.reserveLocked(m, npages)
-	if err != nil {
-		p.mu.Unlock()
-		return nil, false, err
-	}
-	e = &entry{
-		headPID:  pid,
-		npages:   npages,
-		frameOff: off,
-		loaded:   make(chan struct{}),
-	}
-	e.pins.Store(1)
-	p.resident[pid] = e
-	p.order = append(p.order, pid)
-	p.residentPg += npages
-	if npages > p.maxExtSize {
-		p.maxExtSize = npages
-	}
-	p.stats.Misses.Add(1)
-	p.mu.Unlock()
-	return e, true, nil
 }
 
 // reserveLocked finds a contiguous frame range of npages, evicting random
-// extents until one is available.
+// extents until one is available. It may drop and re-acquire p.mu while an
+// eviction writes back a dirty victim.
 func (p *VMPool) reserveLocked(m *simtime.Meter, npages int) (int, error) {
 	if npages > p.numPages {
 		return 0, fmt.Errorf("buffer: extent of %d pages exceeds pool of %d: %w",
@@ -234,26 +315,35 @@ func (p *VMPool) freeSpanLocked(off, n int) {
 // evictOneLocked samples extents at random and evicts the first eligible
 // one, accepting a candidate of size s with probability s/maxExtSize — the
 // paper's fairness rule `if (rand(MAX_EXT_SIZE) < extent_size[pid]) Evict()`.
+// Dirty victims are written back with p.mu dropped: the claim (pin-count
+// CAS) keeps the frame stable without the lock.
 func (p *VMPool) evictOneLocked(m *simtime.Meter) error {
-	if len(p.order) == 0 {
-		return fmt.Errorf("buffer: nothing to evict: %w", ErrPoolFull)
-	}
 	for tries := 0; tries < 8*len(p.order)+64; tries++ {
-		idx := p.rng.Intn(len(p.order))
-		e := p.resident[p.order[idx]]
-		if e == nil || e.pins.Load() > 0 || e.preventEvict.Load() {
-			continue
+		if len(p.order) == 0 {
+			return fmt.Errorf("buffer: nothing to evict: %w", ErrPoolFull)
 		}
-		select {
-		case <-e.loaded:
-		default:
-			continue // still loading
+		e := p.resident.get(p.order[p.rng.Intn(len(p.order))])
+		if e == nil || e.preventEvict.Load() || !e.isLoaded() {
+			continue
 		}
 		if p.rng.Intn(p.maxExtSize) >= e.npages {
 			continue // fairness rule: bigger extents evict proportionally more often
 		}
+		if !e.claimEvict() {
+			continue // pinned, or claimed by a concurrent eviction
+		}
+		if e.preventEvict.Load() {
+			e.unclaimEvict()
+			continue
+		}
 		if e.dirty() {
-			if err := p.writeBackLocked(m, e); err != nil {
+			// Victim claimed, lock dropped, write, reconfirm. The claim
+			// blocks new pins, so the content cannot change underneath.
+			p.mu.Unlock()
+			err := p.writeBack(m, e)
+			p.mu.Lock()
+			if err != nil {
+				e.unclaimEvict()
 				return err
 			}
 		}
@@ -264,7 +354,10 @@ func (p *VMPool) evictOneLocked(m *simtime.Meter) error {
 	return fmt.Errorf("buffer: all extents pinned or protected: %w", ErrPoolFull)
 }
 
-func (p *VMPool) writeBackLocked(m *simtime.Meter, e *entry) error {
+// writeBack flushes the dirty range of a pinned or evict-claimed entry. It
+// takes no pool lock: the frame range is immutable once assigned and the
+// caller's pin/claim keeps it alive.
+func (p *VMPool) writeBack(m *simtime.Meter, e *entry) error {
 	lo, hi := e.takeDirty()
 	if lo == hi {
 		return nil
@@ -281,44 +374,60 @@ func (p *VMPool) writeBackLocked(m *simtime.Meter, e *entry) error {
 
 // removeLocked unlinks e from the resident structures and frees its frames.
 func (p *VMPool) removeLocked(e *entry) {
-	delete(p.resident, e.headPID)
-	for i, pid := range p.order {
-		if pid == e.headPID {
-			p.order[i] = p.order[len(p.order)-1]
-			p.order = p.order[:len(p.order)-1]
-			break
+	sh := p.resident.shard(e.headPID)
+	sh.Lock()
+	if sh.m[e.headPID] != e {
+		sh.Unlock()
+		return
+	}
+	delete(sh.m, e.headPID)
+	sh.Unlock()
+	if i, ok := p.orderIdx[e.headPID]; ok {
+		last := len(p.order) - 1
+		moved := p.order[last]
+		p.order[i] = moved
+		p.order = p.order[:last]
+		if moved != e.headPID {
+			p.orderIdx[moved] = i
 		}
+		delete(p.orderIdx, e.headPID)
 	}
 	p.freeSpanLocked(e.frameOff, e.npages)
 	p.residentPg -= e.npages
 }
 
-// FlushExtent implements Pool.
+// FlushExtent implements Pool. The caller's pin keeps the frame stable, so
+// no pool lock is needed.
 func (p *VMPool) FlushExtent(m *simtime.Meter, f *Frame) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e := f.entry
-	if e.dirty() {
-		if err := p.writeBackLocked(m, e); err != nil {
-			return err
-		}
+	if err := p.writeBack(m, f.entry); err != nil {
+		return err
 	}
-	e.preventEvict.Store(false)
+	f.entry.preventEvict.Store(false)
 	return nil
 }
 
 // Drop implements Pool.
 func (p *VMPool) Drop(pid storage.PID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e, ok := p.resident[pid]
-	if !ok {
-		return
+	for {
+		p.mu.Lock()
+		e := p.resident.get(pid)
+		if e == nil {
+			p.mu.Unlock()
+			return
+		}
+		if e.pins.Load() > 0 {
+			p.mu.Unlock()
+			panic("buffer: Drop of pinned extent")
+		}
+		if e.claimEvict() {
+			p.removeLocked(e)
+			p.mu.Unlock()
+			return
+		}
+		// Claimed by an in-flight eviction; let its write-back finish.
+		p.mu.Unlock()
+		runtime.Gosched()
 	}
-	if e.pins.Load() > 0 {
-		panic("buffer: Drop of pinned extent")
-	}
-	p.removeLocked(e)
 }
 
 // EvictAll implements Pool.
@@ -326,12 +435,19 @@ func (p *VMPool) EvictAll(m *simtime.Meter) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, pid := range append([]storage.PID(nil), p.order...) {
-		e := p.resident[pid]
-		if e == nil || e.pins.Load() > 0 || e.preventEvict.Load() {
+		e := p.resident.get(pid)
+		if e == nil || e.preventEvict.Load() || !e.isLoaded() {
+			continue
+		}
+		if !e.claimEvict() {
 			continue
 		}
 		if e.dirty() {
-			if err := p.writeBackLocked(m, e); err != nil {
+			p.mu.Unlock()
+			err := p.writeBack(m, e)
+			p.mu.Lock()
+			if err != nil {
+				e.unclaimEvict()
 				return err
 			}
 		}
@@ -342,15 +458,16 @@ func (p *VMPool) EvictAll(m *simtime.Meter) error {
 }
 
 func (p *VMPool) release(f *Frame) {
-	n := f.entry.pins.Add(-1)
+	e := f.entry
+	n := e.pins.Add(-1)
 	if n < 0 {
 		panic("buffer: double release")
 	}
-	if n == 0 && f.entry.loadErr != nil {
+	if n == 0 && e.isLoaded() && e.loadErr != nil {
 		// Last pin of a failed load: unlink the poisoned entry.
 		p.mu.Lock()
-		if p.resident[f.entry.headPID] == f.entry {
-			p.removeLocked(f.entry)
+		if e.claimEvict() {
+			p.removeLocked(e)
 		}
 		p.mu.Unlock()
 	}

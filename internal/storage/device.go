@@ -41,6 +41,10 @@ type Stats struct {
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
 	syncs        atomic.Int64
+	vecReads     atomic.Int64 // vectored read submissions (one per batch)
+	vecReadSegs  atomic.Int64 // segments carried by those submissions
+	vecWrites    atomic.Int64
+	vecWriteSegs atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of device counters.
@@ -50,6 +54,10 @@ type StatsSnapshot struct {
 	BytesRead    int64
 	BytesWritten int64
 	Syncs        int64
+	VecReads     int64
+	VecReadSegs  int64
+	VecWrites    int64
+	VecWriteSegs int64
 }
 
 // Snapshot returns the current counter values.
@@ -60,6 +68,10 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		BytesRead:    s.bytesRead.Load(),
 		BytesWritten: s.bytesWritten.Load(),
 		Syncs:        s.syncs.Load(),
+		VecReads:     s.vecReads.Load(),
+		VecReadSegs:  s.vecReadSegs.Load(),
+		VecWrites:    s.vecWrites.Load(),
+		VecWriteSegs: s.vecWriteSegs.Load(),
 	}
 }
 
@@ -79,6 +91,20 @@ func (s *Stats) ReadOps() int64 { return s.readOps.Load() }
 // Syncs reports the number of flush commands issued.
 func (s *Stats) Syncs() int64 { return s.syncs.Load() }
 
+// VecReads reports the number of vectored read submissions. Each batch
+// counts once however many segments it carries — the §III-D "one vectored
+// I/O per BLOB read" is asserted against this counter in tests.
+func (s *Stats) VecReads() int64 { return s.vecReads.Load() }
+
+// VecReadSegs reports the total segments carried by vectored reads.
+func (s *Stats) VecReadSegs() int64 { return s.vecReadSegs.Load() }
+
+// VecWrites reports the number of vectored write submissions.
+func (s *Stats) VecWrites() int64 { return s.vecWrites.Load() }
+
+// VecWriteSegs reports the total segments carried by vectored writes.
+func (s *Stats) VecWriteSegs() int64 { return s.vecWriteSegs.Load() }
+
 // Reset zeroes all counters.
 func (s *Stats) Reset() {
 	s.readOps.Store(0)
@@ -86,6 +112,10 @@ func (s *Stats) Reset() {
 	s.bytesRead.Store(0)
 	s.bytesWritten.Store(0)
 	s.syncs.Store(0)
+	s.vecReads.Store(0)
+	s.vecReadSegs.Store(0)
+	s.vecWrites.Store(0)
+	s.vecWriteSegs.Store(0)
 }
 
 // Device is a page-granular block device.
@@ -197,6 +227,60 @@ func (d *MemDevice) Sync(m *simtime.Meter) error {
 	return nil
 }
 
+// ReadPagesVec implements BatchReader: all segments are transferred under
+// one submission, so the batch pays one command latency plus the bandwidth
+// of every byte. Per-segment commands still count as read ops.
+func (d *MemDevice) ReadPagesVec(m *simtime.Meter, segs []Seg) error {
+	for _, s := range segs {
+		if err := d.checkRange(s.PID, s.N); err != nil {
+			return err
+		}
+		if len(s.Buf) < s.N*d.pageSize {
+			return fmt.Errorf("storage: read buffer %d bytes, need %d", len(s.Buf), s.N*d.pageSize)
+		}
+	}
+	total := 0
+	for _, s := range segs {
+		nbytes := s.N * d.pageSize
+		off := uint64(s.PID) * uint64(d.pageSize)
+		copy(s.Buf[:nbytes], d.data[off:])
+		d.lastEnd.Store(off + uint64(nbytes))
+		total += nbytes
+	}
+	d.stats.readOps.Add(int64(len(segs)))
+	d.stats.bytesRead.Add(int64(total))
+	d.stats.vecReads.Add(1)
+	d.stats.vecReadSegs.Add(int64(len(segs)))
+	m.Charge(vecCost(d.cost, segs, false))
+	return nil
+}
+
+// WritePagesVec implements BatchWriter.
+func (d *MemDevice) WritePagesVec(m *simtime.Meter, segs []Seg) error {
+	for _, s := range segs {
+		if err := d.checkRange(s.PID, s.N); err != nil {
+			return err
+		}
+		if len(s.Buf) < s.N*d.pageSize {
+			return fmt.Errorf("storage: write buffer %d bytes, need %d", len(s.Buf), s.N*d.pageSize)
+		}
+	}
+	total := 0
+	for _, s := range segs {
+		nbytes := s.N * d.pageSize
+		off := uint64(s.PID) * uint64(d.pageSize)
+		copy(d.data[off:], s.Buf[:nbytes])
+		d.lastEnd.Store(off + uint64(nbytes))
+		total += nbytes
+	}
+	d.stats.writeOps.Add(int64(len(segs)))
+	d.stats.bytesWritten.Add(int64(total))
+	d.stats.vecWrites.Add(1)
+	d.stats.vecWriteSegs.Add(int64(len(segs)))
+	m.Charge(vecCost(d.cost, segs, true))
+	return nil
+}
+
 // FileDevice is a Device backed by an operating-system file, for runs that
 // want real persistence underneath the simulation.
 type FileDevice struct {
@@ -304,5 +388,52 @@ func (d *FileDevice) Sync(m *simtime.Meter) error {
 	}
 	d.stats.syncs.Add(1)
 	m.Charge(d.cost.SyncCost())
+	return nil
+}
+
+// ReadPagesVec implements BatchReader (preadv-style: one submission, many
+// segments).
+func (d *FileDevice) ReadPagesVec(m *simtime.Meter, segs []Seg) error {
+	total := 0
+	for _, s := range segs {
+		if err := d.checkRange(s.PID, s.N); err != nil {
+			return err
+		}
+		nbytes := s.N * d.pageSize
+		off := int64(s.PID) * int64(d.pageSize)
+		if _, err := d.f.ReadAt(s.Buf[:nbytes], off); err != nil {
+			return fmt.Errorf("storage: read pages: %w", err)
+		}
+		d.lastEnd.Store(uint64(off) + uint64(nbytes))
+		total += nbytes
+	}
+	d.stats.readOps.Add(int64(len(segs)))
+	d.stats.bytesRead.Add(int64(total))
+	d.stats.vecReads.Add(1)
+	d.stats.vecReadSegs.Add(int64(len(segs)))
+	m.Charge(vecCost(d.cost, segs, false))
+	return nil
+}
+
+// WritePagesVec implements BatchWriter.
+func (d *FileDevice) WritePagesVec(m *simtime.Meter, segs []Seg) error {
+	total := 0
+	for _, s := range segs {
+		if err := d.checkRange(s.PID, s.N); err != nil {
+			return err
+		}
+		nbytes := s.N * d.pageSize
+		off := int64(s.PID) * int64(d.pageSize)
+		if _, err := d.f.WriteAt(s.Buf[:nbytes], off); err != nil {
+			return fmt.Errorf("storage: write pages: %w", err)
+		}
+		d.lastEnd.Store(uint64(off) + uint64(nbytes))
+		total += nbytes
+	}
+	d.stats.writeOps.Add(int64(len(segs)))
+	d.stats.bytesWritten.Add(int64(total))
+	d.stats.vecWrites.Add(1)
+	d.stats.vecWriteSegs.Add(int64(len(segs)))
+	m.Charge(vecCost(d.cost, segs, true))
 	return nil
 }

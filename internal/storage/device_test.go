@@ -245,3 +245,62 @@ func TestVecCostEmpty(t *testing.T) {
 		t.Errorf("nil model cost = %v, want 0", got)
 	}
 }
+
+func TestVecDoesNotMutateCallerSegs(t *testing.T) {
+	d := NewMemDevice(DefaultPageSize, 64, nil)
+	// Oversized buffers: the vec helpers must trim locally, never by
+	// rewriting the caller's Seg.Buf slice headers.
+	mk := func() []Seg {
+		return []Seg{
+			{PID: 1, N: 1, Buf: make([]byte, 3*DefaultPageSize)},
+			{PID: 5, N: 2, Buf: make([]byte, 2*DefaultPageSize+17)},
+		}
+	}
+	for name, call := range map[string]func([]Seg) error{
+		"ReadVec":  func(s []Seg) error { return ReadVec(d, nil, s) },
+		"WriteVec": func(s []Seg) error { return WriteVec(d, nil, s) },
+	} {
+		segs := mk()
+		wantLen := []int{len(segs[0].Buf), len(segs[1].Buf)}
+		if err := call(segs); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range segs {
+			if len(segs[i].Buf) != wantLen[i] {
+				t.Errorf("%s truncated caller's segment %d buffer: %d -> %d bytes",
+					name, i, wantLen[i], len(segs[i].Buf))
+			}
+		}
+	}
+	// Stats: the two calls above were one vectored submission each.
+	if d.Stats().VecReads() != 1 || d.Stats().VecWrites() != 1 {
+		t.Errorf("vec stats = %d reads / %d writes, want 1/1",
+			d.Stats().VecReads(), d.Stats().VecWrites())
+	}
+}
+
+func TestVecSubmissionStats(t *testing.T) {
+	d := NewMemDevice(DefaultPageSize, 64, nil)
+	segs := []Seg{
+		{PID: 1, N: 1, Buf: make([]byte, DefaultPageSize)},
+		{PID: 5, N: 2, Buf: make([]byte, 2*DefaultPageSize)},
+		{PID: 9, N: 1, Buf: make([]byte, DefaultPageSize)},
+	}
+	if err := WriteVec(d, nil, segs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadVec(d, nil, segs); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats().Snapshot()
+	if s.VecReads != 1 || s.VecReadSegs != 3 {
+		t.Errorf("VecReads/Segs = %d/%d, want 1/3", s.VecReads, s.VecReadSegs)
+	}
+	if s.VecWrites != 1 || s.VecWriteSegs != 3 {
+		t.Errorf("VecWrites/Segs = %d/%d, want 1/3", s.VecWrites, s.VecWriteSegs)
+	}
+	// Per-command counters still track one op per segment.
+	if s.ReadOps != 3 || s.WriteOps != 3 {
+		t.Errorf("ReadOps/WriteOps = %d/%d, want 3/3", s.ReadOps, s.WriteOps)
+	}
+}

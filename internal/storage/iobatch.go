@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"time"
 
 	"blobdb/internal/simtime"
@@ -11,6 +12,18 @@ type Seg struct {
 	PID PID
 	N   int    // pages
 	Buf []byte // at least N*PageSize bytes
+}
+
+// BatchReader is implemented by devices that accept a whole vectored read
+// as one submission (io_uring/preadv-style): one command latency for the
+// batch, one entry on the device's submission counter.
+type BatchReader interface {
+	ReadPagesVec(m *simtime.Meter, segs []Seg) error
+}
+
+// BatchWriter is the write-side counterpart of BatchReader.
+type BatchWriter interface {
+	WritePagesVec(m *simtime.Meter, segs []Seg) error
 }
 
 // costModeler is implemented by devices that expose their cost model so
@@ -41,19 +54,40 @@ func vecCost(cm *simtime.DeviceCostModel, segs []Seg, write bool) time.Duration 
 	return cm.ReadCost(total, len(segs) == 1)
 }
 
+// trimSegs re-slices every segment buffer to its exact byte length into a
+// fresh slice — never into the caller's []Seg, whose Buf headers must not
+// be silently truncated.
+func trimSegs(d Device, segs []Seg) ([]Seg, error) {
+	trimmed := make([]Seg, len(segs))
+	for i, s := range segs {
+		n := s.N * d.PageSize()
+		if len(s.Buf) < n {
+			return nil, fmt.Errorf("storage: segment %d buffer %d bytes, need %d", i, len(s.Buf), n)
+		}
+		trimmed[i] = Seg{PID: s.PID, N: s.N, Buf: s.Buf[:n:n]}
+	}
+	return trimmed, nil
+}
+
 // ReadVec reads all segments as one asynchronous batch (io_uring-style):
 // the segments' transfer costs add, but the per-command latencies overlap.
 // This is the §III-D BLOB read path — one submission for all extents.
 func ReadVec(d Device, m *simtime.Meter, segs []Seg) error {
-	for i := range segs {
-		segs[i].Buf = segs[i].Buf[:segs[i].N*d.PageSize()]
+	trimmed, err := trimSegs(d, segs)
+	if err != nil {
+		return err
+	}
+	if br, ok := d.(BatchReader); ok {
+		return br.ReadPagesVec(m, trimmed)
+	}
+	for _, s := range trimmed {
 		// Charge nothing per command; the batch cost is charged below.
-		if err := d.ReadPages(nil, segs[i].PID, segs[i].N, segs[i].Buf); err != nil {
+		if err := d.ReadPages(nil, s.PID, s.N, s.Buf); err != nil {
 			return err
 		}
 	}
 	if cm, ok := d.(costModeler); ok {
-		m.Charge(vecCost(cm.costModel(), segs, false))
+		m.Charge(vecCost(cm.costModel(), trimmed, false))
 	}
 	return nil
 }
@@ -62,14 +96,20 @@ func ReadVec(d Device, m *simtime.Meter, segs []Seg) error {
 // commit-time extent flush of §III-C: multiple async writes submitted
 // together after the WAL record is durable.
 func WriteVec(d Device, m *simtime.Meter, segs []Seg) error {
-	for i := range segs {
-		segs[i].Buf = segs[i].Buf[:segs[i].N*d.PageSize()]
-		if err := d.WritePages(nil, segs[i].PID, segs[i].N, segs[i].Buf); err != nil {
+	trimmed, err := trimSegs(d, segs)
+	if err != nil {
+		return err
+	}
+	if bw, ok := d.(BatchWriter); ok {
+		return bw.WritePagesVec(m, trimmed)
+	}
+	for _, s := range trimmed {
+		if err := d.WritePages(nil, s.PID, s.N, s.Buf); err != nil {
 			return err
 		}
 	}
 	if cm, ok := d.(costModeler); ok {
-		m.Charge(vecCost(cm.costModel(), segs, true))
+		m.Charge(vecCost(cm.costModel(), trimmed, true))
 	}
 	return nil
 }

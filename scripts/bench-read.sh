@@ -1,0 +1,14 @@
+#!/bin/sh
+# bench-read: run the concurrent-read benchmark (cold/warm × extents ×
+# readers, sequential FixExtent vs batched FixExtents) on the wall-clock
+# latency device and record throughput + p50/p99 per scenario in
+# BENCH_PR3.json — the start of the perf trajectory for the batched read
+# path (§III-D).
+#
+# Usage: scripts/bench-read.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR3.json}"
+go run ./cmd/blobbench -concread-json "$out"
+echo "recorded $out"
