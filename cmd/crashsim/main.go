@@ -1,0 +1,96 @@
+// Command crashsim explores deterministic crash schedules against the
+// single-flush commit protocol and verifies every recovered image against
+// the reference model (internal/crashsim/refmodel).
+//
+// Usage:
+//
+//	crashsim                                   # short sweep, both tear modes
+//	crashsim -traces 50 -points 200            # nightly-sized sweep
+//	crashsim -seed 7 -synccommit -smallpool    # stress the sync path under eviction
+//	crashsim -trace-seed N -crashpoint K       # replay one schedule
+//
+// Every failure prints a one-line replay invocation; the process exits
+// non-zero if any schedule fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blobdb/internal/crashsim"
+	"blobdb/internal/storage"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "master seed deriving trace seeds and crash-point samples")
+		traces    = flag.Int("traces", 0, "op traces to explore (default: the short CI budget)")
+		steps     = flag.Int("steps", 0, "ops per trace (default: the short CI budget)")
+		points    = flag.Int("points", 0, "crash points sampled per trace and tear mode (default: the short CI budget)")
+		tear      = flag.String("tear", "", "restrict to one tear mode (ordered|scramble); default explores both")
+		syncMode  = flag.Bool("synccommit", false, "use the synchronous commit path instead of the async group-commit pipeline")
+		smallPool = flag.Bool("smallpool", false, "shrink the buffer pool so flushes contend with eviction")
+		quiet     = flag.Bool("q", false, "suppress per-trace progress output")
+
+		traceSeed = flag.Int64("trace-seed", 0, "replay: trace seed of one schedule")
+		crashOp   = flag.Int("crashpoint", -2, "replay: mutating-op index to crash at (-1: end of trace)")
+	)
+	flag.Parse()
+
+	cfg := crashsim.DefaultConfig(*seed)
+	cfg.Sync = *syncMode
+	cfg.SmallPool = *smallPool
+	if *traces > 0 {
+		cfg.Traces = *traces
+	}
+	if *steps > 0 {
+		cfg.Steps = *steps
+	}
+	if *points > 0 {
+		cfg.Points = *points
+	}
+	if *tear != "" {
+		mode, err := storage.ParseTearMode(*tear)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crashsim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Modes = []storage.TearMode{mode}
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	// Replay mode: one schedule, identified exactly as failures print it.
+	if *crashOp != -2 || *traceSeed != 0 {
+		mode := storage.TearScramble
+		if len(cfg.Modes) == 1 {
+			mode = cfg.Modes[0]
+		}
+		s := crashsim.Schedule{TraceSeed: *traceSeed, CrashOp: *crashOp, Mode: mode}
+		res, err := cfg.RunSchedule(s, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %v: %v\n", s, err)
+			os.Exit(1)
+		}
+		fmt.Printf("PASS %v (%d device ops, recovery %+v)\n", s, res.Ops, *res.Report)
+		return
+	}
+
+	stats, failures := crashsim.Explore(cfg)
+	fmt.Printf("explored %d schedules across %d traces (seed %d)\n", stats.Schedules, stats.Traces, *seed)
+	if stats.Failures == 0 {
+		fmt.Println("all schedules recovered within the reference model")
+		return
+	}
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "FAIL %v\n", f)
+	}
+	if stats.Failures > len(failures) {
+		fmt.Fprintf(os.Stderr, "...and %d more failures\n", stats.Failures-len(failures))
+	}
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package blob
 
 import (
 	"bytes"
+	"flag"
 	"math/rand"
 	"testing"
 
@@ -157,5 +158,77 @@ func TestCompareChargesTLBNothing(t *testing.T) {
 	}
 	if m.Elapsed() != 0 {
 		t.Errorf("in-memory compare charged %v", m.Elapsed())
+	}
+}
+
+// compareSeed seeds TestComparePropertyAgainstBytes; failures print the
+// replay invocation.
+var compareSeed = flag.Int64("compare-seed", 7, "seed for the comparator property test")
+
+// TestComparePropertyAgainstBytes is the property check for the §III-F
+// incremental comparator: for a generated population heavy on adversarial
+// shapes — equal SHA-256 allocated as distinct states, contents sharing a
+// prefix exactly at / one byte around the 32-byte embedded prefix and at
+// extent boundaries, proper-prefix (size-ordered) pairs — the comparator
+// must agree in sign with bytes.Compare on every ordered pair, making it
+// a total order consistent with the raw content order.
+func TestComparePropertyAgainstBytes(t *testing.T) {
+	seed := *compareSeed
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay: go test ./internal/blob -run TestComparePropertyAgainstBytes -compare-seed=%d", seed)
+		}
+	}()
+	rng := rand.New(rand.NewSource(seed))
+	e := newEnv(t, 1<<15, 1<<13, false)
+
+	extentBytes := int(e.alloc.Tiers().Size(0)) * ps
+	var contents [][]byte
+	add := func(b []byte) { contents = append(contents, b) }
+
+	add(nil)
+	add([]byte{0})
+	base := randBytes(rng, 20_000)
+	add(base)
+	add(append([]byte(nil), base...)) // equal SHA, distinct allocation
+	// Shared prefix that diverges right around the embedded-prefix cutoff
+	// and around an extent boundary.
+	for _, cut := range []int{PrefixLen - 1, PrefixLen, PrefixLen + 1, extentBytes, extentBytes + 1} {
+		if cut >= len(base) {
+			continue
+		}
+		v := append([]byte(nil), base...)
+		v[cut] ^= 0x80
+		add(v)
+	}
+	// Proper prefixes: order must fall back to size.
+	add(base[:PrefixLen])
+	add(base[:PrefixLen+1])
+	add(base[:len(base)/2])
+	add(append(append([]byte(nil), base...), randBytes(rng, 1+rng.Intn(512))...))
+	// Random fill, mixed sizes from inline-small to multi-extent.
+	for i := 0; i < 8; i++ {
+		add(randBytes(rng, rng.Intn(30_000)))
+	}
+
+	states := make([]*State, len(contents))
+	for i, c := range contents {
+		states[i] = allocBlob(t, e, c)
+	}
+	for i := range contents {
+		for j := range contents {
+			got, err := e.mgr.Compare(nil, states[i], states[j])
+			if err != nil {
+				t.Fatalf("Compare(%d, %d): %v", i, j, err)
+			}
+			want := bytes.Compare(contents[i], contents[j])
+			if sign(got) != want {
+				t.Fatalf("Compare(%d, %d) = %d, bytes.Compare = %d (sizes %d/%d)",
+					i, j, got, want, len(contents[i]), len(contents[j]))
+			}
+			if want == 0 && !EqualByHash(states[i], states[j]) {
+				t.Fatalf("contents %d and %d equal but EqualByHash says no", i, j)
+			}
+		}
 	}
 }

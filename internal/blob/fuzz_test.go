@@ -1,0 +1,65 @@
+package blob
+
+import (
+	"bytes"
+	"testing"
+
+	"blobdb/internal/extent"
+	"blobdb/internal/sha256x"
+	"blobdb/internal/storage"
+)
+
+// FuzzBlobStateDecode throws arbitrary bytes at the Blob State decoder.
+// States are read back from tuples, checkpoint images, and WAL payloads,
+// so Decode must reject any malformed input with ErrBadState-style errors
+// rather than panicking — and every input it accepts must re-encode to
+// the identical bytes (the encoding is canonical).
+func FuzzBlobStateDecode(f *testing.F) {
+	// Seed corpus: valid encodings of representative shapes.
+	mk := func(size uint64, tailPages uint64, extents ...storage.PID) []byte {
+		h := sha256x.BestHasher()
+		buf := make([]byte, size)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		h.Write(buf)
+		ist, err := h.State()
+		if err != nil {
+			f.Fatal(err)
+		}
+		st := &State{Size: size, Intermediate: ist, Tail: extent.Extent{PID: 9000, Pages: tailPages}, Extents: extents}
+		copy(st.Prefix[:], buf)
+		st.SHA256 = h.Sum256()
+		return st.Encode()
+	}
+	f.Add([]byte{})
+	f.Add(mk(0, 0))
+	f.Add(mk(10, 1))
+	f.Add(mk(1<<20, 3, 128, 256, 512))
+	long := mk(40, 2, 1, 2, 3)
+	f.Add(long[:len(long)-1]) // truncated extent list
+	f.Add(append(long, 0xaa)) // trailing garbage
+	short := mk(40, 2)
+	short[len(short)-2] = 0xff // extent count lies
+	f.Add(short)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		// Canonical round-trip: accepted bytes re-encode identically.
+		re := st.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical: %d bytes in, %d bytes out", len(data), len(re))
+		}
+		// Derived views must not panic on any accepted state.
+		_ = st.PrefixBytes()
+		_ = st.ETag()
+		_ = st.Clone()
+		_ = st.HasTail()
+		if st.NumExtents() != len(st.Extents) {
+			t.Fatal("NumExtents diverged from the extent list")
+		}
+	})
+}

@@ -68,6 +68,14 @@ func NewHTPool(dev storage.Device, numPages int) *HTPool {
 	return p
 }
 
+// SetEvictionSeed reseeds the eviction-sampling rng (see
+// VMPool.SetEvictionSeed).
+func (p *HTPool) SetEvictionSeed(seed int64) {
+	p.mu.Lock()
+	p.rng = rand.New(rand.NewSource(seed))
+	p.mu.Unlock()
+}
+
 // PageSize implements Pool.
 func (p *HTPool) PageSize() int { return p.pageSize }
 

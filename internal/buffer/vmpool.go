@@ -77,6 +77,15 @@ func NewVMPool(dev storage.Device, numPages int) *VMPool {
 	return p
 }
 
+// SetEvictionSeed reseeds the eviction-sampling rng. The default seed is
+// fixed, but the sample sequence still depends on the call history; crash
+// simulations reseed per schedule so eviction choices replay exactly.
+func (p *VMPool) SetEvictionSeed(seed int64) {
+	p.mu.Lock()
+	p.rng = rand.New(rand.NewSource(seed))
+	p.mu.Unlock()
+}
+
 // PageSize implements Pool.
 func (p *VMPool) PageSize() int { return p.pageSize }
 

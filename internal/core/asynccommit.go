@@ -53,6 +53,14 @@ type committer struct {
 	inflight    int64
 	budgetBytes int64
 	blocked     atomic.Int64 // nanoseconds workers spent waiting on the pipeline
+
+	// Deterministic-batch gate (crash simulation): while gated, the
+	// committer parks after receiving the first transaction of a batch and
+	// before draining the rest, so a test can enqueue an exact set of
+	// transactions and release them as ONE batch with a known composition.
+	gateMu   sync.Mutex
+	gateCond *sync.Cond
+	gated    bool
 }
 
 // maxCommitBatch caps how many transactions one WAL sync may cover.
@@ -66,6 +74,7 @@ func (db *DB) startCommitter() {
 		budgetBytes: int64(db.opts.PoolPages) * int64(db.dev.PageSize()) / 2,
 	}
 	db.commit.flowCond = sync.NewCond(&db.commit.flowMu)
+	db.commit.gateCond = sync.NewCond(&db.commit.gateMu)
 	db.commit.wg.Add(1)
 	go func() {
 		defer db.commit.wg.Done()
@@ -74,6 +83,9 @@ func (db *DB) startCommitter() {
 			if !ok {
 				return
 			}
+			// While HoldCommits is in effect, park before forming the batch
+			// so every transaction enqueued under the hold lands in it.
+			db.commit.waitGate()
 			// Group commit: drain whatever else is already queued so the
 			// whole batch shares one WAL sync.
 			batch := append(make([]*Txn, 0, maxCommitBatch), t)
@@ -163,6 +175,42 @@ func (t *Txn) pendingBytes() int64 {
 		}
 	}
 	return n
+}
+
+// waitGate parks the committer while a HoldCommits window is open.
+func (c *committer) waitGate() {
+	c.gateMu.Lock()
+	for c.gated {
+		c.gateCond.Wait()
+	}
+	c.gateMu.Unlock()
+}
+
+// HoldCommits pauses the async committer's batch formation: transactions
+// enqueued while the hold is in effect accumulate in the queue instead of
+// being committed one by one. ReleaseCommits lets them go as a single
+// group-commit batch of known composition — the crash-simulation harness
+// uses this to make batch boundaries deterministic. No-op without
+// AsyncCommit. Every HoldCommits must be paired with ReleaseCommits
+// (DrainCommits and CloseCommitter deadlock under an open hold).
+func (db *DB) HoldCommits() {
+	if db.commit == nil {
+		return
+	}
+	db.commit.gateMu.Lock()
+	db.commit.gated = true
+	db.commit.gateMu.Unlock()
+}
+
+// ReleaseCommits ends a HoldCommits window.
+func (db *DB) ReleaseCommits() {
+	if db.commit == nil {
+		return
+	}
+	db.commit.gateMu.Lock()
+	db.commit.gated = false
+	db.commit.gateCond.Broadcast()
+	db.commit.gateMu.Unlock()
 }
 
 // CommitBlocked reports the cumulative time workers spent blocked on the

@@ -71,6 +71,7 @@ type DB struct {
 
 	ckptStart storage.PID
 	ckptPages uint64
+	ckptNext  int // checkpoint slot the next image is written to; see recover.go
 
 	mu   sync.RWMutex // guards rels
 	rels map[string]*Relation

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sort"
 
 	"blobdb/internal/blob"
 	"blobdb/internal/btree"
@@ -24,11 +25,27 @@ const ckptMagic = 0x424c4f42_434b5054 // "BLOBCKPT"
 
 const ckptHeaderLen = 24
 
+// The checkpoint region holds two slots written alternately. A checkpoint
+// image is the only redo base for everything the truncated WAL no longer
+// covers, so it must never be overwritten in place: a crash mid-write
+// would tear the image AND leave the WAL epoch-filtered to nothing,
+// losing every committed blob. (Found by crashsim; see the pinned
+// regression schedule in internal/crashsim.) Recovery reads both slots
+// and trusts the valid image with the higher epoch.
+const ckptSlots = 2
+
+// ckptSlotGeom returns the device range of one checkpoint slot.
+func (db *DB) ckptSlotGeom(slot int) (start storage.PID, pages uint64) {
+	per := db.ckptPages / ckptSlots
+	return db.ckptStart + storage.PID(uint64(slot)*per), per
+}
+
 func newContentHasher() *sha256x.Fast { return sha256x.BestHasher() }
 
 // writeCheckpoint serializes all relations and the allocator high-water
-// mark to the checkpoint region. Installed as the WAL's OnCheckpoint hook,
-// so it runs with the WAL manager's lock held.
+// mark to the next checkpoint slot. Installed as the WAL's OnCheckpoint
+// hook, so it runs with the WAL manager's lock held — which also
+// serializes access to db.ckptNext.
 func (db *DB) writeCheckpoint(m *simtime.Meter, epoch uint32) error {
 	body := make([]byte, 0, 1<<16)
 	var u8 [8]byte
@@ -45,6 +62,10 @@ func (db *DB) writeCheckpoint(m *simtime.Meter, epoch uint32) error {
 	for n := range db.rels {
 		names = append(names, n)
 	}
+	// Sorted order keeps checkpoint images byte-identical across runs —
+	// the crash simulator replays schedules against recorded device-op
+	// hashes, so map iteration order must not leak into the image.
+	sort.Strings(names)
 	rels := make([]*Relation, 0, len(names))
 	for _, n := range names {
 		rels = append(rels, db.rels[n])
@@ -73,29 +94,57 @@ func (db *DB) writeCheckpoint(m *simtime.Meter, epoch uint32) error {
 		r.mu.RUnlock()
 	}
 
+	slot := db.ckptNext
+	slotStart, slotPages := db.ckptSlotGeom(slot)
 	total := ckptHeaderLen + len(body)
 	pageSize := db.dev.PageSize()
 	pages := (total + pageSize - 1) / pageSize
-	if uint64(pages) > db.ckptPages {
-		return fmt.Errorf("core: checkpoint of %d pages exceeds region of %d", pages, db.ckptPages)
+	if uint64(pages) > slotPages {
+		return fmt.Errorf("core: checkpoint of %d pages exceeds slot of %d", pages, slotPages)
 	}
 	buf := make([]byte, pages*pageSize)
 	binary.LittleEndian.PutUint64(buf[0:], ckptMagic)
 	binary.LittleEndian.PutUint64(buf[8:], uint64(len(body)))
 	binary.LittleEndian.PutUint32(buf[16:], crc32.ChecksumIEEE(body))
 	copy(buf[ckptHeaderLen:], body)
-	if err := db.dev.WritePages(m, db.ckptStart, pages, buf); err != nil {
+	if err := db.dev.WritePages(m, slotStart, pages, buf); err != nil {
 		return fmt.Errorf("core: write checkpoint: %w", err)
 	}
+	db.ckptNext = (slot + 1) % ckptSlots
 	return nil
 }
 
-// readCheckpoint loads the checkpoint image, returning the relations and
-// allocator high-water mark, or ok=false when no valid checkpoint exists.
+// readCheckpoint loads the newest valid checkpoint image from the two
+// slots, returning the relations and allocator high-water mark, or
+// ok=false when neither slot holds a valid checkpoint. It also points
+// db.ckptNext at the losing slot so the surviving image is never
+// overwritten by the next checkpoint.
 func (db *DB) readCheckpoint(m *simtime.Meter) (rels map[string]*btree.Tree, hwm storage.PID, epoch uint32, ok bool, err error) {
+	best := -1
+	for slot := 0; slot < ckptSlots; slot++ {
+		r, h, e, sok, serr := db.readCheckpointSlot(m, slot)
+		if serr != nil {
+			return nil, 0, 0, false, serr
+		}
+		// Epochs only grow, so the higher one is the newer image.
+		if sok && (!ok || e > epoch) {
+			rels, hwm, epoch, ok = r, h, e, true
+			best = slot
+		}
+	}
+	if ok {
+		db.ckptNext = (best + 1) % ckptSlots
+	}
+	return rels, hwm, epoch, ok, nil
+}
+
+// readCheckpointSlot parses one checkpoint slot. ok=false (with nil err)
+// means the slot is empty or torn — both are normal after a crash.
+func (db *DB) readCheckpointSlot(m *simtime.Meter, slot int) (rels map[string]*btree.Tree, hwm storage.PID, epoch uint32, ok bool, err error) {
+	slotStart, slotPages := db.ckptSlotGeom(slot)
 	pageSize := db.dev.PageSize()
 	head := make([]byte, pageSize)
-	if err := db.dev.ReadPages(m, db.ckptStart, 1, head); err != nil {
+	if err := db.dev.ReadPages(m, slotStart, 1, head); err != nil {
 		return nil, 0, 0, false, err
 	}
 	if binary.LittleEndian.Uint64(head[0:]) != ckptMagic {
@@ -105,11 +154,13 @@ func (db *DB) readCheckpoint(m *simtime.Meter) (rels map[string]*btree.Tree, hwm
 	wantCRC := binary.LittleEndian.Uint32(head[16:])
 	total := ckptHeaderLen + bodyLen
 	pages := (total + pageSize - 1) / pageSize
-	if uint64(pages) > db.ckptPages {
-		return nil, 0, 0, false, fmt.Errorf("core: checkpoint header declares %d pages", pages)
+	if bodyLen < 0 || uint64(pages) > slotPages {
+		// A torn header can declare any length; treat it like a torn image
+		// rather than failing recovery.
+		return nil, 0, 0, false, nil
 	}
 	buf := make([]byte, pages*pageSize)
-	if err := db.dev.ReadPages(m, db.ckptStart, pages, buf); err != nil {
+	if err := db.dev.ReadPages(m, slotStart, pages, buf); err != nil {
 		return nil, 0, 0, false, err
 	}
 	body := buf[ckptHeaderLen : ckptHeaderLen+bodyLen]

@@ -4,46 +4,65 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"errors"
+	"flag"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"blobdb/internal/blob"
+	"blobdb/internal/crashsim/refmodel"
 )
 
-// TestTortureAgainstReference drives a long random mix of puts, grows,
-// updates, deletes, aborts, checkpoints, and crash-recoveries against an
-// in-memory reference map. After every recovery the database must contain
-// exactly the reference contents: committed data survives any crash point,
-// uncommitted and torn data never does.
+// tortureSeed seeds the torture run; every failure prints the replay
+// invocation so any sighting reproduces exactly.
+var tortureSeed = flag.Int64("torture-seed", 2024, "seed for TestTortureAgainstReference")
+
+// TestTortureAgainstReference drives a long random mix of puts, streaming
+// creates and appends, grows, updates, deletes, aborts (including
+// mid-stream), checkpoints, and crash-recoveries against the shared
+// reference model (internal/crashsim/refmodel). After every recovery the
+// database must contain exactly the reference contents: committed data
+// survives any crash point, uncommitted and torn data never does.
 func TestTortureAgainstReference(t *testing.T) {
 	if testing.Short() {
 		t.Skip("torture run is not short")
 	}
-	rng := rand.New(rand.NewSource(2024))
+	seed := *tortureSeed
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay: go test ./internal/core -run TestTortureAgainstReference -torture-seed=%d", seed)
+		}
+	}()
+	rng := rand.New(rand.NewSource(seed))
 	o := testOpts()
 	db := openTest(t, o)
 	db.CreateRelation("r")
-	ref := map[string][]byte{}
+	model := refmodel.New()
 
 	randContent := func() []byte {
 		b := make([]byte, 1+rng.Intn(40<<10))
 		rng.Read(b)
 		return b
 	}
-	keys := func() []string {
-		out := make([]string, 0, len(ref))
-		for k := range ref {
-			out = append(out, k)
-		}
-		return out
-	}
 	pick := func() (string, bool) {
-		ks := keys()
+		// Keys() includes deleted keys; only committed ones are live.
+		ks := make([]string, 0, len(model.Keys()))
+		for _, k := range model.Keys() {
+			if _, ok := model.Committed(k); ok {
+				ks = append(ks, k)
+			}
+		}
 		if len(ks) == 0 {
 			return "", false
 		}
 		return ks[rng.Intn(len(ks))], true
+	}
+	committed := func(k string) []byte {
+		v, ok := model.Committed(k)
+		if !ok {
+			t.Fatalf("model has no committed value for %q", k)
+		}
+		return v
 	}
 
 	verify := func(step int) {
@@ -53,7 +72,7 @@ func TestTortureAgainstReference(t *testing.T) {
 		seen := 0
 		err := tx.Scan("r", nil, func(k, inline []byte, st *blob.State) bool {
 			seen++
-			want, ok := ref[string(k)]
+			want, ok := model.Committed(string(k))
 			if !ok {
 				t.Fatalf("step %d: phantom key %q", step, k)
 			}
@@ -68,18 +87,35 @@ func TestTortureAgainstReference(t *testing.T) {
 		if err != nil {
 			t.Fatalf("step %d: scan: %v", step, err)
 		}
-		if seen != len(ref) {
-			t.Fatalf("step %d: db has %d keys, reference has %d", step, seen, len(ref))
+		if seen != model.Len() {
+			t.Fatalf("step %d: db has %d keys, reference has %d", step, seen, model.Len())
 		}
 		// Deep-verify a random sample.
 		for i := 0; i < 5; i++ {
 			if k, ok := pick(); ok {
 				got, err := tx.ReadBlobBytes("r", []byte(k))
-				if err != nil || !bytes.Equal(got, ref[k]) {
+				if err != nil || !bytes.Equal(got, committed(k)) {
 					t.Fatalf("step %d: content of %q diverged: %v", step, k, err)
 				}
 			}
 		}
+	}
+
+	// stream pushes content through w in random-sized chunks, stopping
+	// after roughly frac of the bytes when frac < 1.
+	stream := func(w *blob.Writer, content []byte, frac float64) error {
+		limit := int(float64(len(content)) * frac)
+		for off := 0; off < limit; {
+			n := 1 + rng.Intn(8<<10)
+			if off+n > limit {
+				n = limit - off
+			}
+			if _, err := w.Write(content[off : off+n]); err != nil {
+				return err
+			}
+			off += n
+		}
+		return nil
 	}
 
 	var trail []string
@@ -99,7 +135,7 @@ func TestTortureAgainstReference(t *testing.T) {
 	const steps = 800
 	for step := 0; step < steps; step++ {
 		switch op := rng.Intn(100); {
-		case op < 35: // put (insert or replace), committed or aborted
+		case op < 25: // put (insert or replace), committed or aborted
 			key := fmt.Sprintf("k%03d", rng.Intn(60))
 			content := randContent()
 			note("step %d put %s %dB", step, key, len(content))
@@ -114,9 +150,84 @@ func TestTortureAgainstReference(t *testing.T) {
 				}
 			} else {
 				mustCommit(t, tx)
-				ref[key] = content
+				model.Commit(key, content)
 			}
-		case op < 50: // grow
+		case op < 35: // streaming create: commit, mid-stream abort, or mid-stream crash
+			key := fmt.Sprintf("k%03d", rng.Intn(60))
+			content := randContent()
+			tx := db.Begin(nil)
+			w, err := tx.CreateBlob(nil, "r", []byte(key))
+			if err != nil {
+				t.Fatalf("step %d: create: %v", step, err)
+			}
+			switch fate := rng.Intn(5); {
+			case fate == 0: // abort mid-stream: partial extents freed, nothing staged
+				note("step %d stream-put %s %dB abort-midstream", step, key, len(content))
+				if err := stream(w, content, 0.5); err != nil {
+					t.Fatalf("step %d: stream: %v", step, err)
+				}
+				w.Abort()
+				if err := tx.Abort(); err != nil {
+					t.Fatal(err)
+				}
+			case fate == 1: // crash mid-stream: recovery must roll the txn back
+				note("step %d stream-put %s %dB crash-midstream", step, key, len(content))
+				if err := stream(w, content, 0.5); err != nil {
+					t.Fatalf("step %d: stream: %v", step, err)
+				}
+				// Quiesce the background flusher before recovery reads the
+				// shared device; the partially flushed extents stay on disk
+				// with no commit record, so recovery discards them.
+				w.Abort()
+				db2, _, err := Recover(o, nil)
+				if err != nil {
+					t.Fatalf("step %d: recover mid-stream: %v", step, err)
+				}
+				db = db2
+				verify(step)
+			default:
+				note("step %d stream-put %s %dB", step, key, len(content))
+				if err := stream(w, content, 1); err != nil {
+					t.Fatalf("step %d: stream: %v", step, err)
+				}
+				if err := w.Close(); err != nil {
+					t.Fatalf("step %d: close: %v", step, err)
+				}
+				mustCommit(t, tx)
+				model.Commit(key, content)
+			}
+		case op < 45: // streaming append (resumable SHA), committed or aborted
+			key, ok := pick()
+			if !ok {
+				continue
+			}
+			extra := randContent()
+			tx := db.Begin(nil)
+			w, err := tx.AppendBlob(nil, "r", []byte(key))
+			if err != nil {
+				t.Fatalf("step %d: append: %v", step, err)
+			}
+			if rng.Intn(5) == 0 {
+				note("step %d stream-append %s +%dB abort-midstream", step, key, len(extra))
+				if err := stream(w, extra, 0.5); err != nil {
+					t.Fatalf("step %d: stream: %v", step, err)
+				}
+				w.Abort()
+				if err := tx.Abort(); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				note("step %d stream-append %s +%dB", step, key, len(extra))
+				if err := stream(w, extra, 1); err != nil {
+					t.Fatalf("step %d: stream: %v", step, err)
+				}
+				if err := w.Close(); err != nil {
+					t.Fatalf("step %d: close: %v", step, err)
+				}
+				mustCommit(t, tx)
+				model.Commit(key, append(append([]byte(nil), committed(key)...), extra...))
+			}
+		case op < 52: // grow
 			key, ok := pick()
 			if !ok {
 				continue
@@ -131,15 +242,16 @@ func TestTortureAgainstReference(t *testing.T) {
 				tx.Abort()
 			} else {
 				mustCommit(t, tx)
-				ref[key] = append(append([]byte(nil), ref[key]...), extra...)
+				model.Commit(key, append(append([]byte(nil), committed(key)...), extra...))
 			}
 		case op < 62: // update (random scheme)
 			key, ok := pick()
-			if !ok || len(ref[key]) == 0 {
+			if !ok || len(committed(key)) == 0 {
 				continue
 			}
-			n := 1 + rng.Intn(len(ref[key]))
-			off := rng.Intn(len(ref[key]) - n + 1)
+			old := committed(key)
+			n := 1 + rng.Intn(len(old))
+			off := rng.Intn(len(old) - n + 1)
 			patch := make([]byte, n)
 			rng.Read(patch)
 			note("step %d update %s off=%d n=%d", step, key, off, n)
@@ -151,9 +263,9 @@ func TestTortureAgainstReference(t *testing.T) {
 				tx.Abort()
 			} else {
 				mustCommit(t, tx)
-				nv := append([]byte(nil), ref[key]...)
+				nv := append([]byte(nil), old...)
 				copy(nv[off:], patch)
-				ref[key] = nv
+				model.Commit(key, nv)
 			}
 		case op < 74: // delete
 			key, ok := pick()
@@ -169,17 +281,43 @@ func TestTortureAgainstReference(t *testing.T) {
 				tx.Abort()
 			} else {
 				mustCommit(t, tx)
-				delete(ref, key)
+				model.Delete(key)
 			}
 		case op < 80: // torn transaction: WAL durable, extents lost
 			key := fmt.Sprintf("k%03d", rng.Intn(60))
-			note("step %d torn-put %s", step, key)
-			tx := db.Begin(nil)
-			if err := tx.PutBlob("r", []byte(key), randContent()); err != nil {
-				t.Fatal(err)
-			}
-			if err := CrashBeforeExtentFlush(tx); err != nil {
-				t.Fatal(err)
+			if rng.Intn(2) == 0 {
+				// Buffered put: extents never reach the device, so §III-C
+				// validation fails the txn and the pre-image survives.
+				note("step %d torn-put %s", step, key)
+				tx := db.Begin(nil)
+				if err := tx.PutBlob("r", []byte(key), randContent()); err != nil {
+					t.Fatal(err)
+				}
+				if err := CrashBeforeExtentFlush(tx); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				// Streaming put: completed extents flush DURING the write and
+				// Close drains the flusher, so even "crashing" before the
+				// commit-time extent flush leaves the content on the device —
+				// recovery validates the SHA and keeps the blob.
+				content := randContent()
+				note("step %d torn-stream-put %s", step, key)
+				tx := db.Begin(nil)
+				w, err := tx.CreateBlob(nil, "r", []byte(key))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := stream(w, content, 1); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if err := CrashBeforeExtentFlush(tx); err != nil {
+					t.Fatal(err)
+				}
+				model.Commit(key, content)
 			}
 			// Crash NOW: the torn state is in the WAL; recover.
 			db2, _, err := Recover(o, nil)

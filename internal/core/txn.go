@@ -583,6 +583,29 @@ func (t *Txn) CommitWait() error {
 	}
 }
 
+// CommitAsync commits like CommitWait but returns the durability ack
+// channel instead of blocking on it, so one goroutine can enqueue several
+// transactions into the same group-commit batch (under DB.HoldCommits) and
+// collect the acks afterwards. The channel is buffered: the committer
+// never blocks delivering the ack. Outside AsyncCommit mode (or for a
+// read-only transaction) the commit happens synchronously and the returned
+// channel already holds its result.
+func (t *Txn) CommitAsync() (<-chan error, error) {
+	if t.db.commit == nil || !t.wrote || len(t.open) > 0 {
+		ch := make(chan error, 1)
+		ch <- t.Commit()
+		return ch, nil
+	}
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	t.waitC = make(chan error, 1)
+	if err := t.Commit(); err != nil {
+		return nil, err
+	}
+	return t.waitC, nil
+}
+
 // Abort rolls the transaction back: open streaming writers are aborted,
 // tree changes are undone in reverse, pending extents are discarded, and
 // nothing (durable) reaches the device.

@@ -1,0 +1,130 @@
+package crashsim
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"blobdb/internal/storage"
+)
+
+// Replay flags: every crashsim failure prints a one-line invocation using
+// these, so any schedule reproduces deterministically.
+var (
+	flagSeed      = flag.Int64("seed", 1, "master seed for schedule exploration")
+	flagTraceSeed = flag.Int64("trace-seed", 0, "replay: trace seed of the schedule")
+	flagCrashOp   = flag.Int("crashpoint", -2, "replay: mutating-op index to crash at (-1: end of trace)")
+	flagTear      = flag.String("tear", "scramble", "replay: tear mode (ordered|scramble)")
+	flagSync      = flag.Bool("synccommit", false, "replay: use the synchronous commit path")
+	flagSmall     = flag.Bool("smallpool", false, "replay: shrink the buffer pool")
+)
+
+func reportFailures(t *testing.T, stats ExploreStats, failures []Failure) {
+	t.Helper()
+	t.Logf("explored %d schedules across %d traces (seed %d)", stats.Schedules, stats.Traces, *flagSeed)
+	for _, f := range failures {
+		t.Errorf("schedule failed:\n%v", f)
+	}
+	if stats.Failures > len(failures) {
+		t.Errorf("...and %d more failures (raise the cap or replay individually)", stats.Failures-len(failures))
+	}
+}
+
+// TestCrashSchedulesShort samples the (trace, crash point) space under
+// both tear modes with the async group-commit pipeline — the bounded
+// budget run CI executes on every PR. On failure, each offending schedule
+// prints its replay invocation.
+func TestCrashSchedulesShort(t *testing.T) {
+	cfg := DefaultConfig(*flagSeed)
+	if testing.Short() {
+		// Keep the -race -short sweep under a few seconds; the dedicated
+		// crashsim job and the nightly run use bigger budgets.
+		cfg.Traces = 3
+		cfg.Points = 30
+	}
+	cfg.Logf = t.Logf
+	stats, failures := Explore(cfg)
+	reportFailures(t, stats, failures)
+	min := 100
+	if !testing.Short() {
+		min = 500
+	}
+	if stats.Schedules < min {
+		t.Errorf("explored only %d schedules, want >= %d", stats.Schedules, min)
+	}
+}
+
+// TestCrashSchedulesSmallPool runs a smaller sweep with a pool sized to
+// force eviction during flushes (the prevent_evict window) and the
+// synchronous commit path for contrast.
+func TestCrashSchedulesSmallPool(t *testing.T) {
+	cfg := DefaultConfig(*flagSeed + 1)
+	cfg.Traces = 2
+	cfg.Points = 15
+	cfg.SmallPool = true
+	cfg.Logf = t.Logf
+	stats, failures := Explore(cfg)
+	reportFailures(t, stats, failures)
+
+	cfg = DefaultConfig(*flagSeed + 2)
+	cfg.Traces = 2
+	cfg.Points = 10
+	cfg.Sync = true
+	cfg.Logf = t.Logf
+	stats, failures = Explore(cfg)
+	reportFailures(t, stats, failures)
+}
+
+// TestReplaySchedule re-runs one schedule identified by -trace-seed and
+// -crashpoint (printed by every exploration failure). It is skipped unless
+// those flags are set.
+func TestReplaySchedule(t *testing.T) {
+	if *flagCrashOp == -2 && *flagTraceSeed == 0 {
+		t.Skip("pass -trace-seed and -crashpoint to replay a schedule")
+	}
+	mode, err := storage.ParseTearMode(*flagTear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(*flagSeed)
+	cfg.Sync = *flagSync
+	cfg.SmallPool = *flagSmall
+	s := Schedule{TraceSeed: *flagTraceSeed, CrashOp: *flagCrashOp, Mode: mode}
+	res, err := cfg.RunSchedule(s, nil)
+	if err != nil {
+		t.Fatalf("schedule %v failed: %v", s, err)
+	}
+	t.Logf("schedule %v passed (%d device ops, recovery report %+v)", s, res.Ops, res.Report)
+}
+
+// regressionSchedules pins crash points that surfaced real recovery bugs.
+// Each entry must keep passing forever.
+//
+// Torn-second-checkpoint data loss: before checkpoints were dual-slot
+// (core/recover.go), the single checkpoint image was overwritten in
+// place. Crash point 70 of this trace lands inside the SECOND checkpoint
+// image write: the epoch-1 redo base tears (CRC fails), recovery falls
+// back to epoch 0, and the WAL scan — which requires an exact epoch
+// match — filters out every epoch-1 flush block. Recovery came back
+// empty: total loss of all committed blobs.
+var regressionSchedules = []struct {
+	s    Schedule
+	sync bool
+}{
+	{Schedule{TraceSeed: 7338701143958340983, CrashOp: 70, Mode: storage.TearOrdered}, true},
+	{Schedule{TraceSeed: 7338701143958340983, CrashOp: 70, Mode: storage.TearScramble}, true},
+	{Schedule{TraceSeed: 7338701143958340983, CrashOp: 70, Mode: storage.TearScramble}, false},
+}
+
+func TestRegressionSchedules(t *testing.T) {
+	for _, rs := range regressionSchedules {
+		rs := rs
+		t.Run(fmt.Sprintf("%v sync=%v", rs.s, rs.sync), func(t *testing.T) {
+			cfg := DefaultConfig(1)
+			cfg.Sync = rs.sync
+			if _, err := cfg.RunSchedule(rs.s, nil); err != nil {
+				t.Fatalf("pinned schedule regressed: %v", err)
+			}
+		})
+	}
+}

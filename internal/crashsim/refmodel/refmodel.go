@@ -1,0 +1,266 @@
+// Package refmodel is the reference model the torture test and the crash
+// simulator check recovery against. It tracks, per key, the durable
+// committed content plus the set of outcomes a crash may legally leave
+// behind for operations that were in flight (staged or acknowledged but
+// not yet covered by a device sync) when the crash hit.
+//
+// The allowed-outcome rules encode the engine's §III-C recovery contract:
+//
+//   - A committed, synced value survives any crash byte-identical.
+//   - An in-flight put/append/clone-update may surface as the old value
+//     (WAL commit record not durable, or durable but extents torn — the
+//     transaction is failed and undone) or the new value. Never garbage.
+//   - An in-flight delete may leave the key present (old) or absent.
+//   - An in-flight IN-PLACE update may additionally drop the key
+//     entirely: the old extents are modified under the old Blob State, so
+//     a tear can invalidate both the old and the new SHA-256, and
+//     recovery's sweep removes the tuple (with a DroppedTuples entry).
+//     This is a documented consequence of delta updates, not a bug — see
+//     DESIGN.md §8.
+//
+// The package deliberately imports nothing from the engine so that core's
+// tests, the crashsim harness, and the CLI can all share it.
+package refmodel
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// pending is the in-flight operation set for one key. The committed value
+// (or committed absence) is always an allowed alternative in addition to
+// these outcomes.
+type pending struct {
+	outcomes [][]byte // candidate new contents, in stage order
+	absentOK bool     // a crash may legally drop the key
+	deleted  bool     // last staged op was a delete
+}
+
+type keyState struct {
+	content []byte // committed durable content; nil when absent
+	present bool
+	pend    *pending
+}
+
+// Model is the reference state machine.
+type Model struct {
+	keys map[string]*keyState
+}
+
+// New returns an empty model.
+func New() *Model { return &Model{keys: map[string]*keyState{}} }
+
+func (m *Model) state(key string) *keyState {
+	ks, ok := m.keys[key]
+	if !ok {
+		ks = &keyState{}
+		m.keys[key] = ks
+	}
+	return ks
+}
+
+func (m *Model) pend(key string) *pending {
+	ks := m.state(key)
+	if ks.pend == nil {
+		ks.pend = &pending{}
+	}
+	return ks.pend
+}
+
+// Commit records a definite durable put: the value is committed AND its
+// extents are covered by a completed device sync (or the tear model makes
+// them equivalent to synced). Clears any pending state for the key.
+func (m *Model) Commit(key string, content []byte) {
+	ks := m.state(key)
+	ks.content = append([]byte(nil), content...)
+	ks.present = true
+	ks.pend = nil
+}
+
+// Delete records a definite durable delete.
+func (m *Model) Delete(key string) {
+	ks := m.state(key)
+	ks.content = nil
+	ks.present = false
+	ks.pend = nil
+}
+
+// StagePut records an in-flight put/append/clone-update of key to content:
+// until promoted, a crash may leave either the committed value or content.
+func (m *Model) StagePut(key string, content []byte) {
+	p := m.pend(key)
+	p.outcomes = append(p.outcomes, append([]byte(nil), content...))
+	p.deleted = false
+}
+
+// StageDelete records an in-flight delete: a crash may leave the committed
+// value or no key.
+func (m *Model) StageDelete(key string) {
+	p := m.pend(key)
+	p.absentOK = true
+	p.deleted = true
+}
+
+// StageUpdateInPlace records an in-flight delta (in-place) update: a crash
+// may leave the old value, the new value, or — when the tear corrupts the
+// shared extents under both States — no key at all.
+func (m *Model) StageUpdateInPlace(key string, content []byte) {
+	p := m.pend(key)
+	p.outcomes = append(p.outcomes, append([]byte(nil), content...))
+	p.absentOK = true
+	p.deleted = false
+}
+
+// Promote resolves the key's pending operations as committed: the last
+// staged op becomes the durable state. Call it once the operation is
+// acknowledged and its extents are covered by a device sync.
+func (m *Model) Promote(key string) {
+	ks := m.state(key)
+	p := ks.pend
+	if p == nil {
+		return
+	}
+	switch {
+	case p.deleted:
+		ks.content = nil
+		ks.present = false
+	case len(p.outcomes) > 0:
+		ks.content = p.outcomes[len(p.outcomes)-1]
+		ks.present = true
+	}
+	ks.pend = nil
+}
+
+// Discard drops the key's pending operations (aborted transaction, failed
+// enqueue): the committed state stands alone again.
+func (m *Model) Discard(key string) {
+	if ks, ok := m.keys[key]; ok {
+		ks.pend = nil
+		if !ks.present && ks.pend == nil && ks.content == nil {
+			delete(m.keys, key)
+		}
+	}
+}
+
+// DiscardAll drops every pending operation.
+func (m *Model) DiscardAll() {
+	for k, ks := range m.keys {
+		ks.pend = nil
+		if !ks.present {
+			delete(m.keys, k)
+		}
+	}
+}
+
+// allowed enumerates the key's legal post-crash outcomes.
+func (ks *keyState) allowed() (contents [][]byte, absentOK bool) {
+	if ks.present {
+		contents = append(contents, ks.content)
+	} else {
+		absentOK = true
+	}
+	if ks.pend != nil {
+		contents = append(contents, ks.pend.outcomes...)
+		if ks.pend.absentOK {
+			absentOK = true
+		}
+	}
+	return contents, absentOK
+}
+
+// Verify checks a recovered snapshot (key -> full content) against the
+// model: every key's content must be one of its allowed outcomes, keys
+// with no allowed present-outcome must be absent, and no phantom keys may
+// appear. The returned error names the first offending key.
+func (m *Model) Verify(snapshot map[string][]byte) error {
+	for key, got := range snapshot {
+		ks, ok := m.keys[key]
+		if !ok {
+			return fmt.Errorf("refmodel: phantom key %q (%d bytes) after recovery", key, len(got))
+		}
+		contents, _ := ks.allowed()
+		if !matchAny(got, contents) {
+			return fmt.Errorf("refmodel: key %q recovered to %d bytes matching none of %d allowed versions",
+				key, len(got), len(contents))
+		}
+	}
+	for key, ks := range m.keys {
+		if _, ok := snapshot[key]; ok {
+			continue
+		}
+		if _, absentOK := ks.allowed(); !absentOK {
+			return fmt.Errorf("refmodel: committed key %q (%d bytes) missing after recovery",
+				key, len(ks.content))
+		}
+	}
+	return nil
+}
+
+// Reconcile verifies the snapshot and then collapses every ambiguity to
+// the observed outcome, so the model tracks the recovered database exactly
+// (the torture test continues operating after each recovery).
+func (m *Model) Reconcile(snapshot map[string][]byte) error {
+	if err := m.Verify(snapshot); err != nil {
+		return err
+	}
+	for key, ks := range m.keys {
+		got, ok := snapshot[key]
+		if ok {
+			ks.content = append([]byte(nil), got...)
+			ks.present = true
+		} else {
+			ks.content = nil
+			ks.present = false
+		}
+		ks.pend = nil
+	}
+	for key := range m.keys {
+		if !m.keys[key].present {
+			delete(m.keys, key)
+		}
+	}
+	return nil
+}
+
+func matchAny(got []byte, contents [][]byte) bool {
+	for _, c := range contents {
+		if bytes.Equal(got, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Committed returns the definite content for key and whether the key is
+// definitely present (keys with pending operations report their committed
+// base).
+func (m *Model) Committed(key string) ([]byte, bool) {
+	ks, ok := m.keys[key]
+	if !ok || !ks.present {
+		return nil, false
+	}
+	return ks.content, true
+}
+
+// Keys returns the sorted set of keys that are present or have pending
+// operations.
+func (m *Model) Keys() []string {
+	out := make([]string, 0, len(m.keys))
+	for k := range m.keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of definitely-present keys.
+func (m *Model) Len() int {
+	n := 0
+	for _, ks := range m.keys {
+		if ks.present {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,136 @@
+package refmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCommittedSurvives(t *testing.T) {
+	m := New()
+	m.Commit("a", []byte("hello"))
+	if err := m.Verify(map[string][]byte{"a": []byte("hello")}); err != nil {
+		t.Fatalf("exact snapshot rejected: %v", err)
+	}
+	if err := m.Verify(map[string][]byte{}); err == nil {
+		t.Fatal("missing committed key accepted")
+	}
+	if err := m.Verify(map[string][]byte{"a": []byte("hellO")}); err == nil {
+		t.Fatal("corrupt content accepted")
+	}
+	if err := m.Verify(map[string][]byte{"a": []byte("hello"), "b": []byte("x")}); err == nil {
+		t.Fatal("phantom key accepted")
+	}
+}
+
+func TestStagedPutAmbiguity(t *testing.T) {
+	m := New()
+	m.Commit("a", []byte("old"))
+	m.StagePut("a", []byte("new"))
+	for _, v := range []string{"old", "new"} {
+		if err := m.Verify(map[string][]byte{"a": []byte(v)}); err != nil {
+			t.Fatalf("allowed outcome %q rejected: %v", v, err)
+		}
+	}
+	if err := m.Verify(map[string][]byte{}); err == nil {
+		t.Fatal("staged put over committed key must not allow absence")
+	}
+	if err := m.Verify(map[string][]byte{"a": []byte("other")}); err == nil {
+		t.Fatal("garbage outcome accepted")
+	}
+	// Fresh key: old state is absence.
+	m2 := New()
+	m2.StagePut("b", []byte("v"))
+	if err := m2.Verify(map[string][]byte{}); err != nil {
+		t.Fatalf("staged put on fresh key must allow absence: %v", err)
+	}
+	if err := m2.Verify(map[string][]byte{"b": []byte("v")}); err != nil {
+		t.Fatalf("staged put on fresh key must allow the new value: %v", err)
+	}
+}
+
+func TestStagedDeleteAndInPlace(t *testing.T) {
+	m := New()
+	m.Commit("d", []byte("gone?"))
+	m.StageDelete("d")
+	if err := m.Verify(map[string][]byte{}); err != nil {
+		t.Fatalf("staged delete must allow absence: %v", err)
+	}
+	if err := m.Verify(map[string][]byte{"d": []byte("gone?")}); err != nil {
+		t.Fatalf("staged delete must allow the old value: %v", err)
+	}
+
+	m = New()
+	m.Commit("u", []byte("aaaa"))
+	m.StageUpdateInPlace("u", []byte("aabb"))
+	for _, snap := range []map[string][]byte{
+		{"u": []byte("aaaa")},
+		{"u": []byte("aabb")},
+		{}, // both SHAs corrupted: tuple dropped
+	} {
+		if err := m.Verify(snap); err != nil {
+			t.Fatalf("in-place update outcome rejected: %v", err)
+		}
+	}
+}
+
+func TestPromoteAndDiscard(t *testing.T) {
+	m := New()
+	m.Commit("k", []byte("v1"))
+	m.StagePut("k", []byte("v2"))
+	m.Promote("k")
+	if err := m.Verify(map[string][]byte{"k": []byte("v1")}); err == nil {
+		t.Fatal("old value accepted after promote")
+	}
+	if err := m.Verify(map[string][]byte{"k": []byte("v2")}); err != nil {
+		t.Fatalf("promoted value rejected: %v", err)
+	}
+
+	m.StageDelete("k")
+	m.Promote("k")
+	if err := m.Verify(map[string][]byte{}); err != nil {
+		t.Fatalf("promoted delete rejected: %v", err)
+	}
+
+	m.StagePut("k", []byte("v3"))
+	m.Discard("k")
+	if err := m.Verify(map[string][]byte{"k": []byte("v3")}); err == nil {
+		t.Fatal("discarded value accepted")
+	}
+	if err := m.Verify(map[string][]byte{}); err != nil {
+		t.Fatalf("discard did not restore absence: %v", err)
+	}
+}
+
+func TestReconcileCollapses(t *testing.T) {
+	m := New()
+	m.Commit("a", []byte("old"))
+	m.StagePut("a", []byte("new"))
+	if err := m.Reconcile(map[string][]byte{"a": []byte("new")}); err != nil {
+		t.Fatalf("reconcile: %v", err)
+	}
+	// Ambiguity collapsed to the observed value.
+	if err := m.Verify(map[string][]byte{"a": []byte("old")}); err == nil {
+		t.Fatal("old value still accepted after reconcile")
+	}
+	if got, ok := m.Committed("a"); !ok || string(got) != "new" {
+		t.Fatalf("Committed = %q/%v, want new/true", got, ok)
+	}
+	if err := m.Reconcile(map[string][]byte{"zzz": []byte("?")}); err == nil ||
+		!strings.Contains(err.Error(), "phantom") {
+		t.Fatalf("reconcile accepted phantom: %v", err)
+	}
+}
+
+func TestKeysAndLen(t *testing.T) {
+	m := New()
+	m.Commit("b", []byte("1"))
+	m.Commit("a", []byte("2"))
+	m.StagePut("c", []byte("3"))
+	ks := m.Keys()
+	if len(ks) != 3 || ks[0] != "a" || ks[1] != "b" || ks[2] != "c" {
+		t.Fatalf("Keys = %v", ks)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (c is only pending)", m.Len())
+	}
+}

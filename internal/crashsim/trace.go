@@ -1,0 +1,186 @@
+package crashsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Trace generation.
+//
+// A trace is a deterministic function of its seed alone: the op list —
+// keys, contents, batch compositions, update offsets — is fully
+// precomputed before any engine call, so replaying the same trace seed
+// always drives the identical operation sequence regardless of where (or
+// whether) the crash fires. A shadow map tracks which keys exist and with
+// what content so the generator only emits applicable ops (append/delete
+// on present keys) and can precompute the post-op content the reference
+// model stages.
+
+type opKind int
+
+const (
+	opPut opKind = iota
+	opPutAbort
+	opAppend
+	opDelete
+	opUpdateClone
+	opUpdateInPlace
+	opBatchPut
+	opCheckpoint
+	opRead
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opPut:
+		return "put"
+	case opPutAbort:
+		return "put-abort"
+	case opAppend:
+		return "append"
+	case opDelete:
+		return "delete"
+	case opUpdateClone:
+		return "update-clone"
+	case opUpdateInPlace:
+		return "update-inplace"
+	case opBatchPut:
+		return "batch-put"
+	case opCheckpoint:
+		return "checkpoint"
+	case opRead:
+		return "read"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// subOp is one key's share of a trace op.
+type subOp struct {
+	key   string
+	full  []byte // post-op full content (what the reference model stages)
+	write []byte // bytes handed to the streaming writer (append: the suffix)
+	off   uint64 // update offset
+	patch []byte // update patch
+}
+
+type traceOp struct {
+	kind opKind
+	subs []subOp
+}
+
+// keySpace is the number of distinct keys a trace operates on. Small
+// enough that keys are replaced, grown, and deleted repeatedly.
+const keySpace = 20
+
+// genTrace precomputes the operation list for a trace seed.
+func genTrace(seed int64, steps int) []traceOp {
+	rng := rand.New(rand.NewSource(seed))
+	shadow := map[string][]byte{}
+	present := func() []string {
+		out := make([]string, 0, len(shadow))
+		for k := range shadow {
+			out = append(out, k)
+		}
+		sort.Strings(out)
+		return out
+	}
+	pick := func() (string, bool) {
+		ks := present()
+		if len(ks) == 0 {
+			return "", false
+		}
+		return ks[rng.Intn(len(ks))], true
+	}
+	anyKey := func() string { return fmt.Sprintf("k%02d", rng.Intn(keySpace)) }
+	content := func() []byte {
+		var n int
+		if rng.Intn(3) == 0 {
+			n = 1 + rng.Intn(256)
+		} else {
+			n = 256 + rng.Intn(12<<10)
+		}
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+
+	ops := make([]traceOp, 0, steps)
+	for len(ops) < steps {
+		switch roll := rng.Intn(100); {
+		case roll < 18: // batch of puts sharing one group commit
+			nk := 2 + rng.Intn(3)
+			seen := map[string]bool{}
+			var subs []subOp
+			for len(subs) < nk {
+				k := anyKey()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				c := content()
+				subs = append(subs, subOp{key: k, full: c, write: c})
+			}
+			ops = append(ops, traceOp{kind: opBatchPut, subs: subs})
+			for _, s := range subs {
+				shadow[s.key] = s.full
+			}
+		case roll < 38: // single put
+			k := anyKey()
+			c := content()
+			ops = append(ops, traceOp{kind: opPut, subs: []subOp{{key: k, full: c, write: c}}})
+			shadow[k] = c
+		case roll < 46: // streaming put, aborted mid-transaction
+			k := anyKey()
+			c := content()
+			ops = append(ops, traceOp{kind: opPutAbort, subs: []subOp{{key: k, full: c, write: c}}})
+			// shadow unchanged: the op never commits
+		case roll < 60: // append
+			k, ok := pick()
+			if !ok {
+				continue
+			}
+			extra := content()
+			full := append(append([]byte(nil), shadow[k]...), extra...)
+			ops = append(ops, traceOp{kind: opAppend, subs: []subOp{{key: k, full: full, write: extra}}})
+			shadow[k] = full
+		case roll < 70: // delete
+			k, ok := pick()
+			if !ok {
+				continue
+			}
+			ops = append(ops, traceOp{kind: opDelete, subs: []subOp{{key: k}}})
+			delete(shadow, k)
+		case roll < 84: // update (clone or in-place)
+			k, ok := pick()
+			if !ok || len(shadow[k]) == 0 {
+				continue
+			}
+			old := shadow[k]
+			n := 1 + rng.Intn(len(old))
+			off := rng.Intn(len(old) - n + 1)
+			patch := make([]byte, n)
+			rng.Read(patch)
+			full := append([]byte(nil), old...)
+			copy(full[off:], patch)
+			kind := opUpdateClone
+			if rng.Intn(2) == 0 {
+				kind = opUpdateInPlace
+			}
+			ops = append(ops, traceOp{kind: kind, subs: []subOp{{
+				key: k, full: full, off: uint64(off), patch: patch,
+			}}})
+			shadow[k] = full
+		case roll < 92: // checkpoint
+			ops = append(ops, traceOp{kind: opCheckpoint})
+		default: // read-back check
+			k, ok := pick()
+			if !ok {
+				continue
+			}
+			ops = append(ops, traceOp{kind: opRead, subs: []subOp{{key: k}}})
+		}
+	}
+	return ops
+}

@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"blobdb/internal/storage"
+)
+
+// FuzzWALRecord throws arbitrary bytes at the cold-recovery log scan and
+// round-trips fuzz-derived records through the writer. Scan walks raw
+// device pages with no in-memory state, so it must tolerate any torn,
+// truncated, or bit-flipped log image without panicking, and a log it
+// wrote itself must read back record-for-record.
+func FuzzWALRecord(f *testing.F) {
+	const pageSize = 512
+	const logPages = 32
+
+	// Seed corpus: an empty region, a valid single-record log, a torn
+	// flush header, and a length that overruns the region.
+	f.Add([]byte{})
+	{
+		dev := storage.NewMemDevice(pageSize, logPages, nil)
+		m := NewManager(dev, 0, logPages)
+		w := m.NewWriter()
+		if _, err := w.Append(nil, 7, RecBlobState, []byte("seed-payload")); err != nil {
+			f.Fatal(err)
+		}
+		if err := w.Commit(nil, 7); err != nil {
+			f.Fatal(err)
+		}
+		w.Close()
+		img := make([]byte, logPages*pageSize)
+		if err := dev.ReadPages(nil, 0, logPages, img); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(img)
+		torn := append([]byte(nil), img...)
+		torn[8] = 0xff // declared payload length corrupted
+		f.Add(torn)
+	}
+	{
+		hdr := make([]byte, 16)
+		binary.LittleEndian.PutUint32(hdr[0:], flushMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], 0) // epoch
+		binary.LittleEndian.PutUint32(hdr[8:], 1<<30)
+		f.Add(hdr)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dev := storage.NewMemDevice(pageSize, logPages, nil)
+		img := make([]byte, logPages*pageSize)
+		copy(img, data)
+		if err := dev.WritePages(nil, 0, logPages, img); err != nil {
+			t.Fatal(err)
+		}
+		m := NewManager(dev, 0, logPages)
+		// Must never panic; errors and early stops are both legal. Every
+		// surfaced record must carry an intact (CRC-verified) payload slice.
+		_ = m.Scan(nil, func(r Record) bool {
+			_ = append([]byte(nil), r.Payload...)
+			return true
+		})
+
+		// Round-trip: frame up to 4 fuzz-derived records, then scan them
+		// back verbatim.
+		type rec struct {
+			txn     uint64
+			typ     RecType
+			payload []byte
+		}
+		var want []rec
+		rest := data
+		for i := 0; i < 4 && len(rest) > 0; i++ {
+			// Cap payloads well under the 16 KB log region so one flush
+			// block always fits without triggering an auto-checkpoint.
+			n := int(rest[0]) * 4
+			if n > len(rest)-1 {
+				n = len(rest) - 1
+			}
+			want = append(want, rec{
+				txn:     uint64(i + 1),
+				typ:     RecType(rest[0]%6) + 1,
+				payload: rest[1 : 1+n],
+			})
+			rest = rest[1+n:]
+		}
+		dev2 := storage.NewMemDevice(pageSize, logPages, nil)
+		m2 := NewManager(dev2, 0, logPages)
+		w := m2.NewWriter()
+		defer w.Close()
+		for _, r := range want {
+			if _, err := w.Append(nil, r.txn, r.typ, r.payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(nil); err != nil {
+			t.Fatal(err)
+		}
+		var got []rec
+		if err := m2.Scan(nil, func(r Record) bool {
+			got = append(got, rec{txn: r.TxnID, typ: r.Type, payload: append([]byte(nil), r.Payload...)})
+			return true
+		}); err != nil {
+			t.Fatalf("scan of self-written log: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round-trip: wrote %d records, read %d", len(want), len(got))
+		}
+		for i := range want {
+			if got[i].txn != want[i].txn || got[i].typ != want[i].typ ||
+				!bytes.Equal(got[i].payload, want[i].payload) {
+				t.Fatalf("round-trip: record %d diverged", i)
+			}
+		}
+	})
+}

@@ -121,6 +121,13 @@ func NewManager(dev storage.Device, start, end storage.PID) *Manager {
 	return m
 }
 
+// Region returns the device page range [start, end) the log occupies.
+// Crash-simulation harnesses use it to classify device operations (WAL
+// append vs checkpoint vs extent flush) when choosing crash points.
+func (w *Manager) Region() (start, end storage.PID) {
+	return w.start, w.end
+}
+
 // SetBufferCap overrides the per-worker buffer capacity for Writers created
 // afterwards.
 func (w *Manager) SetBufferCap(n int) {
