@@ -1,0 +1,213 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package at a time and reports Diagnostics; object Facts flow
+// from a package to its importers so cross-package properties (such as
+// deprecation) can be checked modularly.
+//
+// The repository cannot vendor x/tools (the build must work from the Go
+// toolchain alone), so this package provides the same contract with the
+// same shapes. The API is deliberately a subset: if the tree ever gains an
+// x/tools dependency, each analyzer ports by changing one import path.
+//
+// Drivers: cmd/blobvet runs the suite either standalone (via
+// internal/analysis/driver, which loads packages with `go list`) or under
+// `go vet -vettool` (via internal/analysis/unitchecker, which speaks the
+// vet cfg/vetx protocol).
+//
+// # Suppression
+//
+// Every diagnostic can be suppressed by a comment on the reported line or
+// the line directly above it:
+//
+//	//blobvet:allow <reason>
+//
+// The reason is mandatory — a bare //blobvet:allow is itself reported —
+// so every intentional exception to an engine invariant is auditable
+// in-tree. Suppression is applied by the drivers, not by analyzers.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be a
+	// valid Go identifier.
+	Name string
+
+	// Doc is the help text: one summary line, a blank line, then detail.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (interface{}, error)
+
+	// FactTypes lists the concrete Fact types the analyzer produces or
+	// consumes. Registration is required for (gob) serialization under the
+	// vet protocol.
+	FactTypes []Fact
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass presents one package to an analyzer and collects its output.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Drivers install it.
+	Report func(Diagnostic)
+
+	// ImportObjectFact copies the fact of the given type previously
+	// exported for obj (by this analyzer, in obj's package) into fact and
+	// reports whether one existed. obj may belong to any package in the
+	// import graph.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+
+	// ExportObjectFact associates fact with obj, which must belong to the
+	// package being analyzed. Only package-level objects and methods of
+	// package-level named types survive serialization.
+	ExportObjectFact func(obj types.Object, fact Fact)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned inside the analyzed package.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Fact is an analyzer-defined property of a types.Object, serialized
+// across package boundaries. Implementations must be pointers to types
+// with exported fields (they cross the vet protocol as gob).
+type Fact interface {
+	AFact() // marker method
+}
+
+// ObjectPath names a package-level object, or a method of a package-level
+// named type, in a way that is stable across separate type-check sessions:
+// "Name" for package-scope objects, "Type.Method" for methods. It returns
+// "" for objects facts cannot follow (locals, fields, embedded forwards).
+func ObjectPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name()
+	}
+	if f, ok := obj.(*types.Func); ok {
+		sig := f.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Parent() == obj.Pkg().Scope() {
+				return named.Obj().Name() + "." + f.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// FindObject resolves an ObjectPath inside pkg, or nil.
+func FindObject(pkg *types.Package, path string) types.Object {
+	if pkg == nil || path == "" {
+		return nil
+	}
+	tname, mname, isMethod := strings.Cut(path, ".")
+	obj := pkg.Scope().Lookup(tname)
+	if !isMethod {
+		return obj
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == mname {
+			return m
+		}
+	}
+	return nil
+}
+
+// allowPrefix is the suppression marker. The directive form (no space
+// after //) follows the Go convention for machine-readable comments.
+const allowPrefix = "//blobvet:allow"
+
+// Suppressions indexes //blobvet:allow comments of one package.
+type Suppressions struct {
+	// allowed maps "file:line" to true for every line covered by a
+	// reasoned allow comment (the comment's own line and the line below).
+	allowed map[string]bool
+	// bare holds the positions of reason-less allow comments.
+	bare []token.Pos
+}
+
+// ScanSuppressions collects the allow comments of files.
+func ScanSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{allowed: map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				pos := fset.Position(c.Pos())
+				if reason == "" {
+					s.bare = append(s.bare, c.Pos())
+					continue
+				}
+				s.allowed[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = true
+				s.allowed[fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)] = true
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic at pos is covered by a reasoned
+// allow comment (same line as the comment, or the line below it).
+func (s *Suppressions) Suppressed(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	return s.allowed[fmt.Sprintf("%s:%d", p.Filename, p.Line)]
+}
+
+// BareAllows returns diagnostics for every reason-less //blobvet:allow:
+// suppression without a recorded reason is itself an invariant violation.
+func (s *Suppressions) BareAllows() []Diagnostic {
+	var out []Diagnostic
+	for _, pos := range s.bare {
+		out = append(out, Diagnostic{
+			Pos:     pos,
+			Message: "//blobvet:allow requires a reason (//blobvet:allow <why this exception is sound>)",
+		})
+	}
+	return out
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The blobvet analyzers check engine invariants; test files exercise the
+// engine from outside them (fault injection, intentional leaks, wall-clock
+// timing) and are exempt.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,248 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages and checks its diagnostics against `// want` expectations,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go. A fixture may
+// import other fixtures (resolved under the same src tree — facts flow
+// between them in dependency order) or standard-library packages
+// (resolved through `go list -export` compiler export data).
+//
+// Expectations are comments on the line the diagnostic is reported at:
+//
+//	bad() // want `regexp` "another regexp"
+//
+// Every reported diagnostic must match an expectation on its line and
+// every expectation must be matched, including diagnostics from the
+// "allow" pseudo-analyzer (reason-less //blobvet:allow comments).
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"blobdb/internal/analysis"
+	"blobdb/internal/analysis/driver"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each named fixture package (plus fixture dependencies) and
+// applies a, failing t on any mismatch between diagnostics and // want
+// expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+
+	// Discover the fixture import graph and the external imports.
+	files := map[string][]string{} // fixture path -> file names
+	var topo []string
+	external := map[string]bool{}
+	seen := map[string]bool{}
+	var visit func(path string) error
+	visit = func(path string) error {
+		if seen[path] {
+			return nil
+		}
+		seen[path] = true
+		dir := filepath.Join(src, filepath.FromSlash(path))
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("fixture package %s: %v", path, err)
+		}
+		var names []string
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		if len(names) == 0 {
+			return fmt.Errorf("fixture package %s: no Go files", path)
+		}
+		fset := token.NewFileSet()
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				ipath, _ := strconv.Unquote(imp.Path.Value)
+				if _, err := os.Stat(filepath.Join(src, filepath.FromSlash(ipath))); err == nil {
+					if err := visit(ipath); err != nil {
+						return err
+					}
+				} else {
+					external[ipath] = true
+				}
+			}
+		}
+		files[path] = names
+		topo = append(topo, path)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	exports, err := externalExports(external)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loader := driver.NewSourceLoader(token.NewFileSet(), exports)
+	facts := driver.NewFacts()
+	var diags []driver.Diag
+	var loaded []*driver.Package
+	for _, path := range topo {
+		dir := filepath.Join(src, filepath.FromSlash(path))
+		pkg, err := loader.Load(path, dir, files[path])
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded = append(loaded, pkg)
+		ds, err := driver.RunPackage(pkg, []*analysis.Analyzer{a}, facts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags = append(diags, ds...)
+	}
+
+	checkWants(t, loader.Fset(), loaded, diags)
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, pkgs []*driver.Package, diags []driver.Diag) {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+					for rest != "" {
+						q, err := strconv.QuotedPrefix(rest)
+						if err != nil {
+							t.Errorf("%s: malformed want: %q", pos, rest)
+							break
+						}
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Errorf("%s: malformed want string %s: %v", pos, q, err)
+							break
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+							break
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+						rest = strings.TrimSpace(rest[len(q):])
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// externalExports resolves non-fixture (standard library) imports to gc
+// export-data files via `go list -deps -export`, cached process-wide.
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{}
+)
+
+func externalExports(paths map[string]bool) (map[string]string, error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for p := range paths {
+		if _, ok := exportCache[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		args := append([]string{"list", "-e", "-json", "-deps", "-export", "--"}, missing...)
+		cmd := exec.Command("go", args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("go list %v: %v\n%s", missing, err, stderr.String())
+		}
+		dec := json.NewDecoder(&stdout)
+		for {
+			var p struct {
+				ImportPath string
+				Export     string
+			}
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exportCache[p.ImportPath] = p.Export
+			}
+		}
+	}
+	out := make(map[string]string, len(exportCache))
+	for k, v := range exportCache {
+		out[k] = v
+	}
+	return out, nil
+}

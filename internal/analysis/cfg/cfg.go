@@ -1,0 +1,384 @@
+// Package cfg builds a small intraprocedural control-flow graph over Go
+// AST function bodies, for dataflow analyzers (framerelease, lockio).
+//
+// It models exactly the control constructs the engine uses: blocks, if/else,
+// for, range, switch (tagged and tagless), type switch, select, labeled
+// break/continue, fallthrough, return, and panic. Edges carry the branch
+// guard that was taken (`Guards`), letting analyses refine state along
+// condition outcomes — the property framerelease needs to understand
+// "if err != nil { return err }" and tagless-switch error triage.
+//
+// goto is not modeled: New returns nil for a body containing one and
+// analyzers skip the function (the engine has none; conservative silence
+// beats wrong edges).
+package cfg
+
+import "go/ast"
+
+// A Guard records that an edge is taken only when Cond evaluates to Value.
+type Guard struct {
+	Cond  ast.Expr
+	Value bool
+}
+
+// An Edge is one control transfer.
+type Edge struct {
+	To     *Block
+	Guards []Guard
+}
+
+// A Block is a maximal straight-line sequence of nodes. Nodes holds
+// statements in execution order; branch conditions appear as bare
+// ast.Expr nodes at the end of the block that tests them.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []Edge
+}
+
+// A CFG is the graph of one function body.
+type CFG struct {
+	Entry *Block
+	// Exit is the single synthetic block reached by returns and by
+	// falling off the end of the body. It has no nodes or successors.
+	Exit   *Block
+	Blocks []*Block
+	// Defers collects every defer statement in source order; they run at
+	// Exit (and on panic paths, which the graph does not model).
+	Defers []*ast.DeferStmt
+}
+
+type loopTarget struct {
+	label      string
+	brk, cont  *Block
+	isSwitchOr bool // switch/select: a bare break targets it, continue does not
+}
+
+type builder struct {
+	cfg     *CFG
+	loops   []loopTarget
+	hasGoto bool
+}
+
+// New builds the CFG of body, or returns nil if body contains a goto.
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{cfg: &CFG{}}
+	entry := b.newBlock()
+	b.cfg.Entry = entry
+	b.cfg.Exit = b.newBlock()
+	end := b.stmtList(body.List, entry)
+	if end != nil {
+		b.edge(end, b.cfg.Exit, nil)
+	}
+	if b.hasGoto {
+		return nil
+	}
+	return b.cfg
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, guards []Guard) {
+	from.Succs = append(from.Succs, Edge{To: to, Guards: guards})
+}
+
+// stmtList threads the statements through cur, returning the live block
+// where control continues, or nil if control never falls through.
+func (b *builder) stmtList(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/break; still scan for gotos so
+			// we stay honest about bailing.
+			ast.Inspect(s, func(n ast.Node) bool {
+				if br, ok := n.(*ast.BranchStmt); ok && br.Tok.String() == "goto" {
+					b.hasGoto = true
+				}
+				return true
+			})
+			continue
+		}
+		cur = b.stmt(s, cur, "")
+	}
+	return cur
+}
+
+func (b *builder) stmt(s ast.Stmt, cur *Block, label string) *Block {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, cur, s.Label.Name)
+
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		thenB := b.newBlock()
+		b.edge(cur, thenB, []Guard{{s.Cond, true}})
+		thenEnd := b.stmtList(s.Body.List, thenB)
+		var elseEnd *Block
+		var join *Block
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB, []Guard{{s.Cond, false}})
+			elseEnd = b.stmt(s.Else, elseB, "")
+		}
+		if thenEnd != nil || elseEnd != nil || s.Else == nil {
+			join = b.newBlock()
+		}
+		if s.Else == nil {
+			b.edge(cur, join, []Guard{{s.Cond, false}})
+		}
+		if thenEnd != nil {
+			b.edge(thenEnd, join, nil)
+		}
+		if elseEnd != nil {
+			b.edge(elseEnd, join, nil)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head, nil)
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head, nil)
+		}
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.edge(head, body, []Guard{{s.Cond, true}})
+			b.edge(head, after, []Guard{{s.Cond, false}})
+		} else {
+			b.edge(head, body, nil)
+		}
+		b.loops = append(b.loops, loopTarget{label: label, brk: after, cont: post})
+		bodyEnd := b.stmtList(s.Body.List, body)
+		b.loops = b.loops[:len(b.loops)-1]
+		if bodyEnd != nil {
+			b.edge(bodyEnd, post, nil)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		// The range subject and per-iteration variables are represented by
+		// the RangeStmt node itself, placed at the loop head.
+		head := b.newBlock()
+		b.edge(cur, head, nil)
+		body := b.newBlock()
+		after := b.newBlock()
+		// The per-iteration assignment of Key/Value happens at the head.
+		head.Nodes = append(head.Nodes, s)
+		b.edge(head, body, nil)
+		b.edge(head, after, nil)
+		b.loops = append(b.loops, loopTarget{label: label, brk: after, cont: head})
+		bodyEnd := b.stmtList(s.Body.List, body)
+		b.loops = b.loops[:len(b.loops)-1]
+		if bodyEnd != nil {
+			b.edge(bodyEnd, head, nil)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(s, cur, label)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.clauses(s.Body.List, cur, label, nil)
+
+	case *ast.SelectStmt:
+		return b.clauses(s.Body.List, cur, label, nil)
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.cfg.Exit, nil)
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "goto":
+			b.hasGoto = true
+			return nil
+		case "fallthrough":
+			// Handled structurally by switchStmt; a stray one ends the block.
+			return nil
+		case "break":
+			for i := len(b.loops) - 1; i >= 0; i-- {
+				t := b.loops[i]
+				if s.Label == nil || t.label == s.Label.Name {
+					b.edge(cur, t.brk, nil)
+					return nil
+				}
+			}
+			return nil
+		case "continue":
+			for i := len(b.loops) - 1; i >= 0; i-- {
+				t := b.loops[i]
+				if t.isSwitchOr {
+					continue // continue skips switch/select targets
+				}
+				if s.Label == nil || t.label == s.Label.Name {
+					b.edge(cur, t.cont, nil)
+					return nil
+				}
+			}
+			return nil
+		}
+		return cur
+
+	case *ast.DeferStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		return cur
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				// Unwinding path: not an ordinary exit; analyzers do not
+				// check invariants along it.
+				return nil
+			}
+		}
+		return cur
+
+	default:
+		// Assign, Decl, IncDec, Send, Go, Empty: straight-line.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchStmt builds a tagless or tagged switch. For a tagless switch the
+// case expressions become guard-annotated test blocks evaluated in source
+// order, so analyses see "case err == nil" with the accumulated knowledge
+// that every earlier case was false.
+func (b *builder) switchStmt(s *ast.SwitchStmt, cur *Block, label string) *Block {
+	if s.Init != nil {
+		cur.Nodes = append(cur.Nodes, s.Init)
+	}
+	tagless := s.Tag == nil
+	if !tagless {
+		cur.Nodes = append(cur.Nodes, s.Tag)
+	}
+	after := b.newBlock()
+	b.loops = append(b.loops, loopTarget{label: label, brk: after, isSwitchOr: true})
+	defer func() { b.loops = b.loops[:len(b.loops)-1] }()
+
+	// Build bodies first so fallthrough can chain them.
+	type caseInfo struct {
+		clause *ast.CaseClause
+		body   *Block
+	}
+	var cases []caseInfo
+	var defaultIdx = -1
+	for _, raw := range s.Body.List {
+		cc := raw.(*ast.CaseClause)
+		ci := caseInfo{clause: cc, body: b.newBlock()}
+		if cc.List == nil {
+			defaultIdx = len(cases)
+		}
+		cases = append(cases, ci)
+	}
+
+	// Dispatch chain.
+	test := cur
+	for i, ci := range cases {
+		if ci.clause.List == nil {
+			continue // default dispatched at the end of the chain
+		}
+		var g []Guard
+		if tagless && len(ci.clause.List) == 1 {
+			g = []Guard{{ci.clause.List[0], true}}
+		}
+		if tagless {
+			for _, e := range ci.clause.List {
+				test.Nodes = append(test.Nodes, e)
+			}
+		}
+		b.edge(test, ci.body, g)
+		next := b.newBlock()
+		var ng []Guard
+		if tagless && len(ci.clause.List) == 1 {
+			ng = []Guard{{ci.clause.List[0], false}}
+		}
+		b.edge(test, next, ng)
+		test = next
+		_ = i
+	}
+	if defaultIdx >= 0 {
+		b.edge(test, cases[defaultIdx].body, nil)
+	} else {
+		b.edge(test, after, nil)
+	}
+
+	for i, ci := range cases {
+		end := b.stmtList(ci.clause.Body, ci.body)
+		if end != nil {
+			// fallthrough must be the final statement of a clause body.
+			if n := len(ci.clause.Body); n > 0 {
+				if br, ok := ci.clause.Body[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" && i+1 < len(cases) {
+					b.edge(end, cases[i+1].body, nil)
+					continue
+				}
+			}
+			b.edge(end, after, nil)
+		}
+	}
+	return after
+}
+
+// clauses builds type-switch and select bodies: dispatch with no
+// interpretable guards, each clause flowing to a common join.
+func (b *builder) clauses(list []ast.Stmt, cur *Block, label string, _ []Guard) *Block {
+	after := b.newBlock()
+	b.loops = append(b.loops, loopTarget{label: label, brk: after, isSwitchOr: true})
+	defer func() { b.loops = b.loops[:len(b.loops)-1] }()
+	hasDefault := false
+	for _, raw := range list {
+		var body []ast.Stmt
+		var comm ast.Stmt
+		switch c := raw.(type) {
+		case *ast.CaseClause:
+			body = c.Body
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			body = c.Body
+			comm = c.Comm
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+		blk := b.newBlock()
+		if comm != nil {
+			blk.Nodes = append(blk.Nodes, comm)
+		}
+		b.edge(cur, blk, nil)
+		if end := b.stmtList(body, blk); end != nil {
+			b.edge(end, after, nil)
+		}
+	}
+	if !hasDefault {
+		// A type switch without default can match nothing; a select without
+		// default blocks, but for dataflow joining through after is sound.
+		b.edge(cur, after, nil)
+	}
+	return after
+}

@@ -1,0 +1,216 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir with the go tool and type-checks every
+// non-dependency match from source, resolving dependencies through the
+// compiler export data that `go list -export` places in the build cache.
+// Packages are returned in dependency order, so analyzing them in slice
+// order makes facts flow correctly.
+//
+// This is the standalone (non `go vet`) loading path: it needs only the
+// Go toolchain, no network and no external modules.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "-export", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	byPath := map[string]*listPkg{}
+	var order []string
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		byPath[p.ImportPath] = &p
+		order = append(order, p.ImportPath)
+	}
+
+	exports := map[string]string{}
+	targets := map[string]bool{}
+	for _, path := range order {
+		p := byPath[path]
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			if p.Error != nil {
+				return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+			}
+			targets[p.ImportPath] = true
+		}
+	}
+
+	// Dependency-order the targets (deps first) so each source type-check
+	// can resolve module-internal imports to already-built packages.
+	var topo []string
+	seen := map[string]bool{}
+	var visit func(path string)
+	visit = func(path string) {
+		if seen[path] || !targets[path] {
+			return
+		}
+		seen[path] = true
+		for _, imp := range byPath[path].Imports {
+			visit(imp)
+		}
+		topo = append(topo, path)
+	}
+	for _, path := range order {
+		visit(path)
+	}
+
+	loader := NewSourceLoader(token.NewFileSet(), exports)
+	var out []*Package
+	for _, path := range topo {
+		p := byPath[path]
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("package %s uses cgo, which the blobvet loader does not support", path)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := loader.Load(path, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// A SourceLoader type-checks packages from explicit sources. Imports
+// resolve first to packages previously loaded through the same
+// SourceLoader (sharing type identities), then to gc export data
+// registered with AddExport.
+type SourceLoader struct {
+	fset *token.FileSet
+	imp  *hybridImporter
+}
+
+func NewSourceLoader(fset *token.FileSet, exports map[string]string) *SourceLoader {
+	if exports == nil {
+		exports = map[string]string{}
+	}
+	return &SourceLoader{fset: fset, imp: newHybridImporter(fset, exports)}
+}
+
+func (l *SourceLoader) Fset() *token.FileSet { return l.fset }
+
+// AddExport registers a gc export-data file for an import path.
+func (l *SourceLoader) AddExport(path, file string) { l.imp.exports[path] = file }
+
+// Load parses and type-checks one package. File names are resolved
+// relative to dir unless absolute. The result is registered so later
+// loads can import it by path.
+func (l *SourceLoader) Load(path, dir string, files []string) (*Package, error) {
+	pkg, err := typecheck(l.fset, l.imp, path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.imp.source[path] = pkg.Types
+	return pkg, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, path, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		full := name
+		if dir != "" && !filepath.IsAbs(name) {
+			full = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// hybridImporter resolves imports first to packages this process has
+// already type-checked from source (so analyzed packages share type
+// identities with their analyzed dependencies), then to gc export data.
+type hybridImporter struct {
+	source  map[string]*types.Package
+	exports map[string]string
+	gc      types.ImporterFrom
+}
+
+func newHybridImporter(fset *token.FileSet, exports map[string]string) *hybridImporter {
+	h := &hybridImporter{source: map[string]*types.Package{}, exports: exports}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := h.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	// The Deprecated: paragraph on ForCompiler covers only the nil-lookup
+	// $GOPATH fallback; we always pass a lookup.
+	//blobvet:allow deprecated nil-lookup fallback unused: lookup is always non-nil here
+	h.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return h
+}
+
+func (i *hybridImporter) Import(path string) (*types.Package, error) {
+	return i.ImportFrom(path, "", 0)
+}
+
+func (i *hybridImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := i.source[path]; ok {
+		return p, nil
+	}
+	return i.gc.ImportFrom(path, dir, mode)
+}

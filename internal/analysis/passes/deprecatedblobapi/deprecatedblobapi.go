@@ -1,0 +1,144 @@
+// Package deprecatedblobapi replaces scripts/deprecation-lint.sh with a
+// real analyzer: instead of grepping for `.PutBlob(` / `.GrowBlob(` text,
+// it exports an object fact for every function or method whose doc
+// comment carries a standard "Deprecated:" paragraph (Txn.PutBlob,
+// Txn.GrowBlob, Manager.Allocate, Manager.Grow, core.Open, ...) and
+// flags calls to those objects from other internal packages.
+//
+// Facts make the check modular and honest where the grep was textual:
+// a client type's own method that happens to be named PutBlob is not
+// flagged (the grep's false positive), and a new deprecated shim is
+// covered the moment its doc comment says so, with no script to update.
+//
+// Scope matches the script it replaces: only packages under internal/
+// are policed, and only non-test files — the shims' own package and the
+// tests that pin shim behavior may keep calling them, and examples/
+// deliberately show the compact one-shot API.
+package deprecatedblobapi
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"blobdb/internal/analysis"
+)
+
+// IsDeprecated marks a function object whose doc comment contains a
+// "Deprecated:" paragraph. Msg is the first line of that paragraph.
+type IsDeprecated struct {
+	Msg string
+}
+
+func (*IsDeprecated) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "deprecatedblobapi",
+	Doc: `flag internal calls to deprecated blob-API shims via object facts
+
+Deprecated shims (PutBlob, GrowBlob, Allocate, Grow, Open) stay for one
+release; engine code must use the streaming replacements. Detection is
+by the "Deprecated:" doc convention, not by name.`,
+	Run:       run,
+	FactTypes: []analysis.Fact{(*IsDeprecated)(nil)},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Export facts for this package's deprecated functions and methods.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			msg, ok := deprecationMessage(fn.Doc.Text())
+			if !ok {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+				pass.ExportObjectFact(obj, &IsDeprecated{Msg: msg})
+			}
+		}
+	}
+
+	// Police call sites in internal, non-test code only.
+	if !isInternal(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+				return true // the defining package may wrap its own shims
+			}
+			var dep IsDeprecated
+			if pass.ImportObjectFact(fn, &dep) {
+				name := fn.Name()
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+					name = recvName(recv.Type()) + "." + name
+				}
+				msg := dep.Msg
+				if msg == "" {
+					msg = "see its doc comment for the replacement"
+				}
+				pass.Reportf(call.Pos(), "call to deprecated %s.%s: %s", fn.Pkg().Name(), name, msg)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// deprecationMessage extracts the first line of a standard "Deprecated:"
+// doc paragraph.
+func deprecationMessage(doc string) (string, bool) {
+	for _, line := range strings.Split(doc, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "Deprecated:"); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+func isInternal(path string) bool {
+	return path == "internal" ||
+		strings.HasPrefix(path, "internal/") ||
+		strings.Contains(path, "/internal/") ||
+		strings.HasSuffix(path, "/internal")
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		if selection := pass.TypesInfo.Selections[fun]; selection != nil {
+			obj = selection.Obj()
+		} else {
+			obj = pass.TypesInfo.Uses[fun.Sel]
+		}
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func recvName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,13 @@
+package deprecatedblobapi_test
+
+import (
+	"testing"
+
+	"blobdb/internal/analysis/analysistest"
+	"blobdb/internal/analysis/passes/deprecatedblobapi"
+)
+
+func TestDeprecatedBlobAPI(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), deprecatedblobapi.Analyzer,
+		"internal/app", "outside", "db")
+}

@@ -1,0 +1,46 @@
+// Package db is a fixture mirror of the engine's transaction API: one
+// deprecated pending-mode shim, one streaming replacement, and an
+// internal wrapper showing the defining package may call its own shims.
+package db
+
+type Txn struct{}
+
+type Writer struct{}
+
+func (w *Writer) Write(p []byte) (int, error) { return len(p), nil }
+func (w *Writer) Close() error                { return nil }
+
+// PutBlob stores data under key in one shot.
+//
+// Deprecated: use CreateBlob and stream through the returned Writer.
+func (t *Txn) PutBlob(rel string, key, data []byte) error {
+	w, err := t.CreateBlob(rel, key)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// CreateBlob opens a streaming writer for a new blob.
+func (t *Txn) CreateBlob(rel string, key []byte) (*Writer, error) {
+	return &Writer{}, nil
+}
+
+// Seed is a deprecated package-level function.
+//
+// Deprecated: construct the database with New and functional options.
+func Seed() *Txn { return &Txn{} }
+
+// putAll may call the shim: deprecation is policed at package
+// boundaries, not inside the package that owns the migration.
+func putAll(t *Txn, keys [][]byte) error {
+	for _, k := range keys {
+		if err := t.PutBlob("r", k, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

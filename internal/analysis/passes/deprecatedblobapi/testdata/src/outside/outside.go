@@ -1,0 +1,11 @@
+// Package outside is not under internal/: examples and external tooling
+// may keep using the compact deprecated API (the migration table in the
+// README is their documentation), matching the scope of the grep script
+// this analyzer replaces.
+package outside
+
+import "db"
+
+func quickstart(t *db.Txn) error {
+	return t.PutBlob("image", []byte("cat.png"), []byte("bytes"))
+}

@@ -1,0 +1,716 @@
+// Package framerelease checks that every buffer frame fixed through
+// Pool.FixExtent / Pool.FixExtents is released exactly once on every
+// control-flow path.
+//
+// A fixed frame holds a pin: leaking one wedges eviction (the pool can
+// never evict a pinned frame, so a leak on a hot error path eventually
+// deadlocks FixExtent under ErrPoolFull), and releasing one twice
+// corrupts the pin count. The invariant lives in the Frame API contract;
+// this analyzer makes it machine-checked.
+//
+// The analysis is a forward dataflow over the function's CFG. Each
+// variable bound to a Fix result carries a set of possible states
+// {unreleased, released, no-frame, escaped}; branch guards on the paired
+// error variable refine the set ("if err != nil" implies no frame was
+// returned — both Fix entry points guarantee no pins survive an error,
+// including the FixExtents partial-failure unwind). Ownership transfers
+// (returning the frame, storing it in a field or collection, passing it
+// to another function) end tracking conservatively: the analyzer reports
+// only definite local protocol violations, never inter-procedural
+// guesses.
+package framerelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"blobdb/internal/analysis"
+	"blobdb/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "framerelease",
+	Doc: `check that fixed buffer frames are released exactly once on every path
+
+Every result of Pool.FixExtent / Pool.FixExtents must be Release()d on
+all paths, including error returns. Leaks pin frames forever (wedging
+eviction); double releases corrupt the pin count.`,
+	Run: run,
+}
+
+// vstate is a set of possible frame-ownership states.
+type vstate uint8
+
+const (
+	sUnreleased vstate = 1 << iota // pin held, release still owed
+	sReleased                      // released on this path
+	sNoFrame                       // nil / error path: nothing to release
+	sEscaped                       // ownership transferred out of the function
+)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// pairs maps an error variable to the frame variables assigned in the
+	// same Fix call, while those frames are still exactly sUnreleased.
+	pairs map[types.Object][]types.Object
+	// deferred marks variables with a direct `defer v.Release()`.
+	deferred map[types.Object]bool
+	// rangeReleased marks range statements whose body releases the
+	// iterated collection's elements.
+	rangeReleased map[*ast.RangeStmt]bool
+	// fixPos remembers where each tracked variable was fixed, and whether
+	// it is a batch ([]*Frame) result, for report wording.
+	fixPos   map[types.Object]token.Pos
+	fixBatch map[types.Object]bool
+	reported map[string]bool
+	diags    []analysis.Diagnostic
+}
+
+type state map[types.Object]vstate
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// Cheap pre-scan: skip functions that never call a Fix API.
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && fixKind(pass, call) != fixNone {
+			found = true
+		}
+		return !found
+	})
+	if !found {
+		return
+	}
+	g := cfg.New(fn.Body)
+	if g == nil {
+		return // contains goto; conservatively skip
+	}
+
+	c := &checker{
+		pass:          pass,
+		pairs:         map[types.Object][]types.Object{},
+		deferred:      map[types.Object]bool{},
+		rangeReleased: map[*ast.RangeStmt]bool{},
+		fixPos:        map[types.Object]token.Pos{},
+		fixBatch:      map[types.Object]bool{},
+		reported:      map[string]bool{},
+	}
+	c.preScan(fn.Body)
+
+	// Forward dataflow to fixpoint. States only grow (set union), so the
+	// worklist terminates; diagnostics fire on set membership, which is
+	// monotone, and are deduplicated.
+	in := map[*cfg.Block]state{g.Entry: state{}}
+	work := []*cfg.Block{g.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		st := in[b].clone()
+		for _, n := range b.Nodes {
+			c.transfer(st, n)
+		}
+		if b == g.Exit {
+			continue
+		}
+		for _, e := range b.Succs {
+			next := st.clone()
+			for _, gd := range e.Guards {
+				c.refine(next, gd)
+			}
+			if merged, changed := merge(in[e.To], next); changed {
+				in[e.To] = merged
+				work = append(work, e.To)
+			}
+		}
+	}
+
+	// Fall-off-the-end paths: returns already checked and neutralized at
+	// the return site, so anything still unreleased here leaked by
+	// reaching the end of the body.
+	if exitSt, ok := in[g.Exit]; ok {
+		c.checkLeaks(exitSt)
+	}
+	for _, d := range c.diags {
+		c.pass.Report(d)
+	}
+}
+
+func merge(old, add state) (state, bool) {
+	if old == nil {
+		return add, true
+	}
+	changed := false
+	for k, v := range add {
+		if old[k]|v != old[k] {
+			old[k] |= v
+			changed = true
+		}
+	}
+	return old, changed
+}
+
+// preScan registers deferred releases, closures (which escape every
+// tracked variable they capture), and release-loops over collections.
+func (c *checker) preScan(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if obj := c.releaseReceiver(n.Call); obj != nil {
+				c.deferred[obj] = true
+			}
+		case *ast.RangeStmt:
+			if c.bodyReleasesElements(n) {
+				c.rangeReleased[n] = true
+			}
+		}
+		return true
+	})
+}
+
+// bodyReleasesElements reports whether the range body releases the
+// iterated elements: `for _, f := range X { ... f.Release() ... }` or
+// `for i := range X { ... X[i].Release() ... }`.
+func (c *checker) bodyReleasesElements(r *ast.RangeStmt) bool {
+	xObj := identObj(c.pass, r.X)
+	if xObj == nil {
+		return false
+	}
+	var valObj, keyObj types.Object
+	if id, ok := r.Value.(*ast.Ident); ok {
+		valObj = c.pass.TypesInfo.Defs[id]
+	}
+	if id, ok := r.Key.(*ast.Ident); ok {
+		keyObj = c.pass.TypesInfo.Defs[id]
+	}
+	released := false
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Release" {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			if valObj != nil && c.pass.TypesInfo.Uses[x] == valObj {
+				released = true
+			}
+		case *ast.IndexExpr:
+			if base := identObj(c.pass, x.X); base == xObj {
+				if idx, ok := x.Index.(*ast.Ident); ok && keyObj != nil && c.pass.TypesInfo.Uses[idx] == keyObj {
+					released = true
+				}
+			}
+		}
+		return true
+	})
+	return released
+}
+
+type fixCallKind int
+
+const (
+	fixNone fixCallKind = iota
+	fixSingle
+	fixBatchKind
+)
+
+// fixKind classifies a call as Pool.FixExtent, Pool.FixExtents, or
+// neither. The receiver's package must be a buffer-pool package (package
+// name "buffer") other than the one under analysis: the pool's own
+// internals manage pins below the Fix contract.
+func fixKind(pass *analysis.Pass, call *ast.CallExpr) fixCallKind {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return fixNone
+	}
+	name := sel.Sel.Name
+	if name != "FixExtent" && name != "FixExtents" {
+		return fixNone
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return fixNone
+	}
+	m, ok := selection.Obj().(*types.Func)
+	if !ok || m.Pkg() == nil || m.Pkg() == pass.Pkg {
+		return fixNone
+	}
+	if base(m.Pkg().Path()) != "buffer" {
+		return fixNone
+	}
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 2 {
+		return fixNone
+	}
+	if name == "FixExtent" {
+		return fixSingle
+	}
+	return fixBatchKind
+}
+
+func base(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func identObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	if id, ok := e.(*ast.Ident); ok {
+		return pass.TypesInfo.Uses[id]
+	}
+	return nil
+}
+
+// releaseReceiver returns the tracked-candidate receiver object of a
+// `v.Release()` call, or nil.
+func (c *checker) releaseReceiver(call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" || len(call.Args) != 0 {
+		return nil
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return c.pass.TypesInfo.Uses[id]
+	}
+	return nil
+}
+
+func (c *checker) reportOnce(pos token.Pos, msg string) {
+	key := c.pass.Fset.Position(pos).String() + "\x00" + msg
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.diags = append(c.diags, analysis.Diagnostic{Pos: pos, Message: msg})
+}
+
+func (c *checker) noun(obj types.Object) string {
+	if c.fixBatch[obj] {
+		return "frames fixed by FixExtents"
+	}
+	return "frame fixed by FixExtent"
+}
+
+// transfer applies one CFG node to the state.
+func (c *checker) transfer(st state, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		c.assign(st, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanUses(st, v)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if obj := c.releaseReceiver(call); obj != nil {
+				if _, tracked := st[obj]; tracked {
+					c.release(st, obj, call.Fun.Pos())
+					return
+				}
+			}
+			if kind := fixKind(c.pass, call); kind != fixNone {
+				// Result dropped entirely: the pin can never be released.
+				c.reportOnce(call.Pos(), "result of "+fixName(kind)+" is discarded; the fixed frame can never be released")
+				c.scanCallArgs(st, call)
+				return
+			}
+		}
+		c.scanUses(st, n.X)
+	case *ast.DeferStmt:
+		if obj := c.releaseReceiver(n.Call); obj != nil {
+			if _, tracked := st[obj]; tracked {
+				return // registered in preScan as a deferred release
+			}
+		}
+		c.scanUses(st, n.Call)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			if obj := identObj(c.pass, r); obj != nil {
+				if _, tracked := st[obj]; tracked {
+					st[obj] = sEscaped // ownership returned to the caller
+					continue
+				}
+			}
+			c.scanUses(st, r)
+		}
+		c.checkLeaks(st)
+		// Neutralize so the shared Exit block does not re-report.
+		for obj, v := range st {
+			if v&sUnreleased != 0 {
+				st[obj] = sNoFrame
+			}
+		}
+	case *ast.RangeStmt:
+		xObj := identObj(c.pass, n.X)
+		if xObj != nil {
+			if v, tracked := st[xObj]; tracked {
+				// Ranging over a tracked collection: a release-loop
+				// discharges the obligation; a read-only loop (ReadAt
+				// through the pins) changes nothing. The loop head is
+				// re-entered once per abstract iteration, so this is a
+				// plain state set, not a double-release check.
+				if c.rangeReleased[n] && v&sEscaped == 0 {
+					st[xObj] = sReleased
+				}
+				return
+			}
+		}
+		c.scanUses(st, n.X)
+	case ast.Expr:
+		c.scanUses(st, n)
+	case ast.Stmt:
+		ast.Inspect(n, func(m ast.Node) bool {
+			if e, ok := m.(ast.Expr); ok {
+				c.scanUses(st, e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func fixName(k fixCallKind) string {
+	if k == fixBatchKind {
+		return "FixExtents"
+	}
+	return "FixExtent"
+}
+
+// release transitions obj on an explicit (or loop) release.
+func (c *checker) release(st state, obj types.Object, pos token.Pos) {
+	v := st[obj]
+	if v&sEscaped != 0 {
+		return // someone else owns it now; not ours to judge
+	}
+	if v&sReleased != 0 {
+		c.reportOnce(pos, c.noun(obj)+" may already be released on this path; releasing twice corrupts the pin count")
+	}
+	if c.deferred[obj] {
+		c.reportOnce(pos, c.noun(obj)+" is released here and again by a deferred Release")
+	}
+	st[obj] = sReleased
+}
+
+// assign handles Fix-call bindings, append-transfers, and generic
+// assignments.
+func (c *checker) assign(st state, n *ast.AssignStmt) {
+	// Error-variable reassignment invalidates stale (err -> frames)
+	// pairings before anything else.
+	for _, lhs := range n.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := objOf(c.pass, id); obj != nil {
+				delete(c.pairs, obj)
+			}
+		}
+	}
+
+	if len(n.Rhs) == 1 {
+		if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+			if kind := fixKind(c.pass, call); kind != fixNone && len(n.Lhs) == 2 {
+				c.scanCallArgs(st, call)
+				frameObj := lhsObj(c.pass, n.Lhs[0])
+				errObj := lhsObj(c.pass, n.Lhs[1])
+				if frameObj == nil {
+					if _, isIdent := n.Lhs[0].(*ast.Ident); isIdent {
+						// `_, err := pool.FixExtent(...)`: unreachable pin.
+						c.reportOnce(call.Pos(), "result of "+fixName(kind)+" is discarded; the fixed frame can never be released")
+						return
+					}
+					// `s.frame, err = pool.FixExtent(...)`: the pin escapes
+					// into a field or element; its release happens through
+					// that storage location, beyond intraprocedural reach.
+					c.scanUses(st, n.Lhs[0])
+					return
+				}
+				if old := st[frameObj]; old&sUnreleased != 0 {
+					c.reportOnce(n.Pos(), c.noun(frameObj)+" is overwritten before being released")
+				}
+				st[frameObj] = sUnreleased
+				c.fixPos[frameObj] = call.Pos()
+				c.fixBatch[frameObj] = kind == fixBatchKind
+				if errObj != nil {
+					c.pairs[errObj] = append(c.pairs[errObj], frameObj)
+				}
+				return
+			}
+			// frames = append(frames, f): ownership moves into the
+			// collection; the collection inherits the release obligation.
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Lhs) == 1 && len(call.Args) >= 2 {
+				dstObj := lhsObj(c.pass, n.Lhs[0])
+				srcObj := identObj(c.pass, call.Args[0])
+				if dstObj != nil && srcObj == dstObj {
+					moved := false
+					for _, arg := range call.Args[1:] {
+						if obj := identObj(c.pass, arg); obj != nil {
+							if _, tracked := st[obj]; tracked {
+								st[obj] = sNoFrame // transferred
+								moved = true
+								continue
+							}
+						}
+						c.scanUses(st, arg)
+					}
+					if moved {
+						if _, tracked := st[dstObj]; !tracked {
+							c.fixPos[dstObj] = n.Pos()
+							c.fixBatch[dstObj] = true
+						}
+						st[dstObj] |= sUnreleased
+						st[dstObj] &^= sNoFrame
+					}
+					return
+				}
+			}
+		}
+	}
+	for _, rhs := range n.Rhs {
+		c.scanUses(st, rhs)
+	}
+	for _, lhs := range n.Lhs {
+		if _, ok := lhs.(*ast.Ident); !ok {
+			c.scanUses(st, lhs)
+		}
+	}
+}
+
+func lhsObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return objOf(pass, id)
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// scanCallArgs escapes tracked variables passed as arguments.
+func (c *checker) scanCallArgs(st state, call *ast.CallExpr) {
+	for _, a := range call.Args {
+		c.scanUses(st, a)
+	}
+}
+
+// scanUses walks an expression and marks every "owning" use of a tracked
+// variable as escaped. Non-owning uses are exempt: nil comparisons and
+// method-call receivers (f.ReadAt(...) reads through the pin without
+// transferring it).
+func (c *checker) scanUses(st state, e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+		return
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Uses[e]; obj != nil {
+			if _, tracked := st[obj]; tracked {
+				st[obj] = sEscaped
+			}
+		}
+	case *ast.BinaryExpr:
+		if (e.Op == token.EQL || e.Op == token.NEQ) && (isNil(c.pass, e.X) || isNil(c.pass, e.Y)) {
+			return // refinement guard, not a use
+		}
+		c.scanUses(st, e.X)
+		c.scanUses(st, e.Y)
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if obj := receiverBase(c.pass, sel.X); obj != nil {
+				if _, tracked := st[obj]; tracked {
+					// Method call through the pin (f.ReadAt, frames[i].
+					// Release inside a release loop): the receiver is not
+					// an escape. Explicit releases are handled by callers
+					// that can see statement context.
+					for _, a := range e.Args {
+						c.scanUses(st, a)
+					}
+					return
+				}
+			}
+		}
+		c.scanUses(st, e.Fun)
+		for _, a := range e.Args {
+			c.scanUses(st, a)
+		}
+	case *ast.FuncLit:
+		// The closure may run (or release) at any time: every captured
+		// tracked variable escapes.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+					if _, tracked := st[obj]; tracked {
+						st[obj] = sEscaped
+					}
+				}
+			}
+			return true
+		})
+	case *ast.ParenExpr:
+		c.scanUses(st, e.X)
+	case *ast.UnaryExpr:
+		c.scanUses(st, e.X)
+	case *ast.StarExpr:
+		c.scanUses(st, e.X)
+	case *ast.SelectorExpr:
+		c.scanUses(st, e.X)
+	case *ast.IndexExpr:
+		c.scanUses(st, e.X)
+		c.scanUses(st, e.Index)
+	case *ast.SliceExpr:
+		c.scanUses(st, e.X)
+		c.scanUses(st, e.Low)
+		c.scanUses(st, e.High)
+		c.scanUses(st, e.Max)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			c.scanUses(st, el)
+		}
+	case *ast.KeyValueExpr:
+		c.scanUses(st, e.Value)
+	case *ast.TypeAssertExpr:
+		c.scanUses(st, e.X)
+	}
+}
+
+// receiverBase peels index/paren/star wrappers off a method-call receiver
+// and returns the underlying variable, so frames[i].ReadAt(...) counts as
+// a use through the pin rather than an escape of the collection.
+func receiverBase(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilConst := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilConst
+}
+
+// refine narrows the state along a branch guard.
+func (c *checker) refine(st state, g cfg.Guard) {
+	switch cond := g.Cond.(type) {
+	case *ast.BinaryExpr:
+		if cond.Op != token.EQL && cond.Op != token.NEQ {
+			return
+		}
+		var varSide ast.Expr
+		switch {
+		case isNil(c.pass, cond.X):
+			varSide = cond.Y
+		case isNil(c.pass, cond.Y):
+			varSide = cond.X
+		default:
+			return
+		}
+		obj := identObj(c.pass, varSide)
+		if obj == nil {
+			return
+		}
+		// "x == nil" taken-true and "x != nil" taken-false both mean nil.
+		isNilBranch := (cond.Op == token.EQL) == g.Value
+		if _, tracked := st[obj]; tracked {
+			if isNilBranch {
+				st[obj] = sNoFrame
+			} else if v := st[obj] &^ sNoFrame; v != 0 {
+				st[obj] = v
+			}
+			return
+		}
+		if !isNilBranch {
+			// err is non-nil: the paired Fix returned no frame (FixExtents
+			// unwinds every pin it took before returning an error).
+			c.refuteFrames(st, obj)
+		}
+	case *ast.CallExpr:
+		// errors.Is(err, X) / errors.As(err, &y) taken-true implies a
+		// non-nil err.
+		if !g.Value {
+			return
+		}
+		sel, ok := cond.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Is" && sel.Sel.Name != "As") || len(cond.Args) < 1 {
+			return
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "errors" {
+			return
+		}
+		if obj := identObj(c.pass, cond.Args[0]); obj != nil {
+			c.refuteFrames(st, obj)
+		}
+	}
+}
+
+// refuteFrames marks every frame paired with errObj (and still exactly
+// unreleased) as having no frame to release.
+func (c *checker) refuteFrames(st state, errObj types.Object) {
+	for _, fo := range c.pairs[errObj] {
+		if st[fo] == sUnreleased {
+			st[fo] = sNoFrame
+		}
+	}
+}
+
+// checkLeaks reports every tracked variable that may still hold a pin.
+func (c *checker) checkLeaks(st state) {
+	for obj, v := range st {
+		if v&sUnreleased == 0 || c.deferred[obj] {
+			continue
+		}
+		pos := c.fixPos[obj]
+		if pos == token.NoPos {
+			pos = obj.Pos()
+		}
+		c.reportOnce(pos, c.noun(obj)+" is not released on every path; a leaked pin wedges eviction")
+	}
+}

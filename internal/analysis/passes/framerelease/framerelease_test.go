@@ -1,0 +1,12 @@
+package framerelease_test
+
+import (
+	"testing"
+
+	"blobdb/internal/analysis/analysistest"
+	"blobdb/internal/analysis/passes/framerelease"
+)
+
+func TestFrameRelease(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), framerelease.Analyzer, "a")
+}

@@ -1,0 +1,25 @@
+// Package buffer is a fixture stub of the engine's buffer-pool API: the
+// analyzer recognizes Fix calls by package name, method name, and shape.
+package buffer
+
+import "errors"
+
+var ErrPoolFull = errors.New("pool full")
+
+type Frame struct{ pins int }
+
+func (f *Frame) Release()                  {}
+func (f *Frame) ReadAt(p []byte, off int)  {}
+func (f *Frame) WriteAt(p []byte, off int) {}
+func (f *Frame) SetPreventEvict(v bool)    {}
+func (f *Frame) Spans() [][]byte           { return nil }
+
+type Pool struct{}
+
+func (p *Pool) FixExtent(pid uint64, npages int) (*Frame, error) {
+	return &Frame{}, nil
+}
+
+func (p *Pool) FixExtents(pids []uint64) ([]*Frame, error) {
+	return nil, nil
+}

@@ -1,0 +1,76 @@
+// Package storageio classifies calls that perform storage-device I/O.
+// It is shared by the lockio and walorder analyzers.
+package storageio
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deviceMethods are the I/O methods of storage.Device (and the batched
+// reader/writer extensions).
+var deviceMethods = map[string]bool{
+	"ReadPages":     true,
+	"WritePages":    true,
+	"Sync":          true,
+	"ReadPagesVec":  true,
+	"WritePagesVec": true,
+}
+
+// pkgFuncs are the package-level vectored helpers in internal/storage.
+var pkgFuncs = map[string]bool{
+	"ReadVec":  true,
+	"WriteVec": true,
+}
+
+// Classify reports whether call is a storage I/O operation, returning the
+// operation name (e.g. "WritePages", "Sync", "ReadVec"). Matching is by
+// shape — a method of the storage package's device types/interfaces, or a
+// storage package-level vectored helper — so it works identically on the
+// real engine (blobdb/internal/storage) and on test fixtures (a stub
+// package named storage).
+func Classify(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if selection := info.Selections[sel]; selection != nil {
+		fn, ok := selection.Obj().(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return "", false
+		}
+		if deviceMethods[name] && base(fn.Pkg().Path()) == "storage" {
+			return name, true
+		}
+		return "", false
+	}
+	// Possibly a qualified package-function call: storage.ReadVec(...).
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	if pkgFuncs[name] && base(fn.Pkg().Path()) == "storage" {
+		return name, true
+	}
+	return "", false
+}
+
+// IsWrite reports whether op mutates or flushes the device.
+func IsWrite(op string) bool {
+	return op == "WritePages" || op == "WritePagesVec" || op == "WriteVec" || op == "Sync"
+}
+
+// Base returns the final element of an import path.
+func Base(path string) string { return base(path) }
+
+func base(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,261 @@
+// Package lockio checks the buffer pool's lock-drop I/O rule: no
+// storage-device I/O — directly or through a one-hop same-package callee
+// — while a sync.Mutex or sync.RWMutex is held.
+//
+// The PR 3 eviction redesign made this the pool's central latching
+// invariant: a victim is claimed under the structural mutex, the mutex is
+// dropped, the dirty extent is written back, and the claim is reconfirmed
+// after relocking. Holding a pool latch across device I/O serializes
+// every reader behind the disk; this analyzer turns the rule from a
+// comment into a diagnostic.
+//
+// The analysis runs only over buffer-pool packages (package name
+// "buffer"). It tracks locks acquired in the function being analyzed
+// (must-held on all paths, so lock-drop windows don't false-positive) and
+// flags, at each point where a lock is held, calls that do device I/O
+// themselves or whose same-package callee does (one hop, matching the
+// pool's writeBack/loadMisses helper structure). Functions that follow
+// the *Locked naming convention are callees, not lock owners: the lock
+// they run under was acquired by their caller, which is where the I/O
+// would be reported.
+package lockio
+
+import (
+	"go/ast"
+	"go/types"
+
+	"blobdb/internal/analysis"
+	"blobdb/internal/analysis/cfg"
+	"blobdb/internal/analysis/passes/internal/storageio"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockio",
+	Doc: `check that buffer-pool latches are never held across device I/O
+
+Claims must be made under the latch and I/O done outside it (claim,
+unlock, write back, relock, reconfirm). Device I/O under a pool mutex
+serializes all readers behind the disk.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if storageio.Base(pass.Pkg.Path()) != "buffer" {
+		return nil, nil
+	}
+
+	// Summaries: same-package functions that perform device I/O directly.
+	directIO := map[types.Object]string{}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if op, ok := storageio.Classify(pass.TypesInfo, call); ok {
+						if _, seen := directIO[obj]; !seen {
+							directIO[obj] = op
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, directIO)
+		}
+	}
+	return nil, nil
+}
+
+// lockset is the set of locks (identified by receiver expression text,
+// e.g. "p.mu") held on every path reaching a point.
+type lockset map[string]bool
+
+func (s lockset) clone() lockset {
+	c := make(lockset, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+// intersect merges a successor's incoming state for a must-analysis;
+// reports whether old changed. old == nil means unvisited.
+func intersect(old, add lockset) (lockset, bool) {
+	if old == nil {
+		return add, true
+	}
+	changed := false
+	for k := range old {
+		if !add[k] {
+			delete(old, k)
+			changed = true
+		}
+	}
+	return old, changed
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, directIO map[types.Object]string) {
+	// Cheap pre-scan: no lock operations means nothing to track.
+	hasLock := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, _, ok := lockOp(pass, call); ok && (op == "Lock" || op == "RLock") {
+				hasLock = true
+			}
+		}
+		return !hasLock
+	})
+	if !hasLock {
+		return
+	}
+	g := cfg.New(fn.Body)
+	if g == nil {
+		return
+	}
+
+	in := map[*cfg.Block]lockset{g.Entry: {}}
+	work := []*cfg.Block{g.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		st := in[b].clone()
+		for _, n := range b.Nodes {
+			applyNode(pass, st, n, nil, nil)
+		}
+		for _, e := range b.Succs {
+			if merged, changed := intersect(in[e.To], st.clone()); changed {
+				in[e.To] = merged
+				work = append(work, e.To)
+			}
+		}
+	}
+
+	// Report on the converged states (held sets only shrink during the
+	// fixpoint, so reporting during iteration could flag lock-drop
+	// windows that a later pass proves unlocked).
+	for _, b := range g.Blocks {
+		st := in[b]
+		if st == nil {
+			continue
+		}
+		st = st.clone()
+		for _, n := range b.Nodes {
+			applyNode(pass, st, n, pass, directIO)
+		}
+	}
+}
+
+// applyNode threads one CFG node through the lockset. When report is
+// non-nil, I/O-under-lock calls are diagnosed.
+func applyNode(pass *analysis.Pass, st lockset, n ast.Node, report *analysis.Pass, directIO map[types.Object]string) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false // runs later, under its own discipline
+		case *ast.DeferStmt:
+			return false // runs at return; deferred unlocks keep the lock held here
+		case *ast.CallExpr:
+			if op, lockExpr, ok := lockOp(pass, m); ok {
+				switch op {
+				case "Lock", "RLock":
+					st[lockExpr] = true
+				case "Unlock", "RUnlock":
+					delete(st, lockExpr)
+				}
+				return true
+			}
+			if report == nil || len(st) == 0 {
+				return true
+			}
+			if op, ok := storageio.Classify(pass.TypesInfo, m); ok {
+				report.Reportf(m.Pos(), "device I/O (%s) while %s is held; release the pool latch before touching storage", op, heldNames(st))
+				return true
+			}
+			if callee := calleeObj(pass, m); callee != nil {
+				if op, ok := directIO[callee]; ok {
+					report.Reportf(m.Pos(), "call to %s performs device I/O (%s) while %s is held; release the pool latch before touching storage", callee.Name(), op, heldNames(st))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func heldNames(st lockset) string {
+	// Deterministic, and in practice a single lock.
+	best := ""
+	for k := range st {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// lockOp matches mutex operations: (Lock|RLock|Unlock|RUnlock) on a value
+// whose method comes from package sync (including locks embedded in pool
+// shards). The second result names the lock by its receiver expression.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return "", "", false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return name, types.ExprString(sel.X), true
+}
+
+// calleeObj resolves a call to its same-package function object.
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		if selection := pass.TypesInfo.Selections[fun]; selection != nil {
+			obj = selection.Obj()
+		} else {
+			obj = pass.TypesInfo.Uses[fun.Sel]
+		}
+	}
+	if fn, ok := obj.(*types.Func); ok && fn.Pkg() == pass.Pkg {
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"blobdb/internal/analysis/analysistest"
+	"blobdb/internal/analysis/passes/lockio"
+)
+
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockio.Analyzer, "buffer", "other")
+}

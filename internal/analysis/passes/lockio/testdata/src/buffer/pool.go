@@ -1,0 +1,87 @@
+// Package buffer exercises the lockio analyzer: device I/O under a pool
+// latch (directly or through a one-hop callee) versus the conforming
+// claim/unlock/write-back/relock/reconfirm pattern.
+package buffer
+
+import (
+	"sync"
+
+	"storage"
+)
+
+type shard struct {
+	sync.RWMutex
+	resident map[storage.PID]int
+}
+
+type pool struct {
+	mu     sync.Mutex
+	shards [4]shard
+	dev    storage.Device
+}
+
+func (p *pool) writeBack(pid storage.PID, buf []byte) error {
+	return storage.WriteVec(p.dev, []storage.Seg{{PID: pid, N: 1, Buf: buf}})
+}
+
+func (p *pool) claimVictim() storage.PID  { return 1 }
+func (p *pool) reconfirm(pid storage.PID) {}
+
+// ---- violations ----
+
+func (p *pool) badDirectWrite(buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dev.WritePages(1, 1, buf) // want `device I/O \(WritePages\) while p.mu is held`
+}
+
+func (p *pool) badOneHop(buf []byte) error {
+	p.mu.Lock()
+	err := p.writeBack(2, buf) // want `call to writeBack performs device I/O \(WriteVec\) while p.mu is held`
+	p.mu.Unlock()
+	return err
+}
+
+func (p *pool) badReadUnderShard(buf []byte) error {
+	s := &p.shards[0]
+	s.RLock()
+	err := p.dev.ReadPages(3, 1, buf) // want `device I/O \(ReadPages\) while s is held`
+	s.RUnlock()
+	return err
+}
+
+func (p *pool) badSyncUnderLock() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dev.Sync() // want `device I/O \(Sync\) while p.mu is held`
+}
+
+// ---- conforming code ----
+
+// goodLockDrop is the PR 3 eviction pattern: claim under the latch, drop
+// it for the write-back, reconfirm after relocking.
+func (p *pool) goodLockDrop(buf []byte) error {
+	p.mu.Lock()
+	victim := p.claimVictim()
+	p.mu.Unlock()
+
+	if err := p.writeBack(victim, buf); err != nil {
+		return err
+	}
+
+	p.mu.Lock()
+	p.reconfirm(victim)
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *pool) goodNoLock(buf []byte) error {
+	return storage.ReadVec(p.dev, []storage.Seg{{PID: 9, N: 1, Buf: buf}})
+}
+
+func (p *pool) goodBookkeepingUnderLock(pid storage.PID) int {
+	s := &p.shards[int(pid)%len(p.shards)]
+	s.RLock()
+	defer s.RUnlock()
+	return s.resident[pid]
+}

@@ -1,0 +1,170 @@
+// Package nondet checks that the crash-simulation harness, the reference
+// model, and the simtime-metered engine packages stay deterministic: a
+// (trace-seed, crashpoint) schedule must replay bit-identically, or the
+// one-line replay invocation printed for a failing schedule reproduces a
+// different run than the one that failed.
+//
+// Three classes of nondeterminism are flagged:
+//
+//   - wall-clock reads: time.Now / Since / Until and timer constructors.
+//     Engine time flows through simtime meters; wall-clock is only
+//     legitimate for operator-facing stats counters, which carry a
+//     //blobvet:allow comment naming the counter.
+//   - ambient entropy: the global math/rand source (seeded process-wide),
+//     crypto/rand, and process-identity reads (os.Getpid, os.Hostname).
+//     Seeded generators — rand.New(rand.NewSource(seed)) — are the
+//     blessed pattern and are not flagged.
+//   - map-iteration-order-dependent results (crashsim and refmodel only):
+//     returning a value from inside a range over a map reports whichever
+//     offending element Go's randomized iteration happens to visit first,
+//     so the same violation prints different messages on different runs.
+//     Collect-then-sort loops are fine and not flagged.
+package nondet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"blobdb/internal/analysis"
+	"blobdb/internal/analysis/passes/internal/storageio"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nondet",
+	Doc: `forbid wall-clock, ambient entropy, and map-order-dependent output in deterministic paths
+
+Crash schedules replay by (trace-seed, crashpoint); any hidden input —
+time.Now, the global rand source, process identity, or map iteration
+order feeding a result — breaks bit-identical replay.`,
+	Run: run,
+}
+
+// scopePkgs are the deterministic-replay packages: the harness, the
+// reference model, and the simtime-metered engine layers.
+var scopePkgs = map[string]bool{
+	"crashsim": true,
+	"refmodel": true,
+	"buffer":   true,
+	"blob":     true,
+	"core":     true,
+	"wal":      true,
+	"storage":  true,
+	"extent":   true,
+}
+
+// mapIterPkgs is the narrower scope of the map-iteration rule: the
+// harness and reference model, whose failure output is the replay
+// contract.
+var mapIterPkgs = map[string]bool{
+	"crashsim": true,
+	"refmodel": true,
+}
+
+// wallClock are the time package functions that read or schedule against
+// the wall clock. Conversions and constants (time.Duration, time.Unix)
+// are deterministic and fine.
+var wallClock = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// identity are the os package process-identity/environment entropy reads.
+var identity = map[string]bool{
+	"Getpid":   true,
+	"Getppid":  true,
+	"Getuid":   true,
+	"Geteuid":  true,
+	"Getgid":   true,
+	"Hostname": true,
+	"Environ":  true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pkgBase := storageio.Base(pass.Pkg.Path())
+	if !scopePkgs[pkgBase] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				if mapIterPkgs[pkgBase] {
+					checkMapRange(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. a seeded *rand.Rand, time.Time.Sub) are fine
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClock[name] {
+			pass.Reportf(call.Pos(), "wall-clock read time.%s in a deterministic-replay path; meter through simtime instead", name)
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors build seeded sources — the blessed pattern.
+		if strings.HasPrefix(name, "New") {
+			return
+		}
+		pass.Reportf(call.Pos(), "global math/rand source (rand.%s) is process-seeded; use rand.New(rand.NewSource(seed)) so replays are deterministic", name)
+	case "crypto/rand":
+		pass.Reportf(call.Pos(), "crypto/rand.%s is irreproducible entropy; deterministic paths must derive randomness from the schedule seed", name)
+	case "os":
+		if identity[name] {
+			pass.Reportf(call.Pos(), "process identity read os.%s differs across replays; thread identity through the schedule instead", name)
+		}
+	}
+}
+
+// checkMapRange flags `for k, v := range m { ... return ...v... }`: which
+// element triggers the return depends on randomized map order.
+func checkMapRange(pass *analysis.Pass, r *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[r.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt, *ast.ForStmt:
+			return false // nested loops judge their own subjects
+		case *ast.ReturnStmt:
+			if len(n.Results) > 0 {
+				pass.Reportf(n.Pos(), "return from inside iteration over an unordered map: the reported element depends on map order and breaks replay-stable output; iterate sorted keys")
+			}
+		}
+		return true
+	})
+}

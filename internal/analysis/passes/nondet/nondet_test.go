@@ -1,0 +1,12 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"blobdb/internal/analysis/analysistest"
+	"blobdb/internal/analysis/passes/nondet"
+)
+
+func TestNonDet(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nondet.Analyzer, "crashsim", "refmodel", "oskern")
+}

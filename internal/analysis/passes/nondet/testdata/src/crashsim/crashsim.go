@@ -1,0 +1,66 @@
+// Package crashsim exercises the nondet analyzer: wall-clock reads,
+// ambient entropy, process identity, and //blobvet:allow handling.
+package crashsim
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// ---- violations ----
+
+func wallClock() int64 {
+	t0 := time.Now() // want `wall-clock read time.Now in a deterministic-replay path`
+	return t0.UnixNano()
+}
+
+func wallClockSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time.Since in a deterministic-replay path`
+}
+
+func globalRand(n int) int {
+	return rand.Intn(n) // want `global math/rand source \(rand.Intn\) is process-seeded`
+}
+
+func cryptoEntropy(buf []byte) {
+	crand.Read(buf) // want `crypto/rand.Read is irreproducible entropy`
+}
+
+func processIdentity() int {
+	return os.Getpid() // want `process identity read os.Getpid differs across replays`
+}
+
+// ---- suppression handling ----
+
+// allowedWallClock shows a reasoned allow: the diagnostic on the next
+// line is suppressed and auditable in-tree.
+func allowedWallClock() time.Time {
+	//blobvet:allow operator-facing stats counter only; never feeds the schedule
+	return time.Now()
+}
+
+func allowedSameLine() time.Time {
+	return time.Now() //blobvet:allow operator-facing stats counter only
+}
+
+// A reason-less //blobvet:allow neither suppresses nor passes — it is
+// itself a diagnostic. That case is covered by TestBareAllow in
+// internal/analysis/driver, since the diagnostic lands on the comment's
+// own line, which a `// want` expectation cannot share.
+
+// ---- conforming code ----
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(100)
+}
+
+func durationMath(d time.Duration) time.Duration {
+	return d * time.Millisecond / 2 // constants and arithmetic are deterministic
+}
+
+func methodOnSeeded(rng *rand.Rand) int {
+	return rng.Int() // method on a seeded source, not the global one
+}

@@ -1,0 +1,7 @@
+// Package oskern is outside the nondet scope: OS-simulation baselines
+// legitimately read the wall clock.
+package oskern
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,54 @@
+// Package refmodel pins the real engine finding nondet surfaced: the
+// reference model's Verify returned its error from inside a range over
+// the snapshot map, so which offending key a failing schedule reported
+// depended on Go's randomized map order — the replay log named a
+// different key each run (internal/crashsim/refmodel, fixed in this
+// change by iterating sorted keys).
+package refmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+type keyState struct {
+	old, new []byte
+}
+
+// verifyUnsorted is the pre-fix shape of refmodel.Verify.
+func verifyUnsorted(snapshot map[string][]byte, keys map[string]keyState) error {
+	for key := range snapshot {
+		if _, ok := keys[key]; !ok {
+			return fmt.Errorf("unexpected key %q in recovered image", key) // want `return from inside iteration over an unordered map`
+		}
+	}
+	for key := range keys {
+		if _, ok := snapshot[key]; !ok {
+			return fmt.Errorf("key %q lost by recovery", key) // want `return from inside iteration over an unordered map`
+		}
+	}
+	return nil
+}
+
+// verifySorted is the fixed shape: deterministic first-offender output.
+func verifySorted(snapshot map[string][]byte, keys map[string]keyState) error {
+	names := make([]string, 0, len(snapshot))
+	for key := range snapshot {
+		names = append(names, key)
+	}
+	sort.Strings(names)
+	for _, key := range names {
+		if _, ok := keys[key]; !ok {
+			return fmt.Errorf("unexpected key %q in recovered image", key)
+		}
+	}
+	return nil
+}
+
+// reconcile mutates every element: no order-dependent result, no report.
+func reconcile(keys map[string]keyState) {
+	for key, ks := range keys {
+		ks.old = ks.new
+		keys[key] = ks
+	}
+}

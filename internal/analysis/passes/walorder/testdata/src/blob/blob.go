@@ -1,0 +1,26 @@
+// Package blob exercises walorder outside the committer: no sync, no
+// write-back, from the blob layer.
+package blob
+
+import "storage"
+
+type manager struct {
+	dev storage.Device
+}
+
+func (m *manager) flushTail(segs []storage.Seg) error {
+	return storage.WriteVec(m.dev, segs) // want `extent write-back \(WriteVec\) outside internal/buffer and internal/storage`
+}
+
+func (m *manager) syncAfterRead() error {
+	return m.dev.Sync() // want `Device.Sync outside internal/wal and the core committer`
+}
+
+// Commit-sounding names buy nothing outside internal/core.
+func (m *manager) commitTail() error {
+	return m.dev.Sync() // want `Device.Sync outside internal/wal and the core committer`
+}
+
+func (m *manager) readExtent(buf []byte) error {
+	return m.dev.ReadPages(9, 1, buf)
+}

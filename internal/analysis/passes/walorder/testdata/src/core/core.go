@@ -1,0 +1,39 @@
+// Package core exercises walorder in the committer package: syncs are
+// legal only inside commit/checkpoint protocol functions, and direct
+// page writes need an explicit, reasoned allow (the dual-slot checkpoint
+// write in internal/core/recover.go is the real-tree example).
+package core
+
+import "storage"
+
+type db struct {
+	dev storage.Device
+}
+
+// ---- violations ----
+
+func (d *db) readBlobAndSync() error {
+	return d.dev.Sync() // want `Device.Sync outside internal/wal and the core committer`
+}
+
+func (d *db) repairPages(buf []byte) error {
+	return d.dev.WritePages(3, 1, buf) // want `extent write-back \(WritePages\) outside internal/buffer and internal/storage`
+}
+
+// ---- conforming code ----
+
+// finishCommitBatch is committer code: the shared group-commit sync.
+func (d *db) finishCommitBatch() error {
+	return d.dev.Sync()
+}
+
+// writeCheckpointSlot mirrors the dual-slot checkpoint write: a direct
+// page write justified in-tree with a reasoned allow.
+func (d *db) writeCheckpointSlot(slot storage.PID, buf []byte) error {
+	//blobvet:allow dual-slot checkpoint image: written outside the pool by design, fenced by its own epoch header
+	return d.dev.WritePages(slot, 1, buf)
+}
+
+func (d *db) readPages(buf []byte) error {
+	return d.dev.ReadPages(1, 1, buf) // reads are not ordering-sensitive
+}

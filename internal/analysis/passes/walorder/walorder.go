@@ -1,0 +1,102 @@
+// Package walorder is the static shadow of the WAL-before-flush rule:
+// durability ordering is owned by exactly two layers, so the analyzer
+// pins device-level writes and syncs to them.
+//
+//   - Device.Sync establishes the durable prefix. Only internal/wal (the
+//     group-commit/checkpoint sync path) and the committer in
+//     internal/core may call it: a sync issued anywhere else can promote
+//     extent pages to durable before their commit record, silently
+//     breaking the single-flush protocol's crash story.
+//   - Extent write-back (WritePages / WritePagesVec / storage.WriteVec)
+//     belongs to internal/buffer and internal/storage. An engine layer
+//     writing pages directly bypasses the pool's dirty tracking and the
+//     WAL epoch fencing, so recovery can no longer reason about what
+//     reached the device.
+//
+// Reads are not ordering-sensitive and are never flagged. Simulator and
+// tooling packages (oskern, dbsim, bench, remap) are out of scope — they
+// model devices rather than mutate the engine's.
+package walorder
+
+import (
+	"go/ast"
+	"strings"
+
+	"blobdb/internal/analysis"
+	"blobdb/internal/analysis/passes/internal/storageio"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "walorder",
+	Doc: `restrict Device.Sync to the WAL/committer and page writes to the buffer manager
+
+The single-flush commit protocol is an ordering argument: WAL record,
+sync, then extent write-back. Any other layer syncing or writing pages
+invalidates the argument statically.`,
+	Run: run,
+}
+
+// scopePkgs are the engine layers above the device where stray writes or
+// syncs would break the ordering argument. The owning layers (wal,
+// buffer, storage) are not scanned for their own privileges; core is
+// scanned but its committer/checkpoint functions may sync.
+var scopePkgs = map[string]bool{
+	"core":       true,
+	"blob":       true,
+	"blobserver": true,
+	"crashsim":   true,
+	"fusefs":     true,
+	"wiki":       true,
+	"extent":     true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pkgBase := storageio.Base(pass.Pkg.Path())
+	if !scopePkgs[pkgBase] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, pkgBase, fn)
+		}
+	}
+	return nil, nil
+}
+
+// committerFunc reports whether a core function is part of the commit /
+// checkpoint protocol, which owns its syncs (the dual-slot checkpoint
+// write is separately justified with an allow comment).
+func committerFunc(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "commit") || strings.Contains(l, "checkpoint")
+}
+
+func checkFunc(pass *analysis.Pass, pkgBase string, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, ok := storageio.Classify(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		switch op {
+		case "Sync":
+			if pkgBase == "core" && committerFunc(fn.Name.Name) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "Device.Sync outside internal/wal and the core committer: durability ordering is owned by the WAL (single-flush protocol); call wal.Sync or commit through the pipeline")
+		case "WritePages", "WritePagesVec", "WriteVec":
+			pass.Reportf(call.Pos(), "extent write-back (%s) outside internal/buffer and internal/storage: pages reach the device only through the buffer manager, after the WAL sync that covers them", op)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"blobdb/internal/analysis/analysistest"
+	"blobdb/internal/analysis/passes/walorder"
+)
+
+func TestWALOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), walorder.Analyzer, "core", "blob", "wal")
+}

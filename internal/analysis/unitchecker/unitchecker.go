@@ -1,0 +1,201 @@
+// Package unitchecker makes the blobvet analyzers runnable under
+// `go vet -vettool=<blobvet>`: the go command invokes the tool once per
+// package with a JSON config file naming the sources, the export data of
+// every dependency, and the fact (.vetx) files of analyzed dependencies.
+//
+// The protocol implemented here is the one cmd/go speaks to
+// golang.org/x/tools/go/analysis/unitchecker:
+//
+//   - `blobvet -V=full` prints a content-hashed version line (handled in
+//     cmd/blobvet) so the build cache can key on the tool binary;
+//   - `blobvet <flags> <pkg>.cfg` analyzes one package, writes its facts
+//     to cfg.VetxOutput, and prints diagnostics to stderr (exit 2) or,
+//     with -json, a JSON object to stdout (exit 0).
+package unitchecker
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"blobdb/internal/analysis"
+	"blobdb/internal/analysis/driver"
+)
+
+// Config is the JSON schema of the cfg file cmd/go passes to vet tools.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// wireFact is the gob wire form of one exported object fact.
+type wireFact struct {
+	PkgPath  string
+	ObjPath  string
+	Analyzer string
+	Fact     analysis.Fact
+}
+
+// Run analyzes the single package described by cfgFile and exits the
+// process with the protocol's status code.
+func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err))
+	}
+
+	// cmd/go compiles test variants under decorated import paths like
+	// "pkg [pkg.test]"; analyzers scope by the real path.
+	pkgPath := cfg.ImportPath
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+
+	// Dependency resolution: source import path -> export data file,
+	// honoring the vendor/ImportMap indirection.
+	exports := map[string]string{}
+	for canon, file := range cfg.PackageFile {
+		exports[canon] = file
+	}
+	for src, canon := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canon]; ok {
+			exports[src] = file
+		}
+	}
+
+	facts := driver.NewFacts()
+	for _, vetx := range cfg.PackageVetx {
+		readFacts(facts, vetx)
+	}
+
+	fset := token.NewFileSet()
+	loader := driver.NewSourceLoader(fset, exports)
+	var diags []driver.Diag
+	if len(cfg.GoFiles) > 0 {
+		pkg, err := loader.Load(pkgPath, cfg.Dir, cfg.GoFiles)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			fatal(err)
+		}
+		diags, err = driver.RunPackage(pkg, analyzers, facts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if cfg.VetxOutput != "" {
+		if err := writeFacts(facts, cfg.VetxOutput); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	if jsonOut {
+		printJSON(cfg.ID, diags)
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [blobvet:%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "blobvet: %v\n", err)
+	os.Exit(1)
+}
+
+// readFacts merges one dependency's fact file. A missing or unreadable
+// file is treated as empty: the dependency exported nothing.
+func readFacts(facts *driver.Facts, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	var wire []wireFact
+	if err := gob.NewDecoder(f).Decode(&wire); err != nil {
+		return
+	}
+	for _, w := range wire {
+		facts.Put(driver.FactKey{Analyzer: w.Analyzer, PkgPath: w.PkgPath, ObjPath: w.ObjPath}, w.Fact)
+	}
+}
+
+// writeFacts serializes the full fact view (this package's exports plus
+// its dependencies') so importers see facts transitively.
+func writeFacts(facts *driver.Facts, path string) error {
+	keys, values := facts.All()
+	wire := make([]wireFact, len(keys))
+	for i, k := range keys {
+		wire[i] = wireFact{PkgPath: k.PkgPath, ObjPath: k.ObjPath, Analyzer: k.Analyzer, Fact: values[i]}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(wire); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printJSON emits the go vet -json schema:
+// {"pkgid": {"analyzer": [{"posn": "...", "message": "..."}]}}.
+func printJSON(pkgID string, diags []driver.Diag) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{Posn: d.Pos.String(), Message: d.Message})
+	}
+	names := make([]string, 0, len(byAnalyzer))
+	for name := range byAnalyzer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := map[string]map[string][]jsonDiag{pkgID: {}}
+	for _, name := range names {
+		out[pkgID][name] = byAnalyzer[name]
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	enc.Encode(out)
+}

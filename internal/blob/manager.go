@@ -76,6 +76,24 @@ func (p *Pending) Release() {
 	p.Frames = nil
 }
 
+// ReleaseUnflushed unpins the pending frames after a failed commit,
+// without writing anything back: prevent_evict is cleared and the cached
+// (dirty, uncommitted) copies are dropped from the pool, so the failure
+// can neither wedge eviction with leaked pins nor let later eviction
+// write pages the WAL does not cover. Allocator bookkeeping is left
+// untouched — after a commit error the database is in doubt and
+// recovery, not the allocator, decides the extents' fate.
+func (p *Pending) ReleaseUnflushed() {
+	for _, f := range p.Frames {
+		f.SetPreventEvict(false)
+		f.Release()
+	}
+	for _, f := range p.Frames {
+		p.mgr.Pool.Drop(f.HeadPID)
+	}
+	p.Frames = nil
+}
+
 // Discard aborts the pending allocation: frames are dropped without
 // writeback and the newly allocated extents are returned to the allocator.
 func (p *Pending) Discard(newExtents []FreeSpec) {

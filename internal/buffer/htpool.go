@@ -214,9 +214,9 @@ func (p *HTPool) admit(m *simtime.Meter, pid storage.PID, npages int) (*entry, b
 			continue
 		}
 
-		t0 := time.Now()
+		t0 := time.Now() //blobvet:allow real lock-wait metering for LockWaitNs stats; never replayed
 		p.mu.Lock()
-		p.stats.LockWaitNs.Add(time.Since(t0).Nanoseconds())
+		p.stats.LockWaitNs.Add(time.Since(t0).Nanoseconds()) //blobvet:allow real lock-wait metering for LockWaitNs stats; never replayed
 		if npages > p.numPages {
 			p.mu.Unlock()
 			return nil, false, fmt.Errorf("buffer: extent of %d pages exceeds pool of %d: %w",

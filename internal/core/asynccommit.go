@@ -101,9 +101,9 @@ func (db *DB) startCommitter() {
 					break drain
 				}
 			}
-			start := time.Now()
+			start := time.Now() //blobvet:allow real committer-busy accounting for the benchmark overlap model
 			db.finishBatch(batch)
-			db.commit.busy.Add(int64(time.Since(start)))
+			db.commit.busy.Add(int64(time.Since(start))) //blobvet:allow real committer-busy accounting for the benchmark overlap model
 		}
 	}()
 }
@@ -116,9 +116,9 @@ func (db *DB) startCommitter() {
 func (c *committer) enqueue(t *Txn) error {
 	tb := t.pendingBytes()
 	t.inflightBytes = tb
-	start := time.Now()
+	start := time.Now() //blobvet:allow real backpressure-blocked accounting for the benchmark overlap model
 	defer func() {
-		if d := time.Since(start); d > time.Microsecond {
+		if d := time.Since(start); d > time.Microsecond { //blobvet:allow real backpressure-blocked accounting for the benchmark overlap model
 			c.blocked.Add(int64(d))
 		}
 	}()
@@ -240,11 +240,11 @@ func (db *DB) DrainCommits() error {
 	if db.commit == nil {
 		return nil
 	}
-	start := time.Now()
+	start := time.Now() //blobvet:allow real drain-blocked accounting for the benchmark overlap model
 	done := make(chan struct{})
 	db.commit.ch <- &Txn{drain: done}
 	<-done
-	db.commit.blocked.Add(int64(time.Since(start)))
+	db.commit.blocked.Add(int64(time.Since(start))) //blobvet:allow real drain-blocked accounting for the benchmark overlap model
 	db.commit.mu.Lock()
 	defer db.commit.mu.Unlock()
 	return db.commit.err
@@ -339,8 +339,8 @@ func (db *DB) finishBatch(batch []*Txn) {
 }
 
 // failCommit records a background commit failure and releases everything
-// the transaction holds — locks, WAL buffer, byte budget — so the system
-// cannot wedge; a CommitWait caller receives the error.
+// the transaction holds — pinned frames, locks, WAL buffer, byte budget —
+// so the system cannot wedge; a CommitWait caller receives the error.
 func (db *DB) failCommit(t *Txn, err error) {
 	err = fmt.Errorf("core: async commit txn %d: %w", t.id, err)
 	db.commit.mu.Lock()
@@ -348,6 +348,9 @@ func (db *DB) failCommit(t *Txn, err error) {
 		db.commit.err = err
 	}
 	db.commit.mu.Unlock()
+	for _, p := range t.pendings {
+		p.ReleaseUnflushed()
+	}
 	t.releaseLocks()
 	t.writer.Close()
 	db.commit.release(t)

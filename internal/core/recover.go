@@ -107,6 +107,7 @@ func (db *DB) writeCheckpoint(m *simtime.Meter, epoch uint32) error {
 	binary.LittleEndian.PutUint64(buf[8:], uint64(len(body)))
 	binary.LittleEndian.PutUint32(buf[16:], crc32.ChecksumIEEE(body))
 	copy(buf[ckptHeaderLen:], body)
+	//blobvet:allow checkpoint images live outside the pool by design: dual-slot writes fenced by magic+CRC, not extent write-back
 	if err := db.dev.WritePages(m, slotStart, pages, buf); err != nil {
 		return fmt.Errorf("core: write checkpoint: %w", err)
 	}

@@ -542,6 +542,12 @@ func (t *Txn) Commit() error {
 	}
 	t.db.ckptMu.Unlock()
 	if err != nil {
+		// The commit did not complete: unpin the staged frames (and drop
+		// their uncommitted page images) or the pool wedges on leaked
+		// evict-protected pins while the caller handles the error.
+		for _, p := range t.pendings {
+			p.ReleaseUnflushed()
+		}
 		t.releaseLocks()
 		return fmt.Errorf("core: commit txn %d: %w", t.id, err)
 	}

@@ -383,6 +383,7 @@ func (r *runner) commitBatch(txns []*core.Txn, keys []string) error {
 	}
 	// Durability barrier: after this sync the batch's extents are on
 	// stable storage and the outcomes collapse to the new values.
+	//blobvet:allow harness-issued sync on the fault device models the OS flush the schedule crashes around; not engine durability ordering
 	if err := r.fd.Sync(nil); err != nil {
 		return r.noteCrash(err)
 	}

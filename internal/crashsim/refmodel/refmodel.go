@@ -172,9 +172,18 @@ func (ks *keyState) allowed() (contents [][]byte, absentOK bool) {
 // Verify checks a recovered snapshot (key -> full content) against the
 // model: every key's content must be one of its allowed outcomes, keys
 // with no allowed present-outcome must be absent, and no phantom keys may
-// appear. The returned error names the first offending key.
+// appear. The returned error names the lexicographically first offending
+// key — both loops walk sorted keys so a failing schedule reports the
+// same offender on every replay (returning from inside a map range would
+// pick a different key per run and defeat seed-replay debugging).
 func (m *Model) Verify(snapshot map[string][]byte) error {
-	for key, got := range snapshot {
+	snapKeys := make([]string, 0, len(snapshot))
+	for key := range snapshot {
+		snapKeys = append(snapKeys, key)
+	}
+	sort.Strings(snapKeys)
+	for _, key := range snapKeys {
+		got := snapshot[key]
 		ks, ok := m.keys[key]
 		if !ok {
 			return fmt.Errorf("refmodel: phantom key %q (%d bytes) after recovery", key, len(got))
@@ -185,7 +194,13 @@ func (m *Model) Verify(snapshot map[string][]byte) error {
 				key, len(got), len(contents))
 		}
 	}
-	for key, ks := range m.keys {
+	modelKeys := make([]string, 0, len(m.keys))
+	for key := range m.keys {
+		modelKeys = append(modelKeys, key)
+	}
+	sort.Strings(modelKeys)
+	for _, key := range modelKeys {
+		ks := m.keys[key]
 		if _, ok := snapshot[key]; ok {
 			continue
 		}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# vet: run the blobvet analyzers over the whole module through the real
+# `go vet -vettool` protocol — the same invocation CI uses.
+#
+# blobvet machine-checks the engine's concurrency and durability
+# invariants (see DESIGN.md "Machine-checked invariants"): frame pin
+# discipline, no device I/O under pool latches, replay-stable output in
+# simulation-checked paths, WAL-owned sync ordering, and migration off
+# deprecated blob APIs. Exceptions need an inline
+# `//blobvet:allow <reason>` — a reason-less allow is itself an error.
+set -eu
+cd "$(dirname "$0")/.."
+
+tool=$(mktemp -t blobvet.XXXXXX)
+trap 'rm -f "$tool"' EXIT
+go build -o "$tool" ./cmd/blobvet
+
+go vet -vettool="$tool" ./...
+echo "blobvet: clean"
