@@ -24,7 +24,31 @@ func main() {
 	exp := flag.String("exp", "", "experiment id to run (or 'all')")
 	list := flag.Bool("list", false, "list experiment ids")
 	concreadJSON := flag.String("concread-json", "", "run the concurrent-read benchmark and write the JSON report to this path")
+	shardJSON := flag.String("shardbench-json", "", "run the multi-shard commit-scaling benchmark and write the JSON report to this path")
 	flag.Parse()
+
+	if *shardJSON != "" {
+		rep, err := bench.ShardScaling(bench.ShardBenchOpts{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
+			os.Exit(1)
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*shardJSON, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "shardbench: %v\n", err)
+			os.Exit(1)
+		}
+		for key, ratio := range rep.ScalingVsOneShard {
+			fmt.Printf("commit throughput at %s: %.2fx one shard\n", key, ratio)
+		}
+		fmt.Printf("wrote %s (%d scenarios)\n", *shardJSON, len(rep.Scenarios))
+		return
+	}
 
 	if *concreadJSON != "" {
 		rep, err := bench.ConcurrentRead(bench.ConcreadOpts{})

@@ -11,16 +11,25 @@
 //	curl -H 'Range: bytes=0-1023' http://localhost:9090/v1/images/xray1.png
 //	curl http://localhost:9090/debug/vars
 //
-// The database file is operated on in place (storage.OpenFileDevice):
-// kill the process at any point and the next start replays the WAL and
-// validates every Blob State against its SHA-256 (§III-C). Without -db
-// the server runs on an in-memory device and data is ephemeral.
+// With -shards=N the keyspace is partitioned across N fully independent
+// engines — each with its own device, buffer pool, WAL, and group-commit
+// pipeline — behind a consistent-hash router; the HTTP API is unchanged.
+// The shard devices are derived from -db as <db>.s0, <db>.s1, ... (or N
+// in-memory devices without -db):
+//
+//	blobserved -db app.blobdb -shards 4 -listen :9090
+//
+// Database files are operated on in place (storage.OpenFileDevice):
+// kill the process at any point and the next start replays each shard's
+// WAL and validates every Blob State against its SHA-256 (§III-C).
+// Without -db the server runs on in-memory devices and data is ephemeral.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -30,6 +39,7 @@ import (
 
 	"blobdb/internal/blobserver"
 	"blobdb/internal/core"
+	"blobdb/internal/shard"
 	"blobdb/internal/simtime"
 	"blobdb/internal/storage"
 )
@@ -37,42 +47,56 @@ import (
 func main() {
 	var (
 		listen      = flag.String("listen", "127.0.0.1:9090", "address to serve on")
-		dbPath      = flag.String("db", "", "database file (empty: in-memory, ephemeral)")
-		pages       = flag.Uint64("pages", 1<<16, "device size in 4KB pages (256MB default)")
+		dbPath      = flag.String("db", "", "database file (empty: in-memory, ephemeral); with -shards>1, shard i uses <db>.s<i>")
+		pages       = flag.Uint64("pages", 1<<16, "per-shard device size in 4KB pages (256MB default)")
+		shards      = flag.Int("shards", 1, "number of independent engine shards behind the router")
 		maxInFlight = flag.Int("max-inflight", 64, "admission control: max in-flight requests")
 		maxWait     = flag.Duration("max-queue-wait", 100*time.Millisecond, "admission control: bounded wait before 503")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		log.Fatal("-shards must be >= 1")
+	}
 
-	var dev storage.Device
-	if *dbPath != "" {
-		fdev, err := storage.OpenFileDevice(*dbPath, storage.DefaultPageSize, *pages, simtime.DefaultNVMe())
-		if err != nil {
-			log.Fatal(err)
+	dbs := make([]*core.DB, *shards)
+	for i := range dbs {
+		var dev storage.Device
+		if *dbPath != "" {
+			fdev, err := storage.OpenFileDevice(shardPath(*dbPath, i, *shards), storage.DefaultPageSize, *pages, simtime.DefaultNVMe())
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer fdev.Close()
+			dev = fdev
+		} else {
+			dev = storage.NewMemDevice(storage.DefaultPageSize, *pages, nil)
 		}
-		defer fdev.Close()
-		dev = fdev
-	} else {
-		dev = storage.NewMemDevice(storage.DefaultPageSize, *pages, nil)
+		db, rep, err := core.RecoverDevice(dev, nil,
+			core.WithPoolPages(int(*pages/4)),
+			core.WithLogPages(*pages/16),
+			core.WithCkptPages(*pages/8),
+			core.WithAsyncCommit(true), // PUTs batch through the group-commit pipeline
+		)
+		if err != nil {
+			log.Fatalf("shard %d: %v", i, err)
+		}
+		if rep.FromCheckpoint || rep.CommittedTxns > 0 {
+			log.Printf("shard %d recovered: %d committed txns, %d blobs validated, %d failed, %d redone records",
+				i, rep.CommittedTxns, rep.ValidatedBlobs, rep.FailedBlobs, rep.RedoneRecords)
+		}
+		dbs[i] = db
 	}
-
-	db, rep, err := core.RecoverDevice(dev, nil,
-		core.WithPoolPages(int(*pages/4)),
-		core.WithLogPages(*pages/16),
-		core.WithCkptPages(*pages/8),
-		core.WithAsyncCommit(true), // PUTs batch through the group-commit pipeline
-	)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if rep.FromCheckpoint || rep.CommittedTxns > 0 {
-		log.Printf("recovered: %d committed txns, %d blobs validated, %d failed, %d redone records",
-			rep.CommittedTxns, rep.ValidatedBlobs, rep.FailedBlobs, rep.RedoneRecords)
-	}
+	cluster := shard.New(dbs, shard.Options{
+		// Each shard gets a proportional slice of the server-wide admission
+		// budget (never less than a few slots) so one hot shard cannot
+		// monopolize the whole server.
+		MaxInFlightPerShard: max(4, *maxInFlight / *shards),
+		MaxQueueWait:        *maxWait,
+	})
 
 	bs := blobserver.New(blobserver.Config{
-		DB:           db,
+		Cluster:      cluster,
 		MaxInFlight:  *maxInFlight,
 		MaxQueueWait: *maxWait,
 	})
@@ -90,19 +114,27 @@ func main() {
 		srv.Shutdown(sctx)
 	}()
 
-	log.Printf("serving blobs on http://%s/v1/ (db=%s)", *listen, orMem(*dbPath))
+	log.Printf("serving blobs on http://%s/v1/ (db=%s shards=%d)", *listen, orMem(*dbPath), *shards)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
-	// In-flight requests are done; make everything queued durable and
-	// leave a checkpoint so the next start recovers instantly.
-	if err := db.CloseCommitter(); err != nil {
-		log.Printf("commit pipeline: %v", err)
-	}
-	if err := db.WAL().Checkpoint(nil); err != nil {
-		log.Printf("final checkpoint: %v", err)
+	// In-flight requests are done; make every shard's queued commits
+	// durable and leave per-shard checkpoints so the next start recovers
+	// instantly.
+	if err := cluster.Close(); err != nil {
+		log.Printf("drain: %v", err)
 	}
 	log.Print("drained cleanly")
+}
+
+// shardPath derives shard i's database file from the base path. One shard
+// keeps the plain path, so existing single-engine deployments reopen
+// their file unchanged.
+func shardPath(base string, i, n int) string {
+	if n == 1 {
+		return base
+	}
+	return fmt.Sprintf("%s.s%d", base, i)
 }
 
 func orMem(p string) string {

@@ -8,6 +8,8 @@
 //	crashsim -traces 50 -points 200            # nightly-sized sweep
 //	crashsim -seed 7 -synccommit -smallpool    # stress the sync path under eviction
 //	crashsim -trace-seed N -crashpoint K       # replay one schedule
+//	crashsim -topology -shards 3               # one-shard-crash topology schedules
+//	crashsim -topology -trace-seed N -crashpoint K -topo-crash-shard S [-topo-rebalance]
 //
 // Every failure prints a one-line replay invocation; the process exits
 // non-zero if any schedule fails.
@@ -35,8 +37,19 @@ func main() {
 
 		traceSeed = flag.Int64("trace-seed", 0, "replay: trace seed of one schedule")
 		crashOp   = flag.Int("crashpoint", -2, "replay: mutating-op index to crash at (-1: end of trace)")
+
+		topology   = flag.Bool("topology", false, "explore sharded-topology schedules: crash one shard's device, verify survivor isolation, recovery, and reshard safety")
+		shards     = flag.Int("shards", 0, "topology: ring members at trace start (default 3)")
+		crashShard = flag.Int("topo-crash-shard", 0, "topology replay: shard whose device the crash point arms")
+		rebalance  = flag.Bool("topo-rebalance", false, "topology replay: reshard into a new shard after the trace")
 	)
 	flag.Parse()
+
+	if *topology {
+		runTopology(*seed, *shards, *traces, *steps, *points, *tear, *quiet,
+			*traceSeed, *crashOp, *crashShard, *rebalance)
+		return
+	}
 
 	cfg := crashsim.DefaultConfig(*seed)
 	cfg.Sync = *syncMode
@@ -84,6 +97,80 @@ func main() {
 	fmt.Printf("explored %d schedules across %d traces (seed %d)\n", stats.Schedules, stats.Traces, *seed)
 	if stats.Failures == 0 {
 		fmt.Println("all schedules recovered within the reference model")
+		return
+	}
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "FAIL %v\n", f)
+	}
+	if stats.Failures > len(failures) {
+		fmt.Fprintf(os.Stderr, "...and %d more failures\n", stats.Failures-len(failures))
+	}
+	os.Exit(1)
+}
+
+// runTopology explores (or replays) sharded-topology crash schedules:
+// one shard's device crashes mid-schedule, survivors must keep serving,
+// the crashed shard must recover refmodel-clean, and a mid-rebalance
+// crash must lose no blob on source or destination.
+func runTopology(seed int64, shards, traces, steps, points int, tear string, quiet bool,
+	traceSeed int64, crashOp, crashShard int, rebalance bool) {
+	cfg := crashsim.DefaultTopoConfig(seed)
+	if shards > 0 {
+		cfg.Shards = shards
+	}
+	if traces > 0 {
+		cfg.Traces = traces
+	}
+	if steps > 0 {
+		cfg.Steps = steps
+	}
+	if points > 0 {
+		cfg.Points = points
+	}
+	if tear != "" {
+		mode, err := storage.ParseTearMode(tear)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crashsim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Modes = []storage.TearMode{mode}
+	}
+	if !quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	// Replay mode: one topology schedule, identified exactly as
+	// TopoFailure.Replay prints it.
+	if crashOp != -2 || traceSeed != 0 {
+		mode := storage.TearScramble
+		if len(cfg.Modes) == 1 {
+			mode = cfg.Modes[0]
+		}
+		s := crashsim.TopoSchedule{
+			TraceSeed:  traceSeed,
+			Shards:     cfg.Shards,
+			CrashShard: crashShard,
+			CrashOp:    crashOp,
+			Rebalance:  rebalance,
+			Mode:       mode,
+		}
+		res, err := cfg.RunTopoSchedule(s, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %v: %v\n", s, err)
+			os.Exit(1)
+		}
+		fmt.Printf("PASS %v (device ops %v, served %d, shed %d, recovery %+v)\n",
+			s, res.Ops, res.Served, res.Shed, res.Report)
+		return
+	}
+
+	stats, failures := crashsim.TopoExplore(cfg)
+	fmt.Printf("explored %d topology schedules across %d traces (seed %d): %d survivor ops, %d shed ops\n",
+		stats.Schedules, stats.Traces, seed, stats.SurvivorOps, stats.ShedOps)
+	if stats.Failures == 0 {
+		fmt.Println("all topology schedules held isolation, recovery, and reshard safety")
 		return
 	}
 	for _, f := range failures {

@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blobdb/internal/core"
+	"blobdb/internal/shard"
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
+)
+
+// commitLatencyDevice extends LatencyDevice with a Sync cost. The
+// distinction matters for what sharding can and cannot speed up: group
+// commit already amortizes the SYNC latency across a whole batch of
+// writers (32 writers share one flush), so a device that only charges
+// for Sync shows almost no sharding win. What one engine cannot
+// parallelize is the committer goroutine's serialized per-command work —
+// the extent flushes and WAL page writes it issues one after another for
+// every transaction in the batch. Charging a per-command write latency
+// models exactly that serial stream; N shards run N such streams.
+type commitLatencyDevice struct {
+	*LatencyDevice
+	syncLatency time.Duration
+}
+
+func newCommitLatencyDevice(inner *storage.MemDevice, cmdLatency, syncLatency time.Duration, bytesPerSec float64) *commitLatencyDevice {
+	return &commitLatencyDevice{
+		LatencyDevice: NewLatencyDevice(inner, cmdLatency, bytesPerSec),
+		syncLatency:   syncLatency,
+	}
+}
+
+// Sync implements storage.Device: one durability-barrier latency.
+func (d *commitLatencyDevice) Sync(m *simtime.Meter) error {
+	if d.syncLatency > 0 {
+		time.Sleep(d.syncLatency)
+	}
+	return d.LatencyDevice.Sync(m)
+}
+
+// ShardBenchOpts sizes the multi-shard concurrent read/write benchmark.
+type ShardBenchOpts struct {
+	Shards       []int         `json:"shards"`          // shard-count axis
+	Writers      int           `json:"writers"`         // concurrent PUT goroutines
+	Readers      int           `json:"readers"`         // concurrent GET goroutines
+	OpsPerWriter int           `json:"ops_per_writer"`  // PUTs per writer
+	BlobBytes    int           `json:"blob_bytes"`      // payload size
+	CmdLatency   time.Duration `json:"cmd_latency_ns"`  // device latency per write command
+	SyncLatency  time.Duration `json:"sync_latency_ns"` // device latency per durability barrier
+	BytesPerSec  float64       `json:"bytes_per_sec"`   // device bandwidth
+	ReadPacing   time.Duration `json:"read_pacing_ns"`  // reader think time between GETs
+}
+
+func (o *ShardBenchOpts) defaults() {
+	if len(o.Shards) == 0 {
+		o.Shards = []int{1, 2, 4}
+	}
+	if o.Writers == 0 {
+		o.Writers = 32
+	}
+	if o.Readers == 0 {
+		o.Readers = 8
+	}
+	if o.OpsPerWriter == 0 {
+		// Long enough that the steady-state commit stream dominates
+		// startup and straggler effects in every scenario.
+		o.OpsPerWriter = 192
+	}
+	if o.BlobBytes == 0 {
+		o.BlobBytes = 16 << 10
+	}
+	if o.CmdLatency == 0 {
+		// NVMe-class per-command submission cost; large enough to dominate
+		// time.Sleep scheduling jitter (same reasoning as ConcreadOpts).
+		o.CmdLatency = 60 * time.Microsecond
+	}
+	if o.SyncLatency == 0 {
+		o.SyncLatency = 200 * time.Microsecond
+	}
+	if o.BytesPerSec == 0 {
+		o.BytesPerSec = 2 << 30 // 2 GiB/s
+	}
+	if o.ReadPacing == 0 {
+		// Without think time the warm-cache readers busy-spin, saturate
+		// every core, and stretch the latency device's sleeps — the bench
+		// would then measure Go scheduler starvation, not commit scaling.
+		o.ReadPacing = 2 * time.Millisecond
+	}
+}
+
+// ShardScenario is one measured cell: a full concurrent read/write run
+// against an N-shard cluster.
+type ShardScenario struct {
+	Name             string  `json:"name"`
+	Shards           int     `json:"shards"`
+	Writers          int     `json:"writers"`
+	Readers          int     `json:"readers"`
+	Ops              int     `json:"ops"` // committed PUTs
+	Reads            int64   `json:"reads"`
+	ThroughputOpsSec float64 `json:"commit_throughput_ops_s"`
+	P50Micros        float64 `json:"put_p50_us"`
+	P99Micros        float64 `json:"put_p99_us"`
+	TxnsPerFlush     float64 `json:"txns_per_flush"` // group-commit batching, summed over shards
+}
+
+// ShardReport is the benchmark output (serialized to BENCH_PR6.json by
+// scripts/bench-shard.sh).
+type ShardReport struct {
+	Benchmark string          `json:"benchmark"`
+	Config    ShardBenchOpts  `json:"config"`
+	Scenarios []ShardScenario `json:"scenarios"`
+	// ScalingVsOneShard maps "<N>shards" to commit throughput relative to
+	// the 1-shard run at the same writer count — the headline number (the
+	// acceptance bar is >= 3x at 4 shards / 32 writers).
+	ScalingVsOneShard map[string]float64 `json:"commit_scaling_vs_one_shard"`
+}
+
+// ShardScaling runs the concurrent read/write workload against 1..N-shard
+// clusters on commit-latency devices and reports commit throughput
+// scaling.
+func ShardScaling(o ShardBenchOpts) (*ShardReport, error) {
+	o.defaults()
+	rep := &ShardReport{
+		Benchmark:         "multi-shard-commit",
+		Config:            o,
+		ScalingVsOneShard: map[string]float64{},
+	}
+	var oneShard float64
+	for _, n := range o.Shards {
+		sc, err := runShardBench(n, o)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, sc)
+		if n == 1 {
+			oneShard = sc.ThroughputOpsSec
+		} else if oneShard > 0 {
+			rep.ScalingVsOneShard[fmt.Sprintf("%dshards", n)] = sc.ThroughputOpsSec / oneShard
+		}
+	}
+	return rep, nil
+}
+
+func runShardBench(shards int, o ShardBenchOpts) (ShardScenario, error) {
+	sc := ShardScenario{
+		Name:    fmt.Sprintf("%dshards/%dw/%dr", shards, o.Writers, o.Readers),
+		Shards:  shards,
+		Writers: o.Writers,
+		Readers: o.Readers,
+	}
+	dbs := make([]*core.DB, shards)
+	for i := range dbs {
+		// Sized so the 1-shard run (which absorbs every blob of the whole
+		// workload on one device) still has extent headroom.
+		dev := newCommitLatencyDevice(
+			storage.NewMemDevice(storage.DefaultPageSize, 1<<16, nil),
+			o.CmdLatency, o.SyncLatency, o.BytesPerSec)
+		db, err := core.Open(core.Options{
+			Dev:         dev,
+			PoolPages:   1 << 12,
+			LogPages:    1 << 11,
+			CkptPages:   1 << 12,
+			AsyncCommit: true,
+		})
+		if err != nil {
+			return sc, err
+		}
+		dbs[i] = db
+	}
+	c := shard.New(dbs, shard.Options{MaxInFlightPerShard: o.Writers + o.Readers})
+	defer c.Close()
+	if err := c.CreateRelation("bench"); err != nil {
+		return sc, err
+	}
+	ctx := context.Background()
+	payload := make([]byte, o.BlobBytes)
+	rand.New(rand.NewSource(42)).Read(payload)
+
+	// Seed a small read set so readers have something from the first
+	// moment.
+	for i := 0; i < o.Writers; i++ {
+		if err := shardPut(ctx, c, fmt.Sprintf("seed-%03d", i), payload); err != nil {
+			return sc, err
+		}
+	}
+
+	var (
+		writers, readers sync.WaitGroup
+		mu               sync.Mutex
+		lats             []time.Duration
+		reads            atomic.Int64
+		firstErr         atomic.Value
+		stop             atomic.Bool
+	)
+	start := time.Now()
+	for w := 0; w < o.Writers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			mine := make([]time.Duration, 0, o.OpsPerWriter)
+			for i := 0; i < o.OpsPerWriter; i++ {
+				t0 := time.Now()
+				if err := shardPut(ctx, c, fmt.Sprintf("w%03d-%04d", w, i), payload); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, mine...)
+			mu.Unlock()
+		}(w)
+	}
+	for r := 0; r < o.Readers; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for !stop.Load() {
+				key := fmt.Sprintf("seed-%03d", rng.Intn(o.Writers))
+				sh, release, err := c.Acquire(ctx, "bench", []byte(key))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				tx := sh.DB().BeginCtx(ctx, nil)
+				_, err = tx.ReadBlobBytes("bench", []byte(key))
+				tx.Commit()
+				release()
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				reads.Add(1)
+				time.Sleep(o.ReadPacing)
+			}
+		}(r)
+	}
+	// Writers finishing defines the measured window; then release readers.
+	writers.Wait()
+	elapsed := time.Since(start)
+	stop.Store(true)
+	readers.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return sc, err
+	}
+
+	sc.Ops = len(lats)
+	sc.Reads = reads.Load()
+	sc.ThroughputOpsSec = float64(sc.Ops) / elapsed.Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if n := len(lats); n > 0 {
+		sc.P50Micros = float64(lats[n/2]) / float64(time.Microsecond)
+		sc.P99Micros = float64(lats[n*99/100]) / float64(time.Microsecond)
+	}
+	var flushes, txns int64
+	for _, s := range c.Shards() {
+		f, t := s.DB().CommitBatchStats()
+		flushes += f
+		txns += t
+	}
+	if flushes > 0 {
+		sc.TxnsPerFlush = float64(txns) / float64(flushes)
+	}
+	return sc, nil
+}
+
+// shardPut routes one blob write through the cluster, as the served PUT
+// path does.
+func shardPut(ctx context.Context, c *shard.Cluster, key string, payload []byte) error {
+	sh, release, err := c.Acquire(ctx, "bench", []byte(key))
+	if err != nil {
+		return err
+	}
+	defer release()
+	tx := sh.DB().BeginCtx(ctx, nil)
+	w, err := tx.CreateBlob(ctx, "bench", []byte(key))
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		w.Abort()
+		tx.Abort()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.CommitWait()
+}

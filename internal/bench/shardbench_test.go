@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShardScalingSmoke runs a miniature multi-shard scenario — the full
+// benchmark is scripts/bench-shard.sh; this just proves the rig works
+// (routing, concurrent readers/writers, report shape) in test time.
+func TestShardScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench rig smoke test")
+	}
+	rep, err := ShardScaling(ShardBenchOpts{
+		Shards:       []int{1, 2},
+		Writers:      8,
+		Readers:      2,
+		OpsPerWriter: 8,
+		BlobBytes:    4 << 10,
+		CmdLatency:   10 * time.Microsecond,
+		SyncLatency:  50 * time.Microsecond,
+		ReadPacing:   500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("got %d scenarios, want 2", len(rep.Scenarios))
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.Ops != 8*8 {
+			t.Errorf("%s: committed %d ops, want %d", sc.Name, sc.Ops, 8*8)
+		}
+		if sc.ThroughputOpsSec <= 0 || sc.P50Micros <= 0 {
+			t.Errorf("%s: degenerate stats: %+v", sc.Name, sc)
+		}
+	}
+	if _, ok := rep.ScalingVsOneShard["2shards"]; !ok {
+		t.Error("missing 2shards scaling ratio")
+	}
+}

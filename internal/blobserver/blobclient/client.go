@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -18,17 +19,53 @@ import (
 
 // Client talks to one blobserver.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry retryPolicy
+}
+
+// retryPolicy bounds the client's reaction to 503 load sheds.
+type retryPolicy struct {
+	attempts int           // total tries including the first; <=1 disables retry
+	base     time.Duration // first backoff step
+	max      time.Duration // cap on any single sleep (backoff or Retry-After)
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithRetry makes the client retry 503 responses (admission sheds and
+// fenced-shard rejections) up to attempts total tries. Each retry sleeps
+// the server's Retry-After hint when present, otherwise an exponential
+// backoff starting at base; either way the sleep is capped at max and
+// jittered ±25% so synchronized clients don't re-stampede a recovering
+// shard in lockstep. Only requests whose body can be replayed are
+// retried: bodiless requests always, PUTs only when the body reader is
+// rewindable (Put's in-memory bodies are; an arbitrary PutReader stream
+// is not and fails fast instead of replaying a half-read stream).
+func WithRetry(attempts int, base, max time.Duration) Option {
+	return func(c *Client) {
+		if base <= 0 {
+			base = 100 * time.Millisecond
+		}
+		if max <= 0 {
+			max = 5 * time.Second
+		}
+		c.retry = retryPolicy{attempts: attempts, base: base, max: max}
+	}
 }
 
 // New creates a client for base (e.g. "http://127.0.0.1:9090"). hc may be
 // nil to use http.DefaultClient.
-func New(base string, hc *http.Client) *Client {
+func New(base string, hc *http.Client, opts ...Option) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // ServerError is a non-2xx response.
@@ -63,6 +100,30 @@ func (c *Client) blobURL(rel, key string) string {
 }
 
 func (c *Client) do(req *http.Request, wantStatus ...int) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.doOnce(req, wantStatus...)
+		if err == nil {
+			return resp, nil
+		}
+		se, overloaded := err.(*ServerError)
+		if !overloaded || se.Status != http.StatusServiceUnavailable ||
+			attempt+1 >= c.retry.attempts || !replayable(req) {
+			return nil, err
+		}
+		if err := sleepBackoff(req.Context(), c.retry, attempt, se.RetryAfter); err != nil {
+			return nil, err
+		}
+		if req.Body != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, err
+			}
+			req.Body = body
+		}
+	}
+}
+
+func (c *Client) doOnce(req *http.Request, wantStatus ...int) (*http.Response, error) {
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -81,6 +142,37 @@ func (c *Client) do(req *http.Request, wantStatus ...int) (*http.Response, error
 		}
 	}
 	return nil, se
+}
+
+// replayable reports whether the request can be re-sent: no body, or a
+// body net/http knows how to rewind (GetBody is set for in-memory
+// readers).
+func replayable(req *http.Request) bool {
+	return req.Body == nil || req.GetBody != nil
+}
+
+// sleepBackoff waits out one retry delay: the server's Retry-After hint
+// when given, otherwise exponential backoff from the policy's base —
+// both capped at the policy max and jittered ±25%.
+func sleepBackoff(ctx context.Context, p retryPolicy, attempt int, hint time.Duration) error {
+	d := hint
+	if d <= 0 {
+		d = p.base << attempt
+	}
+	if d > p.max {
+		d = p.max
+	}
+	// Full-interval ±25% jitter: a fleet of clients shed at the same
+	// instant must not retry at the same instant.
+	d += time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // CreateRelation creates a relation; it is an error if it already exists.

@@ -1,0 +1,144 @@
+package blobclient
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shedThenServe 503s (with the given Retry-After header, "" for none) the
+// first n requests, then serves normally.
+func shedThenServe(n int, retryAfter string, h http.HandlerFunc) (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, "shard busy", http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}))
+	return ts, &calls
+}
+
+// TestRetryHonorsRetryAfterOn503: a shed GET is retried after the hinted
+// delay and succeeds without surfacing the 503.
+func TestRetryHonorsRetryAfterOn503(t *testing.T) {
+	ts, calls := shedThenServe(2, "1", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "content")
+	})
+	defer ts.Close()
+	// Cap the sleeps well under the 1s hint so the test stays fast: the
+	// hint is honored but never beyond the policy max.
+	c := New(ts.URL, ts.Client(), WithRetry(4, 5*time.Millisecond, 20*time.Millisecond))
+	start := time.Now()
+	got, _, err := c.Get(context.Background(), "r", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "content" {
+		t.Fatalf("got %q", got)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 sheds + success)", n)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("retries did not back off (elapsed %v)", elapsed)
+	}
+}
+
+// TestRetryReplaysPutBody: the in-memory PUT body is rewound for each
+// retry — the server must receive the full body on the attempt that
+// succeeds.
+func TestRetryReplaysPutBody(t *testing.T) {
+	ts, calls := shedThenServe(1, "", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != "hello world" {
+			http.Error(w, "short body: "+string(body), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("ETag", `"abc"`)
+		w.WriteHeader(http.StatusCreated)
+	})
+	defer ts.Close()
+	c := New(ts.URL, ts.Client(), WithRetry(3, time.Millisecond, 10*time.Millisecond))
+	etag, err := c.Put(context.Background(), "r", "k", []byte("hello world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag != "abc" || calls.Load() != 2 {
+		t.Fatalf("etag %q after %d calls", etag, calls.Load())
+	}
+}
+
+// TestNoRetryForUnreplayableBody: an arbitrary stream cannot be rewound;
+// the client must fail fast with the 503 rather than replay half a body.
+func TestNoRetryForUnreplayableBody(t *testing.T) {
+	ts, calls := shedThenServe(1, "", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+	})
+	defer ts.Close()
+	c := New(ts.URL, ts.Client(), WithRetry(5, time.Millisecond, 10*time.Millisecond))
+	// io.MultiReader hides the strings.Reader, so net/http cannot set
+	// GetBody and the request is not replayable.
+	_, err := c.PutReader(context.Background(), "r", "k", io.MultiReader(strings.NewReader("x")), -1)
+	if !IsOverloaded(err) {
+		t.Fatalf("err = %v, want 503 passthrough", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("unreplayable request was retried (%d calls)", n)
+	}
+}
+
+// TestRetryDisabledByDefault: without WithRetry the first 503 surfaces.
+func TestRetryDisabledByDefault(t *testing.T) {
+	ts, calls := shedThenServe(1, "", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "late")
+	})
+	defer ts.Close()
+	c := New(ts.URL, ts.Client())
+	if _, _, err := c.Get(context.Background(), "r", "k"); !IsOverloaded(err) {
+		t.Fatalf("err = %v, want 503", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatal("default client retried")
+	}
+}
+
+// TestRetryGivesUpAfterBudget: persistent 503 surfaces after the
+// configured attempts.
+func TestRetryGivesUpAfterBudget(t *testing.T) {
+	ts, calls := shedThenServe(1000, "", nil)
+	defer ts.Close()
+	c := New(ts.URL, ts.Client(), WithRetry(3, time.Millisecond, 5*time.Millisecond))
+	if _, _, err := c.Get(context.Background(), "r", "k"); !IsOverloaded(err) {
+		t.Fatalf("err = %v, want 503", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want exactly the 3-attempt budget", n)
+	}
+}
+
+// TestRetrySleepRespectsContext: cancelling mid-backoff aborts promptly.
+func TestRetrySleepRespectsContext(t *testing.T) {
+	ts, _ := shedThenServe(1000, "30", nil) // hinted 30s sleeps, capped by max
+	defer ts.Close()
+	c := New(ts.URL, ts.Client(), WithRetry(10, time.Second, time.Hour))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := c.Get(ctx, "r", "k")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancellation not honored in backoff sleep (%v)", time.Since(start))
+	}
+}

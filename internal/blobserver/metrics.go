@@ -4,11 +4,13 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"blobdb/internal/core"
+	"blobdb/internal/shard"
 )
 
 // metrics publishes per-route counters, latency stats, admission-control
@@ -16,6 +18,13 @@ import (
 // format. The vars live in a server-local expvar.Map (not the process
 // registry) so multiple servers — and tests — never collide on names;
 // serveVars renders them at /debug/vars.
+//
+// Sharded topology: the engine-level maps (commit_pipeline, pool, wal)
+// aggregate across shards — on a one-shard cluster they are bit-for-bit
+// the single-engine figures — while shard.<i>.commit and shard.<i>.pool
+// expose each pipeline separately and shard_router carries the routing
+// counters (per-shard routed/shed ops, scatter-gather fan-out latency,
+// rebalance bytes moved).
 type metrics struct {
 	vars *expvar.Map
 
@@ -24,6 +33,15 @@ type metrics struct {
 
 	admitted, rejected atomic.Int64
 	bytesIn, bytesOut  atomic.Int64
+
+	// shardRejected counts 503s issued for a single shard's keyspace slice
+	// (busy or fenced shard) as opposed to whole-server admission sheds.
+	shardRejected atomic.Int64
+
+	// Scatter-gather (merged key listing) fan-out latency.
+	scatterCount atomic.Int64
+	scatterNs    atomic.Int64
+	scatterMax   atomic.Int64
 
 	// putPeakBuffered is the high-water mark of bytes any single PUT kept
 	// pinned in the buffer pool while streaming its body — the streaming
@@ -37,6 +55,19 @@ func (m *metrics) observePutPeak(n int64) {
 	for {
 		old := m.putPeakBuffered.Load()
 		if n <= old || m.putPeakBuffered.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// observeScatter records one scatter-gather listing's fan-out latency.
+func (m *metrics) observeScatter(d time.Duration) {
+	m.scatterCount.Add(1)
+	ns := int64(d)
+	m.scatterNs.Add(ns)
+	for {
+		old := m.scatterMax.Load()
+		if ns <= old || m.scatterMax.CompareAndSwap(old, ns) {
 			return
 		}
 	}
@@ -71,7 +102,45 @@ func (r *routeStats) observe(status int, d time.Duration) {
 	}
 }
 
-func newMetrics(db *core.DB, adm *admission) *metrics {
+// commitVars renders one engine's group-commit batching figures: flushes
+// = shared WAL syncs, txns = commits they covered; txns_per_flush > 1 is
+// the paper's group commit working.
+func commitVars(db *core.DB) map[string]any {
+	flushes, txns := db.CommitBatchStats()
+	avg := 0.0
+	if flushes > 0 {
+		avg = float64(txns) / float64(flushes)
+	}
+	return map[string]any{
+		"batch_flushes":  flushes,
+		"batched_txns":   txns,
+		"txns_per_flush": avg,
+		"blocked_ns":     int64(db.CommitBlocked()),
+		"committer_busy": int64(db.CommitterBusy()),
+	}
+}
+
+// poolVars renders one engine's batched read-path counters (§III-D): one
+// vectored submission per cold BLOB read. read_vec_segments /
+// fix_batch_pages size the batches, singleflight_coalesces counts readers
+// that piggybacked on another worker's in-flight load, lock_wait_ns is
+// cumulative wait for the pool's structural mutex.
+func poolVars(db *core.DB) map[string]any {
+	s := db.Pool().Stats().Snapshot()
+	return map[string]any{
+		"hits":                   s.Hits,
+		"misses":                 s.Misses,
+		"evictions":              s.Evictions,
+		"writebacks":             s.Writebacks,
+		"fix_batches":            s.FixBatches,
+		"fix_batch_pages":        s.FixBatchPages,
+		"read_vec_segments":      s.ReadVecSegments,
+		"singleflight_coalesces": s.Coalesces,
+		"lock_wait_ns":           s.LockWaitNs,
+	}
+}
+
+func newMetrics(c *shard.Cluster, adm *admission) *metrics {
 	m := &metrics{vars: new(expvar.Map).Init(), routes: map[string]*routeStats{}}
 	pub := func(name string, f func() any) { m.vars.Set(name, expvar.Func(f)) }
 
@@ -79,6 +148,7 @@ func newMetrics(db *core.DB, adm *admission) *metrics {
 		return map[string]any{
 			"admitted":       m.admitted.Load(),
 			"rejected":       m.rejected.Load(),
+			"shard_rejected": m.shardRejected.Load(),
 			"in_flight":      adm.inFlight(),
 			"queue_wait_ns":  adm.waitNs.Load(),
 			"max_in_flight":  cap(adm.sem),
@@ -93,10 +163,17 @@ func newMetrics(db *core.DB, adm *admission) *metrics {
 			"put_peak_buffered_bytes": m.putPeakBuffered.Load(),
 		}
 	})
-	// Group-commit batching: flushes = shared WAL syncs, txns = commits
-	// they covered; txns_per_flush > 1 is the paper's group commit working.
+	// Aggregate engine figures across shards. On the one-shard cluster
+	// these are exactly the single engine's numbers.
 	pub("commit_pipeline", func() any {
-		flushes, txns := db.CommitBatchStats()
+		var flushes, txns, blocked, busy int64
+		for _, sh := range c.Healthy() {
+			f, t := sh.DB().CommitBatchStats()
+			flushes += f
+			txns += t
+			blocked += int64(sh.DB().CommitBlocked())
+			busy += int64(sh.DB().CommitterBusy())
+		}
 		avg := 0.0
 		if flushes > 0 {
 			avg = float64(txns) / float64(flushes)
@@ -105,34 +182,86 @@ func newMetrics(db *core.DB, adm *admission) *metrics {
 			"batch_flushes":  flushes,
 			"batched_txns":   txns,
 			"txns_per_flush": avg,
-			"blocked_ns":     int64(db.CommitBlocked()),
-			"committer_busy": int64(db.CommitterBusy()),
+			"blocked_ns":     blocked,
+			"committer_busy": busy,
 		}
 	})
-	// Batched read path (§III-D): one vectored submission per cold BLOB
-	// read. read_vec_segments/fix_batch_pages size the batches,
-	// singleflight_coalesces counts readers that piggybacked on another
-	// worker's in-flight load, lock_wait_ns is cumulative wait for the
-	// pool's structural mutex.
 	pub("pool", func() any {
-		s := db.Pool().Stats().Snapshot()
-		return map[string]any{
-			"hits":                   s.Hits,
-			"misses":                 s.Misses,
-			"evictions":              s.Evictions,
-			"writebacks":             s.Writebacks,
-			"fix_batches":            s.FixBatches,
-			"fix_batch_pages":        s.FixBatchPages,
-			"read_vec_segments":      s.ReadVecSegments,
-			"singleflight_coalesces": s.Coalesces,
-			"lock_wait_ns":           s.LockWaitNs,
+		agg := map[string]any{}
+		for _, sh := range c.Healthy() {
+			for k, v := range poolVars(sh.DB()) {
+				cur, _ := agg[k].(int64)
+				switch n := v.(type) {
+				case int64:
+					agg[k] = cur + n
+				case uint64:
+					agg[k] = cur + int64(n)
+				}
+			}
 		}
+		return agg
 	})
 	pub("wal", func() any {
+		var flushes, bytesLogged, ckpts int64
+		for _, sh := range c.Healthy() {
+			flushes += int64(sh.DB().WAL().Flushes())
+			bytesLogged += int64(sh.DB().WAL().BytesLogged())
+			ckpts += int64(sh.DB().WAL().Checkpoints())
+		}
 		return map[string]any{
-			"flushes":      db.WAL().Flushes(),
-			"bytes_logged": db.WAL().BytesLogged(),
-			"checkpoints":  db.WAL().Checkpoints(),
+			"flushes":      flushes,
+			"bytes_logged": bytesLogged,
+			"checkpoints":  ckpts,
+		}
+	})
+	// Per-shard engine pipelines, namespaced by shard id.
+	for _, sh := range c.Shards() {
+		sh := sh
+		pub("shard."+strconv.Itoa(sh.ID())+".commit", func() any {
+			if sh.Down() {
+				return map[string]any{"down": true}
+			}
+			return commitVars(sh.DB())
+		})
+		pub("shard."+strconv.Itoa(sh.ID())+".pool", func() any {
+			if sh.Down() {
+				return map[string]any{"down": true}
+			}
+			return poolVars(sh.DB())
+		})
+	}
+	// Router-level counters: per-shard routed/shed ops, scatter-gather
+	// fan-out latency, live-reshard progress.
+	pub("shard_router", func() any {
+		perShard := map[string]any{}
+		for _, sh := range c.Shards() {
+			perShard[strconv.Itoa(sh.ID())] = map[string]any{
+				"routed":    sh.Routed(),
+				"shed":      sh.Shed(),
+				"in_flight": sh.InFlight(),
+				"down":      sh.Down(),
+			}
+		}
+		n := m.scatterCount.Load()
+		avg := int64(0)
+		if n > 0 {
+			avg = m.scatterNs.Load() / n
+		}
+		return map[string]any{
+			"num_shards":  c.NumShards(),
+			"ring_size":   c.Ring().NumMembers(),
+			"rebalancing": c.Rebalancing(),
+			"rebalance": map[string]any{
+				"bytes_moved": c.RebalancedBytes(),
+				"blobs_moved": c.RebalancedBlobs(),
+			},
+			"scatter_gather": map[string]any{
+				"listings":       n,
+				"latency_ns_sum": m.scatterNs.Load(),
+				"latency_ns_avg": avg,
+				"latency_ns_max": m.scatterMax.Load(),
+			},
+			"shards": perShard,
 		}
 	})
 	pub("routes", func() any {

@@ -40,17 +40,22 @@ import (
 	"strconv"
 	"time"
 
-	"blobdb/internal/blob"
 	"blobdb/internal/buffer"
 	"blobdb/internal/core"
+	"blobdb/internal/shard"
 )
 
 // Config wires a Server.
 type Config struct {
-	// DB is the open engine; required. For write batching it should be
-	// opened with Options.AsyncCommit — synchronous engines still work,
-	// each PUT then pays its own WAL sync.
+	// DB is the open engine; required unless Cluster is set. For write
+	// batching it should be opened with Options.AsyncCommit — synchronous
+	// engines still work, each PUT then pays its own WAL sync.
 	DB *core.DB
+	// Cluster, when set, serves the API over a sharded topology: single-key
+	// operations route to the owning shard, relation creates fan out, and
+	// key listings are scatter-gather merges. When nil, DB is wrapped as a
+	// one-shard cluster and the server behaves exactly as before.
+	Cluster *shard.Cluster
 	// MaxInFlight bounds concurrently served requests (default 64).
 	MaxInFlight int
 	// MaxQueueWait bounds how long an over-limit request may wait for a
@@ -62,10 +67,11 @@ type Config struct {
 	MaxBlobBytes int64
 }
 
-// Server serves the blob API over a core.DB. Create with New; it
-// implements http.Handler.
+// Server serves the blob API over a shard.Cluster (possibly the
+// degenerate one-shard cluster wrapping a single core.DB). Create with
+// New; it implements http.Handler.
 type Server struct {
-	db      *core.DB
+	cluster *shard.Cluster
 	adm     *admission
 	metrics *metrics
 	mux     *http.ServeMux
@@ -74,10 +80,13 @@ type Server struct {
 	maxBlobBytes int64
 }
 
-// New builds a Server over cfg.DB.
+// New builds a Server over cfg.Cluster (or cfg.DB wrapped as one shard).
 func New(cfg Config) *Server {
-	if cfg.DB == nil {
-		panic("blobserver: Config.DB is required")
+	if cfg.Cluster == nil {
+		if cfg.DB == nil {
+			panic("blobserver: Config.DB or Config.Cluster is required")
+		}
+		cfg.Cluster = shard.Single(cfg.DB)
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 64
@@ -92,12 +101,12 @@ func New(cfg Config) *Server {
 		cfg.MaxBlobBytes = 256 << 20
 	}
 	s := &Server{
-		db:           cfg.DB,
+		cluster:      cfg.Cluster,
 		adm:          newAdmission(cfg.MaxInFlight, cfg.MaxQueueWait),
 		retryAfter:   cfg.RetryAfter,
 		maxBlobBytes: cfg.MaxBlobBytes,
 	}
-	s.metrics = newMetrics(cfg.DB, s.adm)
+	s.metrics = newMetrics(cfg.Cluster, s.adm)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/{$}", s.route("rel_list", s.handleListRelations))
 	s.mux.HandleFunc("POST /v1/{rel}", s.route("rel_create", s.handleCreateRelation))
@@ -197,14 +206,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// shardError maps routing-layer rejections onto the wire: a fenced or
+// saturated shard is 503 + Retry-After for exactly its keyspace slice —
+// the isolation contract — while everything else falls through to the
+// engine-error taxonomy.
+func (s *Server) shardError(w http.ResponseWriter, err error) {
+	if errors.Is(err, shard.ErrShardBusy) || errors.Is(err, shard.ErrShardDown) {
+		s.metrics.shardRejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.retryAfter+time.Second-1)/time.Second)))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	httpError(w, err)
+}
+
 func (s *Server) handleListRelations(w http.ResponseWriter, r *http.Request) {
-	rels := s.db.Relations()
+	rels := s.cluster.Relations()
 	sort.Strings(rels)
 	writeJSON(w, http.StatusOK, map[string][]string{"relations": rels})
 }
 
 func (s *Server) handleCreateRelation(w http.ResponseWriter, r *http.Request) {
-	if _, err := s.db.CreateRelation(r.PathValue("rel")); err != nil {
+	// Relations are global: the create fans out to every live shard so any
+	// key of the relation can route anywhere.
+	if err := s.cluster.CreateRelation(r.PathValue("rel")); err != nil {
 		httpError(w, err)
 		return
 	}
@@ -219,18 +244,15 @@ type KeyInfo struct {
 }
 
 func (s *Server) handleListKeys(w http.ResponseWriter, r *http.Request) {
-	tx := s.db.BeginCtx(r.Context(), nil)
-	defer tx.Commit()
+	// Scatter-gather: per-shard cursors merged into one globally ordered,
+	// duplicate-free stream. The fan-out latency feeds the router metrics.
+	start := time.Now()
 	keys := []KeyInfo{}
-	err := tx.Scan(r.PathValue("rel"), []byte(r.URL.Query().Get("from")), func(key, inline []byte, st *blob.State) bool {
-		ki := KeyInfo{Key: string(key), Size: int64(len(inline))}
-		if st != nil {
-			ki.Size = int64(st.Size)
-			ki.ETag = st.ETag()
-		}
-		keys = append(keys, ki)
+	err := s.cluster.ListKeys(r.Context(), r.PathValue("rel"), []byte(r.URL.Query().Get("from")), func(e shard.Entry) bool {
+		keys = append(keys, KeyInfo{Key: e.Key, Size: e.Size, ETag: e.ETag})
 		return true
 	})
+	s.metrics.observeScatter(time.Since(start))
 	if err != nil {
 		httpError(w, err)
 		return
@@ -240,7 +262,13 @@ func (s *Server) handleListKeys(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGetBlob(w http.ResponseWriter, r *http.Request) {
 	rel, key := r.PathValue("rel"), r.PathValue("key")
-	tx := s.db.BeginCtx(r.Context(), nil)
+	sh, release, err := s.cluster.Acquire(r.Context(), rel, []byte(key))
+	if err != nil {
+		s.shardError(w, err)
+		return
+	}
+	defer release()
+	tx := sh.DB().BeginCtx(r.Context(), nil)
 	defer tx.Commit() // read-only
 	st, err := tx.BlobState(rel, []byte(key))
 	if errors.Is(err, core.ErrNotBlob) {
@@ -276,7 +304,13 @@ func (s *Server) handleGetBlob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePutBlob(w http.ResponseWriter, r *http.Request) {
 	rel, key := r.PathValue("rel"), r.PathValue("key")
 	ctx := r.Context()
-	tx := s.db.BeginCtx(ctx, nil)
+	sh, release, err := s.cluster.Acquire(ctx, rel, []byte(key))
+	if err != nil {
+		s.shardError(w, err)
+		return
+	}
+	defer release()
+	tx := sh.DB().BeginCtx(ctx, nil)
 	bw, err := tx.CreateBlob(ctx, rel, []byte(key))
 	if err != nil {
 		tx.Abort()
@@ -315,7 +349,13 @@ func (s *Server) handlePutBlob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteBlob(w http.ResponseWriter, r *http.Request) {
 	rel, key := r.PathValue("rel"), r.PathValue("key")
-	tx := s.db.BeginCtx(r.Context(), nil)
+	sh, release, err := s.cluster.Acquire(r.Context(), rel, []byte(key))
+	if err != nil {
+		s.shardError(w, err)
+		return
+	}
+	defer release()
+	tx := sh.DB().BeginCtx(r.Context(), nil)
 	if err := tx.DeleteBlob(rel, []byte(key)); err != nil {
 		tx.Abort()
 		httpError(w, err)
@@ -342,7 +382,10 @@ func ConfigureHTTPServer(srv *http.Server) {
 	srv.Protocols = p
 }
 
+// Cluster returns the shard topology the server routes over.
+func (s *Server) Cluster() *shard.Cluster { return s.cluster }
+
 // String describes the server for logs.
 func (s *Server) String() string {
-	return fmt.Sprintf("blobserver(max_inflight=%d)", cap(s.adm.sem))
+	return fmt.Sprintf("blobserver(shards=%d max_inflight=%d)", s.cluster.NumShards(), cap(s.adm.sem))
 }

@@ -234,6 +234,20 @@ func (db *DB) CommitterBusy() time.Duration {
 	return time.Duration(db.commit.busy.Load())
 }
 
+// CommitterErr reports the first background commit failure without
+// draining the pipeline (nil without AsyncCommit, or while healthy). A
+// non-nil result means the engine's durability path is poisoned — the
+// shard router uses this to fence a crashed engine and fail its
+// keyspace slice fast instead of queueing doomed work behind it.
+func (db *DB) CommitterErr() error {
+	if db.commit == nil {
+		return nil
+	}
+	db.commit.mu.Lock()
+	defer db.commit.mu.Unlock()
+	return db.commit.err
+}
+
 // DrainCommits blocks until every enqueued commit has fully finished and
 // returns the first background commit error, if any.
 func (db *DB) DrainCommits() error {

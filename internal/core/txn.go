@@ -267,6 +267,20 @@ func (t *Txn) dropWriter(w *blob.Writer) {
 	}
 }
 
+// LockKey takes the transaction's exclusive record lock on (rel, key)
+// without staging a write. Plain reads don't lock — but a reader that
+// must keep a blob's extents stable beyond an instant (streaming them to
+// another engine during a reshard, say) locks the row first so a
+// concurrent overwrite cannot commit and free the pinned extents
+// mid-read. Released with the transaction's other locks at Commit/Abort.
+func (t *Txn) LockKey(relName string, key []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.lock(relName, key)
+	return nil
+}
+
 // CreateBlob opens a streaming writer that stores the bytes written to it
 // as the BLOB column of key: extents are allocated incrementally from the
 // tier table as bytes arrive, completed extents flush in the background

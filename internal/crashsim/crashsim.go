@@ -145,13 +145,7 @@ func (c Config) RunSchedule(s Schedule, wantHashes []uint64) (*ScheduleResult, e
 	if err != nil {
 		return nil, fmt.Errorf("open: %w", err)
 	}
-	// Reseed eviction sampling so pool decisions replay exactly.
-	switch p := r.db.Pool().(type) {
-	case *buffer.VMPool:
-		p.SetEvictionSeed(s.TraceSeed)
-	case *buffer.HTPool:
-		p.SetEvictionSeed(s.TraceSeed)
-	}
+	seedEviction(r.db, s.TraceSeed)
 	if _, err := r.db.CreateRelation(relName); err != nil {
 		return nil, err
 	}
@@ -254,7 +248,7 @@ func (r *runner) puts(subs []subOp, abort bool) error {
 		w, err := tx.CreateBlob(nil, relName, []byte(sub.key))
 		if err != nil {
 			tx.Abort()
-			r.abortAll(txns)
+			abortAll(txns)
 			return r.noteCrash(err)
 		}
 		if !abort {
@@ -274,7 +268,7 @@ func (r *runner) puts(subs []subOp, abort bool) error {
 		}
 		if err != nil {
 			tx.Abort()
-			r.abortAll(txns)
+			abortAll(txns)
 			return r.noteCrash(err)
 		}
 		if abort {
@@ -292,7 +286,7 @@ func (r *runner) puts(subs []subOp, abort bool) error {
 	return r.commitBatch(txns, keys)
 }
 
-func (r *runner) abortAll(txns []*core.Txn) {
+func abortAll(txns []*core.Txn) {
 	for _, tx := range txns {
 		_ = tx.Abort()
 	}
@@ -401,29 +395,48 @@ func (r *runner) verifyRecovery() (*core.RecoveryReport, error) {
 	if img == nil {
 		return nil, fmt.Errorf("crashsim: device never crashed")
 	}
-	rdev := storage.NewMemDeviceFrom(simPageSize, simDevPages, nil, img)
-	db, rep, err := core.RecoverDevice(rdev, nil, r.cfg.dbOptions(false)...)
+	rep, snap, err := recoverAndCheck(img, r.cfg.dbOptions(false))
 	if err != nil {
-		return nil, fmt.Errorf("crashsim: recovery failed on crash image: %w", err)
+		return rep, err
+	}
+	return rep, r.model.Verify(snap)
+}
+
+// seedEviction reseeds the pool's eviction sampling so pool decisions
+// replay exactly for a given schedule.
+func seedEviction(db *core.DB, seed int64) {
+	switch p := db.Pool().(type) {
+	case *buffer.VMPool:
+		p.SetEvictionSeed(seed)
+	case *buffer.HTPool:
+		p.SetEvictionSeed(seed)
+	}
+}
+
+// recoverAndCheck recovers a frozen crash image into a fresh engine,
+// snapshots every surviving key, and enforces the allocator leak
+// invariant: the rebuilt allocator's live pages must equal the pages
+// owned by surviving blobs, no more, no less. The caller judges the
+// snapshot against its reference model.
+func recoverAndCheck(img []byte, opts []core.Option) (*core.RecoveryReport, map[string][]byte, error) {
+	rdev := storage.NewMemDeviceFrom(simPageSize, simDevPages, nil, img)
+	db, rep, err := core.RecoverDevice(rdev, nil, opts...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("crashsim: recovery failed on crash image: %w", err)
 	}
 	snap, states, err := snapshot(db)
 	if err != nil {
-		return rep, fmt.Errorf("crashsim: snapshot recovered db: %w", err)
+		return rep, nil, fmt.Errorf("crashsim: snapshot recovered db: %w", err)
 	}
-	if err := r.model.Verify(snap); err != nil {
-		return rep, err
-	}
-	// Leak invariant: the rebuilt allocator's live pages must equal the
-	// pages owned by surviving blobs, no more, no less.
 	tiers := db.Allocator().Tiers()
 	var want uint64
 	for _, st := range states {
 		want += st.TotalPages(tiers)
 	}
 	if got := db.Allocator().Stats().LivePages; got != want {
-		return rep, fmt.Errorf("crashsim: allocator LivePages=%d but surviving blobs own %d pages (leak or double-free)", got, want)
+		return rep, snap, fmt.Errorf("crashsim: allocator LivePages=%d but surviving blobs own %d pages (leak or double-free)", got, want)
 	}
-	return rep, nil
+	return rep, snap, nil
 }
 
 // snapshot extracts every key's full content from a recovered database.

@@ -1,0 +1,88 @@
+package crashsim
+
+import (
+	"flag"
+	"testing"
+
+	"blobdb/internal/storage"
+)
+
+// Topology replay flags: TopoFailure.Replay prints a one-line invocation
+// using these (plus -trace-seed/-crashpoint/-tear from crashsim_test.go),
+// so any failing topology schedule reproduces deterministically.
+var (
+	flagTopoShards     = flag.Int("topo-shards", 3, "replay: ring members at trace start")
+	flagTopoCrashShard = flag.Int("topo-crash-shard", 0, "replay: shard whose device the crash point arms")
+	flagTopoRebalance  = flag.Bool("topo-rebalance", false, "replay: reshard into a new shard after the trace")
+)
+
+// TestTopologySchedulesShort samples the topology crash-schedule space:
+// 3-shard clusters, one shard's device crashed at sampled points during
+// steady serving and inside a live reshard, both tear modes. It asserts
+// the three claims pinned in the package doc of topology.go — survivor
+// isolation, crashed-shard recovery, reshard no-lost-blob — and
+// additionally that the exploration actually exercised the isolation
+// paths (survivors served ops, the crashed shard's ops were shed).
+func TestTopologySchedulesShort(t *testing.T) {
+	cfg := DefaultTopoConfig(*flagSeed)
+	if testing.Short() {
+		// Keep the -race -short sweep to a few seconds; the dedicated
+		// shard-e2e job and the nightly crashsim run use bigger budgets.
+		cfg.Traces = 1
+		cfg.Points = 2
+	}
+	cfg.Logf = t.Logf
+	stats, failures := TopoExplore(cfg)
+	t.Logf("explored %d topology schedules across %d traces (seed %d): %d survivor ops, %d shed ops",
+		stats.Schedules, stats.Traces, *flagSeed, stats.SurvivorOps, stats.ShedOps)
+	for _, f := range failures {
+		t.Errorf("topology schedule failed:\n%v", f)
+	}
+	if stats.Failures > len(failures) {
+		t.Errorf("...and %d more failures (replay individually)", stats.Failures-len(failures))
+	}
+	min := 40
+	if testing.Short() {
+		min = 12
+	}
+	if stats.Schedules < min {
+		t.Errorf("explored only %d schedules, want >= %d", stats.Schedules, min)
+	}
+	// A sweep that never drove an op through a survivor (or never hit the
+	// crashed shard's fast-fail path) proves nothing about isolation.
+	if stats.SurvivorOps == 0 {
+		t.Error("no post-crash ops served by surviving shards — isolation was never exercised")
+	}
+	if stats.ShedOps == 0 {
+		t.Error("no ops fast-rejected for the crashed shard — ErrShardDown path was never exercised")
+	}
+}
+
+// TestReplayTopoSchedule re-runs one topology schedule identified by the
+// flags every TopoFailure prints. Skipped unless -trace-seed/-crashpoint
+// are set, mirroring TestReplaySchedule.
+func TestReplayTopoSchedule(t *testing.T) {
+	if *flagCrashOp == -2 && *flagTraceSeed == 0 {
+		t.Skip("pass -trace-seed and -crashpoint (plus -topo-* flags) to replay a topology schedule")
+	}
+	mode, err := storage.ParseTearMode(*flagTear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTopoConfig(*flagSeed)
+	cfg.Shards = *flagTopoShards
+	s := TopoSchedule{
+		TraceSeed:  *flagTraceSeed,
+		Shards:     *flagTopoShards,
+		CrashShard: *flagTopoCrashShard,
+		CrashOp:    *flagCrashOp,
+		Rebalance:  *flagTopoRebalance,
+		Mode:       mode,
+	}
+	res, err := cfg.RunTopoSchedule(s, nil)
+	if err != nil {
+		t.Fatalf("schedule %v failed: %v", s, err)
+	}
+	t.Logf("schedule %v passed (device ops %v, served %d, shed %d, recovery report %+v)",
+		s, res.Ops, res.Served, res.Shed, res.Report)
+}

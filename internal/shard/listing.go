@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"blobdb/internal/blob"
+	"blobdb/internal/core"
+)
+
+// Entry is one row of a merged key listing.
+type Entry struct {
+	Key  string
+	Size int64
+	ETag string // BLOB columns only
+}
+
+// cursorBatch is how many keys a per-shard cursor pulls per refill. Each
+// refill is its own short read transaction, so a listing of a huge
+// relation never holds a shard's relation lock for the whole merge —
+// the cursor re-seeks with an exclusive-restart key instead.
+const cursorBatch = 256
+
+// cursor is one shard's position in a scatter-gather listing.
+type cursor struct {
+	shard *Shard
+	rel   string
+	next  []byte // scan-from position of the next refill
+	buf   []Entry
+	pos   int
+	done  bool
+	gone  bool // relation missing on this shard (transiently legal)
+}
+
+// refill pulls the next batch of keys from the shard.
+func (cu *cursor) refill(ctx context.Context) error {
+	cu.buf = cu.buf[:0]
+	cu.pos = 0
+	tx := cu.shard.DB().BeginCtx(ctx, nil)
+	defer tx.Commit()
+	n := 0
+	err := tx.Scan(cu.rel, cu.next, func(key, inline []byte, st *blob.State) bool {
+		e := Entry{Key: string(key), Size: int64(len(inline))}
+		if st != nil {
+			e.Size = int64(st.Size)
+			e.ETag = st.ETag()
+		}
+		cu.buf = append(cu.buf, e)
+		n++
+		return n < cursorBatch
+	})
+	if errors.Is(err, core.ErrRelationNotFound) {
+		// A revived shard can transiently miss a relation created while
+		// it was fenced; its slice of the listing is simply empty.
+		cu.done, cu.gone = true, true
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("shard %d: %w", cu.shard.id, err)
+	}
+	if n < cursorBatch {
+		cu.done = true
+	} else {
+		// Exclusive restart: the immediate successor of the last emitted
+		// key in bytewise order is key||0x00.
+		last := cu.buf[len(cu.buf)-1].Key
+		cu.next = append(append(cu.next[:0], last...), 0)
+	}
+	return nil
+}
+
+// head returns the cursor's current entry; ok is false when exhausted.
+func (cu *cursor) head(ctx context.Context) (Entry, bool, error) {
+	for cu.pos >= len(cu.buf) {
+		if cu.done {
+			return Entry{}, false, nil
+		}
+		if err := cu.refill(ctx); err != nil {
+			return Entry{}, false, err
+		}
+	}
+	return cu.buf[cu.pos], true, nil
+}
+
+// ListKeys merges the per-shard key listings of rel into one globally
+// ordered, duplicate-free stream starting at from, invoking fn for each
+// entry until it returns false. Mid-rebalance a key can briefly exist on
+// both its old and new shard; the merge emits it once, preferring the
+// shard the ring currently routes reads to (whose copy is the one a GET
+// would serve). Down shards are skipped — their slice of the keyspace is
+// unavailable, not empty, and single-key reads for it 503; the listing
+// keeps working for everything else. ErrRelationNotFound is returned
+// only when NO live shard has the relation.
+func (c *Cluster) ListKeys(ctx context.Context, rel string, from []byte, fn func(Entry) bool) error {
+	c.mu.RLock()
+	ring := c.ring
+	live := make([]*Shard, 0, len(c.shards))
+	for _, s := range c.shards {
+		if !s.down.Load() {
+			live = append(live, s)
+		}
+	}
+	c.mu.RUnlock()
+
+	cursors := make([]*cursor, len(live))
+	for i, s := range live {
+		cursors[i] = &cursor{shard: s, rel: rel, next: append([]byte(nil), from...)}
+	}
+	var prev string
+	emitted := false
+	for {
+		// Pick the smallest head key across shards; ties (the same key on
+		// two shards mid-rebalance) resolve to the ring's current owner.
+		var best *cursor
+		var bestE Entry
+		for _, cu := range cursors {
+			e, ok, err := cu.head(ctx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			switch {
+			case best == nil, e.Key < bestE.Key:
+				best, bestE = cu, e
+			case e.Key == bestE.Key:
+				if ring.Shard(rel, []byte(e.Key)) == cu.shard.id {
+					best, bestE = cu, e
+				}
+			}
+		}
+		if best == nil {
+			break
+		}
+		// Advance every cursor sitting on the chosen key, so duplicates
+		// are consumed together and emitted exactly once.
+		for _, cu := range cursors {
+			if e, ok, _ := cu.head(ctx); ok && e.Key == bestE.Key {
+				cu.pos++
+			}
+		}
+		if emitted && bestE.Key == prev {
+			continue
+		}
+		emitted, prev = true, bestE.Key
+		if !fn(bestE) {
+			return nil
+		}
+	}
+	allGone := len(cursors) > 0
+	for _, cu := range cursors {
+		if !cu.gone {
+			allGone = false
+		}
+	}
+	if allGone {
+		return fmt.Errorf("shard: %q: %w", rel, core.ErrRelationNotFound)
+	}
+	return nil
+}

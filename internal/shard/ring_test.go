@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDistributionSkew pins the load-balance quality of the ring: at
+// 8 shards x 128 vnodes (1024 virtual nodes) the busiest shard's share of
+// a large uniform keyspace must stay within 35% of fair, and the idlest
+// within 65% of fair. The hashing is deterministic, so this is a fixed
+// property of the construction, not a flaky statistical test.
+func TestRingDistributionSkew(t *testing.T) {
+	const shards, keys = 8, 100_000
+	members := make([]int, shards)
+	for i := range members {
+		members[i] = i
+	}
+	r := NewRing(members, DefaultVNodes)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Shard("rel", []byte(fmt.Sprintf("key-%06d", i)))]++
+	}
+	fair := float64(keys) / shards
+	for id, n := range counts {
+		ratio := float64(n) / fair
+		if ratio > 1.35 || ratio < 0.65 {
+			t.Errorf("shard %d owns %d keys (%.2fx fair share)", id, n, ratio)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnAdd pins the consistent-hashing property:
+// adding a shard may only transfer keys TO the new shard — no key moves
+// between existing shards — and the transferred fraction is close to the
+// fair 1/(N+1).
+func TestRingMinimalMovementOnAdd(t *testing.T) {
+	const keys = 50_000
+	before := NewRing([]int{0, 1, 2, 3}, DefaultVNodes)
+	after := before.Add(4)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := []byte(fmt.Sprintf("key-%06d", i))
+		was, is := before.Shard("rel", key), after.Shard("rel", key)
+		if was == is {
+			continue
+		}
+		if is != 4 {
+			t.Fatalf("key %q moved %d -> %d, not to the new shard", key, was, is)
+		}
+		moved++
+	}
+	frac := float64(moved) / keys
+	if frac < 0.10 || frac > 0.30 {
+		t.Errorf("adding 5th shard moved %.1f%% of keys, want ~20%%", 100*frac)
+	}
+}
+
+// TestRingMinimalMovementOnRemove: removing a shard only re-homes the
+// keys it owned.
+func TestRingMinimalMovementOnRemove(t *testing.T) {
+	const keys = 50_000
+	before := NewRing([]int{0, 1, 2, 3, 4}, DefaultVNodes)
+	after := before.Remove(2)
+	if after.Has(2) {
+		t.Fatal("removed shard still a member")
+	}
+	for i := 0; i < keys; i++ {
+		key := []byte(fmt.Sprintf("key-%06d", i))
+		was, is := before.Shard("rel", key), after.Shard("rel", key)
+		if was != 2 && was != is {
+			t.Fatalf("key %q moved %d -> %d though shard %d was removed", key, was, is, 2)
+		}
+		if is == 2 {
+			t.Fatalf("key %q still routed to removed shard", key)
+		}
+	}
+}
+
+// TestRingDeterministicAndRelationAware: identical construction gives
+// identical routing, and the relation name participates in placement.
+func TestRingDeterministicAndRelationAware(t *testing.T) {
+	a := NewRing([]int{0, 1, 2}, 64)
+	b := NewRing([]int{2, 1, 0}, 64) // order of members must not matter
+	split := false
+	for i := 0; i < 1000; i++ {
+		key := []byte(fmt.Sprintf("k%d", i))
+		if a.Shard("x", key) != b.Shard("x", key) {
+			t.Fatalf("same ring, different routing for %q", key)
+		}
+		if a.Shard("x", key) != a.Shard("y", key) {
+			split = true
+		}
+	}
+	if !split {
+		t.Error("relation name does not influence placement")
+	}
+}
+
+func TestRingDuplicateMemberPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate member did not panic")
+		}
+	}()
+	NewRing([]int{0, 1, 1}, 8)
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# bench-shard: run the multi-shard commit-scaling benchmark (1/2/4 shards
+# x 32 writers + 8 readers on commit-latency devices) and record commit
+# throughput, PUT latency percentiles, and the scaling ratio vs one shard
+# in BENCH_PR6.json. The acceptance bar for the sharded router is >= 3x
+# commit throughput at 4 shards / 32 writers.
+#
+# Usage: scripts/bench-shard.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR6.json}"
+go run ./cmd/blobbench -shardbench-json "$out"
+echo "recorded $out"
