@@ -25,7 +25,30 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	concreadJSON := flag.String("concread-json", "", "run the concurrent-read benchmark and write the JSON report to this path")
 	shardJSON := flag.String("shardbench-json", "", "run the multi-shard commit-scaling benchmark and write the JSON report to this path")
+	replJSON := flag.String("replbench-json", "", "run the replication-lag benchmark and write the JSON report to this path")
 	flag.Parse()
+
+	if *replJSON != "" {
+		rep, err := bench.ReplLag(bench.ReplBenchOpts{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replbench: %v\n", err)
+			os.Exit(1)
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replbench: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*replJSON, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "replbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("replica apply %.1f MB/s, max lag %d LSNs, catch-up %.1fms\n",
+			rep.ReplicaMBs, rep.MaxLagLSN, rep.CatchupMillis)
+		fmt.Printf("wrote %s\n", *replJSON)
+		return
+	}
 
 	if *shardJSON != "" {
 		rep, err := bench.ShardScaling(bench.ShardBenchOpts{})

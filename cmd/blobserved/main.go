@@ -23,6 +23,17 @@
 // kill the process at any point and the next start replays each shard's
 // WAL and validates every Blob State against its SHA-256 (§III-C).
 // Without -db the server runs on in-memory devices and data is ephemeral.
+//
+// With -replica-of the server runs as a log-shipping read replica: it
+// continuously tails the primary's /repl/v1 stream into its own engine
+// and serves GETs with bounded-staleness ETags (X-Replica-Applied-LSN);
+// writes are rejected with 421 pointing at the primary. POST
+// /admin/v1/promote ends replication and turns the server into a
+// primary:
+//
+//	blobserved -listen :9090 -db app.blobdb &                   # primary
+//	blobserved -listen :9091 -replica-of http://localhost:9090  # replica
+//	curl -X POST http://localhost:9091/admin/v1/promote         # failover
 package main
 
 import (
@@ -39,6 +50,7 @@ import (
 
 	"blobdb/internal/blobserver"
 	"blobdb/internal/core"
+	"blobdb/internal/repl"
 	"blobdb/internal/shard"
 	"blobdb/internal/simtime"
 	"blobdb/internal/storage"
@@ -53,10 +65,18 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 64, "admission control: max in-flight requests")
 		maxWait     = flag.Duration("max-queue-wait", 100*time.Millisecond, "admission control: bounded wait before 503")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+
+		replicaOf    = flag.String("replica-of", "", "run as a read replica tailing this primary base URL (e.g. http://db0:9090)")
+		syncInterval = flag.Duration("sync-interval", 200*time.Millisecond, "replica: pull cadence against the primary")
 	)
 	flag.Parse()
 	if *shards < 1 {
 		log.Fatal("-shards must be >= 1")
+	}
+	if *replicaOf != "" && *shards != 1 {
+		// Replication is per WAL stream; a sharded replica set needs one
+		// replica process (or engine) per shard.
+		log.Fatal("-replica-of requires -shards=1")
 	}
 
 	dbs := make([]*core.DB, *shards)
@@ -95,16 +115,29 @@ func main() {
 		MaxQueueWait:        *maxWait,
 	})
 
-	bs := blobserver.New(blobserver.Config{
+	cfg := blobserver.Config{
 		Cluster:      cluster,
 		MaxInFlight:  *maxInFlight,
 		MaxQueueWait: *maxWait,
-	})
+	}
+	var replica *repl.Replica
+	if *replicaOf != "" {
+		replica = repl.NewReplica(dbs[0], repl.NewHTTPSource(*replicaOf, nil))
+		cfg.Replica = replica
+		cfg.PrimaryURL = *replicaOf
+	}
+	bs := blobserver.New(cfg)
 	srv := &http.Server{Addr: *listen, Handler: bs}
 	blobserver.ConfigureHTTPServer(srv)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if replica != nil {
+		go replica.Run(ctx, *syncInterval, func(err error) {
+			log.Printf("replication: %v", err)
+		})
+		log.Printf("replicating from %s (pull every %s; POST /admin/v1/promote to fail over)", *replicaOf, *syncInterval)
+	}
 	go func() {
 		<-ctx.Done()
 		log.Printf("draining (budget %s)...", *drainWait)

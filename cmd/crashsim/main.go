@@ -10,6 +10,8 @@
 //	crashsim -trace-seed N -crashpoint K       # replay one schedule
 //	crashsim -topology -shards 3               # one-shard-crash topology schedules
 //	crashsim -topology -trace-seed N -crashpoint K -topo-crash-shard S [-topo-rebalance]
+//	crashsim -failover                         # crash the primary, promote the replica
+//	crashsim -failover -trace-seed N -crashpoint K -pull-every P
 //
 // Every failure prints a one-line replay invocation; the process exits
 // non-zero if any schedule fails.
@@ -42,12 +44,20 @@ func main() {
 		shards     = flag.Int("shards", 0, "topology: ring members at trace start (default 3)")
 		crashShard = flag.Int("topo-crash-shard", 0, "topology replay: shard whose device the crash point arms")
 		rebalance  = flag.Bool("topo-rebalance", false, "topology replay: reshard into a new shard after the trace")
+
+		failover  = flag.Bool("failover", false, "explore failover schedules: crash a replicated primary, promote the replica, verify no acknowledged commit at or below the replicated LSN horizon is lost")
+		pullEvery = flag.Int("pull-every", 0, "failover: replica pull cadence in commit batches (0: vary 1..3 per trace; replay: the cadence the failure printed)")
 	)
 	flag.Parse()
 
 	if *topology {
 		runTopology(*seed, *shards, *traces, *steps, *points, *tear, *quiet,
 			*traceSeed, *crashOp, *crashShard, *rebalance)
+		return
+	}
+	if *failover {
+		runFailover(*seed, *traces, *steps, *points, *tear, *quiet,
+			*traceSeed, *crashOp, *pullEvery)
 		return
 	}
 
@@ -97,6 +107,73 @@ func main() {
 	fmt.Printf("explored %d schedules across %d traces (seed %d)\n", stats.Schedules, stats.Traces, *seed)
 	if stats.Failures == 0 {
 		fmt.Println("all schedules recovered within the reference model")
+		return
+	}
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "FAIL %v\n", f)
+	}
+	if stats.Failures > len(failures) {
+		fmt.Fprintf(os.Stderr, "...and %d more failures\n", stats.Failures-len(failures))
+	}
+	os.Exit(1)
+}
+
+// runFailover explores (or replays) primary-crash failover schedules: a
+// read replica tails the primary, the primary's device crashes at
+// sampled points, the replica is promoted, and the promoted image must
+// hold every acknowledged commit at or below the replicated LSN horizon.
+func runFailover(seed int64, traces, steps, points int, tear string, quiet bool,
+	traceSeed int64, crashOp, pullEvery int) {
+	cfg := crashsim.DefaultFailoverConfig(seed)
+	if traces > 0 {
+		cfg.Traces = traces
+	}
+	if steps > 0 {
+		cfg.Steps = steps
+	}
+	if points > 0 {
+		cfg.Points = points
+	}
+	if pullEvery > 0 {
+		cfg.PullEvery = pullEvery
+	}
+	if tear != "" {
+		mode, err := storage.ParseTearMode(tear)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crashsim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Modes = []storage.TearMode{mode}
+	}
+	if !quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	// Replay mode: one failover schedule, identified exactly as
+	// FailoverFailure.Replay prints it.
+	if crashOp != -2 || traceSeed != 0 {
+		mode := storage.TearScramble
+		if len(cfg.Modes) == 1 {
+			mode = cfg.Modes[0]
+		}
+		s := crashsim.FailoverSchedule{TraceSeed: traceSeed, CrashOp: crashOp, Mode: mode, PullEvery: pullEvery}
+		res, err := cfg.RunFailoverSchedule(s, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %v: %v\n", s, err)
+			os.Exit(1)
+		}
+		fmt.Printf("PASS %v (%d device ops, horizon %d, %d/%d batches replicated, %d resyncs)\n",
+			s, res.Ops, res.Horizon, res.Replicated, res.Acked, res.Resyncs)
+		return
+	}
+
+	stats, failures := crashsim.FailoverExplore(cfg)
+	fmt.Printf("explored %d failover schedules across %d traces (seed %d): %d batches verified at/below horizon, %d schedules with a stale tail\n",
+		stats.Schedules, stats.Traces, seed, stats.Replicated, stats.StaleTail)
+	if stats.Failures == 0 {
+		fmt.Println("all promoted images held the replicated-horizon contract")
 		return
 	}
 	for _, f := range failures {

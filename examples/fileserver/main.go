@@ -20,13 +20,13 @@ import (
 
 func main() {
 	dev := storage.NewMemDevice(storage.DefaultPageSize, 1<<13, nil)
-	db, err := core.Open(core.Options{Dev: dev, PoolPages: 1 << 12, LogPages: 1 << 10, CkptPages: 1 << 10})
+	db, err := core.New(dev, core.WithPoolPages(1<<12), core.WithLogPages(1<<10), core.WithCkptPages(1<<10))
 	if err != nil {
 		log.Fatal(err)
 	}
 	db.CreateRelation("image")
 	tx := db.Begin(nil)
-	if err := tx.PutBlob("image", []byte("cat.txt"), []byte("a picture of a cat, as bytes in a DBMS\n")); err != nil {
+	if err := putBlob(tx, "image", []byte("cat.txt"), []byte("a picture of a cat, as bytes in a DBMS\n")); err != nil {
 		log.Fatal(err)
 	}
 	if err := tx.Commit(); err != nil {
@@ -66,4 +66,17 @@ func main() {
 	listing, _ := io.ReadAll(resp2.Body)
 	fmt.Printf("directory listing of /image/ contains cat.txt: %v\n",
 		strings.Contains(string(listing), "cat.txt"))
+}
+
+// putBlob streams content into the BLOB column of key.
+func putBlob(tx *core.Txn, rel string, key, content []byte) error {
+	w, err := tx.CreateBlob(nil, rel, key)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(content); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close()
 }

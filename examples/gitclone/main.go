@@ -78,7 +78,7 @@ func main() {
 	dev := storage.NewAsyncWriteDevice(
 		storage.NewMemDevice(storage.DefaultPageSize, 1<<15, simtime.DefaultNVMe()),
 		simtime.DefaultNVMe())
-	db, err := core.Open(core.Options{Dev: dev, PoolPages: 1 << 13, LogPages: 1 << 12, CkptPages: 1 << 12})
+	db, err := core.New(dev, core.WithPoolPages(1<<13), core.WithLogPages(1<<12), core.WithCkptPages(1<<12))
 	if err != nil {
 		log.Fatal(err)
 	}

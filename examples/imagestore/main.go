@@ -20,13 +20,26 @@ import (
 	"blobdb/internal/storage"
 )
 
-func opts(dev storage.Device) core.Options {
-	return core.Options{Dev: dev, PoolPages: 1 << 12, LogPages: 1 << 11, CkptPages: 1 << 11}
+func engineOpts() []core.Option {
+	return []core.Option{core.WithPoolPages(1 << 12), core.WithLogPages(1 << 11), core.WithCkptPages(1 << 11)}
+}
+
+// putBlob streams content into the BLOB column of key.
+func putBlob(tx *core.Txn, rel string, key, content []byte) error {
+	w, err := tx.CreateBlob(nil, rel, key)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(content); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close()
 }
 
 func main() {
 	dev := storage.NewMemDevice(storage.DefaultPageSize, 1<<14, nil)
-	db, err := core.Open(opts(dev))
+	db, err := core.New(dev, engineOpts()...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,14 +52,14 @@ func main() {
 
 	tx := db.Begin(nil)
 	must(tx.Put("patient", []byte("P-1001"), []byte(`{"name":"A. Jones","scan":"xray-1001.png"}`)))
-	must(tx.PutBlob("image", []byte("xray-1001.png"), xray))
+	must(putBlob(tx, "image", []byte("xray-1001.png"), xray))
 	must(tx.Commit())
 	fmt.Println("committed: patient P-1001 + 300KB X-ray in one transaction")
 
 	// --- Abort keeps both sides consistent ----------------------------
 	tx2 := db.Begin(nil)
 	must(tx2.Put("patient", []byte("P-1002"), []byte(`{"name":"B. Smith","scan":"xray-1002.png"}`)))
-	must(tx2.PutBlob("image", []byte("xray-1002.png"), xray))
+	must(putBlob(tx2, "image", []byte("xray-1002.png"), xray))
 	must(tx2.Abort())
 	tx3 := db.Begin(nil)
 	_, errRec := tx3.Get("patient", []byte("P-1002"))
@@ -62,10 +75,10 @@ func main() {
 	// transaction.
 	tx4 := db.Begin(nil)
 	must(tx4.Put("patient", []byte("P-1003"), []byte(`{"name":"C. Wu","scan":"xray-1003.png"}`)))
-	must(tx4.PutBlob("image", []byte("xray-1003.png"), xray))
+	must(putBlob(tx4, "image", []byte("xray-1003.png"), xray))
 	core.CrashBeforeExtentFlush(tx4) // test hook: WAL durable, extents lost
 
-	db2, rep, err := core.Recover(opts(dev), nil)
+	db2, rep, err := core.RecoverDevice(dev, nil, engineOpts()...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	dev := storage.NewMemDevice(storage.DefaultPageSize, 1<<14, nil)
-	db, err := core.Open(core.Options{Dev: dev, PoolPages: 1 << 13, LogPages: 1 << 11, CkptPages: 1 << 11})
+	db, err := core.New(dev, core.WithPoolPages(1<<13), core.WithLogPages(1<<11), core.WithCkptPages(1<<11))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func main() {
 	corpus := wiki.Generate(cfg)
 	for i := range corpus.Articles {
 		tx := db.Begin(nil)
-		if err := tx.PutBlob("article", []byte(corpus.Articles[i].Title), corpus.Content(i)); err != nil {
+		if err := putBlob(tx, "article", []byte(corpus.Articles[i].Title), corpus.Content(i)); err != nil {
 			log.Fatal(err)
 		}
 		if err := tx.Commit(); err != nil {
@@ -85,4 +85,17 @@ func main() {
 	for _, label := range []string{"boilerplate", "longform", "stub"} {
 		fmt.Printf("classify(content)=%q -> %d articles\n", label, len(sem.Lookup([]byte(label))))
 	}
+}
+
+// putBlob streams content into the BLOB column of key.
+func putBlob(tx *core.Txn, rel string, key, content []byte) error {
+	w, err := tx.CreateBlob(nil, rel, key)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(content); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close()
 }

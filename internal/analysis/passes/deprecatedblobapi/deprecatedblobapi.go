@@ -1,9 +1,13 @@
 // Package deprecatedblobapi replaces scripts/deprecation-lint.sh with a
 // real analyzer: instead of grepping for `.PutBlob(` / `.GrowBlob(` text,
 // it exports an object fact for every function or method whose doc
-// comment carries a standard "Deprecated:" paragraph (Txn.PutBlob,
-// Txn.GrowBlob, Manager.Allocate, Manager.Grow, core.Open, ...) and
-// flags calls to those objects from other internal packages.
+// comment carries a standard "Deprecated:" paragraph and flags calls to
+// those objects from other internal packages. The original shims it
+// policed (Txn.PutBlob, Txn.GrowBlob, Manager.Allocate, Manager.Grow,
+// core.Open, core.Recover) have since been deleted outright; the
+// analyzer stays so that any future shim is policed from the moment its
+// doc comment says "Deprecated:", and so a resurrected one cannot creep
+// back behind a new name.
 //
 // Facts make the check modular and honest where the grep was textual:
 // a client type's own method that happens to be named PutBlob is not
@@ -36,9 +40,11 @@ var Analyzer = &analysis.Analyzer{
 	Name: "deprecatedblobapi",
 	Doc: `flag internal calls to deprecated blob-API shims via object facts
 
-Deprecated shims (PutBlob, GrowBlob, Allocate, Grow, Open) stay for one
-release; engine code must use the streaming replacements. Detection is
-by the "Deprecated:" doc convention, not by name.`,
+The pending-mode shims (PutBlob, GrowBlob, Allocate, Grow) and the
+structs-based constructors (Open, Recover) are deleted; engine code uses
+the streaming Writer and functional-options New/RecoverDevice. Detection
+is by the "Deprecated:" doc convention, not by name, so the check pins
+the removal: reintroducing a shim under any name trips it again.`,
 	Run:       run,
 	FactTypes: []analysis.Fact{(*IsDeprecated)(nil)},
 }

@@ -1,6 +1,9 @@
-// Package db is a fixture mirror of the engine's transaction API: one
-// deprecated pending-mode shim, one streaming replacement, and an
-// internal wrapper showing the defining package may call its own shims.
+// Package db is a fixture mirror of the engine's transaction API as it
+// looked before the pending-mode shims were deleted: one deprecated
+// shim, one streaming replacement, and an internal wrapper showing the
+// defining package may call its own shims. The engine itself no longer
+// has any "Deprecated:" functions — this fixture pins that a
+// reintroduced shim would be flagged at every internal call site.
 package db
 
 type Txn struct{}

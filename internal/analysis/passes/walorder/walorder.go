@@ -10,8 +10,8 @@
 //   - Extent write-back (WritePages / WritePagesVec / storage.WriteVec)
 //     belongs to internal/buffer and internal/storage. An engine layer
 //     writing pages directly bypasses the pool's dirty tracking and the
-//     WAL epoch fencing, so recovery can no longer reason about what
-//     reached the device.
+//     WAL's LSN-framed segment fencing, so recovery can no longer reason
+//     about what reached the device.
 //
 // Reads are not ordering-sensitive and are never flagged. Simulator and
 // tooling packages (oskern, dbsim, bench, remap) are out of scope — they

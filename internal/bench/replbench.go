@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"blobdb/internal/core"
+	"blobdb/internal/repl"
+	"blobdb/internal/storage"
+)
+
+// ReplBenchOpts sizes the log-shipping replication benchmark: a primary
+// under concurrent PUT load with one read replica tailing it in-process.
+type ReplBenchOpts struct {
+	Writers      int           `json:"writers"`          // concurrent PUT goroutines on the primary
+	OpsPerWriter int           `json:"ops_per_writer"`   // PUTs per writer
+	BlobBytes    int           `json:"blob_bytes"`       // payload size
+	PullInterval time.Duration `json:"pull_interval_ns"` // replica pull cadence
+}
+
+func (o *ReplBenchOpts) defaults() {
+	if o.Writers == 0 {
+		o.Writers = 16
+	}
+	if o.OpsPerWriter == 0 {
+		o.OpsPerWriter = 64
+	}
+	if o.BlobBytes == 0 {
+		o.BlobBytes = 16 << 10
+	}
+	if o.PullInterval == 0 {
+		o.PullInterval = 2 * time.Millisecond
+	}
+}
+
+// ReplReport is the replication benchmark output: how much the tailing
+// replica costs the primary (it steals read bandwidth for blob fetches)
+// and how quickly the replica converges — the staleness the
+// X-Replica-Applied-LSN horizon actually exhibits under load.
+type ReplReport struct {
+	Benchmark        string        `json:"benchmark"`
+	Config           ReplBenchOpts `json:"config"`
+	PrimaryOps       int           `json:"primary_ops"`
+	PrimaryOpsSec    float64       `json:"primary_commit_ops_s"`
+	ReplicaMBs       float64       `json:"replica_apply_mb_s"` // replicated payload bytes / wall time to full catch-up
+	MaxLagLSN        uint64        `json:"max_lag_lsn"`        // worst durable-minus-applied gap observed at a pull
+	CatchupMillis    float64       `json:"catchup_ms"`         // drain time after the last primary commit
+	FinalAppliedLSN  uint64        `json:"final_applied_lsn"`
+	FinalDurableLSN  uint64        `json:"final_durable_lsn"`
+	ReplicaKeysMatch bool          `json:"replica_keys_match"` // spot-checked ETag equality after catch-up
+}
+
+// ReplLag drives the primary with concurrent writers while a replica
+// tails it, then measures catch-up: the replica must reach the
+// primary's durable LSN and serve byte-identical content.
+func ReplLag(o ReplBenchOpts) (*ReplReport, error) {
+	o.defaults()
+	rep := &ReplReport{Benchmark: "repl-lag", Config: o}
+
+	newDB := func() (*core.DB, error) {
+		return core.New(storage.NewMemDevice(storage.DefaultPageSize, 1<<16, nil),
+			core.WithPoolPages(1<<13),
+			core.WithLogPages(1<<12),
+			core.WithCkptPages(1<<12),
+			core.WithAsyncCommit(true),
+		)
+	}
+	primary, err := newDB()
+	if err != nil {
+		return nil, err
+	}
+	defer primary.CloseCommitter()
+	replicaDB, err := newDB()
+	if err != nil {
+		return nil, err
+	}
+	defer replicaDB.CloseCommitter()
+	if _, err := primary.CreateRelation("bench"); err != nil {
+		return nil, err
+	}
+	replica := repl.NewReplica(replicaDB, repl.NewEngineSource(primary))
+
+	ctx := context.Background()
+	payload := make([]byte, o.BlobBytes)
+	rand.New(rand.NewSource(42)).Read(payload)
+
+	var writers sync.WaitGroup
+	writeErr := make(chan error, o.Writers)
+	start := time.Now()
+	for w := 0; w < o.Writers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < o.OpsPerWriter; i++ {
+				if err := enginePut(ctx, primary, fmt.Sprintf("w%03d-%04d", w, i), payload); err != nil {
+					writeErr <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	// The replica tails while the writers run; after they stop, it drains
+	// to the primary's durable horizon.
+	writersDone := make(chan struct{})
+	go func() { writers.Wait(); close(writersDone) }()
+	var writeWindow time.Duration
+	for {
+		if lag := primary.WAL().DurableLSN() - replica.AppliedLSN(); lag > rep.MaxLagLSN {
+			rep.MaxLagLSN = lag
+		}
+		if _, err := replica.Sync(ctx); err != nil {
+			return nil, fmt.Errorf("replica sync: %w", err)
+		}
+		select {
+		case err := <-writeErr:
+			return nil, err
+		case <-writersDone:
+			if writeWindow == 0 {
+				writeWindow = time.Since(start)
+			}
+			if replica.AppliedLSN() >= primary.WAL().DurableLSN() {
+				goto drained
+			}
+		default:
+		}
+		time.Sleep(o.PullInterval)
+	}
+drained:
+	total := time.Since(start)
+	rep.PrimaryOps = o.Writers * o.OpsPerWriter
+	rep.PrimaryOpsSec = float64(rep.PrimaryOps) / writeWindow.Seconds()
+	rep.CatchupMillis = float64(total-writeWindow) / float64(time.Millisecond)
+	rep.ReplicaMBs = float64(rep.PrimaryOps) * float64(o.BlobBytes) / (1 << 20) / total.Seconds()
+	rep.FinalAppliedLSN = replica.AppliedLSN()
+	rep.FinalDurableLSN = primary.WAL().DurableLSN()
+
+	// Spot-check convergence: one key per writer, ETags byte-identical.
+	rep.ReplicaKeysMatch = true
+	for w := 0; w < o.Writers; w++ {
+		key := []byte(fmt.Sprintf("w%03d-%04d", w, o.OpsPerWriter-1))
+		ptx := primary.Begin(nil)
+		pst, perr := ptx.BlobState("bench", key)
+		ptx.Commit()
+		rtx := replicaDB.Begin(nil)
+		rst, rerr := rtx.BlobState("bench", key)
+		rtx.Commit()
+		if perr != nil || rerr != nil || pst.ETag() != rst.ETag() {
+			rep.ReplicaKeysMatch = false
+			return rep, fmt.Errorf("replica diverged on %q (primary err %v, replica err %v)", key, perr, rerr)
+		}
+	}
+	return rep, nil
+}
+
+// enginePut streams one blob into the engine and commit-waits, as a
+// served PUT does.
+func enginePut(ctx context.Context, db *core.DB, key string, payload []byte) error {
+	tx := db.BeginCtx(ctx, nil)
+	w, err := tx.CreateBlob(ctx, "bench", []byte(key))
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		w.Abort()
+		tx.Abort()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.CommitWait()
+}

@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// TestReplLagSmoke runs a miniature replication-lag scenario: enough to
+// prove the rig works (tailing replica under write load, catch-up drain,
+// ETag convergence, report shape) in test time.
+func TestReplLagSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench rig smoke test")
+	}
+	rep, err := ReplLag(ReplBenchOpts{
+		Writers:      4,
+		OpsPerWriter: 8,
+		BlobBytes:    4 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrimaryOps != 4*8 {
+		t.Errorf("committed %d ops, want %d", rep.PrimaryOps, 4*8)
+	}
+	if rep.PrimaryOpsSec <= 0 || rep.ReplicaMBs <= 0 {
+		t.Errorf("degenerate stats: %+v", rep)
+	}
+	if rep.FinalAppliedLSN < rep.FinalDurableLSN {
+		t.Errorf("replica never caught up: applied %d < durable %d", rep.FinalAppliedLSN, rep.FinalDurableLSN)
+	}
+	if !rep.ReplicaKeysMatch {
+		t.Error("replica ETags diverged from the primary after catch-up")
+	}
+}

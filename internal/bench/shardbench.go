@@ -161,13 +161,12 @@ func runShardBench(shards int, o ShardBenchOpts) (ShardScenario, error) {
 		dev := newCommitLatencyDevice(
 			storage.NewMemDevice(storage.DefaultPageSize, 1<<16, nil),
 			o.CmdLatency, o.SyncLatency, o.BytesPerSec)
-		db, err := core.Open(core.Options{
-			Dev:         dev,
-			PoolPages:   1 << 12,
-			LogPages:    1 << 11,
-			CkptPages:   1 << 12,
-			AsyncCommit: true,
-		})
+		db, err := core.New(dev,
+			core.WithPoolPages(1<<12),
+			core.WithLogPages(1<<11),
+			core.WithCkptPages(1<<12),
+			core.WithAsyncCommit(true),
+		)
 		if err != nil {
 			return sc, err
 		}

@@ -102,7 +102,7 @@ func TestAllocateReadRoundtrip(t *testing.T) {
 			rng := rand.New(rand.NewSource(7))
 			for _, size := range []int{0, 1, 100, ps, ps + 1, 6 * ps, 100 << 10, 1 << 20} {
 				data := randBytes(rng, size)
-				st, pending, _, err := e.mgr.Allocate(nil, data)
+				st, pending, _, err := writerAlloc(e.mgr, data)
 				if err != nil {
 					t.Fatalf("size %d: %v", size, err)
 				}
@@ -137,7 +137,7 @@ func TestAllocateWritesOnceAtFlush(t *testing.T) {
 	// writes the blob bytes exactly once.
 	e := newEnv(t, 1<<14, 1<<12, false)
 	data := randBytes(rand.New(rand.NewSource(1)), 300<<10) // 300KB
-	st, pending, _, err := e.mgr.Allocate(nil, data)
+	st, pending, _, err := writerAlloc(e.mgr, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestExtentsSurviveEvictionAfterFlush(t *testing.T) {
 	e := newEnv(t, 1<<16, 512, false) // small pool forces eviction
 	rng := rand.New(rand.NewSource(2))
 	data := randBytes(rng, 200<<10)
-	st, pending, _, err := e.mgr.Allocate(nil, data)
+	st, pending, _, err := writerAlloc(e.mgr, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestTailExtentAllocation(t *testing.T) {
 	e.mgr.UseTail = true
 	// 6 pages: Figure 1(b) — extents of 1+2 pages plus a 3-page tail.
 	data := randBytes(rand.New(rand.NewSource(3)), 6*ps)
-	st, pending, _, err := e.mgr.Allocate(nil, data)
+	st, pending, _, err := writerAlloc(e.mgr, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestTailExtentAllocation(t *testing.T) {
 func TestDeleteFreesExtents(t *testing.T) {
 	e := newEnv(t, 1<<14, 1<<12, false)
 	data := randBytes(rand.New(rand.NewSource(4)), 50<<10)
-	st, pending, _, err := e.mgr.Allocate(nil, data)
+	st, pending, _, err := writerAlloc(e.mgr, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestDeleteFreesExtents(t *testing.T) {
 		t.Errorf("LivePages = %d after delete", s.LivePages)
 	}
 	// A new allocation of the same size must reuse the freed extents.
-	_, pending2, _, err := e.mgr.Allocate(nil, data)
+	_, pending2, _, err := writerAlloc(e.mgr, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestDeleteFreesExtents(t *testing.T) {
 func TestDiscardAbortsAllocation(t *testing.T) {
 	e := newEnv(t, 1<<14, 1<<12, false)
 	data := randBytes(rand.New(rand.NewSource(5)), 30<<10)
-	_, pending, newExt, err := e.mgr.Allocate(nil, data)
+	_, pending, newExt, err := writerAlloc(e.mgr, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +272,7 @@ func TestGrow(t *testing.T) {
 			e.mgr.UseTail = useTail
 			rng := rand.New(rand.NewSource(6))
 			content := randBytes(rng, 10<<10)
-			st, pending, _, err := e.mgr.Allocate(nil, content)
+			st, pending, _, err := writerAlloc(e.mgr, content)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -280,7 +280,7 @@ func TestGrow(t *testing.T) {
 
 			for round := 0; round < 6; round++ {
 				extra := randBytes(rng, 1+rng.Intn(60<<10))
-				ns, pending, frees, err := e.mgr.Grow(nil, st, extra)
+				ns, pending, frees, err := writerGrow(e.mgr, st, extra)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -311,7 +311,7 @@ func TestGrowOnlyWritesDirtyPages(t *testing.T) {
 	// Figure 3: appending writes only the dirty pages of touched extents.
 	e := newEnv(t, 1<<14, 1<<12, false)
 	content := randBytes(rand.New(rand.NewSource(8)), 2*ps)
-	st, pending, _, err := e.mgr.Allocate(nil, content)
+	st, pending, _, err := writerAlloc(e.mgr, content)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +319,7 @@ func TestGrowOnlyWritesDirtyPages(t *testing.T) {
 	before := e.dev.Stats().BytesWritten()
 
 	extra := randBytes(rand.New(rand.NewSource(9)), 4*ps)
-	ns, pending2, frees, err := e.mgr.Grow(nil, st, extra)
+	ns, pending2, frees, err := writerGrow(e.mgr, st, extra)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ func TestGrowOnlyWritesDirtyPages(t *testing.T) {
 
 func TestGrowFromEmpty(t *testing.T) {
 	e := newEnv(t, 1<<14, 1<<12, false)
-	st, pending, _, err := e.mgr.Allocate(nil, nil)
+	st, pending, _, err := writerAlloc(e.mgr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +349,7 @@ func TestGrowFromEmpty(t *testing.T) {
 		t.Fatalf("empty blob state = %+v", st)
 	}
 	data := []byte("hello grown world")
-	ns, pending2, frees, err := e.mgr.Grow(nil, st, data)
+	ns, pending2, frees, err := writerGrow(e.mgr, st, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,14 +370,14 @@ func TestGrowFromEmpty(t *testing.T) {
 func TestGrowQuick(t *testing.T) {
 	e := newEnv(t, 1<<15, 1<<13, false)
 	f := func(first, second, third []byte) bool {
-		st, pending, _, err := e.mgr.Allocate(nil, first)
+		st, pending, _, err := writerAlloc(e.mgr, first)
 		if err != nil {
 			return false
 		}
 		commit(t, pending)
 		content := append([]byte(nil), first...)
 		for _, extra := range [][]byte{second, third} {
-			ns, p2, frees, err := e.mgr.Grow(nil, st, extra)
+			ns, p2, frees, err := writerGrow(e.mgr, st, extra)
 			if err != nil {
 				return false
 			}
@@ -405,7 +405,7 @@ func TestGrowQuick(t *testing.T) {
 func TestStream(t *testing.T) {
 	e := newEnv(t, 1<<14, 1<<12, false)
 	data := randBytes(rand.New(rand.NewSource(10)), 123_457)
-	st, pending, _, err := e.mgr.Allocate(nil, data)
+	st, pending, _, err := writerAlloc(e.mgr, data)
 	if err != nil {
 		t.Fatal(err)
 	}

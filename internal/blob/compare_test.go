@@ -12,7 +12,7 @@ import (
 // allocBlob allocates and commits a blob, returning its state.
 func allocBlob(t testing.TB, e *env, data []byte) *State {
 	t.Helper()
-	st, pending, _, err := e.mgr.Allocate(nil, data)
+	st, pending, _, err := writerAlloc(e.mgr, data)
 	if err != nil {
 		t.Fatal(err)
 	}

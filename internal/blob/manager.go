@@ -7,7 +7,6 @@ import (
 
 	"blobdb/internal/buffer"
 	"blobdb/internal/extent"
-	"blobdb/internal/sha256x"
 	"blobdb/internal/storage"
 )
 
@@ -23,13 +22,6 @@ type Manager struct {
 	// UseTail enables tail extents (§III-A): minimal internal
 	// fragmentation, slower growth.
 	UseTail bool
-	// DeferHash skips SHA-256 computation in Allocate; the caller promises
-	// to call FinishHash before the Blob State becomes durable.
-	//
-	// Deprecated: the streaming Writer hashes inline while the data is
-	// cache-hot, so nothing sets this anymore. Honored by Allocate for one
-	// release.
-	DeferHash bool
 }
 
 // NewManager wires a blob manager.
@@ -120,86 +112,6 @@ func (m *Manager) ApplyFrees(specs []FreeSpec) {
 	}
 }
 
-// Allocate reserves the smallest extent sequence for data, copies data into
-// the (evict-protected) frames, and returns the Blob State plus the Pending
-// flush work. Nothing is written to the device yet.
-//
-// Deprecated: Allocate takes the whole blob as one []byte; use NewWriter,
-// which streams with O(extent) memory and produces an identical State and
-// layout. Kept for one release.
-func (m *Manager) Allocate(mt *simtime.Meter, data []byte) (*State, *Pending, []FreeSpec, error) {
-	pageSize := m.Pool.PageSize()
-	npages := extent.PagesFor(uint64(len(data)), pageSize)
-	slots, tailPages := m.Alloc.Tiers().Plan(npages, m.UseTail)
-
-	st := &State{Size: uint64(len(data))}
-	pending := &Pending{mgr: m}
-	var newlyAllocated []FreeSpec
-
-	fail := func(err error) (*State, *Pending, []FreeSpec, error) {
-		pending.Discard(newlyAllocated)
-		return nil, nil, nil, err
-	}
-
-	rest := data
-	for _, slot := range slots {
-		pid, err := m.Alloc.AllocExtent(slot.Tier)
-		if err != nil {
-			return fail(fmt.Errorf("blob: allocate extent tier %d: %w", slot.Tier, err))
-		}
-		newlyAllocated = append(newlyAllocated, FreeSpec{Tier: slot.Tier, PID: pid})
-		f, err := m.Pool.CreateExtent(mt, pid, int(slot.Pages))
-		if err != nil {
-			m.Alloc.FreeExtent(slot.Tier, pid)
-			newlyAllocated = newlyAllocated[:len(newlyAllocated)-1]
-			return fail(fmt.Errorf("blob: pin new extent: %w", err))
-		}
-		pending.Frames = append(pending.Frames, f)
-		n := int(slot.Pages) * pageSize
-		if n > len(rest) {
-			n = len(rest)
-		}
-		if n > 0 {
-			f.WriteAt(rest[:n], 0)
-			rest = rest[n:]
-		}
-		st.Extents = append(st.Extents, pid)
-	}
-	if tailPages > 0 {
-		pid, err := m.Alloc.AllocTail(tailPages)
-		if err != nil {
-			return fail(fmt.Errorf("blob: allocate tail: %w", err))
-		}
-		newlyAllocated = append(newlyAllocated, FreeSpec{Tier: -1, PID: pid, Pages: tailPages})
-		f, err := m.Pool.CreateExtent(mt, pid, int(tailPages))
-		if err != nil {
-			m.Alloc.FreeTail(pid, tailPages)
-			newlyAllocated = newlyAllocated[:len(newlyAllocated)-1]
-			return fail(fmt.Errorf("blob: pin tail extent: %w", err))
-		}
-		pending.Frames = append(pending.Frames, f)
-		if len(rest) > 0 {
-			f.WriteAt(rest, 0)
-			rest = nil
-		}
-		st.Tail = extent.Extent{PID: pid, Pages: tailPages}
-	}
-	if len(rest) > 0 {
-		return fail(fmt.Errorf("blob: plan did not cover %d trailing bytes", len(rest)))
-	}
-
-	if !m.DeferHash {
-		h := sha256x.BestHasher()
-		h.Write(data)
-		st.SHA256 = h.Sum256()
-		st.Intermediate = sha256x.StateOf(h)
-	}
-	copy(st.Prefix[:], data)
-	pending.News = newlyAllocated
-	mt.CountUserOps(int64(len(slots) + 1))
-	return st, pending, newlyAllocated, nil
-}
-
 // ReadHandle keeps a read's frames pinned and its aliasing area reserved
 // until Close.
 type ReadHandle struct {
@@ -281,14 +193,6 @@ func (m *Manager) ReadAll(mt *simtime.Meter, st *State) ([]byte, error) {
 	return buf, nil
 }
 
-// FinishHash computes the deferred SHA-256 of a DeferHash allocation by
-// streaming the (still pinned) extents, filling in the state's digest and
-// resumable intermediate.
-func (m *Manager) FinishHash(mt *simtime.Meter, st *State) error {
-	_, err := m.hashContent(mt, st)
-	return err
-}
-
 // Delete returns the free specifications for all of the BLOB's extents.
 // The transaction layer applies them at commit (§III-D).
 func (m *Manager) Delete(st *State) []FreeSpec {
@@ -300,115 +204,4 @@ func (m *Manager) Delete(st *State) []FreeSpec {
 		specs = append(specs, FreeSpec{Tier: -1, PID: st.Tail.PID, Pages: st.Tail.Pages})
 	}
 	return specs
-}
-
-// Grow appends extra to the BLOB (§III-D, Figure 3): fill the free space of
-// the last extent, allocate the next tiers for the remainder, and resume
-// the SHA-256 from the stored intermediate state so existing content is
-// never reloaded. A tail extent is first cloned into a regular extent.
-//
-// It returns the new state, the pending flush work (only dirty pages of
-// touched extents), and the extents freed by the growth (the old tail).
-//
-// Deprecated: Grow takes the appended bytes as one []byte; use NewWriter
-// with WriterOpts.Base, which streams the append with O(extent) memory.
-// Kept for one release.
-func (m *Manager) Grow(mt *simtime.Meter, st *State, extra []byte) (*State, *Pending, []FreeSpec, error) {
-	if len(extra) == 0 {
-		return st.Clone(), &Pending{mgr: m}, nil, nil
-	}
-	pageSize := m.Pool.PageSize()
-	tiers := m.Alloc.Tiers()
-	ns := st.Clone()
-	pending := &Pending{mgr: m}
-	var frees []FreeSpec
-	var newlyAllocated []FreeSpec
-
-	fail := func(err error) (*State, *Pending, []FreeSpec, error) {
-		pending.Discard(newlyAllocated)
-		return nil, nil, nil, err
-	}
-
-	// Tail extent: clone into the regular extent of the tier it replaced.
-	if ns.HasTail() {
-		tier := len(ns.Extents)
-		tierPages := tiers.Size(tier)
-		pid, err := m.Alloc.AllocExtent(tier)
-		if err != nil {
-			return fail(fmt.Errorf("blob: grow: clone tail: %w", err))
-		}
-		newlyAllocated = append(newlyAllocated, FreeSpec{Tier: tier, PID: pid})
-		clone, err := m.Pool.CreateExtent(mt, pid, int(tierPages))
-		if err != nil {
-			m.Alloc.FreeExtent(tier, pid)
-			return fail(err)
-		}
-		pending.Frames = append(pending.Frames, clone)
-		tailFrame, err := m.Pool.FixExtent(mt, ns.Tail.PID, int(ns.Tail.Pages))
-		if err != nil {
-			return fail(err)
-		}
-		tmp := make([]byte, int(ns.Tail.Pages)*pageSize)
-		tailFrame.ReadAt(tmp, 0)
-		tailFrame.Release()
-		clone.WriteAt(tmp, 0) // memcpy tail -> clone (the §III-H growth cost)
-		frees = append(frees, FreeSpec{Tier: -1, PID: ns.Tail.PID, Pages: ns.Tail.Pages})
-		ns.Extents = append(ns.Extents, pid)
-		ns.Tail = extent.Extent{}
-	}
-
-	// Fill free space in the last extent, then allocate subsequent tiers.
-	rest := extra
-	if k := len(ns.Extents); k > 0 {
-		capBytes := tiers.Cum(k-1) * uint64(pageSize)
-		if free := capBytes - ns.Size; free > 0 {
-			f, err := m.Pool.FixExtent(mt, ns.Extents[k-1], int(tiers.Size(k-1)))
-			if err != nil {
-				return fail(err)
-			}
-			pending.Frames = append(pending.Frames, f)
-			off := int(ns.Size - tiers.Cum(k-2)*uint64(pageSize))
-			n := int(free)
-			if n > len(rest) {
-				n = len(rest)
-			}
-			f.WriteAt(rest[:n], off)
-			f.SetPreventEvict(true)
-			rest = rest[n:]
-		}
-	}
-	for len(rest) > 0 {
-		tier := len(ns.Extents)
-		pid, err := m.Alloc.AllocExtent(tier)
-		if err != nil {
-			return fail(fmt.Errorf("blob: grow: extent tier %d: %w", tier, err))
-		}
-		newlyAllocated = append(newlyAllocated, FreeSpec{Tier: tier, PID: pid})
-		f, err := m.Pool.CreateExtent(mt, pid, int(tiers.Size(tier)))
-		if err != nil {
-			m.Alloc.FreeExtent(tier, pid)
-			return fail(err)
-		}
-		pending.Frames = append(pending.Frames, f)
-		n := int(tiers.Size(tier)) * pageSize
-		if n > len(rest) {
-			n = len(rest)
-		}
-		f.WriteAt(rest[:n], 0)
-		ns.Extents = append(ns.Extents, pid)
-		rest = rest[n:]
-	}
-
-	// Resume the hash — old content is never read back.
-	h := sha256x.BestResume(ns.Intermediate)
-	h.Write(extra)
-	ns.SHA256 = h.Sum256()
-	ns.Intermediate = sha256x.StateOf(h)
-	if ns.Size < PrefixLen {
-		n := copy(ns.Prefix[ns.Size:], extra)
-		_ = n
-	}
-	ns.Size += uint64(len(extra))
-	pending.News = newlyAllocated
-	return ns, pending, frees, nil
 }

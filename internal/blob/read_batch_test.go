@@ -29,7 +29,7 @@ func TestColdReadOneSubmission(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			e := newEnv(t, 1<<14, 1<<12, ht)
 			data := randBytes(rand.New(rand.NewSource(11)), 200<<10) // several tiers
-			st, pending, _, err := e.mgr.Allocate(nil, data)
+			st, pending, _, err := writerAlloc(e.mgr, data)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -69,7 +69,7 @@ func TestConcurrentColdReadsSingleLoad(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			e := newEnv(t, 1<<14, 1<<12, ht)
 			data := randBytes(rand.New(rand.NewSource(12)), 120<<10)
-			st, pending, _, err := e.mgr.Allocate(nil, data)
+			st, pending, _, err := writerAlloc(e.mgr, data)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,42 @@
+package blob
+
+// Writer-based stand-ins for the removed one-shot Manager.Allocate and
+// Manager.Grow: a non-streaming Writer produces an identical State,
+// layout, and Pending, so the older allocation/growth tests keep their
+// shape while exercising the only remaining write path.
+
+// writerAlloc seals data into a fresh blob, returning the state, the pending
+// flush work, and the newly allocated extents.
+func writerAlloc(m *Manager, data []byte) (*State, *Pending, []FreeSpec, error) {
+	w, err := m.NewWriter(WriterOpts{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Abort()
+		return nil, nil, nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, nil, nil, err
+	}
+	st, pend, _ := w.Sealed()
+	return st, pend, pend.News, nil
+}
+
+// writerGrow appends extra to base, returning the new state, the pending
+// flush work, and the extents the growth freed (a replaced tail).
+func writerGrow(m *Manager, base *State, extra []byte) (*State, *Pending, []FreeSpec, error) {
+	w, err := m.NewWriter(WriterOpts{Base: base})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err := w.Write(extra); err != nil {
+		w.Abort()
+		return nil, nil, nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, nil, nil, err
+	}
+	st, pend, frees := w.Sealed()
+	return st, pend, frees, nil
+}

@@ -94,7 +94,7 @@ func TestWriterOneShotEquivalence(t *testing.T) {
 						data := randBytes(rng, size)
 
 						ref := newWriterEnv(t, useTail)
-						want, pend, _, err := ref.mgr.Allocate(nil, data)
+						want, pend, _, err := writerAlloc(ref.mgr, data)
 						if err != nil {
 							t.Fatal(err)
 						}
@@ -167,19 +167,19 @@ func TestWriterAppendEquivalence(t *testing.T) {
 				extra := randBytes(rng, tc.extra)
 
 				ref := newWriterEnv(t, useTail)
-				refBase, pend, _, err := ref.mgr.Allocate(nil, baseData)
+				refBase, pend, _, err := writerAlloc(ref.mgr, baseData)
 				if err != nil {
 					t.Fatal(err)
 				}
 				commit(t, pend)
-				want, gpend, _, err := ref.mgr.Grow(nil, refBase, extra)
+				want, gpend, _, err := writerGrow(ref.mgr, refBase, extra)
 				if err != nil {
 					t.Fatal(err)
 				}
 				commit(t, gpend)
 
 				e := newWriterEnv(t, useTail)
-				base, pend2, _, err := e.mgr.Allocate(nil, baseData)
+				base, pend2, _, err := writerAlloc(e.mgr, baseData)
 				if err != nil {
 					t.Fatal(err)
 				}

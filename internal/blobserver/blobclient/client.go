@@ -14,14 +14,19 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
-// Client talks to one blobserver.
+// Client talks to one blobserver primary, optionally spreading reads
+// across a set of replicas.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry retryPolicy
+	base     string
+	hc       *http.Client
+	timeout  time.Duration
+	retry    retryPolicy
+	replicas []string
+	rr       atomic.Uint32 // round-robin cursor over replicas
 }
 
 // retryPolicy bounds the client's reaction to 503 load sheds.
@@ -33,6 +38,39 @@ type retryPolicy struct {
 
 // Option configures a Client.
 type Option func(*Client)
+
+// WithHTTPClient supplies the underlying *http.Client. Defaults to
+// http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// WithTimeout bounds every request end to end (connect through body
+// read). It layers onto whatever client WithHTTPClient supplied by
+// cloning it with the Timeout set, so a shared http.Client is never
+// mutated.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithReadReplicas routes reads (Get, GetRange, GetIfNoneMatch)
+// replica-first: each read picks the next replica round-robin and falls
+// back to the primary when the replica cannot serve it — a staleness
+// shed (503 behind the requested freshness floor), a key the replica
+// has not replayed yet (404), a replica that was promoted or
+// misconfigured (421), or a transport error. Writes and listings always
+// go to the primary.
+func WithReadReplicas(urls ...string) Option {
+	return func(c *Client) {
+		for _, u := range urls {
+			c.replicas = append(c.replicas, strings.TrimRight(u, "/"))
+		}
+	}
+}
 
 // WithRetry makes the client retry 503 responses (admission sheds and
 // fenced-shard rejections) up to attempts total tries. Each retry sleeps
@@ -55,15 +93,18 @@ func WithRetry(attempts int, base, max time.Duration) Option {
 	}
 }
 
-// New creates a client for base (e.g. "http://127.0.0.1:9090"). hc may be
-// nil to use http.DefaultClient.
-func New(base string, hc *http.Client, opts ...Option) *Client {
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	c := &Client{base: strings.TrimRight(base, "/"), hc: hc}
+// New creates a client for the primary at base (e.g.
+// "http://127.0.0.1:9090"), configured by functional options:
+// WithHTTPClient, WithTimeout, WithRetry, WithReadReplicas.
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.timeout > 0 {
+		hc := *c.hc
+		hc.Timeout = c.timeout
+		c.hc = &hc
 	}
 	return c
 }
@@ -91,12 +132,50 @@ func IsOverloaded(err error) bool {
 	return ok && se.Status == http.StatusServiceUnavailable
 }
 
-func (c *Client) blobURL(rel, key string) string {
+func blobPath(rel, key string) string {
 	segs := strings.Split(key, "/")
 	for i, s := range segs {
 		segs[i] = url.PathEscape(s)
 	}
-	return c.base + "/v1/" + url.PathEscape(rel) + "/" + strings.Join(segs, "/")
+	return "/v1/" + url.PathEscape(rel) + "/" + strings.Join(segs, "/")
+}
+
+func (c *Client) blobURL(rel, key string) string {
+	return c.base + blobPath(rel, key)
+}
+
+// doRead issues a GET for path. With replicas configured it tries the
+// next replica (round-robin) first with a single attempt — no backoff:
+// a replica that sheds, misses, or errors is answered fastest by the
+// primary — then falls back to the primary with the full retry policy.
+func (c *Client) doRead(ctx context.Context, path string, hdr map[string]string, wantStatus ...int) (*http.Response, error) {
+	build := func(base string) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		return req, nil
+	}
+	if len(c.replicas) > 0 {
+		base := c.replicas[int(c.rr.Add(1)-1)%len(c.replicas)]
+		req, err := build(base)
+		if err != nil {
+			return nil, err
+		}
+		if resp, err := c.doOnce(req, wantStatus...); err == nil {
+			return resp, nil
+		} else if ctx.Err() != nil {
+			return nil, err // caller gone; don't hammer the primary too
+		}
+	}
+	req, err := build(c.base)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(req, wantStatus...)
 }
 
 func (c *Client) do(req *http.Request, wantStatus ...int) (*http.Response, error) {
@@ -264,11 +343,7 @@ func (c *Client) PutReader(ctx context.Context, rel, key string, body io.Reader,
 
 // Get reads the whole blob, returning its content and ETag.
 func (c *Client) Get(ctx context.Context, rel, key string) ([]byte, string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.blobURL(rel, key), nil)
-	if err != nil {
-		return nil, "", err
-	}
-	resp, err := c.do(req, http.StatusOK)
+	resp, err := c.doRead(ctx, blobPath(rel, key), nil, http.StatusOK)
 	if err != nil {
 		return nil, "", err
 	}
@@ -279,12 +354,8 @@ func (c *Client) Get(ctx context.Context, rel, key string) ([]byte, string, erro
 
 // GetRange reads n bytes starting at off (a 206 partial response).
 func (c *Client) GetRange(ctx context.Context, rel, key string, off, n int64) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.blobURL(rel, key), nil)
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+n-1))
-	resp, err := c.do(req, http.StatusPartialContent)
+	hdr := map[string]string{"Range": fmt.Sprintf("bytes=%d-%d", off, off+n-1)}
+	resp, err := c.doRead(ctx, blobPath(rel, key), hdr, http.StatusPartialContent)
 	if err != nil {
 		return nil, err
 	}
@@ -295,12 +366,7 @@ func (c *Client) GetRange(ctx context.Context, rel, key string, off, n int64) ([
 // GetIfNoneMatch conditionally reads the blob: notModified is true (and
 // content nil) when the server answered 304 for the given ETag.
 func (c *Client) GetIfNoneMatch(ctx context.Context, rel, key, etag string) (content []byte, notModified bool, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.blobURL(rel, key), nil)
-	if err != nil {
-		return nil, false, err
-	}
-	req.Header.Set("If-None-Match", `"`+etag+`"`)
-	resp, err := c.do(req, http.StatusOK, http.StatusNotModified)
+	resp, err := c.doRead(ctx, blobPath(rel, key), map[string]string{"If-None-Match": `"` + etag + `"`}, http.StatusOK, http.StatusNotModified)
 	if err != nil {
 		return nil, false, err
 	}

@@ -37,7 +37,7 @@ func TestRetryHonorsRetryAfterOn503(t *testing.T) {
 	defer ts.Close()
 	// Cap the sleeps well under the 1s hint so the test stays fast: the
 	// hint is honored but never beyond the policy max.
-	c := New(ts.URL, ts.Client(), WithRetry(4, 5*time.Millisecond, 20*time.Millisecond))
+	c := New(ts.URL, WithHTTPClient(ts.Client()), WithRetry(4, 5*time.Millisecond, 20*time.Millisecond))
 	start := time.Now()
 	got, _, err := c.Get(context.Background(), "r", "k")
 	if err != nil {
@@ -68,7 +68,7 @@ func TestRetryReplaysPutBody(t *testing.T) {
 		w.WriteHeader(http.StatusCreated)
 	})
 	defer ts.Close()
-	c := New(ts.URL, ts.Client(), WithRetry(3, time.Millisecond, 10*time.Millisecond))
+	c := New(ts.URL, WithHTTPClient(ts.Client()), WithRetry(3, time.Millisecond, 10*time.Millisecond))
 	etag, err := c.Put(context.Background(), "r", "k", []byte("hello world"))
 	if err != nil {
 		t.Fatal(err)
@@ -85,7 +85,7 @@ func TestNoRetryForUnreplayableBody(t *testing.T) {
 		w.WriteHeader(http.StatusCreated)
 	})
 	defer ts.Close()
-	c := New(ts.URL, ts.Client(), WithRetry(5, time.Millisecond, 10*time.Millisecond))
+	c := New(ts.URL, WithHTTPClient(ts.Client()), WithRetry(5, time.Millisecond, 10*time.Millisecond))
 	// io.MultiReader hides the strings.Reader, so net/http cannot set
 	// GetBody and the request is not replayable.
 	_, err := c.PutReader(context.Background(), "r", "k", io.MultiReader(strings.NewReader("x")), -1)
@@ -103,7 +103,7 @@ func TestRetryDisabledByDefault(t *testing.T) {
 		io.WriteString(w, "late")
 	})
 	defer ts.Close()
-	c := New(ts.URL, ts.Client())
+	c := New(ts.URL, WithHTTPClient(ts.Client()))
 	if _, _, err := c.Get(context.Background(), "r", "k"); !IsOverloaded(err) {
 		t.Fatalf("err = %v, want 503", err)
 	}
@@ -117,7 +117,7 @@ func TestRetryDisabledByDefault(t *testing.T) {
 func TestRetryGivesUpAfterBudget(t *testing.T) {
 	ts, calls := shedThenServe(1000, "", nil)
 	defer ts.Close()
-	c := New(ts.URL, ts.Client(), WithRetry(3, time.Millisecond, 5*time.Millisecond))
+	c := New(ts.URL, WithHTTPClient(ts.Client()), WithRetry(3, time.Millisecond, 5*time.Millisecond))
 	if _, _, err := c.Get(context.Background(), "r", "k"); !IsOverloaded(err) {
 		t.Fatalf("err = %v, want 503", err)
 	}
@@ -130,7 +130,7 @@ func TestRetryGivesUpAfterBudget(t *testing.T) {
 func TestRetrySleepRespectsContext(t *testing.T) {
 	ts, _ := shedThenServe(1000, "30", nil) // hinted 30s sleeps, capped by max
 	defer ts.Close()
-	c := New(ts.URL, ts.Client(), WithRetry(10, time.Second, time.Hour))
+	c := New(ts.URL, WithHTTPClient(ts.Client()), WithRetry(10, time.Second, time.Hour))
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	start := time.Now()
@@ -140,5 +140,117 @@ func TestRetrySleepRespectsContext(t *testing.T) {
 	}
 	if time.Since(start) > 5*time.Second {
 		t.Fatalf("cancellation not honored in backoff sleep (%v)", time.Since(start))
+	}
+}
+
+// TestReadReplicaRouting: with replicas configured, GETs hit a replica
+// first; writes still go to the primary.
+func TestReadReplicaRouting(t *testing.T) {
+	var primaryGets, replicaGets atomic.Int64
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			primaryGets.Add(1)
+		}
+		if r.Method == http.MethodPut {
+			w.Header().Set("ETag", `"abc"`)
+			w.WriteHeader(http.StatusCreated)
+			return
+		}
+		io.WriteString(w, "primary")
+	}))
+	defer primary.Close()
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		replicaGets.Add(1)
+		w.Header().Set("X-Replica-Applied-LSN", "7")
+		io.WriteString(w, "replica")
+	}))
+	defer replica.Close()
+
+	c := New(primary.URL, WithHTTPClient(primary.Client()), WithReadReplicas(replica.URL))
+	got, _, err := c.Get(context.Background(), "r", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "replica" {
+		t.Fatalf("got %q, want the replica's content", got)
+	}
+	if _, err := c.Put(context.Background(), "r", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if primaryGets.Load() != 0 || replicaGets.Load() != 1 {
+		t.Fatalf("primary GETs %d, replica GETs %d; want 0 and 1",
+			primaryGets.Load(), replicaGets.Load())
+	}
+}
+
+// TestReadReplicaFallback: replica staleness sheds (503), misses (404),
+// and misdirections (421) all fall back to the primary transparently.
+func TestReadReplicaFallback(t *testing.T) {
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "fresh")
+	}))
+	defer primary.Close()
+	for _, status := range []int{
+		http.StatusServiceUnavailable,
+		http.StatusNotFound,
+		http.StatusMisdirectedRequest,
+	} {
+		replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "cannot serve", status)
+		}))
+		c := New(primary.URL, WithHTTPClient(primary.Client()), WithReadReplicas(replica.URL))
+		got, _, err := c.Get(context.Background(), "r", "k")
+		replica.Close()
+		if err != nil {
+			t.Fatalf("replica status %d: %v", status, err)
+		}
+		if string(got) != "fresh" {
+			t.Fatalf("replica status %d: got %q, want primary fallback", status, got)
+		}
+	}
+}
+
+// TestReadReplicaRoundRobin: successive reads rotate across replicas.
+func TestReadReplicaRoundRobin(t *testing.T) {
+	var hits [2]atomic.Int64
+	mk := func(i int) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			io.WriteString(w, "ok")
+		}))
+	}
+	r0, r1 := mk(0), mk(1)
+	defer r0.Close()
+	defer r1.Close()
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("primary should not see reads")
+	}))
+	defer primary.Close()
+	c := New(primary.URL, WithHTTPClient(primary.Client()), WithReadReplicas(r0.URL, r1.URL))
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.Get(context.Background(), "r", "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits[0].Load() != 2 || hits[1].Load() != 2 {
+		t.Fatalf("replica hits %d/%d, want 2/2", hits[0].Load(), hits[1].Load())
+	}
+}
+
+// TestWithTimeout: a server that stalls past the configured timeout
+// surfaces a client-side error instead of hanging.
+func TestWithTimeout(t *testing.T) {
+	blocked := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-blocked
+	}))
+	defer func() { close(blocked); ts.Close() }()
+	c := New(ts.URL, WithHTTPClient(ts.Client()), WithTimeout(50*time.Millisecond))
+	start := time.Now()
+	if _, _, err := c.Get(context.Background(), "r", "k"); err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("timeout not enforced (%v)", time.Since(start))
 	}
 }

@@ -23,13 +23,12 @@ func openRecoveryDB(t *testing.T, path string) (*core.DB, *core.RecoveryReport) 
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { dev.Close() })
-	db, rep, err := core.Recover(core.Options{
-		Dev:         dev,
-		PoolPages:   1 << 12,
-		LogPages:    1 << 10,
-		CkptPages:   1 << 11,
-		AsyncCommit: true,
-	}, nil)
+	db, rep, err := core.RecoverDevice(dev, nil,
+		core.WithPoolPages(1<<12),
+		core.WithLogPages(1<<10),
+		core.WithCkptPages(1<<11),
+		core.WithAsyncCommit(true),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +48,7 @@ func TestCommittedPutsSurviveCrashRestart(t *testing.T) {
 	{
 		db, _ := openRecoveryDB(t, path)
 		ts := httptest.NewServer(New(Config{DB: db}))
-		c := blobclient.New(ts.URL, ts.Client())
+		c := blobclient.New(ts.URL, blobclient.WithHTTPClient(ts.Client()))
 		if err := c.CreateRelation(ctx, "images"); err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +81,7 @@ func TestCommittedPutsSurviveCrashRestart(t *testing.T) {
 	}
 	ts2 := httptest.NewServer(New(Config{DB: db2}))
 	defer ts2.Close()
-	c2 := blobclient.New(ts2.URL, ts2.Client())
+	c2 := blobclient.New(ts2.URL, blobclient.WithHTTPClient(ts2.Client()))
 
 	keys, err := c2.List(ctx, "images")
 	if err != nil {

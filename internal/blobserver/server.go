@@ -42,6 +42,7 @@ import (
 
 	"blobdb/internal/buffer"
 	"blobdb/internal/core"
+	"blobdb/internal/repl"
 	"blobdb/internal/shard"
 )
 
@@ -65,6 +66,15 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBlobBytes bounds a single PUT body (default 256 MB).
 	MaxBlobBytes int64
+	// Replica, when set, serves in read-replica mode: GETs are served from
+	// the replica's engine and carry X-Replica-Applied-LSN (the staleness
+	// horizon); writes are rejected with 421 Misdirected Request pointing
+	// at PrimaryURL until the replica is promoted (POST /admin/v1/promote).
+	// DB/Cluster may be left nil — the replica's engine is used.
+	Replica *repl.Replica
+	// PrimaryURL advertises the write endpoint in replica-mode 421
+	// responses (X-Primary-Base-URL header).
+	PrimaryURL string
 }
 
 // Server serves the blob API over a shard.Cluster (possibly the
@@ -78,13 +88,19 @@ type Server struct {
 
 	retryAfter   time.Duration
 	maxBlobBytes int64
+
+	replica    *repl.Replica // nil: primary mode
+	primaryURL string
 }
 
 // New builds a Server over cfg.Cluster (or cfg.DB wrapped as one shard).
 func New(cfg Config) *Server {
+	if cfg.Cluster == nil && cfg.DB == nil && cfg.Replica != nil {
+		cfg.DB = cfg.Replica.DB()
+	}
 	if cfg.Cluster == nil {
 		if cfg.DB == nil {
-			panic("blobserver: Config.DB or Config.Cluster is required")
+			panic("blobserver: Config.DB, Config.Cluster, or Config.Replica is required")
 		}
 		cfg.Cluster = shard.Single(cfg.DB)
 	}
@@ -105,6 +121,8 @@ func New(cfg Config) *Server {
 		adm:          newAdmission(cfg.MaxInFlight, cfg.MaxQueueWait),
 		retryAfter:   cfg.RetryAfter,
 		maxBlobBytes: cfg.MaxBlobBytes,
+		replica:      cfg.Replica,
+		primaryURL:   cfg.PrimaryURL,
 	}
 	s.metrics = newMetrics(cfg.Cluster, s.adm)
 	s.mux = http.NewServeMux()
@@ -116,6 +134,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/{rel}/{key...}", s.route("blob_delete", s.handleDeleteBlob))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/vars", s.metrics.serveVars)
+	// Log-shipping replication: the pull API a downstream repl.HTTPSource
+	// tails, and the explicit promotion switch for replica-mode servers.
+	s.mux.HandleFunc("GET /repl/v1/status", s.route("repl_status", s.handleReplStatus))
+	s.mux.HandleFunc("GET /repl/v1/pull", s.route("repl_pull", s.handleReplPull))
+	s.mux.HandleFunc("GET /repl/v1/snapshot", s.route("repl_snapshot", s.handleReplSnapshot))
+	s.mux.HandleFunc("GET /repl/v1/blob/{rel}/{key...}", s.route("repl_blob", s.handleReplBlob))
+	s.mux.HandleFunc("POST /admin/v1/promote", s.handlePromote)
 	return s
 }
 
@@ -227,6 +252,9 @@ func (s *Server) handleListRelations(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCreateRelation(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReplicaWrite(w) {
+		return
+	}
 	// Relations are global: the create fans out to every live shard so any
 	// key of the relation can route anywhere.
 	if err := s.cluster.CreateRelation(r.PathValue("rel")); err != nil {
@@ -261,6 +289,9 @@ func (s *Server) handleListKeys(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetBlob(w http.ResponseWriter, r *http.Request) {
+	if s.rejectStaleRead(w, r) {
+		return
+	}
 	rel, key := r.PathValue("rel"), r.PathValue("key")
 	sh, release, err := s.cluster.Acquire(r.Context(), rel, []byte(key))
 	if err != nil {
@@ -302,6 +333,9 @@ func (s *Server) handleGetBlob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePutBlob(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReplicaWrite(w) {
+		return
+	}
 	rel, key := r.PathValue("rel"), r.PathValue("key")
 	ctx := r.Context()
 	sh, release, err := s.cluster.Acquire(ctx, rel, []byte(key))
@@ -348,6 +382,9 @@ func (s *Server) handlePutBlob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteBlob(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReplicaWrite(w) {
+		return
+	}
 	rel, key := r.PathValue("rel"), r.PathValue("key")
 	sh, release, err := s.cluster.Acquire(r.Context(), rel, []byte(key))
 	if err != nil {

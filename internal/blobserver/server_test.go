@@ -28,13 +28,12 @@ func newTestServer(t *testing.T, cfg Config) (*core.DB, *Server, *httptest.Serve
 
 func newTestServerOn(t *testing.T, dev storage.Device, cfg Config) (*core.DB, *Server, *httptest.Server, *blobclient.Client) {
 	t.Helper()
-	db, err := core.Open(core.Options{
-		Dev:         dev,
-		PoolPages:   1 << 14, // 64 MB: a 10 MB blob plus working set
-		LogPages:    1 << 12,
-		CkptPages:   1 << 13,
-		AsyncCommit: true,
-	})
+	db, err := core.New(dev,
+		core.WithPoolPages(1<<14), // 64 MB: a 10 MB blob plus working set
+		core.WithLogPages(1<<12),
+		core.WithCkptPages(1<<13),
+		core.WithAsyncCommit(true),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +42,7 @@ func newTestServerOn(t *testing.T, dev storage.Device, cfg Config) (*core.DB, *S
 	srv := New(cfg)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return db, srv, ts, blobclient.New(ts.URL, ts.Client())
+	return db, srv, ts, blobclient.New(ts.URL, blobclient.WithHTTPClient(ts.Client()))
 }
 
 func TestRelationAndKeyListing(t *testing.T) {

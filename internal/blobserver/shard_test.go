@@ -26,13 +26,12 @@ func newShardedServer(t *testing.T, n int, cfg Config) (*shard.Cluster, *Server,
 	t.Helper()
 	dbs := make([]*core.DB, n)
 	for i := range dbs {
-		db, err := core.Open(core.Options{
-			Dev:         storage.NewMemDevice(storage.DefaultPageSize, 1<<14, nil),
-			PoolPages:   1 << 12,
-			LogPages:    1 << 11,
-			CkptPages:   1 << 12,
-			AsyncCommit: true,
-		})
+		db, err := core.New(storage.NewMemDevice(storage.DefaultPageSize, 1<<14, nil),
+			core.WithPoolPages(1<<12),
+			core.WithLogPages(1<<11),
+			core.WithCkptPages(1<<12),
+			core.WithAsyncCommit(true),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,7 +43,7 @@ func newShardedServer(t *testing.T, n int, cfg Config) (*shard.Cluster, *Server,
 	srv := New(cfg)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return c, srv, ts, blobclient.New(ts.URL, ts.Client())
+	return c, srv, ts, blobclient.New(ts.URL, blobclient.WithHTTPClient(ts.Client()))
 }
 
 // TestShardedE2E drives the single-engine API surface through a 4-shard

@@ -70,7 +70,7 @@ func TestStreamingPut64MiBBoundedBuffering(t *testing.T) {
 	srv := New(Config{DB: db})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	c := blobclient.New(ts.URL, ts.Client())
+	c := blobclient.New(ts.URL, blobclient.WithHTTPClient(ts.Client()))
 
 	ctx := context.Background()
 	if err := c.CreateRelation(ctx, "big"); err != nil {

@@ -15,7 +15,7 @@ import (
 
 // TestFunctionalOptions exercises the New/RecoverDevice surface: a database
 // built with functional options must behave exactly like one built with the
-// positional Options shim, and recover through the same knobs.
+// positional options shim, and recover through the same knobs.
 func TestFunctionalOptions(t *testing.T) {
 	dev := storage.NewMemDevice(ps, 1<<15, nil)
 	db, err := New(dev,
@@ -120,7 +120,7 @@ func TestCreateBlobStreamingCommit(t *testing.T) {
 	mustCommit(t, tx)
 
 	tx2 := db.Begin(nil)
-	if err := tx2.PutBlob("image", []byte("oneshot"), data); err != nil {
+	if err := putBlob(tx2, "image", []byte("oneshot"), data); err != nil {
 		t.Fatal(err)
 	}
 	mustCommit(t, tx2)

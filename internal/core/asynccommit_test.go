@@ -8,7 +8,7 @@ import (
 	"testing"
 )
 
-func asyncOpts() Options {
+func asyncOpts() options {
 	o := testOpts()
 	o.AsyncCommit = true
 	return o
@@ -26,7 +26,7 @@ func TestAsyncCommitRoundtrip(t *testing.T) {
 		rng.Read(content)
 		want[key] = content
 		tx := db.Begin(nil)
-		if err := tx.PutBlob("r", []byte(key), content); err != nil {
+		if err := putBlob(tx, "r", []byte(key), content); err != nil {
 			t.Fatal(err)
 		}
 		mustCommit(t, tx)
@@ -52,7 +52,7 @@ func TestAsyncCommitReadYourOwnWrite(t *testing.T) {
 	defer db.CloseCommitter()
 	db.CreateRelation("r")
 	tx := db.Begin(nil)
-	if err := tx.PutBlob("r", []byte("k"), []byte("v1")); err != nil {
+	if err := putBlob(tx, "r", []byte("k"), []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 	mustCommit(t, tx)
@@ -73,7 +73,7 @@ func TestAsyncCommitSequentialReplaces(t *testing.T) {
 	db.CreateRelation("r")
 	for i := 0; i < 50; i++ {
 		tx := db.Begin(nil)
-		if err := tx.PutBlob("r", []byte("hot"), []byte(fmt.Sprintf("v%03d", i))); err != nil {
+		if err := putBlob(tx, "r", []byte("hot"), []byte(fmt.Sprintf("v%03d", i))); err != nil {
 			t.Fatal(err)
 		}
 		mustCommit(t, tx)
@@ -97,7 +97,7 @@ func TestAsyncCommitRecovery(t *testing.T) {
 	db.CreateRelation("r")
 	content := bytes.Repeat([]byte{0x3C}, 50<<10)
 	tx := db.Begin(nil)
-	if err := tx.PutBlob("r", []byte("k"), content); err != nil {
+	if err := putBlob(tx, "r", []byte("k"), content); err != nil {
 		t.Fatal(err)
 	}
 	mustCommit(t, tx)
@@ -107,7 +107,7 @@ func TestAsyncCommitRecovery(t *testing.T) {
 	// Crash: recover on the same device (synchronous mode for clarity).
 	o2 := o
 	o2.AsyncCommit = false
-	db2, rep, err := Recover(o2, nil)
+	db2, rep, err := recoverDB(o2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestAsyncCommitAbortBeforeEnqueue(t *testing.T) {
 	defer db.CloseCommitter()
 	db.CreateRelation("r")
 	tx := db.Begin(nil)
-	if err := tx.PutBlob("r", []byte("k"), []byte("doomed")); err != nil {
+	if err := putBlob(tx, "r", []byte("k"), []byte("doomed")); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx.Abort(); err != nil {
@@ -154,7 +154,7 @@ func TestCommitterBusyAccounting(t *testing.T) {
 		t.Error("busy should start at zero")
 	}
 	tx := db.Begin(nil)
-	tx.PutBlob("r", []byte("k"), make([]byte, 100<<10))
+	putBlob(tx, "r", []byte("k"), make([]byte, 100<<10))
 	mustCommit(t, tx)
 	if err := db.DrainCommits(); err != nil {
 		t.Fatal(err)
@@ -172,7 +172,7 @@ func TestCommitWaitDurabilityAck(t *testing.T) {
 	defer db.CloseCommitter()
 	db.CreateRelation("r")
 	tx := db.Begin(nil)
-	if err := tx.PutBlob("r", []byte("k"), make([]byte, 200<<10)); err != nil {
+	if err := putBlob(tx, "r", []byte("k"), make([]byte, 200<<10)); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx.CommitWait(); err != nil {
@@ -204,7 +204,7 @@ func TestCommitWaitConcurrentBatchStats(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 5; i++ {
 				tx := db.Begin(nil)
-				if err := tx.PutBlob("r", []byte(fmt.Sprintf("w%d-%d", w, i)), []byte("v")); err != nil {
+				if err := putBlob(tx, "r", []byte(fmt.Sprintf("w%d-%d", w, i)), []byte("v")); err != nil {
 					errs[w] = err
 					return
 				}
@@ -236,7 +236,7 @@ func TestCommitWaitOnSyncDBAndReadOnlyTxn(t *testing.T) {
 	db := openTest(t, testOpts())
 	db.CreateRelation("r")
 	tx := db.Begin(nil)
-	if err := tx.PutBlob("r", []byte("k"), []byte("v")); err != nil {
+	if err := putBlob(tx, "r", []byte("k"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx.CommitWait(); err != nil {

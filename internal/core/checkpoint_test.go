@@ -33,7 +33,7 @@ func TestCheckpointUnderConcurrentCommits(t *testing.T) {
 				key := fmt.Sprintf("w%d-k%d", w, i%10)
 				content := bytes.Repeat([]byte{byte(w*16 + i%10)}, 4<<10)
 				tx := db.Begin(nil)
-				if err := tx.PutBlob("r", []byte(key), content); err != nil {
+				if err := putBlob(tx, "r", []byte(key), content); err != nil {
 					errCh <- err
 					return
 				}
@@ -63,7 +63,7 @@ func TestCheckpointUnderConcurrentCommits(t *testing.T) {
 
 	// Crash and recover: everything acknowledged as committed must survive
 	// regardless of which checkpoint interleavings happened.
-	db2, _, err := Recover(o, nil)
+	db2, _, err := recoverDB(o, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

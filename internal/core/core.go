@@ -5,10 +5,11 @@
 // content and semantic indexing (§III-F), and virtual-memory-assisted reads
 // (§IV).
 //
-// The public entry point is Open; transactions are created with Begin. The
-// engine runs in-process (like SQLite) — the paper attributes much of
-// PostgreSQL's and MySQL's BLOB overhead to their client/server boundary,
-// which this engine simply does not have.
+// The public entry points are New (fresh device) and RecoverDevice (after
+// a crash); transactions are created with Begin. The engine runs
+// in-process (like SQLite) — the paper attributes much of PostgreSQL's and
+// MySQL's BLOB overhead to their client/server boundary, which this engine
+// simply does not have.
 package core
 
 import (
@@ -25,9 +26,10 @@ import (
 	"blobdb/internal/wal"
 )
 
-// Options configures Open. Prefer New with functional options
-// (options.go); Options remains as a compatibility shim for one release.
-type Options struct {
+// options collects the knobs the functional options (options.go) set. The
+// positional core.Open(core.Options{...})/core.Recover(...) constructors
+// were removed; New and RecoverDevice are the only construction API.
+type options struct {
 	// Dev is the block device; required.
 	Dev storage.Device
 	// PoolPages sizes the buffer pool (default: 1/4 of the device).
@@ -61,7 +63,7 @@ type Options struct {
 
 // DB is an open database.
 type DB struct {
-	opts  Options
+	opts  options
 	dev   storage.Device
 	wal   *wal.Manager
 	pool  buffer.Pool
@@ -99,14 +101,11 @@ type Relation struct {
 // Name returns the relation name.
 func (r *Relation) Name() string { return r.name }
 
-// Open initializes a database over the device. The device is laid out as
-// [WAL | checkpoint area | extent region].
-//
-// Open takes the positional Options struct and is kept as a compatibility
-// shim for one release; prefer New with functional options (options.go).
-func Open(o Options) (*DB, error) {
+// open initializes a database over the device. The device is laid out as
+// [WAL | checkpoint area | extent region]. It backs New and RecoverDevice.
+func open(o options) (*DB, error) {
 	if o.Dev == nil {
-		return nil, errors.New("core: Options.Dev is required")
+		return nil, errors.New("core: device is required")
 	}
 	n := o.Dev.NumPages()
 	if o.LogPages == 0 {

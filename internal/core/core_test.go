@@ -15,9 +15,9 @@ import (
 const ps = storage.DefaultPageSize
 
 // testOpts returns small-geometry options over a fresh in-memory device.
-func testOpts() Options {
+func testOpts() options {
 	dev := storage.NewMemDevice(ps, 1<<15, nil) // 128MB
-	return Options{
+	return options{
 		Dev:       dev,
 		PoolPages: 1 << 12, // 16MB
 		LogPages:  1 << 11, // 8MB
@@ -25,9 +25,9 @@ func testOpts() Options {
 	}
 }
 
-func openTest(t testing.TB, o Options) *DB {
+func openTest(t testing.TB, o options) *DB {
 	t.Helper()
-	db, err := Open(o)
+	db, err := open(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestBlobPutReadDelete(t *testing.T) {
 	rng.Read(content)
 
 	tx := db.Begin(nil)
-	if err := tx.PutBlob("image", []byte("xray-1.png"), content); err != nil {
+	if err := putBlob(tx, "image", []byte("xray-1.png"), content); err != nil {
 		t.Fatal(err)
 	}
 	mustCommit(t, tx)
@@ -134,7 +134,7 @@ func TestBlobSingleFlushWriteAmplification(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		content := bytes.Repeat([]byte{byte(i)}, 100<<10)
 		tx := db.Begin(nil)
-		if err := tx.PutBlob("r", []byte(fmt.Sprintf("k%02d", i)), content); err != nil {
+		if err := putBlob(tx, "r", []byte(fmt.Sprintf("k%02d", i)), content); err != nil {
 			t.Fatal(err)
 		}
 		mustCommit(t, tx)
@@ -153,7 +153,7 @@ func TestBlobSingleFlushWriteAmplification(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		content := bytes.Repeat([]byte{byte(i)}, 100<<10)
 		tx := db2.Begin(nil)
-		if err := tx.PutBlob("r", []byte(fmt.Sprintf("k%02d", i)), content); err != nil {
+		if err := putBlob(tx, "r", []byte(fmt.Sprintf("k%02d", i)), content); err != nil {
 			t.Fatal(err)
 		}
 		mustCommit(t, tx)
@@ -169,7 +169,7 @@ func TestReplaceBlobFreesOldExtents(t *testing.T) {
 	db.CreateRelation("r")
 	put := func(content []byte) {
 		tx := db.Begin(nil)
-		if err := tx.PutBlob("r", []byte("k"), content); err != nil {
+		if err := putBlob(tx, "r", []byte("k"), content); err != nil {
 			t.Fatal(err)
 		}
 		mustCommit(t, tx)
@@ -194,16 +194,16 @@ func TestAbortRollsBack(t *testing.T) {
 
 	// Committed base value.
 	tx := db.Begin(nil)
-	tx.PutBlob("r", []byte("k"), []byte("original"))
+	putBlob(tx, "r", []byte("k"), []byte("original"))
 	mustCommit(t, tx)
 	liveBase := db.Allocator().Stats().LivePages
 
 	// Aborted overwrite + aborted fresh insert.
 	tx2 := db.Begin(nil)
-	if err := tx2.PutBlob("r", []byte("k"), bytes.Repeat([]byte{1}, 30<<10)); err != nil {
+	if err := putBlob(tx2, "r", []byte("k"), bytes.Repeat([]byte{1}, 30<<10)); err != nil {
 		t.Fatal(err)
 	}
-	if err := tx2.PutBlob("r", []byte("fresh"), []byte("new blob")); err != nil {
+	if err := putBlob(tx2, "r", []byte("fresh"), []byte("new blob")); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx2.Abort(); err != nil {
@@ -245,11 +245,11 @@ func TestGrowAndUpdateThroughTxn(t *testing.T) {
 	db.CreateRelation("r")
 	content := []byte("hello")
 	tx := db.Begin(nil)
-	tx.PutBlob("r", []byte("k"), content)
+	putBlob(tx, "r", []byte("k"), content)
 	mustCommit(t, tx)
 
 	tx2 := db.Begin(nil)
-	if err := tx2.GrowBlob("r", []byte("k"), []byte(" world")); err != nil {
+	if err := growBlob(tx2, "r", []byte("k"), []byte(" world")); err != nil {
 		t.Fatal(err)
 	}
 	mustCommit(t, tx2)
@@ -278,9 +278,9 @@ func TestScan(t *testing.T) {
 	db := openTest(t, testOpts())
 	db.CreateRelation("r")
 	tx := db.Begin(nil)
-	tx.PutBlob("r", []byte("b"), []byte("blob-b"))
+	putBlob(tx, "r", []byte("b"), []byte("blob-b"))
 	tx.Put("r", []byte("a"), []byte("inline-a"))
-	tx.PutBlob("r", []byte("c"), []byte("blob-c"))
+	putBlob(tx, "r", []byte("c"), []byte("blob-c"))
 	mustCommit(t, tx)
 
 	tx2 := db.Begin(nil)
@@ -308,14 +308,14 @@ func TestWriteWriteConflictBlocks(t *testing.T) {
 	db := openTest(t, testOpts())
 	db.CreateRelation("r")
 	tx := db.Begin(nil)
-	tx.PutBlob("r", []byte("hot"), []byte("v1"))
+	putBlob(tx, "r", []byte("hot"), []byte("v1"))
 
 	started := make(chan struct{})
 	done := make(chan struct{})
 	go func() {
 		tx2 := db.Begin(nil)
 		close(started)
-		tx2.PutBlob("r", []byte("hot"), []byte("v2")) // blocks on the record lock
+		putBlob(tx2, "r", []byte("hot"), []byte("v2")) // blocks on the record lock
 		tx2.Commit()
 		close(done)
 	}()
@@ -347,7 +347,7 @@ func TestConcurrentDisjointWriters(t *testing.T) {
 			for i := 0; i < 20; i++ {
 				tx := db.Begin(nil)
 				key := []byte(fmt.Sprintf("w%d-k%d", w, i))
-				if err := tx.PutBlob("r", key, bytes.Repeat([]byte{byte(w)}, 8<<10)); err != nil {
+				if err := putBlob(tx, "r", key, bytes.Repeat([]byte{byte(w)}, 8<<10)); err != nil {
 					errCh <- err
 					return
 				}

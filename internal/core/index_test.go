@@ -19,7 +19,7 @@ func seedBlobs(t *testing.T, db *DB, rel string, n int, gen func(i int) []byte) 
 		key := fmt.Sprintf("k%04d", i)
 		content := gen(i)
 		tx := db.Begin(nil)
-		if err := tx.PutBlob(rel, []byte(key), content); err != nil {
+		if err := putBlob(tx, rel, []byte(key), content); err != nil {
 			t.Fatal(err)
 		}
 		mustCommit(t, tx)
@@ -66,7 +66,7 @@ func TestContentIndexOrdersByContent(t *testing.T) {
 	for i, c := range contents {
 		tx := db.Begin(nil)
 		// Pad so blobs span real extents.
-		tx.PutBlob("doc", []byte(fmt.Sprintf("key%d", i)), append([]byte(c), bytes.Repeat([]byte{'-'}, 9000)...))
+		putBlob(tx, "doc", []byte(fmt.Sprintf("key%d", i)), append([]byte(c), bytes.Repeat([]byte{'-'}, 9000)...))
 		mustCommit(t, tx)
 	}
 	idx, err := db.CreateContentIndex("doc")
@@ -93,7 +93,7 @@ func TestContentIndexRange(t *testing.T) {
 	for i := 0; i < 26; i++ {
 		tx := db.Begin(nil)
 		content := append([]byte{byte('a' + i)}, bytes.Repeat([]byte{'x'}, 5000)...)
-		tx.PutBlob("doc", []byte(fmt.Sprintf("k%c", 'a'+i)), content)
+		putBlob(tx, "doc", []byte(fmt.Sprintf("k%c", 'a'+i)), content)
 		mustCommit(t, tx)
 	}
 	idx, err := db.CreateContentIndex("doc")
@@ -122,7 +122,7 @@ func TestContentIndexMaintainedByWrites(t *testing.T) {
 	idx, _ := db.ContentIndexOf("doc")
 
 	tx := db.Begin(nil)
-	tx.PutBlob("doc", []byte("k1"), []byte("first content with enough bytes to matter"))
+	putBlob(tx, "doc", []byte("k1"), []byte("first content with enough bytes to matter"))
 	mustCommit(t, tx)
 	if idx.Stats().Entries != 1 {
 		t.Fatalf("entries after put = %d", idx.Stats().Entries)
@@ -130,7 +130,7 @@ func TestContentIndexMaintainedByWrites(t *testing.T) {
 
 	// Replace: old entry out, new entry in.
 	tx2 := db.Begin(nil)
-	tx2.PutBlob("doc", []byte("k1"), []byte("replacement content"))
+	putBlob(tx2, "doc", []byte("k1"), []byte("replacement content"))
 	mustCommit(t, tx2)
 	if idx.Stats().Entries != 1 {
 		t.Fatalf("entries after replace = %d", idx.Stats().Entries)
@@ -157,12 +157,12 @@ func TestContentIndexAbortRestores(t *testing.T) {
 	db := openTest(t, testOpts())
 	db.CreateRelation("doc")
 	tx := db.Begin(nil)
-	tx.PutBlob("doc", []byte("k"), []byte("committed content"))
+	putBlob(tx, "doc", []byte("k"), []byte("committed content"))
 	mustCommit(t, tx)
 	idx, _ := db.CreateContentIndex("doc")
 
 	tx2 := db.Begin(nil)
-	tx2.PutBlob("doc", []byte("k"), []byte("aborted content"))
+	putBlob(tx2, "doc", []byte("k"), []byte("aborted content"))
 	tx2.Abort()
 
 	got, _ := idx.LookupExact([]byte("committed content"))
@@ -189,7 +189,7 @@ func TestSemanticIndex(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		tx := db.Begin(nil)
 		content := append([]byte{byte(i)}, bytes.Repeat([]byte{0xEE}, 2000)...)
-		tx.PutBlob("image", []byte(fmt.Sprintf("img%02d", i)), content)
+		putBlob(tx, "image", []byte(fmt.Sprintf("img%02d", i)), content)
 		mustCommit(t, tx)
 		if i%2 == 0 {
 			cats++
@@ -205,7 +205,7 @@ func TestSemanticIndex(t *testing.T) {
 	}
 	// New writes maintain the index.
 	tx := db.Begin(nil)
-	tx.PutBlob("image", []byte("extra"), []byte{2, 2, 2}) // cat
+	putBlob(tx, "image", []byte("extra"), []byte{2, 2, 2}) // cat
 	mustCommit(t, tx)
 	if len(idx.Lookup([]byte("cat"))) != cats+1 {
 		t.Error("semantic index not maintained on insert")
@@ -237,7 +237,7 @@ func TestContentIndexDuplicateContent(t *testing.T) {
 	same := []byte("identical content bytes")
 	for _, k := range []string{"k1", "k2"} {
 		tx := db.Begin(nil)
-		tx.PutBlob("doc", []byte(k), same)
+		putBlob(tx, "doc", []byte(k), same)
 		mustCommit(t, tx)
 	}
 	got, _ := idx.LookupExact(same)

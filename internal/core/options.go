@@ -5,74 +5,71 @@ import (
 	"blobdb/internal/storage"
 )
 
-// Option configures New and RecoverDevice. Each option documents the knob
-// it sets; unset knobs take the defaults described on the Options fields.
-// The positional Options struct remains available (Open/Recover) as a
-// compatibility shim for one release.
-type Option func(*Options)
+// Option configures New and RecoverDevice — the only construction API.
+// Each option documents the knob it sets; unset knobs take the defaults
+// described on the options fields.
+type Option func(*options)
 
 // WithPoolPages sizes the buffer pool in pages (default: 1/4 of the
 // device).
-func WithPoolPages(n int) Option { return func(o *Options) { o.PoolPages = n } }
+func WithPoolPages(n int) Option { return func(o *options) { o.PoolPages = n } }
 
 // WithLogPages sizes the WAL region in pages (default: 1/16 of the
 // device).
-func WithLogPages(n uint64) Option { return func(o *Options) { o.LogPages = n } }
+func WithLogPages(n uint64) Option { return func(o *options) { o.LogPages = n } }
 
 // WithCkptPages sizes the checkpoint region in pages (default: 1/8 of the
 // device).
-func WithCkptPages(n uint64) Option { return func(o *Options) { o.CkptPages = n } }
+func WithCkptPages(n uint64) Option { return func(o *options) { o.CkptPages = n } }
 
 // WithHashTablePool selects the Our.ht baseline buffer manager (page-
 // granular hash table) instead of the vmcache-style pool.
-func WithHashTablePool(on bool) Option { return func(o *Options) { o.HashTablePool = on } }
+func WithHashTablePool(on bool) Option { return func(o *options) { o.HashTablePool = on } }
 
 // WithPhysicalBlobLog selects the Our.physlog baseline: blob content is
 // appended to the WAL in addition to the Blob State.
-func WithPhysicalBlobLog(on bool) Option { return func(o *Options) { o.PhysicalBlobLog = on } }
+func WithPhysicalBlobLog(on bool) Option { return func(o *options) { o.PhysicalBlobLog = on } }
 
 // WithTailExtents enables §III-A tail extents: minimal internal
 // fragmentation, slower growth.
-func WithTailExtents(on bool) Option { return func(o *Options) { o.UseTailExtents = on } }
+func WithTailExtents(on bool) Option { return func(o *options) { o.UseTailExtents = on } }
 
 // WithAliasPages sizes each worker-local aliasing area in pages (default
 // 1024 pages = 4 MB).
-func WithAliasPages(n int) Option { return func(o *Options) { o.WorkerLocalAliasPages = n } }
+func WithAliasPages(n int) Option { return func(o *options) { o.WorkerLocalAliasPages = n } }
 
 // WithWALBufferCap sizes per-transaction WAL buffers in bytes (default
 // 10 MB).
-func WithWALBufferCap(n int) Option { return func(o *Options) { o.WALBufferCap = n } }
+func WithWALBufferCap(n int) Option { return func(o *options) { o.WALBufferCap = n } }
 
 // WithCheckpointThreshold triggers a checkpoint after this many logged
 // bytes (default: half the log region).
-func WithCheckpointThreshold(n int64) Option { return func(o *Options) { o.CheckpointThreshold = n } }
+func WithCheckpointThreshold(n int64) Option { return func(o *options) { o.CheckpointThreshold = n } }
 
 // WithAsyncCommit enables the background commit pipeline (asynccommit.go):
 // WAL flush, extent flush, and lock release run on a committer goroutine
 // and Commit returns at enqueue. Callers needing a per-transaction
 // durability ack use Txn.CommitWait.
-func WithAsyncCommit(on bool) Option { return func(o *Options) { o.AsyncCommit = on } }
+func WithAsyncCommit(on bool) Option { return func(o *options) { o.AsyncCommit = on } }
 
 // New initializes a database over dev with functional options:
 //
 //	db, err := core.New(dev, core.WithPoolPages(1<<14), core.WithAsyncCommit(true))
-//
-// It replaces the positional core.Open(core.Options{...}) call.
 func New(dev storage.Device, opts ...Option) (*DB, error) {
-	o := Options{Dev: dev}
+	o := options{Dev: dev}
 	for _, f := range opts {
 		f(&o)
 	}
-	return Open(o)
+	return open(o)
 }
 
 // RecoverDevice rebuilds the database from dev after a crash, with the
 // same functional options as New. m may be nil; benchmarks pass a meter
 // to account recovery I/O.
 func RecoverDevice(dev storage.Device, m *simtime.Meter, opts ...Option) (*DB, *RecoveryReport, error) {
-	o := Options{Dev: dev}
+	o := options{Dev: dev}
 	for _, f := range opts {
 		f(&o)
 	}
-	return Recover(o, m)
+	return recoverDB(o, m)
 }

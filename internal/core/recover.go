@@ -18,20 +18,24 @@ import (
 // checkpoint image format (page-aligned in the checkpoint region):
 //
 //	magic u64 | totalLen u64 | crc32 u32 | pad to 24 | body
-//	body: hwm u64 | relCount u32 |
+//	body: hwm u64 | ckptLSN u64 | relCount u32 |
 //	      per relation: nameLen u16 name entryCount u64
 //	                    entries: klen u32 k vlen u32 v
-const ckptMagic = 0x424c4f42_434b5054 // "BLOBCKPT"
+//
+// ckptLSN is the highest WAL LSN assigned before the image was taken:
+// recovery replays only records above it, and the segmented WAL truncates
+// every segment at or below it once the image is durable.
+const ckptMagic = 0x424c4f42_434b5032 // "BLOBCKP2" (v2: LSN-based truncation)
 
 const ckptHeaderLen = 24
 
 // The checkpoint region holds two slots written alternately. A checkpoint
 // image is the only redo base for everything the truncated WAL no longer
 // covers, so it must never be overwritten in place: a crash mid-write
-// would tear the image AND leave the WAL epoch-filtered to nothing,
-// losing every committed blob. (Found by crashsim; see the pinned
-// regression schedule in internal/crashsim.) Recovery reads both slots
-// and trusts the valid image with the higher epoch.
+// would tear the image AND leave the WAL truncated past it, losing every
+// committed blob. (Found by crashsim; see the pinned regression schedule
+// in internal/crashsim.) Recovery reads both slots and trusts the valid
+// image with the higher checkpoint LSN.
 const ckptSlots = 2
 
 // ckptSlotGeom returns the device range of one checkpoint slot.
@@ -46,7 +50,7 @@ func newContentHasher() *sha256x.Fast { return sha256x.BestHasher() }
 // mark to the next checkpoint slot. Installed as the WAL's OnCheckpoint
 // hook, so it runs with the WAL manager's lock held — which also
 // serializes access to db.ckptNext.
-func (db *DB) writeCheckpoint(m *simtime.Meter, epoch uint32) error {
+func (db *DB) writeCheckpoint(m *simtime.Meter, ckptLSN uint64) error {
 	body := make([]byte, 0, 1<<16)
 	var u8 [8]byte
 	var u4 [4]byte
@@ -54,8 +58,8 @@ func (db *DB) writeCheckpoint(m *simtime.Meter, epoch uint32) error {
 
 	binary.LittleEndian.PutUint64(u8[:], uint64(db.alloc.HWM()))
 	body = append(body, u8[:]...)
-	binary.LittleEndian.PutUint32(u4[:], epoch)
-	body = append(body, u4[:]...)
+	binary.LittleEndian.PutUint64(u8[:], ckptLSN)
+	body = append(body, u8[:]...)
 
 	db.mu.RLock()
 	names := make([]string, 0, len(db.rels))
@@ -120,28 +124,28 @@ func (db *DB) writeCheckpoint(m *simtime.Meter, epoch uint32) error {
 // ok=false when neither slot holds a valid checkpoint. It also points
 // db.ckptNext at the losing slot so the surviving image is never
 // overwritten by the next checkpoint.
-func (db *DB) readCheckpoint(m *simtime.Meter) (rels map[string]*btree.Tree, hwm storage.PID, epoch uint32, ok bool, err error) {
+func (db *DB) readCheckpoint(m *simtime.Meter) (rels map[string]*btree.Tree, hwm storage.PID, ckptLSN uint64, ok bool, err error) {
 	best := -1
 	for slot := 0; slot < ckptSlots; slot++ {
-		r, h, e, sok, serr := db.readCheckpointSlot(m, slot)
+		r, h, l, sok, serr := db.readCheckpointSlot(m, slot)
 		if serr != nil {
 			return nil, 0, 0, false, serr
 		}
-		// Epochs only grow, so the higher one is the newer image.
-		if sok && (!ok || e > epoch) {
-			rels, hwm, epoch, ok = r, h, e, true
+		// Checkpoint LSNs only grow, so the higher one is the newer image.
+		if sok && (!ok || l > ckptLSN) {
+			rels, hwm, ckptLSN, ok = r, h, l, true
 			best = slot
 		}
 	}
 	if ok {
 		db.ckptNext = (best + 1) % ckptSlots
 	}
-	return rels, hwm, epoch, ok, nil
+	return rels, hwm, ckptLSN, ok, nil
 }
 
 // readCheckpointSlot parses one checkpoint slot. ok=false (with nil err)
 // means the slot is empty or torn — both are normal after a crash.
-func (db *DB) readCheckpointSlot(m *simtime.Meter, slot int) (rels map[string]*btree.Tree, hwm storage.PID, epoch uint32, ok bool, err error) {
+func (db *DB) readCheckpointSlot(m *simtime.Meter, slot int) (rels map[string]*btree.Tree, hwm storage.PID, ckptLSN uint64, ok bool, err error) {
 	slotStart, slotPages := db.ckptSlotGeom(slot)
 	pageSize := db.dev.PageSize()
 	head := make([]byte, pageSize)
@@ -182,10 +186,10 @@ func (db *DB) readCheckpointSlot(m *simtime.Meter, slot int) (rels map[string]*b
 		return nil, 0, 0, false, err
 	}
 	hwm = storage.PID(binary.LittleEndian.Uint64(b))
-	if b, err = rd(4); err != nil {
+	if b, err = rd(8); err != nil {
 		return nil, 0, 0, false, err
 	}
-	epoch = binary.LittleEndian.Uint32(b)
+	ckptLSN = binary.LittleEndian.Uint64(b)
 	b, err = rd(4)
 	if err != nil {
 		return nil, 0, 0, false, err
@@ -227,7 +231,7 @@ func (db *DB) readCheckpointSlot(m *simtime.Meter, slot int) (rels map[string]*b
 		}
 		rels[name] = tree
 	}
-	return rels, hwm, epoch, true, nil
+	return rels, hwm, ckptLSN, true, nil
 }
 
 // RecoveryReport summarizes what Recover did.
@@ -242,42 +246,46 @@ type RecoveryReport struct {
 	FromCheckpoint bool
 }
 
-// Recover rebuilds the database state from the device after a crash: the
-// checkpoint image is the redo base, committed WAL records are reapplied,
-// and — the paper's Analysis-phase rule (§III-C) — every Blob State is
-// validated against its SHA-256; transactions whose blob content did not
-// make it to the device before the crash are treated as failed and undone.
-func Recover(o Options, m *simtime.Meter) (*DB, *RecoveryReport, error) {
-	db, err := Open(o)
+// recoverDB rebuilds the database state from the device after a crash: the
+// checkpoint image is the redo base, committed WAL records above the
+// checkpoint LSN are reapplied, and — the paper's Analysis-phase rule
+// (§III-C) — every Blob State is validated against its SHA-256;
+// transactions whose blob content did not make it to the device before the
+// crash are treated as failed and undone. It backs RecoverDevice.
+//
+// The LSN filter is sound because a record's tree effect is applied (and
+// therefore captured by any later checkpoint image) strictly before its
+// LSN is assigned: a record at or below the checkpoint LSN is always
+// covered by the image.
+func recoverDB(o options, m *simtime.Meter) (*DB, *RecoveryReport, error) {
+	db, err := open(o)
 	if err != nil {
 		return nil, nil, err
 	}
 	rep := &RecoveryReport{}
 
-	base, hwm, epoch, ok, err := db.readCheckpoint(m)
+	base, hwm, ckptLSN, ok, err := db.readCheckpoint(m)
 	if err != nil {
 		return nil, nil, err
 	}
 	rep.FromCheckpoint = ok
 	if ok {
-		db.wal.SetEpoch(epoch)
 		for name, tree := range base {
 			r := &Relation{name: name, tree: tree, semanticIdx: map[string]*SemanticIndex{}}
 			db.rels[name] = r
 		}
 	}
 
-	// Analysis: find committed transactions.
+	// Analysis: scan the segmented log above the checkpoint LSN and find
+	// committed transactions. The scan also resumes the manager's LSN and
+	// segment-id counters past everything on the device.
 	committed := map[uint64]bool{}
 	var records []wal.Record
-	err = db.wal.Scan(m, func(r wal.Record) bool {
+	_, err = db.wal.Recover(m, ckptLSN, func(r wal.Record) bool {
 		if r.Type == wal.RecCommit {
 			committed[r.TxnID] = true
 		}
-		records = append(records, wal.Record{
-			LSN: r.LSN, TxnID: r.TxnID, Type: r.Type,
-			Payload: append([]byte(nil), r.Payload...),
-		})
+		records = append(records, r)
 		return true
 	})
 	if err != nil {
@@ -417,8 +425,7 @@ func Recover(o Options, m *simtime.Meter) (*DB, *RecoveryReport, error) {
 		return nil, nil, fmt.Errorf("core: rebuild allocator: %w", err)
 	}
 	// Finish with a checkpoint: the recovered state becomes the new redo
-	// base and the replayed log is truncated (stale flushes are left behind
-	// under an old epoch).
+	// base and every replayed segment is truncated and erased.
 	if err := db.wal.Checkpoint(m); err != nil {
 		return nil, nil, fmt.Errorf("core: post-recovery checkpoint: %w", err)
 	}

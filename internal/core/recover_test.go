@@ -14,9 +14,9 @@ import (
 // crashEnv builds a DB, runs setup, then "crashes" by recovering a fresh DB
 // over the same device (the old DB object is simply abandoned, like a dead
 // process: unflushed WAL buffers and the buffer pool vanish).
-func crashAndRecover(t *testing.T, o Options) (*DB, *RecoveryReport) {
+func crashAndRecover(t *testing.T, o options) (*DB, *RecoveryReport) {
 	t.Helper()
-	db, rep, err := Recover(o, nil)
+	db, rep, err := recoverDB(o, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestRecoverCommittedBlobSurvives(t *testing.T) {
 	db.CreateRelation("image")
 	content := bytes.Repeat([]byte{0xAB}, 150<<10)
 	tx := db.Begin(nil)
-	tx.PutBlob("image", []byte("k"), content)
+	putBlob(tx, "image", []byte("k"), content)
 	mustCommit(t, tx)
 	// Crash. The committed blob's state is in the WAL and its extents were
 	// flushed at commit.
@@ -64,7 +64,7 @@ func TestRecoverUncommittedTxnVanishes(t *testing.T) {
 	db := openTest(t, o)
 	db.CreateRelation("r")
 	tx := db.Begin(nil)
-	tx.PutBlob("r", []byte("ghost"), []byte("never committed"))
+	putBlob(tx, "r", []byte("ghost"), []byte("never committed"))
 	// Crash before Commit: WAL buffer never flushed.
 	db2, rep := crashAndRecover(t, o)
 	if rep.CommittedTxns != 0 {
@@ -92,7 +92,7 @@ func TestRecoverBlobStateDurableButExtentsLost(t *testing.T) {
 
 	content := bytes.Repeat([]byte{0x5C}, 80<<10)
 	tx := db.Begin(nil)
-	if err := tx.PutBlob("r", []byte("torn"), content); err != nil {
+	if err := putBlob(tx, "r", []byte("torn"), content); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate the crash between WAL fsync and extent flush: make the WAL
@@ -122,11 +122,11 @@ func TestRecoverMixedCommittedAndTorn(t *testing.T) {
 	db.CreateRelation("r")
 	good := bytes.Repeat([]byte{1}, 60<<10)
 	tx := db.Begin(nil)
-	tx.PutBlob("r", []byte("good"), good)
+	putBlob(tx, "r", []byte("good"), good)
 	mustCommit(t, tx)
 
 	tx2 := db.Begin(nil)
-	tx2.PutBlob("r", []byte("torn"), bytes.Repeat([]byte{2}, 60<<10))
+	putBlob(tx2, "r", []byte("torn"), bytes.Repeat([]byte{2}, 60<<10))
 	if err := CrashBeforeExtentFlush(tx2); err != nil {
 		t.Fatal(err)
 	}
@@ -153,14 +153,14 @@ func TestRecoverAfterCheckpoint(t *testing.T) {
 	db.CreateRelation("r")
 	pre := bytes.Repeat([]byte{3}, 40<<10)
 	tx := db.Begin(nil)
-	tx.PutBlob("r", []byte("pre-ckpt"), pre)
+	putBlob(tx, "r", []byte("pre-ckpt"), pre)
 	mustCommit(t, tx)
 	if err := db.WAL().Checkpoint(nil); err != nil {
 		t.Fatal(err)
 	}
 	post := bytes.Repeat([]byte{4}, 40<<10)
 	tx2 := db.Begin(nil)
-	tx2.PutBlob("r", []byte("post-ckpt"), post)
+	putBlob(tx2, "r", []byte("post-ckpt"), post)
 	mustCommit(t, tx2)
 
 	db2, rep := crashAndRecover(t, o)
@@ -182,7 +182,7 @@ func TestRecoverDeleteSurvives(t *testing.T) {
 	db := openTest(t, o)
 	db.CreateRelation("r")
 	tx := db.Begin(nil)
-	tx.PutBlob("r", []byte("k"), []byte("to be deleted"))
+	putBlob(tx, "r", []byte("k"), []byte("to be deleted"))
 	mustCommit(t, tx)
 	tx2 := db.Begin(nil)
 	tx2.DeleteBlob("r", []byte("k"))
@@ -203,7 +203,7 @@ func TestRecoverIdempotent(t *testing.T) {
 	db.CreateRelation("r")
 	for i := 0; i < 5; i++ {
 		tx := db.Begin(nil)
-		tx.PutBlob("r", []byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte{byte(i)}, 10<<10))
+		putBlob(tx, "r", []byte(fmt.Sprintf("k%d", i)), bytes.Repeat([]byte{byte(i)}, 10<<10))
 		mustCommit(t, tx)
 	}
 	db2, rep1 := crashAndRecover(t, o)
@@ -239,7 +239,7 @@ func TestRecoverManyRandomCrashPoints(t *testing.T) {
 			content := make([]byte, 1+rng.Intn(50<<10))
 			rng.Read(content)
 			tx := db.Begin(nil)
-			if err := tx.PutBlob("r", []byte(key), content); err != nil {
+			if err := putBlob(tx, "r", []byte(key), content); err != nil {
 				t.Fatal(err)
 			}
 			switch rng.Intn(3) {

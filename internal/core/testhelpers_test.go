@@ -1,0 +1,41 @@
+package core
+
+// Writer-based stand-ins for the removed Txn.PutBlob/Txn.GrowBlob shims.
+// They use the non-streaming writer mode (nothing touches the device until
+// Commit, the original §III-C ordering) so the commit-protocol and
+// recovery tests keep exercising the exact staging behavior the one-shot
+// API had.
+
+// putBlob stores content as the BLOB column of key in one call.
+func putBlob(t *Txn, relName string, key, content []byte) error {
+	w, err := t.newBlobWriter(t.ctx, relName, key, nil, false)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(content); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close()
+}
+
+// growBlob appends extra to the BLOB at key in one call.
+func growBlob(t *Txn, relName string, key, extra []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.lock(relName, key)
+	st, err := t.BlobState(relName, key)
+	if err != nil {
+		return err
+	}
+	w, err := t.newBlobWriter(t.ctx, relName, key, st, false)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(extra); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close()
+}

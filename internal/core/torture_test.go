@@ -140,7 +140,7 @@ func TestTortureAgainstReference(t *testing.T) {
 			content := randContent()
 			note("step %d put %s %dB", step, key, len(content))
 			tx := db.Begin(nil)
-			if err := tx.PutBlob("r", []byte(key), content); err != nil {
+			if err := putBlob(tx, "r", []byte(key), content); err != nil {
 				t.Fatalf("step %d: put: %v", step, err)
 			}
 			if rng.Intn(5) == 0 {
@@ -179,7 +179,7 @@ func TestTortureAgainstReference(t *testing.T) {
 				// shared device; the partially flushed extents stay on disk
 				// with no commit record, so recovery discards them.
 				w.Abort()
-				db2, _, err := Recover(o, nil)
+				db2, _, err := recoverDB(o, nil)
 				if err != nil {
 					t.Fatalf("step %d: recover mid-stream: %v", step, err)
 				}
@@ -235,7 +235,7 @@ func TestTortureAgainstReference(t *testing.T) {
 			extra := randContent()
 			note("step %d grow %s +%dB", step, key, len(extra))
 			tx := db.Begin(nil)
-			if err := tx.GrowBlob("r", []byte(key), extra); err != nil {
+			if err := growBlob(tx, "r", []byte(key), extra); err != nil {
 				t.Fatalf("step %d: grow: %v", step, err)
 			}
 			if rng.Intn(5) == 0 {
@@ -290,7 +290,7 @@ func TestTortureAgainstReference(t *testing.T) {
 				// validation fails the txn and the pre-image survives.
 				note("step %d torn-put %s", step, key)
 				tx := db.Begin(nil)
-				if err := tx.PutBlob("r", []byte(key), randContent()); err != nil {
+				if err := putBlob(tx, "r", []byte(key), randContent()); err != nil {
 					t.Fatal(err)
 				}
 				if err := CrashBeforeExtentFlush(tx); err != nil {
@@ -320,7 +320,7 @@ func TestTortureAgainstReference(t *testing.T) {
 				model.Commit(key, content)
 			}
 			// Crash NOW: the torn state is in the WAL; recover.
-			db2, _, err := Recover(o, nil)
+			db2, _, err := recoverDB(o, nil)
 			if err != nil {
 				t.Fatalf("step %d: recover after torn txn: %v", step, err)
 			}
@@ -333,7 +333,7 @@ func TestTortureAgainstReference(t *testing.T) {
 			}
 		case op < 95: // clean crash + recovery
 			note("step %d recover", step)
-			db2, _, err := Recover(o, nil)
+			db2, _, err := recoverDB(o, nil)
 			if err != nil {
 				t.Fatalf("step %d: recover: %v", step, err)
 			}
@@ -353,7 +353,7 @@ func TestTortureAgainstReference(t *testing.T) {
 	verify(steps)
 	// Final sanity: allocator live pages match the reference exactly after
 	// one more recovery (no leaks across the whole history).
-	db2, _, err := Recover(o, nil)
+	db2, _, err := recoverDB(o, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -147,7 +147,7 @@ func (t *Txn) applyTree(r *Relation, key, taggedValue []byte) {
 func (t *Txn) stageWrite(r *Relation, key, taggedValue []byte, recType wal.RecType) error {
 	t.applyTree(r, key, taggedValue)
 	payload := heapPutPayload(r.name, key, taggedValue)
-	if _, err := t.writer.Append(t.meter, t.id, recType, payload); err != nil {
+	if _, err := t.writer.AppendLSN(t.meter, t.id, recType, payload); err != nil {
 		return err
 	}
 	return nil
@@ -309,24 +309,6 @@ func (t *Txn) AppendBlob(ctx context.Context, relName string, key []byte) (*blob
 	return t.newBlobWriter(ctx, relName, key, st, true)
 }
 
-// PutBlob stores content as a BLOB column in one call.
-//
-// Deprecated: PutBlob materializes the whole blob in memory; use
-// CreateBlob and stream instead. Kept as a thin wrapper (non-streaming
-// mode: nothing touches the device until Commit, the original §III-C
-// ordering) for one release.
-func (t *Txn) PutBlob(relName string, key, content []byte) error {
-	w, err := t.newBlobWriter(t.ctx, relName, key, nil, false)
-	if err != nil {
-		return err
-	}
-	if _, err := w.Write(content); err != nil {
-		w.Abort()
-		return err
-	}
-	return w.Close()
-}
-
 // freeOldBlob schedules the previous BLOB of key (if any) for commit-time
 // freeing and removes it from indexes.
 func (t *Txn) freeOldBlob(r *Relation, key []byte) error {
@@ -421,31 +403,6 @@ func (t *Txn) DeleteBlob(relName string, key []byte) error {
 	return t.stageWrite(r, key, nil, wal.RecHeapDelete)
 }
 
-// GrowBlob appends extra to the BLOB at key (§III-D) in one call.
-//
-// Deprecated: GrowBlob materializes the appended bytes in memory; use
-// AppendBlob and stream instead. Kept as a thin wrapper (non-streaming
-// mode) for one release.
-func (t *Txn) GrowBlob(relName string, key, extra []byte) error {
-	if err := t.check(); err != nil {
-		return err
-	}
-	t.lock(relName, key)
-	st, err := t.BlobState(relName, key)
-	if err != nil {
-		return err
-	}
-	w, err := t.newBlobWriter(t.ctx, relName, key, st, false)
-	if err != nil {
-		return err
-	}
-	if _, err := w.Write(extra); err != nil {
-		w.Abort()
-		return err
-	}
-	return w.Close()
-}
-
 // UpdateBlob overwrites [off, off+len(data)) of the BLOB at key, choosing
 // the delta or clone scheme (§III-D).
 func (t *Txn) UpdateBlob(relName string, key []byte, off uint64, data []byte, scheme blob.UpdateScheme) error {
@@ -469,7 +426,7 @@ func (t *Txn) UpdateBlob(relName string, key []byte, off uint64, data []byte, sc
 	t.pendings = append(t.pendings, res.Pending)
 	t.frees = append(t.frees, res.Frees...)
 	if res.Delta != nil {
-		if _, err := t.writer.Append(t.meter, t.id, wal.RecBlobDelta, res.Delta); err != nil {
+		if _, err := t.writer.AppendLSN(t.meter, t.id, wal.RecBlobDelta, res.Delta); err != nil {
 			return err
 		}
 		t.wrote = true

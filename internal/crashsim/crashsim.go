@@ -120,6 +120,11 @@ type runner struct {
 	db      *core.DB
 	model   *refmodel.Model
 	crashed bool
+
+	// afterBatch, when set, runs after every fully synced commit batch
+	// (keys already promoted in the model). The failover harness hooks it
+	// to log acknowledged batches and drive replica pulls.
+	afterBatch func(keys []string) error
 }
 
 // RunSchedule executes one schedule end to end: drive the trace until the
@@ -383,6 +388,9 @@ func (r *runner) commitBatch(txns []*core.Txn, keys []string) error {
 	}
 	for _, k := range keys {
 		r.model.Promote(k)
+	}
+	if r.afterBatch != nil {
+		return r.afterBatch(keys)
 	}
 	return nil
 }

@@ -1,0 +1,73 @@
+package crashsim
+
+import (
+	"flag"
+	"testing"
+
+	"blobdb/internal/storage"
+)
+
+// flagPullEvery completes the failover replay flag set (plus
+// -trace-seed/-crashpoint/-tear from crashsim_test.go): every
+// FailoverFailure prints a one-line invocation using these.
+var flagPullEvery = flag.Int("pull-every", 1, "replay: replica pull cadence in commit batches")
+
+// TestFailoverSchedulesShort samples the failover schedule space: a
+// replica tails a fault-armed primary, the primary crashes at sampled
+// points under both tear modes, the replica is promoted, and every
+// promoted image must hold — byte-identical — every acknowledged commit
+// at or below the client-observed replicated LSN horizon. It also
+// asserts the sweep exercised both sides of the contract: batches
+// exactly verified below the horizon, and schedules where the crash cut
+// off an unreplicated tail.
+func TestFailoverSchedulesShort(t *testing.T) {
+	cfg := DefaultFailoverConfig(*flagSeed)
+	if testing.Short() {
+		cfg.Traces = 2
+		cfg.Points = 5
+	}
+	cfg.Logf = t.Logf
+	stats, failures := FailoverExplore(cfg)
+	t.Logf("explored %d failover schedules across %d traces (seed %d): %d batches verified at/below horizon, %d schedules with a stale tail",
+		stats.Schedules, stats.Traces, *flagSeed, stats.Replicated, stats.StaleTail)
+	for _, f := range failures {
+		t.Errorf("failover schedule failed:\n%v", f)
+	}
+	if stats.Failures > len(failures) {
+		t.Errorf("...and %d more failures (replay individually)", stats.Failures-len(failures))
+	}
+	min := 40
+	if testing.Short() {
+		min = 15
+	}
+	if stats.Schedules < min {
+		t.Errorf("explored only %d schedules, want >= %d", stats.Schedules, min)
+	}
+	if stats.Replicated == 0 {
+		t.Error("no batch was ever verified at or below the horizon — replication was never exercised")
+	}
+	if stats.StaleTail == 0 {
+		t.Error("no schedule lost an unreplicated tail — the crash never outran the replica, so the horizon bound was never tested")
+	}
+}
+
+// TestReplayFailoverSchedule re-runs one failover schedule identified by
+// the flags every FailoverFailure prints. Skipped unless
+// -trace-seed/-crashpoint are set, mirroring TestReplaySchedule.
+func TestReplayFailoverSchedule(t *testing.T) {
+	if *flagCrashOp == -2 && *flagTraceSeed == 0 {
+		t.Skip("pass -trace-seed and -crashpoint (plus -pull-every) to replay a failover schedule")
+	}
+	mode, err := storage.ParseTearMode(*flagTear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultFailoverConfig(*flagSeed)
+	s := FailoverSchedule{TraceSeed: *flagTraceSeed, CrashOp: *flagCrashOp, Mode: mode, PullEvery: *flagPullEvery}
+	res, err := cfg.RunFailoverSchedule(s, nil)
+	if err != nil {
+		t.Fatalf("schedule %v failed: %v", s, err)
+	}
+	t.Logf("schedule %v passed (ops %d, horizon %d, %d/%d batches replicated, %d resyncs)",
+		s, res.Ops, res.Horizon, res.Replicated, res.Acked, res.Resyncs)
+}

@@ -59,7 +59,7 @@ func TestConcurrentReaders(t *testing.T) {
 		defer wg.Done()
 		for v := 1; v < len(versions)*8; v++ {
 			tx := db.Begin(nil)
-			if err := tx.PutBlob("r", []byte("f"), versions[v%len(versions)]); err != nil {
+			if err := putBlob(tx, "r", []byte("f"), versions[v%len(versions)]); err != nil {
 				errCh <- err
 				return
 			}

@@ -17,7 +17,7 @@ import (
 func newDB(t testing.TB) *core.DB {
 	t.Helper()
 	dev := storage.NewMemDevice(storage.DefaultPageSize, 1<<14, nil)
-	db, err := core.Open(core.Options{Dev: dev, PoolPages: 1 << 12, LogPages: 1 << 10, CkptPages: 1 << 10})
+	db, err := core.New(dev, core.WithPoolPages(1<<12), core.WithLogPages(1<<10), core.WithCkptPages(1<<10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func seed(t testing.TB, db *core.DB, rel string, files map[string][]byte) {
 	}
 	for name, content := range files {
 		tx := db.Begin(nil)
-		if err := tx.PutBlob(rel, []byte(name), content); err != nil {
+		if err := putBlob(tx, rel, []byte(name), content); err != nil {
 			t.Fatal(err)
 		}
 		if err := tx.Commit(); err != nil {
@@ -290,7 +290,7 @@ func TestConsistentReadsWithinHandle(t *testing.T) {
 
 	// Replace the blob mid-handle.
 	tx := db.Begin(nil)
-	if err := tx.PutBlob("r", []byte("f"), bytes.Repeat([]byte{2}, 20_000)); err != nil {
+	if err := putBlob(tx, "r", []byte("f"), bytes.Repeat([]byte{2}, 20_000)); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx.Commit(); err != nil {

@@ -1,0 +1,18 @@
+package fusefs
+
+import "blobdb/internal/core"
+
+// putBlob stores content as the BLOB column of key through the streaming
+// writer — the only blob write path since the one-shot Txn.PutBlob shim
+// was removed.
+func putBlob(tx *core.Txn, relName string, key, content []byte) error {
+	w, err := tx.CreateBlob(nil, relName, key)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(content); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close()
+}

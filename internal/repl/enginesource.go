@@ -1,0 +1,85 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"sort"
+
+	"blobdb/internal/blob"
+	"blobdb/internal/core"
+)
+
+// EngineSource serves the replication protocol straight off an in-process
+// primary engine — the transport the crash simulator's failover schedules
+// and the unit tests use, and the reference semantics the HTTP transport
+// mirrors.
+type EngineSource struct {
+	db *core.DB
+}
+
+// NewEngineSource wraps a primary engine.
+func NewEngineSource(db *core.DB) *EngineSource { return &EngineSource{db: db} }
+
+// Pull returns the durable records above after from the primary's live
+// segments.
+func (s *EngineSource) Pull(_ context.Context, after uint64) (Pull, error) {
+	recs, durable, resync, err := s.db.WAL().ReadFrom(nil, after)
+	if err != nil {
+		return Pull{}, err
+	}
+	return Pull{Records: recs, Durable: durable, Resync: resync}, nil
+}
+
+// FetchBlob returns the primary's current committed content for the key.
+func (s *EngineSource) FetchBlob(ctx context.Context, rel string, key []byte) (string, io.ReadCloser, error) {
+	tx := s.db.BeginCtx(ctx, nil)
+	defer tx.Commit() // read-only
+	st, err := tx.BlobState(rel, key)
+	if err != nil {
+		if errors.Is(err, core.ErrNotFound) || errors.Is(err, core.ErrNotBlob) || errors.Is(err, core.ErrRelationNotFound) {
+			return "", nil, core.ErrBlobVanished
+		}
+		return "", nil, err
+	}
+	content, err := tx.ReadBlobBytes(rel, key)
+	if err != nil {
+		return "", nil, err
+	}
+	return st.ETag(), io.NopCloser(bytes.NewReader(content)), nil
+}
+
+// Snapshot captures a full logical image. The commit pipeline is held
+// while the image is taken so the snapshot LSN (the durable horizon at
+// capture) covers every commit the scan can observe; in synchronous-commit
+// configurations the caller must quiesce writers instead.
+func (s *EngineSource) Snapshot(_ context.Context) (*Snapshot, error) {
+	s.db.HoldCommits()
+	defer s.db.ReleaseCommits()
+
+	snap := &Snapshot{LSN: s.db.WAL().DurableLSN()}
+	rels := s.db.Relations()
+	sort.Strings(rels)
+	snap.Rels = rels
+	tx := s.db.Begin(nil)
+	defer tx.Commit() // read-only
+	for _, rel := range rels {
+		err := tx.Scan(rel, nil, func(key, inline []byte, st *blob.State) bool {
+			e := Entry{Rel: rel, Key: append([]byte(nil), key...)}
+			if st != nil {
+				e.Blob = true
+				e.ETag = st.ETag()
+				e.Size = st.Size
+			} else {
+				e.Inline = append([]byte(nil), inline...)
+			}
+			snap.Entries = append(snap.Entries, e)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return snap, nil
+}

@@ -62,6 +62,8 @@ type Shard struct {
 	routed atomic.Int64 // single-key ops routed here
 	shed   atomic.Int64 // ErrShardBusy/ErrShardDown rejections
 	waitNs atomic.Int64 // cumulative admitted queue wait
+
+	replicas replicaSet // attached read replicas (see replica.go)
 }
 
 // ID returns the shard id (its index in the cluster).

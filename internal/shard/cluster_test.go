@@ -16,13 +16,12 @@ import (
 // deployment runs.
 func newEngine(t *testing.T) *core.DB {
 	t.Helper()
-	db, err := core.Open(core.Options{
-		Dev:         storage.NewMemDevice(storage.DefaultPageSize, 1<<14, nil),
-		PoolPages:   1 << 12,
-		LogPages:    1 << 11,
-		CkptPages:   1 << 12,
-		AsyncCommit: true,
-	})
+	db, err := core.New(storage.NewMemDevice(storage.DefaultPageSize, 1<<14, nil),
+		core.WithPoolPages(1<<12),
+		core.WithLogPages(1<<11),
+		core.WithCkptPages(1<<12),
+		core.WithAsyncCommit(true),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,82 @@
+package shard
+
+// Per-shard replica sets. Each shard of a sharded deployment can have
+// its own log-shipping read replicas (repl.Replica tailing that shard's
+// WAL stream — replication is per shard, one stream per engine). The
+// cluster tracks them so a fenced shard can fail over: PromoteReplica
+// picks the most caught-up replica, promotes it, and puts its engine
+// back behind the shard id in place of the crashed one.
+
+import (
+	"fmt"
+	"sync"
+
+	"blobdb/internal/core"
+	"blobdb/internal/repl"
+)
+
+// replicaSet is a Shard's attached replicas, guarded independently of
+// the cluster topology lock (attachment never blocks routing).
+type replicaSet struct {
+	mu   sync.Mutex
+	reps []*repl.Replica
+}
+
+// AttachReplica registers rep as a read replica of shard id. The caller
+// owns the replica's sync loop (repl.Replica.Run or explicit Sync
+// calls); the cluster only tracks membership for failover.
+func (c *Cluster) AttachReplica(id int, rep *repl.Replica) error {
+	s := c.Shard(id)
+	if s == nil {
+		return fmt.Errorf("shard: no shard %d", id)
+	}
+	s.replicas.mu.Lock()
+	defer s.replicas.mu.Unlock()
+	s.replicas.reps = append(s.replicas.reps, rep)
+	return nil
+}
+
+// Replicas returns a snapshot of shard id's attached replicas.
+func (c *Cluster) Replicas(id int) []*repl.Replica {
+	s := c.Shard(id)
+	if s == nil {
+		return nil
+	}
+	s.replicas.mu.Lock()
+	defer s.replicas.mu.Unlock()
+	return append([]*repl.Replica(nil), s.replicas.reps...)
+}
+
+// PromoteReplica fails shard id over to its most caught-up replica: the
+// shard is fenced, the replica with the highest applied LSN is promoted
+// (ending its sync loop), and its engine is revived behind the shard id
+// so the keyspace slice resumes serving. The promoted replica leaves
+// the replica set; any remaining replicas stay attached but must be
+// re-pointed at the new primary by the caller (their old stream died
+// with the old engine). Returns the promoted engine.
+func (c *Cluster) PromoteReplica(id int) (*core.DB, error) {
+	s := c.Shard(id)
+	if s == nil {
+		return nil, fmt.Errorf("shard: no shard %d", id)
+	}
+	s.replicas.mu.Lock()
+	defer s.replicas.mu.Unlock()
+	best := -1
+	for i, rep := range s.replicas.reps {
+		if rep.Promoted() {
+			continue
+		}
+		if best < 0 || rep.AppliedLSN() > s.replicas.reps[best].AppliedLSN() {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("shard: shard %d has no promotable replica", id)
+	}
+	c.MarkDown(id)
+	rep := s.replicas.reps[best]
+	db := rep.Promote()
+	s.replicas.reps = append(s.replicas.reps[:best], s.replicas.reps[best+1:]...)
+	c.Revive(id, db)
+	return db, nil
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"blobdb/internal/simtime"
 	"blobdb/internal/storage"
 )
 
@@ -22,7 +23,7 @@ func TestScanRoundtripQuick(t *testing.T) {
 			if len(p) > 2048 {
 				p = p[:2048]
 			}
-			if _, err := l.Append(nil, uint64(i), RecHeapPut, p); err != nil {
+			if _, err := l.AppendLSN(nil, uint64(i), RecHeapPut, p); err != nil {
 				return false
 			}
 			want = append(want, append([]byte(nil), p...))
@@ -52,45 +53,147 @@ func TestScanRoundtripQuick(t *testing.T) {
 
 // TestScanAfterReopenSeesOnlyCurrentEpoch: records from before a checkpoint
 // must never reappear, even though their bytes remain in the log region.
-func TestScanAfterReopenSeesOnlyCurrentEpoch(t *testing.T) {
+func TestRecoverAfterCheckpointSkipsTruncated(t *testing.T) {
 	dev := storage.NewMemDevice(ps, 256, nil)
 	w := NewManager(dev, 0, 256)
 	l := w.NewWriter()
-	// Epoch 0: three large records filling several pages.
+	// Pre-checkpoint: three large records filling several pages.
 	for i := 0; i < 3; i++ {
-		l.Append(nil, 1, RecHeapPut, bytes.Repeat([]byte{0xAA}, 3000))
+		l.AppendLSN(nil, 1, RecHeapPut, bytes.Repeat([]byte{0xAA}, 3000))
 	}
 	l.Flush(nil)
 	if err := w.Checkpoint(nil); err != nil {
 		t.Fatal(err)
 	}
-	// Epoch 1: one small record; the old epoch-0 pages beyond it still
-	// hold valid-looking flush blocks.
-	l.Append(nil, 2, RecHeapPut, []byte("fresh"))
+	ckptLSN := w.LastLSN()
+	// Post-checkpoint: one small record. The old segments' bytes beyond
+	// the erased headers still look like valid flush blocks.
+	l.AppendLSN(nil, 2, RecHeapPut, []byte("fresh"))
 	l.Flush(nil)
 
-	// Reopen cold (new manager over the same device), restore the epoch as
-	// recovery would, and scan.
+	// Reopen cold (new manager over the same device) and recover from the
+	// checkpoint LSN, as engine recovery would.
 	w2 := NewManager(dev, 0, 256)
-	w2.SetEpoch(w.Epoch())
 	var seen []string
-	w2.Scan(nil, func(r Record) bool {
+	if _, err := w2.Recover(nil, ckptLSN, func(r Record) bool {
 		seen = append(seen, string(r.Payload))
 		return true
-	})
-	if len(seen) != 1 || seen[0] != "fresh" {
-		t.Errorf("scan after reopen = %q, want [fresh]", seen)
+	}); err != nil {
+		t.Fatal(err)
 	}
-	// With the stale epoch, the scan must also not mix epochs: it sees the
-	// epoch-0 prefix only.
+	if len(seen) != 1 || seen[0] != "fresh" {
+		t.Errorf("recovery after checkpoint = %q, want [fresh]", seen)
+	}
+	// Even an LSN filter of 0 must not resurrect the truncated records:
+	// their segment headers were erased at checkpoint.
 	w3 := NewManager(dev, 0, 256)
-	w3.SetEpoch(w.Epoch() - 1)
 	count := 0
-	w3.Scan(nil, func(r Record) bool { count++; return true })
-	if count != 0 {
-		// Epoch 0's first flush block was overwritten by epoch 1's, so a
-		// stale-epoch scan finds nothing — also correct.
-		t.Errorf("stale-epoch scan saw %d records", count)
+	if _, err := w3.Recover(nil, 0, func(r Record) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("zero-filter recovery saw %d records, want 1 (truncated segments erased)", count)
+	}
+}
+
+// TestSegmentedRecoveryMatchesUnsegmented: whatever the rotation and
+// truncation history, a cold recovery must rebuild exactly the state an
+// unsegmented, never-truncated log would have produced — the checkpoint
+// image (here: a map snapshot at the checkpoint LSN) plus the replayed
+// tail is the full logical history.
+func TestSegmentedRecoveryMatchesUnsegmented(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pages := uint64(64 + rng.Intn(512))
+		dev := storage.NewMemDevice(ps, pages, nil)
+		w := NewManager(dev, 0, storage.PID(pages))
+		// Segment geometry is part of the on-device format: recovery must
+		// divide the region the same way the writer did.
+		segN := 0
+		if rng.Intn(2) == 0 {
+			segN = 2 + rng.Intn(8)
+			w.SetSegments(segN)
+		}
+
+		// The unsegmented reference: every record ever appended, in LSN
+		// order, replayed into key→value. The checkpoint callback snapshots
+		// the reference at the checkpoint LSN, exactly like core's image.
+		oracle := map[uint64][]byte{} // all appends, LSN order
+		var oracleLSNs []uint64
+		image := map[byte]byte{}   // checkpoint image state
+		var imageLSN uint64        // LSN the image covers
+		applied := map[byte]byte{} // oracle replayed in full
+		w.OnCheckpoint = func(m *simtime.Meter, ckptLSN uint64) error {
+			image = map[byte]byte{}
+			for _, lsn := range oracleLSNs {
+				if lsn <= ckptLSN {
+					p := oracle[lsn]
+					image[p[0]] = p[1]
+				}
+			}
+			imageLSN = ckptLSN
+			return nil
+		}
+
+		l := w.NewWriter()
+		n := 50 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			payload := []byte{byte(rng.Intn(16)), byte(rng.Intn(256))}
+			lsn, err := l.AppendLSN(nil, uint64(i), RecHeapPut, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle[lsn] = payload
+			oracleLSNs = append(oracleLSNs, lsn)
+			applied[payload[0]] = payload[1]
+			switch rng.Intn(10) {
+			case 0:
+				if err := l.Flush(nil); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if err := l.Flush(nil); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := w.SealSegment(nil); err != nil {
+					t.Fatal(err)
+				}
+			case 2:
+				if err := l.Flush(nil); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Checkpoint(nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := l.Flush(nil); err != nil {
+			t.Fatal(err)
+		}
+
+		// Cold recovery: image state + replay of records above imageLSN.
+		w2 := NewManager(dev, 0, storage.PID(pages))
+		if segN != 0 {
+			w2.SetSegments(segN)
+		}
+		got := map[byte]byte{}
+		for k, v := range image {
+			got[k] = v
+		}
+		if _, err := w2.Recover(nil, imageLSN, func(r Record) bool {
+			got[r.Payload[0]] = r.Payload[1]
+			return true
+		}); err != nil {
+			t.Fatalf("seed %d: recover: %v", seed, err)
+		}
+		if len(got) != len(applied) {
+			t.Fatalf("seed %d: recovered %d keys, want %d", seed, len(got), len(applied))
+		}
+		for k, v := range applied {
+			if got[k] != v {
+				t.Fatalf("seed %d: key %d = %d, want %d", seed, k, got[k], v)
+			}
+		}
 	}
 }
 
@@ -100,9 +203,9 @@ func TestTornFlushIgnored(t *testing.T) {
 	dev := storage.NewMemDevice(ps, 256, nil)
 	w := NewManager(dev, 0, 256)
 	l := w.NewWriter()
-	l.Append(nil, 1, RecHeapPut, []byte("good"))
+	l.AppendLSN(nil, 1, RecHeapPut, []byte("good"))
 	l.Flush(nil)
-	l.Append(nil, 2, RecHeapPut, bytes.Repeat([]byte{0xBB}, 6000))
+	l.AppendLSN(nil, 2, RecHeapPut, bytes.Repeat([]byte{0xBB}, 6000))
 	l.Flush(nil)
 	// Corrupt a byte in the middle of the second flush's payload.
 	page := make([]byte, ps)
@@ -137,7 +240,7 @@ func TestManyWritersInterleavedFlushes(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		wi := rng.Intn(len(writers))
 		txn := uint64(wi*1000 + i)
-		writers[wi].Append(nil, txn, RecHeapPut, []byte{byte(i)})
+		writers[wi].AppendLSN(nil, txn, RecHeapPut, []byte{byte(i)})
 		want[txn] = int(byte(i))
 		if rng.Intn(3) == 0 {
 			if err := writers[wi].Flush(nil); err != nil {

@@ -3,6 +3,7 @@ package wal
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 	"time"
@@ -24,7 +25,7 @@ func TestAppendAndScan(t *testing.T) {
 	l := w.NewWriter()
 	payloads := [][]byte{[]byte("alpha"), []byte("beta"), nil, bytes.Repeat([]byte{7}, 1000)}
 	for i, p := range payloads {
-		if _, err := l.Append(nil, uint64(i+1), RecHeapPut, p); err != nil {
+		if _, err := l.AppendLSN(nil, uint64(i+1), RecHeapPut, p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -61,7 +62,7 @@ func TestLSNsIncrease(t *testing.T) {
 	l := w.NewWriter()
 	var prev uint64
 	for i := 0; i < 10; i++ {
-		lsn, err := l.Append(nil, 1, RecHeapPut, []byte{byte(i)})
+		lsn, err := l.AppendLSN(nil, 1, RecHeapPut, []byte{byte(i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,7 +77,7 @@ func TestScanStopsEarly(t *testing.T) {
 	w, _ := newWAL(t, 256)
 	l := w.NewWriter()
 	for i := 0; i < 5; i++ {
-		l.Append(nil, 1, RecHeapPut, []byte{byte(i)})
+		l.AppendLSN(nil, 1, RecHeapPut, []byte{byte(i)})
 	}
 	l.Flush(nil)
 	n := 0
@@ -103,7 +104,7 @@ func TestScanEmptyLog(t *testing.T) {
 func TestUnflushedRecordsNotDurable(t *testing.T) {
 	w, _ := newWAL(t, 256)
 	l := w.NewWriter()
-	l.Append(nil, 1, RecHeapPut, []byte("lost"))
+	l.AppendLSN(nil, 1, RecHeapPut, []byte("lost"))
 	// Simulated crash: buffer never flushed.
 	w.CrashReset()
 	n := 0
@@ -117,7 +118,7 @@ func TestRecordTooLarge(t *testing.T) {
 	w, _ := newWAL(t, 256)
 	w.SetBufferCap(4096)
 	l := w.NewWriter()
-	if _, err := l.Append(nil, 1, RecHeapPut, make([]byte, 8192)); err == nil {
+	if _, err := l.AppendLSN(nil, 1, RecHeapPut, make([]byte, 8192)); err == nil {
 		t.Error("oversized record should fail")
 	}
 }
@@ -128,7 +129,7 @@ func TestAppendFlushesWhenBufferFull(t *testing.T) {
 	l := w.NewWriter()
 	// Each record ~1KB; the 5th must force a flush.
 	for i := 0; i < 6; i++ {
-		if _, err := l.Append(nil, 1, RecHeapPut, make([]byte, 1000)); err != nil {
+		if _, err := l.AppendLSN(nil, 1, RecHeapPut, make([]byte, 1000)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -175,10 +176,10 @@ func TestCheckpointThreshold(t *testing.T) {
 	w, _ := newWAL(t, 4096)
 	w.CheckpointThreshold = 64 << 10
 	ckptCalls := 0
-	w.OnCheckpoint = func(m *simtime.Meter, epoch uint32) error { ckptCalls++; return nil }
+	w.OnCheckpoint = func(m *simtime.Meter, ckptLSN uint64) error { ckptCalls++; return nil }
 	l := w.NewWriter()
 	for i := 0; i < 100; i++ {
-		l.Append(nil, 1, RecHeapPut, make([]byte, 2048))
+		l.AppendLSN(nil, 1, RecHeapPut, make([]byte, 2048))
 	}
 	l.Commit(nil, 1)
 	if w.Checkpoints() == 0 || ckptCalls == 0 {
@@ -190,12 +191,12 @@ func TestCheckpointThreshold(t *testing.T) {
 func TestCheckpointTruncatesLog(t *testing.T) {
 	w, _ := newWAL(t, 256)
 	l := w.NewWriter()
-	l.Append(nil, 1, RecHeapPut, []byte("before"))
+	l.AppendLSN(nil, 1, RecHeapPut, []byte("before"))
 	l.Flush(nil)
 	if err := w.Checkpoint(nil); err != nil {
 		t.Fatal(err)
 	}
-	l.Append(nil, 2, RecHeapPut, []byte("after"))
+	l.AppendLSN(nil, 2, RecHeapPut, []byte("after"))
 	l.Flush(nil)
 	var seen []string
 	w.Scan(nil, func(r Record) bool {
@@ -212,7 +213,7 @@ func TestLogFullForcesCheckpoint(t *testing.T) {
 	w.SetBufferCap(8192)
 	l := w.NewWriter()
 	for i := 0; i < 20; i++ {
-		if _, err := l.Append(nil, 1, RecHeapPut, make([]byte, 7000)); err != nil {
+		if _, err := l.AppendLSN(nil, 1, RecHeapPut, make([]byte, 7000)); err != nil {
 			t.Fatal(err)
 		}
 		if err := l.Flush(nil); err != nil {
@@ -239,7 +240,7 @@ func TestPhyslogWritesMoreAndCheckpointsMore(t *testing.T) {
 					panic(err)
 				}
 			} else {
-				if _, err := l.Append(nil, uint64(i), RecBlobState, make([]byte, 200)); err != nil {
+				if _, err := l.AppendLSN(nil, uint64(i), RecBlobState, make([]byte, 200)); err != nil {
 					panic(err)
 				}
 				// The blob itself goes straight to its extents, once.
@@ -291,7 +292,7 @@ func TestGroupCommitAmortizesSyncs(t *testing.T) {
 			l := w.NewWriter()
 			for j := 0; j < commitsPer; j++ {
 				txn := uint64(id*1000 + j)
-				if _, err := l.Append(nil, txn, RecHeapPut, []byte("x")); err != nil {
+				if _, err := l.AppendLSN(nil, txn, RecHeapPut, []byte("x")); err != nil {
 					t.Error(err)
 					return
 				}
@@ -331,7 +332,7 @@ func TestConcurrentWritersDistinctLSNs(t *testing.T) {
 			defer wg.Done()
 			l := w.NewWriter()
 			for j := 0; j < 100; j++ {
-				lsn, err := l.Append(nil, uint64(id), RecHeapPut, []byte(fmt.Sprint(j)))
+				lsn, err := l.AppendLSN(nil, uint64(id), RecHeapPut, []byte(fmt.Sprint(j)))
 				if err != nil {
 					t.Error(err)
 					return
@@ -353,11 +354,207 @@ func TestMeterChargedOnCommit(t *testing.T) {
 	w := NewManager(dev, 0, 1024)
 	l := w.NewWriter()
 	m := simtime.NewMeter()
-	l.Append(m, 1, RecBlobState, make([]byte, 100))
+	l.AppendLSN(m, 1, RecBlobState, make([]byte, 100))
 	if err := l.Commit(m, 1); err != nil {
 		t.Fatal(err)
 	}
 	if m.Elapsed() == 0 {
 		t.Error("commit should charge WAL write + sync time")
+	}
+}
+
+func TestSealSegmentRotates(t *testing.T) {
+	w, _ := newWAL(t, 256)
+	l := w.NewWriter()
+	l.AppendLSN(nil, 1, RecHeapPut, []byte("a"))
+	l.Flush(nil)
+	id, err := w.SealSegment(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("sealing a tailing segment returned id 0")
+	}
+	// Sealing with no tailing segment is a no-op.
+	if id2, err := w.SealSegment(nil); err != nil || id2 != 0 {
+		t.Fatalf("seal of nothing = (%d, %v), want (0, nil)", id2, err)
+	}
+	l.AppendLSN(nil, 2, RecHeapPut, []byte("b"))
+	l.Flush(nil)
+	segs := w.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("got %d live segments, want 2", len(segs))
+	}
+	if !segs[0].Sealed || segs[0].ID != id {
+		t.Errorf("first segment = %+v, want sealed id %d", segs[0], id)
+	}
+	if segs[1].Sealed {
+		t.Errorf("tailing segment is sealed: %+v", segs[1])
+	}
+	if segs[1].ID <= segs[0].ID {
+		t.Errorf("segment ids not monotonic: %d then %d", segs[0].ID, segs[1].ID)
+	}
+}
+
+func TestSegmentReader(t *testing.T) {
+	w, _ := newWAL(t, 256)
+	l := w.NewWriter()
+	for i := 0; i < 3; i++ {
+		l.AppendLSN(nil, uint64(i), RecHeapPut, []byte{byte(i)})
+	}
+	l.Flush(nil)
+	id, err := w.SealSegment(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := w.SegmentReader(nil, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sealed() || r.ID() != id {
+		t.Fatalf("reader sealed=%v id=%d, want sealed id %d", r.Sealed(), r.ID(), id)
+	}
+	for i := 0; i < 3; i++ {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.TxnID != uint64(i) || rec.Payload[0] != byte(i) {
+			t.Errorf("record %d = %+v", i, rec)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("after last record err = %v, want io.EOF", err)
+	}
+	if _, err := w.SegmentReader(nil, id+100); err == nil {
+		t.Error("reader over unknown segment should fail")
+	}
+}
+
+func TestReadFromAndResync(t *testing.T) {
+	w, _ := newWAL(t, 256)
+	l := w.NewWriter()
+	var lsns []uint64
+	for i := 0; i < 5; i++ {
+		lsn, err := l.AppendLSN(nil, uint64(i), RecHeapPut, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := l.Commit(nil, 9); err != nil {
+		t.Fatal(err)
+	}
+	recs, durable, resync, err := w.ReadFrom(nil, lsns[1])
+	if err != nil || resync {
+		t.Fatalf("ReadFrom = resync %v err %v", resync, err)
+	}
+	if durable != w.DurableLSN() {
+		t.Errorf("durable = %d, want %d", durable, w.DurableLSN())
+	}
+	// Records strictly above lsns[1]: 3 puts + the commit record.
+	if len(recs) != 4 {
+		t.Fatalf("ReadFrom returned %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN <= lsns[1] || r.LSN > durable {
+			t.Errorf("record %d LSN %d outside (%d, %d]", i, r.LSN, lsns[1], durable)
+		}
+	}
+	// After a checkpoint, a stale cursor must be told to resync.
+	if err := w.Checkpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, resync, _ := w.ReadFrom(nil, lsns[1]); !resync {
+		t.Error("ReadFrom below the truncation horizon should demand resync")
+	}
+	if _, _, resync, _ := w.ReadFrom(nil, w.TruncatedLSN()); resync {
+		t.Error("ReadFrom at the truncation horizon should not demand resync")
+	}
+}
+
+func TestTruncateBelowDropsOnlyCoveredSegments(t *testing.T) {
+	w, _ := newWAL(t, 256)
+	l := w.NewWriter()
+	mkSeg := func(txn uint64) uint64 {
+		l.AppendLSN(nil, txn, RecHeapPut, []byte("x"))
+		l.Flush(nil)
+		last := w.LastLSN()
+		if _, err := w.SealSegment(nil); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	mkSeg(1)
+	seg2last := mkSeg(2)
+	l.AppendLSN(nil, 3, RecHeapPut, []byte("tail"))
+	l.Flush(nil)
+	if n := len(w.Segments()); n != 3 {
+		t.Fatalf("built %d segments, want 3", n)
+	}
+	if err := w.TruncateBelow(nil, seg2last+1); err != nil {
+		t.Fatal(err)
+	}
+	segs := w.Segments()
+	if len(segs) != 1 || segs[0].Sealed {
+		t.Fatalf("after truncate: %+v, want only the tailing segment", segs)
+	}
+	if w.TruncatedLSN() < seg2last {
+		t.Errorf("truncation horizon %d below dropped segment's last LSN %d", w.TruncatedLSN(), seg2last)
+	}
+	// The dropped segments' headers are gone from the device too.
+	cold := NewManager(w.dev, 0, 256)
+	n := 0
+	if _, err := cold.Recover(nil, 0, func(Record) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("cold scan after truncate saw %d records, want 1", n)
+	}
+}
+
+// TestSegmentCountBounded is the disk-usage acceptance check: under
+// sustained traffic with checkpointing enabled, the live segment count
+// never exceeds the slot ring, and a checkpoint drops every segment at or
+// below its LSN.
+func TestSegmentCountBounded(t *testing.T) {
+	w, _ := newWAL(t, 512)
+	w.CheckpointThreshold = 64 << 10
+	w.OnCheckpoint = func(m *simtime.Meter, ckptLSN uint64) error { return nil }
+	l := w.NewWriter()
+	maxLive := 0
+	for i := 0; i < 2000; i++ {
+		if _, err := l.AppendLSN(nil, uint64(i), RecHeapPut, make([]byte, 1024)); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 {
+			if err := l.Flush(nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := len(w.Segments()); n > maxLive {
+			maxLive = n
+		}
+	}
+	if err := l.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	if w.Checkpoints() == 0 {
+		t.Fatal("sustained traffic never checkpointed")
+	}
+	if maxLive > DefaultSegments {
+		t.Errorf("live segments peaked at %d, above the %d-slot ring", maxLive, DefaultSegments)
+	}
+	if err := w.Checkpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	ckptLSN := w.TruncatedLSN()
+	for _, s := range w.Segments() {
+		if s.LastLSN != 0 && s.LastLSN <= ckptLSN {
+			t.Errorf("segment %+v survived a checkpoint at LSN %d", s, ckptLSN)
+		}
+	}
+	if n := len(w.Segments()); n != 0 {
+		t.Errorf("%d segments live immediately after checkpoint, want 0", n)
 	}
 }
