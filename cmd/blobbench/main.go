@@ -24,6 +24,7 @@ func main() {
 	exp := flag.String("exp", "", "experiment id to run (or 'all')")
 	list := flag.Bool("list", false, "list experiment ids")
 	concreadJSON := flag.String("concread-json", "", "run the concurrent-read benchmark and write the JSON report to this path")
+	mixedJSON := flag.String("mixedbench-json", "", "run the mixed read/write tail-latency benchmark and write the JSON report to this path")
 	shardJSON := flag.String("shardbench-json", "", "run the multi-shard commit-scaling benchmark and write the JSON report to this path")
 	replJSON := flag.String("replbench-json", "", "run the replication-lag benchmark and write the JSON report to this path")
 	flag.Parse()
@@ -70,6 +71,28 @@ func main() {
 			fmt.Printf("commit throughput at %s: %.2fx one shard\n", key, ratio)
 		}
 		fmt.Printf("wrote %s (%d scenarios)\n", *shardJSON, len(rep.Scenarios))
+		return
+	}
+
+	if *mixedJSON != "" {
+		rep, err := bench.MixedLoad(bench.MixedBenchOpts{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mixedbench: %v\n", err)
+			os.Exit(1)
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mixedbench: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*mixedJSON, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mixedbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cold read %.2fx, read p99 %.2fx, write p99 %.2fx, %.2f fewer copies/read\n",
+			rep.ColdReadSpeedup, rep.ReadP99Speedup, rep.WriteP99Speedup, rep.CopyReduction)
+		fmt.Printf("wrote %s (%d scenarios)\n", *mixedJSON, len(rep.Scenarios))
 		return
 	}
 

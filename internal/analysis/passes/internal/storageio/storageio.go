@@ -24,6 +24,18 @@ var pkgFuncs = map[string]bool{
 	"WriteVec": true,
 }
 
+// queueMethods are the submission/completion-queue entry points on
+// storage.SubQueue. From a latching perspective they are device I/O:
+// Submit and SubmitFunc block when the queue is at depth (the device's
+// queue-depth backpressure) and Wait blocks until the device completes
+// the submission. They classify as "SubQueue.<name>" so the analyzers
+// can distinguish queue submission from a direct device call.
+var queueMethods = map[string]bool{
+	"Submit":     true,
+	"SubmitFunc": true,
+	"Wait":       true,
+}
+
 // Classify reports whether call is a storage I/O operation, returning the
 // operation name (e.g. "WritePages", "Sync", "ReadVec"). Matching is by
 // shape — a method of the storage package's device types/interfaces, or a
@@ -44,6 +56,9 @@ func Classify(info *types.Info, call *ast.CallExpr) (string, bool) {
 		if deviceMethods[name] && base(fn.Pkg().Path()) == "storage" {
 			return name, true
 		}
+		if queueMethods[name] && base(fn.Pkg().Path()) == "storage" && recvTypeName(fn) == "SubQueue" {
+			return "SubQueue." + name, true
+		}
 		return "", false
 	}
 	// Possibly a qualified package-function call: storage.ReadVec(...).
@@ -58,6 +73,28 @@ func Classify(info *types.Info, call *ast.CallExpr) (string, bool) {
 		return name, true
 	}
 	return "", false
+}
+
+// IsQueueOp reports whether op is a submission-queue operation
+// ("SubQueue.*") rather than a direct device call.
+func IsQueueOp(op string) bool { return strings.HasPrefix(op, "SubQueue.") }
+
+// recvTypeName returns the name of a method's receiver type (pointer
+// receivers dereferenced), or "" for plain functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
 }
 
 // IsWrite reports whether op mutates or flushes the device.

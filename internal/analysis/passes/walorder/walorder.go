@@ -13,13 +13,17 @@
 //     WAL's LSN-framed segment fencing, so recovery can no longer reason
 //     about what reached the device.
 //
-// Reads are not ordering-sensitive and are never flagged. Simulator and
-// tooling packages (oskern, dbsim, bench, remap) are out of scope — they
-// model devices rather than mutate the engine's.
+// Reads are not ordering-sensitive and are never flagged. A Sync inside
+// a closure submitted to storage.SubQueue is allowed: it executes on the
+// queue's completion goroutine, sequenced behind the submitter's prior
+// work — the pipelined committer's off-critical-path fsync. Simulator
+// and tooling packages (oskern, dbsim, bench, remap) are out of scope —
+// they model devices rather than mutate the engine's.
 package walorder
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 
 	"blobdb/internal/analysis"
@@ -79,6 +83,15 @@ func committerFunc(name string) bool {
 }
 
 func checkFunc(pass *analysis.Pass, pkgBase string, fn *ast.FuncDecl) {
+	queueBodies := queueClosureBodies(pass, fn)
+	inQueueClosure := func(pos token.Pos) bool {
+		for _, b := range queueBodies {
+			if b.Pos() <= pos && pos < b.End() {
+				return true
+			}
+		}
+		return false
+	}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -93,10 +106,42 @@ func checkFunc(pass *analysis.Pass, pkgBase string, fn *ast.FuncDecl) {
 			if pkgBase == "core" && committerFunc(fn.Name.Name) {
 				return true
 			}
+			if inQueueClosure(call.Pos()) {
+				// Completion-queue goroutine: a Sync inside a closure
+				// handed to SubQueue.SubmitFunc/Submit executes on the
+				// queue's completion goroutine, sequenced behind
+				// everything the submitter already enqueued — the
+				// pipelined committer's legal way to fsync off the
+				// critical path without breaking single-flush ordering.
+				return true
+			}
 			pass.Reportf(call.Pos(), "Device.Sync outside internal/wal and the core committer: durability ordering is owned by the WAL (single-flush protocol); call wal.Sync or commit through the pipeline")
 		case "WritePages", "WritePagesVec", "WriteVec":
 			pass.Reportf(call.Pos(), "extent write-back (%s) outside internal/buffer and internal/storage: pages reach the device only through the buffer manager, after the WAL sync that covers them", op)
 		}
 		return true
 	})
+}
+
+// queueClosureBodies collects the bodies of function literals passed to a
+// submission-queue entry point within fn — code that will run on the
+// completion-queue goroutine, not the declaring one.
+func queueClosureBodies(pass *analysis.Pass, fn *ast.FuncDecl) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := storageio.Classify(pass.TypesInfo, call); !ok || !storageio.IsQueueOp(op) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok && lit.Body != nil {
+				bodies = append(bodies, lit.Body)
+			}
+		}
+		return true
+	})
+	return bodies
 }

@@ -215,6 +215,7 @@ func Experiments() map[string]func() (*Result, error) {
 		"ablation-update": AblationUpdateSchemes,
 		"ablation-tiers":  AblationTierSweep,
 		"pr3-concread":    ConcreadResult,
+		"pr8-mixed":       MixedResult,
 	}
 }
 

@@ -1,0 +1,390 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blobdb/internal/buffer"
+	"blobdb/internal/core"
+	"blobdb/internal/storage"
+)
+
+// MixedBenchOpts sizes the mixed read/write tail-latency benchmark: many
+// concurrent readers streaming blobs while a smaller writer pool
+// overwrites the working set, on a wall-clock latency device.
+type MixedBenchOpts struct {
+	SmallBlobs    int           `json:"small_blobs"`     // blobs that fit the worker-local area
+	LargeBlobs    int           `json:"large_blobs"`     // blobs that reserve shared aliasing blocks
+	ExtentPages   int           `json:"extent_pages"`    // pages per extent
+	SmallExtents  int           `json:"small_extents"`   // extents per small blob
+	LargeExtents  int           `json:"large_extents"`   // extents per large blob
+	Readers       int           `json:"readers"`         // concurrent read goroutines
+	Writers       int           `json:"writers"`         // concurrent overwrite goroutines
+	OpsPerReader  int           `json:"ops_per_reader"`  // reads per goroutine
+	OpsPerWriter  int           `json:"ops_per_writer"`  // overwrites per goroutine
+	ColdProbes    int           `json:"cold_probes"`     // single-blob cold reads measured before the mixed phase
+	QueueDepth    int           `json:"queue_depth"`     // submission-queue depth in pipelined mode
+	CmdLatency    time.Duration `json:"cmd_latency_ns"`  // device latency per command
+	SyncLatency   time.Duration `json:"sync_latency_ns"` // device latency per durability barrier
+	BytesPerSec   float64       `json:"bytes_per_sec"`   // device bandwidth
+	PoolPages     int           `json:"pool_pages"`      // buffer pool size (≪ working set: reads stay cold)
+	AliasPages    int           `json:"alias_pages"`     // worker-local aliasing area (small: large blobs go shared)
+	OverwriteSkew int           `json:"overwrite_skew"`  // writers touch every Nth blob of their class
+}
+
+func (o *MixedBenchOpts) defaults() {
+	if o.SmallBlobs == 0 {
+		o.SmallBlobs = 64
+	}
+	if o.LargeBlobs == 0 {
+		o.LargeBlobs = 64
+	}
+	if o.ExtentPages == 0 {
+		o.ExtentPages = 4
+	}
+	if o.SmallExtents == 0 {
+		o.SmallExtents = 4 // 16 pages = 64 KB: worker-local aliasing
+	}
+	if o.LargeExtents == 0 {
+		o.LargeExtents = 16 // 64 pages = 256 KB: shared-area reservation
+	}
+	if o.Readers == 0 {
+		o.Readers = 32
+	}
+	if o.Writers == 0 {
+		o.Writers = 8
+	}
+	if o.OpsPerReader == 0 {
+		o.OpsPerReader = 40
+	}
+	if o.OpsPerWriter == 0 {
+		o.OpsPerWriter = 16
+	}
+	if o.ColdProbes == 0 {
+		o.ColdProbes = 16
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = storage.DefaultQueueDepth
+	}
+	if o.CmdLatency == 0 {
+		// Same reasoning as ConcreadOpts/ShardBenchOpts: large enough to
+		// dominate time.Sleep scheduling jitter.
+		o.CmdLatency = 60 * time.Microsecond
+	}
+	if o.SyncLatency == 0 {
+		o.SyncLatency = 200 * time.Microsecond
+	}
+	if o.BytesPerSec == 0 {
+		o.BytesPerSec = 2 << 30 // 2 GiB/s
+	}
+	if o.PoolPages == 0 {
+		// Well below the working set so capacity misses dominate and the
+		// submission queue sees genuine load.
+		o.PoolPages = 3072
+	}
+	if o.AliasPages == 0 {
+		// Between the two blob size classes: small blobs alias worker-
+		// locally, large blobs reserve shared blocks under CAS contention.
+		o.AliasPages = 32
+	}
+	if o.OverwriteSkew == 0 {
+		o.OverwriteSkew = 2
+	}
+}
+
+// MixedScenario is one mode's measurements over the identical workload.
+type MixedScenario struct {
+	Mode             string  `json:"mode"` // "baseline" (inline queue, materialized reads) or "pipelined" (queued, zero-copy)
+	ReadOps          int     `json:"read_ops"`
+	WriteOps         int     `json:"write_ops"`
+	WallMillis       float64 `json:"wall_ms"`
+	ThroughputOpsSec float64 `json:"throughput_ops_s"`
+	ColdReadP50Us    float64 `json:"cold_read_p50_us"` // dedicated single-blob cold probes before the mixed phase
+	ReadP50Us        float64 `json:"read_p50_us"`
+	ReadP99Us        float64 `json:"read_p99_us"`
+	WriteP50Us       float64 `json:"write_p50_us"`
+	WriteP99Us       float64 `json:"write_p99_us"`
+	// ReadCopies counts full-blob memcpys performed by the read path:
+	// one per read when reads materialize, zero on the aliased
+	// zero-copy path. CopiesPerRead = ReadCopies / ReadOps.
+	ReadCopies    int64   `json:"read_copies"`
+	CopiesPerRead float64 `json:"copies_per_read"`
+	// Aliasing and submission-queue activity (the /debug/vars "pool"
+	// counters, measured here at the engine).
+	AliasLocalUses    int64 `json:"alias_local_uses"`
+	AliasSharedUses   int64 `json:"alias_shared_uses"`
+	AliasCASRetries   int64 `json:"alias_cas_retries"`
+	QueueSubmitted    int64 `json:"queue_submitted"`
+	QueueSubmitWaits  int64 `json:"queue_submit_waits"`
+	CommitBatchTxns   int64 `json:"commit_batched_txns"`
+	CommitBatchFlush  int64 `json:"commit_batch_flushes"`
+	ReclaimedDeferred bool  `json:"deferred_frees_drained"`
+}
+
+// MixedReport is the full benchmark output (BENCH_PR8.json via
+// scripts/bench-mixed.sh).
+type MixedReport struct {
+	Benchmark string          `json:"benchmark"`
+	Config    MixedBenchOpts  `json:"config"`
+	Scenarios []MixedScenario `json:"scenarios"`
+	// Headline before/after ratios: baseline ÷ pipelined (>1 = improved).
+	ColdReadSpeedup float64 `json:"cold_read_speedup"`
+	ReadP99Speedup  float64 `json:"read_p99_speedup"`
+	WriteP99Speedup float64 `json:"write_p99_speedup"`
+	CopyReduction   float64 `json:"copies_per_read_reduction"` // baseline − pipelined
+}
+
+// MixedLoad runs the 32-reader/8-writer mixed workload twice over
+// identical data and schedules: once as the pre-PR8 engine (inline
+// submission queue — device operations execute synchronously on the
+// submitting goroutine — and reads that materialize each blob into a
+// fresh buffer), and once as the pipelined engine (bounded
+// submission/completion queue overlapping commit write-back with the
+// next batch's WAL flush, and zero-copy aliased reads streaming pool
+// frames straight to the sink).
+func MixedLoad(o MixedBenchOpts) (*MixedReport, error) {
+	o.defaults()
+	rep := &MixedReport{Benchmark: "mixed-read-write", Config: o}
+	for _, mode := range []string{"baseline", "pipelined"} {
+		sc, err := runMixed(mode, o)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", mode, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, sc)
+	}
+	base, pipe := rep.Scenarios[0], rep.Scenarios[1]
+	if pipe.ColdReadP50Us > 0 {
+		rep.ColdReadSpeedup = base.ColdReadP50Us / pipe.ColdReadP50Us
+	}
+	if pipe.ReadP99Us > 0 {
+		rep.ReadP99Speedup = base.ReadP99Us / pipe.ReadP99Us
+	}
+	if pipe.WriteP99Us > 0 {
+		rep.WriteP99Speedup = base.WriteP99Us / pipe.WriteP99Us
+	}
+	rep.CopyReduction = base.CopiesPerRead - pipe.CopiesPerRead
+	return rep, nil
+}
+
+func runMixed(mode string, o MixedBenchOpts) (MixedScenario, error) {
+	sc := MixedScenario{Mode: mode}
+	dev := newCommitLatencyDevice(
+		storage.NewMemDevice(storage.DefaultPageSize, 1<<16, nil),
+		o.CmdLatency, o.SyncLatency, o.BytesPerSec)
+	opts := []core.Option{
+		core.WithPoolPages(o.PoolPages),
+		core.WithLogPages(1 << 11),
+		core.WithCkptPages(1 << 12),
+		core.WithAsyncCommit(true),
+		core.WithAliasPages(o.AliasPages),
+		core.WithQueueDepth(o.QueueDepth),
+	}
+	if mode == "baseline" {
+		opts = append(opts, core.WithInlineQueue(true))
+	}
+	db, err := core.New(dev, opts...)
+	if err != nil {
+		return sc, err
+	}
+	defer db.CloseCommitter()
+	if _, err := db.CreateRelation("bench"); err != nil {
+		return sc, err
+	}
+
+	ctx := context.Background()
+	nBlobs := o.SmallBlobs + o.LargeBlobs
+	blobBytes := func(i int) int {
+		if i < o.SmallBlobs {
+			return o.SmallExtents * o.ExtentPages * storage.DefaultPageSize
+		}
+		return o.LargeExtents * o.ExtentPages * storage.DefaultPageSize
+	}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("b-%04d", i)) }
+	payload := make([]byte, blobBytes(o.SmallBlobs)) // largest class
+	rand.New(rand.NewSource(42)).Read(payload)
+
+	put := func(i int) error {
+		tx := db.BeginCtx(ctx, nil)
+		w, err := tx.CreateBlob(ctx, "bench", key(i))
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if _, err := w.Write(payload[:blobBytes(i)]); err != nil {
+			w.Abort()
+			tx.Abort()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.CommitWait()
+	}
+	for i := 0; i < nBlobs; i++ {
+		if err := put(i); err != nil {
+			return sc, err
+		}
+	}
+
+	// One read = one transaction, consumed the way each era's server did:
+	// materialize (alloc + full memcpy) before PR 8, zero-copy spans
+	// streamed to the sink after.
+	var readCopies atomic.Int64
+	read := func(i int) error {
+		tx := db.BeginCtx(ctx, nil)
+		defer tx.Commit()
+		if mode == "baseline" {
+			buf, err := tx.ReadBlobBytes("bench", key(i))
+			if err != nil {
+				return err
+			}
+			readCopies.Add(1)
+			_ = buf
+			return nil
+		}
+		return tx.ReadBlob("bench", key(i), func(view *buffer.BlobView) error {
+			_, err := view.WriteTo(io.Discard)
+			return err
+		})
+	}
+
+	// Cold probes: the pool is far smaller than the working set, so the
+	// first pass over distinct blobs after seeding reads cold — each is
+	// one queue submission of the blob's whole extent sequence.
+	coldLats := make([]time.Duration, 0, o.ColdProbes)
+	for p := 0; p < o.ColdProbes; p++ {
+		i := (p * nBlobs) / o.ColdProbes
+		t0 := time.Now()
+		if err := read(i); err != nil {
+			return sc, err
+		}
+		coldLats = append(coldLats, time.Since(t0))
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		readLats  []time.Duration
+		writeLats []time.Duration
+		firstErr  atomic.Value
+		setErr    = func(err error) { firstErr.CompareAndSwap(nil, err) }
+	)
+	start := time.Now()
+	for r := 0; r < o.Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			mine := make([]time.Duration, 0, o.OpsPerReader)
+			for i := 0; i < o.OpsPerReader; i++ {
+				b := rng.Intn(nBlobs)
+				t0 := time.Now()
+				if err := read(b); err != nil {
+					setErr(err)
+					return
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			mu.Lock()
+			readLats = append(readLats, mine...)
+			mu.Unlock()
+		}(r)
+	}
+	for w := 0; w < o.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make([]time.Duration, 0, o.OpsPerWriter)
+			for i := 0; i < o.OpsPerWriter; i++ {
+				// Each writer owns a disjoint key slice; overwrites free the
+				// old extent sequence, exercising deferred reclamation under
+				// the concurrent lock-free readers.
+				b := (w + i*o.Writers*o.OverwriteSkew) % nBlobs
+				t0 := time.Now()
+				if err := put(b); err != nil {
+					setErr(err)
+					return
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			mu.Lock()
+			writeLats = append(writeLats, mine...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return sc, err
+	}
+	if err := db.DrainCommits(); err != nil {
+		return sc, err
+	}
+
+	pct := func(lats []time.Duration, p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return float64(lats[int(p*float64(len(lats)-1))]) / float64(time.Microsecond)
+	}
+	sc.ReadOps = len(readLats) + len(coldLats)
+	sc.WriteOps = len(writeLats)
+	sc.WallMillis = float64(wall) / float64(time.Millisecond)
+	sc.ThroughputOpsSec = float64(len(readLats)+len(writeLats)) / wall.Seconds()
+	sc.ColdReadP50Us = pct(coldLats, 0.50)
+	sc.ReadP50Us = pct(readLats, 0.50)
+	sc.ReadP99Us = pct(readLats, 0.99)
+	sc.WriteP50Us = pct(writeLats, 0.50)
+	sc.WriteP99Us = pct(writeLats, 0.99)
+	sc.ReadCopies = readCopies.Load()
+	if sc.ReadOps > 0 {
+		sc.CopiesPerRead = float64(sc.ReadCopies) / float64(sc.ReadOps)
+	}
+	a := db.AliasManager().Stats()
+	sc.AliasLocalUses = a.LocalUses
+	sc.AliasSharedUses = a.SharedUses
+	sc.AliasCASRetries = a.CASRetries
+	q := db.Queue().Stats()
+	sc.QueueSubmitted = q.Submitted
+	sc.QueueSubmitWaits = q.SubmitWaits
+	sc.CommitBatchFlush, sc.CommitBatchTxns = db.CommitBatchStats()
+	sc.ReclaimedDeferred = db.ReclaimPending() == 0
+	return sc, nil
+}
+
+// MixedResult renders the benchmark as a report table (the "pr8-mixed"
+// experiment id).
+func MixedResult() (*Result, error) {
+	rep, err := MixedLoad(MixedBenchOpts{})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "pr8-mixed",
+		Title:  "Mixed 32r/8w tail latency: inline+materialize vs pipelined zero-copy (§IV-B)",
+		Header: []string{"mode", "cold p50 µs", "read p99 µs", "write p99 µs", "copies/read", "queue submits"},
+		Notes:  []string{"wall-clock latency device; pool ≪ working set"},
+	}
+	for _, sc := range rep.Scenarios {
+		res.Rows = append(res.Rows, []string{
+			sc.Mode,
+			fmt.Sprintf("%.0f", sc.ColdReadP50Us),
+			fmt.Sprintf("%.0f", sc.ReadP99Us),
+			fmt.Sprintf("%.0f", sc.WriteP99Us),
+			fmt.Sprintf("%.2f", sc.CopiesPerRead),
+			fmt.Sprint(sc.QueueSubmitted),
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("cold read %.2fx, read p99 %.2fx, write p99 %.2fx, %.2f fewer copies/read",
+			rep.ColdReadSpeedup, rep.ReadP99Speedup, rep.WriteP99Speedup, rep.CopyReduction))
+	return res, nil
+}

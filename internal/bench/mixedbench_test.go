@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMixedLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench rig smoke test")
+	}
+	rep, err := MixedLoad(MixedBenchOpts{
+		SmallBlobs:   8,
+		LargeBlobs:   8,
+		Readers:      4,
+		Writers:      2,
+		OpsPerReader: 6,
+		OpsPerWriter: 3,
+		ColdProbes:   2,
+		CmdLatency:   5 * time.Microsecond,
+		SyncLatency:  20 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("got %d scenarios, want 2", len(rep.Scenarios))
+	}
+	base, pipe := rep.Scenarios[0], rep.Scenarios[1]
+	if base.Mode != "baseline" || pipe.Mode != "pipelined" {
+		t.Fatalf("scenario order: %s, %s", base.Mode, pipe.Mode)
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.ReadOps != 4*6+2 || sc.WriteOps != 2*3 { // mixed reads + cold probes
+			t.Errorf("%s: %d reads / %d writes, want %d / %d",
+				sc.Mode, sc.ReadOps, sc.WriteOps, 4*6+2, 2*3)
+		}
+		if sc.ReadP99Us <= 0 || sc.WriteP99Us <= 0 || sc.ColdReadP50Us <= 0 {
+			t.Errorf("%s: degenerate latency stats: %+v", sc.Mode, sc)
+		}
+		if !sc.ReclaimedDeferred {
+			t.Errorf("%s: deferred extent frees not drained at close", sc.Mode)
+		}
+	}
+	// The baseline materializes every read; the aliased path copies
+	// nothing, so the headline reduction is exactly one copy per read.
+	if base.CopiesPerRead != 1 || pipe.CopiesPerRead != 0 {
+		t.Errorf("copies per read: baseline %.2f, pipelined %.2f, want 1 and 0",
+			base.CopiesPerRead, pipe.CopiesPerRead)
+	}
+	// Both aliasing paths must see traffic: small blobs fit the
+	// worker-local area, large blobs reserve shared blocks.
+	if pipe.AliasLocalUses == 0 || pipe.AliasSharedUses == 0 {
+		t.Errorf("alias counters flat: local %d, shared %d",
+			pipe.AliasLocalUses, pipe.AliasSharedUses)
+	}
+	if pipe.QueueSubmitted == 0 {
+		t.Error("pipelined mode never used the submission queue")
+	}
+}

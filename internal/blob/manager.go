@@ -164,7 +164,7 @@ func (m *Manager) Read(mt *simtime.Meter, st *State) (*ReadHandle, error) {
 	if len(h.frames) == 1 && h.frames[0].Contiguous() != nil {
 		// One extent is already contiguous in vmcache — no aliasing area,
 		// no TLB shootdown (§IV-A).
-		v, err := buffer.NewDirectView(h.frames[0], int(st.Size))
+		v, err := m.Alias.DirectView(h.frames[0], int(st.Size))
 		if err == nil {
 			h.view = v
 			return h, nil

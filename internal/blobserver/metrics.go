@@ -48,6 +48,14 @@ type metrics struct {
 	// writer bounds it at roughly one extent regardless of blob size, and
 	// the 64 MiB streaming test asserts exactly that through this gauge.
 	putPeakBuffered atomic.Int64
+
+	// Zero-copy GET accounting: getZeroCopy counts bodies written straight
+	// from the aliased view (one write per extent span), getFallback counts
+	// multipart-range responses that went through the stdlib's buffered
+	// copier, getAborted counts zero-copy bodies cut short by the client
+	// hanging up. zero_copy / (zero_copy + fallback) is the copies-per-read
+	// figure PR 8's bench tracks.
+	getZeroCopy, getFallback, getAborted atomic.Int64
 }
 
 // observePutPeak raises the streaming-PUT peak-buffered gauge.
@@ -127,6 +135,8 @@ func commitVars(db *core.DB) map[string]any {
 // cumulative wait for the pool's structural mutex.
 func poolVars(db *core.DB) map[string]any {
 	s := db.Pool().Stats().Snapshot()
+	a := db.AliasManager().Stats()
+	q := db.Queue().Stats()
 	return map[string]any{
 		"hits":                   s.Hits,
 		"misses":                 s.Misses,
@@ -137,6 +147,20 @@ func poolVars(db *core.DB) map[string]any {
 		"read_vec_segments":      s.ReadVecSegments,
 		"singleflight_coalesces": s.Coalesces,
 		"lock_wait_ns":           s.LockWaitNs,
+		// Aliasing areas (§IV-B): worker-local vs shared-bitmap vs direct
+		// single-extent views, plus the costs (CAS retries, shootdowns).
+		"alias_local_uses":  a.LocalUses,
+		"alias_shared_uses": a.SharedUses,
+		"alias_direct_uses": a.DirectUses,
+		"alias_cas_retries": a.CASRetries,
+		"alias_shootdowns":  a.Shootdowns,
+		// Device submission/completion queue; in the aggregate map the
+		// depth sums across shards (total device slots in the topology).
+		"queue_depth":        int64(q.Depth),
+		"queue_inflight":     q.Inflight,
+		"queue_submitted":    q.Submitted,
+		"queue_completed":    q.Completed,
+		"queue_submit_waits": q.SubmitWaits,
 	}
 }
 
@@ -161,6 +185,13 @@ func newMetrics(c *shard.Cluster, adm *admission) *metrics {
 			"in":                      m.bytesIn.Load(),
 			"out":                     m.bytesOut.Load(),
 			"put_peak_buffered_bytes": m.putPeakBuffered.Load(),
+		}
+	})
+	pub("read_path", func() any {
+		return map[string]any{
+			"zero_copy_responses": m.getZeroCopy.Load(),
+			"copy_fallbacks":      m.getFallback.Load(),
+			"client_aborts":       m.getAborted.Load(),
 		}
 	})
 	// Aggregate engine figures across shards. On the one-shard cluster

@@ -2,6 +2,7 @@ package buffer
 
 import (
 	"fmt"
+	"io"
 	"sync/atomic"
 
 	"blobdb/internal/simtime"
@@ -32,6 +33,7 @@ type AliasManager struct {
 
 	localUses  atomic.Int64
 	sharedUses atomic.Int64
+	directUses atomic.Int64
 	casRetries atomic.Int64
 	shootdowns atomic.Int64
 }
@@ -63,6 +65,7 @@ func (a *AliasManager) NumBlocks() int { return a.numBlocks }
 type AliasStats struct {
 	LocalUses  int64 // aliases served by the worker-local area
 	SharedUses int64 // aliases that reserved shared blocks
+	DirectUses int64 // single-extent views served without any mapping
 	CASRetries int64 // failed reservation attempts on the shared bitmap
 	Shootdowns int64 // unmap operations (TLB shootdowns) performed
 }
@@ -72,6 +75,7 @@ func (a *AliasManager) Stats() AliasStats {
 	return AliasStats{
 		LocalUses:  a.localUses.Load(),
 		SharedUses: a.sharedUses.Load(),
+		DirectUses: a.directUses.Load(),
 		CASRetries: a.casRetries.Load(),
 		Shootdowns: a.shootdowns.Load(),
 	}
@@ -220,6 +224,18 @@ func NewDirectView(f *Frame, size int) (*BlobView, error) {
 	return &BlobView{spans: [][]byte{c[:size]}, size: size, blockFirst: -1}, nil
 }
 
+// DirectView is NewDirectView counted in the manager's stats: the blob
+// layer routes single-extent reads here so /debug/vars can show how much
+// of the read traffic skipped the aliasing areas entirely.
+func (a *AliasManager) DirectView(f *Frame, size int) (*BlobView, error) {
+	v, err := NewDirectView(f, size)
+	if err != nil {
+		return nil, err
+	}
+	a.directUses.Add(1)
+	return v, nil
+}
+
 // Len returns the aliased BLOB size in bytes.
 func (v *BlobView) Len() int { return v.size }
 
@@ -256,6 +272,50 @@ func (v *BlobView) ReadAt(p []byte, off int64) (int, error) {
 		return n, fmt.Errorf("buffer: short read at %d", off)
 	}
 	return n, nil
+}
+
+// WriteTo writes the whole aliased BLOB to w with no intermediate buffer:
+// each extent span is handed to w directly, so a response writer sees the
+// pool frames themselves — the zero-copy read path. It implements
+// io.WriterTo.
+func (v *BlobView) WriteTo(w io.Writer) (int64, error) {
+	return v.WriteRangeTo(w, 0, int64(v.size))
+}
+
+// WriteRangeTo writes bytes [off, off+n) of the aliased BLOB directly to w,
+// trimming n to the view size. Unlike CopyTo there is no destination
+// buffer: each span inside the range goes out as one large Write — the
+// blobserver's (range-trimmed) GET fast path. It returns the bytes written
+// and the first write error (typically the client hanging up).
+func (v *BlobView) WriteRangeTo(w io.Writer, off, n int64) (int64, error) {
+	if off < 0 || n < 0 || off > int64(v.size) {
+		return 0, fmt.Errorf("buffer: range [%d, %d+%d) outside %d-byte view", off, off, n, v.size)
+	}
+	if n > int64(v.size)-off {
+		n = int64(v.size) - off
+	}
+	var written int64
+	for _, s := range v.spans {
+		if n == 0 {
+			break
+		}
+		if off >= int64(len(s)) {
+			off -= int64(len(s))
+			continue
+		}
+		chunk := s[off:]
+		off = 0
+		if int64(len(chunk)) > n {
+			chunk = chunk[:n]
+		}
+		m, err := w.Write(chunk)
+		written += int64(m)
+		n -= int64(m)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
 }
 
 // Materialize allocates a contiguous buffer and gathers the BLOB into it —

@@ -1,0 +1,155 @@
+package buffer
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestAliasBitmapReserveProperty drives the shared-area bitmap through a
+// long seeded schedule of reservations and releases against a model
+// bitmap, checking the range-lock's contract at every step: a successful
+// reserve returns blocks that were all free (no overlap with any live
+// reservation), a failed reserve happens only when no contiguous free
+// run of the requested length exists, and unclaim restores exactly the
+// reserved capacity.
+func TestAliasBitmapReserveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	// 61 blocks: not a multiple of 64, so runs cross the bitmap word
+	// boundary and the tail bits of the last word stay out of bounds.
+	a := NewAliasManager(ps, 4, 4*61)
+	if a.NumBlocks() != 61 {
+		t.Fatalf("NumBlocks = %d, want 61", a.NumBlocks())
+	}
+	model := make([]bool, a.NumBlocks())
+	maxFreeRun := func() int {
+		best, run := 0, 0
+		for _, used := range model {
+			if used {
+				run = 0
+				continue
+			}
+			if run++; run > best {
+				best = run
+			}
+		}
+		return best
+	}
+	type resv struct{ first, n int }
+	var held []resv
+	for step := 0; step < 4000; step++ {
+		if rng.Intn(2) == 0 || len(held) == 0 {
+			n := 1 + rng.Intn(9)
+			first, err := a.reserve(n)
+			if err != nil {
+				if !strings.Contains(err.Error(), "exhausted") {
+					t.Fatalf("step %d: reserve(%d): %v", step, n, err)
+				}
+				if free := maxFreeRun(); free >= n {
+					t.Fatalf("step %d: reserve(%d) reported exhaustion with a free run of %d", step, n, free)
+				}
+				continue
+			}
+			if first < 0 || first+n > a.NumBlocks() {
+				t.Fatalf("step %d: reserve(%d) = [%d, %d) outside the %d-block area", step, n, first, first+n, a.NumBlocks())
+			}
+			for i := first; i < first+n; i++ {
+				if model[i] {
+					t.Fatalf("step %d: reserve(%d) returned block %d, already reserved", step, n, i)
+				}
+				model[i] = true
+			}
+			held = append(held, resv{first, n})
+		} else {
+			i := rng.Intn(len(held))
+			r := held[i]
+			a.unclaim(r.first, r.n)
+			for b := r.first; b < r.first+r.n; b++ {
+				model[b] = false
+			}
+			held[i] = held[len(held)-1]
+			held = held[:len(held)-1]
+		}
+		// The engine bitmap and the model must agree bit for bit.
+		for i := 0; i < a.NumBlocks(); i++ {
+			if a.bit(i) != model[i] {
+				t.Fatalf("step %d: bitmap[%d] = %v, model says %v", step, i, a.bit(i), model[i])
+			}
+		}
+	}
+	// Releasing everything restores full capacity: the whole area is one
+	// reservable run again.
+	for _, r := range held {
+		a.unclaim(r.first, r.n)
+	}
+	for i := 0; i < a.NumBlocks(); i++ {
+		if a.bit(i) {
+			t.Fatalf("block %d still reserved after releasing every reservation", i)
+		}
+	}
+	first, err := a.reserve(a.NumBlocks())
+	if err != nil || first != 0 {
+		t.Fatalf("full-area reserve after drain = (%d, %v), want (0, nil)", first, err)
+	}
+	if _, err := a.reserve(1); err == nil || !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("reserve(1) on a full area: %v, want exhaustion", err)
+	}
+	a.unclaim(0, a.NumBlocks())
+	// Oversized requests fail immediately with the documented error.
+	if _, err := a.reserve(a.NumBlocks() + 1); err == nil || !strings.Contains(err.Error(), "shared blocks, area has") {
+		t.Fatalf("oversized reserve: %v", err)
+	}
+}
+
+// TestAliasBitmapConcurrentClaims races reservations from many
+// goroutines and cross-checks every granted block against a shared
+// ownership array: the CAS protocol must never hand the same block to
+// two holders, and the area must drain back to empty.
+func TestAliasBitmapConcurrentClaims(t *testing.T) {
+	a := NewAliasManager(ps, 2, 2*64)
+	owners := make([]atomic.Int32, a.NumBlocks())
+	errCh := make(chan error, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for iter := 0; iter < 300; iter++ {
+				n := 1 + rng.Intn(6)
+				first, err := a.reserve(n)
+				if err != nil {
+					// Exhaustion or retry-budget contention under load is
+					// legal; losing a block to double-grant is not.
+					continue
+				}
+				for i := first; i < first+n; i++ {
+					if owners[i].Add(1) != 1 {
+						select {
+						case errCh <- fmt.Errorf("shared block %d granted to two concurrent reservations", i):
+						default:
+						}
+					}
+				}
+				for i := first; i < first+n; i++ {
+					owners[i].Add(-1)
+				}
+				a.unclaim(first, n)
+			}
+		}(int64(100 + g))
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	for i := 0; i < a.NumBlocks(); i++ {
+		if a.bit(i) {
+			t.Fatalf("block %d leaked: still reserved after all goroutines drained", i)
+		}
+	}
+}

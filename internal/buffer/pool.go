@@ -282,6 +282,11 @@ type Pool interface {
 	ResidentPages() int
 	// Stats exposes the pool counters.
 	Stats() *Stats
+	// SetQueue routes the pool's device I/O — miss loads and eviction
+	// write-back — through a submission/completion queue instead of direct
+	// device calls. nil (the default) keeps direct calls. Set once at
+	// engine construction, before the pool serves traffic.
+	SetQueue(q *storage.SubQueue)
 
 	release(f *Frame)
 }
@@ -347,6 +352,8 @@ type batchPool interface {
 	// coalescing where the pool's frame layout allows.
 	missSegs(loads []*entry) []storage.Seg
 	device() storage.Device
+	// queue returns the submission queue set by SetQueue, or nil.
+	queue() *storage.SubQueue
 }
 
 // fixExtents is the shared batched fix engine (§III-D). One classification
@@ -416,7 +423,16 @@ func loadMisses(p batchPool, m *simtime.Meter, loads []*entry) error {
 		return nil
 	}
 	segs := p.missSegs(loads)
-	if err := storage.ReadVec(p.device(), m, segs); err != nil {
+	var err error
+	if q := p.queue(); q != nil {
+		// One queue submission for the whole miss set: the cold read's
+		// device work overlaps with other workers' in-flight submissions
+		// up to the queue depth, instead of serializing on the device.
+		err = q.Wait(q.Submit(m, storage.Vec{Reads: segs}))
+	} else {
+		err = storage.ReadVec(p.device(), m, segs)
+	}
+	if err != nil {
 		return err
 	}
 	st := p.Stats()

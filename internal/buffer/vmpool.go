@@ -32,6 +32,7 @@ type VMPool struct {
 	slabPages int // virtual slab size (over-provisioned, see NewVMPool)
 	slab      []byte
 	dev       storage.Device
+	q         *storage.SubQueue
 
 	resident shardedResident
 
@@ -91,6 +92,11 @@ func (p *VMPool) PageSize() int { return p.pageSize }
 
 // Stats implements Pool.
 func (p *VMPool) Stats() *Stats { return &p.stats }
+
+// SetQueue implements Pool.
+func (p *VMPool) SetQueue(q *storage.SubQueue) { p.q = q }
+
+func (p *VMPool) queue() *storage.SubQueue { return p.q }
 
 // ResidentPages implements Pool.
 func (p *VMPool) ResidentPages() int {
@@ -372,7 +378,18 @@ func (p *VMPool) writeBack(m *simtime.Meter, e *entry) error {
 		return nil
 	}
 	off := (e.frameOff + lo) * p.pageSize
-	err := p.dev.WritePages(m, e.headPID+storage.PID(lo), hi-lo, p.slab[off:off+(hi-lo)*p.pageSize])
+	buf := p.slab[off : off+(hi-lo)*p.pageSize]
+	var err error
+	if p.q != nil {
+		// The contiguous dirty range goes out as one queue submission, so
+		// eviction write-back overlaps other workers' in-flight I/O. The
+		// caller still waits: the claim/dirty bookkeeping needs the result.
+		err = p.q.Wait(p.q.Submit(m, storage.Vec{
+			Writes: []storage.Seg{{PID: e.headPID + storage.PID(lo), N: hi - lo, Buf: buf}},
+		}))
+	} else {
+		err = p.dev.WritePages(m, e.headPID+storage.PID(lo), hi-lo, buf)
+	}
 	if err != nil {
 		e.markDirty(lo, hi) // restore so the data is not silently lost
 		return err

@@ -6,6 +6,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"blobdb/internal/simtime"
+	"blobdb/internal/storage"
 )
 
 // Async commit pipeline.
@@ -61,6 +64,21 @@ type committer struct {
 	gateMu   sync.Mutex
 	gateCond *sync.Cond
 	gated    bool
+
+	// Pipelined extent write-back: after the shared WAL sync, a batch's
+	// extent flush is submitted to the device queue and the committer moves
+	// on, so batch N's WAL work overlaps batch N-1's write-back. At most
+	// one flight is outstanding; flightMu guards the pointer.
+	flightMu sync.Mutex
+	flight   *commitFlight
+}
+
+// commitFlight is one batch's in-flight extent write-back. ticket covers
+// the device writes; done closes after finalization — pins released, frees
+// applied, locks released, durability acks delivered.
+type commitFlight struct {
+	ticket *storage.Ticket
+	done   chan struct{}
 }
 
 // maxCommitBatch caps how many transactions one WAL sync may cover.
@@ -276,11 +294,14 @@ func (db *DB) CloseCommitter() error {
 }
 
 // finishBatch runs the deferred half of a batch of transactions on the
-// committer: every transaction is finalized and its WAL records flushed,
-// then one shared sync makes the whole batch durable, then each
-// transaction's extents are flushed (§III-C ordering is preserved — the
-// extent flush of a transaction happens strictly after its commit record
-// is durable). Drain sentinels are acknowledged once the batch completes.
+// committer: every transaction's WAL records are flushed, then one shared
+// sync makes the whole batch durable, then the batch's extent write-back
+// is *submitted* to the device queue and the committer returns to form the
+// next batch — so batch N's WAL sync overlaps batch N-1's extent flush.
+// §III-C ordering is preserved: a transaction's extents flush strictly
+// after its own commit record is durable; the pipelining only overlaps the
+// flush with the *next* batch's WAL work. Drain sentinels are acknowledged
+// once every prior flight has fully finalized.
 func (db *DB) finishBatch(batch []*Txn) {
 	// Background work is charged to no meter: its cost reaches the
 	// measurement only as real wall time through backpressure when the
@@ -308,7 +329,9 @@ func (db *DB) finishBatch(batch []*Txn) {
 		}
 		if len(flushed) > 0 {
 			// The shared group-commit sync: one durability point for the
-			// whole batch.
+			// whole batch. The previous batch's extent write-back is still
+			// in flight on the queue while this sync runs — that is the
+			// pipeline overlap.
 			if err := db.wal.Sync(nil); err != nil {
 				for _, t := range flushed {
 					db.failCommit(t, err)
@@ -319,36 +342,103 @@ func (db *DB) finishBatch(batch []*Txn) {
 				db.commit.batchTxns.Add(int64(len(flushed)))
 			}
 		}
-		done := flushed[:0]
-		for _, t := range flushed {
-			var err error
+		if len(flushed) > 0 {
+			// Pipeline handoff: join the previous flight's device writes
+			// (bounding the pipeline at one outstanding batch), then submit
+			// this batch's flush and move on.
+			db.joinCommitFlight()
+			db.submitCommitFlush(flushed)
+		}
+		db.ckptMu.Unlock()
+	}
+	if len(drains) > 0 {
+		db.drainCommitFlight()
+		for _, d := range drains {
+			close(d)
+		}
+	}
+}
+
+// submitCommitFlush hands a durable batch's extent write-back to the
+// submission queue and finalizes the transactions when the writes land.
+// Called with ckptMu held; on an inline queue the flush therefore runs
+// under ckptMu exactly like the pre-pipeline committer, which is what
+// keeps crashsim's op ordering unchanged.
+func (db *DB) submitCommitFlush(txns []*Txn) {
+	f := &commitFlight{done: make(chan struct{})}
+	f.ticket = db.queue.SubmitFunc(nil, func(m *simtime.Meter) error {
+		for _, t := range txns {
 			for _, p := range t.pendings {
-				if err = p.Flush(nil); err != nil {
+				if t.flushErr = p.Flush(m); t.flushErr != nil {
 					break
 				}
 			}
-			if err != nil {
-				db.failCommit(t, err)
-				continue
-			}
-			done = append(done, t)
 		}
-		db.ckptMu.Unlock()
-		for _, t := range done {
-			for _, p := range t.pendings {
-				p.Release()
-			}
-			db.blobs.ApplyFrees(t.frees)
-			t.releaseLocks()
-			t.writer.Close()
-			db.commit.release(t)
-			if t.waitC != nil {
-				t.waitC <- nil
-			}
+		return nil
+	})
+	db.commit.flightMu.Lock()
+	db.commit.flight = f
+	db.commit.flightMu.Unlock()
+	go db.finalizeCommitFlight(f, txns)
+}
+
+// finalizeCommitFlight completes a batch once its write-back ticket
+// signals: failed transactions are failCommit'ed; successful ones release
+// their pinned frames, apply their frees, drop their locks, and deliver
+// their durability acks (waitC last, so an acked caller observes every
+// other effect). Runs off the committer goroutine — the committer is
+// already forming the next batch.
+func (db *DB) finalizeCommitFlight(f *commitFlight, txns []*Txn) {
+	db.queue.Wait(f.ticket)
+	for _, t := range txns {
+		if t.flushErr != nil {
+			db.failCommit(t, t.flushErr)
+			continue
+		}
+		for _, p := range t.pendings {
+			p.Release()
+		}
+		db.deferFrees(t.frees)
+		t.releaseLocks()
+		db.endTxn(t.id)
+		t.writer.Close()
+		db.commit.release(t)
+		if t.waitC != nil {
+			t.waitC <- nil
 		}
 	}
-	for _, d := range drains {
-		close(d)
+	close(f.done)
+}
+
+// joinCommitFlight blocks until the outstanding flight's device writes
+// have completed (finalization may still be running). It bounds the
+// pipeline at one batch and doubles as the checkpoint writer's §III-C
+// barrier: after a join, no committed-but-unflushed extents precede the
+// current batch.
+func (db *DB) joinCommitFlight() {
+	if db.commit == nil {
+		return
+	}
+	db.commit.flightMu.Lock()
+	f := db.commit.flight
+	db.commit.flightMu.Unlock()
+	if f != nil {
+		db.queue.Wait(f.ticket)
+	}
+}
+
+// drainCommitFlight blocks until the outstanding flight has fully
+// finalized — acks delivered, frees applied — the drain sentinel's strong
+// barrier.
+func (db *DB) drainCommitFlight() {
+	if db.commit == nil {
+		return
+	}
+	db.commit.flightMu.Lock()
+	f := db.commit.flight
+	db.commit.flightMu.Unlock()
+	if f != nil {
+		<-f.done
 	}
 }
 
@@ -366,6 +456,7 @@ func (db *DB) failCommit(t *Txn, err error) {
 		p.ReleaseUnflushed()
 	}
 	t.releaseLocks()
+	db.endTxn(t.id)
 	t.writer.Close()
 	db.commit.release(t)
 	if t.waitC != nil {

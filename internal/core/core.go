@@ -59,6 +59,12 @@ type options struct {
 	// Commit returns at enqueue. Used by the throughput benchmarks; tests
 	// needing a durability point call DrainCommits.
 	AsyncCommit bool
+	// QueueDepth sizes the device submission/completion queue (default
+	// storage.DefaultQueueDepth).
+	QueueDepth int
+	// InlineQueue makes queue submissions execute synchronously on the
+	// submitting goroutine — crashsim's determinism mode.
+	InlineQueue bool
 }
 
 // DB is an open database.
@@ -79,8 +85,10 @@ type DB struct {
 	rels map[string]*Relation
 
 	locks   lockTable
+	reclaim reclaimer
 	nextTxn atomic.Uint64
-	commit  *committer // non-nil in AsyncCommit mode
+	commit  *committer        // non-nil in AsyncCommit mode
+	queue   *storage.SubQueue // device submission queue (pool I/O + commit flush)
 
 	// ckptMu serializes checkpoints against commits so a checkpoint image
 	// never captures a commit's tree change without its extent flush.
@@ -144,17 +152,24 @@ func open(o options) (*DB, error) {
 	}
 	db.wal.OnCheckpoint = db.writeCheckpoint
 
+	if o.InlineQueue {
+		db.queue = storage.NewInlineSubQueue(o.Dev)
+	} else {
+		db.queue = storage.NewSubQueue(o.Dev, o.QueueDepth)
+	}
 	if o.HashTablePool {
 		db.pool = buffer.NewHTPool(o.Dev, o.PoolPages)
 	} else {
 		db.pool = buffer.NewVMPool(o.Dev, o.PoolPages)
 	}
+	db.pool.SetQueue(db.queue)
 	db.alloc = extent.NewAllocator(extent.NewTierTable(extent.DefaultTiersPerLevel),
 		heapStart, storage.PID(n))
 	db.alias = buffer.NewAliasManager(o.Dev.PageSize(), o.WorkerLocalAliasPages, o.PoolPages)
 	db.blobs = blob.NewManager(db.pool, db.alloc, db.alias)
 	db.blobs.UseTail = o.UseTailExtents
 	db.locks.init()
+	db.reclaim.init()
 	if o.AsyncCommit {
 		db.startCommitter()
 	}
@@ -175,6 +190,10 @@ func (db *DB) Allocator() *extent.Allocator { return db.alloc }
 
 // AliasManager exposes the aliasing-area manager.
 func (db *DB) AliasManager() *buffer.AliasManager { return db.alias }
+
+// Queue exposes the device submission/completion queue (metrics reach
+// through for depth/inflight counters).
+func (db *DB) Queue() *storage.SubQueue { return db.queue }
 
 // CreateRelation creates a relation ("CREATE TABLE image(filename VARCHAR
 // PRIMARY KEY, content BLOB)" maps to CreateRelation("image")).

@@ -52,6 +52,19 @@ func WithCheckpointThreshold(n int64) Option { return func(o *options) { o.Check
 // durability ack use Txn.CommitWait.
 func WithAsyncCommit(on bool) Option { return func(o *options) { o.AsyncCommit = on } }
 
+// WithQueueDepth sizes the device submission/completion queue that the
+// buffer pool's miss loads, eviction write-back, and the pipelined
+// committer's extent flush all route through (default
+// storage.DefaultQueueDepth; values below 2 are clamped to 2).
+func WithQueueDepth(n int) Option { return func(o *options) { o.QueueDepth = n } }
+
+// WithInlineQueue makes the submission queue execute synchronously on the
+// submitting goroutine instead of on completion goroutines. The pipelined
+// code paths still run, but the device observes operations in caller order
+// with no concurrency — crashsim selects this so FaultDevice's op-hash
+// replay stays deterministic.
+func WithInlineQueue(on bool) Option { return func(o *options) { o.InlineQueue = on } }
+
 // New initializes a database over dev with functional options:
 //
 //	db, err := core.New(dev, core.WithPoolPages(1<<14), core.WithAsyncCommit(true))

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"blobdb/internal/blob"
+)
+
+// Deferred extent reclamation.
+//
+// Readers are lock-free (§III-H applies 2PL to writers only): a reader
+// captures a Blob State snapshot from the tree and pins the referenced
+// extents with no record lock held. A writer that replaces or deletes the
+// blob must therefore not return the old extents to the allocator — or
+// drop them from the buffer pool — while any transaction that could still
+// hold the old snapshot is alive: the pool would panic on a pinned Drop,
+// or worse, the allocator would recycle the extent under a reader that
+// has yet to fix it, serving torn bytes.
+//
+// The reclaimer is an epoch scheme over transaction lifetimes. Every
+// transaction registers at Begin with the current value of a logical
+// clock; a committed free is queued tagged with the clock (which then
+// advances) instead of being applied inline. A queued free becomes safe
+// when no active transaction's begin tick is ≤ its tag: any transaction
+// started after the tag began after the tree stopped referencing the old
+// extents, so it cannot have captured the stale snapshot. Frees are
+// applied in FIFO order at transaction end, under the reclaimer lock, so
+// allocator mutations stay deterministic for crash-schedule replay.
+//
+// The single-flush durability story is unaffected: frees are in-memory
+// bookkeeping (pool residency + allocator), and recovery rebuilds the
+// allocator from the tree image, so frees deferred across a crash are
+// simply rediscovered.
+type reclaimer struct {
+	mu      sync.Mutex
+	clock   uint64            // advances once per deferral batch
+	active  map[uint64]uint64 // txn id -> clock value at Begin
+	pending []deferredFrees   // FIFO; clock tags are non-decreasing
+}
+
+// deferredFrees is one committed transaction's extent frees, applicable
+// once every transaction begun at or before clock has ended.
+type deferredFrees struct {
+	clock uint64
+	specs []blob.FreeSpec
+}
+
+func (r *reclaimer) init() { r.active = map[uint64]uint64{} }
+
+// beginTxn registers a transaction as a potential stale-snapshot holder.
+func (db *DB) beginTxn(id uint64) {
+	r := &db.reclaim
+	r.mu.Lock()
+	r.active[id] = r.clock
+	r.mu.Unlock()
+}
+
+// deferFrees queues a committed transaction's extent frees for
+// reclamation. Call before endTxn so the committing transaction's own
+// registration holds its frees back until it has fully ended.
+func (db *DB) deferFrees(specs []blob.FreeSpec) {
+	if len(specs) == 0 {
+		return
+	}
+	r := &db.reclaim
+	r.mu.Lock()
+	r.pending = append(r.pending, deferredFrees{clock: r.clock, specs: specs})
+	r.clock++
+	r.mu.Unlock()
+}
+
+// endTxn deregisters a transaction and applies every queued free that no
+// remaining active transaction predates. Applying under the reclaimer
+// lock keeps the allocator's mutation order a pure function of the
+// transaction end order — which the crash simulator replays exactly.
+func (db *DB) endTxn(id uint64) {
+	r := &db.reclaim
+	r.mu.Lock()
+	delete(r.active, id)
+	horizon := uint64(math.MaxUint64)
+	for _, tick := range r.active {
+		if tick < horizon {
+			horizon = tick
+		}
+	}
+	n := 0
+	for n < len(r.pending) && r.pending[n].clock < horizon {
+		n++
+	}
+	ready := r.pending[:n:n]
+	r.pending = r.pending[n:]
+	for _, d := range ready {
+		db.blobs.ApplyFrees(d.specs)
+	}
+	r.mu.Unlock()
+}
+
+// ReclaimPending reports the number of deferred free batches not yet
+// returned to the allocator (tests and /debug/vars).
+func (db *DB) ReclaimPending() int {
+	r := &db.reclaim
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDeferredFreesBlockOnActiveReader pins the reclaimer's horizon rule:
+// a transaction that captured a Blob State before an overwrite keeps the
+// old extents resident and unrecycled until it ends, and the frees land
+// as soon as it does.
+func TestDeferredFreesBlockOnActiveReader(t *testing.T) {
+	db := openTest(t, testOpts())
+	if _, err := db.CreateRelation("r"); err != nil {
+		t.Fatal(err)
+	}
+	old := bytes.Repeat([]byte{0xAA}, 3*ps)
+	tx := db.Begin(nil)
+	if err := putBlob(tx, "r", []byte("k"), old); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	reader := db.Begin(nil)
+	st, err := reader.BlobState("r", []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx = db.Begin(nil)
+	if err := putBlob(tx, "r", []byte("k"), bytes.Repeat([]byte{0xBB}, 3*ps)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	if db.ReclaimPending() == 0 {
+		t.Fatal("overwrite frees applied while a pre-overwrite reader is active")
+	}
+	// The stale snapshot must still read the complete old content.
+	got, err := db.blobs.ReadAll(nil, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatal("stale snapshot read does not match the pre-overwrite content")
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.ReclaimPending(); n != 0 {
+		t.Fatalf("reclaim pending = %d after the last pre-overwrite txn ended, want 0", n)
+	}
+}
+
+// TestDeferredFreesAbortPath: a reader that aborts also releases the
+// reclamation horizon.
+func TestDeferredFreesAbortPath(t *testing.T) {
+	db := openTest(t, testOpts())
+	if _, err := db.CreateRelation("r"); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin(nil)
+	if err := putBlob(tx, "r", []byte("k"), bytes.Repeat([]byte{1}, 2*ps)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	reader := db.Begin(nil)
+	if _, err := reader.BlobState("r", []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	tx = db.Begin(nil)
+	if err := tx.DeleteBlob("r", []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	if db.ReclaimPending() == 0 {
+		t.Fatal("delete frees applied under an active reader")
+	}
+	if err := reader.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.ReclaimPending(); n != 0 {
+		t.Fatalf("reclaim pending = %d after reader abort, want 0", n)
+	}
+}
+
+// TestConcurrentReadersOverwriteNoTornReads hammers the lock-free read
+// path while a writer replaces the blob — the schedule that used to
+// panic the pool with "Drop of pinned extent" once the submission queue
+// added yield points to the commit path. Every read must observe one
+// complete version, never a mix, and no pinned extent may be dropped.
+func TestConcurrentReadersOverwriteNoTornReads(t *testing.T) {
+	db := openTest(t, testOpts())
+	if _, err := db.CreateRelation("r"); err != nil {
+		t.Fatal(err)
+	}
+	versions := make([][]byte, 4)
+	for v := range versions {
+		versions[v] = bytes.Repeat([]byte{byte('A' + v)}, 5*ps/2)
+	}
+	tx := db.Begin(nil)
+	if err := putBlob(tx, "r", []byte("k"), versions[0]); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 16)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rtx := db.Begin(nil)
+				data, err := rtx.ReadBlobBytes("r", []byte("k"))
+				if err != nil {
+					rtx.Abort()
+					errCh <- err
+					return
+				}
+				for _, b := range data {
+					if b != data[0] {
+						rtx.Abort()
+						errCh <- fmt.Errorf("torn read: %c vs %c", data[0], b)
+						return
+					}
+				}
+				rtx.Commit()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for v := 1; v < len(versions)*8; v++ {
+			wtx := db.Begin(nil)
+			if err := putBlob(wtx, "r", []byte("k"), versions[v%len(versions)]); err != nil {
+				errCh <- err
+				return
+			}
+			if err := wtx.Commit(); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}

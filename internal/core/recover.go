@@ -51,6 +51,13 @@ func newContentHasher() *sha256x.Fast { return sha256x.BestHasher() }
 // hook, so it runs with the WAL manager's lock held — which also
 // serializes access to db.ckptNext.
 func (db *DB) writeCheckpoint(m *simtime.Meter, ckptLSN uint64) error {
+	// The pipelined committer may still be writing back the previous
+	// batch's extents; the image must not capture a commit's tree change
+	// without its extent flush (§III-C), so join the in-flight flush
+	// first. Only the flight's device writes are awaited — finalization
+	// can touch the WAL buffer pool, and this hook already runs under the
+	// WAL manager's lock.
+	db.joinCommitFlight()
 	body := make([]byte, 0, 1<<16)
 	var u8 [8]byte
 	var u4 [4]byte

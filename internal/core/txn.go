@@ -39,6 +39,7 @@ type Txn struct {
 	drain         chan struct{} // sentinel marker for DrainCommits
 	waitC         chan error    // CommitWait: committer's durability ack
 	inflightBytes int64         // pinned bytes, snapshotted at enqueue
+	flushErr      error         // extent write-back failure, set on the flight
 }
 
 // undoOp restores a tree entry on abort.
@@ -63,13 +64,18 @@ func (db *DB) BeginCtx(ctx context.Context, meter *simtime.Meter) *Txn {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Txn{
+	t := &Txn{
 		db:     db,
 		id:     db.nextTxn.Add(1),
 		ctx:    ctx,
 		meter:  meter,
 		writer: db.wal.NewWriter(),
 	}
+	// Register with the reclaimer: while this transaction lives, extents
+	// freed by concurrent commits stay resident and unrecycled, so any
+	// Blob State snapshot it captures keeps reading stable bytes.
+	db.beginTxn(t.id)
+	return t
 }
 
 // Context returns the context the transaction was started with.
@@ -487,6 +493,7 @@ func (t *Txn) Commit() error {
 		// Read-only transaction: nothing to make durable.
 		t.writer.Close()
 		t.releaseLocks()
+		t.db.endTxn(t.id)
 		return nil
 	}
 	if t.db.commit != nil {
@@ -520,13 +527,15 @@ func (t *Txn) Commit() error {
 			p.ReleaseUnflushed()
 		}
 		t.releaseLocks()
+		t.db.endTxn(t.id)
 		return fmt.Errorf("core: commit txn %d: %w", t.id, err)
 	}
 	for _, p := range t.pendings {
 		p.Release()
 	}
-	t.db.blobs.ApplyFrees(t.frees)
+	t.db.deferFrees(t.frees)
 	t.releaseLocks()
+	t.db.endTxn(t.id)
 	return nil
 }
 
@@ -617,6 +626,7 @@ func (t *Txn) rollback() {
 		p.Discard(p.News)
 	}
 	t.releaseLocks()
+	t.db.endTxn(t.id)
 }
 
 func (t *Txn) releaseLocks() {
@@ -638,6 +648,7 @@ func CrashBeforeExtentFlush(t *Txn) error {
 	}
 	t.done = true
 	defer t.writer.Close()
+	t.db.endTxn(t.id)
 	return t.writer.Commit(t.meter, t.id)
 }
 

@@ -103,6 +103,12 @@ func (c Config) dbOptions(async bool) []core.Option {
 		core.WithCkptPages(simCkptPages),
 		core.WithPoolPages(c.poolPages()),
 		core.WithAsyncCommit(async),
+		// The inline queue runs every submission synchronously on the
+		// submitting goroutine: the pipelined committer and queue-routed
+		// pool I/O exercise the same code paths as the real server, but the
+		// FaultDevice observes operations in caller order, keeping the
+		// op-hash replay deterministic.
+		core.WithInlineQueue(true),
 	}
 }
 

@@ -89,6 +89,8 @@ func (c TopoConfig) dbOptions(async bool) []core.Option {
 		core.WithCkptPages(simCkptPages),
 		core.WithPoolPages(poolNormal),
 		core.WithAsyncCommit(async),
+		// Inline queue for deterministic op-hash replay; see Config.dbOptions.
+		core.WithInlineQueue(true),
 	}
 }
 

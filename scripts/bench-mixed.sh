@@ -1,0 +1,15 @@
+#!/bin/sh
+# bench-mixed: run the mixed 32-reader/8-writer tail-latency benchmark
+# (inline queue + materialized reads vs pipelined submission queue +
+# zero-copy aliased reads) on the wall-clock latency device and record
+# cold-read latency, read/write p50/p99, copies-per-read, and the
+# alias/queue counters in BENCH_PR8.json — the before/after evidence for
+# the PR 8 read and commit pipelines (§IV-B, §III-C).
+#
+# Usage: scripts/bench-mixed.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR8.json}"
+go run ./cmd/blobbench -mixedbench-json "$out"
+echo "recorded $out"
