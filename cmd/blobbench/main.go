@@ -27,7 +27,33 @@ func main() {
 	mixedJSON := flag.String("mixedbench-json", "", "run the mixed read/write tail-latency benchmark and write the JSON report to this path")
 	shardJSON := flag.String("shardbench-json", "", "run the multi-shard commit-scaling benchmark and write the JSON report to this path")
 	replJSON := flag.String("replbench-json", "", "run the replication-lag benchmark and write the JSON report to this path")
+	dedupJSON := flag.String("dedupbench-json", "", "run the dedup + online-defragmentation benchmark and write the JSON report to this path")
 	flag.Parse()
+
+	if *dedupJSON != "" {
+		rep, err := bench.DedupDefrag(bench.DedupBenchOpts{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dedupbench: %v\n", err)
+			os.Exit(1)
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dedupbench: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*dedupJSON, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dedupbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dedup ratio %.2fx (%d hits), frag score %.3f -> %.3f over %d rounds (%d moves, %d pages off the HWM)\n",
+			rep.DedupRatio, rep.DedupHits, rep.ScorePreDefrag, rep.ScorePostDefrag,
+			len(rep.Rounds), rep.TotalMoved, rep.HWMPagesReclaimed)
+		fmt.Printf("read p99 during relocation: %.0fus vs %.0fus baseline (%+.1f%%)\n",
+			rep.DefragReadP99Us, rep.BaselineReadP99Us, 100*rep.ReadP99Regression)
+		fmt.Printf("wrote %s\n", *dedupJSON)
+		return
+	}
 
 	if *replJSON != "" {
 		rep, err := bench.ReplLag(bench.ReplBenchOpts{})

@@ -39,6 +39,7 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -50,6 +51,7 @@ import (
 
 	"blobdb/internal/blobserver"
 	"blobdb/internal/core"
+	"blobdb/internal/maint"
 	"blobdb/internal/repl"
 	"blobdb/internal/shard"
 	"blobdb/internal/simtime"
@@ -69,6 +71,12 @@ func main() {
 
 		replicaOf    = flag.String("replica-of", "", "run as a read replica tailing this primary base URL (e.g. http://db0:9090)")
 		syncInterval = flag.Duration("sync-interval", 200*time.Millisecond, "replica: pull cadence against the primary")
+
+		defrag         = flag.Bool("defrag", false, "run the online defragmenter in the background (per shard)")
+		defragInterval = flag.Duration("defrag-interval", 30*time.Second, "defragmenter: round cadence")
+		defragMinScore = flag.Float64("defrag-min-score", 0.15, "defragmenter: skip rounds while the fragmentation score is below this")
+		defragMaxMoves = flag.Int("defrag-max-moves", 64, "defragmenter: extent relocations per round")
+		defragPause    = flag.Duration("defrag-pause", 0, "defragmenter: pause between individual moves (foreground-latency pacing)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -128,6 +136,21 @@ func main() {
 		cfg.Replica = replica
 		cfg.PrimaryURL = *replicaOf
 	}
+	var defraggers []*maint.Defragmenter
+	if *defrag {
+		cfg.ExtraVars = map[string]expvar.Var{}
+		for i, db := range dbs {
+			d := maint.New(db, maint.Config{
+				MinScore: *defragMinScore,
+				MaxMoves: *defragMaxMoves,
+				Interval: *defragInterval,
+				Pause:    *defragPause,
+				Logf:     log.Printf,
+			})
+			defraggers = append(defraggers, d)
+			cfg.ExtraVars[fmt.Sprintf("defrag_shard%d", i)] = d.Vars()
+		}
+	}
 	bs := blobserver.New(cfg)
 	srv := &http.Server{Addr: *listen, Handler: bs}
 	blobserver.ConfigureHTTPServer(srv)
@@ -139,6 +162,12 @@ func main() {
 			log.Printf("replication: %v", err)
 		})
 		log.Printf("replicating from %s (pull every %s; POST /admin/v1/promote to fail over)", *replicaOf, *syncInterval)
+	}
+	for _, d := range defraggers {
+		go d.Run(ctx)
+	}
+	if *defrag {
+		log.Printf("defragmenter on: every %s, min score %.2f, %d moves/round", *defragInterval, *defragMinScore, *defragMaxMoves)
 	}
 	go func() {
 		<-ctx.Done()

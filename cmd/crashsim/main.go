@@ -7,6 +7,7 @@
 //	crashsim                                   # short sweep, both tear modes
 //	crashsim -traces 50 -points 200            # nightly-sized sweep
 //	crashsim -seed 7 -synccommit -smallpool    # stress the sync path under eviction
+//	crashsim -dedup                            # dedup/relocation-heavy traces (refcount ledger)
 //	crashsim -trace-seed N -crashpoint K       # replay one schedule
 //	crashsim -topology -shards 3               # one-shard-crash topology schedules
 //	crashsim -topology -trace-seed N -crashpoint K -topo-crash-shard S [-topo-rebalance]
@@ -35,6 +36,7 @@ func main() {
 		tear      = flag.String("tear", "", "restrict to one tear mode (ordered|scramble); default explores both")
 		syncMode  = flag.Bool("synccommit", false, "use the synchronous commit path instead of the async group-commit pipeline")
 		smallPool = flag.Bool("smallpool", false, "shrink the buffer pool so flushes contend with eviction")
+		dedupMode = flag.Bool("dedup", false, "generate dedup/relocation-heavy traces (dup-put, dup-put-abort, relocate families) exercising the refcount ledger")
 		quiet     = flag.Bool("q", false, "suppress per-trace progress output")
 
 		traceSeed = flag.Int64("trace-seed", 0, "replay: trace seed of one schedule")
@@ -62,6 +64,9 @@ func main() {
 	}
 
 	cfg := crashsim.DefaultConfig(*seed)
+	if *dedupMode {
+		cfg = crashsim.DefaultDedupConfig(*seed)
+	}
 	cfg.Sync = *syncMode
 	cfg.SmallPool = *smallPool
 	if *traces > 0 {

@@ -1,12 +1,16 @@
 // Package framerelease checks that every buffer frame fixed through
-// Pool.FixExtent / Pool.FixExtents is released exactly once on every
-// control-flow path.
+// Pool.FixExtent / Pool.FixExtents — or created through Pool.CreateExtent
+// — is released exactly once on every control-flow path.
 //
 // A fixed frame holds a pin: leaking one wedges eviction (the pool can
 // never evict a pinned frame, so a leak on a hot error path eventually
 // deadlocks FixExtent under ErrPoolFull), and releasing one twice
-// corrupts the pin count. The invariant lives in the Frame API contract;
-// this analyzer makes it machine-checked.
+// corrupts the pin count. CreateExtent results carry the same obligation
+// with higher stakes: created frames are born evict-protected, so the
+// relocation clone pin (pin source → copy → flush → release, the online
+// defragmenter's per-move protocol) leaks a permanently unevictable
+// frame if any error path forgets the release. The invariant lives in
+// the Frame API contract; this analyzer makes it machine-checked.
 //
 // The analysis is a forward dataflow over the function's CFG. Each
 // variable bound to a Fix result carries a set of possible states
@@ -34,9 +38,11 @@ var Analyzer = &analysis.Analyzer{
 	Name: "framerelease",
 	Doc: `check that fixed buffer frames are released exactly once on every path
 
-Every result of Pool.FixExtent / Pool.FixExtents must be Release()d on
-all paths, including error returns. Leaks pin frames forever (wedging
-eviction); double releases corrupt the pin count.`,
+Every result of Pool.FixExtent / Pool.FixExtents / Pool.CreateExtent
+must be Release()d on all paths, including error returns. Leaks pin
+frames forever (wedging eviction — created frames are additionally
+evict-protected, the relocation clone-pin hazard); double releases
+corrupt the pin count.`,
 	Run: run,
 }
 
@@ -77,11 +83,12 @@ type checker struct {
 	// iterated collection's elements.
 	rangeReleased map[*ast.RangeStmt]bool
 	// fixPos remembers where each tracked variable was fixed, and whether
-	// it is a batch ([]*Frame) result, for report wording.
-	fixPos   map[types.Object]token.Pos
-	fixBatch map[types.Object]bool
-	reported map[string]bool
-	diags    []analysis.Diagnostic
+	// it is a batch ([]*Frame) or CreateExtent result, for report wording.
+	fixPos    map[types.Object]token.Pos
+	fixBatch  map[types.Object]bool
+	fixCreate map[types.Object]bool
+	reported  map[string]bool
+	diags     []analysis.Diagnostic
 }
 
 type state map[types.Object]vstate
@@ -118,6 +125,7 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 		rangeReleased: map[*ast.RangeStmt]bool{},
 		fixPos:        map[types.Object]token.Pos{},
 		fixBatch:      map[types.Object]bool{},
+		fixCreate:     map[types.Object]bool{},
 		reported:      map[string]bool{},
 	}
 	c.preScan(fn.Body)
@@ -240,19 +248,20 @@ const (
 	fixNone fixCallKind = iota
 	fixSingle
 	fixBatchKind
+	fixCreate
 )
 
-// fixKind classifies a call as Pool.FixExtent, Pool.FixExtents, or
-// neither. The receiver's package must be a buffer-pool package (package
-// name "buffer") other than the one under analysis: the pool's own
-// internals manage pins below the Fix contract.
+// fixKind classifies a call as Pool.FixExtent, Pool.FixExtents,
+// Pool.CreateExtent, or none of those. The receiver's package must be a
+// buffer-pool package (package name "buffer") other than the one under
+// analysis: the pool's own internals manage pins below the Fix contract.
 func fixKind(pass *analysis.Pass, call *ast.CallExpr) fixCallKind {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return fixNone
 	}
 	name := sel.Sel.Name
-	if name != "FixExtent" && name != "FixExtents" {
+	if name != "FixExtent" && name != "FixExtents" && name != "CreateExtent" {
 		return fixNone
 	}
 	selection := pass.TypesInfo.Selections[sel]
@@ -270,8 +279,11 @@ func fixKind(pass *analysis.Pass, call *ast.CallExpr) fixCallKind {
 	if !ok || sig.Results().Len() != 2 {
 		return fixNone
 	}
-	if name == "FixExtent" {
+	switch name {
+	case "FixExtent":
 		return fixSingle
+	case "CreateExtent":
+		return fixCreate
 	}
 	return fixBatchKind
 }
@@ -281,6 +293,24 @@ func base(path string) string {
 		return path[i+1:]
 	}
 	return path
+}
+
+// isFlushExtent matches Pool.FlushExtent from a buffer-pool package: a
+// write through the pin, not an ownership transfer.
+func isFlushExtent(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "FlushExtent" {
+		return false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	m, ok := selection.Obj().(*types.Func)
+	if !ok || m.Pkg() == nil || m.Pkg() == pass.Pkg {
+		return false
+	}
+	return base(m.Pkg().Path()) == "buffer"
 }
 
 func identObj(pass *analysis.Pass, e ast.Expr) types.Object {
@@ -315,6 +345,9 @@ func (c *checker) reportOnce(pos token.Pos, msg string) {
 func (c *checker) noun(obj types.Object) string {
 	if c.fixBatch[obj] {
 		return "frames fixed by FixExtents"
+	}
+	if c.fixCreate[obj] {
+		return "frame created by CreateExtent"
 	}
 	return "frame fixed by FixExtent"
 }
@@ -404,8 +437,11 @@ func (c *checker) transfer(st state, n ast.Node) {
 }
 
 func fixName(k fixCallKind) string {
-	if k == fixBatchKind {
+	switch k {
+	case fixBatchKind:
 		return "FixExtents"
+	case fixCreate:
+		return "CreateExtent"
 	}
 	return "FixExtent"
 }
@@ -462,6 +498,7 @@ func (c *checker) assign(st state, n *ast.AssignStmt) {
 				st[frameObj] = sUnreleased
 				c.fixPos[frameObj] = call.Pos()
 				c.fixBatch[frameObj] = kind == fixBatchKind
+				c.fixCreate[frameObj] = kind == fixCreate
 				if errObj != nil {
 					c.pairs[errObj] = append(c.pairs[errObj], frameObj)
 				}
@@ -550,6 +587,21 @@ func (c *checker) scanUses(st state, e ast.Expr) {
 		c.scanUses(st, e.X)
 		c.scanUses(st, e.Y)
 	case *ast.CallExpr:
+		if isFlushExtent(c.pass, e) {
+			// Pool.FlushExtent writes the frame's pages through the pin
+			// without taking ownership — the relocation protocol's
+			// flush-first step. The caller still owes the Release, so the
+			// frame argument is not an escape.
+			for _, a := range e.Args {
+				if obj := identObj(c.pass, a); obj != nil {
+					if _, tracked := st[obj]; tracked {
+						continue
+					}
+				}
+				c.scanUses(st, a)
+			}
+			return
+		}
 		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
 			if obj := receiverBase(c.pass, sel.X); obj != nil {
 				if _, tracked := st[obj]; tracked {

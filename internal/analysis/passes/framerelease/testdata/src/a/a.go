@@ -99,7 +99,55 @@ func leakInCommitErrorPath(p *buffer.Pool, writeWAL func() error) error {
 	return nil
 }
 
+// leakCloneOnFlushError pins the relocation hazard this analyzer was
+// extended for: the defragmenter's per-move protocol (pin source → copy
+// into a created clone → flush → release) leaks the evict-protected
+// clone frame if the flush error path forgets the release
+// (internal/core/relocate.go is the real-tree shape).
+func leakCloneOnFlushError(p *buffer.Pool, pid uint64) error {
+	clone, err := p.CreateExtent(pid, 4) // want `frame created by CreateExtent is not released on every path`
+	if err != nil {
+		return err
+	}
+	clone.WriteAt(nil, 0)
+	if err := p.FlushExtent(clone); err != nil {
+		p.Drop(pid) // returned the slot, forgot the pin
+		return err
+	}
+	clone.Release()
+	return nil
+}
+
+func discardedCreate(p *buffer.Pool) {
+	p.CreateExtent(3, 1) // want `result of CreateExtent is discarded`
+}
+
 // ---- conforming code ----
+
+// relocateMove is the conforming defragmenter move: both the source pin
+// and the created clone are released on every path, including the flush
+// error path.
+func relocateMove(p *buffer.Pool, src, dst uint64) error {
+	old, err := p.FixExtent(src, 4)
+	if err != nil {
+		return err
+	}
+	clone, err := p.CreateExtent(dst, 4)
+	if err != nil {
+		old.Release()
+		return err
+	}
+	old.ReadAt(nil, 0)
+	clone.WriteAt(nil, 0)
+	old.Release()
+	if err := p.FlushExtent(clone); err != nil {
+		clone.Release()
+		p.Drop(dst)
+		return err
+	}
+	clone.Release()
+	return nil
+}
 
 func straightLine(p *buffer.Pool) error {
 	f, err := p.FixExtent(1, 1)

@@ -79,6 +79,60 @@ func Classify(info *types.Info, call *ast.CallExpr) (string, bool) {
 // ("SubQueue.*") rather than a direct device call.
 func IsQueueOp(op string) bool { return strings.HasPrefix(op, "SubQueue.") }
 
+// walMethods are the record-mutation entry points on wal.Writer. They
+// matter to the latching analyzers because an append can trigger a
+// segment flush, and a flush can trigger a checkpoint — which snapshots
+// engine state under the engine's own mutexes.
+var walMethods = map[string]bool{
+	"AppendLSN":  true,
+	"Append":     true,
+	"Flush":      true,
+	"Checkpoint": true,
+}
+
+// ClassifyWAL reports whether call is a WAL-writer mutation (append,
+// flush, or checkpoint on a Writer from a package named "wal"),
+// returning the method name. Shape-matched like Classify, so fixture
+// stubs work identically to the real internal/wal.
+func ClassifyWAL(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !walMethods[sel.Sel.Name] {
+		return "", false
+	}
+	selection := info.Selections[sel]
+	if selection == nil {
+		return "", false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if base(fn.Pkg().Path()) != "wal" || recvTypeName(fn) != "Writer" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// IsRefDeltaConst reports whether e references the RecRefDelta record
+// type constant from a package named "wal" — the refcount ledger's WAL
+// record, whose append sites the walorder analyzer restricts.
+func IsRefDeltaConst(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok || c.Name() != "RecRefDelta" || c.Pkg() == nil {
+		return false
+	}
+	return base(c.Pkg().Path()) == "wal"
+}
+
 // recvTypeName returns the name of a method's receiver type (pointer
 // receivers dereferenced), or "" for plain functions.
 func recvTypeName(fn *types.Func) string {

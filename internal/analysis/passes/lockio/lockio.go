@@ -9,20 +9,33 @@
 // every reader behind the disk; this analyzer turns the rule from a
 // comment into a diagnostic.
 //
-// The analysis runs only over buffer-pool packages (package name
-// "buffer"). It tracks locks acquired in the function being analyzed
-// (must-held on all paths, so lock-drop windows don't false-positive) and
-// flags, at each point where a lock is held, calls that do device I/O
-// themselves or whose same-package callee does (one hop, matching the
-// pool's writeBack/loadMisses helper structure). Functions that follow
-// the *Locked naming convention are callees, not lock owners: the lock
-// they run under was acquired by their caller, which is where the I/O
-// would be reported.
+// The analysis runs over buffer-pool packages (package name "buffer")
+// and — in a narrower mode — over the engine core (package name "core").
+// It tracks locks acquired in the function being analyzed (must-held on
+// all paths, so lock-drop windows don't false-positive) and flags, at
+// each point where a lock is held, calls that do device I/O themselves
+// or whose same-package callee does (one hop, matching the pool's
+// writeBack/loadMisses helper structure). Functions that follow the
+// *Locked naming convention are callees, not lock owners: the lock they
+// run under was acquired by their caller, which is where the I/O would
+// be reported.
+//
+// Core mode guards the refcount ledger's lock-ordering invariant. Only
+// the dedup ledger's structural mutex (the `mu` field of the `dedup`
+// struct) is tracked there, and the flagged operations additionally
+// include WAL-writer mutation (AppendLSN / Flush / Checkpoint): an
+// append can flush a segment, a flush can trigger a checkpoint, and the
+// checkpoint snapshots the ledger under that same mutex — the ABBA
+// deadlock the ledger's unlock-then-append discipline exists to
+// prevent. Serialization mutexes with other names (the decrement
+// writer's decMu) are deliberately out of scope: they order appends and
+// are never taken by the checkpoint.
 package lockio
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"blobdb/internal/analysis"
 	"blobdb/internal/analysis/cfg"
@@ -35,12 +48,20 @@ var Analyzer = &analysis.Analyzer{
 
 Claims must be made under the latch and I/O done outside it (claim,
 unlock, write back, relock, reconfirm). Device I/O under a pool mutex
-serializes all readers behind the disk.`,
+serializes all readers behind the disk. In the engine core, the dedup
+ledger's mutex additionally must never be held across a WAL append: the
+append can flush, the flush can checkpoint, and the checkpoint snapshots
+the ledger under the same mutex (ABBA).`,
 	Run: run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	if storageio.Base(pass.Pkg.Path()) != "buffer" {
+	ledgerMode := false
+	switch storageio.Base(pass.Pkg.Path()) {
+	case "buffer":
+	case "core":
+		ledgerMode = true
+	default:
 		return nil, nil
 	}
 
@@ -64,7 +85,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 					return false
 				}
 				if call, ok := n.(*ast.CallExpr); ok {
-					if op, ok := storageio.Classify(pass.TypesInfo, call); ok {
+					if op, ok := classifyIO(pass, call, ledgerMode); ok {
 						if _, seen := directIO[obj]; !seen {
 							directIO[obj] = op
 						}
@@ -84,10 +105,25 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, fn, directIO)
+			checkFunc(pass, fn, directIO, ledgerMode)
 		}
 	}
 	return nil, nil
+}
+
+// classifyIO reports the operations forbidden under a tracked lock: in
+// both modes storage-device I/O, and in ledger mode also WAL-writer
+// mutation (checkpoint reentry into the ledger mutex).
+func classifyIO(pass *analysis.Pass, call *ast.CallExpr, ledgerMode bool) (string, bool) {
+	if op, ok := storageio.Classify(pass.TypesInfo, call); ok {
+		return op, true
+	}
+	if ledgerMode {
+		if op, ok := storageio.ClassifyWAL(pass.TypesInfo, call); ok {
+			return "wal." + op, true
+		}
+	}
+	return "", false
 }
 
 // lockset is the set of locks (identified by receiver expression text,
@@ -118,12 +154,12 @@ func intersect(old, add lockset) (lockset, bool) {
 	return old, changed
 }
 
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, directIO map[types.Object]string) {
-	// Cheap pre-scan: no lock operations means nothing to track.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, directIO map[types.Object]string, ledgerMode bool) {
+	// Cheap pre-scan: no tracked lock operations means nothing to do.
 	hasLock := false
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
-			if op, _, ok := lockOp(pass, call); ok && (op == "Lock" || op == "RLock") {
+			if op, _, ok := trackedLockOp(pass, call, ledgerMode); ok && (op == "Lock" || op == "RLock") {
 				hasLock = true
 			}
 		}
@@ -144,7 +180,7 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, directIO map[types.Object]
 		work = work[1:]
 		st := in[b].clone()
 		for _, n := range b.Nodes {
-			applyNode(pass, st, n, nil, nil)
+			applyNode(pass, st, n, nil, nil, ledgerMode)
 		}
 		for _, e := range b.Succs {
 			if merged, changed := intersect(in[e.To], st.clone()); changed {
@@ -164,14 +200,14 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, directIO map[types.Object]
 		}
 		st = st.clone()
 		for _, n := range b.Nodes {
-			applyNode(pass, st, n, pass, directIO)
+			applyNode(pass, st, n, pass, directIO, ledgerMode)
 		}
 	}
 }
 
 // applyNode threads one CFG node through the lockset. When report is
 // non-nil, I/O-under-lock calls are diagnosed.
-func applyNode(pass *analysis.Pass, st lockset, n ast.Node, report *analysis.Pass, directIO map[types.Object]string) {
+func applyNode(pass *analysis.Pass, st lockset, n ast.Node, report *analysis.Pass, directIO map[types.Object]string, ledgerMode bool) {
 	ast.Inspect(n, func(m ast.Node) bool {
 		switch m := m.(type) {
 		case *ast.FuncLit:
@@ -179,7 +215,7 @@ func applyNode(pass *analysis.Pass, st lockset, n ast.Node, report *analysis.Pas
 		case *ast.DeferStmt:
 			return false // runs at return; deferred unlocks keep the lock held here
 		case *ast.CallExpr:
-			if op, lockExpr, ok := lockOp(pass, m); ok {
+			if op, lockExpr, ok := trackedLockOp(pass, m, ledgerMode); ok {
 				switch op {
 				case "Lock", "RLock":
 					st[lockExpr] = true
@@ -191,18 +227,33 @@ func applyNode(pass *analysis.Pass, st lockset, n ast.Node, report *analysis.Pas
 			if report == nil || len(st) == 0 {
 				return true
 			}
-			if op, ok := storageio.Classify(pass.TypesInfo, m); ok {
-				report.Reportf(m.Pos(), "device I/O (%s) while %s is held; release the pool latch before touching storage", op, heldNames(st))
+			if op, ok := classifyIO(pass, m, ledgerMode); ok {
+				report.Reportf(m.Pos(), "%s while %s is held; %s", opNoun(op), heldNames(st), opFix(op))
 				return true
 			}
 			if callee := calleeObj(pass, m); callee != nil {
 				if op, ok := directIO[callee]; ok {
-					report.Reportf(m.Pos(), "call to %s performs device I/O (%s) while %s is held; release the pool latch before touching storage", callee.Name(), op, heldNames(st))
+					report.Reportf(m.Pos(), "call to %s performs %s while %s is held; %s", callee.Name(), opNoun(op), heldNames(st), opFix(op))
 				}
 			}
 		}
 		return true
 	})
+}
+
+// opNoun and opFix word the diagnostic for the two operation families.
+func opNoun(op string) string {
+	if strings.HasPrefix(op, "wal.") {
+		return "WAL mutation (" + strings.TrimPrefix(op, "wal.") + ")"
+	}
+	return "device I/O (" + op + ")"
+}
+
+func opFix(op string) string {
+	if strings.HasPrefix(op, "wal.") {
+		return "an append can flush, and a flush can checkpoint into this mutex (ABBA); unlock before appending"
+	}
+	return "release the pool latch before touching storage"
 }
 
 func heldNames(st lockset) string {
@@ -219,26 +270,59 @@ func heldNames(st lockset) string {
 // lockOp matches mutex operations: (Lock|RLock|Unlock|RUnlock) on a value
 // whose method comes from package sync (including locks embedded in pool
 // shards). The second result names the lock by its receiver expression.
-func lockOp(pass *analysis.Pass, call *ast.CallExpr) (string, string, bool) {
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (string, string, ast.Expr, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return "", "", false
+		return "", "", nil, false
 	}
 	name := sel.Sel.Name
 	switch name {
 	case "Lock", "RLock", "Unlock", "RUnlock":
 	default:
-		return "", "", false
+		return "", "", nil, false
 	}
 	selection := pass.TypesInfo.Selections[sel]
 	if selection == nil {
-		return "", "", false
+		return "", "", nil, false
 	}
 	fn, ok := selection.Obj().(*types.Func)
 	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", nil, false
+	}
+	return name, types.ExprString(sel.X), sel.X, true
+}
+
+// trackedLockOp filters lockOp matches down to the locks this mode cares
+// about: every mutex in a buffer pool, only the dedup ledger's
+// structural mutex in the engine core.
+func trackedLockOp(pass *analysis.Pass, call *ast.CallExpr, ledgerMode bool) (string, string, bool) {
+	op, name, lockExpr, ok := lockOp(pass, call)
+	if !ok {
 		return "", "", false
 	}
-	return name, types.ExprString(sel.X), true
+	if ledgerMode && !isDedupMu(pass, lockExpr) {
+		return "", "", false
+	}
+	return op, name, true
+}
+
+// isDedupMu reports whether the locked expression is the `mu` field of
+// the core's dedup struct (matched by field and type name, so fixtures
+// exercise the rule by shape).
+func isDedupMu(pass *analysis.Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "mu" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "dedup"
 }
 
 // calleeObj resolves a call to its same-package function object.

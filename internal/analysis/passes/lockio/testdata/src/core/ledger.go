@@ -1,0 +1,92 @@
+// Package core exercises lockio's ledger mode: the dedup struct's
+// structural mutex must never be held across a WAL append or flush,
+// because an append can flush a segment and a flush can checkpoint —
+// and the checkpoint snapshots the ledger under this same mutex (ABBA).
+// Only the `mu` field of the dedup type is tracked; writer-serialization
+// mutexes like decMu order appends and are never taken by the
+// checkpoint, so they are out of scope by design.
+package core
+
+import (
+	"sync"
+
+	"storage"
+	"wal"
+)
+
+type dedup struct {
+	mu     sync.Mutex
+	decMu  sync.Mutex
+	ledger map[storage.PID]uint64
+	w      *wal.Writer
+}
+
+type db struct {
+	dedup dedup
+	dev   storage.Device
+}
+
+// ---- violations ----
+
+// badAppendUnderMu logs a refcount batch without dropping the ledger
+// mutex first: the append can checkpoint back into d.mu.
+func (d *dedup) badAppendUnderMu(txn uint64, payload []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, err := d.w.AppendLSN(txn, wal.RecRefDelta, payload) // want `WAL mutation \(AppendLSN\) while d\.mu is held`
+	return err
+}
+
+func (d *dedup) badFlushUnderMu() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.w.Flush() // want `WAL mutation \(Flush\) while d\.mu is held`
+}
+
+// badOneHop reaches the append through a same-package helper.
+func (d *dedup) logNow(txn uint64, payload []byte) {
+	d.w.AppendLSN(txn, wal.RecRefDelta, payload)
+}
+
+func (d *dedup) badOneHop(txn uint64, payload []byte) {
+	d.mu.Lock()
+	d.logNow(txn, payload) // want `call to logNow performs WAL mutation \(AppendLSN\) while d\.mu is held`
+	d.mu.Unlock()
+}
+
+// badDeviceUnderMu: plain device I/O under the ledger mutex is just as
+// forbidden as it is under a pool latch.
+func (db *db) badDeviceUnderMu(buf []byte) error {
+	db.dedup.mu.Lock()
+	defer db.dedup.mu.Unlock()
+	return db.dev.ReadPages(1, 1, buf) // want `device I/O \(ReadPages\) while db\.dedup\.mu is held`
+}
+
+// ---- conforming code ----
+
+// goodUnlockThenAppend is the engine's real discipline (tryDedup,
+// applyFrees): compute the batch under the mutex, drop it, then log.
+func (d *dedup) goodUnlockThenAppend(txn uint64, payload []byte) error {
+	d.mu.Lock()
+	d.ledger[1] = 2
+	d.mu.Unlock()
+	_, err := d.w.AppendLSN(txn, wal.RecRefDelta, payload)
+	return err
+}
+
+// goodDecMuAppend mirrors logDecs: decMu serializes the decrement
+// writer and is never taken by the checkpoint, so appending under it is
+// the intended design.
+func (d *dedup) goodDecMuAppend(txn uint64, payload []byte) error {
+	d.decMu.Lock()
+	defer d.decMu.Unlock()
+	_, err := d.w.AppendLSN(txn, wal.RecRefDelta, payload)
+	return err
+}
+
+// goodBookkeeping: map mutation under the mutex without I/O.
+func (d *dedup) goodBookkeeping(pid storage.PID) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ledger[pid]
+}

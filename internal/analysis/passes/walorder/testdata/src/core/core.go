@@ -4,10 +4,14 @@
 // write in internal/core/recover.go is the real-tree example).
 package core
 
-import "storage"
+import (
+	"storage"
+	"wal"
+)
 
 type db struct {
 	dev storage.Device
+	w   *wal.Writer
 }
 
 // ---- violations ----
@@ -20,7 +24,26 @@ func (d *db) repairPages(buf []byte) error {
 	return d.dev.WritePages(3, 1, buf) // want `extent write-back \(WritePages\) outside internal/buffer and internal/storage`
 }
 
+// stageRefcountHere appends a ledger record from outside ledger.go:
+// even core's own committer files may not mint RecRefDelta batches.
+func (d *db) stageRefcountHere(txn uint64, payload []byte) error {
+	_, err := d.w.AppendLSN(txn, wal.RecRefDelta, payload) // want `RecRefDelta appended outside the dedup ledger`
+	return err
+}
+
 // ---- conforming code ----
+
+// stageTreeWrite appends a non-ledger record: unrestricted in core.
+func (d *db) stageTreeWrite(txn uint64, payload []byte) error {
+	_, err := d.w.AppendLSN(txn, wal.RecBlobState, payload)
+	return err
+}
+
+// dispatchRecord reads the record type; only appends are ownership-
+// restricted, so recovery-style dispatch on RecRefDelta is fine in core.
+func dispatchRecord(t wal.RecType) bool {
+	return t == wal.RecRefDelta
+}
 
 // finishCommitBatch is committer code: the shared group-commit sync.
 func (d *db) finishCommitBatch() error {

@@ -1,0 +1,22 @@
+// ledger.go is the one core file allowed to append RecRefDelta: it
+// mirrors the real dedup ledger's two append sites (tryDedup increments
+// under the sealing transaction, logDecs apply-time decrements).
+package core
+
+import "wal"
+
+type ledger struct {
+	w *wal.Writer
+}
+
+func (l *ledger) logShares(txn uint64, payload []byte) error {
+	_, err := l.w.AppendLSN(txn, wal.RecRefDelta, payload)
+	return err
+}
+
+func (l *ledger) logDecs(txn uint64, payload []byte) error {
+	if _, err := l.w.AppendLSN(txn, wal.RecRefDelta, payload); err != nil {
+		return err
+	}
+	return l.w.Flush()
+}

@@ -15,3 +15,20 @@ func (w *writer) groupSync() error {
 func (w *writer) appendRecord(pid storage.PID, buf []byte) error {
 	return w.dev.WritePages(pid, 1, buf)
 }
+
+// RecType and Writer mirror the real WAL's record-append surface, so
+// fixtures can exercise the RecRefDelta ownership rule by shape.
+type RecType uint8
+
+const (
+	RecBlobState RecType = iota + 1
+	RecRefDelta
+)
+
+type Writer struct{ dev storage.Device }
+
+func (l *Writer) AppendLSN(txnID uint64, t RecType, payload []byte) (uint64, error) {
+	return 0, nil
+}
+
+func (l *Writer) Flush() error { return nil }

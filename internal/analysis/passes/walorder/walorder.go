@@ -13,6 +13,21 @@
 //     WAL's LSN-framed segment fencing, so recovery can no longer reason
 //     about what reached the device.
 //
+// Two further rules guard the refcount ledger and the defragmenter:
+//
+//   - RecRefDelta — the ledger's WAL record — is appended only by the
+//     dedup ledger in internal/core (increments under the sealing
+//     transaction in tryDedup, apply-time decrements in logDecs, both in
+//     ledger.go). Recovery replays these batches under an owner-tagged,
+//     seq-fenced contract; a RecRefDelta minted anywhere else forks that
+//     contract, so any reference outside core (and any append outside
+//     core's ledger.go) is flagged.
+//   - internal/maint (the online defragmenter) is in scope: relocation
+//     copies must route through the buffer pool / submission queue via
+//     core's Txn API, never by writing pages or syncing the device
+//     directly — a defragmenter-issued sync could promote a half-copied
+//     extent to durable ahead of its remap record.
+//
 // Reads are not ordering-sensitive and are never flagged. A Sync inside
 // a closure submitted to storage.SubQueue is allowed: it executes on the
 // queue's completion goroutine, sequenced behind the submitter's prior
@@ -24,6 +39,7 @@ package walorder
 import (
 	"go/ast"
 	"go/token"
+	"path/filepath"
 	"strings"
 
 	"blobdb/internal/analysis"
@@ -52,6 +68,7 @@ var scopePkgs = map[string]bool{
 	"fusefs":     true,
 	"wiki":       true,
 	"extent":     true,
+	"maint":      true,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -63,6 +80,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if analysis.IsTestFile(pass.Fset, file.Pos()) {
 			continue
 		}
+		checkLedgerRecords(pass, pkgBase, file)
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
@@ -72,6 +90,46 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		}
 	}
 	return nil, nil
+}
+
+// checkLedgerRecords enforces RecRefDelta ownership. Outside core, any
+// reference to the constant is flagged — there is no legitimate reason
+// for another engine layer to mint or parse ledger records. Inside core,
+// appends must come from ledger.go, where the dedup ledger's increment
+// (tryDedup) and decrement (logDecs) paths live; reads (recovery's
+// record-type dispatch) are unrestricted.
+func checkLedgerRecords(pass *analysis.Pass, pkgBase string, file *ast.File) {
+	if pkgBase != "core" {
+		ast.Inspect(file, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok || !storageio.IsRefDeltaConst(pass.TypesInfo, e) {
+				return true
+			}
+			pass.Reportf(e.Pos(), "refcount ledger WAL record (RecRefDelta) referenced outside internal/core: ledger mutation is owned by the core committer/reclaimer; recovery's owner-tagged replay admits no other append site")
+			return false
+		})
+		return
+	}
+	if filepath.Base(pass.Fset.Position(file.Pos()).Filename) == "ledger.go" {
+		return
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, ok := storageio.ClassifyWAL(pass.TypesInfo, call)
+		if !ok || (op != "AppendLSN" && op != "Append") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if storageio.IsRefDeltaConst(pass.TypesInfo, arg) {
+				pass.Reportf(call.Pos(), "RecRefDelta appended outside the dedup ledger (internal/core/ledger.go): refcount batches are seq-fenced and owner-tagged there; a stray append desynchronizes replay from the tuple recount")
+				return false
+			}
+		}
+		return true
+	})
 }
 
 // committerFunc reports whether a core function is part of the commit /

@@ -8,5 +8,5 @@ import (
 )
 
 func TestWALOrder(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), walorder.Analyzer, "core", "blob", "wal")
+	analysistest.Run(t, analysistest.TestData(), walorder.Analyzer, "core", "blob", "wal", "maint")
 }

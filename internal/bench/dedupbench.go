@@ -1,0 +1,356 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blobdb/internal/core"
+	"blobdb/internal/maint"
+	"blobdb/internal/storage"
+)
+
+// Dedup + defragmentation benchmark (PR 9).
+//
+// Phase 1 (dedup): a duplicate-heavy PUT workload measures how many
+// device pages content-addressed sharing saves — logical bytes stored
+// vs pages actually allocated. Half the blobs are duplicates drawn from
+// a small content pool; the other half are unique, because relocation
+// deliberately skips shared sequences (a shared extent is never a
+// defragmentation target) and an all-duplicate heap would leave the
+// defragmenter nothing to move.
+//
+// Phase 2 (fragment): deleting a stride of the blobs strands free holes
+// below the allocator high-water mark; the fragmentation score rises.
+//
+// Phase 3 (defrag under load): concurrent readers GET surviving blobs
+// the whole time. A quiet window first establishes the baseline read
+// tail, then online defragmentation rounds run to convergence while the
+// same readers keep going. The report carries the per-round score
+// trajectory (the acceptance bar: strictly decreasing) and the read p99
+// during relocation relative to baseline (the bar: <= 10% regression).
+
+// DedupBenchOpts sizes the benchmark.
+type DedupBenchOpts struct {
+	Blobs        int           `json:"blobs"`         // total PUTs in phase 1
+	Contents     int           `json:"contents"`      // distinct contents; Blobs/Contents ~= dup factor
+	BlobBytes    int           `json:"blob_bytes"`    // payload size
+	DeleteStride int           `json:"delete_stride"` // phase 2 deletes every Nth blob
+	Readers      int           `json:"readers"`       // concurrent GET goroutines in phase 3
+	BaselineOps  int           `json:"baseline_ops"`  // reads in the quiet window
+	MaxRounds    int           `json:"max_rounds"`    // defrag round cap
+	MovesPerRnd  int           `json:"moves_per_round"`
+	ReadPacing   time.Duration `json:"read_pacing_ns"` // reader think time between GETs
+	MovePause    time.Duration `json:"move_pause_ns"`  // defrag pacing between moves
+	CmdLatency   time.Duration `json:"cmd_latency_ns"` // device latency per command
+	BytesPerSec  float64       `json:"bytes_per_sec"`  // device bandwidth
+}
+
+func (o *DedupBenchOpts) defaults() {
+	if o.Blobs == 0 {
+		o.Blobs = 360
+	}
+	if o.Contents == 0 {
+		o.Contents = 60 // 6x duplication
+	}
+	if o.BlobBytes == 0 {
+		o.BlobBytes = 192 << 10
+	}
+	if o.DeleteStride == 0 {
+		o.DeleteStride = 2
+	}
+	if o.Readers == 0 {
+		o.Readers = 4
+	}
+	if o.BaselineOps == 0 {
+		o.BaselineOps = 400
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 12
+	}
+	if o.MovesPerRnd == 0 {
+		o.MovesPerRnd = 48
+	}
+	if o.ReadPacing == 0 {
+		// Without think time the readers busy-spin, saturate every core, and
+		// the tail measures Go scheduler starvation instead of relocation
+		// interference (same reasoning as ShardBenchOpts.ReadPacing).
+		o.ReadPacing = 1500 * time.Microsecond
+	}
+	if o.MovePause == 0 {
+		// The production pacing default: spreading the copy traffic out is
+		// what keeps the foreground read tail inside the 10% budget.
+		o.MovePause = 800 * time.Microsecond
+	}
+	if o.CmdLatency == 0 {
+		// Large enough that cold reads are device-bound, so relocation I/O
+		// interference is measurable rather than scheduler noise.
+		o.CmdLatency = 40 * time.Microsecond
+	}
+	if o.BytesPerSec == 0 {
+		o.BytesPerSec = 2 << 30
+	}
+}
+
+// DedupRound is one defragmentation round's effect.
+type DedupRound struct {
+	Round          int     `json:"round"`
+	ScoreBefore    float64 `json:"score_before"`
+	ScoreAfter     float64 `json:"score_after"`
+	Moved          int     `json:"moved"`
+	ReclaimedPages uint64  `json:"reclaimed_pages"`
+}
+
+// DedupReport is the benchmark output (BENCH_PR9.json).
+type DedupReport struct {
+	Benchmark string         `json:"benchmark"`
+	Config    DedupBenchOpts `json:"config"`
+
+	// Phase 1: dedup effectiveness.
+	LogicalBytes   uint64  `json:"logical_bytes"`    // sum of PUT payload sizes
+	LivePagesNoDup uint64  `json:"live_pages_nodup"` // pages a dedup-free engine would hold
+	LivePages      uint64  `json:"live_pages"`       // pages actually allocated
+	DedupHits      uint64  `json:"dedup_hits"`
+	SharedExtents  int     `json:"shared_extents"`
+	DedupRatio     float64 `json:"dedup_ratio"` // logical / physical bytes
+
+	// Phase 2/3: fragmentation and defragmentation.
+	ScorePreDefrag     float64      `json:"score_pre_defrag"`
+	ScorePostDefrag    float64      `json:"score_post_defrag"`
+	Rounds             []DedupRound `json:"rounds"`
+	TotalMoved         int          `json:"total_moved"`
+	StrictlyDecreasing bool         `json:"score_strictly_decreasing"`
+	HWMPagesReclaimed  uint64       `json:"hwm_pages_reclaimed"`
+
+	// Read tail during relocation vs the quiet baseline.
+	BaselineReadP50Us float64 `json:"baseline_read_p50_us"`
+	BaselineReadP99Us float64 `json:"baseline_read_p99_us"`
+	DefragReadP50Us   float64 `json:"defrag_read_p50_us"`
+	DefragReadP99Us   float64 `json:"defrag_read_p99_us"`
+	ReadP99Regression float64 `json:"read_p99_regression"` // (defrag-baseline)/baseline
+}
+
+// DedupDefrag runs the three phases and returns the report.
+func DedupDefrag(o DedupBenchOpts) (*DedupReport, error) {
+	o.defaults()
+	rep := &DedupReport{Benchmark: "dedup-defrag", Config: o}
+
+	dev := NewLatencyDevice(
+		storage.NewMemDevice(storage.DefaultPageSize, 1<<16, nil),
+		o.CmdLatency, o.BytesPerSec)
+	db, err := core.New(dev,
+		core.WithPoolPages(1<<12), // 16 MiB: cold reads miss, so GETs hit the device
+		core.WithLogPages(1<<11),
+		core.WithCkptPages(1<<12),
+		core.WithAsyncCommit(true),
+	)
+	if err != nil {
+		return nil, err
+	}
+	defer db.CloseCommitter()
+	if _, err := db.CreateRelation("bench"); err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	// Phase 1: duplicate-heavy ingest. Even blob indexes draw from the
+	// shared content pool; odd indexes get unique content.
+	rng := rand.New(rand.NewSource(9))
+	pool := make([][]byte, o.Contents)
+	for i := range pool {
+		c := make([]byte, o.BlobBytes)
+		rng.Read(c)
+		pool[i] = c
+	}
+	contentFor := func(i int) []byte {
+		if i%2 == 0 {
+			return pool[(i/2)%o.Contents]
+		}
+		c := make([]byte, o.BlobBytes)
+		rand.New(rand.NewSource(int64(7000 + i))).Read(c)
+		return c
+	}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("b%05d", i)) }
+	pageSize := uint64(storage.DefaultPageSize)
+	for i := 0; i < o.Blobs; i++ {
+		c := contentFor(i)
+		if err := benchPut(ctx, db, key(i), c); err != nil {
+			return nil, fmt.Errorf("phase1 put %d: %w", i, err)
+		}
+		rep.LogicalBytes += uint64(len(c))
+	}
+	db.DrainCommits()
+	st := db.Allocator().Stats()
+	rep.LivePages = st.LivePages
+	rep.LivePagesNoDup = (rep.LogicalBytes + pageSize - 1) / pageSize
+	ds := db.DedupStats()
+	rep.DedupHits = ds.Hits
+	rep.SharedExtents = ds.SharedExtents
+	if rep.LivePages > 0 {
+		rep.DedupRatio = float64(rep.LogicalBytes) / float64(rep.LivePages*pageSize)
+	}
+
+	// Phase 2: strand holes below the high-water mark. The stride hits
+	// duplicated and unique blobs alike; the unique survivors above the
+	// holes are what the defragmenter can move.
+	for i := 0; i < o.Blobs; i += o.DeleteStride {
+		tx := db.BeginCtx(ctx, nil)
+		if err := tx.DeleteBlob("bench", key(i)); err != nil {
+			tx.Abort()
+			return nil, fmt.Errorf("phase2 delete %d: %w", i, err)
+		}
+		if err := tx.CommitWait(); err != nil {
+			return nil, err
+		}
+	}
+	db.DrainCommits()
+	db.ReclaimTick()
+	rep.ScorePreDefrag = db.Allocator().FragStats().Score
+
+	// Survivor set for the readers.
+	var surviving []int
+	for i := 0; i < o.Blobs; i++ {
+		if i%o.DeleteStride != 0 {
+			surviving = append(surviving, i)
+		}
+	}
+
+	// Phase 3: readers run throughout; defrag starts after the baseline
+	// window closes.
+	var (
+		wg        sync.WaitGroup
+		stop      atomic.Bool
+		defragOn  atomic.Bool
+		mu        sync.Mutex
+		baseline  []time.Duration
+		underMove []time.Duration
+		firstErr  atomic.Value
+		baseCount atomic.Int64
+	)
+	perReader := o.BaselineOps / o.Readers
+	for r := 0; r < o.Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rrng := rand.New(rand.NewSource(100 + int64(r)))
+			var mineBase, mineMove []time.Duration
+			for !stop.Load() {
+				i := surviving[rrng.Intn(len(surviving))]
+				t0 := time.Now()
+				tx := db.BeginCtx(ctx, nil)
+				got, err := tx.ReadBlobBytes("bench", key(i))
+				tx.Commit()
+				el := time.Since(t0)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				if !bytes.Equal(got, contentFor(i)) {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("blob %d corrupted during defrag", i))
+					return
+				}
+				if defragOn.Load() {
+					mineMove = append(mineMove, el)
+				} else {
+					mineBase = append(mineBase, el)
+					baseCount.Add(1)
+				}
+				time.Sleep(o.ReadPacing)
+			}
+			mu.Lock()
+			baseline = append(baseline, mineBase...)
+			underMove = append(underMove, mineMove...)
+			mu.Unlock()
+		}(r)
+	}
+
+	// Quiet window: wait until the baseline sample is big enough.
+	for baseCount.Load() < int64(perReader*o.Readers) && firstErr.Load() == nil {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Defrag to convergence while the readers keep running. The pause
+	// between moves is the production pacing knob; the sleep between
+	// rounds stands in for the production interval, so the "during
+	// defrag" read window spans real wall time.
+	d := maint.New(db, maint.Config{
+		MinScore: 0.05,
+		MaxMoves: o.MovesPerRnd,
+		Pause:    o.MovePause,
+	})
+	defragOn.Store(true)
+	rep.StrictlyDecreasing = true
+	for round := 0; round < o.MaxRounds; round++ {
+		r, err := d.RunOnce(ctx)
+		if err != nil {
+			stop.Store(true)
+			wg.Wait()
+			return nil, fmt.Errorf("defrag round %d: %w", round, err)
+		}
+		if r.Moved == 0 && r.ReclaimedPages == 0 {
+			break // converged: nothing moved, nothing retracted
+		}
+		rep.Rounds = append(rep.Rounds, DedupRound{
+			Round:          round,
+			ScoreBefore:    r.Before.Score,
+			ScoreAfter:     r.After.Score,
+			Moved:          r.Moved,
+			ReclaimedPages: r.ReclaimedPages,
+		})
+		rep.TotalMoved += r.Moved
+		rep.HWMPagesReclaimed += r.ReclaimedPages
+		if r.After.Score >= r.Before.Score {
+			rep.StrictlyDecreasing = false
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	defragOn.Store(false)
+	stop.Store(true)
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+	rep.ScorePostDefrag = db.Allocator().FragStats().Score
+
+	rep.BaselineReadP50Us, rep.BaselineReadP99Us = percentilesUs(baseline)
+	rep.DefragReadP50Us, rep.DefragReadP99Us = percentilesUs(underMove)
+	if rep.BaselineReadP99Us > 0 {
+		rep.ReadP99Regression = (rep.DefragReadP99Us - rep.BaselineReadP99Us) / rep.BaselineReadP99Us
+	}
+	return rep, nil
+}
+
+func percentilesUs(lats []time.Duration) (p50, p99 float64) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	n := len(lats)
+	return float64(lats[n/2]) / float64(time.Microsecond),
+		float64(lats[n*99/100]) / float64(time.Microsecond)
+}
+
+// benchPut writes one blob through the async group-commit pipeline.
+func benchPut(ctx context.Context, db *core.DB, key, payload []byte) error {
+	tx := db.BeginCtx(ctx, nil)
+	w, err := tx.CreateBlob(ctx, "bench", key)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		w.Abort()
+		tx.Abort()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.CommitWait()
+}

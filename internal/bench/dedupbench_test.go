@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDedupDefragSmoke runs a miniature dedup+defrag scenario — the full
+// benchmark is scripts/bench-dedup.sh; this proves the rig works (dedup
+// accounting, fragmentation, online rounds under concurrent readers,
+// report shape) in test time.
+func TestDedupDefragSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench rig smoke test")
+	}
+	rep, err := DedupDefrag(DedupBenchOpts{
+		Blobs:       60,
+		Contents:    12,
+		BlobBytes:   96 << 10,
+		Readers:     2,
+		BaselineOps: 40,
+		MaxRounds:   6,
+		MovesPerRnd: 24,
+		CmdLatency:  10 * time.Microsecond,
+		ReadPacing:  200 * time.Microsecond,
+		MovePause:   100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DedupHits == 0 {
+		t.Error("duplicate-heavy ingest produced zero dedup hits")
+	}
+	if rep.LivePages >= rep.LivePagesNoDup {
+		t.Errorf("dedup saved nothing: %d live pages vs %d without sharing",
+			rep.LivePages, rep.LivePagesNoDup)
+	}
+	if len(rep.Rounds) == 0 {
+		t.Fatal("no defrag rounds ran")
+	}
+	if rep.TotalMoved == 0 {
+		t.Error("no extents were relocated; the workload left nothing movable")
+	}
+	if !rep.StrictlyDecreasing {
+		t.Errorf("fragmentation score not strictly decreasing across rounds: %+v", rep.Rounds)
+	}
+	if rep.ScorePostDefrag >= rep.ScorePreDefrag {
+		t.Errorf("defrag did not reduce the score: %.3f -> %.3f",
+			rep.ScorePreDefrag, rep.ScorePostDefrag)
+	}
+	if rep.BaselineReadP99Us <= 0 || rep.DefragReadP99Us <= 0 {
+		t.Errorf("degenerate read-tail stats: %+v", rep)
+	}
+}

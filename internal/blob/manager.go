@@ -47,6 +47,14 @@ type Pending struct {
 	News []FreeSpec
 }
 
+// NewPending builds a Pending by hand for operations outside the writer —
+// extent relocation stages its already-flushed copy with frames nil and
+// the new extent in news, so a transaction abort returns it to the
+// allocator through the same Discard path as writer allocations.
+func (m *Manager) NewPending(frames []*buffer.Frame, news []FreeSpec) *Pending {
+	return &Pending{mgr: m, Frames: frames, News: news}
+}
+
 // Flush writes all dirty pages of the pending extents to the device and
 // clears their prevent_evict flags. This is the commit-time single flush of
 // §III-C; the caller must have made the Blob State durable first.

@@ -55,6 +55,13 @@ type WriterOpts struct {
 	// Base.Intermediate and extends the extent sequence (§III-D grow). Nil
 	// creates a new blob.
 	Base *State
+	// CloneFrontier (append mode) makes the writer clone a partially
+	// filled last extent into a fresh one instead of reopening it in
+	// place, scheduling the original for commit-time freeing. The
+	// transaction layer sets it when the base's extents are shared
+	// (refcounted dedup): in-place growth would rewrite bytes a co-owner
+	// is still reading. Tail extents are always cloned regardless.
+	CloneFrontier bool
 	// OnSeal is invoked by Close with the sealed State, the Pending flush
 	// work, and the extents the operation freed (an append's replaced
 	// tail). The transaction layer stages the tuple and WAL record here.
@@ -93,9 +100,10 @@ type Writer struct {
 	size   uint64
 	prefix [PrefixLen]byte
 
-	base       *State // append mode: the state being extended (private clone)
-	appendInit bool
-	wroteAny   bool
+	base          *State // append mode: the state being extended (private clone)
+	appendInit    bool
+	wroteAny      bool
+	cloneFrontier bool
 
 	extents []storage.PID
 	tail    extent.Extent
@@ -131,17 +139,18 @@ const scratchSize = 256 << 10
 // NewWriter starts a streaming blob write. See WriterOpts.
 func (m *Manager) NewWriter(o WriterOpts) (*Writer, error) {
 	w := &Writer{
-		mgr:     m,
-		mt:      o.Meter,
-		flushMt: o.FlushMeter,
-		ctx:     o.Ctx,
-		tiers:   m.Alloc.Tiers(),
-		stream:  o.Stream,
-		useTail: m.UseTail,
-		tee:     o.Tee,
-		onSeal:  o.OnSeal,
-		onAbort: o.OnAbort,
-		pend:    &Pending{mgr: m},
+		mgr:           m,
+		mt:            o.Meter,
+		flushMt:       o.FlushMeter,
+		ctx:           o.Ctx,
+		tiers:         m.Alloc.Tiers(),
+		stream:        o.Stream,
+		useTail:       m.UseTail,
+		tee:           o.Tee,
+		onSeal:        o.OnSeal,
+		onAbort:       o.OnAbort,
+		cloneFrontier: o.CloneFrontier,
+		pend:          &Pending{mgr: m},
 	}
 	if o.Base != nil {
 		base := o.Base.Clone()
@@ -356,15 +365,49 @@ func (w *Writer) lazyAppendInit() error {
 	if k := len(w.extents); k > 0 {
 		capBytes := w.tiers.Cum(k-1) * uint64(ps)
 		if w.size < capBytes {
-			f, err := w.mgr.Pool.FixExtent(w.mt, w.extents[k-1], int(w.tiers.Size(k-1)))
-			if err != nil {
-				return w.fail(fmt.Errorf("blob: writer: fix last extent: %w", err))
+			tier := k - 1
+			npages := w.tiers.Size(tier)
+			used := int(w.size - w.tiers.Cum(tier-1)*uint64(ps))
+			if w.cloneFrontier {
+				// The frontier extent is shared (refcounted dedup): copy
+				// its valid prefix into a fresh same-tier extent and grow
+				// that instead; the original is scheduled for commit-time
+				// freeing, where the ledger decides dereference vs free.
+				pid, err := w.mgr.Alloc.AllocExtent(tier)
+				if err != nil {
+					return w.fail(fmt.Errorf("blob: writer: clone frontier: %w", err))
+				}
+				clone, err := w.mgr.Pool.CreateExtent(w.mt, pid, int(npages))
+				if err != nil {
+					w.mgr.Alloc.FreeExtent(tier, pid)
+					return w.fail(fmt.Errorf("blob: writer: clone frontier: %w", err))
+				}
+				old, err := w.mgr.Pool.FixExtent(w.mt, w.extents[tier], int(npages))
+				if err != nil {
+					clone.SetPreventEvict(false)
+					clone.Release()
+					w.mgr.Pool.Drop(pid)
+					w.mgr.Alloc.FreeExtent(tier, pid)
+					return w.fail(fmt.Errorf("blob: writer: fix shared frontier: %w", err))
+				}
+				w.copyFrames(old, clone, used)
+				old.Release()
+				w.news = append(w.news, FreeSpec{Tier: tier, PID: pid})
+				w.frees = append(w.frees, FreeSpec{Tier: tier, PID: w.extents[tier]})
+				w.extents[tier] = pid
+				w.cur = clone
+				w.curOwned = true
+			} else {
+				f, err := w.mgr.Pool.FixExtent(w.mt, w.extents[tier], int(npages))
+				if err != nil {
+					return w.fail(fmt.Errorf("blob: writer: fix last extent: %w", err))
+				}
+				f.SetPreventEvict(true)
+				w.cur = f
+				w.curOwned = false
 			}
-			f.SetPreventEvict(true)
-			w.cur = f
-			w.curOwned = false
-			w.curCap = int(w.tiers.Size(k-1)) * ps
-			w.curUsed = int(w.size - w.tiers.Cum(k-2)*uint64(ps))
+			w.curCap = int(npages) * ps
+			w.curUsed = used
 			w.addPinned(int64(w.curCap))
 		}
 	}

@@ -194,6 +194,28 @@ func newMetrics(c *shard.Cluster, adm *admission) *metrics {
 			"client_aborts":       m.getAborted.Load(),
 		}
 	})
+	pub("dedup", func() any {
+		var agg core.DedupStats
+		for _, sh := range c.Healthy() {
+			s := sh.DB().DedupStats()
+			agg.IndexEntries += s.IndexEntries
+			agg.SharedExtents += s.SharedExtents
+			agg.Hits += s.Hits
+			agg.SharedBytes += s.SharedBytes
+			agg.Increments += s.Increments
+			agg.Decrements += s.Decrements
+			agg.OrphanFrees += s.OrphanFrees
+		}
+		return map[string]any{
+			"index_entries":  agg.IndexEntries,
+			"shared_extents": agg.SharedExtents,
+			"hits":           agg.Hits,
+			"shared_bytes":   agg.SharedBytes,
+			"increments":     agg.Increments,
+			"decrements":     agg.Decrements,
+			"orphan_frees":   agg.OrphanFrees,
+		}
+	})
 	// Aggregate engine figures across shards. On the one-shard cluster
 	// these are exactly the single engine's numbers.
 	pub("commit_pipeline", func() any {

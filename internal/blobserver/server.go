@@ -35,6 +35,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
@@ -78,6 +79,10 @@ type Config struct {
 	// PrimaryURL advertises the write endpoint in replica-mode 421
 	// responses (X-Primary-Base-URL header).
 	PrimaryURL string
+	// ExtraVars adds named values to /debug/vars — the hook maintenance
+	// daemons (the defragmenter) use to publish progress counters without
+	// the server importing them.
+	ExtraVars map[string]expvar.Var
 }
 
 // Server serves the blob API over a shard.Cluster (possibly the
@@ -128,6 +133,9 @@ func New(cfg Config) *Server {
 		primaryURL:   cfg.PrimaryURL,
 	}
 	s.metrics = newMetrics(cfg.Cluster, s.adm)
+	for name, v := range cfg.ExtraVars {
+		s.metrics.vars.Set(name, v)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/{$}", s.route("rel_list", s.handleListRelations))
 	s.mux.HandleFunc("POST /v1/{rel}", s.route("rel_create", s.handleCreateRelation))

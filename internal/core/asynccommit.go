@@ -398,7 +398,8 @@ func (db *DB) finalizeCommitFlight(f *commitFlight, txns []*Txn) {
 		for _, p := range t.pendings {
 			p.Release()
 		}
-		db.deferFrees(t.frees)
+		db.registerDedup(t.regs)
+		db.deferFrees(t.id, t.frees)
 		t.releaseLocks()
 		db.endTxn(t.id)
 		t.writer.Close()

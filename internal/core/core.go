@@ -86,6 +86,7 @@ type DB struct {
 
 	locks   lockTable
 	reclaim reclaimer
+	dedup   dedup
 	nextTxn atomic.Uint64
 	commit  *committer        // non-nil in AsyncCommit mode
 	queue   *storage.SubQueue // device submission queue (pool I/O + commit flush)
@@ -170,6 +171,7 @@ func open(o options) (*DB, error) {
 	db.blobs.UseTail = o.UseTailExtents
 	db.locks.init()
 	db.reclaim.init()
+	db.dedup.init(db.wal.NewWriter())
 	if o.AsyncCommit {
 		db.startCommitter()
 	}

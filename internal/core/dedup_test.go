@@ -1,0 +1,291 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"blobdb/internal/blob"
+)
+
+// putCommitted stores content under key in its own transaction.
+func putCommitted(t *testing.T, db *DB, rel string, key, content []byte) {
+	t.Helper()
+	tx := db.Begin(nil)
+	if err := putBlob(tx, rel, []byte(string(key)), content); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+}
+
+func readCommitted(t *testing.T, db *DB, rel string, key []byte) []byte {
+	t.Helper()
+	tx := db.Begin(nil)
+	got, err := tx.ReadBlobBytes(rel, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	return got
+}
+
+// TestDedupIdenticalPutsShareExtents is the PR's headline acceptance
+// criterion: two identical 8 MiB PUTs under different keys consume ONE
+// extent sequence, asserted via allocator byte accounting.
+func TestDedupIdenticalPutsShareExtents(t *testing.T) {
+	db := openTest(t, testOpts())
+	db.CreateRelation("image")
+	content := make([]byte, 8<<20)
+	rand.New(rand.NewSource(9)).Read(content)
+
+	putCommitted(t, db, "image", []byte("a"), content)
+	after1 := db.Allocator().Stats()
+
+	putCommitted(t, db, "image", []byte("b"), content)
+	after2 := db.Allocator().Stats()
+
+	if after2.LivePages != after1.LivePages {
+		t.Errorf("second identical PUT allocated %d pages; want 0 (live %d -> %d)",
+			after2.LivePages-after1.LivePages, after1.LivePages, after2.LivePages)
+	}
+
+	tx := db.Begin(nil)
+	sa, err := tx.BlobState("image", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := tx.BlobState("image", []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	if !sameSequence(sa, sb) {
+		t.Errorf("states do not share one extent sequence:\n a=%+v\n b=%+v", sa, sb)
+	}
+	if !bytes.Equal(readCommitted(t, db, "image", []byte("a")), content) {
+		t.Error("blob a corrupted")
+	}
+	if !bytes.Equal(readCommitted(t, db, "image", []byte("b")), content) {
+		t.Error("blob b corrupted")
+	}
+
+	st := db.DedupStats()
+	if st.Hits != 1 {
+		t.Errorf("DedupStats.Hits = %d, want 1", st.Hits)
+	}
+	if st.SharedExtents == 0 || st.SharedBytes == 0 {
+		t.Errorf("DedupStats = %+v, want shared extents and bytes", st)
+	}
+	if err := db.CheckLedger(); err != nil {
+		t.Errorf("CheckLedger: %v", err)
+	}
+}
+
+// TestDedupDeleteSharedKeepsSurvivor deletes one of two sharers and checks
+// the survivor stays byte-identical while zero shared pages return to the
+// allocator; deleting the survivor then frees the sequence for real.
+func TestDedupDeleteSharedKeepsSurvivor(t *testing.T) {
+	db := openTest(t, testOpts())
+	db.CreateRelation("image")
+	content := make([]byte, 3<<20)
+	rand.New(rand.NewSource(10)).Read(content)
+
+	putCommitted(t, db, "image", []byte("a"), content)
+	putCommitted(t, db, "image", []byte("b"), content)
+	shared := db.Allocator().Stats()
+
+	tx := db.Begin(nil)
+	if err := tx.DeleteBlob("image", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	afterDel := db.Allocator().Stats()
+	if afterDel.FreePages != shared.FreePages {
+		t.Errorf("deleting a sharer freed %d pages; want 0",
+			afterDel.FreePages-shared.FreePages)
+	}
+	if !bytes.Equal(readCommitted(t, db, "image", []byte("b")), content) {
+		t.Error("survivor corrupted after sharer delete")
+	}
+	if err := db.CheckLedger(); err != nil {
+		t.Errorf("CheckLedger after sharer delete: %v", err)
+	}
+
+	tx2 := db.Begin(nil)
+	if err := tx2.DeleteBlob("image", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx2)
+	final := db.Allocator().Stats()
+	if final.LivePages >= shared.LivePages {
+		t.Errorf("deleting last owner freed nothing: live %d -> %d",
+			shared.LivePages, final.LivePages)
+	}
+	if err := db.CheckLedger(); err != nil {
+		t.Errorf("CheckLedger after last delete: %v", err)
+	}
+}
+
+// TestDedupCloneOnDivergence appends to one of two sharers: the append must
+// clone the diverging frontier instead of mutating shared pages, leaving
+// the other sharer byte-identical.
+func TestDedupCloneOnDivergence(t *testing.T) {
+	db := openTest(t, testOpts())
+	db.CreateRelation("doc")
+	content := make([]byte, 300<<10)
+	rand.New(rand.NewSource(11)).Read(content)
+	extra := []byte("divergence tail")
+
+	putCommitted(t, db, "doc", []byte("a"), content)
+	putCommitted(t, db, "doc", []byte("b"), content)
+
+	tx := db.Begin(nil)
+	if err := growBlob(tx, "doc", []byte("b"), extra); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	if !bytes.Equal(readCommitted(t, db, "doc", []byte("a")), content) {
+		t.Error("untouched sharer changed after divergent append")
+	}
+	want := append(append([]byte(nil), content...), extra...)
+	if !bytes.Equal(readCommitted(t, db, "doc", []byte("b")), want) {
+		t.Error("appended sharer has wrong content")
+	}
+	if err := db.CheckLedger(); err != nil {
+		t.Errorf("CheckLedger: %v", err)
+	}
+}
+
+// TestDedupOverwriteShared overwrites one sharer in place (UpdateBlob) and
+// checks the other sharer is untouched: the update must be forced onto the
+// clone scheme.
+func TestDedupOverwriteShared(t *testing.T) {
+	db := openTest(t, testOpts())
+	db.CreateRelation("doc")
+	content := make([]byte, 200<<10)
+	rand.New(rand.NewSource(12)).Read(content)
+
+	putCommitted(t, db, "doc", []byte("a"), content)
+	putCommitted(t, db, "doc", []byte("b"), content)
+
+	mutated := append([]byte(nil), content...)
+	for i := 0; i < 64; i++ {
+		mutated[i] ^= 0xFF
+	}
+	tx := db.Begin(nil)
+	if err := tx.UpdateBlob("doc", []byte("b"), 0, mutated[:64], blob.UpdateAuto); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	if !bytes.Equal(readCommitted(t, db, "doc", []byte("a")), content) {
+		t.Error("untouched sharer changed after shared overwrite")
+	}
+	if !bytes.Equal(readCommitted(t, db, "doc", []byte("b")), mutated) {
+		t.Error("overwritten sharer has wrong content")
+	}
+	if err := db.CheckLedger(); err != nil {
+		t.Errorf("CheckLedger: %v", err)
+	}
+}
+
+// TestDedupAbortUndoesShare aborts a transaction whose PUT deduplicated
+// against an existing blob: the refcount increment must be undone and the
+// original owner must stay intact.
+func TestDedupAbortUndoesShare(t *testing.T) {
+	db := openTest(t, testOpts())
+	db.CreateRelation("image")
+	content := make([]byte, 150<<10)
+	rand.New(rand.NewSource(13)).Read(content)
+
+	putCommitted(t, db, "image", []byte("a"), content)
+	before := db.DedupStats()
+
+	tx := db.Begin(nil)
+	if err := putBlob(tx, "image", []byte("b"), content); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+
+	after := db.DedupStats()
+	if after.SharedExtents != before.SharedExtents {
+		t.Errorf("aborted share left %d ledger entries (was %d)",
+			after.SharedExtents, before.SharedExtents)
+	}
+	if !bytes.Equal(readCommitted(t, db, "image", []byte("a")), content) {
+		t.Error("original owner corrupted by aborted dedup")
+	}
+	if err := db.CheckLedger(); err != nil {
+		t.Errorf("CheckLedger: %v", err)
+	}
+}
+
+// TestDedupSurvivesRecovery crashes after two deduplicated PUTs and checks
+// the sharing relationship, the ledger, and both payloads survive redo.
+func TestDedupSurvivesRecovery(t *testing.T) {
+	o := testOpts()
+	db := openTest(t, o)
+	db.CreateRelation("image")
+	content := make([]byte, 1<<20)
+	rand.New(rand.NewSource(14)).Read(content)
+
+	putCommitted(t, db, "image", []byte("a"), content)
+	putCommitted(t, db, "image", []byte("b"), content)
+
+	db2, rep := crashAndRecover(t, o)
+	if rep.SharedExtents == 0 {
+		t.Errorf("recovery report shows no shared extents: %+v", rep)
+	}
+	if err := db2.CheckLedger(); err != nil {
+		t.Errorf("CheckLedger after recovery: %v", err)
+	}
+	if !bytes.Equal(readCommitted(t, db2, "image", []byte("a")), content) {
+		t.Error("blob a lost after crash")
+	}
+	if !bytes.Equal(readCommitted(t, db2, "image", []byte("b")), content) {
+		t.Error("blob b lost after crash")
+	}
+
+	// The rebuilt content index must keep deduplicating: a third identical
+	// PUT allocates nothing.
+	before := db2.Allocator().Stats()
+	putCommitted(t, db2, "image", []byte("c"), content)
+	after := db2.Allocator().Stats()
+	if after.LivePages != before.LivePages {
+		t.Errorf("post-recovery PUT allocated %d pages; want 0",
+			after.LivePages-before.LivePages)
+	}
+}
+
+// TestDedupSurvivesCheckpointedRecovery is the same but forces a checkpoint
+// first, so the ledger rides the checkpoint image rather than WAL redo.
+func TestDedupSurvivesCheckpointedRecovery(t *testing.T) {
+	o := testOpts()
+	db := openTest(t, o)
+	db.CreateRelation("image")
+	content := make([]byte, 1<<20)
+	rand.New(rand.NewSource(15)).Read(content)
+
+	putCommitted(t, db, "image", []byte("a"), content)
+	putCommitted(t, db, "image", []byte("b"), content)
+	if err := db.WAL().Checkpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint delete of one sharer exercises seq-fenced delta
+	// replay on top of the imaged ledger.
+	tx := db.Begin(nil)
+	if err := tx.DeleteBlob("image", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	db2, _ := crashAndRecover(t, o)
+	if err := db2.CheckLedger(); err != nil {
+		t.Errorf("CheckLedger after checkpointed recovery: %v", err)
+	}
+	if !bytes.Equal(readCommitted(t, db2, "image", []byte("b")), content) {
+		t.Error("survivor lost after checkpointed crash")
+	}
+}

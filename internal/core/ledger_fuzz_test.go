@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"blobdb/internal/storage"
+)
+
+// FuzzContentIndexDecode fuzzes the refcount ledger's checkpoint section
+// parser (unmarshalLedger). The parser guards the recovery path: a
+// checkpoint image is CRC-validated as a whole, but the section lengths
+// and invariants (strictly increasing PIDs, counts >= 2) must hold for
+// any byte string without panics or over-reads. Accepted inputs must
+// round-trip through the canonical encoder byte-for-byte — the crash
+// simulator replays schedules against recorded device-op hashes, so a
+// non-canonical surviving encoding would break replay determinism.
+func FuzzContentIndexDecode(f *testing.F) {
+	f.Add(marshalLedger(0, nil))
+	f.Add(marshalLedger(7, map[storage.PID]uint64{42: 2}))
+	f.Add(marshalLedger(99, map[storage.PID]uint64{8: 3, 4096: 2, 1 << 40: 17}))
+	// Trailing bytes: the checkpoint body continues after the section.
+	f.Add(append(marshalLedger(3, map[storage.PID]uint64{5: 2}), 0xAA, 0xBB))
+	f.Add([]byte{})                                           // too short
+	f.Add(marshalLedger(1, nil)[:8])                          // truncated header
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255}) // huge count, no payload
+	corrupt := marshalLedger(5, map[storage.PID]uint64{10: 2, 20: 4})
+	corrupt[12+16] = 1 // second PID below the first: out of order
+	f.Add(corrupt)
+	low := marshalLedger(5, map[storage.PID]uint64{10: 2})
+	low[12+8] = 1 // count 1 < 2 violates the sparse-ledger invariant
+	f.Add(low)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, ledger, rest, err := unmarshalLedger(data)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatalf("rest longer than input: %d > %d", len(rest), len(data))
+		}
+		for pid, count := range ledger {
+			if count < 2 {
+				t.Fatalf("accepted ledger entry %d with count %d < 2", pid, count)
+			}
+		}
+		consumed := data[:len(data)-len(rest)]
+		if again := marshalLedger(seq, ledger); !bytes.Equal(again, consumed) {
+			t.Fatalf("accepted section is not canonical:\n consumed %x\n re-marshal %x", consumed, again)
+		}
+	})
+}
+
+// FuzzRefDeltaDecode fuzzes the RecRefDelta WAL payload parser the same
+// way: arbitrary bytes must never panic, and accepted payloads must
+// round-trip exactly through encodeRefDelta.
+func FuzzRefDeltaDecode(f *testing.F) {
+	f.Add(encodeRefDelta(1, nil))
+	f.Add(encodeRefDelta(12, []refDelta{{PID: 77, Delta: +1}}))
+	f.Add(encodeRefDelta(900, []refDelta{{PID: 4096, Delta: +1}, {PID: 4097, Delta: -1}}))
+	f.Add([]byte{1, 2, 3})                            // short
+	f.Add(append(encodeRefDelta(2, nil), 0x00))       // trailing byte
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0}) // declares 7 entries, none follow
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, entries, err := decodeRefDelta(data)
+		if err != nil {
+			return
+		}
+		if again := encodeRefDelta(seq, entries); !bytes.Equal(again, data) {
+			t.Fatalf("accepted payload is not canonical:\n data %x\n re-encode %x", data, again)
+		}
+	})
+}

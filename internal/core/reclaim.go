@@ -40,9 +40,17 @@ type reclaimer struct {
 }
 
 // deferredFrees is one committed transaction's extent frees, applicable
-// once every transaction begun at or before clock has ended.
+// once every transaction begun at or before clock has ended. txn records
+// the originating transaction: a free of a SHARED extent turns into a
+// refcount decrement at apply time, and the decrement's WAL record must
+// carry the owner's id — recovery may mark the owner failed (commit
+// record durable, extent writes torn), revert its tuple to the old state
+// that still references the extent, and must then NOT replay the
+// decrement, or the reference survives with its count lost (an armed
+// double-free).
 type deferredFrees struct {
 	clock uint64
+	txn   uint64
 	specs []blob.FreeSpec
 }
 
@@ -59,13 +67,13 @@ func (db *DB) beginTxn(id uint64) {
 // deferFrees queues a committed transaction's extent frees for
 // reclamation. Call before endTxn so the committing transaction's own
 // registration holds its frees back until it has fully ended.
-func (db *DB) deferFrees(specs []blob.FreeSpec) {
+func (db *DB) deferFrees(txn uint64, specs []blob.FreeSpec) {
 	if len(specs) == 0 {
 		return
 	}
 	r := &db.reclaim
 	r.mu.Lock()
-	r.pending = append(r.pending, deferredFrees{clock: r.clock, specs: specs})
+	r.pending = append(r.pending, deferredFrees{clock: r.clock, txn: txn, specs: specs})
 	r.clock++
 	r.mu.Unlock()
 }
@@ -91,9 +99,38 @@ func (db *DB) endTxn(id uint64) {
 	ready := r.pending[:n:n]
 	r.pending = r.pending[n:]
 	for _, d := range ready {
-		db.blobs.ApplyFrees(d.specs)
+		// Ledger-aware apply: frees of shared extents decrement the
+		// refcount instead of returning the extent to the allocator.
+		db.applyFrees(d.txn, d.specs)
 	}
 	r.mu.Unlock()
+}
+
+// ReclaimTick applies every deferred free batch that no active transaction
+// predates, without waiting for a transaction to end. The defragmenter
+// calls it between relocation rounds so the freed source extents reach the
+// allocator (and ShrinkHWM) promptly even on an otherwise idle database.
+// Returns the number of batches applied.
+func (db *DB) ReclaimTick() int {
+	r := &db.reclaim
+	r.mu.Lock()
+	horizon := uint64(math.MaxUint64)
+	for _, tick := range r.active {
+		if tick < horizon {
+			horizon = tick
+		}
+	}
+	n := 0
+	for n < len(r.pending) && r.pending[n].clock < horizon {
+		n++
+	}
+	ready := r.pending[:n:n]
+	r.pending = r.pending[n:]
+	for _, d := range ready {
+		db.applyFrees(d.txn, d.specs)
+	}
+	r.mu.Unlock()
+	return n
 }
 
 // ReclaimPending reports the number of deferred free batches not yet

@@ -21,11 +21,16 @@ import (
 //	body: hwm u64 | ckptLSN u64 | relCount u32 |
 //	      per relation: nameLen u16 name entryCount u64
 //	                    entries: klen u32 k vlen u32 v
+//	      ledger section: seq u64 | n u32 | n x (pid u64, count u64)
 //
 // ckptLSN is the highest WAL LSN assigned before the image was taken:
 // recovery replays only records above it, and the segmented WAL truncates
-// every segment at or below it once the image is durable.
-const ckptMagic = 0x424c4f42_434b5032 // "BLOBCKP2" (v2: LSN-based truncation)
+// every segment at or below it once the image is durable. The ledger
+// section (v3) carries the refcount ledger and its mutation-sequence
+// fence; it is serialized AFTER the relation trees so that an increment
+// whose tuple made the image is always in the image too (increments
+// happen-before their tree put).
+const ckptMagic = 0x424c4f42_434b5033 // "BLOBCKP3" (v3: refcount ledger section)
 
 const ckptHeaderLen = 24
 
@@ -105,6 +110,12 @@ func (db *DB) writeCheckpoint(m *simtime.Meter, ckptLSN uint64) error {
 		r.mu.RUnlock()
 	}
 
+	// Ledger section LAST, snapshotted strictly after the trees: an
+	// increment happens-before its tuple's tree put, so a tuple captured
+	// above already has its increments captured here — reconciliation can
+	// then treat a replayed count below the tuple recount as an error.
+	body = append(body, db.dedup.snapshotLedger()...)
+
 	slot := db.ckptNext
 	slotStart, slotPages := db.ckptSlotGeom(slot)
 	total := ckptHeaderLen + len(body)
@@ -126,41 +137,49 @@ func (db *DB) writeCheckpoint(m *simtime.Meter, ckptLSN uint64) error {
 	return nil
 }
 
+// ckptImage is a parsed checkpoint image.
+type ckptImage struct {
+	rels      map[string]*btree.Tree
+	hwm       storage.PID
+	ckptLSN   uint64
+	ledgerSeq uint64
+	ledger    map[storage.PID]uint64
+}
+
 // readCheckpoint loads the newest valid checkpoint image from the two
-// slots, returning the relations and allocator high-water mark, or
-// ok=false when neither slot holds a valid checkpoint. It also points
-// db.ckptNext at the losing slot so the surviving image is never
+// slots, or ok=false when neither slot holds a valid checkpoint. It also
+// points db.ckptNext at the losing slot so the surviving image is never
 // overwritten by the next checkpoint.
-func (db *DB) readCheckpoint(m *simtime.Meter) (rels map[string]*btree.Tree, hwm storage.PID, ckptLSN uint64, ok bool, err error) {
+func (db *DB) readCheckpoint(m *simtime.Meter) (img *ckptImage, ok bool, err error) {
 	best := -1
 	for slot := 0; slot < ckptSlots; slot++ {
-		r, h, l, sok, serr := db.readCheckpointSlot(m, slot)
+		si, sok, serr := db.readCheckpointSlot(m, slot)
 		if serr != nil {
-			return nil, 0, 0, false, serr
+			return nil, false, serr
 		}
 		// Checkpoint LSNs only grow, so the higher one is the newer image.
-		if sok && (!ok || l > ckptLSN) {
-			rels, hwm, ckptLSN, ok = r, h, l, true
+		if sok && (!ok || si.ckptLSN > img.ckptLSN) {
+			img, ok = si, true
 			best = slot
 		}
 	}
 	if ok {
 		db.ckptNext = (best + 1) % ckptSlots
 	}
-	return rels, hwm, ckptLSN, ok, nil
+	return img, ok, nil
 }
 
 // readCheckpointSlot parses one checkpoint slot. ok=false (with nil err)
 // means the slot is empty or torn — both are normal after a crash.
-func (db *DB) readCheckpointSlot(m *simtime.Meter, slot int) (rels map[string]*btree.Tree, hwm storage.PID, ckptLSN uint64, ok bool, err error) {
+func (db *DB) readCheckpointSlot(m *simtime.Meter, slot int) (img *ckptImage, ok bool, err error) {
 	slotStart, slotPages := db.ckptSlotGeom(slot)
 	pageSize := db.dev.PageSize()
 	head := make([]byte, pageSize)
 	if err := db.dev.ReadPages(m, slotStart, 1, head); err != nil {
-		return nil, 0, 0, false, err
+		return nil, false, err
 	}
 	if binary.LittleEndian.Uint64(head[0:]) != ckptMagic {
-		return nil, 0, 0, false, nil
+		return nil, false, nil
 	}
 	bodyLen := int(binary.LittleEndian.Uint64(head[8:]))
 	wantCRC := binary.LittleEndian.Uint32(head[16:])
@@ -169,15 +188,15 @@ func (db *DB) readCheckpointSlot(m *simtime.Meter, slot int) (rels map[string]*b
 	if bodyLen < 0 || uint64(pages) > slotPages {
 		// A torn header can declare any length; treat it like a torn image
 		// rather than failing recovery.
-		return nil, 0, 0, false, nil
+		return nil, false, nil
 	}
 	buf := make([]byte, pages*pageSize)
 	if err := db.dev.ReadPages(m, slotStart, pages, buf); err != nil {
-		return nil, 0, 0, false, err
+		return nil, false, err
 	}
 	body := buf[ckptHeaderLen : ckptHeaderLen+bodyLen]
 	if crc32.ChecksumIEEE(body) != wantCRC {
-		return nil, 0, 0, false, nil // torn checkpoint: ignore
+		return nil, false, nil // torn checkpoint: ignore
 	}
 
 	rd := func(n int) ([]byte, error) {
@@ -188,69 +207,78 @@ func (db *DB) readCheckpointSlot(m *simtime.Meter, slot int) (rels map[string]*b
 		body = body[n:]
 		return out, nil
 	}
+	img = &ckptImage{rels: map[string]*btree.Tree{}}
 	b, err := rd(8)
 	if err != nil {
-		return nil, 0, 0, false, err
+		return nil, false, err
 	}
-	hwm = storage.PID(binary.LittleEndian.Uint64(b))
+	img.hwm = storage.PID(binary.LittleEndian.Uint64(b))
 	if b, err = rd(8); err != nil {
-		return nil, 0, 0, false, err
+		return nil, false, err
 	}
-	ckptLSN = binary.LittleEndian.Uint64(b)
+	img.ckptLSN = binary.LittleEndian.Uint64(b)
 	b, err = rd(4)
 	if err != nil {
-		return nil, 0, 0, false, err
+		return nil, false, err
 	}
 	relCount := int(binary.LittleEndian.Uint32(b))
-	rels = map[string]*btree.Tree{}
 	for i := 0; i < relCount; i++ {
 		if b, err = rd(2); err != nil {
-			return nil, 0, 0, false, err
+			return nil, false, err
 		}
 		nameLen := int(binary.LittleEndian.Uint16(b))
 		if b, err = rd(nameLen); err != nil {
-			return nil, 0, 0, false, err
+			return nil, false, err
 		}
 		name := string(b)
 		if b, err = rd(8); err != nil {
-			return nil, 0, 0, false, err
+			return nil, false, err
 		}
 		count := int(binary.LittleEndian.Uint64(b))
 		tree := btree.New(nil)
 		for j := 0; j < count; j++ {
 			if b, err = rd(4); err != nil {
-				return nil, 0, 0, false, err
+				return nil, false, err
 			}
 			klen := int(binary.LittleEndian.Uint32(b))
 			var k []byte
 			if k, err = rd(klen); err != nil {
-				return nil, 0, 0, false, err
+				return nil, false, err
 			}
 			if b, err = rd(4); err != nil {
-				return nil, 0, 0, false, err
+				return nil, false, err
 			}
 			vlen := int(binary.LittleEndian.Uint32(b))
 			var v []byte
 			if v, err = rd(vlen); err != nil {
-				return nil, 0, 0, false, err
+				return nil, false, err
 			}
 			tree.Put(k, v)
 		}
-		rels[name] = tree
+		img.rels[name] = tree
 	}
-	return rels, hwm, ckptLSN, true, nil
+	img.ledgerSeq, img.ledger, body, err = unmarshalLedger(body)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(body) != 0 {
+		return nil, false, fmt.Errorf("core: checkpoint body has %d trailing bytes", len(body))
+	}
+	return img, true, nil
 }
 
 // RecoveryReport summarizes what Recover did.
 type RecoveryReport struct {
-	CommittedTxns  int // transactions with a durable commit record
-	RedoneRecords  int // logical records reapplied
-	ValidatedBlobs int // Blob States whose content passed SHA-256 validation
-	FailedBlobs    int // §III-C: states durable but content invalid — txn failed
-	DroppedTuples  int // tuples removed because their blob failed validation
-	LiveExtents    int // extents owned by surviving blobs
-	RecoveredHWM   storage.PID
-	FromCheckpoint bool
+	CommittedTxns    int // transactions with a durable commit record
+	RedoneRecords    int // logical records reapplied
+	ValidatedBlobs   int // Blob States whose content passed SHA-256 validation
+	FailedBlobs      int // §III-C: states durable but content invalid — txn failed
+	DroppedTuples    int // tuples removed because their blob failed validation
+	LiveExtents      int // distinct extents owned by surviving blobs
+	SharedExtents    int // extents referenced by more than one surviving tuple
+	LedgerReconciled int // replayed ledger entries clamped to the tuple recount
+	RecoveredHWM     storage.PID
+	FromCheckpoint   bool
 }
 
 // recoverDB rebuilds the database state from the device after a crash: the
@@ -271,15 +299,22 @@ func recoverDB(o options, m *simtime.Meter) (*DB, *RecoveryReport, error) {
 	}
 	rep := &RecoveryReport{}
 
-	base, hwm, ckptLSN, ok, err := db.readCheckpoint(m)
+	img, ok, err := db.readCheckpoint(m)
 	if err != nil {
 		return nil, nil, err
 	}
 	rep.FromCheckpoint = ok
+	var hwm storage.PID
+	var ckptLSN, ledgerSeq uint64
+	replayed := map[storage.PID]uint64{} // ledger as of image + eligible deltas
 	if ok {
-		for name, tree := range base {
+		hwm, ckptLSN, ledgerSeq = img.hwm, img.ckptLSN, img.ledgerSeq
+		for name, tree := range img.rels {
 			r := &Relation{name: name, tree: tree, semanticIdx: map[string]*SemanticIndex{}}
 			db.rels[name] = r
+		}
+		for pid, c := range img.ledger {
+			replayed[pid] = c
 		}
 	}
 
@@ -374,10 +409,69 @@ func recoverDB(o options, m *simtime.Meter) (*DB, *RecoveryReport, error) {
 		}
 	}
 
+	// Ledger replay: RecRefDelta batches of committed, non-failed
+	// transactions, with seq above the image fence, in seq order. seq is
+	// assigned under the ledger mutex, so it is the true mutation order
+	// even where WAL append order raced. Apply-time decrements carry the
+	// id of the transaction that staged the free, and the committed &&
+	// !failed filter applies to them exactly as to increments: a failed
+	// owner's tuple reverts to the old state that still references the
+	// shared extent, so replaying its decrement would under-count the
+	// surviving reference and arm a double-free.
+	type refBatch struct {
+		seq     uint64
+		entries []refDelta
+	}
+	var batches []refBatch
+	maxSeq := ledgerSeq
+	for _, rec := range records {
+		if rec.Type != wal.RecRefDelta {
+			continue
+		}
+		if !committed[rec.TxnID] || failed[rec.TxnID] {
+			continue
+		}
+		seq, entries, derr := decodeRefDelta(rec.Payload)
+		if derr != nil {
+			return nil, nil, fmt.Errorf("core: ledger replay LSN %d: %w", rec.LSN, derr)
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if seq <= ledgerSeq {
+			continue // covered by the checkpoint image
+		}
+		batches = append(batches, refBatch{seq: seq, entries: entries})
+	}
+	sort.Slice(batches, func(i, j int) bool { return batches[i].seq < batches[j].seq })
+	for _, b := range batches {
+		for _, e := range b.entries {
+			v := replayed[e.PID]
+			if v == 0 {
+				v = 1 // sparse ledger: absent means one reference
+			}
+			if e.Delta > 0 {
+				v++
+			} else if v > 0 {
+				v--
+			}
+			if v >= 2 {
+				replayed[e.PID] = v
+			} else {
+				delete(replayed, e.PID)
+			}
+		}
+	}
+
 	// Sweep: every surviving Blob State (including checkpoint-sourced ones
 	// not covered by the WAL pass) must hash-validate; stragglers are
-	// dropped tuple-wise as a last resort.
+	// dropped tuple-wise as a last resort. With dedup, several tuples may
+	// reference the same extent, so the allocator rebuild counts each
+	// DISTINCT extent once, and the pass doubles as the authoritative
+	// recount of per-extent references.
 	var live []extent.Extent
+	seen := map[storage.PID]bool{}
+	refs := map[storage.PID]uint64{}
 	maxEnd := hwm
 	tiers := db.alloc.Tiers()
 	heapStart := storage.PID(db.opts.LogPages + db.opts.CkptPages)
@@ -404,17 +498,21 @@ func recoverDB(o options, m *simtime.Meter) (*DB, *RecoveryReport, error) {
 				drops = append(drops, drop{append([]byte(nil), k...), st})
 				return true
 			}
-			for i, pid := range st.Extents {
-				live = append(live, extent.Extent{PID: pid, Pages: tiers.Size(i)})
-				if end := pid + storage.PID(tiers.Size(i)); end > maxEnd {
+			add := func(pid storage.PID, pages uint64) {
+				refs[pid]++
+				if !seen[pid] {
+					seen[pid] = true
+					live = append(live, extent.Extent{PID: pid, Pages: pages})
+				}
+				if end := pid + storage.PID(pages); end > maxEnd {
 					maxEnd = end
 				}
 			}
+			for i, pid := range st.Extents {
+				add(pid, tiers.Size(i))
+			}
 			if st.HasTail() {
-				live = append(live, extent.Extent{PID: st.Tail.PID, Pages: st.Tail.Pages})
-				if end := st.Tail.PID + storage.PID(st.Tail.Pages); end > maxEnd {
-					maxEnd = end
-				}
+				add(st.Tail.PID, st.Tail.Pages)
 			}
 			return true
 		})
@@ -431,6 +529,62 @@ func recoverDB(o options, m *simtime.Meter) (*DB, *RecoveryReport, error) {
 	if err := db.alloc.Rebuild(maxEnd, live); err != nil {
 		return nil, nil, fmt.Errorf("core: rebuild allocator: %w", err)
 	}
+
+	// Reconcile the replayed ledger against the recount. The recount is
+	// authoritative: a replayed count ABOVE it belongs to a transaction
+	// that was in flight at the crash (its share or release never became
+	// visible in the trees) and is clamped; a replayed count BELOW it
+	// means a logged increment was lost — a double-free waiting to happen
+	// — and recovery fails rather than continue on a corrupt ledger.
+	ledger := map[storage.PID]uint64{}
+	for pid, want := range refs {
+		if want < 2 {
+			continue
+		}
+		got := replayed[pid]
+		if got == 0 {
+			got = 1
+		}
+		if got < want {
+			return nil, nil, fmt.Errorf("core: recover: extent %d referenced by %d tuples but ledger replayed only %d — refcount increment lost", pid, want, got)
+		}
+		if got != want {
+			rep.LedgerReconciled++
+		}
+		ledger[pid] = want
+	}
+	for pid := range replayed {
+		if refs[pid] < 2 {
+			rep.LedgerReconciled++ // in-flight share/release at crash; entry dropped
+		}
+	}
+	rep.SharedExtents = len(ledger)
+	db.dedup.mu.Lock()
+	db.dedup.ledger = ledger
+	db.dedup.seq = maxSeq
+	db.dedup.mu.Unlock()
+
+	// Rebuild the content index from the surviving tuples in deterministic
+	// (relation-name, key) order so post-recovery dedup decisions replay
+	// identically in the crash simulator.
+	relNames := make([]string, 0, len(db.rels))
+	for name := range db.rels {
+		relNames = append(relNames, name)
+	}
+	sort.Strings(relNames)
+	for _, name := range relNames {
+		db.rels[name].tree.Ascend(nil, func(_, v []byte) bool {
+			tag, payload, err := decodeValue(v)
+			if err != nil || tag != tagBlob {
+				return true
+			}
+			if st, err := blob.Decode(payload); err == nil && shareable(st) {
+				db.dedup.index[stateKey(st)] = st
+			}
+			return true
+		})
+	}
+
 	// Finish with a checkpoint: the recovered state becomes the new redo
 	// base and every replayed segment is truncated and erased.
 	if err := db.wal.Checkpoint(m); err != nil {

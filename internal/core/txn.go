@@ -34,6 +34,9 @@ type Txn struct {
 	locks    []string
 	wrote    bool // any staged write (read-only txns skip commit I/O)
 
+	sharedIncs []blob.FreeSpec // refcount increments staged by dedup (undone on abort)
+	regs       []*blob.State   // states to publish in the content index on commit
+
 	open []*blob.Writer // unsealed streaming writers; must close before Commit
 
 	drain         chan struct{} // sentinel marker for DrainCommits
@@ -203,8 +206,24 @@ func (t *Txn) Get(relName string, key []byte) ([]byte, error) {
 // newBlobWriter wires a blob.Writer into the transaction: the seal hook
 // frees the replaced blob (create mode), stages the tuple and its WAL
 // Blob State record, and refreshes the indexes; the abort hook just
-// unregisters the writer. base selects append mode.
+// unregisters the writer. base selects append mode, and resuming a base
+// runs the dedup mutation gate here — NOT in the callers — so every
+// append-mode writer deregisters the base's content-index entry (a grown
+// blob no longer matches its old hash, and no later PUT may start
+// sharing its about-to-diverge sequence) and clones the growth frontier
+// when the sequence is shared instead of writing the co-owner's bytes in
+// place.
 func (t *Txn) newBlobWriter(ctx context.Context, relName string, key []byte, base *blob.State, stream bool) (*blob.Writer, error) {
+	cloneFrontier := false
+	if base != nil {
+		cloneFrontier = t.db.dedupOnMutate(base)
+	}
+	return t.newBlobWriterOpts(ctx, relName, key, base, stream, cloneFrontier)
+}
+
+// newBlobWriterOpts is newBlobWriter for callers that already ran the
+// dedup mutation gate on base and hold its clone-frontier verdict.
+func (t *Txn) newBlobWriterOpts(ctx context.Context, relName string, key []byte, base *blob.State, stream, cloneFrontier bool) (*blob.Writer, error) {
 	if err := t.check(); err != nil {
 		return nil, err
 	}
@@ -232,16 +251,24 @@ func (t *Txn) newBlobWriter(ctx context.Context, relName string, key []byte, bas
 	keyCopy := append([]byte(nil), key...)
 	var w *blob.Writer
 	w, err = t.db.blobs.NewWriter(blob.WriterOpts{
-		Meter:      t.meter,
-		FlushMeter: flushMeter,
-		Ctx:        ctx,
-		Stream:     stream,
-		Tee:        tee,
-		Base:       base,
-		OnAbort:    func() { t.dropWriter(w) },
+		Meter:         t.meter,
+		FlushMeter:    flushMeter,
+		Ctx:           ctx,
+		Stream:        stream,
+		Tee:           tee,
+		Base:          base,
+		CloneFrontier: cloneFrontier,
+		OnAbort:       func() { t.dropWriter(w) },
 		OnSeal: func(st *blob.State, p *blob.Pending, frees []blob.FreeSpec) error {
 			t.dropWriter(w)
 			if base == nil {
+				// Content-addressed dedup: adopt an existing committed
+				// blob's extent sequence when the content matches —
+				// before the old blob at this key is scheduled for
+				// freeing, so an identical overwrite shares it.
+				if shared := t.tryDedup(st, p); shared != nil {
+					st = shared
+				}
 				if err := t.freeOldBlob(r, keyCopy); err != nil {
 					return err
 				}
@@ -254,6 +281,7 @@ func (t *Txn) newBlobWriter(ctx context.Context, relName string, key []byte, bas
 				return err
 			}
 			t.updateIndexesOnPutState(r, keyCopy, st)
+			t.regs = append(t.regs, st)
 			return nil
 		},
 	})
@@ -312,7 +340,12 @@ func (t *Txn) AppendBlob(ctx context.Context, relName string, key []byte) (*blob
 	if err != nil {
 		return nil, err
 	}
-	return t.newBlobWriter(ctx, relName, key, st, true)
+	// Clone-on-divergence: while the sequence is shared, the growth
+	// frontier (a partially filled last extent) must be cloned rather than
+	// reopened in place — the co-owner keeps reading the old bytes. Whole
+	// shared extents stay shared; only the diverging one is copied.
+	cloneFrontier := t.db.dedupOnMutate(st)
+	return t.newBlobWriterOpts(ctx, relName, key, st, true, cloneFrontier)
 }
 
 // freeOldBlob schedules the previous BLOB of key (if any) for commit-time
@@ -332,6 +365,11 @@ func (t *Txn) freeOldBlob(r *Relation, key []byte) error {
 	if err != nil {
 		return fmt.Errorf("core: stored blob state corrupt: %w", err)
 	}
+	// Deregister the content entry so no later PUT starts sharing a doomed
+	// sequence. The frees stay unfiltered: whether each extent is freed or
+	// merely dereferenced is decided when they APPLY (db.applyFrees), which
+	// is what makes concurrent share-vs-delete races safe.
+	t.db.dedupOnMutate(st)
 	t.frees = append(t.frees, t.db.blobs.Delete(st)...)
 	t.updateIndexesOnDelete(r, key, st)
 	return nil
@@ -424,6 +462,13 @@ func (t *Txn) UpdateBlob(relName string, key []byte, off uint64, data []byte, sc
 	if err != nil {
 		return err
 	}
+	if t.db.dedupOnMutate(st) {
+		// The sequence is shared: delta updates mutate extent bytes in
+		// place, which would rewrite the co-owner's content. Force the
+		// clone scheme — only the affected extents are copied, the rest
+		// stay shared (clone-on-divergence).
+		scheme = blob.UpdateClone
+	}
 	t.updateIndexesOnDelete(r, key, st)
 	res, err := t.db.blobs.Update(t.meter, st, off, data, scheme)
 	if err != nil {
@@ -441,6 +486,7 @@ func (t *Txn) UpdateBlob(relName string, key []byte, off uint64, data []byte, sc
 		return err
 	}
 	t.updateIndexesOnPutState(r, key, res.State)
+	t.regs = append(t.regs, res.State)
 	return nil
 }
 
@@ -533,7 +579,8 @@ func (t *Txn) Commit() error {
 	for _, p := range t.pendings {
 		p.Release()
 	}
-	t.db.deferFrees(t.frees)
+	t.db.registerDedup(t.regs)
+	t.db.deferFrees(t.id, t.frees)
 	t.releaseLocks()
 	t.db.endTxn(t.id)
 	return nil
@@ -622,6 +669,7 @@ func (t *Txn) rollback() {
 		u.rel.mu.Unlock()
 	}
 	t.db.rebuildIndexTouched(t.undo)
+	t.db.undoShares(t.id, t.sharedIncs)
 	for _, p := range t.pendings {
 		p.Discard(p.News)
 	}

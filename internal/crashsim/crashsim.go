@@ -56,6 +56,7 @@ type Config struct {
 	Modes     []storage.TearMode               // tear models to explore
 	Sync      bool                             // use the synchronous commit path instead of the async pipeline
 	SmallPool bool                             // shrink the buffer pool to force eviction during flushes
+	Dedup     bool                             // generate dedup/relocation-heavy traces (put-dup, relocate families)
 	Logf      func(format string, args ...any) // optional progress output
 }
 
@@ -70,6 +71,17 @@ func DefaultConfig(seed int64) Config {
 		Points: 42,
 		Modes:  []storage.TearMode{storage.TearOrdered, storage.TearScramble},
 	}
+}
+
+// DefaultDedupConfig returns the exploration parameters of the
+// dedup/relocation sweep: the same budget as DefaultConfig but with
+// sharing-heavy traces, so crash points land inside refcount-ledger
+// appends, duplicate-put commits and aborts, and relocation copy/remap
+// windows.
+func DefaultDedupConfig(seed int64) Config {
+	c := DefaultConfig(seed)
+	c.Dedup = true
+	return c
 }
 
 // Schedule identifies one deterministic crash schedule.
@@ -139,7 +151,7 @@ type runner struct {
 // non-nil (replay of a recorded trace), is checked against the device's
 // op-hash chain to prove the replay followed the identical I/O schedule.
 func (c Config) RunSchedule(s Schedule, wantHashes []uint64) (*ScheduleResult, error) {
-	ops := genTrace(s.TraceSeed, c.Steps)
+	ops := genTrace(s.TraceSeed, c.Steps, c.Dedup)
 	inner := storage.NewMemDevice(simPageSize, simDevPages, nil)
 	fd, err := storage.NewFaultDevice(inner, storage.FaultConfig{
 		Seed:    tearSeed(s),
@@ -229,6 +241,12 @@ func (r *runner) exec(op traceOp) error {
 		return r.noteCrash(r.db.WAL().Checkpoint(nil))
 	case opRead:
 		return r.read(op.subs[0])
+	case opPutDup:
+		return r.puts(op.subs, false)
+	case opPutDupAbort:
+		return r.puts(op.subs, true)
+	case opRelocate:
+		return r.relocate()
 	default:
 		return fmt.Errorf("crashsim: unknown op kind %v", op.kind)
 	}
@@ -347,6 +365,34 @@ func (r *runner) update(sub subOp, scheme blob.UpdateScheme) error {
 	return r.commitBatch([]*core.Txn{tx}, []string{sub.key})
 }
 
+// relocate runs one defragmentation round fragment: plan a few moves and
+// commit each in its own transaction through the normal pipeline. Content
+// is unchanged by construction, so the reference model stages nothing —
+// the flush-first relocation protocol guarantees every crash point inside
+// the window recovers the key byte-identical (old or new address).
+func (r *runner) relocate() error {
+	targets := r.db.PlanRelocations(3)
+	for _, tgt := range targets {
+		if r.crashed {
+			return nil
+		}
+		tx := r.db.Begin(nil)
+		moved, err := tx.RelocateExtent(tgt)
+		if err != nil {
+			tx.Abort()
+			return r.noteCrash(err)
+		}
+		if !moved {
+			tx.Abort()
+			continue
+		}
+		if err := r.commitBatch([]*core.Txn{tx}, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (r *runner) read(sub subOp) error {
 	tx := r.db.Begin(nil)
 	defer tx.Commit()
@@ -430,7 +476,11 @@ func seedEviction(db *core.DB, seed int64) {
 // recoverAndCheck recovers a frozen crash image into a fresh engine,
 // snapshots every surviving key, and enforces the allocator leak
 // invariant: the rebuilt allocator's live pages must equal the pages
-// owned by surviving blobs, no more, no less. The caller judges the
+// owned by surviving blobs counted once per DISTINCT extent — with
+// content-addressed dedup, several tuples may reference one sequence, and
+// double-counting would mask exactly the double-free/leak bugs this
+// harness exists to catch. The refcount ledger itself is cross-checked
+// against a full recount (core.CheckLedger). The caller judges the
 // snapshot against its reference model.
 func recoverAndCheck(img []byte, opts []core.Option) (*core.RecoveryReport, map[string][]byte, error) {
 	rdev := storage.NewMemDeviceFrom(simPageSize, simDevPages, nil, img)
@@ -443,12 +493,24 @@ func recoverAndCheck(img []byte, opts []core.Option) (*core.RecoveryReport, map[
 		return rep, nil, fmt.Errorf("crashsim: snapshot recovered db: %w", err)
 	}
 	tiers := db.Allocator().Tiers()
-	var want uint64
+	unique := map[storage.PID]uint64{} // pid -> pages, deduplicated
 	for _, st := range states {
-		want += st.TotalPages(tiers)
+		for i, pid := range st.Extents {
+			unique[pid] = tiers.Size(i)
+		}
+		if st.HasTail() {
+			unique[st.Tail.PID] = st.Tail.Pages
+		}
+	}
+	var want uint64
+	for _, pages := range unique {
+		want += pages
 	}
 	if got := db.Allocator().Stats().LivePages; got != want {
-		return rep, snap, fmt.Errorf("crashsim: allocator LivePages=%d but surviving blobs own %d pages (leak or double-free)", got, want)
+		return rep, snap, fmt.Errorf("crashsim: allocator LivePages=%d but surviving blobs own %d distinct pages (leak or double-free)", got, want)
+	}
+	if err := db.CheckLedger(); err != nil {
+		return rep, snap, fmt.Errorf("crashsim: refcount ledger inconsistent after recovery: %w", err)
 	}
 	return rep, snap, nil
 }

@@ -17,6 +17,7 @@ var (
 	flagTear      = flag.String("tear", "scramble", "replay: tear mode (ordered|scramble)")
 	flagSync      = flag.Bool("synccommit", false, "replay: use the synchronous commit path")
 	flagSmall     = flag.Bool("smallpool", false, "replay: shrink the buffer pool")
+	flagDedup     = flag.Bool("dedup", false, "replay: use the dedup/relocation-heavy trace generator")
 )
 
 func reportFailures(t *testing.T, stats ExploreStats, failures []Failure) {
@@ -54,6 +55,44 @@ func TestCrashSchedulesShort(t *testing.T) {
 	}
 }
 
+// TestCrashSchedulesDedup sweeps the dedup/relocation trace families:
+// duplicate puts (committed and aborted) that share extent sequences,
+// deletes of shared blobs, divergent appends/updates on sharers, and
+// relocation rounds. Crash points land inside refcount-ledger WAL
+// appends and relocation copy/remap windows; every recovery must satisfy
+// the reference model, the unique-extent allocator accounting, and the
+// ledger-vs-recount cross-check.
+func TestCrashSchedulesDedup(t *testing.T) {
+	cfg := DefaultDedupConfig(*flagSeed + 3)
+	if testing.Short() {
+		cfg.Traces = 3
+		cfg.Points = 30
+	}
+	cfg.Logf = t.Logf
+	stats, failures := Explore(cfg)
+	reportFailures(t, stats, failures)
+	min := 100
+	if !testing.Short() {
+		min = 500
+	}
+	if stats.Schedules < min {
+		t.Errorf("explored only %d dedup schedules, want >= %d", stats.Schedules, min)
+	}
+}
+
+// TestCrashSchedulesDedupSync contrasts the dedup families against the
+// synchronous commit path, where refcount-delta WAL appends interleave
+// differently with the extent flush.
+func TestCrashSchedulesDedupSync(t *testing.T) {
+	cfg := DefaultDedupConfig(*flagSeed + 4)
+	cfg.Traces = 2
+	cfg.Points = 15
+	cfg.Sync = true
+	cfg.Logf = t.Logf
+	stats, failures := Explore(cfg)
+	reportFailures(t, stats, failures)
+}
+
 // TestCrashSchedulesSmallPool runs a smaller sweep with a pool sized to
 // force eviction during flushes (the prevent_evict window) and the
 // synchronous commit path for contrast.
@@ -89,6 +128,7 @@ func TestReplaySchedule(t *testing.T) {
 	cfg := DefaultConfig(*flagSeed)
 	cfg.Sync = *flagSync
 	cfg.SmallPool = *flagSmall
+	cfg.Dedup = *flagDedup
 	s := Schedule{TraceSeed: *flagTraceSeed, CrashOp: *flagCrashOp, Mode: mode}
 	res, err := cfg.RunSchedule(s, nil)
 	if err != nil {
@@ -107,21 +147,36 @@ func TestReplaySchedule(t *testing.T) {
 // back to epoch 0, and the WAL scan — which requires an exact epoch
 // match — filters out every epoch-1 flush block. Recovery came back
 // empty: total loss of all committed blobs.
+// Unconditionally-replayed refcount decrement double-free: apply-time
+// ledger decrements were originally logged under txn id 0 and replayed
+// unconditionally. Crash point 108 of this dedup trace syncs a
+// transaction's commit record, applies its deferred frees (logging a
+// decrement against a 3-way-shared extent), then tears the transaction's
+// own extent writes — recovery marks it failed and reverts its tuple to
+// the old state still referencing the shared extent, yet the decrement
+// replayed anyway: three surviving references, ledger count two, one
+// free away from recycling an extent under two live blobs. Decrements
+// now carry the staging transaction's id and replay under the same
+// committed-and-validated rule as increments.
 var regressionSchedules = []struct {
-	s    Schedule
-	sync bool
+	s     Schedule
+	sync  bool
+	dedup bool
 }{
-	{Schedule{TraceSeed: 7338701143958340983, CrashOp: 70, Mode: storage.TearOrdered}, true},
-	{Schedule{TraceSeed: 7338701143958340983, CrashOp: 70, Mode: storage.TearScramble}, true},
-	{Schedule{TraceSeed: 7338701143958340983, CrashOp: 70, Mode: storage.TearScramble}, false},
+	{Schedule{TraceSeed: 7338701143958340983, CrashOp: 70, Mode: storage.TearOrdered}, true, false},
+	{Schedule{TraceSeed: 7338701143958340983, CrashOp: 70, Mode: storage.TearScramble}, true, false},
+	{Schedule{TraceSeed: 7338701143958340983, CrashOp: 70, Mode: storage.TearScramble}, false, false},
+	{Schedule{TraceSeed: 8940310146990858404, CrashOp: 108, Mode: storage.TearScramble}, false, true},
+	{Schedule{TraceSeed: 8940310146990858404, CrashOp: 108, Mode: storage.TearOrdered}, false, true},
 }
 
 func TestRegressionSchedules(t *testing.T) {
 	for _, rs := range regressionSchedules {
 		rs := rs
-		t.Run(fmt.Sprintf("%v sync=%v", rs.s, rs.sync), func(t *testing.T) {
+		t.Run(fmt.Sprintf("%v sync=%v dedup=%v", rs.s, rs.sync, rs.dedup), func(t *testing.T) {
 			cfg := DefaultConfig(1)
 			cfg.Sync = rs.sync
+			cfg.Dedup = rs.dedup
 			if _, err := cfg.RunSchedule(rs.s, nil); err != nil {
 				t.Fatalf("pinned schedule regressed: %v", err)
 			}

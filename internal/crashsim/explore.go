@@ -15,6 +15,7 @@ type Failure struct {
 	Schedule Schedule
 	Sync     bool
 	Small    bool
+	Dedup    bool
 	Err      error
 }
 
@@ -29,6 +30,9 @@ func (f Failure) Replay() string {
 	}
 	if f.Small {
 		b.WriteString(" -smallpool")
+	}
+	if f.Dedup {
+		b.WriteString(" -dedup")
 	}
 	return b.String()
 }
@@ -73,7 +77,7 @@ func Explore(cfg Config) (ExploreStats, []Failure) {
 		recRes, err := cfg.RunSchedule(rec, nil)
 		stats.Schedules++
 		if err != nil {
-			failures = append(failures, Failure{Schedule: rec, Sync: cfg.Sync, Small: cfg.SmallPool, Err: err})
+			failures = append(failures, Failure{Schedule: rec, Sync: cfg.Sync, Small: cfg.SmallPool, Dedup: cfg.Dedup, Err: err})
 			stats.Failures++
 			logf("trace %d: record pass FAILED: %v", ti, err)
 			continue
@@ -86,7 +90,7 @@ func Explore(cfg Config) (ExploreStats, []Failure) {
 				s := Schedule{TraceSeed: traceSeed, CrashOp: k, Mode: mode}
 				if _, err := cfg.RunSchedule(s, recRes.OpHashes); err != nil {
 					if len(failures) < maxFailures {
-						failures = append(failures, Failure{Schedule: s, Sync: cfg.Sync, Small: cfg.SmallPool, Err: err})
+						failures = append(failures, Failure{Schedule: s, Sync: cfg.Sync, Small: cfg.SmallPool, Dedup: cfg.Dedup, Err: err})
 					}
 					stats.Failures++
 					logf("FAIL %v: %v", s, err)

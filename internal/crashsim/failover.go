@@ -109,7 +109,7 @@ type ackedBatch struct {
 // non-nil, is checked against the primary device's op-hash chain to
 // prove the replay followed the recorded I/O schedule.
 func (c FailoverConfig) RunFailoverSchedule(s FailoverSchedule, wantHashes []uint64) (*FailoverResult, error) {
-	ops := genTrace(s.TraceSeed, c.Steps)
+	ops := genTrace(s.TraceSeed, c.Steps, false)
 	inner := storage.NewMemDevice(simPageSize, simDevPages, nil)
 	fd, err := storage.NewFaultDevice(inner, storage.FaultConfig{
 		Seed:    tearSeed(Schedule{TraceSeed: s.TraceSeed, CrashOp: s.CrashOp, Mode: s.Mode}),

@@ -212,7 +212,7 @@ func (c TopoConfig) RunTopoSchedule(s TopoSchedule, wantHashes [][]uint64) (*Top
 	}
 	ringBefore := r.cluster.Ring()
 
-	ops := genTrace(s.TraceSeed, c.Steps)
+	ops := genTrace(s.TraceSeed, c.Steps, false)
 	for i, op := range ops {
 		if err := r.exec(op); err != nil {
 			return nil, fmt.Errorf("op %d (%s): %w", i, op.kind, err)

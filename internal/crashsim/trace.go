@@ -29,6 +29,20 @@ const (
 	opBatchPut
 	opCheckpoint
 	opRead
+	// opPutDup puts an EXISTING key's exact content under another key, so
+	// the engine's content-addressed dedup shares the extent sequence. The
+	// engine call is an ordinary streaming put; the sharing (and its
+	// refcount ledger) is what recovery must get right.
+	opPutDup
+	// opPutDupAbort is opPutDup aborted mid-transaction: the staged
+	// refcount increments must be undone.
+	opPutDupAbort
+	// opRelocate runs a defragmentation round fragment: plan a few extent
+	// relocations and commit each one. Content never changes, so the
+	// reference model stages nothing — but every crash point inside the
+	// copy/remap window must recover with the key intact and the
+	// allocator/ledger clean.
+	opRelocate
 )
 
 func (k opKind) String() string {
@@ -51,6 +65,12 @@ func (k opKind) String() string {
 		return "checkpoint"
 	case opRead:
 		return "read"
+	case opPutDup:
+		return "put-dup"
+	case opPutDupAbort:
+		return "put-dup-abort"
+	case opRelocate:
+		return "relocate"
 	default:
 		return fmt.Sprintf("op(%d)", int(k))
 	}
@@ -74,8 +94,11 @@ type traceOp struct {
 // enough that keys are replaced, grown, and deleted repeatedly.
 const keySpace = 20
 
-// genTrace precomputes the operation list for a trace seed.
-func genTrace(seed int64, steps int) []traceOp {
+// genTrace precomputes the operation list for a trace seed. With dedup
+// set, the roll table shifts toward sharing-heavy histories: duplicate
+// puts (committed and aborted), deletes of shared sequences, divergent
+// appends/updates on sharers, and relocation rounds.
+func genTrace(seed int64, steps int, dedup bool) []traceOp {
 	rng := rand.New(rand.NewSource(seed))
 	shadow := map[string][]byte{}
 	present := func() []string {
@@ -108,6 +131,38 @@ func genTrace(seed int64, steps int) []traceOp {
 
 	ops := make([]traceOp, 0, steps)
 	for len(ops) < steps {
+		if dedup && rng.Intn(100) < 38 {
+			// Dedup-family op instead of a baseline one.
+			switch roll := rng.Intn(100); {
+			case roll < 55: // duplicate put: share an existing sequence
+				src, ok := pick()
+				if !ok {
+					continue
+				}
+				dst := anyKey()
+				c := append([]byte(nil), shadow[src]...)
+				if len(c) == 0 {
+					continue
+				}
+				ops = append(ops, traceOp{kind: opPutDup, subs: []subOp{{key: dst, full: c, write: c}}})
+				shadow[dst] = c
+			case roll < 70: // duplicate put, aborted: share must be undone
+				src, ok := pick()
+				if !ok {
+					continue
+				}
+				dst := anyKey()
+				c := append([]byte(nil), shadow[src]...)
+				if len(c) == 0 {
+					continue
+				}
+				ops = append(ops, traceOp{kind: opPutDupAbort, subs: []subOp{{key: dst, full: c, write: c}}})
+				// shadow unchanged: the op never commits
+			default: // relocation round
+				ops = append(ops, traceOp{kind: opRelocate})
+			}
+			continue
+		}
 		switch roll := rng.Intn(100); {
 		case roll < 18: // batch of puts sharing one group commit
 			nk := 2 + rng.Intn(3)

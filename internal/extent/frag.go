@@ -1,0 +1,153 @@
+package extent
+
+import (
+	"blobdb/internal/storage"
+)
+
+// Online defragmentation support.
+//
+// Long-running workloads with mixed blob sizes leave the heap region
+// looking like swiss cheese: free extents strand between live ones, the
+// bump pointer only ever grows, and Stats().Utilization understates how
+// much device footprint the live data actually needs. The defragmenter
+// (internal/maint) compacts by relocating live extents into free slots at
+// LOWER addresses, then retracting the bump pointer over the free space
+// that accumulates at the top. These are the allocator-side primitives.
+
+// AllocExtentBelow allocates one extent of the given tier strictly below
+// the page address limit, reusing freed space only — it never bumps the
+// high-water mark (that would be anti-compaction). It prefers the
+// lowest-addressed candidate, taking either a same-tier free-list entry or
+// a carve from the tail free list. Returns false when no free slot below
+// the limit can hold the extent.
+func (a *Allocator) AllocExtentBelow(tier int, limit storage.PID) (storage.PID, bool) {
+	size := a.tiers.Size(tier)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	// Lowest-addressed same-tier free entry below the limit.
+	bestIdx := -1
+	if tier < len(a.free) {
+		for i, pid := range a.free[tier] {
+			if pid < limit && (bestIdx < 0 || pid < a.free[tier][bestIdx]) {
+				bestIdx = i
+			}
+		}
+	}
+	// Lowest-addressed tail free entry below the limit that can hold the
+	// extent. Free space never overlaps live extents, so PID < limit
+	// implies the whole carve sits below the relocation source.
+	tailIdx := -1
+	for i, e := range a.tailFree {
+		if e.PID < limit && e.Pages >= size && (tailIdx < 0 || e.PID < a.tailFree[tailIdx].PID) {
+			tailIdx = i
+		}
+	}
+
+	if bestIdx >= 0 && (tailIdx < 0 || a.free[tier][bestIdx] <= a.tailFree[tailIdx].PID) {
+		pid := a.free[tier][bestIdx]
+		l := a.free[tier]
+		a.free[tier] = append(l[:bestIdx], l[bestIdx+1:]...)
+		a.freePages -= size
+		a.livePages += size
+		a.allocs++
+		a.reuses++
+		return pid, true
+	}
+	if tailIdx >= 0 {
+		e := a.tailFree[tailIdx]
+		a.tailFree = append(a.tailFree[:tailIdx], a.tailFree[tailIdx+1:]...)
+		a.freePages -= e.Pages
+		if e.Pages > size {
+			a.insertTailLocked(Extent{PID: e.PID + storage.PID(size), Pages: e.Pages - size})
+			a.freePages += e.Pages - size
+		}
+		a.livePages += size
+		a.allocs++
+		a.reuses++
+		return e.PID, true
+	}
+	return storage.InvalidPID, false
+}
+
+// ShrinkHWM retracts the bump pointer over free space that touches it:
+// any free-list entry (tier or tail) ending exactly at the high-water
+// mark is removed and its pages become fresh again. Repeats until no free
+// extent abuts the mark. Returns the number of pages reclaimed. Run after
+// relocation has emptied the top of the region.
+func (a *Allocator) ShrinkHWM() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var reclaimed uint64
+	for {
+		retracted := false
+		for tier := range a.free {
+			size := a.tiers.Size(tier)
+			for i, pid := range a.free[tier] {
+				if pid+storage.PID(size) == a.next {
+					l := a.free[tier]
+					a.free[tier] = append(l[:i], l[i+1:]...)
+					a.freePages -= size
+					a.next = pid
+					reclaimed += size
+					retracted = true
+					break
+				}
+			}
+			if retracted {
+				break
+			}
+		}
+		if !retracted {
+			for i, e := range a.tailFree {
+				if e.PID+storage.PID(e.Pages) == a.next {
+					a.tailFree = append(a.tailFree[:i], a.tailFree[i+1:]...)
+					a.freePages -= e.Pages
+					a.next = e.PID
+					reclaimed += e.Pages
+					retracted = true
+					break
+				}
+			}
+		}
+		if !retracted {
+			return reclaimed
+		}
+	}
+}
+
+// FragReport is a snapshot of heap-region fragmentation.
+type FragReport struct {
+	LivePages uint64 // pages allocated to callers
+	FreePages uint64 // pages stranded on free lists
+	SpanPages uint64 // region start .. bump pointer: the heap's footprint
+	TierFree  []int  // free-list entries per tier
+	TailFree  int    // tail free-list entries
+	// Score is the dead fraction of the spanned footprint:
+	// (SpanPages - LivePages) / SpanPages, in [0, 1]. A perfectly packed
+	// heap scores 0; relocation plus ShrinkHWM strictly decreases it
+	// whenever it moves an extent down and retracts the mark.
+	Score float64
+}
+
+// FragStats reports the current fragmentation of the heap region.
+func (a *Allocator) FragStats() FragReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := FragReport{
+		LivePages: a.livePages,
+		FreePages: a.freePages,
+		TierFree:  make([]int, len(a.free)),
+		TailFree:  len(a.tailFree),
+	}
+	if a.next > a.start {
+		r.SpanPages = uint64(a.next - a.start)
+	}
+	for i, l := range a.free {
+		r.TierFree[i] = len(l)
+	}
+	if r.SpanPages > 0 {
+		r.Score = float64(r.SpanPages-r.LivePages) / float64(r.SpanPages)
+	}
+	return r
+}

@@ -51,6 +51,7 @@ const (
 	RecHeapDelete // logical tuple delete
 	RecFreeExtent // extent freed at commit
 	RecCheckpoint
+	RecRefDelta // refcount ledger mutation batch (dedup share / deferred release)
 )
 
 // Record is one framed log record.

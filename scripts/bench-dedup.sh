@@ -1,0 +1,13 @@
+#!/bin/sh
+# Runs the content-addressed dedup + online defragmentation benchmark
+# (PR 9) and writes BENCH_PR9.json at the repo root.
+#
+# Acceptance bars checked by the report:
+#   - dedup_ratio > 1 with dedup_hits > 0 (identical PUTs share extents)
+#   - score_strictly_decreasing: every defrag round lowers the
+#     fragmentation score
+#   - read_p99_regression <= 0.10: the read tail under relocation stays
+#     within 10% of the quiet baseline
+set -e
+cd "$(dirname "$0")/.."
+go run ./cmd/blobbench -dedupbench-json BENCH_PR9.json
