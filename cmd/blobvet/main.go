@@ -2,7 +2,10 @@
 // the concurrency and durability invariants the design documents promise:
 // pin discipline on buffer frames, no device I/O under pool latches,
 // deterministic output in replay-checked paths, WAL-owned sync ordering,
-// and migration off deprecated blob APIs.
+// global lock-acquisition order (no ABBA cycles), and migration off
+// deprecated blob APIs. The interprocedural checks run on function
+// effect summaries computed by the summary pass, which every driver runs
+// automatically as a requirement of the listed analyzers.
 //
 // Two modes:
 //
@@ -24,15 +27,19 @@ import (
 	"blobdb/internal/analysis/passes/deprecatedblobapi"
 	"blobdb/internal/analysis/passes/framerelease"
 	"blobdb/internal/analysis/passes/lockio"
+	"blobdb/internal/analysis/passes/lockorder"
 	"blobdb/internal/analysis/passes/nondet"
 	"blobdb/internal/analysis/passes/walorder"
 	"blobdb/internal/analysis/unitchecker"
 )
 
+// analyzers are the reporting passes; the summary pass joins every run
+// implicitly through their Requires edges (driver.Expand).
 var analyzers = []*analysis.Analyzer{
 	deprecatedblobapi.Analyzer,
 	framerelease.Analyzer,
 	lockio.Analyzer,
+	lockorder.Analyzer,
 	nondet.Analyzer,
 	walorder.Analyzer,
 }

@@ -50,6 +50,12 @@ type Analyzer struct {
 	// consumes. Registration is required for (gob) serialization under the
 	// vet protocol.
 	FactTypes []Fact
+
+	// Requires lists analyzers whose facts this analyzer consumes. Drivers
+	// run requirements first (on every package, so their facts exist for
+	// the current package too, not only for dependencies) and make their
+	// fact stream readable through Pass.AllObjectFacts.
+	Requires []*Analyzer
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -75,6 +81,23 @@ type Pass struct {
 	// package being analyzed. Only package-level objects and methods of
 	// package-level named types survive serialization.
 	ExportObjectFact func(obj types.Object, fact Fact)
+
+	// AllObjectFacts enumerates every object fact exported by the named
+	// analyzer (which must appear in Analyzer.Requires, or be the analyzer
+	// itself), across the current package and its whole import graph, in
+	// deterministic order. Enumeration — rather than per-object import —
+	// is what interprocedural consumers need: unexported functions of
+	// dependency packages do not survive gc export data, so their facts
+	// can only be reached by key, never through a types.Object.
+	AllObjectFacts func(analyzer string) []ObjectFact
+}
+
+// An ObjectFact is one exported fact with its stable address: the
+// defining package's import path and the object's ObjectPath within it.
+type ObjectFact struct {
+	PkgPath string
+	ObjPath string
+	Fact    Fact
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -153,16 +176,26 @@ const allowPrefix = "//blobvet:allow"
 
 // Suppressions indexes //blobvet:allow comments of one package.
 type Suppressions struct {
-	// allowed maps "file:line" to true for every line covered by a
-	// reasoned allow comment (the comment's own line and the line below).
-	allowed map[string]bool
+	// allowed maps "file:line" to the reasoned allow entries covering that
+	// line (the comment's own line and the line below).
+	allowed map[string][]*allowEntry
+	// entries holds every reasoned allow in scan order.
+	entries []*allowEntry
 	// bare holds the positions of reason-less allow comments.
 	bare []token.Pos
 }
 
+// allowEntry is one reasoned //blobvet:allow comment, tracked so the
+// driver can audit allows that no longer suppress anything.
+type allowEntry struct {
+	pos  token.Pos
+	test bool // in a _test.go file: exempt from the stale audit
+	used bool // suppressed at least one diagnostic this run
+}
+
 // ScanSuppressions collects the allow comments of files.
 func ScanSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
-	s := &Suppressions{allowed: map[string]bool{}}
+	s := &Suppressions{allowed: map[string][]*allowEntry{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -176,8 +209,14 @@ func ScanSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 					s.bare = append(s.bare, c.Pos())
 					continue
 				}
-				s.allowed[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = true
-				s.allowed[fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)] = true
+				e := &allowEntry{pos: c.Pos(), test: IsTestFile(fset, c.Pos())}
+				s.entries = append(s.entries, e)
+				for _, key := range []string{
+					fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+					fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1),
+				} {
+					s.allowed[key] = append(s.allowed[key], e)
+				}
 			}
 		}
 	}
@@ -185,10 +224,34 @@ func ScanSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 }
 
 // Suppressed reports whether a diagnostic at pos is covered by a reasoned
-// allow comment (same line as the comment, or the line below it).
+// allow comment (same line as the comment, or the line below it), and
+// marks the covering allows used for the stale audit.
 func (s *Suppressions) Suppressed(fset *token.FileSet, pos token.Pos) bool {
 	p := fset.Position(pos)
-	return s.allowed[fmt.Sprintf("%s:%d", p.Filename, p.Line)]
+	entries := s.allowed[fmt.Sprintf("%s:%d", p.Filename, p.Line)]
+	for _, e := range entries {
+		e.used = true
+	}
+	return len(entries) > 0
+}
+
+// Stale returns diagnostics for every reasoned allow (outside _test.go
+// files) that suppressed nothing: a dead allow either outlived the code
+// it excused or documents an invariant the analyzers no longer check —
+// both rot the in-tree exception catalog. Call it after every analyzer
+// has run.
+func (s *Suppressions) Stale() []Diagnostic {
+	var out []Diagnostic
+	for _, e := range s.entries {
+		if e.used || e.test {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:     e.pos,
+			Message: "stale //blobvet:allow: no analyzer reports a diagnostic here anymore; delete the comment (or restore the invariant it excused)",
+		})
+	}
+	return out
 }
 
 // BareAllows returns diagnostics for every reason-less //blobvet:allow:

@@ -1,5 +1,7 @@
 // Package cfg builds a small intraprocedural control-flow graph over Go
-// AST function bodies, for dataflow analyzers (framerelease, lockio).
+// AST function bodies, for dataflow analyzers (framerelease, lockio, and
+// the summary pass, whose must-held lock fixpoint over these blocks is
+// what every exported effect fact's Held sets are computed against).
 //
 // It models exactly the control constructs the engine uses: blocks, if/else,
 // for, range, switch (tagged and tagless), type switch, select, labeled
@@ -10,7 +12,9 @@
 //
 // goto is not modeled: New returns nil for a body containing one and
 // analyzers skip the function (the engine has none; conservative silence
-// beats wrong edges).
+// beats wrong edges). The summary pass falls back to a flow-insensitive
+// walk with empty held sets in that case, so its facts degrade to
+// "calls, no lock context" rather than disappearing.
 package cfg
 
 import "go/ast"

@@ -71,6 +71,27 @@ func (f *Facts) Get(key FactKey, out analysis.Fact) bool {
 	return true
 }
 
+// AllOf returns every fact exported by one analyzer, across all packages
+// seen so far, in deterministic (PkgPath, ObjPath) order. This is the
+// enumeration the interprocedural passes consume: unexported dependency
+// functions have no types.Object on the importing side, so their facts
+// are only reachable by key.
+func (f *Facts) AllOf(analyzer string) []analysis.ObjectFact {
+	var out []analysis.ObjectFact
+	for k, fact := range f.m {
+		if k.Analyzer == analyzer {
+			out = append(out, analysis.ObjectFact{PkgPath: k.PkgPath, ObjPath: k.ObjPath, Fact: fact})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PkgPath != out[j].PkgPath {
+			return out[i].PkgPath < out[j].PkgPath
+		}
+		return out[i].ObjPath < out[j].ObjPath
+	})
+	return out
+}
+
 // All returns the stored facts in deterministic key order.
 func (f *Facts) All() ([]FactKey, []analysis.Fact) {
 	keys := make([]FactKey, 0, len(f.m))
@@ -94,16 +115,45 @@ func (f *Facts) All() ([]FactKey, []analysis.Fact) {
 	return keys, facts
 }
 
-// RunPackage applies analyzers to pkg, reading and writing object facts
-// through facts, and returns the surviving diagnostics: suppressed ones
+// Expand returns analyzers plus their transitive Requires closure in
+// dependency order (requirements strictly before their dependents),
+// deduplicated. Every entry point expands before running, so listing an
+// interprocedural analyzer is enough — its summary producer runs first
+// on the same package, and its facts are in the store when the consumer
+// asks for them.
+func Expand(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	seen := map[*analysis.Analyzer]bool{}
+	var visit func(a *analysis.Analyzer)
+	visit = func(a *analysis.Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, req := range a.Requires {
+			visit(req)
+		}
+		out = append(out, a)
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+	return out
+}
+
+// RunPackage applies analyzers (expanded with their Requires closure, in
+// dependency order) to pkg, reading and writing object facts through
+// facts, and returns the surviving diagnostics: suppressed ones
 // (reasoned //blobvet:allow on the same or preceding line) are dropped,
-// and every reason-less allow comment is itself reported under the
-// pseudo-analyzer name "allow".
+// every reason-less allow comment is itself reported under the
+// pseudo-analyzer name "allow", and so is every reasoned allow that no
+// longer suppresses anything (the stale-allow audit; _test.go files are
+// exempt, as analyzers skip them).
 func RunPackage(pkg *Package, analyzers []*analysis.Analyzer, facts *Facts) ([]Diag, error) {
 	sup := analysis.ScanSuppressions(pkg.Fset, pkg.Files)
 
 	var out []Diag
-	for _, a := range analyzers {
+	for _, a := range Expand(analyzers) {
 		a := a
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -138,11 +188,17 @@ func RunPackage(pkg *Package, analyzers []*analysis.Analyzer, facts *Facts) ([]D
 			}
 			facts.Put(FactKey{Analyzer: a.Name, PkgPath: pkg.Types.Path(), ObjPath: op}, fact)
 		}
+		pass.AllObjectFacts = func(analyzer string) []analysis.ObjectFact {
+			return facts.AllOf(analyzer)
+		}
 		if _, err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
 		}
 	}
 	for _, d := range sup.BareAllows() {
+		out = append(out, Diag{Analyzer: "allow", Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+	}
+	for _, d := range sup.Stale() {
 		out = append(out, Diag{Analyzer: "allow", Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,72 @@
+// factio.go serializes the fact store to and from .vetx-style files.
+// The wire format is the one the unitchecker exchanges with cmd/go
+// (a gob slice of wireFact), but it lives in the driver so the encode/
+// decode path is testable without a vet process around it: the facts
+// the interprocedural analyzers ship (nested slices of structs) are
+// exactly the shapes gob is pickiest about.
+package driver
+
+import (
+	"encoding/gob"
+	"io"
+	"os"
+
+	"blobdb/internal/analysis"
+)
+
+// wireFact is the gob wire form of one exported object fact.
+type wireFact struct {
+	PkgPath  string
+	ObjPath  string
+	Analyzer string
+	Fact     analysis.Fact
+}
+
+// WriteFacts serializes the full fact view (the analyzed package's
+// exports plus its dependencies') so importers see facts transitively.
+func WriteFacts(facts *Facts, w io.Writer) error {
+	keys, values := facts.All()
+	wire := make([]wireFact, len(keys))
+	for i, k := range keys {
+		wire[i] = wireFact{PkgPath: k.PkgPath, ObjPath: k.ObjPath, Analyzer: k.Analyzer, Fact: values[i]}
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// ReadFacts merges one serialized fact stream into facts. Concrete fact
+// types must have been gob-registered (unitchecker registers every
+// Analyzer.FactTypes entry before decoding).
+func ReadFacts(facts *Facts, r io.Reader) error {
+	var wire []wireFact
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return err
+	}
+	for _, w := range wire {
+		facts.Put(FactKey{Analyzer: w.Analyzer, PkgPath: w.PkgPath, ObjPath: w.ObjPath}, w.Fact)
+	}
+	return nil
+}
+
+// WriteFactsFile writes facts to path (the unitchecker's VetxOutput).
+func WriteFactsFile(facts *Facts, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFacts(facts, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFactsFile merges one dependency's fact file. A missing or
+// unreadable file is treated as empty: the dependency exported nothing.
+func ReadFactsFile(facts *Facts, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	_ = ReadFacts(facts, f) // undecodable ⇒ treat as empty, same as missing
+}

@@ -196,7 +196,6 @@ func newHybridImporter(fset *token.FileSet, exports map[string]string) *hybridIm
 	}
 	// The Deprecated: paragraph on ForCompiler covers only the nil-lookup
 	// $GOPATH fallback; we always pass a lookup.
-	//blobvet:allow deprecated nil-lookup fallback unused: lookup is always non-nil here
 	h.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
 	return h
 }

@@ -18,11 +18,21 @@
 // are policed, and only non-test files — the shims' own package and the
 // tests that pin shim behavior may keep calling them, and examples/
 // deliberately show the compact one-shot API.
+//
+// The standard library is out of scope entirely. Under go vet, fact
+// computation visits GOROOT source, where conditional "Deprecated:"
+// paragraphs (importer.ForCompiler's nil-lookup clause is the canonical
+// case) would mint facts the standalone driver — which imports stdlib
+// from export data, never source — can never produce. Policing blob-API
+// shims must not depend on which driver ran, so GOROOT packages export
+// no facts and are never policed.
 package deprecatedblobapi
 
 import (
 	"go/ast"
+	"go/build"
 	"go/types"
+	"path/filepath"
 	"strings"
 
 	"blobdb/internal/analysis"
@@ -50,6 +60,9 @@ the removal: reintroducing a shim under any name trips it again.`,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	if inGOROOT(pass) {
+		return nil, nil
+	}
 	// Export facts for this package's deprecated functions and methods.
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -112,6 +125,17 @@ func deprecationMessage(doc string) (string, bool) {
 		}
 	}
 	return "", false
+}
+
+// inGOROOT reports whether the package under analysis is standard
+// library source — the go vet driver runs fact computation over GOROOT
+// units, which this analyzer skips (see the package comment).
+func inGOROOT(pass *analysis.Pass) bool {
+	if len(pass.Files) == 0 {
+		return false
+	}
+	root := filepath.Join(build.Default.GOROOT, "src") + string(filepath.Separator)
+	return strings.HasPrefix(pass.Fset.Position(pass.Files[0].Pos()).Filename, root)
 }
 
 func isInternal(path string) bool {

@@ -18,10 +18,20 @@
 // error variable refine the set ("if err != nil" implies no frame was
 // returned — both Fix entry points guarantee no pins survive an error,
 // including the FixExtents partial-failure unwind). Ownership transfers
-// (returning the frame, storing it in a field or collection, passing it
-// to another function) end tracking conservatively: the analyzer reports
-// only definite local protocol violations, never inter-procedural
-// guesses.
+// (returning the frame, storing it in a field or collection) end
+// tracking conservatively: the analyzer reports only definite protocol
+// violations, never guesses.
+//
+// Helper boundaries are crossed through the summary pass's pin
+// contract. A call to a function whose summary says "returns a pin"
+// (fetchBlock wrapping FixExtent) binds the obligation to the caller's
+// variable exactly as a direct Fix call would — both Fix entry points
+// guarantee no pins survive an error, and a conforming wrapper
+// propagates that, so the error-refinement logic applies unchanged. A
+// call to a function whose summary says "releases parameter i"
+// (dropFrame, releaseAll) discharges the obligation at the call site
+// instead of escaping the variable — which also lets the double-release
+// check see through the helper.
 package framerelease
 
 import (
@@ -32,6 +42,7 @@ import (
 
 	"blobdb/internal/analysis"
 	"blobdb/internal/analysis/cfg"
+	"blobdb/internal/analysis/passes/summary"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -42,8 +53,11 @@ Every result of Pool.FixExtent / Pool.FixExtents / Pool.CreateExtent
 must be Release()d on all paths, including error returns. Leaks pin
 frames forever (wedging eviction — created frames are additionally
 evict-protected, the relocation clone-pin hazard); double releases
-corrupt the pin count.`,
-	Run: run,
+corrupt the pin count. Helpers that fix-and-return or that release a
+parameter are understood through their effect summaries, so the
+obligation follows the pin across function boundaries.`,
+	Run:      run,
+	Requires: []*analysis.Analyzer{summary.Analyzer},
 }
 
 // vstate is a set of possible frame-ownership states.
@@ -57,6 +71,12 @@ const (
 )
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	sums := map[string]*summary.FuncSummary{}
+	for _, of := range pass.AllObjectFacts(summary.Analyzer.Name) {
+		if s, ok := of.Fact.(*summary.FuncSummary); ok {
+			sums[of.PkgPath+"\x00"+of.ObjPath] = s
+		}
+	}
 	for _, file := range pass.Files {
 		if analysis.IsTestFile(pass.Fset, file.Pos()) {
 			continue
@@ -66,7 +86,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, fn)
+			checkFunc(pass, fn, sums)
 		}
 	}
 	return nil, nil
@@ -74,6 +94,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 
 type checker struct {
 	pass *analysis.Pass
+	// sums indexes the summary pass's facts by pkg-path\x00obj-path: the
+	// helper pin/release contract.
+	sums map[string]*summary.FuncSummary
 	// pairs maps an error variable to the frame variables assigned in the
 	// same Fix call, while those frames are still exactly sUnreleased.
 	pairs map[types.Object][]types.Object
@@ -101,12 +124,27 @@ func (s state) clone() state {
 	return c
 }
 
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
-	// Cheap pre-scan: skip functions that never call a Fix API.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, sums map[string]*summary.FuncSummary) {
+	c := &checker{
+		pass:          pass,
+		sums:          sums,
+		pairs:         map[types.Object][]types.Object{},
+		deferred:      map[types.Object]bool{},
+		rangeReleased: map[*ast.RangeStmt]bool{},
+		fixPos:        map[types.Object]token.Pos{},
+		fixBatch:      map[types.Object]bool{},
+		fixCreate:     map[types.Object]bool{},
+		reported:      map[string]bool{},
+	}
+
+	// Cheap pre-scan: skip functions that never call a Fix API or a
+	// pin-returning helper.
 	found := false
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok && fixKind(pass, call) != fixNone {
-			found = true
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fixKind(pass, call) != fixNone || c.helperPins(call) != "" {
+				found = true
+			}
 		}
 		return !found
 	})
@@ -118,16 +156,6 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 		return // contains goto; conservatively skip
 	}
 
-	c := &checker{
-		pass:          pass,
-		pairs:         map[types.Object][]types.Object{},
-		deferred:      map[types.Object]bool{},
-		rangeReleased: map[*ast.RangeStmt]bool{},
-		fixPos:        map[types.Object]token.Pos{},
-		fixBatch:      map[types.Object]bool{},
-		fixCreate:     map[types.Object]bool{},
-		reported:      map[string]bool{},
-	}
 	c.preScan(fn.Body)
 
 	// Forward dataflow to fixpoint. States only grow (set union), so the
@@ -295,6 +323,70 @@ func base(path string) string {
 	return path
 }
 
+// calleeSummary looks the call's static callee up in the summary facts.
+func (c *checker) calleeSummary(call *ast.CallExpr) *summary.FuncSummary {
+	pkg, path, ok := summary.Resolve(c.pass.TypesInfo, call)
+	if !ok {
+		return nil
+	}
+	return c.sums[pkg+"\x00"+path]
+}
+
+// helperPins reports the Fix entry point a helper call hands back a pin
+// from ("FixExtent", "FixExtents", "CreateExtent"), or "". Direct Fix
+// calls are excluded — they are handled natively with better positions.
+func (c *checker) helperPins(call *ast.CallExpr) string {
+	if fixKind(c.pass, call) != fixNone {
+		return ""
+	}
+	if s := c.calleeSummary(call); s != nil {
+		return s.Pins
+	}
+	return ""
+}
+
+// helperName names the callee for a diagnostic.
+func (c *checker) helperName(call *ast.CallExpr) string {
+	_, path, ok := summary.Resolve(c.pass.TypesInfo, call)
+	if !ok {
+		return "helper"
+	}
+	if i := strings.LastIndexByte(path, '.'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// releaseSet returns the callee's released-parameter indices, or nil.
+func (c *checker) releaseSet(call *ast.CallExpr) map[int]bool {
+	s := c.calleeSummary(call)
+	if s == nil || len(s.Releases) == 0 {
+		return nil
+	}
+	m := make(map[int]bool, len(s.Releases))
+	for _, i := range s.Releases {
+		m[i] = true
+	}
+	return m
+}
+
+// scanArgs scans call arguments, discharging the obligation for any
+// tracked variable passed as a parameter the callee's summary releases,
+// and escaping the rest as usual.
+func (c *checker) scanArgs(st state, call *ast.CallExpr, rel map[int]bool) {
+	for i, a := range call.Args {
+		if rel != nil && rel[i] {
+			if obj := identObj(c.pass, a); obj != nil {
+				if _, tracked := st[obj]; tracked {
+					c.release(st, obj, a.Pos())
+					continue
+				}
+			}
+		}
+		c.scanUses(st, a)
+	}
+}
+
 // isFlushExtent matches Pool.FlushExtent from a buffer-pool package: a
 // write through the pin, not an ownership transfer.
 func isFlushExtent(pass *analysis.Pass, call *ast.CallExpr) bool {
@@ -379,6 +471,11 @@ func (c *checker) transfer(st state, n ast.Node) {
 				// Result dropped entirely: the pin can never be released.
 				c.reportOnce(call.Pos(), "result of "+fixName(kind)+" is discarded; the fixed frame can never be released")
 				c.scanCallArgs(st, call)
+				return
+			}
+			if pins := c.helperPins(call); pins != "" {
+				c.reportOnce(call.Pos(), "result of "+c.helperName(call)+" is discarded; the helper returns a pinned frame ("+pins+") that can never be released")
+				c.scanArgs(st, call, c.releaseSet(call))
 				return
 			}
 		}
@@ -504,6 +601,32 @@ func (c *checker) assign(st state, n *ast.AssignStmt) {
 				}
 				return
 			}
+			// Pin-returning helper: the obligation binds here exactly as
+			// a direct Fix call would bind it.
+			if pins := c.helperPins(call); pins != "" && len(n.Lhs) == 2 {
+				c.scanArgs(st, call, c.releaseSet(call))
+				frameObj := lhsObj(c.pass, n.Lhs[0])
+				errObj := lhsObj(c.pass, n.Lhs[1])
+				if frameObj == nil {
+					if _, isIdent := n.Lhs[0].(*ast.Ident); isIdent {
+						c.reportOnce(call.Pos(), "result of "+c.helperName(call)+" is discarded; the helper returns a pinned frame ("+pins+") that can never be released")
+						return
+					}
+					c.scanUses(st, n.Lhs[0])
+					return
+				}
+				if old := st[frameObj]; old&sUnreleased != 0 {
+					c.reportOnce(n.Pos(), c.noun(frameObj)+" is overwritten before being released")
+				}
+				st[frameObj] = sUnreleased
+				c.fixPos[frameObj] = call.Pos()
+				c.fixBatch[frameObj] = pins == "FixExtents"
+				c.fixCreate[frameObj] = pins == "CreateExtent"
+				if errObj != nil {
+					c.pairs[errObj] = append(c.pairs[errObj], frameObj)
+				}
+				return
+			}
 			// frames = append(frames, f): ownership moves into the
 			// collection; the collection inherits the release obligation.
 			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Lhs) == 1 && len(call.Args) >= 2 {
@@ -609,17 +732,13 @@ func (c *checker) scanUses(st state, e ast.Expr) {
 					// Release inside a release loop): the receiver is not
 					// an escape. Explicit releases are handled by callers
 					// that can see statement context.
-					for _, a := range e.Args {
-						c.scanUses(st, a)
-					}
+					c.scanArgs(st, e, c.releaseSet(e))
 					return
 				}
 			}
 		}
 		c.scanUses(st, e.Fun)
-		for _, a := range e.Args {
-			c.scanUses(st, a)
-		}
+		c.scanArgs(st, e, c.releaseSet(e))
 	case *ast.FuncLit:
 		// The closure may run (or release) at any time: every captured
 		// tracked variable escapes.

@@ -272,3 +272,92 @@ func fixIntoSlot(slots []*buffer.Frame, p *buffer.Pool) error {
 	slots[0], err = p.FixExtent(9, 1)
 	return err
 }
+
+// ---- helper boundaries (summary pin/release contract) ----
+
+// fetchBlock pins and hands the frame to its caller: the release
+// obligation transfers with it (summary: Pins=FixExtent).
+func fetchBlock(p *buffer.Pool, pid uint64) (*buffer.Frame, error) {
+	return p.FixExtent(pid, 1)
+}
+
+// fetchBatch transfers a batch obligation (summary: Pins=FixExtents).
+func fetchBatch(p *buffer.Pool, pids []uint64) ([]*buffer.Frame, error) {
+	return p.FixExtents(pids)
+}
+
+// dropFrame releases its parameter (summary: Releases=[0]); callers
+// discharge their obligation through it.
+func dropFrame(f *buffer.Frame) {
+	f.Release()
+}
+
+// releaseAll releases every frame in the batch (summary: Releases=[0]).
+func releaseAll(frames []*buffer.Frame) {
+	for _, f := range frames {
+		f.Release()
+	}
+}
+
+func helperLeak(p *buffer.Pool, bad bool) error {
+	f, err := fetchBlock(p, 7) // want `frame fixed by FixExtent is not released on every path`
+	if err != nil {
+		return err
+	}
+	if bad {
+		return errors.New("leaked through the helper boundary")
+	}
+	f.Release()
+	return nil
+}
+
+func helperDiscarded(p *buffer.Pool) {
+	fetchBlock(p, 9) // want `result of fetchBlock is discarded; the helper returns a pinned frame \(FixExtent\)`
+}
+
+// helperReleaseOK discharges through dropFrame: fix via helper, release
+// via helper, every path clean.
+func helperReleaseOK(p *buffer.Pool) error {
+	f, err := fetchBlock(p, 7)
+	if err != nil {
+		return err
+	}
+	f.ReadAt(nil, 0)
+	dropFrame(f)
+	return nil
+}
+
+// helperDoubleRelease: the release through dropFrame counts, so the
+// direct Release after it is a double release.
+func helperDoubleRelease(p *buffer.Pool) error {
+	f, err := p.FixExtent(1, 1)
+	if err != nil {
+		return err
+	}
+	dropFrame(f)
+	f.Release() // want `may already be released on this path; releasing twice corrupts the pin count`
+	return nil
+}
+
+// helperBatch: batch fixed through one helper, released through another.
+func helperBatch(p *buffer.Pool, pids []uint64) error {
+	frames, err := fetchBatch(p, pids)
+	if err != nil {
+		return err
+	}
+	releaseAll(frames)
+	return nil
+}
+
+// helperBatchLeak: the error path before releaseAll leaks the batch.
+func helperBatchLeak(p *buffer.Pool, pids []uint64, bad bool) error {
+	frames, err := fetchBatch(p, pids) // want `frames fixed by FixExtents is not released on every path`
+	if err != nil {
+		return err
+	}
+	if bad {
+		return errors.New("batch leaked past the helper")
+	}
+	releaseAll(frames)
+	return nil
+}

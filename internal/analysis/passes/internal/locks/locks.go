@@ -1,0 +1,112 @@
+// Package locks matches sync mutex operations and canonicalizes the
+// locked expression to a lock *class* — a package-qualified name that is
+// stable across packages and type-check sessions, so the interprocedural
+// passes (summary, lockorder) can correlate acquisitions made in
+// different functions, files, and packages.
+//
+// Classes name the declaration site, not the instance:
+//
+//   - a mutex field of a named struct is "pkgpath.Type.field"
+//     (d.mu, db.dedup.mu and (&x.dedup).mu all map to "….dedup.mu");
+//   - a named type that embeds a mutex is "pkgpath.Type"
+//     (s.RLock() on a pool shard maps to "….shard");
+//   - a package-level mutex variable is "pkgpath.varname";
+//   - local mutexes map to "" — they are invisible to other functions,
+//     so no global order over them can be stated or violated.
+//
+// Class-level analysis deliberately merges all instances of a class:
+// the engine orders its locks by role (ledger mutex before WAL writer
+// lock, never the reverse), not by instance address, and the deadlock
+// analyzer checks exactly that role graph.
+package locks
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// An Op is one matched mutex operation.
+type Op struct {
+	// Name is Lock, RLock, Unlock, or RUnlock.
+	Name string
+	// Class is the canonical lock class, or "" for untrackable locks.
+	Class string
+	// Expr is the locked expression (the receiver of the sync method).
+	Expr ast.Expr
+}
+
+// IsAcquire reports whether the operation takes the lock.
+func (o Op) IsAcquire() bool { return o.Name == "Lock" || o.Name == "RLock" }
+
+// Match reports whether call is a (R)Lock/(R)Unlock on a value whose
+// method comes from package sync — including mutexes embedded in engine
+// structs, which is how pool shards carry their latch.
+func Match(info *types.Info, call *ast.CallExpr) (Op, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return Op{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return Op{}, false
+	}
+	selection := info.Selections[sel]
+	if selection == nil {
+		return Op{}, false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return Op{}, false
+	}
+	return Op{Name: sel.Sel.Name, Class: Class(info, sel.X), Expr: sel.X}, true
+}
+
+// Class canonicalizes a locked expression per the package rules above.
+func Class(info *types.Info, e ast.Expr) string {
+	for {
+		if p, ok := e.(*ast.ParenExpr); ok {
+			e = p.X
+			continue
+		}
+		break
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			if v.IsField() {
+				if tn := namedOf(info.TypeOf(e.X)); tn != nil && tn.Pkg() != nil {
+					return tn.Pkg().Path() + "." + tn.Name() + "." + v.Name()
+				}
+				return ""
+			}
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name() // qualified package var
+			}
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name() // package-level var
+		}
+	}
+	// Embedded mutex (s.RLock() on a shard) or an indexed element
+	// (p.shards[i].RLock()): the named type is the class.
+	if tn := namedOf(info.TypeOf(e)); tn != nil && tn.Pkg() != nil && tn.Pkg().Path() != "sync" {
+		return tn.Pkg().Path() + "." + tn.Name()
+	}
+	return ""
+}
+
+// namedOf returns the TypeName behind t (pointers dereferenced), or nil.
+func namedOf(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}

@@ -1,6 +1,6 @@
 // Package lockio checks the buffer pool's lock-drop I/O rule: no
-// storage-device I/O — directly or through a one-hop same-package callee
-// — while a sync.Mutex or sync.RWMutex is held.
+// storage-device I/O — directly or through any chain of callees —
+// while a sync.Mutex or sync.RWMutex is held.
 //
 // The PR 3 eviction redesign made this the pool's central latching
 // invariant: a victim is claimed under the structural mutex, the mutex is
@@ -9,37 +9,45 @@
 // every reader behind the disk; this analyzer turns the rule from a
 // comment into a diagnostic.
 //
-// The analysis runs over buffer-pool packages (package name "buffer")
-// and — in a narrower mode — over the engine core (package name "core").
+// The analysis runs over buffer-pool packages (package name "buffer").
 // It tracks locks acquired in the function being analyzed (must-held on
 // all paths, so lock-drop windows don't false-positive) and flags, at
 // each point where a lock is held, calls that do device I/O themselves
-// or whose same-package callee does (one hop, matching the pool's
-// writeBack/loadMisses helper structure). Functions that follow the
-// *Locked naming convention are callees, not lock owners: the lock they
-// run under was acquired by their caller, which is where the I/O would
-// be reported.
+// or whose callee — at any depth, across package boundaries — reaches
+// device I/O. Reachability comes from the summary pass's effect facts
+// (Pass.AllObjectFacts), not from a same-package syntactic scan: the one
+// hop the old implementation looked through is now the general closure
+// over the call graph. Functions that follow the *Locked naming
+// convention are callees, not lock owners: the lock they run under was
+// acquired by their caller, which is where the I/O is reported.
 //
-// Core mode guards the refcount ledger's lock-ordering invariant. Only
-// the dedup ledger's structural mutex (the `mu` field of the `dedup`
-// struct) is tracked there, and the flagged operations additionally
-// include WAL-writer mutation (AppendLSN / Flush / Checkpoint): an
-// append can flush a segment, a flush can trigger a checkpoint, and the
-// checkpoint snapshots the ledger under that same mutex — the ABBA
-// deadlock the ledger's unlock-then-append discipline exists to
-// prevent. Serialization mutexes with other names (the decrement
-// writer's decMu) are deliberately out of scope: they order appends and
-// are never taken by the checkpoint.
+// The closure respects the protocol it enforces. A callee that releases
+// the caller-held latch class before reaching the device (the summary's
+// Unlocks field — an unlock with no local must-acquisition) is the
+// claim/unlock/write-back/relock pattern itself, executed one frame
+// down: the eviction helper drops p.mu, writes the victim back, and
+// relocks. Such a chain is not I/O under the latch and is not flagged;
+// only chains that reach the device with every caller latch still held
+// are.
+//
+// The ledger "core mode" this pass used to carry — dedup.mu held across
+// WAL appends — is gone: that rule was one instance of lock-order
+// reentry, and the lockorder analyzer now derives it (and every other
+// instance) from the global lock-acquisition graph instead of a
+// hand-coded mutex-and-method list.
 package lockio
 
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 	"strings"
 
 	"blobdb/internal/analysis"
 	"blobdb/internal/analysis/cfg"
+	"blobdb/internal/analysis/passes/internal/locks"
 	"blobdb/internal/analysis/passes/internal/storageio"
+	"blobdb/internal/analysis/passes/summary"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -48,25 +56,19 @@ var Analyzer = &analysis.Analyzer{
 
 Claims must be made under the latch and I/O done outside it (claim,
 unlock, write back, relock, reconfirm). Device I/O under a pool mutex
-serializes all readers behind the disk. In the engine core, the dedup
-ledger's mutex additionally must never be held across a WAL append: the
-append can flush, the flush can checkpoint, and the checkpoint snapshots
-the ledger under the same mutex (ABBA).`,
-	Run: run,
+serializes all readers behind the disk. Callees are resolved through
+function effect summaries, so I/O buried arbitrarily deep in helpers —
+including helpers in other packages — is still attributed to the locked
+call site.`,
+	Run:      run,
+	Requires: []*analysis.Analyzer{summary.Analyzer},
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	ledgerMode := false
-	switch storageio.Base(pass.Pkg.Path()) {
-	case "buffer":
-	case "core":
-		ledgerMode = true
-	default:
+	if storageio.Base(pass.Pkg.Path()) != "buffer" {
 		return nil, nil
 	}
-
-	// Summaries: same-package functions that perform device I/O directly.
-	directIO := map[types.Object]string{}
+	r := newReach(pass.AllObjectFacts(summary.Analyzer.Name))
 	for _, file := range pass.Files {
 		if analysis.IsTestFile(pass.Fset, file.Pos()) {
 			continue
@@ -76,66 +78,113 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			obj := pass.TypesInfo.Defs[fn.Name]
-			if obj == nil {
-				continue
-			}
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				if _, ok := n.(*ast.FuncLit); ok {
-					return false
-				}
-				if call, ok := n.(*ast.CallExpr); ok {
-					if op, ok := classifyIO(pass, call, ledgerMode); ok {
-						if _, seen := directIO[obj]; !seen {
-							directIO[obj] = op
-						}
-					}
-				}
-				return true
-			})
-		}
-	}
-
-	for _, file := range pass.Files {
-		if analysis.IsTestFile(pass.Fset, file.Pos()) {
-			continue
-		}
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			checkFunc(pass, fn, directIO, ledgerMode)
+			checkFunc(pass, fn, r)
 		}
 	}
 	return nil, nil
 }
 
-// classifyIO reports the operations forbidden under a tracked lock: in
-// both modes storage-device I/O, and in ledger mode also WAL-writer
-// mutation (checkpoint reentry into the ledger mutex).
-func classifyIO(pass *analysis.Pass, call *ast.CallExpr, ledgerMode bool) (string, bool) {
-	if op, ok := storageio.Classify(pass.TypesInfo, call); ok {
-		return op, true
-	}
-	if ledgerMode {
-		if op, ok := storageio.ClassifyWAL(pass.TypesInfo, call); ok {
-			return "wal." + op, true
-		}
-	}
-	return "", false
+// reach answers "does this function transitively perform device I/O,
+// and through which first operation?" from the summary fact stream.
+type reach struct {
+	sums    map[string]*summary.FuncSummary
+	memo    map[string]string // func key -> first I/O op ("" = none)
+	onStack map[string]bool
 }
 
-// lockset is the set of locks (identified by receiver expression text,
-// e.g. "p.mu") held on every path reaching a point.
-type lockset map[string]bool
+func key(pkg, path string) string { return pkg + "\x00" + path }
+
+func newReach(all []analysis.ObjectFact) *reach {
+	r := &reach{sums: map[string]*summary.FuncSummary{}, memo: map[string]string{}, onStack: map[string]bool{}}
+	for _, of := range all {
+		if s, ok := of.Fact.(*summary.FuncSummary); ok {
+			r.sums[key(of.PkgPath, of.ObjPath)] = s
+		}
+	}
+	return r
+}
+
+// io returns the first device I/O operation k transitively performs
+// while the caller's latches (held, a sorted list of lock classes) stay
+// held, or "". Submission-queue ops count: Submit blocks on the device's
+// queue depth, which is exactly the stall the latch must not ride. A
+// function whose Unlocks cover every held class is the lock-drop
+// protocol running one frame down — its I/O happens outside the
+// caller's critical section, so the chain is clean.
+func (r *reach) io(k string, held []string) string {
+	mk := k + "\x01" + strings.Join(held, ",")
+	if op, ok := r.memo[mk]; ok {
+		return op
+	}
+	if r.onStack[mk] {
+		return ""
+	}
+	r.onStack[mk] = true
+	defer delete(r.onStack, mk)
+
+	op := ""
+	if s, ok := r.sums[k]; ok && !dropsAll(s.Unlocks, held) {
+		if len(s.IO) > 0 {
+			op = s.IO[0].Op
+		} else if len(s.Queue) > 0 {
+			op = s.Queue[0].Op
+		} else {
+			for _, c := range s.Calls {
+				if c.Field {
+					continue // function-field targets are lockorder's concern
+				}
+				if sub := r.io(key(c.PkgPath, c.ObjPath), held); sub != "" {
+					op = sub
+					break
+				}
+			}
+		}
+	}
+	r.memo[mk] = op
+	return op
+}
+
+// dropsAll reports whether every held lock class appears in unlocks. A
+// held lock with no class (a caller-local mutex) can never be released
+// by a callee, so its presence keeps the chain flagged.
+func dropsAll(unlocks, held []string) bool {
+	for _, h := range held {
+		found := false
+		for _, u := range unlocks {
+			if u == h {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// lockset maps the locks held on every path reaching a point — keyed by
+// receiver expression text (e.g. "p.mu", for display) — to their
+// canonical lock class (locks.Class; "" for caller-local mutexes).
+type lockset map[string]string
 
 func (s lockset) clone() lockset {
 	c := make(lockset, len(s))
-	for k := range s {
-		c[k] = true
+	for k, v := range s {
+		c[k] = v
 	}
 	return c
+}
+
+// classes returns the sorted held lock classes, including "" entries for
+// locks no callee could possibly release.
+func (s lockset) classes() []string {
+	out := make([]string, 0, len(s))
+	for _, v := range s {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // intersect merges a successor's incoming state for a must-analysis;
@@ -146,7 +195,7 @@ func intersect(old, add lockset) (lockset, bool) {
 	}
 	changed := false
 	for k := range old {
-		if !add[k] {
+		if _, ok := add[k]; !ok {
 			delete(old, k)
 			changed = true
 		}
@@ -154,12 +203,12 @@ func intersect(old, add lockset) (lockset, bool) {
 	return old, changed
 }
 
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, directIO map[types.Object]string, ledgerMode bool) {
-	// Cheap pre-scan: no tracked lock operations means nothing to do.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, r *reach) {
+	// Cheap pre-scan: no lock acquisitions means nothing to do.
 	hasLock := false
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
-			if op, _, ok := trackedLockOp(pass, call, ledgerMode); ok && (op == "Lock" || op == "RLock") {
+			if op, _, _, ok := lockOp(pass, call); ok && (op == "Lock" || op == "RLock") {
 				hasLock = true
 			}
 		}
@@ -180,7 +229,7 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, directIO map[types.Object]
 		work = work[1:]
 		st := in[b].clone()
 		for _, n := range b.Nodes {
-			applyNode(pass, st, n, nil, nil, ledgerMode)
+			applyNode(pass, st, n, nil)
 		}
 		for _, e := range b.Succs {
 			if merged, changed := intersect(in[e.To], st.clone()); changed {
@@ -200,14 +249,14 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, directIO map[types.Object]
 		}
 		st = st.clone()
 		for _, n := range b.Nodes {
-			applyNode(pass, st, n, pass, directIO, ledgerMode)
+			applyNode(pass, st, n, r)
 		}
 	}
 }
 
-// applyNode threads one CFG node through the lockset. When report is
+// applyNode threads one CFG node through the lockset. When r is
 // non-nil, I/O-under-lock calls are diagnosed.
-func applyNode(pass *analysis.Pass, st lockset, n ast.Node, report *analysis.Pass, directIO map[types.Object]string, ledgerMode bool) {
+func applyNode(pass *analysis.Pass, st lockset, n ast.Node, r *reach) {
 	ast.Inspect(n, func(m ast.Node) bool {
 		switch m := m.(type) {
 		case *ast.FuncLit:
@@ -215,45 +264,30 @@ func applyNode(pass *analysis.Pass, st lockset, n ast.Node, report *analysis.Pas
 		case *ast.DeferStmt:
 			return false // runs at return; deferred unlocks keep the lock held here
 		case *ast.CallExpr:
-			if op, lockExpr, ok := trackedLockOp(pass, m, ledgerMode); ok {
+			if op, lockExpr, class, ok := lockOp(pass, m); ok {
 				switch op {
 				case "Lock", "RLock":
-					st[lockExpr] = true
+					st[lockExpr] = class
 				case "Unlock", "RUnlock":
 					delete(st, lockExpr)
 				}
 				return true
 			}
-			if report == nil || len(st) == 0 {
+			if r == nil || len(st) == 0 {
 				return true
 			}
-			if op, ok := classifyIO(pass, m, ledgerMode); ok {
-				report.Reportf(m.Pos(), "%s while %s is held; %s", opNoun(op), heldNames(st), opFix(op))
+			if op, ok := storageio.Classify(pass.TypesInfo, m); ok {
+				pass.Reportf(m.Pos(), "device I/O (%s) while %s is held; release the pool latch before touching storage", op, heldNames(st))
 				return true
 			}
-			if callee := calleeObj(pass, m); callee != nil {
-				if op, ok := directIO[callee]; ok {
-					report.Reportf(m.Pos(), "call to %s performs %s while %s is held; %s", callee.Name(), opNoun(op), heldNames(st), opFix(op))
+			if pkg, path, ok := summary.Resolve(pass.TypesInfo, m); ok {
+				if op := r.io(key(pkg, path), st.classes()); op != "" {
+					pass.Reportf(m.Pos(), "call to %s performs device I/O (%s) while %s is held; release the pool latch before touching storage", funcName(path), op, heldNames(st))
 				}
 			}
 		}
 		return true
 	})
-}
-
-// opNoun and opFix word the diagnostic for the two operation families.
-func opNoun(op string) string {
-	if strings.HasPrefix(op, "wal.") {
-		return "WAL mutation (" + strings.TrimPrefix(op, "wal.") + ")"
-	}
-	return "device I/O (" + op + ")"
-}
-
-func opFix(op string) string {
-	if strings.HasPrefix(op, "wal.") {
-		return "an append can flush, and a flush can checkpoint into this mutex (ABBA); unlock before appending"
-	}
-	return "release the pool latch before touching storage"
 }
 
 func heldNames(st lockset) string {
@@ -269,77 +303,21 @@ func heldNames(st lockset) string {
 
 // lockOp matches mutex operations: (Lock|RLock|Unlock|RUnlock) on a value
 // whose method comes from package sync (including locks embedded in pool
-// shards). The second result names the lock by its receiver expression.
-func lockOp(pass *analysis.Pass, call *ast.CallExpr) (string, string, ast.Expr, bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
+// shards). It names the lock two ways: by receiver expression text (for
+// the diagnostic) and by canonical class (to match callee Unlocks facts).
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (op, expr, class string, ok bool) {
+	m, ok := locks.Match(pass.TypesInfo, call)
 	if !ok {
-		return "", "", nil, false
+		return "", "", "", false
 	}
-	name := sel.Sel.Name
-	switch name {
-	case "Lock", "RLock", "Unlock", "RUnlock":
-	default:
-		return "", "", nil, false
-	}
-	selection := pass.TypesInfo.Selections[sel]
-	if selection == nil {
-		return "", "", nil, false
-	}
-	fn, ok := selection.Obj().(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", "", nil, false
-	}
-	return name, types.ExprString(sel.X), sel.X, true
+	return m.Name, types.ExprString(m.Expr), m.Class, true
 }
 
-// trackedLockOp filters lockOp matches down to the locks this mode cares
-// about: every mutex in a buffer pool, only the dedup ledger's
-// structural mutex in the engine core.
-func trackedLockOp(pass *analysis.Pass, call *ast.CallExpr, ledgerMode bool) (string, string, bool) {
-	op, name, lockExpr, ok := lockOp(pass, call)
-	if !ok {
-		return "", "", false
+// funcName returns the bare function name of an object path
+// ("Type.Method" or "Func").
+func funcName(path string) string {
+	if i := strings.LastIndexByte(path, '.'); i >= 0 {
+		return path[i+1:]
 	}
-	if ledgerMode && !isDedupMu(pass, lockExpr) {
-		return "", "", false
-	}
-	return op, name, true
-}
-
-// isDedupMu reports whether the locked expression is the `mu` field of
-// the core's dedup struct (matched by field and type name, so fixtures
-// exercise the rule by shape).
-func isDedupMu(pass *analysis.Pass, e ast.Expr) bool {
-	sel, ok := e.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "mu" {
-		return false
-	}
-	t := pass.TypesInfo.TypeOf(sel.X)
-	if t == nil {
-		return false
-	}
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	return ok && named.Obj().Name() == "dedup"
-}
-
-// calleeObj resolves a call to its same-package function object.
-func calleeObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
-	var obj types.Object
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		obj = pass.TypesInfo.Uses[fun]
-	case *ast.SelectorExpr:
-		if selection := pass.TypesInfo.Selections[fun]; selection != nil {
-			obj = selection.Obj()
-		} else {
-			obj = pass.TypesInfo.Uses[fun.Sel]
-		}
-	}
-	if fn, ok := obj.(*types.Func); ok && fn.Pkg() == pass.Pkg {
-		return fn
-	}
-	return nil
+	return path
 }

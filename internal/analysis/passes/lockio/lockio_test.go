@@ -8,5 +8,5 @@ import (
 )
 
 func TestLockIO(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), lockio.Analyzer, "buffer", "other", "core")
+	analysistest.Run(t, analysistest.TestData(), lockio.Analyzer, "buffer", "other")
 }

@@ -1,0 +1,497 @@
+// Package lockorder detects potential ABBA deadlocks by building the
+// whole-program lock-acquisition graph from the summary pass's facts
+// and reporting every cycle with a concrete witness path.
+//
+// Nodes are lock *classes* (see internal/locks: "core.dedup.mu" is one
+// node however many dedup instances exist). An edge A → B means the
+// program can acquire B while holding A, discovered two ways:
+//
+//   - intra-function: a summary Acquire of B whose must-held set
+//     contains A (the lock-table pattern: l.mu then lt.mu);
+//   - interprocedural: a call made with A held whose callee —
+//     transitively, through any chain of summarized functions,
+//     including calls through bound function fields such as the WAL's
+//     OnCheckpoint hook — acquires B.
+//
+// A cycle in this graph is an acquisition order the program does not
+// agree on: two goroutines walking different arcs of the cycle can each
+// hold what the other needs. This is exactly how PR 9's near-deadlock
+// arose — the dedup ledger held its mutex across a WAL append, the
+// append could flush, the flush could checkpoint, and the checkpoint
+// called back through OnCheckpoint into the ledger mutex. That rule was
+// hand-coded then (lockio's retired "core mode"); now it falls out of
+// the graph: dedup.mu → wal.Manager.mu from the append-under-mutex,
+// wal.Manager.mu → dedup.mu from the checkpoint callback, cycle.
+//
+// Exemption policy: locks that only ever appear on one side carry no
+// cycle and are never reported — the decrement writer's decMu (held
+// across appends, never taken by the checkpoint) needs no annotation,
+// it simply has no incoming edge. Class-level merging means the
+// analyzer cannot order instances of the same class (two Relation
+// mutexes locked in address order); self-edges are therefore skipped
+// rather than reported.
+//
+// Each cycle is reported once: a package reports only cycles that are
+// not constructible from its dependencies' facts alone, so the package
+// that contributes the closing edge owns the diagnostic and importers
+// stay silent. Witness paths name every hop (function, call site,
+// acquisition site), so the report reads as a replay, not a verdict.
+package lockorder
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"blobdb/internal/analysis"
+	"blobdb/internal/analysis/passes/summary"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: `detect lock-order cycles (potential ABBA deadlocks) across the whole program
+
+Builds the global lock-acquisition graph from function effect summaries
+(locks held at call sites, transitive acquisitions through the call
+graph including bound function fields) and reports each cycle with a
+witness path: the function chain from the holding site to the reentrant
+acquisition.`,
+	Run:      run,
+	Requires: []*analysis.Analyzer{summary.Analyzer},
+}
+
+// funcKey addresses one summarized function.
+type funcKey struct {
+	pkg  string
+	path string
+}
+
+func (k funcKey) display() string { return base(k.pkg) + "." + k.path }
+
+// A hop is one step of a witness path: a function and the position
+// inside it where it calls the next hop (or, for the last hop, where it
+// acquires the edge's target lock).
+type hop struct {
+	pkg string
+	fn  string
+	pos string
+}
+
+// An edge is "target acquired while source held", with one witness.
+type edge struct {
+	from, to string
+	witness  []hop
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	all := pass.AllObjectFacts(summary.Analyzer.Name)
+	if len(all) == 0 {
+		return nil, nil
+	}
+
+	full := newGraph(all, "")
+	deps := newGraph(all, pass.Pkg.Path())
+
+	cycles := full.cycles()
+	var reported []string
+	for _, cyc := range cycles {
+		if deps.hasCycle(cyc) {
+			continue // constructible without this package: a dependency (or an earlier unit) owns it
+		}
+		reported = append(reported, full.describe(cyc))
+	}
+	if len(reported) == 0 {
+		return nil, nil
+	}
+
+	for i, msg := range reported {
+		pass.Report(analysis.Diagnostic{Pos: anchor(pass, full, cycles[i]), Message: msg})
+	}
+	return nil, nil
+}
+
+// graph is the lock-order graph built from one view of the fact stream.
+type graph struct {
+	sums  map[funcKey]*summary.FuncSummary
+	binds map[funcKey][]funcKey // function-field → bound functions
+	edges map[[2]string]*edge
+	nodes []string
+
+	memo    map[funcKey]map[string][]hop
+	onStack map[funcKey]bool
+}
+
+// newGraph builds the graph from facts, excluding (when excludePkg is
+// non-empty) every fact exported by that package — the "what could my
+// dependencies already see" view used for cycle ownership.
+func newGraph(all []analysis.ObjectFact, excludePkg string) *graph {
+	g := &graph{
+		sums:    map[funcKey]*summary.FuncSummary{},
+		binds:   map[funcKey][]funcKey{},
+		edges:   map[[2]string]*edge{},
+		memo:    map[funcKey]map[string][]hop{},
+		onStack: map[funcKey]bool{},
+	}
+	for _, of := range all {
+		if excludePkg != "" && of.PkgPath == excludePkg {
+			continue
+		}
+		s, ok := of.Fact.(*summary.FuncSummary)
+		if !ok {
+			continue
+		}
+		k := funcKey{pkg: of.PkgPath, path: of.ObjPath}
+		g.sums[k] = s
+		for _, b := range s.Binds {
+			fk := funcKey{pkg: b.FieldPkg, path: b.FieldPath}
+			g.binds[fk] = append(g.binds[fk], funcKey{pkg: b.PkgPath, path: b.ObjPath})
+		}
+	}
+	// Deterministic bind resolution order.
+	for _, targets := range g.binds {
+		sort.Slice(targets, func(i, j int) bool {
+			if targets[i].pkg != targets[j].pkg {
+				return targets[i].pkg < targets[j].pkg
+			}
+			return targets[i].path < targets[j].path
+		})
+	}
+
+	// Sorted function order makes edge witnesses deterministic.
+	keys := make([]funcKey, 0, len(g.sums))
+	for k := range g.sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pkg != keys[j].pkg {
+			return keys[i].pkg < keys[j].pkg
+		}
+		return keys[i].path < keys[j].path
+	})
+
+	for _, k := range keys {
+		s := g.sums[k]
+		for _, a := range s.Acquires {
+			for _, held := range a.Held {
+				g.addEdge(held, a.Class, []hop{{pkg: k.pkg, fn: k.display(), pos: a.Pos}})
+			}
+		}
+		for _, c := range s.Calls {
+			if len(c.Held) == 0 {
+				continue
+			}
+			for _, callee := range g.resolve(c) {
+				for class, trace := range g.acquiresTrans(callee) {
+					w := append([]hop{{pkg: k.pkg, fn: k.display(), pos: c.Pos}}, trace...)
+					for _, held := range c.Held {
+						g.addEdge(held, class, w)
+					}
+				}
+			}
+		}
+	}
+
+	seen := map[string]bool{}
+	for key := range g.edges {
+		for _, n := range []string{key[0], key[1]} {
+			if !seen[n] {
+				seen[n] = true
+				g.nodes = append(g.nodes, n)
+			}
+		}
+	}
+	sort.Strings(g.nodes)
+	return g
+}
+
+func (g *graph) addEdge(from, to string, witness []hop) {
+	if from == to {
+		return // class-level analysis cannot order instances of one class
+	}
+	key := [2]string{from, to}
+	if _, ok := g.edges[key]; ok {
+		return // first witness wins; sorted build order makes it stable
+	}
+	g.edges[key] = &edge{from: from, to: to, witness: witness}
+}
+
+// resolve maps a summarized call to concrete callees: the static target,
+// or — through a function-typed field — everything ever bound to it.
+func (g *graph) resolve(c summary.Call) []funcKey {
+	k := funcKey{pkg: c.PkgPath, path: c.ObjPath}
+	if !c.Field {
+		return []funcKey{k}
+	}
+	return g.binds[k]
+}
+
+// acquiresTrans returns every lock class fn can acquire — itself or
+// through any chain of summarized calls — with one witness trace per
+// class. Recursion through cycles in the call graph is cut by an
+// on-stack guard (the second visit contributes nothing new).
+func (g *graph) acquiresTrans(fn funcKey) map[string][]hop {
+	if m, ok := g.memo[fn]; ok {
+		return m
+	}
+	if g.onStack[fn] {
+		return nil
+	}
+	g.onStack[fn] = true
+	defer delete(g.onStack, fn)
+
+	out := map[string][]hop{}
+	s, ok := g.sums[fn]
+	if !ok {
+		g.memo[fn] = out
+		return out
+	}
+	for _, a := range s.Acquires {
+		if _, seen := out[a.Class]; !seen {
+			out[a.Class] = []hop{{pkg: fn.pkg, fn: fn.display(), pos: a.Pos}}
+		}
+	}
+	for _, c := range s.Calls {
+		for _, callee := range g.resolve(c) {
+			for class, trace := range g.acquiresTrans(callee) {
+				if _, seen := out[class]; !seen {
+					out[class] = append([]hop{{pkg: fn.pkg, fn: fn.display(), pos: c.Pos}}, trace...)
+				}
+			}
+		}
+	}
+	g.memo[fn] = out
+	return out
+}
+
+// cycles returns one representative cycle per strongly connected
+// component with more than one node, as an ordered node list (the edge
+// list is implied: consecutive nodes, wrapping). Reporting one cycle
+// per SCC keeps a tangle from producing a diagnostic per permutation;
+// fixing the reported arc re-runs the analysis on the remainder.
+func (g *graph) cycles() [][]string {
+	sccs := g.tarjan()
+	var out [][]string
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Strings(scc)
+		in := map[string]bool{}
+		for _, n := range scc {
+			in[n] = true
+		}
+		// Walk from the smallest node within the SCC until it closes.
+		cyc := []string{scc[0]}
+		seen := map[string]int{scc[0]: 0}
+		cur := scc[0]
+		for {
+			next := ""
+			for _, m := range g.succs(cur) {
+				if in[m] {
+					next = m
+					break
+				}
+			}
+			if next == "" {
+				break // cannot happen in an SCC; stay safe
+			}
+			if at, ok := seen[next]; ok {
+				out = append(out, cyc[at:])
+				break
+			}
+			seen[next] = len(cyc)
+			cyc = append(cyc, next)
+			cur = next
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i], " ") < strings.Join(out[j], " ")
+	})
+	return out
+}
+
+func (g *graph) succs(n string) []string {
+	var out []string
+	for key := range g.edges {
+		if key[0] == n {
+			out = append(out, key[1])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// hasCycle reports whether every edge of cyc exists in this graph.
+func (g *graph) hasCycle(cyc []string) bool {
+	for i, n := range cyc {
+		next := cyc[(i+1)%len(cyc)]
+		if _, ok := g.edges[[2]string{n, next}]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// tarjan computes strongly connected components over the class nodes.
+func (g *graph) tarjan() [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.succs(v) {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range g.nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}
+
+// describe renders one cycle with per-edge witness paths.
+func (g *graph) describe(cyc []string) string {
+	var b strings.Builder
+	b.WriteString("lock-order cycle (potential ABBA deadlock): ")
+	for _, n := range cyc {
+		b.WriteString(shortClass(n))
+		b.WriteString(" → ")
+	}
+	b.WriteString(shortClass(cyc[0]))
+	for i, n := range cyc {
+		next := cyc[(i+1)%len(cyc)]
+		e := g.edges[[2]string{n, next}]
+		if e == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "; %s→%s via ", shortClass(n), shortClass(next))
+		for j, h := range e.witness {
+			if j > 0 {
+				b.WriteString(" → ")
+			}
+			fmt.Fprintf(&b, "%s (%s)", h.fn, shortPos(h.pos))
+		}
+	}
+	return b.String()
+}
+
+// anchor picks the diagnostic position: the first witness hop that lives
+// in the current package (cycles are only reported by a contributing
+// package, so one exists in practice; the package's first file is the
+// fallback).
+func anchor(pass *analysis.Pass, g *graph, cyc []string) token.Pos {
+	for i, n := range cyc {
+		next := cyc[(i+1)%len(cyc)]
+		e := g.edges[[2]string{n, next}]
+		if e == nil {
+			continue
+		}
+		for _, h := range e.witness {
+			if h.pkg != pass.Pkg.Path() {
+				continue
+			}
+			if p := resolvePos(pass, h.pos); p != token.NoPos {
+				return p
+			}
+		}
+	}
+	return pass.Files[0].Pos()
+}
+
+// resolvePos converts a rendered "file:line:col" back to a token.Pos in
+// the current FileSet — possible exactly because the hop's file belongs
+// to the package being analyzed.
+func resolvePos(pass *analysis.Pass, posStr string) token.Pos {
+	name, line, col, ok := splitPos(posStr)
+	if !ok {
+		return token.NoPos
+	}
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil || tf.Name() != name {
+			continue
+		}
+		if line < 1 || line > tf.LineCount() {
+			return token.NoPos
+		}
+		return tf.LineStart(line) + token.Pos(col-1)
+	}
+	return token.NoPos
+}
+
+func splitPos(s string) (name string, line, col int, ok bool) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return "", 0, 0, false
+	}
+	j := strings.LastIndexByte(s[:i], ':')
+	if j < 0 {
+		return "", 0, 0, false
+	}
+	line, err1 := strconv.Atoi(s[j+1 : i])
+	col, err2 := strconv.Atoi(s[i+1:])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, false
+	}
+	return s[:j], line, col, true
+}
+
+// shortClass trims a class's package path to its base: the class names
+// in a diagnostic must scan as roles (core.dedup.mu), not module paths.
+func shortClass(class string) string {
+	i := strings.LastIndexByte(class, '/')
+	if i < 0 {
+		return class
+	}
+	return class[i+1:]
+}
+
+// shortPos reduces a full position to "file.go:line".
+func shortPos(pos string) string {
+	name, line, _, ok := splitPos(pos)
+	if !ok {
+		return pos
+	}
+	return filepath.Base(name) + ":" + strconv.Itoa(line)
+}
+
+func base(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"blobdb/internal/analysis/analysistest"
+	"blobdb/internal/analysis/passes/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "wal", "core")
+}

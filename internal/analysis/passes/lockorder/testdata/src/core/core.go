@@ -1,0 +1,85 @@
+// Package core pins the ledger↔WAL ABBA from the dedup work as a
+// lockorder fixture: the ledger mutex is held across a WAL append, the
+// append can flush, the flush can checkpoint, and the checkpoint calls
+// back — through the OnCheckpoint function field — into a snapshot that
+// needs the same ledger mutex. The analyzer must find the cycle from
+// effect summaries alone (no wal- or dedup-specific rule) and report the
+// full witness chain.
+//
+// It also pins the two shapes that must stay silent:
+//
+//   - dedupFixed releases the mutex before the append (the actual fix);
+//   - logDecs holds decMu across the append — safe because the
+//     checkpoint callback never takes decMu, so the class has no
+//     incoming edge and can appear in no cycle. The exemption needs no
+//     annotation; it falls out of the graph.
+package core
+
+import (
+	"sync"
+
+	"wal"
+)
+
+type dedup struct {
+	mu    sync.Mutex
+	decMu sync.Mutex
+	refs  map[uint64]int
+	w     *wal.Writer
+	decw  *wal.Writer
+}
+
+type DB struct {
+	wal *wal.Manager
+	led dedup
+}
+
+func Open() *DB {
+	m := wal.NewManager()
+	db := &DB{wal: m}
+	db.led.refs = map[uint64]int{}
+	db.led.w = m.NewWriter()
+	db.led.decw = m.NewWriter()
+	db.wal.OnCheckpoint = db.writeCheckpoint // the dynamic edge back into the engine
+	return db
+}
+
+// tryDedup holds the ledger mutex across the append: dedup.mu → Manager.mu,
+// while the checkpoint path gives Manager.mu → dedup.mu. ABBA.
+func (db *DB) tryDedup(h uint64, rec []byte) error {
+	db.led.mu.Lock()
+	defer db.led.mu.Unlock()
+	db.led.refs[h]++
+	_, err := db.led.w.AppendLSN(rec) // want `lock-order cycle \(potential ABBA deadlock\): core\.dedup\.mu → wal\.Manager\.mu → core\.dedup\.mu; core\.dedup\.mu→wal\.Manager\.mu via core\.DB\.tryDedup \(core\.go:\d+\) → wal\.Writer\.AppendLSN \(wal\.go:\d+\) → wal\.Writer\.Flush \(wal\.go:\d+\) → wal\.Manager\.writeOut \(wal\.go:\d+\); wal\.Manager\.mu→core\.dedup\.mu via wal\.Manager\.writeOut \(wal\.go:\d+\) → wal\.Manager\.checkpointLocked \(wal\.go:\d+\) → core\.DB\.writeCheckpoint \(core\.go:\d+\) → core\.DB\.snapshotLedger \(core\.go:\d+\)`
+	return err
+}
+
+// dedupFixed is the corrected shape: drop the mutex, then append.
+func (db *DB) dedupFixed(h uint64, rec []byte) error {
+	db.led.mu.Lock()
+	db.led.refs[h]++
+	db.led.mu.Unlock()
+	_, err := db.led.w.AppendLSN(rec)
+	return err
+}
+
+// logDecs appends under decMu. One-directional: nothing on the
+// checkpoint path acquires decMu, so no cycle and no report.
+func (db *DB) logDecs(rec []byte) error {
+	db.led.decMu.Lock()
+	defer db.led.decMu.Unlock()
+	_, err := db.led.decw.AppendLSN(rec)
+	return err
+}
+
+func (db *DB) writeCheckpoint() {
+	db.snapshotLedger()
+}
+
+func (db *DB) snapshotLedger() {
+	db.led.mu.Lock()
+	defer db.led.mu.Unlock()
+	for h := range db.led.refs {
+		_ = h
+	}
+}

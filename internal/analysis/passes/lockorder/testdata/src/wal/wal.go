@@ -1,0 +1,56 @@
+// Package wal is a fixture stub of the engine's WAL: a Manager that
+// owns the device lock and an OnCheckpoint callback, and a Writer whose
+// append can flush, whose flush can checkpoint — the reentry chain the
+// lockorder analyzer must walk without any wal-specific knowledge.
+package wal
+
+import "sync"
+
+type Manager struct {
+	mu           sync.Mutex
+	OnCheckpoint func()
+	pending      []byte
+}
+
+func NewManager() *Manager { return &Manager{} }
+
+func (m *Manager) NewWriter() *Writer { return &Writer{m: m} }
+
+type Writer struct {
+	m   *Manager
+	buf []byte
+}
+
+func (l *Writer) AppendLSN(rec []byte) (uint64, error) {
+	l.buf = append(l.buf, rec...)
+	if len(l.buf) > 64 {
+		if err := l.Flush(); err != nil {
+			return 0, err
+		}
+	}
+	return uint64(len(l.buf)), nil
+}
+
+func (l *Writer) Flush() error {
+	buf := l.buf
+	l.buf = l.buf[:0]
+	return l.m.writeOut(buf)
+}
+
+func (w *Manager) writeOut(buf []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pending = append(w.pending, buf...)
+	if len(w.pending) > 256 {
+		return w.checkpointLocked()
+	}
+	return nil
+}
+
+func (w *Manager) checkpointLocked() error {
+	if w.OnCheckpoint != nil {
+		w.OnCheckpoint()
+	}
+	w.pending = w.pending[:0]
+	return nil
+}

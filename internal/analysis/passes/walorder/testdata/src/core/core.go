@@ -5,6 +5,7 @@
 package core
 
 import (
+	"devutil"
 	"storage"
 	"wal"
 )
@@ -80,4 +81,17 @@ func (d *db) strayClosureSync() error {
 		return d.dev.Sync() // want `Device.Sync outside internal/wal and the core committer`
 	}
 	return fn()
+}
+
+// ---- transitive sync (summary closure) ----
+
+// drainMetadata reaches Device.Sync two hops away, through a package the
+// analyzer never scans: only the effect summaries can attribute it here.
+func (d *db) drainMetadata() error {
+	return devutil.FlushMeta(d.dev) // want `call to FlushMeta reaches Device\.Sync \(devutil\.FlushMeta → devutil\.finish → Device\.Sync\) outside internal/wal and the core committer`
+}
+
+// commitViaHelper: the committer owns its sync however it delegates it.
+func (d *db) commitViaHelper() error {
+	return devutil.FlushMeta(d.dev)
 }

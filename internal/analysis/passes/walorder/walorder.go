@@ -34,6 +34,15 @@
 // work — the pipelined committer's off-critical-path fsync. Simulator
 // and tooling packages (oskern, dbsim, bench, remap) are out of scope —
 // they model devices rather than mutate the engine's.
+//
+// Syncs are also tracked *through* calls: a non-committer function that
+// reaches Device.Sync transitively — through any chain of helpers whose
+// links are neither committer-named nor inside the owning layers
+// (wal/buffer/storage) — is flagged at the call site, using the summary
+// pass's effect facts. Only chains ending in an unscanned package are
+// reported this way; a stray sync inside a scanned engine layer is
+// already flagged at its own body, and reporting it again at every
+// caller would bury the signal.
 package walorder
 
 import (
@@ -44,6 +53,7 @@ import (
 
 	"blobdb/internal/analysis"
 	"blobdb/internal/analysis/passes/internal/storageio"
+	"blobdb/internal/analysis/passes/summary"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -52,8 +62,11 @@ var Analyzer = &analysis.Analyzer{
 
 The single-flush commit protocol is an ordering argument: WAL record,
 sync, then extent write-back. Any other layer syncing or writing pages
-invalidates the argument statically.`,
-	Run: run,
+invalidates the argument statically. Callee chains are resolved through
+function effect summaries, so a sync buried in an unscanned helper
+package is attributed to the engine call site that reaches it.`,
+	Run:      run,
+	Requires: []*analysis.Analyzer{summary.Analyzer},
 }
 
 // scopePkgs are the engine layers above the device where stray writes or
@@ -76,6 +89,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	if !scopePkgs[pkgBase] {
 		return nil, nil
 	}
+	r := newSyncReach(pass.AllObjectFacts(summary.Analyzer.Name))
 	for _, file := range pass.Files {
 		if analysis.IsTestFile(pass.Fset, file.Pos()) {
 			continue
@@ -86,10 +100,93 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, pkgBase, fn)
+			checkFunc(pass, pkgBase, fn, r)
 		}
 	}
 	return nil, nil
+}
+
+// ownerPkgs are the layers whose device privileges are their own: a
+// chain entering them is sanctioned (wal.Sync IS the durability point).
+var ownerPkgs = map[string]bool{"wal": true, "buffer": true, "storage": true}
+
+// syncReach answers "does this function transitively issue Device.Sync
+// through an unsanctioned chain?" from the summary fact stream.
+type syncReach struct {
+	sums    map[string]*summary.FuncSummary
+	memo    map[string][]string // func key -> chain of hop names ending at Sync, nil = clean
+	onStack map[string]bool
+}
+
+func factKey(pkg, path string) string { return pkg + "\x00" + path }
+
+func newSyncReach(all []analysis.ObjectFact) *syncReach {
+	r := &syncReach{sums: map[string]*summary.FuncSummary{}, memo: map[string][]string{}, onStack: map[string]bool{}}
+	for _, of := range all {
+		if s, ok := of.Fact.(*summary.FuncSummary); ok {
+			r.sums[factKey(of.PkgPath, of.ObjPath)] = s
+		}
+	}
+	return r
+}
+
+// chain returns the hop names from (pkg, path) to an unsanctioned direct
+// Sync, or nil. Traversal stops at owner packages and committer-named
+// functions (sanctioned protocol entries), and reports a direct Sync
+// only when it sits in an unscanned package — scanned layers are flagged
+// at the sync's own body instead.
+func (r *syncReach) chain(pkg, path string) []string {
+	base := storageio.Base(pkg)
+	if ownerPkgs[base] || committerFunc(funcName(path)) {
+		return nil
+	}
+	k := factKey(pkg, path)
+	if c, ok := r.memo[k]; ok {
+		return c
+	}
+	if r.onStack[k] {
+		return nil
+	}
+	r.onStack[k] = true
+	defer delete(r.onStack, k)
+
+	var out []string
+	s, ok := r.sums[k]
+	if ok {
+		if !scopePkgs[base] && directSync(s) {
+			out = []string{base + "." + path, "Device.Sync"}
+		} else {
+			for _, c := range s.Calls {
+				if c.Field {
+					continue
+				}
+				if sub := r.chain(c.PkgPath, c.ObjPath); sub != nil {
+					out = append([]string{base + "." + path}, sub...)
+					break
+				}
+			}
+		}
+	}
+	r.memo[k] = out
+	return out
+}
+
+func directSync(s *summary.FuncSummary) bool {
+	for _, fx := range s.IO {
+		if fx.Op == "Sync" {
+			return true
+		}
+	}
+	return false
+}
+
+// funcName returns the bare function name of an object path ("Type.Method"
+// or "Func").
+func funcName(path string) string {
+	if i := strings.LastIndexByte(path, '.'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
 }
 
 // checkLedgerRecords enforces RecRefDelta ownership. Outside core, any
@@ -140,7 +237,7 @@ func committerFunc(name string) bool {
 	return strings.Contains(l, "commit") || strings.Contains(l, "checkpoint")
 }
 
-func checkFunc(pass *analysis.Pass, pkgBase string, fn *ast.FuncDecl) {
+func checkFunc(pass *analysis.Pass, pkgBase string, fn *ast.FuncDecl, r *syncReach) {
 	queueBodies := queueClosureBodies(pass, fn)
 	inQueueClosure := func(pos token.Pos) bool {
 		for _, b := range queueBodies {
@@ -150,6 +247,7 @@ func checkFunc(pass *analysis.Pass, pkgBase string, fn *ast.FuncDecl) {
 		}
 		return false
 	}
+	committerCaller := pkgBase == "core" && committerFunc(fn.Name.Name)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -157,6 +255,17 @@ func checkFunc(pass *analysis.Pass, pkgBase string, fn *ast.FuncDecl) {
 		}
 		op, ok := storageio.Classify(pass.TypesInfo, call)
 		if !ok {
+			// Not a device op itself — but the callee may reach one. A
+			// committer owns its syncs however it delegates them, and a
+			// queue closure runs on the completion goroutine.
+			if committerCaller || inQueueClosure(call.Pos()) {
+				return true
+			}
+			if pkg, path, ok := summary.Resolve(pass.TypesInfo, call); ok {
+				if chain := r.chain(pkg, path); chain != nil {
+					pass.Reportf(call.Pos(), "call to %s reaches Device.Sync (%s) outside internal/wal and the core committer: durability ordering is owned by the WAL (single-flush protocol); route the sync through wal.Sync or the commit pipeline", funcName(path), strings.Join(chain, " → "))
+				}
+			}
 			return true
 		}
 		switch op {

@@ -45,18 +45,12 @@ type Config struct {
 	SucceedOnTypecheckFailure bool
 }
 
-// wireFact is the gob wire form of one exported object fact.
-type wireFact struct {
-	PkgPath  string
-	ObjPath  string
-	Analyzer string
-	Fact     analysis.Fact
-}
-
 // Run analyzes the single package described by cfgFile and exits the
 // process with the protocol's status code.
 func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
-	for _, a := range analyzers {
+	// Register fact types over the Requires closure: a listed analyzer's
+	// summary producer ships facts through the same vetx files.
+	for _, a := range driver.Expand(analyzers) {
 		for _, f := range a.FactTypes {
 			gob.Register(f)
 		}
@@ -92,7 +86,7 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
 
 	facts := driver.NewFacts()
 	for _, vetx := range cfg.PackageVetx {
-		readFacts(facts, vetx)
+		driver.ReadFactsFile(facts, vetx)
 	}
 
 	fset := token.NewFileSet()
@@ -113,7 +107,7 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
 	}
 
 	if cfg.VetxOutput != "" {
-		if err := writeFacts(facts, cfg.VetxOutput); err != nil {
+		if err := driver.WriteFactsFile(facts, cfg.VetxOutput); err != nil {
 			fatal(err)
 		}
 	}
@@ -137,42 +131,6 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "blobvet: %v\n", err)
 	os.Exit(1)
-}
-
-// readFacts merges one dependency's fact file. A missing or unreadable
-// file is treated as empty: the dependency exported nothing.
-func readFacts(facts *driver.Facts, path string) {
-	f, err := os.Open(path)
-	if err != nil {
-		return
-	}
-	defer f.Close()
-	var wire []wireFact
-	if err := gob.NewDecoder(f).Decode(&wire); err != nil {
-		return
-	}
-	for _, w := range wire {
-		facts.Put(driver.FactKey{Analyzer: w.Analyzer, PkgPath: w.PkgPath, ObjPath: w.ObjPath}, w.Fact)
-	}
-}
-
-// writeFacts serializes the full fact view (this package's exports plus
-// its dependencies') so importers see facts transitively.
-func writeFacts(facts *driver.Facts, path string) error {
-	keys, values := facts.All()
-	wire := make([]wireFact, len(keys))
-	for i, k := range keys {
-		wire[i] = wireFact{PkgPath: k.PkgPath, ObjPath: k.ObjPath, Analyzer: k.Analyzer, Fact: values[i]}
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := gob.NewEncoder(f).Encode(wire); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // printJSON emits the go vet -json schema:

@@ -4,10 +4,18 @@
 #
 # blobvet machine-checks the engine's concurrency and durability
 # invariants (see DESIGN.md "Machine-checked invariants"): frame pin
-# discipline, no device I/O under pool latches, replay-stable output in
-# simulation-checked paths, WAL-owned sync ordering, and migration off
-# deprecated blob APIs. Exceptions need an inline
-# `//blobvet:allow <reason>` — a reason-less allow is itself an error.
+# discipline (through helper boundaries), no device I/O under pool
+# latches at any call depth, a cycle-free global lock-acquisition graph,
+# replay-stable output in simulation-checked paths, WAL-owned sync
+# ordering traced through callee chains, and migration off deprecated
+# blob APIs. Exceptions need an inline `//blobvet:allow <reason>` — a
+# reason-less allow is itself an error, and a reasoned allow that no
+# longer suppresses anything is reported as stale.
+#
+# The run is timed: the interprocedural passes (summary facts + the
+# lock-order graph) are expected to keep the whole-module run in the
+# low seconds, and the job log records the wall clock so a regression
+# is visible where it happens.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,5 +23,5 @@ tool=$(mktemp -t blobvet.XXXXXX)
 trap 'rm -f "$tool"' EXIT
 go build -o "$tool" ./cmd/blobvet
 
-go vet -vettool="$tool" ./...
+time go vet -vettool="$tool" ./...
 echo "blobvet: clean"
